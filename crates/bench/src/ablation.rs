@@ -1,0 +1,158 @@
+//! Ablation studies over the design choices the paper (and DESIGN.md)
+//! call out: the store-timestamp history size, the comparator bank
+//! count, and post-violation synchronization in the TLS execution
+//! model.
+
+use benchsuite::DataSize;
+use hydra_sim::TlsConfig;
+use jrpm::annotate::{annotate, AnnotateOptions};
+use jrpm::pipeline::{run_pipeline, PipelineConfig};
+use test_tracer::{SoftwareTracer, TestTracer, TracerConfig};
+use tvm::Interp;
+
+/// Sweep of the heap store-timestamp FIFO capacity (§5.3: the paper
+/// statically partitions the five 2 kB speculation buffers, giving 192
+/// lines of history). Smaller histories lose dependencies relative to
+/// the exact software oracle.
+pub fn fifo_sweep(size: DataSize) -> String {
+    let mut s = String::new();
+    s.push_str("Ablation A - store-timestamp FIFO history vs dependencies found\n");
+    s.push_str(&format!(
+        "{:<14}{:>12}{:>10}{:>10}{:>10}{:>10}{:>10}\n",
+        "Benchmark", "oracle arcs", "8 lines", "32", "64", "192", "1024"
+    ));
+    for name in ["Huffman", "compress", "db", "MipsSimulator"] {
+        let bench = benchsuite::by_name(name).expect("benchmark exists");
+        let program = (bench.build)(size);
+        let cands = cfgir::extract_candidates(&program);
+        let ann = annotate(&program, &cands, &AnnotateOptions::profiling());
+
+        let mut sw = SoftwareTracer::new();
+        sw.set_local_masks(cands.tracked_masks());
+        Interp::run(&ann, &mut sw).expect("oracle run");
+        let oracle: u64 = sw
+            .into_profile()
+            .stl
+            .values()
+            .map(|t| t.arcs_t1 + t.arcs_lt)
+            .sum();
+
+        let mut row = format!("{name:<14}{oracle:>12}");
+        for lines in [8usize, 32, 64, 192, 1024] {
+            let cfg = TracerConfig {
+                store_ts_lines: lines,
+                ..TracerConfig::default()
+            };
+            let mut hw = TestTracer::new(cfg);
+            hw.set_local_masks(cands.tracked_masks());
+            Interp::run(&ann, &mut hw).expect("hw run");
+            let found: u64 = hw
+                .into_profile()
+                .stl
+                .values()
+                .map(|t| t.arcs_t1 + t.arcs_lt)
+                .sum();
+            row.push_str(&format!(
+                "{:>9.0}%",
+                100.0 * found as f64 / oracle.max(1) as f64
+            ));
+        }
+        row.push('\n');
+        s.push_str(&row);
+    }
+    s.push_str("(arcs recovered relative to the exact oracle; heap deps only decay)\n");
+    s
+}
+
+/// Sweep of the comparator bank count (§5.2: eight banks; deep nests
+/// go untraced when banks run out).
+pub fn bank_sweep(size: DataSize) -> String {
+    let mut s = String::new();
+    s.push_str("Ablation B - comparator banks vs untraced loop entries\n");
+    s.push_str(&format!(
+        "{:<14}{:>7}{:>14}{:>14}{:>14}\n",
+        "Benchmark", "depth", "1 bank", "2 banks", "8 banks"
+    ));
+    for name in ["decJpeg", "jess", "Assignment", "mp3"] {
+        let bench = benchsuite::by_name(name).expect("benchmark exists");
+        let program = (bench.build)(size);
+        let cands = cfgir::extract_candidates(&program);
+        let ann = annotate(&program, &cands, &AnnotateOptions::profiling());
+        let mut row = String::new();
+        let mut depth = 0;
+        for (i, n_banks) in [1usize, 2, 8].into_iter().enumerate() {
+            let cfg = TracerConfig {
+                n_banks,
+                ..TracerConfig::default()
+            };
+            let mut hw = TestTracer::new(cfg);
+            hw.set_local_masks(cands.tracked_masks());
+            Interp::run(&ann, &mut hw).expect("hw run");
+            let p = hw.into_profile();
+            if i == 0 {
+                depth = p.max_dynamic_depth;
+            }
+            let untraced: u64 = p.stl.values().map(|t| t.untraced_entries).sum();
+            let total: u64 = p
+                .stl
+                .values()
+                .map(|t| t.entries + t.untraced_entries)
+                .sum();
+            row.push_str(&format!(
+                "{:>13.0}%",
+                100.0 * untraced as f64 / total.max(1) as f64
+            ));
+        }
+        s.push_str(&format!("{name:<14}{depth:>7}{row}\n"));
+    }
+    s.push_str("(fraction of loop entries left untraced)\n");
+    s
+}
+
+/// Post-violation synchronization on/off in the Hydra TLS model: the
+/// gap between Equation 1's stall-style prediction and raw
+/// restart-style execution (paper §3.2 / §6.2 / §6.3).
+pub fn sync_sweep(size: DataSize) -> String {
+    let mut s = String::new();
+    s.push_str("Ablation C - post-violation synchronization in the TLS model\n");
+    s.push_str(&format!(
+        "{:<14}{:>10}{:>14}{:>16}{:>12}{:>12}\n",
+        "Benchmark", "predicted", "actual (sync)", "actual (naive)", "viol(sync)", "viol(naive)"
+    ));
+    for name in ["MipsSimulator", "Huffman", "compress", "h263dec", "shallow"] {
+        let bench = benchsuite::by_name(name).expect("benchmark exists");
+        let program = (bench.build)(size);
+        let with_sync = PipelineConfig::default();
+        let naive = PipelineConfig {
+            tls: TlsConfig {
+                sync_after_violation: false,
+                ..TlsConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let a = run_pipeline(&program, &with_sync).expect("pipeline runs");
+        let b = run_pipeline(&program, &naive).expect("pipeline runs");
+        let viol = |r: &jrpm::pipeline::PipelineReport| -> u64 {
+            r.actual.per_loop.values().map(|l| l.violations).sum()
+        };
+        s.push_str(&format!(
+            "{:<14}{:>10.2}{:>14.2}{:>16.2}{:>12}{:>12}\n",
+            name,
+            a.predicted_normalized(),
+            a.actual_normalized(),
+            b.actual_normalized(),
+            viol(&a),
+            viol(&b)
+        ));
+    }
+    s.push_str(
+        "(normalized execution time; synchronization closes the gap between\n\
+         Equation 1's stall model and restart-style recovery)\n",
+    );
+    s
+}
+
+/// All three sweeps.
+pub fn all(size: DataSize) -> String {
+    format!("{}\n{}\n{}", fifo_sweep(size), bank_sweep(size), sync_sweep(size))
+}

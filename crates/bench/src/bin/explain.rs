@@ -1,0 +1,128 @@
+//! Per-benchmark diagnostic: dumps every profiled loop's statistics,
+//! Equation 1 estimate, selection decision and actual TLS outcome.
+//!
+//! ```text
+//! cargo run --release -p jrpm-bench --bin explain -- moldyn --small
+//! ```
+
+use benchsuite::DataSize;
+use jrpm::pipeline::{run_pipeline, PipelineConfig};
+
+fn main() {
+    let mut size = DataSize::Default;
+    let mut name = None;
+    let mut disasm = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--small" => size = DataSize::Small,
+            "--large" => size = DataSize::Large,
+            "--disasm" => disasm = true,
+            other => name = Some(other.to_string()),
+        }
+    }
+    let name = name.expect("usage: explain <benchmark> [--small|--large]");
+    let bench = benchsuite::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}; see `benchsuite::all()`"));
+    let program = (bench.build)(size);
+    let r = run_pipeline(&program, &PipelineConfig::default()).expect("pipeline runs");
+
+    println!(
+        "{name}: seq={} profiled={} slowdown={:.3}",
+        r.seq_cycles,
+        r.profile_cycles,
+        r.profiling_slowdown()
+    );
+    println!(
+        "static loops={} rejected={} max dynamic depth={}",
+        r.candidates.total_loops(),
+        r.candidates.rejected.len(),
+        r.profile.max_dynamic_depth
+    );
+    for rej in &r.candidates.rejected {
+        println!(
+            "  rejected: func {} loop {} ({})",
+            rej.func.0, rej.loop_idx, rej.reason
+        );
+    }
+    println!();
+    println!(
+        "{:<5}{:>8}{:>10}{:>12}{:>9}{:>6}{:>8}{:>8}{:>8}{:>8}{:>7}{:>9}{:>8}",
+        "loop", "entries", "threads", "cycles", "size", "cv", "f(t-1)", "d(t-1)", "f(<t1)",
+        "d(<t1)", "ovf", "est-spd", "parent"
+    );
+    for (l, s) in &r.profile.stl {
+        let e = &r.selection.estimates[l];
+        let parent = r
+            .profile
+            .dominant_parent(*l)
+            .map_or("-".to_string(), |p| p.to_string());
+        println!(
+            "{:<5}{:>8}{:>10}{:>12}{:>9.0}{:>6.2}{:>8.2}{:>8.0}{:>8.2}{:>8.0}{:>7.2}{:>9.2}{:>8}",
+            l.to_string(),
+            s.entries,
+            s.threads,
+            s.cycles,
+            s.avg_thread_size(),
+            s.thread_size_cv(),
+            s.arc_freq_t1(),
+            s.avg_arc_len_t1(),
+            s.arc_freq_lt(),
+            s.avg_arc_len_lt(),
+            s.overflow_freq(),
+            e.speedup,
+            parent
+        );
+    }
+    println!();
+    // PCs refer to the *annotated* code; rebuild it for disassembly
+    let annotated = jrpm::annotate(
+        &program,
+        &r.candidates,
+        &jrpm::AnnotateOptions::profiling(),
+    );
+    println!("hot dependency sites (extended TEST, section 6.3):");
+    for l in r.profile.stl.keys() {
+        for (pc, bin) in r.profile.pc_bins.hottest(*l).into_iter().take(3) {
+            let place = annotated
+                .functions
+                .get(pc.func.0 as usize)
+                .and_then(|f| f.code.get(pc.idx as usize).map(|i| (f.name.clone(), i)))
+                .map(|(name, i)| format!("{name}: {}", tvm::disasm::instr(i)))
+                .unwrap_or_else(|| "?".into());
+            println!(
+                "  {} at {} ({place}) count={} avg_len={:.0} min={}",
+                l, pc, bin.count, bin.avg_len(), bin.min_len
+            );
+        }
+    }
+    println!();
+    println!("selection: predicted {:.3} normalized", r.predicted_normalized());
+    for c in &r.selection.chosen {
+        println!(
+            "  chose {} coverage {:.1}% est speedup {:.2}",
+            c.loop_id,
+            c.coverage * 100.0,
+            c.estimate.speedup
+        );
+    }
+    if disasm {
+        println!();
+        println!("=== annotated program ===");
+        print!("{}", tvm::disasm::program(&annotated));
+    }
+
+    println!();
+    println!("actual TLS: {:.3} normalized", r.actual_normalized());
+    for (l, t) in &r.actual.per_loop {
+        println!(
+            "  {} seq={} tls={} speedup {:.2} violations={} overflows={} threads={}",
+            l,
+            t.seq_cycles,
+            t.tls_cycles,
+            t.seq_cycles as f64 / t.tls_cycles.max(1) as f64,
+            t.violations,
+            t.overflows,
+            t.threads
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p jrpm-bench --bin tables -- all
+//! cargo run --release -p jrpm-bench --bin tables -- table6 fig11
+//! cargo run --release -p jrpm-bench --bin tables -- --small all
+//! ```
+
+use benchsuite::DataSize;
+use jrpm_bench::runner::{run_benchmark, BenchResult};
+use jrpm_bench::tables;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = DataSize::Default;
+    args.retain(|a| match a.as_str() {
+        "--small" => {
+            size = DataSize::Small;
+            false
+        }
+        "--large" => {
+            size = DataSize::Large;
+            false
+        }
+        _ => true,
+    });
+    if args.is_empty() {
+        args.push("all".into());
+    }
+    let want = |name: &str| -> bool {
+        args.iter().any(|a| a == name || a == "all")
+    };
+
+    println!("{}", tables::banner());
+
+    if want("table1") {
+        println!("{}", tables::table1());
+    }
+    if want("table2") {
+        println!("{}", tables::table2());
+    }
+    if want("table4") {
+        println!("{}", tables::table4());
+    }
+    if want("table5") {
+        println!("{}", tables::table5());
+    }
+    if want("table3") {
+        println!("{}", tables::table3(size));
+    }
+    if want("fig9") {
+        println!("{}", tables::fig9());
+    }
+    if want("softslow") {
+        println!("{}", tables::softslow(size));
+    }
+    if want("ablation") {
+        println!("{}", jrpm_bench::ablation::all(size));
+    }
+    if want("methods") {
+        println!("{}", tables::methods(size));
+    }
+
+    let needs_suite = ["table6", "fig6", "fig10", "fig11", "scorecard"]
+        .iter()
+        .any(|n| want(n));
+    if needs_suite {
+        let suite = benchsuite::all();
+        let mut results: Vec<BenchResult> = Vec::new();
+        for b in &suite {
+            eprint!("running {:<14}... ", b.name);
+            match run_benchmark(b, size) {
+                Ok(r) => {
+                    eprintln!(
+                        "ok ({} loops, {} selected, pred {:.2}, act {:.2})",
+                        r.report.candidates.total_loops(),
+                        r.report.selection.chosen.len(),
+                        r.report.predicted_normalized(),
+                        r.report.actual_normalized()
+                    );
+                    results.push(r);
+                }
+                Err(e) => eprintln!("FAILED: {e}"),
+            }
+        }
+        if want("table6") {
+            println!("{}", tables::table6(&results));
+        }
+        if want("fig6") {
+            println!("{}", tables::fig6(&results));
+        }
+        if want("fig10") {
+            println!("{}", tables::fig10(&results));
+        }
+        if want("fig11") {
+            println!("{}", tables::fig11(&results));
+        }
+        if want("scorecard") {
+            println!("{}", tables::scorecard(&results));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Runs one benchmark through the full pipeline and summarizes what
+//! the tables and figures need.
+
+use benchsuite::{Benchmark, DataSize};
+use jrpm::pipeline::{run_pipeline, PipelineConfig, PipelineReport};
+use jrpm::slowdown::{profile_slowdown, SlowdownReport};
+use tvm::VmError;
+
+/// Everything measured for one benchmark at one data size.
+#[derive(Debug)]
+pub struct BenchResult {
+    /// The benchmark descriptor.
+    pub bench: Benchmark,
+    /// Data size used.
+    pub size: DataSize,
+    /// Full pipeline output.
+    pub report: PipelineReport,
+    /// Figure 6 slowdown measurement (base + optimized).
+    pub slowdown: SlowdownReport,
+}
+
+impl BenchResult {
+    /// Table 6 column (e): selected loops with > 0.5 % coverage.
+    pub fn selected_above_half_percent(&self) -> usize {
+        self.report.selection.chosen_above(0.005).len()
+    }
+
+    /// Table 6 column (f): average static height of the selected
+    /// loops (innermost = 1).
+    pub fn avg_selected_height(&self) -> f64 {
+        let sel = self.report.selection.chosen_above(0.005);
+        if sel.is_empty() {
+            return 0.0;
+        }
+        let total: u32 = sel
+            .iter()
+            .map(|c| self.report.candidates.candidate(c.loop_id).height)
+            .sum();
+        f64::from(total) / sel.len() as f64
+    }
+
+    /// Table 6 column (g): average threads per STL entry over selected
+    /// loops.
+    pub fn avg_threads_per_entry(&self) -> f64 {
+        let sel = self.report.selection.chosen_above(0.005);
+        if sel.is_empty() {
+            return 0.0;
+        }
+        let s: f64 = sel
+            .iter()
+            .map(|c| self.report.profile.stl[&c.loop_id].avg_iterations_per_entry())
+            .sum();
+        s / sel.len() as f64
+    }
+
+    /// Table 6 column (h): average thread size in cycles over selected
+    /// loops, weighted by coverage.
+    pub fn avg_thread_size(&self) -> f64 {
+        let sel = self.report.selection.chosen_above(0.005);
+        let total_cycles: u64 = sel.iter().map(|c| c.cycles).sum();
+        if total_cycles == 0 {
+            return 0.0;
+        }
+        let s: f64 = sel
+            .iter()
+            .map(|c| {
+                self.report.profile.stl[&c.loop_id].avg_thread_size() * c.cycles as f64
+            })
+            .sum();
+        s / total_cycles as f64
+    }
+}
+
+/// Runs pipeline + slowdown measurement for one benchmark.
+///
+/// # Errors
+///
+/// Any [`VmError`] from the underlying executions.
+pub fn run_benchmark(bench: &Benchmark, size: DataSize) -> Result<BenchResult, VmError> {
+    let program = (bench.build)(size);
+    let report = run_pipeline(&program, &PipelineConfig::default())?;
+    let slowdown = profile_slowdown(&program, &report.candidates)?;
+    Ok(BenchResult {
+        bench: *bench,
+        size,
+        report,
+        slowdown,
+    })
+}

@@ -1,0 +1,612 @@
+//! Text renderers for every table and figure of the paper's
+//! evaluation.
+
+use crate::runner::BenchResult;
+use benchsuite::DataSize;
+use hydra_sim::TlsConfig;
+use jrpm::pipeline::{run_pipeline, PipelineConfig};
+use jrpm::slowdown::software_comparison;
+use test_tracer::hwcost::{hydra_budget, CostParams};
+use test_tracer::TracerConfig;
+use tvm::{Cond, ElemKind, ProgramBuilder};
+
+/// Table 1 — thread-level speculation buffer limits.
+pub fn table1() -> String {
+    let c = TlsConfig::default();
+    let mut s = String::new();
+    s.push_str("Table 1 - Thread-level speculation buffer limits\n");
+    s.push_str("Buffer        Per-thread limit           Associativity\n");
+    s.push_str(&format!(
+        "Load buffer   {}kB ({} lines x 32B)   4-way\n",
+        c.ld_line_limit * 32 / 1024,
+        c.ld_line_limit
+    ));
+    s.push_str(&format!(
+        "Store buffer  {}kB ({} lines x 32B)      Fully\n",
+        c.st_line_limit * 32 / 1024,
+        c.st_line_limit
+    ));
+    s
+}
+
+/// Table 2 — thread-level speculation overheads.
+pub fn table2() -> String {
+    let c = TlsConfig::default();
+    let mut s = String::new();
+    s.push_str("Table 2 - Thread-level speculation overheads\n");
+    s.push_str("TLS Operation             Overhead / delay\n");
+    s.push_str(&format!("Loop startup              {} cycles\n", c.startup));
+    s.push_str(&format!("Loop shutdown             {} cycles\n", c.shutdown));
+    s.push_str(&format!("Loop end-of-iteration     {} cycles\n", c.eoi));
+    s.push_str(&format!(
+        "Violation and restart     {} cycles\n",
+        c.violation_restart
+    ));
+    s.push_str(&format!(
+        "Store-load communication  {} cycles\n",
+        c.comm_delay
+    ));
+    s
+}
+
+/// Table 3 — Equation 2 applied to the Huffman loops: the outer loop
+/// must win over the inner one.
+pub fn table3(size: DataSize) -> String {
+    let bench = benchsuite::by_name("Huffman").expect("suite has Huffman");
+    let program = (bench.build)(size);
+    let report = run_pipeline(&program, &PipelineConfig::default()).expect("pipeline runs");
+
+    // the decode nest: the dynamically nested pair with the largest
+    // coverage (the outer do-while and the tree-descent inner while)
+    let outer = report
+        .profile
+        .stl
+        .iter()
+        .filter(|(l, _)| report.profile.dominant_parent(**l).is_none())
+        .max_by_key(|(_, s)| s.cycles)
+        .map(|(l, _)| *l)
+        .expect("an outer loop profiled");
+    let inner = report.profile.children_of(Some(outer));
+
+    let mut s = String::new();
+    s.push_str("Table 3 - Equation 2 on the Huffman decode nest\n");
+    s.push_str(&format!(
+        "{:<26}{:>14}{:>10}{:>14}\n",
+        "", "Seq (cycles)", "Speedup", "TLS (cycles)"
+    ));
+    let os = &report.profile.stl[&outer];
+    let oe = &report.selection.estimates[&outer];
+    s.push_str(&format!(
+        "{:<26}{:>14}{:>10.2}{:>14}\n",
+        "Outer loop", os.cycles, oe.speedup, oe.est_tls_cycles
+    ));
+    let mut inner_seq = 0u64;
+    let mut inner_tls = 0u64;
+    for l in &inner {
+        let is = &report.profile.stl[l];
+        let ie = &report.selection.estimates[l];
+        inner_seq += is.cycles;
+        inner_tls += ie.est_tls_cycles.min(is.cycles);
+        s.push_str(&format!(
+            "{:<26}{:>14}{:>10.2}{:>14}\n",
+            format!("Inner loop {l}"),
+            is.cycles,
+            ie.speedup,
+            ie.est_tls_cycles
+        ));
+    }
+    let serial_rest = os.cycles.saturating_sub(inner_seq);
+    s.push_str(&format!(
+        "Nested alternative: inner TLS {} + serial {} = {}\n",
+        inner_tls,
+        serial_rest,
+        inner_tls + serial_rest
+    ));
+    let chosen = report
+        .selection
+        .chosen
+        .iter()
+        .map(|c| c.loop_id.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    s.push_str(&format!("Equation 2 selects: {chosen}\n"));
+    s
+}
+
+/// Table 4 — the annotation instruction set (structural summary plus a
+/// live count from an instrumented run).
+pub fn table4() -> String {
+    let mut s = String::new();
+    s.push_str("Table 4 - Annotating instructions\n");
+    for (instr, desc) in [
+        ("lw/sw (heap)", "communicated to the tracer automatically"),
+        ("lwl vn", "get store timestamp for local variable vn"),
+        ("swl vn", "record store timestamp for local variable vn"),
+        ("sloop n", "allocate bank; reserve n local timestamps"),
+        ("eoi", "thread boundary; shift thread start timestamps"),
+        ("eloop n", "free bank and n local timestamps"),
+        ("(read stats)", "end-of-STL statistics read routine"),
+    ] {
+        s.push_str(&format!("  {instr:<14} {desc}\n"));
+    }
+    s
+}
+
+/// Table 5 — transistor budget; TEST must stay under 1 % of the CMP.
+pub fn table5() -> String {
+    let budget = hydra_budget(&CostParams::default(), 8);
+    let total = budget.total();
+    let mut s = String::new();
+    s.push_str("Table 5 - Transistor count estimates (Hydra + TLS + TEST)\n");
+    s.push_str(&format!(
+        "{:<24}{:>7}{:>12}{:>14}{:>10}\n",
+        "Structure", "Count", "Each", "Total", "% of total"
+    ));
+    for row in &budget.rows {
+        s.push_str(&format!(
+            "{:<24}{:>7}{:>12}{:>14}{:>9.2}%\n",
+            row.name,
+            row.count,
+            row.each,
+            row.total(),
+            100.0 * row.total() as f64 / total as f64
+        ));
+    }
+    s.push_str(&format!("{:<24}{:>7}{:>12}{:>14}{:>10}\n", "Total", "", "", total, "100.00%"));
+    let share = budget.share("Comparator bank");
+    s.push_str(&format!(
+        "TEST comparator banks: {:.2}% of the CMP ({}: < 1%)\n",
+        share * 100.0,
+        if share < 0.01 { "PASS" } else { "FAIL" }
+    ));
+    s
+}
+
+/// Table 6 — per-benchmark characteristics and TEST analysis results.
+pub fn table6(results: &[BenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("Table 6 - Benchmarks evaluated with STLs selected by TEST\n");
+    s.push_str(&format!(
+        "{:<14}{:>5}{:>5}{:>6}{:>6}{:>9}{:>8}{:>10}{:>10}\n",
+        "Benchmark", "(a)", "(b)", "loops", "depth", "sel>0.5%", "height", "thr/entry", "size(cyc)"
+    ));
+    let mut cat = None;
+    for r in results {
+        if cat != Some(r.bench.category) {
+            cat = Some(r.bench.category);
+            s.push_str(&format!("-- {}\n", r.bench.category));
+        }
+        s.push_str(&format!(
+            "{:<14}{:>5}{:>5}{:>6}{:>6}{:>9}{:>8.1}{:>10.0}{:>10.0}\n",
+            r.bench.name,
+            if r.bench.analyzable { "Y" } else { "N" },
+            if r.bench.data_sensitive { "Y" } else { "N" },
+            r.report.candidates.total_loops(),
+            r.report.profile.max_dynamic_depth,
+            r.selected_above_half_percent(),
+            r.avg_selected_height(),
+            r.avg_threads_per_entry(),
+            r.avg_thread_size(),
+        ));
+    }
+    s
+}
+
+/// Figure 6 — profiling slowdown per benchmark, base vs optimized,
+/// with the component breakdown.
+pub fn fig6(results: &[BenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 6 - Execution slowdown during profiling\n");
+    s.push_str(&format!(
+        "{:<14}{:>9}{:>9}   {:<30}\n",
+        "Benchmark", "base", "optim.", "optimized breakdown (stats/locals/markers)"
+    ));
+    let mut worst: f64 = 0.0;
+    for r in results {
+        let b = &r.slowdown;
+        let opt = &b.optimized;
+        let total_ann = opt.breakdown.total().max(1);
+        s.push_str(&format!(
+            "{:<14}{:>8.1}%{:>8.1}%   {:>3.0}%/{:>3.0}%/{:>3.0}%\n",
+            r.bench.name,
+            (b.base.slowdown - 1.0) * 100.0,
+            (opt.slowdown - 1.0) * 100.0,
+            100.0 * opt.breakdown.stats_reads as f64 / total_ann as f64,
+            100.0 * opt.breakdown.locals as f64 / total_ann as f64,
+            100.0 * opt.breakdown.markers as f64 / total_ann as f64,
+        ));
+        worst = worst.max(opt.slowdown - 1.0);
+    }
+    s.push_str(&format!(
+        "Worst optimized slowdown: {:.1}% (paper: 3-25%)\n",
+        worst * 100.0
+    ));
+    s
+}
+
+/// The Figure 9 program: `if (i % n != 0) A[i] = f(A[i-1])` with the
+/// load at the top of the iteration and the store at the bottom, so
+/// the observed arcs are short. `n` must be a power of two.
+pub fn fig9_program(n: i64) -> tvm::Program {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, false, |f| {
+        let (a, i, x, k) = (f.local(), f.local(), f.local(), f.local());
+        f.ci(4096).newarray(ElemKind::Int).st(a);
+        f.for_in(i, 1.into(), 2000.into(), |f| {
+            f.if_icmp(
+                Cond::Ne,
+                |f| {
+                    f.ld(i).ci(n - 1).iand().ci(0);
+                },
+                |f| {
+                    // load the previous element FIRST
+                    f.arr_get(a, |f| {
+                        f.ld(i).ci(1).isub().ci(4095).iand();
+                    })
+                    .st(x);
+                    // a long dependent computation chain
+                    f.for_in(k, 0.into(), 8.into(), |f| {
+                        f.ld(x).ci(3).imul().ci(1).iadd().st(x);
+                        f.ld(x).ld(x).ci(5).iushr().ixor().st(x);
+                    });
+                    // store LAST
+                    f.arr_set(
+                        a,
+                        |f| {
+                            f.ld(i).ci(4095).iand();
+                        },
+                        |f| {
+                            f.ld(x);
+                        },
+                    );
+                },
+            );
+        });
+        f.ret_void();
+    });
+    b.finish(main).expect("fig9 program builds")
+}
+
+/// Figure 9 — the imprecision pathology: `A[i] = A[i-1]` gated on
+/// `i % n != 0` looks serial to TEST although every n-th iteration is
+/// independent.
+pub fn fig9() -> String {
+    let mut s = String::new();
+    s.push_str("Figure 9 - Imprecision example: if (i % n != 0) A[i] = A[i-1]\n");
+    s.push_str(&format!(
+        "{:<6}{:>18}{:>18}\n",
+        "n", "arc freq (t-1)", "estimated speedup"
+    ));
+    for n in [2i64, 4, 8] {
+        let p = fig9_program(n);
+        let report = run_pipeline(&p, &PipelineConfig::default()).expect("pipeline runs");
+        let (l, stats) = report
+            .profile
+            .stl
+            .iter()
+            .max_by_key(|(_, st)| st.cycles)
+            .expect("loop profiled");
+        let est = &report.selection.estimates[l];
+        s.push_str(&format!(
+            "{:<6}{:>18.2}{:>18.2}\n",
+            n,
+            stats.arc_freq_t1(),
+            est.speedup
+        ));
+    }
+    s.push_str(
+        "TEST sees frequent short arcs and predicts no speedup, although\n\
+         parallelism exists at every n-th iteration (paper 6.2).\n",
+    );
+    s
+}
+
+/// Figure 10 — normalized execution time: sequential vs predicted,
+/// with per-STL coverage blocks.
+pub fn fig10(results: &[BenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 10 - Selected STLs: predicted normalized execution time\n");
+    s.push_str(&format!(
+        "{:<14}{:>7}{:>11}{:>8}{:>8}   per-STL coverage\n",
+        "Benchmark", "STLs", "predicted", "serial", "cover"
+    ));
+    for r in results {
+        let sel = r.report.selection.chosen_above(0.005);
+        let coverage = r.report.selection.coverage();
+        let mut blocks: Vec<String> = sel
+            .iter()
+            .take(6)
+            .map(|c| format!("{}:{:.0}%", c.loop_id, c.coverage * 100.0))
+            .collect();
+        if sel.len() > 6 {
+            blocks.push("…".into());
+        }
+        s.push_str(&format!(
+            "{:<14}{:>7}{:>11.2}{:>8.2}{:>8.2}   {}\n",
+            r.bench.name,
+            sel.len(),
+            r.report.predicted_normalized(),
+            1.0 - coverage,
+            coverage,
+            blocks.join(" ")
+        ));
+    }
+    s
+}
+
+/// Renders a 0..1 value as a fixed-width bar.
+fn bar(v: f64, width: usize) -> String {
+    let filled = ((v.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut b = String::with_capacity(width);
+    for i in 0..width {
+        b.push(if i < filled { '#' } else { '.' });
+    }
+    b
+}
+
+/// Figure 11 — predicted vs actual normalized execution time, with the
+/// paper's paired-bars rendering.
+pub fn fig11(results: &[BenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 11 - Estimated versus actual speculative performance\n");
+    s.push_str(&format!(
+        "{:<14}{:>11}{:>9}{:>8}{:>11}{:>10}{:>7}   P/A (0..1)\n",
+        "Benchmark", "predicted", "actual", "|err|", "violations", "overflows", "cv"
+    ));
+    let mut total_err = 0.0;
+    for r in results {
+        let pred = r.report.predicted_normalized();
+        let act = r.report.actual_normalized();
+        let viol: u64 = r.report.actual.per_loop.values().map(|l| l.violations).sum();
+        let ovf: u64 = r.report.actual.per_loop.values().map(|l| l.overflows).sum();
+        // the paper's stated disparity predictor: thread-size variance
+        // of the selected loops (section 6.2)
+        let max_cv = r
+            .report
+            .selection
+            .chosen
+            .iter()
+            .map(|c| r.report.profile.stl[&c.loop_id].thread_size_cv())
+            .fold(0.0f64, f64::max);
+        total_err += (pred - act).abs();
+        s.push_str(&format!(
+            "{:<14}{:>11.2}{:>9.2}{:>8.2}{:>11}{:>10}{:>7.2}   P {}\n{:>70}   A {}\n",
+            r.bench.name,
+            pred,
+            act,
+            (pred - act).abs(),
+            viol,
+            ovf,
+            max_cv,
+            bar(pred, 25),
+            "",
+            bar(act, 25),
+        ));
+    }
+    s.push_str(&format!(
+        "Mean |predicted - actual| = {:.3}\n",
+        total_err / results.len().max(1) as f64
+    ));
+    s
+}
+
+/// §5 claim — hardware vs software-only profiling slowdown.
+pub fn softslow(size: DataSize) -> String {
+    let mut s = String::new();
+    s.push_str("Software-only vs hardware-assisted profiling (paper section 5)\n");
+    s.push_str(&format!(
+        "{:<14}{:>10}{:>12}{:>10}\n",
+        "Benchmark", "hw", "sw (model)", "ratio"
+    ));
+    for name in ["Huffman", "LuFactor", "compress", "moldyn", "decJpeg"] {
+        let bench = benchsuite::by_name(name).expect("benchmark exists");
+        let program = (bench.build)(size);
+        let cands = cfgir::extract_candidates(&program);
+        let c = software_comparison(&program, &cands).expect("comparison runs");
+        s.push_str(&format!(
+            "{:<14}{:>9.2}x{:>11.0}x{:>10.0}\n",
+            name,
+            c.hw_slowdown,
+            c.sw_slowdown,
+            c.sw_slowdown / c.hw_slowdown
+        ));
+    }
+    s
+}
+
+
+/// §4.1 comparison — method-call-return decompositions vs loop STLs.
+/// The paper kept only loops because method forks rarely add coverage;
+/// this artifact measures both shapes on the same programs.
+pub fn methods(size: DataSize) -> String {
+    use test_tracer::MethodTracer;
+    let mut s = String::new();
+    s.push_str("Method-call-return vs loop decompositions (paper section 4.1)\n");
+    s.push_str(&format!(
+        "{:<14}{:>12}{:>14}{:>14}{:>16}\n",
+        "Benchmark", "call sites", "best fork", "fork save", "loop STL save"
+    ));
+    for name in [
+        "Huffman",
+        "EmFloatPnt",
+        "NumHeapSort",
+        "IDEA",
+        "monteCarlo",
+        "NeuralNet",
+        "FourierTest",
+    ] {
+        let bench = benchsuite::by_name(name).expect("benchmark exists");
+        let program = (bench.build)(size);
+        // loop pipeline for the comparison baseline
+        let report = run_pipeline(&program, &PipelineConfig::default()).expect("pipeline runs");
+        let loop_save = 1.0 - report.predicted_normalized();
+        // method profiling needs no annotations: run the plain program
+        let mut mt = MethodTracer::new();
+        let run = tvm::Interp::run(&program, &mut mt).expect("plain run");
+        let stats = mt.into_stats();
+        let ranked = test_tracer::rank_sites(&stats, run.cycles, 10);
+        let (best_speedup, fork_save) = ranked
+            .first()
+            .map(|m| (m.speedup, m.coverage * (1.0 - 1.0 / m.speedup)))
+            .unwrap_or((1.0, 0.0));
+        s.push_str(&format!(
+            "{:<14}{:>12}{:>13.2}x{:>13.1}%{:>15.1}%\n",
+            name,
+            stats.len(),
+            best_speedup,
+            fork_save * 100.0,
+            loop_save * 100.0
+        ));
+    }
+    s.push_str(
+        "(save = fraction of program cycles removed; loop STLs dominate,\n\
+         reproducing the paper's reason for focusing on loops)\n",
+    );
+    s
+}
+
+
+/// The reproduction scorecard: every headline claim of the paper,
+/// checked against this run and marked PASS/FAIL.
+pub fn scorecard(results: &[BenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("Reproduction scorecard\n");
+    let mut row = |claim: &str, pass: bool, detail: String| {
+        s.push_str(&format!(
+            "  [{}] {:<52} {}\n",
+            if pass { "PASS" } else { "FAIL" },
+            claim,
+            detail
+        ));
+    };
+
+    // <1% transistor budget
+    let budget = hydra_budget(&CostParams::default(), 8);
+    let share = budget.share("Comparator bank");
+    row(
+        "TEST hardware < 1% of CMP transistors (Table 5)",
+        share < 0.01,
+        format!("{:.2}%", share * 100.0),
+    );
+
+    // 3-25% profiling slowdown
+    let worst = results
+        .iter()
+        .map(|r| r.slowdown.optimized.slowdown - 1.0)
+        .fold(0.0f64, f64::max);
+    row(
+        "profiling slowdown within 3-25% band (Figure 6)",
+        worst <= 0.27,
+        format!("worst {:.1}%", worst * 100.0),
+    );
+
+    // base > optimized annotations
+    let ordered = results
+        .iter()
+        .all(|r| r.slowdown.base.slowdown >= r.slowdown.optimized.slowdown);
+    row(
+        "optimizations reduce annotation overhead (5.1)",
+        ordered,
+        String::new(),
+    );
+
+    // prediction quality
+    let mean_err = results
+        .iter()
+        .map(|r| (r.report.predicted_normalized() - r.report.actual_normalized()).abs())
+        .sum::<f64>()
+        / results.len().max(1) as f64;
+    row(
+        "predictions track actual TLS execution (Figure 11)",
+        mean_err < 0.08,
+        format!("mean |err| {mean_err:.3}"),
+    );
+
+    // every benchmark has selections; coverage varies
+    let all_selected = results.iter().all(|r| !r.report.selection.chosen.is_empty());
+    row(
+        "TEST finds decompositions on all 26 programs (Table 6)",
+        all_selected,
+        String::new(),
+    );
+    let with_serial = results
+        .iter()
+        .filter(|r| r.report.selection.coverage() < 0.95)
+        .count();
+    row(
+        "serial regions remain on db-like programs (Figure 10)",
+        with_serial >= 1,
+        format!("{with_serial} programs < 95% coverage"),
+    );
+
+    // eight banks suffice
+    let max_depth = results
+        .iter()
+        .map(|r| r.report.profile.max_dynamic_depth)
+        .max()
+        .unwrap_or(0);
+    let untraced: u64 = results
+        .iter()
+        .flat_map(|r| r.report.profile.stl.values())
+        .map(|t| t.untraced_entries)
+        .sum();
+    row(
+        "eight comparator banks cover the suite (6.1)",
+        max_depth <= 8 && untraced == 0,
+        format!("max dynamic depth {max_depth}, untraced {untraced}"),
+    );
+
+    s
+}
+
+/// The hardware configuration banner printed at the top of reports.
+pub fn banner() -> String {
+    let t = TracerConfig::default();
+    format!(
+        "TEST reproduction: {} comparator banks, {}-line store-timestamp FIFO,\n\
+         {}/{} line timestamp tables, {} local-variable slots\n",
+        t.n_banks, t.store_ts_lines, t.ld_table_entries, t.st_table_entries, t.local_var_capacity
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render_paper_constants() {
+        let t1 = table1();
+        assert!(t1.contains("16kB (512 lines x 32B)"));
+        assert!(t1.contains("2kB (64 lines x 32B)"));
+        let t2 = table2();
+        assert!(t2.contains("Loop startup              25 cycles"));
+        assert!(t2.contains("Store-load communication  10 cycles"));
+        let t4 = table4();
+        for mnemonic in ["lwl vn", "swl vn", "sloop n", "eoi", "eloop n"] {
+            assert!(t4.contains(mnemonic), "missing {mnemonic}");
+        }
+    }
+
+    #[test]
+    fn table5_reports_the_one_percent_claim() {
+        let t5 = table5();
+        assert!(t5.contains("PASS: < 1%"), "{t5}");
+        assert!(t5.contains("Comparator bank"));
+    }
+
+    #[test]
+    fn fig9_shows_the_pathology() {
+        let out = fig9();
+        // high arc frequency for n=8 and a visible table
+        assert!(out.contains("0.75"), "{out}");
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn bars_are_fixed_width() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(7.0, 10), "##########"); // clamped
+    }
+}

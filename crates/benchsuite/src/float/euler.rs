@@ -1,0 +1,109 @@
+//! euler: 2D fluid-dynamics stencil relaxation (Java Grande euler,
+//! reduced to its sweep structure on the paper's 33×9 grid).
+//!
+//! Jacobi-style sweeps over a structured grid: each time step computes
+//! a flux-balanced update of every interior cell from its four
+//! neighbors, double-buffered. Rows are independent within a sweep —
+//! the multi-level parallelism whose best decomposition level shifts
+//! with the grid size (Table 6 marks euler data-set sensitive).
+
+use crate::util::{define_fill_float, new_float_array};
+use crate::DataSize;
+use tvm::{Program, ProgramBuilder};
+
+/// Builds the benchmark. The paper's data set is a 33×9 grid.
+pub fn build(size: DataSize) -> Program {
+    let (nx, ny): (i64, i64) = size.pick((17, 5), (33, 9), (129, 33));
+    let steps: i64 = size.pick(6, 20, 20);
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_float(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let (u, v) = (f.local(), f.local());
+        let (t, i, j, acc) = (f.local(), f.local(), f.local(), f.local());
+        new_float_array(f, u, nx * ny);
+        new_float_array(f, v, nx * ny);
+        f.ld(u).ci(0xE01A).call(fill);
+
+        f.for_in(t, 0.into(), steps.into(), |f| {
+            // sweep: v = relax(u)
+            f.for_in(i, 1.into(), (nx - 1).into(), |f| {
+                f.for_in(j, 1.into(), (ny - 1).into(), |f| {
+                    f.ld(v);
+                    f.ld(i).ci(ny).imul().ld(j).iadd();
+                    // 0.25*(N+S+E+W) + 0.5*center - artificial viscosity
+                    f.arr_get(u, |f| {
+                        f.ld(i).ci(1).isub().ci(ny).imul().ld(j).iadd();
+                    });
+                    f.arr_get(u, |f| {
+                        f.ld(i).ci(1).iadd().ci(ny).imul().ld(j).iadd();
+                    })
+                    .fadd();
+                    f.arr_get(u, |f| {
+                        f.ld(i).ci(ny).imul().ld(j).iadd().ci(1).isub();
+                    })
+                    .fadd();
+                    f.arr_get(u, |f| {
+                        f.ld(i).ci(ny).imul().ld(j).iadd().ci(1).iadd();
+                    })
+                    .fadd();
+                    f.cf(0.125).fmul();
+                    f.arr_get(u, |f| {
+                        f.ld(i).ci(ny).imul().ld(j).iadd();
+                    })
+                    .cf(0.5)
+                    .fmul()
+                    .fadd();
+                    f.astore();
+                });
+            });
+            // copy back: u = v (interior)
+            f.for_in(i, 1.into(), (nx - 1).into(), |f| {
+                f.for_in(j, 1.into(), (ny - 1).into(), |f| {
+                    f.arr_set(
+                        u,
+                        |f| {
+                            f.ld(i).ci(ny).imul().ld(j).iadd();
+                        },
+                        |f| {
+                            f.arr_get(v, |f| {
+                                f.ld(i).ci(ny).imul().ld(j).iadd();
+                            });
+                        },
+                    );
+                });
+            });
+        });
+
+        // checksum (scaled energy)
+        f.cf(0.0).st(acc);
+        f.for_in(i, 0.into(), (nx * ny).into(), |f| {
+            f.ld(acc)
+                .arr_get(u, |f| {
+                    f.ld(i);
+                })
+                .fadd()
+                .st(acc);
+        });
+        f.ld(acc).cf(1_000_000.0).fmul().f2i().ret();
+    });
+    b.finish(main).expect("euler builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn relaxation_dissipates_but_preserves_positivity() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let scaled = r.ret.unwrap().as_int().unwrap();
+        // initial sum is ~ (17*5)/2 = 42.5; relaxation with factor
+        // (0.125*4 + 0.5) = 1.0 on interior, but boundary leakage
+        // shrinks it — must stay positive and below the start
+        assert!(scaled > 0, "energy {scaled}");
+        assert!(scaled < 85_000_000, "energy {scaled}");
+    }
+}

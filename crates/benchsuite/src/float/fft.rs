@@ -1,0 +1,239 @@
+//! fft: iterative radix-2 Cooley–Tukey FFT (Java Grande fft, 1024
+//! points at the paper's data size).
+//!
+//! Bit-reversal permutation (parallel), then log₂N butterfly stages:
+//! the stage loop is serial (each stage consumes the previous one) but
+//! the butterfly-group loop inside a stage is parallel — the classic
+//! multi-level decomposition choice TEST must make, which shifts with
+//! the transform size.
+
+use crate::util::{define_fill_float, new_float_array};
+use crate::DataSize;
+use tvm::{Cond, Program, ProgramBuilder};
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let log_n: i64 = size.pick(6, 10, 12);
+    let n: i64 = 1 << log_n;
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_float(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let (re, im) = (f.local(), f.local());
+        let (i, j, k, bit, stage, half, step, grp) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        let (wr, wi, tr, ti, ang, acc) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_float_array(f, re, n);
+        new_float_array(f, im, n);
+        f.ld(re).ci(0xFF7).call(fill);
+
+        // bit-reversal permutation (parallel across i)
+        f.for_in(i, 0.into(), n.into(), |f| {
+            // j = reverse bits of i
+            f.ci(0).st(j);
+            f.for_in(bit, 0.into(), log_n.into(), |f| {
+                f.ld(j).ci(1).ishl();
+                f.ld(i).ld(bit).ishr().ci(1).iand();
+                f.ior().st(j);
+            });
+            f.if_icmp(
+                Cond::Lt,
+                |f| {
+                    f.ld(i).ld(j);
+                },
+                |f| {
+                    // swap re[i] <-> re[j]
+                    f.arr_get(re, |f| {
+                        f.ld(i);
+                    })
+                    .st(tr);
+                    f.arr_set(
+                        re,
+                        |f| {
+                            f.ld(i);
+                        },
+                        |f| {
+                            f.arr_get(re, |f| {
+                                f.ld(j);
+                            });
+                        },
+                    );
+                    f.arr_set(
+                        re,
+                        |f| {
+                            f.ld(j);
+                        },
+                        |f| {
+                            f.ld(tr);
+                        },
+                    );
+                },
+            );
+        });
+
+        // butterfly stages
+        f.for_in(stage, 0.into(), log_n.into(), |f| {
+            f.ci(1).ld(stage).ishl().st(half); // half = 2^stage
+            f.ld(half).ci(2).imul().st(step);
+            // groups of butterflies (parallel across grp)
+            f.for_step(grp, 0.into(), n.into(), 1, |f| {
+                // execute only when grp % step < half: one butterfly
+                // per (group,offset) pair
+                f.if_icmp(
+                    Cond::Lt,
+                    |f| {
+                        f.ld(grp).ld(step).irem().ld(half);
+                    },
+                    |f| {
+                        f.ld(grp).ld(half).iadd().st(k);
+                        // twiddle w = exp(-2πi * (grp % step) / step)
+                        f.ld(grp)
+                            .ld(step)
+                            .irem()
+                            .i2f()
+                            .cf(-std::f64::consts::TAU)
+                            .fmul()
+                            .ld(step)
+                            .i2f()
+                            .fdiv()
+                            .st(ang);
+                        f.ld(ang).fcos().st(wr);
+                        f.ld(ang).fsin().st(wi);
+                        // t = w * x[k]
+                        f.ld(wr)
+                            .arr_get(re, |f| {
+                                f.ld(k);
+                            })
+                            .fmul()
+                            .ld(wi)
+                            .arr_get(im, |f| {
+                                f.ld(k);
+                            })
+                            .fmul()
+                            .fsub()
+                            .st(tr);
+                        f.ld(wr)
+                            .arr_get(im, |f| {
+                                f.ld(k);
+                            })
+                            .fmul()
+                            .ld(wi)
+                            .arr_get(re, |f| {
+                                f.ld(k);
+                            })
+                            .fmul()
+                            .fadd()
+                            .st(ti);
+                        // x[k] = x[grp] - t ; x[grp] += t
+                        f.arr_set(
+                            re,
+                            |f| {
+                                f.ld(k);
+                            },
+                            |f| {
+                                f.arr_get(re, |f| {
+                                    f.ld(grp);
+                                })
+                                .ld(tr)
+                                .fsub();
+                            },
+                        );
+                        f.arr_set(
+                            im,
+                            |f| {
+                                f.ld(k);
+                            },
+                            |f| {
+                                f.arr_get(im, |f| {
+                                    f.ld(grp);
+                                })
+                                .ld(ti)
+                                .fsub();
+                            },
+                        );
+                        f.arr_set(
+                            re,
+                            |f| {
+                                f.ld(grp);
+                            },
+                            |f| {
+                                f.arr_get(re, |f| {
+                                    f.ld(grp);
+                                })
+                                .ld(tr)
+                                .fadd();
+                            },
+                        );
+                        f.arr_set(
+                            im,
+                            |f| {
+                                f.ld(grp);
+                            },
+                            |f| {
+                                f.arr_get(im, |f| {
+                                    f.ld(grp);
+                                })
+                                .ld(ti)
+                                .fadd();
+                            },
+                        );
+                    },
+                );
+            });
+        });
+
+        // Parseval-style checksum
+        f.cf(0.0).st(acc);
+        f.for_in(i, 0.into(), n.into(), |f| {
+            f.ld(acc);
+            f.arr_get(re, |f| {
+                f.ld(i);
+            })
+            .dup()
+            .fmul();
+            f.arr_get(im, |f| {
+                f.ld(i);
+            })
+            .dup()
+            .fmul()
+            .fadd()
+            .fadd()
+            .st(acc);
+        });
+        f.ld(acc).cf(1000.0).fmul().f2i().ret();
+    });
+    b.finish(main).expect("fft builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn parseval_energy_scales_by_n() {
+        // for an orthonormal-free radix-2 FFT, sum |X|^2 = N * sum |x|^2
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let spectral = r.ret.unwrap().as_int().unwrap() as f64 / 1000.0;
+        // input energy: 64 uniform[0,1) samples ~ 64/3 ≈ 21.3 ± noise;
+        // spectral energy must be N times that: ~1365 ± noise
+        let per_n = spectral / 64.0;
+        assert!(per_n > 12.0 && per_n < 32.0, "per-N energy {per_n}");
+    }
+}

@@ -1,0 +1,121 @@
+//! FourierTest: Fourier series coefficients by numerical integration
+//! (jBYTEmark FourierTest).
+//!
+//! Each coefficient `a_k` / `b_k` of `f(x) = (x+1)^x` on `[0, 2]` is a
+//! trapezoid-rule integral with hundreds of `sin`/`cos`/`exp`/`log`
+//! evaluations — the coefficient loop has the enormous thread sizes
+//! Table 6 reports (entry "100 threads × 167802 cycles").
+
+use crate::util::new_float_array;
+use crate::DataSize;
+use tvm::{FuncId, Program, ProgramBuilder};
+
+/// Defines `func(x) -> (x+1)^x = exp(x * ln(x+1))`.
+fn define_func(b: &mut ProgramBuilder) -> FuncId {
+    b.function("pow_func", 1, true, |f| {
+        let x = f.param(0);
+        f.ld(x).ld(x).cf(1.0).fadd().flog().fmul().fexp().ret();
+    })
+}
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_coeffs: i64 = size.pick(6, 30, 100);
+    let n_steps: i64 = size.pick(40, 200, 400);
+    let mut b = ProgramBuilder::new();
+    let func = define_func(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let (a, bb) = (f.local(), f.local());
+        let (k, s, x, acc, dx, omega) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        let sum = f.local();
+        new_float_array(f, a, n_coeffs);
+        new_float_array(f, bb, n_coeffs);
+        f.cf(2.0 / n_steps as f64).st(dx);
+
+        // coefficient loop: one huge thread per coefficient
+        f.for_in(k, 0.into(), n_coeffs.into(), |f| {
+            // omega = pi * k
+            f.ld(k).i2f().cf(std::f64::consts::PI).fmul().st(omega);
+            // a_k = ∫ f(x) cos(omega x) dx
+            f.cf(0.0).st(acc);
+            f.for_in(s, 0.into(), n_steps.into(), |f| {
+                f.ld(s).i2f().cf(0.5).fadd().ld(dx).fmul().st(x);
+                f.ld(acc);
+                f.ld(x).call(func);
+                f.ld(omega).ld(x).fmul().fcos().fmul();
+                f.fadd().st(acc);
+            });
+            f.arr_set(
+                a,
+                |f| {
+                    f.ld(k);
+                },
+                |f| {
+                    f.ld(acc).ld(dx).fmul();
+                },
+            );
+            // b_k = ∫ f(x) sin(omega x) dx
+            f.cf(0.0).st(acc);
+            f.for_in(s, 0.into(), n_steps.into(), |f| {
+                f.ld(s).i2f().cf(0.5).fadd().ld(dx).fmul().st(x);
+                f.ld(acc);
+                f.ld(x).call(func);
+                f.ld(omega).ld(x).fmul().fsin().fmul();
+                f.fadd().st(acc);
+            });
+            f.arr_set(
+                bb,
+                |f| {
+                    f.ld(k);
+                },
+                |f| {
+                    f.ld(acc).ld(dx).fmul();
+                },
+            );
+        });
+
+        // checksum
+        f.cf(0.0).st(sum);
+        f.for_in(k, 0.into(), n_coeffs.into(), |f| {
+            f.ld(sum)
+                .arr_get(a, |f| {
+                    f.ld(k);
+                })
+                .fabs()
+                .fadd()
+                .arr_get(bb, |f| {
+                    f.ld(k);
+                })
+                .fabs()
+                .fadd()
+                .st(sum);
+        });
+        f.ld(sum).cf(10000.0).fmul().f2i().ret();
+    });
+    b.finish(main).expect("FourierTest builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn dc_coefficient_dominates() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let scaled = r.ret.unwrap().as_int().unwrap() as f64 / 10000.0;
+        // a_0 = ∫ (x+1)^x dx over [0,2] ≈ 4.25; the absolute sum over
+        // 6 coefficient pairs adds the slowly decaying harmonics
+        assert!(scaled > 4.0, "sum {scaled}");
+        assert!(scaled < 20.0, "sum {scaled}");
+    }
+}

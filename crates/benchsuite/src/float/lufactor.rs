@@ -1,0 +1,202 @@
+//! LuFactor: LU factorization with partial pivoting (jBYTEmark /
+//! Linpack style, 101×101 at the paper's data size).
+//!
+//! The elimination-step loop over `k` is serial (each step transforms
+//! the trailing submatrix the next step reads), but the row-update
+//! loop inside a step is parallel. As the matrix grows, updating one
+//! whole trailing submatrix per outer thread overflows the speculative
+//! store buffer — the paper's canonical data-set-sensitivity example.
+
+use crate::util::{define_fill_float, new_float_array};
+use crate::DataSize;
+use tvm::{Cond, Program, ProgramBuilder};
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n: i64 = size.pick(21, 101, 201);
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_float(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let m = f.local();
+        let (k, i, j, piv, big, tmp, factor, acc) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_float_array(f, m, n * n);
+        f.ld(m).ci(0x10F).call(fill);
+        // strengthen the diagonal so the factorization is well posed
+        f.for_in(i, 0.into(), n.into(), |f| {
+            f.arr_set(
+                m,
+                |f| {
+                    f.ld(i).ci(n).imul().ld(i).iadd();
+                },
+                |f| {
+                    f.arr_get(m, |f| {
+                        f.ld(i).ci(n).imul().ld(i).iadd();
+                    })
+                    .cf(n as f64)
+                    .fadd();
+                },
+            );
+        });
+
+        f.for_in(k, 0.into(), (n - 1).into(), |f| {
+            // partial pivot: find the largest |m[i][k]|, i >= k
+            f.ld(k).st(piv);
+            f.arr_get(m, |f| {
+                f.ld(k).ci(n).imul().ld(k).iadd();
+            })
+            .fabs()
+            .st(big);
+            f.for_in(i, k.into(), n.into(), |f| {
+                f.if_fcmp(
+                    Cond::Gt,
+                    |f| {
+                        f.arr_get(m, |f| {
+                            f.ld(i).ci(n).imul().ld(k).iadd();
+                        })
+                        .fabs()
+                        .ld(big);
+                    },
+                    |f| {
+                        f.arr_get(m, |f| {
+                            f.ld(i).ci(n).imul().ld(k).iadd();
+                        })
+                        .fabs()
+                        .st(big);
+                        f.ld(i).st(piv);
+                    },
+                );
+            });
+            // swap rows k and piv
+            f.if_icmp(
+                Cond::Ne,
+                |f| {
+                    f.ld(piv).ld(k);
+                },
+                |f| {
+                    f.for_in(j, 0.into(), n.into(), |f| {
+                        f.arr_get(m, |f| {
+                            f.ld(k).ci(n).imul().ld(j).iadd();
+                        })
+                        .st(tmp);
+                        f.arr_set(
+                            m,
+                            |f| {
+                                f.ld(k).ci(n).imul().ld(j).iadd();
+                            },
+                            |f| {
+                                f.arr_get(m, |f| {
+                                    f.ld(piv).ci(n).imul().ld(j).iadd();
+                                });
+                            },
+                        );
+                        f.arr_set(
+                            m,
+                            |f| {
+                                f.ld(piv).ci(n).imul().ld(j).iadd();
+                            },
+                            |f| {
+                                f.ld(tmp);
+                            },
+                        );
+                    });
+                },
+            );
+            // eliminate below the pivot: rows are independent
+            f.for_in(i, 0.into(), n.into(), |f| {
+                f.if_icmp(
+                    Cond::Gt,
+                    |f| {
+                        f.ld(i).ld(k);
+                    },
+                    |f| {
+                        f.arr_get(m, |f| {
+                            f.ld(i).ci(n).imul().ld(k).iadd();
+                        })
+                        .arr_get(m, |f| {
+                            f.ld(k).ci(n).imul().ld(k).iadd();
+                        })
+                        .fdiv()
+                        .st(factor);
+                        f.arr_set(
+                            m,
+                            |f| {
+                                f.ld(i).ci(n).imul().ld(k).iadd();
+                            },
+                            |f| {
+                                f.ld(factor);
+                            },
+                        );
+                        f.for_in(j, k.into(), n.into(), |f| {
+                            f.if_icmp(
+                                Cond::Gt,
+                                |f| {
+                                    f.ld(j).ld(k);
+                                },
+                                |f| {
+                                    f.arr_set(
+                                        m,
+                                        |f| {
+                                            f.ld(i).ci(n).imul().ld(j).iadd();
+                                        },
+                                        |f| {
+                                            f.arr_get(m, |f| {
+                                                f.ld(i).ci(n).imul().ld(j).iadd();
+                                            })
+                                            .ld(factor)
+                                            .arr_get(m, |f| {
+                                                f.ld(k).ci(n).imul().ld(j).iadd();
+                                            })
+                                            .fmul()
+                                            .fsub();
+                                        },
+                                    );
+                                },
+                            );
+                        });
+                    },
+                );
+            });
+        });
+
+        // checksum: log|det| = sum log|diag|
+        f.cf(0.0).st(acc);
+        f.for_in(i, 0.into(), n.into(), |f| {
+            f.ld(acc)
+                .arr_get(m, |f| {
+                    f.ld(i).ci(n).imul().ld(i).iadd();
+                })
+                .fabs()
+                .flog()
+                .fadd()
+                .st(acc);
+        });
+        f.ld(acc).cf(1000.0).fmul().f2i().ret();
+    });
+    b.finish(main).expect("LuFactor builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn factorization_has_positive_log_det() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let logdet = r.ret.unwrap().as_int().unwrap() as f64 / 1000.0;
+        // diagonally dominant matrix: log|det| ~ n*log(n) ballpark
+        assert!(logdet > 10.0, "log|det| = {logdet}");
+        assert!(logdet < 200.0, "log|det| = {logdet}");
+    }
+}

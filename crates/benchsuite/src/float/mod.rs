@@ -1,0 +1,74 @@
+//! The floating-point benchmarks of Table 6 (Java Grande and
+//! jBYTEmark derived).
+
+pub mod euler;
+pub mod fft;
+pub mod fourier;
+pub mod lufactor;
+pub mod moldyn;
+pub mod neuralnet;
+pub mod shallow;
+
+use crate::{Benchmark, Category};
+
+/// The seven floating point benchmarks, in Table 6 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "euler",
+            category: Category::FloatingPoint,
+            description: "2D fluid dynamics stencil (33x9 grid)",
+            build: euler::build,
+            analyzable: true,
+            data_sensitive: true,
+        },
+        Benchmark {
+            name: "fft",
+            category: Category::FloatingPoint,
+            description: "Iterative radix-2 FFT (1024 points)",
+            build: fft::build,
+            analyzable: true,
+            data_sensitive: true,
+        },
+        Benchmark {
+            name: "FourierTest",
+            category: Category::FloatingPoint,
+            description: "Fourier series coefficients by numerical integration",
+            build: fourier::build,
+            analyzable: true,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "LuFactor",
+            category: Category::FloatingPoint,
+            description: "LU factorization with partial pivoting (101x101)",
+            build: lufactor::build,
+            analyzable: true,
+            data_sensitive: true,
+        },
+        Benchmark {
+            name: "moldyn",
+            category: Category::FloatingPoint,
+            description: "Molecular dynamics pair forces (cutoff)",
+            build: moldyn::build,
+            analyzable: true,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "NeuralNet",
+            category: Category::FloatingPoint,
+            description: "MLP forward/backward training (35x8x8)",
+            build: neuralnet::build,
+            analyzable: true,
+            data_sensitive: true,
+        },
+        Benchmark {
+            name: "shallow",
+            category: Category::FloatingPoint,
+            description: "Shallow water simulation (256x256)",
+            build: shallow::build,
+            analyzable: true,
+            data_sensitive: true,
+        },
+    ]
+}

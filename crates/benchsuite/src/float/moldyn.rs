@@ -1,0 +1,212 @@
+//! moldyn: molecular dynamics pair forces (Java Grande moldyn).
+//!
+//! N particles in a periodic box; each step computes Lennard-Jones-ish
+//! pair forces within a cutoff and integrates positions. The
+//! per-particle force loop has the very fine-grained threads Table 6
+//! reports for moldyn (~96-cycle threads): each particle's force
+//! accumulates privately, and the integration loop is embarrassingly
+//! parallel.
+
+use crate::util::{define_fill_float, new_float_array};
+use crate::DataSize;
+use tvm::{Cond, Program, ProgramBuilder};
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n: i64 = size.pick(24, 64, 160);
+    let steps: i64 = size.pick(4, 10, 16);
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_float(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let (x, y, fx, fy, vx, vy) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        let (t, i, j, dx, dy, r2, s, acc) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        for arr in [x, y, fx, fy, vx, vy] {
+            new_float_array(f, arr, n);
+        }
+        f.ld(x).ci(0x301D).call(fill);
+        f.ld(y).ci(0x60D1).call(fill);
+
+        f.for_in(t, 0.into(), steps.into(), |f| {
+            // force pass: one thread per particle i
+            f.for_in(i, 0.into(), n.into(), |f| {
+                f.cf(0.0).st(dx); // reuse dx/dy as private accumulators
+                f.cf(0.0).st(dy);
+                f.for_in(j, 0.into(), n.into(), |f| {
+                    f.if_icmp(
+                        Cond::Ne,
+                        |f| {
+                            f.ld(i).ld(j);
+                        },
+                        |f| {
+                            // r2 = (xi-xj)^2 + (yi-yj)^2 + eps
+                            f.arr_get(x, |f| {
+                                f.ld(i);
+                            })
+                            .arr_get(x, |f| {
+                                f.ld(j);
+                            })
+                            .fsub()
+                            .st(r2);
+                            f.arr_get(y, |f| {
+                                f.ld(i);
+                            })
+                            .arr_get(y, |f| {
+                                f.ld(j);
+                            })
+                            .fsub()
+                            .st(s);
+                            f.ld(r2).ld(r2).fmul().ld(s).ld(s).fmul().fadd().cf(0.01).fadd();
+                            f.st(r2);
+                            // within cutoff: f += (1/r2 - 0.5) * d
+                            f.if_fcmp(
+                                Cond::Lt,
+                                |f| {
+                                    f.ld(r2).cf(0.25);
+                                },
+                                |f| {
+                                    f.cf(1.0).ld(r2).fdiv().cf(0.5).fsub().st(s);
+                                    f.ld(dx)
+                                        .arr_get(x, |f| {
+                                            f.ld(i);
+                                        })
+                                        .arr_get(x, |f| {
+                                            f.ld(j);
+                                        })
+                                        .fsub()
+                                        .ld(s)
+                                        .fmul()
+                                        .fadd()
+                                        .st(dx);
+                                    f.ld(dy)
+                                        .arr_get(y, |f| {
+                                            f.ld(i);
+                                        })
+                                        .arr_get(y, |f| {
+                                            f.ld(j);
+                                        })
+                                        .fsub()
+                                        .ld(s)
+                                        .fmul()
+                                        .fadd()
+                                        .st(dy);
+                                },
+                            );
+                        },
+                    );
+                });
+                f.arr_set(
+                    fx,
+                    |f| {
+                        f.ld(i);
+                    },
+                    |f| {
+                        f.ld(dx);
+                    },
+                );
+                f.arr_set(
+                    fy,
+                    |f| {
+                        f.ld(i);
+                    },
+                    |f| {
+                        f.ld(dy);
+                    },
+                );
+            });
+            // integrate (parallel): v += f*dt; p += v*dt, wrapped to [0,1)
+            f.for_in(i, 0.into(), n.into(), |f| {
+                for (vel, force, pos) in [(vx, fx, x), (vy, fy, y)] {
+                    f.arr_set(
+                        vel,
+                        |f| {
+                            f.ld(i);
+                        },
+                        |f| {
+                            f.arr_get(vel, |f| {
+                                f.ld(i);
+                            })
+                            .arr_get(force, |f| {
+                                f.ld(i);
+                            })
+                            .cf(0.0005)
+                            .fmul()
+                            .fadd();
+                        },
+                    );
+                    f.arr_set(
+                        pos,
+                        |f| {
+                            f.ld(i);
+                        },
+                        |f| {
+                            // wrap via p - floor-ish: p = |p + v*dt| mod-ish
+                            f.arr_get(pos, |f| {
+                                f.ld(i);
+                            })
+                            .arr_get(vel, |f| {
+                                f.ld(i);
+                            })
+                            .cf(0.01)
+                            .fmul()
+                            .fadd()
+                            .fabs();
+                            f.dup().f2i().i2f().fsub().fabs();
+                        },
+                    );
+                }
+            });
+        });
+
+        // kinetic-energy checksum
+        f.cf(0.0).st(acc);
+        f.for_in(i, 0.into(), n.into(), |f| {
+            f.ld(acc);
+            f.arr_get(vx, |f| {
+                f.ld(i);
+            })
+            .dup()
+            .fmul();
+            f.arr_get(vy, |f| {
+                f.ld(i);
+            })
+            .dup()
+            .fmul()
+            .fadd()
+            .fadd()
+            .st(acc);
+        });
+        f.ld(acc).cf(1.0e9).fmul().f2i().ret();
+    });
+    b.finish(main).expect("moldyn builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn particles_acquire_kinetic_energy() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let ke = r.ret.unwrap().as_int().unwrap();
+        assert!(ke > 0, "system stayed frozen");
+    }
+}

@@ -1,0 +1,124 @@
+//! Assignment: resource-allocation cost-matrix reduction (jBYTEmark).
+//!
+//! Repeated row and column reduction of an `n × n` cost matrix — the
+//! first phase of the Hungarian assignment algorithm. Row reductions
+//! are independent across rows and column reductions across columns,
+//! so the per-row/per-column loops are the parallel decompositions;
+//! with a larger matrix the per-row working set grows, the paper's
+//! data-set-sensitivity case.
+
+use crate::util::{define_fill_int, new_int_array};
+use crate::DataSize;
+use tvm::{Program, ProgramBuilder};
+
+/// Builds the benchmark. The cost matrix is `n × n` with
+/// `n = 51` at the paper's data size.
+pub fn build(size: DataSize) -> Program {
+    let n: i64 = size.pick(17, 51, 101);
+    let passes: i64 = 3;
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_int(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let c = f.local();
+        let (pass, r, col, m, sum) = (f.local(), f.local(), f.local(), f.local(), f.local());
+        new_int_array(f, c, n * n);
+        f.ld(c).ci(0x5eed).ci(1000).call(fill);
+
+        f.for_in(pass, 0.into(), passes.into(), |f| {
+            // row reduction: independent across rows
+            f.for_in(r, 0.into(), n.into(), |f| {
+                f.ci(i64::MAX).st(m);
+                f.for_in(col, 0.into(), n.into(), |f| {
+                    f.ld(m)
+                        .arr_get(c, |f| {
+                            f.ld(r).ci(n).imul().ld(col).iadd();
+                        })
+                        .imin()
+                        .st(m);
+                });
+                f.for_in(col, 0.into(), n.into(), |f| {
+                    f.arr_set(
+                        c,
+                        |f| {
+                            f.ld(r).ci(n).imul().ld(col).iadd();
+                        },
+                        |f| {
+                            f.arr_get(c, |f| {
+                                f.ld(r).ci(n).imul().ld(col).iadd();
+                            })
+                            .ld(m)
+                            .isub();
+                        },
+                    );
+                });
+            });
+            // column reduction: independent across columns
+            f.for_in(col, 0.into(), n.into(), |f| {
+                f.ci(i64::MAX).st(m);
+                f.for_in(r, 0.into(), n.into(), |f| {
+                    f.ld(m)
+                        .arr_get(c, |f| {
+                            f.ld(r).ci(n).imul().ld(col).iadd();
+                        })
+                        .imin()
+                        .st(m);
+                });
+                f.for_in(r, 0.into(), n.into(), |f| {
+                    f.arr_set(
+                        c,
+                        |f| {
+                            f.ld(r).ci(n).imul().ld(col).iadd();
+                        },
+                        |f| {
+                            f.arr_get(c, |f| {
+                                f.ld(r).ci(n).imul().ld(col).iadd();
+                            })
+                            .ld(m)
+                            .isub();
+                        },
+                    );
+                });
+            });
+        });
+
+        // checksum: every row and column now contains a zero
+        f.ci(0).st(sum);
+        f.for_in(r, 0.into(), (n * n).into(), |f| {
+            f.ld(sum)
+                .arr_get(c, |f| {
+                    f.ld(r);
+                })
+                .iadd()
+                .st(sum);
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("assignment builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn reduced_matrix_is_nonnegative_and_smaller() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let sum = r.ret.unwrap().as_int().unwrap();
+        // all entries reduced but still non-negative
+        assert!(sum >= 0);
+        // a 17x17 matrix of values <1000 reduced by row+col minima
+        assert!(sum < 17 * 17 * 1000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = build(DataSize::Small);
+        let a = Interp::run(&p, &mut NullSink).unwrap();
+        let b2 = Interp::run(&p, &mut NullSink).unwrap();
+        assert_eq!(a.ret, b2.ret);
+        assert_eq!(a.cycles, b2.cycles);
+    }
+}

@@ -1,0 +1,164 @@
+//! BitOps: bit-array manipulation (jBYTEmark BitfieldOperations).
+//!
+//! A packed bit array (64 bits per word) is hit with a sequence of
+//! pseudo-random range operations (set / clear / toggle), then scanned
+//! with a popcount pass. Range operations at different offsets mostly
+//! touch different words but occasionally collide — the kind of
+//! irregular, data-dependent sharing static analysis cannot
+//! disambiguate. The popcount inner `while` chews the classic
+//! `x &= x - 1` serial chain, which the scalar screen rejects.
+
+use crate::util::{hash_top, new_int_array};
+use crate::DataSize;
+use tvm::{Cond, Program, ProgramBuilder};
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_words: i64 = size.pick(64, 512, 2048);
+    let n_ops: i64 = size.pick(300, 2000, 8000);
+    let n_bits = n_words * 64;
+    let mut b = ProgramBuilder::new();
+
+    let main = b.function("main", 0, true, |f| {
+        let bits = f.local();
+        let (op, start, len, k, x, mode, count, w) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_int_array(f, bits, n_words);
+
+        // range operations: set / clear / toggle pseudo-random spans
+        f.for_in(op, 0.into(), n_ops.into(), |f| {
+            f.ld(op).ci(0x9e37_79b9).imul();
+            hash_top(f);
+            f.st(x);
+            f.ld(x).ci(13).iushr().ci(n_bits - 256).irem().st(start);
+            f.ld(x).ci(3).iushr().ci(200).irem().ci(8).iadd().st(len);
+            f.ld(x).ci(29).iushr().ci(3).irem().st(mode);
+            f.ld(start).ld(len).iadd().st(len); // len := end
+            f.for_in(k, start.into(), len.into(), |f| {
+                // word index k>>6, mask 1<<(k&63)
+                f.if_else_icmp(
+                    Cond::Eq,
+                    |f| {
+                        f.ld(mode).ci(0);
+                    },
+                    |f| {
+                        // set
+                        f.arr_set(
+                            bits,
+                            |f| {
+                                f.ld(k).ci(6).ishr();
+                            },
+                            |f| {
+                                f.arr_get(bits, |f| {
+                                    f.ld(k).ci(6).ishr();
+                                })
+                                .ci(1)
+                                .ld(k)
+                                .ci(63)
+                                .iand()
+                                .ishl()
+                                .ior();
+                            },
+                        );
+                    },
+                    |f| {
+                        f.if_else_icmp(
+                            Cond::Eq,
+                            |f| {
+                                f.ld(mode).ci(1);
+                            },
+                            |f| {
+                                // clear
+                                f.arr_set(
+                                    bits,
+                                    |f| {
+                                        f.ld(k).ci(6).ishr();
+                                    },
+                                    |f| {
+                                        f.arr_get(bits, |f| {
+                                            f.ld(k).ci(6).ishr();
+                                        })
+                                        .ci(1)
+                                        .ld(k)
+                                        .ci(63)
+                                        .iand()
+                                        .ishl()
+                                        .ci(-1)
+                                        .ixor()
+                                        .iand();
+                                    },
+                                );
+                            },
+                            |f| {
+                                // toggle
+                                f.arr_set(
+                                    bits,
+                                    |f| {
+                                        f.ld(k).ci(6).ishr();
+                                    },
+                                    |f| {
+                                        f.arr_get(bits, |f| {
+                                            f.ld(k).ci(6).ishr();
+                                        })
+                                        .ci(1)
+                                        .ld(k)
+                                        .ci(63)
+                                        .iand()
+                                        .ishl()
+                                        .ixor();
+                                    },
+                                );
+                            },
+                        );
+                    },
+                );
+            });
+        });
+
+        // popcount pass: the inner while is a serial x &= x-1 chain
+        f.ci(0).st(count);
+        f.for_in(w, 0.into(), n_words.into(), |f| {
+            f.arr_get(bits, |f| {
+                f.ld(w);
+            })
+            .st(x);
+            f.while_icmp(
+                Cond::Ne,
+                |f| {
+                    f.ld(x).ci(0);
+                },
+                |f| {
+                    f.ld(x).ld(x).ci(1).isub().iand().st(x);
+                    f.inc(count, 1);
+                },
+            );
+        });
+        f.ld(count).ret();
+    });
+    b.finish(main).expect("bitops builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn popcount_is_plausible() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let count = r.ret.unwrap().as_int().unwrap();
+        // 300 ops averaging ~100 bits each leave a substantial but
+        // partial population
+        assert!(count > 100, "count {count}");
+        assert!(count < 64 * 64, "count {count}");
+    }
+}

@@ -1,0 +1,230 @@
+//! db: in-memory database operations (SPECjvm98 209).
+//!
+//! A table of records receives a stream of lookup/update operations —
+//! binary searches over a sorted key column followed by value
+//! updates — and a final insertion-sort pass over a result buffer.
+//! Lookups at different keys mostly touch different records (dynamic
+//! parallelism), the binary-search `while` is a serial `lo/hi` chain
+//! the screen rejects, and the sort pass is the significant serial
+//! region the paper notes limits db's total speedup.
+
+use crate::util::{hash_top, new_int_array};
+use crate::DataSize;
+use tvm::{Cond, Program, ProgramBuilder};
+
+/// Builds the benchmark. Default record count follows the paper's
+/// `db` data set ("5000.").
+pub fn build(size: DataSize) -> Program {
+    let n_rec: i64 = size.pick(500, 5000, 20000);
+    let n_ops: i64 = size.pick(300, 2500, 10000);
+    let sort_n: i64 = size.pick(60, 220, 500);
+    let mut b = ProgramBuilder::new();
+
+    let main = b.function("main", 0, true, |f| {
+        let (keys, vals, res) = (f.local(), f.local(), f.local());
+        let (i, op, k, lo, hi, mid, j, tmp, sum) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_int_array(f, keys, n_rec);
+        new_int_array(f, vals, n_rec);
+        new_int_array(f, res, sort_n);
+
+        // sorted keys: key[i] = 3*i + 7
+        f.for_in(i, 0.into(), n_rec.into(), |f| {
+            f.arr_set(
+                keys,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(i).ci(3).imul().ci(7).iadd();
+                },
+            );
+        });
+
+        // operation stream: binary search + update
+        f.for_in(op, 0.into(), n_ops.into(), |f| {
+            f.ld(op).ci(0x517c_c1b7).imul();
+            hash_top(f);
+            f.ci(20).iushr().ci(3 * n_rec).irem().st(k);
+            f.ci(0).st(lo);
+            f.ci(n_rec).st(hi);
+            // while (lo < hi) { mid = (lo+hi)/2; ... }  — serial chain
+            f.while_icmp(
+                Cond::Lt,
+                |f| {
+                    f.ld(lo).ld(hi);
+                },
+                |f| {
+                    f.ld(lo).ld(hi).iadd().ci(2).idiv().st(mid);
+                    f.if_else_icmp(
+                        Cond::Lt,
+                        |f| {
+                            f.arr_get(keys, |f| {
+                                f.ld(mid);
+                            })
+                            .ld(k);
+                        },
+                        |f| {
+                            f.ld(mid).ci(1).iadd().st(lo);
+                        },
+                        |f| {
+                            f.ld(mid).st(hi);
+                        },
+                    );
+                },
+            );
+            // update the found record's value
+            f.if_icmp(
+                Cond::Lt,
+                |f| {
+                    f.ld(lo).ci(n_rec);
+                },
+                |f| {
+                    f.arr_set(
+                        vals,
+                        |f| {
+                            f.ld(lo);
+                        },
+                        |f| {
+                            f.arr_get(vals, |f| {
+                                f.ld(lo);
+                            })
+                            .ci(1)
+                            .iadd();
+                        },
+                    );
+                },
+            );
+        });
+
+        // result buffer + insertion sort (the serial phase)
+        f.for_in(i, 0.into(), sort_n.into(), |f| {
+            f.arr_set(
+                res,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.arr_get(vals, |f| {
+                        f.ld(i).ci(37).imul().ci(n_rec).irem();
+                    })
+                    .ci(1000)
+                    .imul()
+                    .ld(i)
+                    .iadd();
+                },
+            );
+        });
+        f.for_in(i, 1.into(), sort_n.into(), |f| {
+            f.arr_get(res, |f| {
+                f.ld(i);
+            })
+            .st(tmp);
+            f.ld(i).st(j);
+            // while (j > 0 && res[j-1] > tmp) { res[j] = res[j-1]; j--; }
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.bind(head);
+            f.ld(j).ci(0).br_icmp(Cond::Le, exit);
+            f.arr_get(res, |f| {
+                f.ld(j).ci(1).isub();
+            });
+            f.ld(tmp);
+            f.br_icmp(Cond::Le, exit);
+            f.arr_set(
+                res,
+                |f| {
+                    f.ld(j);
+                },
+                |f| {
+                    f.arr_get(res, |f| {
+                        f.ld(j).ci(1).isub();
+                    });
+                },
+            );
+            f.inc(j, -1);
+            f.goto(head);
+            f.bind(exit);
+            f.arr_set(
+                res,
+                |f| {
+                    f.ld(j);
+                },
+                |f| {
+                    f.ld(tmp);
+                },
+            );
+        });
+
+        // aggregation pass: a running balance threaded through the
+        // value column — the genuinely serial report phase of a
+        // database workload (each row's running total feeds the next)
+        f.for_in(i, 1.into(), n_rec.into(), |f| {
+            f.arr_set(
+                vals,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.arr_get(vals, |f| {
+                        f.ld(i).ci(1).isub();
+                    });
+                    f.arr_get(vals, |f| {
+                        f.ld(i);
+                    })
+                    .iadd()
+                    .arr_get(keys, |f| {
+                        f.ld(i);
+                    })
+                    .iadd()
+                    .ci(0x00FF_FFFF)
+                    .iand();
+                },
+            );
+        });
+
+        // checksum: sorted-order inversions (must be zero) plus the
+        // final running balance
+        f.ci(0).st(sum);
+        f.for_in(i, 1.into(), sort_n.into(), |f| {
+            f.if_icmp(
+                Cond::Gt,
+                |f| {
+                    f.arr_get(res, |f| {
+                        f.ld(i).ci(1).isub();
+                    })
+                    .arr_get(res, |f| {
+                        f.ld(i);
+                    });
+                },
+                |f| {
+                    f.inc(sum, 1);
+                },
+            );
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("db builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn sort_leaves_no_inversions() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        assert_eq!(r.ret.unwrap().as_int().unwrap(), 0, "inversions remain");
+    }
+}

@@ -1,0 +1,207 @@
+//! deltaBlue: one-way constraint solver (jBYTEmark / deltablue
+//! derived).
+//!
+//! Variables and constraints are heap *objects* (dynamic pointer
+//! structures a traditional parallelizing compiler cannot analyze).
+//! The solver runs DeltaBlue's two phases: a **planner** that orders
+//! satisfiable constraints by strength (an insertion sort over the
+//! constraint list — inherently serial, like the real incremental
+//! planner), and repeated **plan execution** passes that propagate
+//! `dst.value = src.value * coef + offset` in plan order. Short
+//! constraint chains create genuine cross-iteration dependencies;
+//! independent constraints run in parallel — a mix only dynamic
+//! analysis can see.
+
+use crate::util::new_int_array;
+use crate::DataSize;
+use tvm::{Cond, ElemKind, Program, ProgramBuilder};
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_vars: i64 = size.pick(24, 80, 320);
+    let n_cons: i64 = size.pick(30, 100, 400);
+    let passes: i64 = size.pick(10, 25, 40);
+    let mut b = ProgramBuilder::new();
+    // Var { value, stay }
+    let var_cls = b.class(&[ElemKind::Int, ElemKind::Int]);
+    // Constraint { src, dst, coef, offset, strength }
+    let con_cls = b.class(&[
+        ElemKind::Ref,
+        ElemKind::Ref,
+        ElemKind::Int,
+        ElemKind::Int,
+        ElemKind::Int,
+    ]);
+
+    let main = b.function("main", 0, true, |f| {
+        let (vars, cons, plan) = (f.local(), f.local(), f.local());
+        let (i, j, tmp, pass, v, c, sum) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        f.ci(n_vars).newarray(ElemKind::Ref).st(vars);
+        f.ci(n_cons).newarray(ElemKind::Ref).st(cons);
+        new_int_array(f, plan, n_cons);
+
+        // build variables
+        f.for_in(i, 0.into(), n_vars.into(), |f| {
+            f.newobject(var_cls).st(v);
+            f.ld(v).ld(i).ci(3).imul().ci(1).iadd().putfield(0);
+            f.ld(v).ci(0).putfield(1);
+            f.arr_set(
+                vars,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(v);
+                },
+            );
+        });
+        // build constraints: mostly independent, every 7th chains onto
+        // the previous constraint's destination
+        f.for_in(i, 0.into(), n_cons.into(), |f| {
+            f.newobject(con_cls).st(c);
+            // src = vars[(i*5+1) % n_vars], dst = vars[(i*11+3) % n_vars]
+            f.ld(c);
+            f.arr_get(vars, |f| {
+                f.ld(i).ci(5).imul().ci(1).iadd().ci(n_vars).irem();
+            });
+            f.putfield(0);
+            f.ld(c);
+            f.arr_get(vars, |f| {
+                f.ld(i).ci(11).imul().ci(3).iadd().ci(n_vars).irem();
+            });
+            f.putfield(1);
+            f.ld(c).ld(i).ci(7).irem().ci(1).iadd().putfield(2);
+            f.ld(c).ld(i).ci(13).irem().putfield(3);
+            f.ld(c).ld(i).ci(5).imul().ci(3).iadd().ci(10).irem().putfield(4);
+            f.arr_set(
+                cons,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(c);
+                },
+            );
+        });
+
+        // planner: order constraints by strength, strongest first — an
+        // insertion sort over the constraint objects (the serial
+        // incremental-planner phase of DeltaBlue)
+        f.for_in(i, 0.into(), n_cons.into(), |f| {
+            f.arr_set(
+                plan,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(i);
+                },
+            );
+        });
+        f.for_in(i, 1.into(), n_cons.into(), |f| {
+            f.arr_get(plan, |f| {
+                f.ld(i);
+            })
+            .st(tmp);
+            f.ld(i).st(j);
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.bind(head);
+            f.ld(j).ci(0).br_icmp(Cond::Le, exit);
+            // strength(plan[j-1]) >= strength(tmp)? then stop
+            f.arr_get(cons, |f| {
+                f.arr_get(plan, |f| {
+                    f.ld(j).ci(1).isub();
+                });
+            })
+            .getfield(4);
+            f.arr_get(cons, |f| {
+                f.ld(tmp);
+            })
+            .getfield(4);
+            f.br_icmp(Cond::Ge, exit);
+            f.arr_set(
+                plan,
+                |f| {
+                    f.ld(j);
+                },
+                |f| {
+                    f.arr_get(plan, |f| {
+                        f.ld(j).ci(1).isub();
+                    });
+                },
+            );
+            f.inc(j, -1);
+            f.goto(head);
+            f.bind(exit);
+            f.arr_set(
+                plan,
+                |f| {
+                    f.ld(j);
+                },
+                |f| {
+                    f.ld(tmp);
+                },
+            );
+        });
+
+        // plan execution passes: the constraint loop is the STL
+        f.for_in(pass, 0.into(), passes.into(), |f| {
+            f.for_in(i, 0.into(), n_cons.into(), |f| {
+                f.arr_get(cons, |f| {
+                    f.arr_get(plan, |f| {
+                        f.ld(i);
+                    });
+                })
+                .st(c);
+                // dst.value = (src.value * coef + offset) mod 2^20
+                f.ld(c).getfield(1); // dst ref
+                f.ld(c).getfield(0).getfield(0); // src.value
+                f.ld(c).getfield(2).imul();
+                f.ld(c).getfield(3).iadd();
+                f.ci(0xF_FFFF).iand();
+                f.putfield(0);
+            });
+        });
+
+        // checksum of variable values
+        f.ci(0).st(sum);
+        f.for_in(i, 0.into(), n_vars.into(), |f| {
+            f.ld(sum)
+                .arr_get(vars, |f| {
+                    f.ld(i);
+                })
+                .getfield(0)
+                .iadd()
+                .st(sum);
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("deltaBlue builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn propagation_converges_deterministically() {
+        let p = build(DataSize::Small);
+        let a = Interp::run(&p, &mut NullSink).unwrap();
+        let b2 = Interp::run(&p, &mut NullSink).unwrap();
+        let sum = a.ret.unwrap().as_int().unwrap();
+        assert_eq!(a.ret, b2.ret);
+        assert!(sum > 0);
+        // all values masked to 20 bits
+        assert!(sum < 24 * (1 << 20));
+    }
+}

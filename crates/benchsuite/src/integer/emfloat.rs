@@ -1,0 +1,149 @@
+//! EmFloatPnt: software-emulated floating point (jBYTEmark).
+//!
+//! Numbers are `(sign, exponent, mantissa)` triples in integer arrays;
+//! emulated multiply and add — with their bit-level normalization
+//! `while` loops — run over an array of operands. Each element's
+//! computation chain is long and independent of the others, producing
+//! the very coarse speculative threads Table 6 reports for this
+//! benchmark.
+
+use crate::util::{define_fill_int, new_int_array};
+use crate::DataSize;
+use tvm::{Cond, FuncId, Program, ProgramBuilder};
+
+/// Defines `emul(mant_a, exp_a, mant_b, exp_b) -> packed` — an
+/// emulated multiply-add step with normalization loops. Mantissas are
+/// 30-bit positives.
+fn define_emul(b: &mut ProgramBuilder) -> FuncId {
+    b.function("emul_step", 4, true, |f| {
+        let (ma, ea, mb, eb) = (f.param(0), f.param(1), f.param(2), f.param(3));
+        let (m, e) = (f.local(), f.local());
+        // multiply: m = (ma*mb) >> 15, e = ea+eb
+        f.ld(ma).ld(mb).imul().ci(15).ishr().st(m);
+        f.ld(ea).ld(eb).iadd().st(e);
+        // normalize down: while m >= 2^30 { m >>= 1; e++ }
+        f.while_icmp(
+            Cond::Ge,
+            |f| {
+                f.ld(m).ci(1 << 30);
+            },
+            |f| {
+                f.ld(m).ci(1).ishr().st(m);
+                f.inc(e, 1);
+            },
+        );
+        // normalize up: while 0 < m < 2^29 { m <<= 1; e-- }
+        f.while_icmp(
+            Cond::Ne,
+            |f| {
+                // condition: m != 0 && m < 2^29, folded to one int
+                let done = f.new_label();
+                let check = f.new_label();
+                f.ld(m).ci(0).br_icmp(Cond::Eq, done);
+                f.ld(m).ci(1 << 29).br_icmp(Cond::Lt, check);
+                f.bind(done);
+                f.ci(0);
+                let out = f.new_label();
+                f.goto(out);
+                f.bind(check);
+                f.ci(1);
+                f.bind(out);
+                f.ci(0);
+            },
+            |f| {
+                f.ld(m).ci(1).ishl().st(m);
+                f.inc(e, -1);
+            },
+        );
+        // pack: (e & 0xFFFF) << 31 | m
+        f.ld(e).ci(0xFFFF).iand().ci(31).ishl().ld(m).ior().ret();
+    })
+}
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n: i64 = size.pick(40, 255, 1000);
+    let steps: i64 = size.pick(20, 60, 100);
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_int(&mut b);
+    let emul = define_emul(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let (mant, expo) = (f.local(), f.local());
+        let (i, k, acc, sum) = (f.local(), f.local(), f.local(), f.local());
+        new_int_array(f, mant, n);
+        new_int_array(f, expo, n);
+        f.ld(mant).ci(0xF10A7).ci(1 << 29).call(fill);
+        f.ld(expo).ci(0xE4B0).ci(64).call(fill);
+
+        // make mantissas normalized-ish (>= 2^28)
+        f.for_in(i, 0.into(), n.into(), |f| {
+            f.arr_set(
+                mant,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.arr_get(mant, |f| {
+                        f.ld(i);
+                    })
+                    .ci(1 << 28)
+                    .ior();
+                },
+            );
+        });
+
+        // per-element emulated computation chains (coarse threads)
+        f.ci(0).st(sum);
+        f.for_in(i, 0.into(), n.into(), |f| {
+            f.arr_get(mant, |f| {
+                f.ld(i);
+            })
+            .st(acc);
+            f.for_in(k, 0.into(), steps.into(), |f| {
+                f.ld(acc).ci((1 << 30) - 1).iand().ci(1 << 28).ior();
+                f.arr_get(expo, |f| {
+                    f.ld(i);
+                });
+                f.arr_get(mant, |f| {
+                    f.ld(i);
+                })
+                .ld(k)
+                .iadd()
+                .ci((1 << 30) - 1)
+                .iand()
+                .ci(1 << 28)
+                .ior();
+                f.ld(k);
+                f.call(emul).st(acc);
+            });
+            f.arr_set(
+                mant,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(acc).ci((1 << 30) - 1).iand();
+                },
+            );
+            f.ld(sum).ld(acc).ixor().st(sum);
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("EmFloatPnt builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn emulated_chain_is_deterministic_and_nonzero() {
+        let p = build(DataSize::Small);
+        let a = Interp::run(&p, &mut NullSink).unwrap();
+        let b2 = Interp::run(&p, &mut NullSink).unwrap();
+        assert_eq!(a.ret, b2.ret);
+        assert_ne!(a.ret.unwrap().as_int().unwrap(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Huffman decode — the paper's running example (Figure 3).
+//!
+//! A complete binary code tree is walked bit-by-bit: the inner `while`
+//! descends the tree, the outer `do` loop emits one symbol per
+//! iteration. `in_p` (the bit cursor) and `out_p` (the output cursor)
+//! are the loop-carried locals whose dependency arcs Figure 3
+//! measures; the paper's Table 3 shows Equation 2 choosing the *outer*
+//! loop over the inner one.
+
+use crate::util::{hash_top, new_int_array};
+use crate::DataSize;
+use tvm::{Cond, FuncId, Program, ProgramBuilder};
+
+/// Tree depth: 2^DEPTH leaf symbols.
+const DEPTH: i64 = 5;
+
+/// Defines `get_bit(input, p) -> (input[p>>6] >> (p & 63)) & 1` — the
+/// `in.getBit(in_p)` call of the paper's Figure 3 source.
+fn define_get_bit(b: &mut ProgramBuilder) -> FuncId {
+    b.function("get_bit", 2, true, |f| {
+        let (input, p) = (f.param(0), f.param(1));
+        f.arr_get(input, |f| {
+            f.ld(p).ci(6).ishr();
+        })
+        .ld(p)
+        .ci(63)
+        .iand()
+        .ishr()
+        .ci(1)
+        .iand()
+        .ret();
+    })
+}
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_bits: i64 = size.pick(4_000, 40_000, 160_000);
+    let mut b = ProgramBuilder::new();
+    let get_bit = define_get_bit(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        // complete binary tree in arrays: internal nodes 0..2^D-1,
+        // leaves 2^D-1 .. 2^(D+1)-1 with left = -1
+        let n_internal = (1 << DEPTH) - 1;
+        let n_nodes = (1 << (DEPTH + 1)) - 1;
+        let (left, right, chr) = (f.local(), f.local(), f.local());
+        let (input, out) = (f.local(), f.local());
+        let (i, n, in_p, out_p, sum) =
+            (f.local(), f.local(), f.local(), f.local(), f.local());
+
+        new_int_array(f, left, n_nodes);
+        new_int_array(f, right, n_nodes);
+        new_int_array(f, chr, n_nodes);
+        // bits packed 64 per word, as a real bit reader sees them
+        new_int_array(f, input, n_bits / 64 + 1);
+        // out is sized generously: at most n_bits / DEPTH symbols
+        new_int_array(f, out, n_bits / DEPTH + 2);
+
+        // build the tree
+        f.for_in(i, 0.into(), n_internal.into(), |f| {
+            f.arr_set(
+                left,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(i).ci(2).imul().ci(1).iadd();
+                },
+            );
+            f.arr_set(
+                right,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(i).ci(2).imul().ci(2).iadd();
+                },
+            );
+        });
+        f.for_in(i, n_internal.into(), n_nodes.into(), |f| {
+            f.arr_set(
+                left,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ci(-1);
+                },
+            );
+            f.arr_set(
+                chr,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(i).ci(n_internal).isub().ci(65).iadd();
+                },
+            );
+        });
+        // pseudo-random packed input bits
+        f.for_in(i, 0.into(), (n_bits / 64 + 1).into(), |f| {
+            f.arr_set(
+                input,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(i).ci(0x9e37).imul();
+                    hash_top(f);
+                },
+            );
+        });
+
+        // the Figure 3 decode loop
+        f.ci(0).st(in_p);
+        f.ci(0).st(out_p);
+        f.do_while_icmp(
+            |f| {
+                f.ci(0).st(n);
+                // inner loop: descend until a leaf
+                f.while_icmp(
+                    Cond::Ne,
+                    |f| {
+                        f.arr_get(left, |f| {
+                            f.ld(n);
+                        })
+                        .ci(-1);
+                    },
+                    |f| {
+                        f.if_else_icmp(
+                            Cond::Eq,
+                            |f| {
+                                // if (in.getBit(in_p) == 0)
+                                f.ld(input).ld(in_p).call(get_bit).ci(0);
+                            },
+                            |f| {
+                                f.arr_get(left, |f| {
+                                    f.ld(n);
+                                })
+                                .st(n);
+                            },
+                            |f| {
+                                f.arr_get(right, |f| {
+                                    f.ld(n);
+                                })
+                                .st(n);
+                            },
+                        );
+                        f.inc(in_p, 1);
+                    },
+                );
+                f.arr_set(
+                    out,
+                    |f| {
+                        f.ld(out_p);
+                    },
+                    |f| {
+                        f.arr_get(chr, |f| {
+                            f.ld(n);
+                        });
+                    },
+                );
+                f.inc(out_p, 1);
+            },
+            |f| {
+                f.ld(in_p).ci(n_bits - DEPTH);
+            },
+            Cond::Lt,
+        );
+
+        // checksum of decoded symbols
+        f.ci(0).st(sum);
+        f.for_in(i, 0.into(), out_p.into(), |f| {
+            f.ld(sum)
+                .arr_get(out, |f| {
+                    f.ld(i);
+                })
+                .iadd()
+                .st(sum);
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("huffman builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn decodes_expected_symbol_count() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let sum = r.ret.unwrap().as_int().unwrap();
+        // 4000 bits / 5 bits-per-symbol = 800 symbols of value 65..96;
+        // the sum must land in that band
+        assert!(sum >= 800 * 65, "sum {sum}");
+        assert!(sum <= 801 * 97, "sum {sum}");
+    }
+}

@@ -1,0 +1,262 @@
+//! jess: expert-system rule matching (SPECjvm98 202), reduced to the
+//! RETE network's two hot phases.
+//!
+//! * **Alpha pass** — every pattern filters the working memory of fact
+//!   triples into its own alpha memory (independent across patterns:
+//!   dynamic parallelism with disjoint writes);
+//! * **Beta join** — each rule joins its two patterns' alpha memories
+//!   on a shared variable (`fact1.object == fact2.subject`) and fires
+//!   matches onto a shared agenda through a single cursor — the
+//!   occasional serializing dependency that keeps jess from perfect
+//!   speedup in the paper's Figure 10.
+
+use crate::util::{define_fill_int, new_int_array};
+use crate::DataSize;
+use tvm::{Cond, Program, ProgramBuilder};
+
+/// Alpha-memory capacity per pattern.
+const ALPHA_CAP: i64 = 48;
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_facts: i64 = size.pick(60, 300, 1200);
+    let n_rules: i64 = size.pick(40, 170, 700);
+    let n_patterns = n_rules * 2;
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_int(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let (facts, patterns, alpha, alpha_n, agenda, matches) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        let (r, p, fa, field, want, cnt) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        let (i1, i2, n1, n2, f1, f2, acount, sum) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        // fact = (subject, relation, object); pattern = (field, value)
+        new_int_array(f, facts, n_facts * 3);
+        new_int_array(f, patterns, n_patterns * 2);
+        new_int_array(f, alpha, n_patterns * ALPHA_CAP);
+        new_int_array(f, alpha_n, n_patterns);
+        new_int_array(f, agenda, n_facts * 8);
+        new_int_array(f, matches, n_rules);
+        f.ld(facts).ci(0xFAC7).ci(12).call(fill);
+        f.ld(patterns).ci(0x701E).ci(12).call(fill);
+        // pattern field selectors must be 0..3
+        f.for_in(p, 0.into(), n_patterns.into(), |f| {
+            f.arr_set(
+                patterns,
+                |f| {
+                    f.ld(p).ci(2).imul();
+                },
+                |f| {
+                    f.arr_get(patterns, |f| {
+                        f.ld(p).ci(2).imul();
+                    })
+                    .ci(3)
+                    .irem();
+                },
+            );
+        });
+
+        // ---- alpha pass: one thread per pattern, disjoint memories ----
+        f.for_in(p, 0.into(), n_patterns.into(), |f| {
+            f.arr_get(patterns, |f| {
+                f.ld(p).ci(2).imul();
+            })
+            .st(field);
+            f.arr_get(patterns, |f| {
+                f.ld(p).ci(2).imul().ci(1).iadd();
+            })
+            .st(want);
+            f.ci(0).st(cnt); // private alpha count
+            f.for_in(fa, 0.into(), n_facts.into(), |f| {
+                f.if_icmp(
+                    Cond::Eq,
+                    |f| {
+                        f.arr_get(facts, |f| {
+                            f.ld(fa).ci(3).imul().ld(field).iadd();
+                        })
+                        .ld(want);
+                    },
+                    |f| {
+                        f.if_icmp(
+                            Cond::Lt,
+                            |f| {
+                                f.ld(cnt).ci(ALPHA_CAP);
+                            },
+                            |f| {
+                                f.arr_set(
+                                    alpha,
+                                    |f| {
+                                        f.ld(p).ci(ALPHA_CAP).imul().ld(cnt).iadd();
+                                    },
+                                    |f| {
+                                        f.ld(fa);
+                                    },
+                                );
+                                f.inc(cnt, 1);
+                            },
+                        );
+                    },
+                );
+            });
+            f.arr_set(
+                alpha_n,
+                |f| {
+                    f.ld(p);
+                },
+                |f| {
+                    f.ld(cnt);
+                },
+            );
+        });
+
+        // ---- beta join: one thread per rule ----
+        f.ci(0).st(acount);
+        f.for_in(r, 0.into(), n_rules.into(), |f| {
+            f.arr_get(alpha_n, |f| {
+                f.ld(r).ci(2).imul();
+            })
+            .st(n1);
+            f.arr_get(alpha_n, |f| {
+                f.ld(r).ci(2).imul().ci(1).iadd();
+            })
+            .st(n2);
+            f.for_in(i1, 0.into(), n1.into(), |f| {
+                f.arr_get(alpha, |f| {
+                    f.ld(r).ci(2).imul().ci(ALPHA_CAP).imul().ld(i1).iadd();
+                })
+                .st(f1);
+                f.for_in(i2, 0.into(), n2.into(), |f| {
+                    f.arr_get(alpha, |f| {
+                        f.ld(r)
+                            .ci(2)
+                            .imul()
+                            .ci(1)
+                            .iadd()
+                            .ci(ALPHA_CAP)
+                            .imul()
+                            .ld(i2)
+                            .iadd();
+                    })
+                    .st(f2);
+                    // join test: distinct facts, f1.object == f2.subject
+                    f.if_icmp(
+                        Cond::Ne,
+                        |f| {
+                            f.ld(f1).ld(f2);
+                        },
+                        |f| {
+                            f.if_icmp(
+                                Cond::Eq,
+                                |f| {
+                                    f.arr_get(facts, |f| {
+                                        f.ld(f1).ci(3).imul().ci(2).iadd();
+                                    });
+                                    f.arr_get(facts, |f| {
+                                        f.ld(f2).ci(3).imul();
+                                    });
+                                },
+                                |f| {
+                                    // fire: per-rule count and shared agenda
+                                    f.arr_set(
+                                        matches,
+                                        |f| {
+                                            f.ld(r);
+                                        },
+                                        |f| {
+                                            f.arr_get(matches, |f| {
+                                                f.ld(r);
+                                            })
+                                            .ci(1)
+                                            .iadd();
+                                        },
+                                    );
+                                    f.arr_set(
+                                        agenda,
+                                        |f| {
+                                            f.ld(acount);
+                                        },
+                                        |f| {
+                                            f.ld(r).ci(1000).imul().ld(f1).iadd();
+                                        },
+                                    );
+                                    f.ld(acount)
+                                        .ci(1)
+                                        .iadd()
+                                        .ld(agenda)
+                                        .arraylen()
+                                        .ci(1)
+                                        .isub()
+                                        .imin()
+                                        .st(acount);
+                                },
+                            );
+                        },
+                    );
+                });
+            });
+        });
+
+        // checksum over match counts and the agenda cursor
+        f.ci(0).st(sum);
+        f.for_in(r, 0.into(), n_rules.into(), |f| {
+            f.ld(sum)
+                .arr_get(matches, |f| {
+                    f.ld(r);
+                })
+                .iadd()
+                .st(sum);
+        });
+        f.ld(sum).ci(100000).imul().ld(acount).iadd().ret();
+    });
+    b.finish(main).expect("jess builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn rete_join_fires_rules() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let v = r.ret.unwrap().as_int().unwrap();
+        let total_matches = v / 100000;
+        let agenda = v % 100000;
+        // 12-valued fields: each pattern admits ~1/12 of 60 facts
+        // (~5), each join admits ~1/12 of the 25 pairs (~2 per rule)
+        assert!(total_matches > 0, "no joins fired");
+        assert!(agenda > 0);
+        assert!(total_matches < 40 * 48, "implausibly many matches");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = build(DataSize::Small);
+        let a = Interp::run(&p, &mut NullSink).unwrap();
+        let b2 = Interp::run(&p, &mut NullSink).unwrap();
+        assert_eq!(a.ret, b2.ret);
+    }
+}

@@ -1,0 +1,176 @@
+//! jLex: lexer-generator core — NFA→DFA subset construction.
+//!
+//! DFA states are bit-sets of NFA states (64-bit masks). The worklist
+//! loop is inherently serial (head/count cursor chain, rejected by the
+//! scalar screen), but the inner loops — computing the successor set
+//! for each symbol by scanning NFA states, and the linear dedup search
+//! over existing DFA states — are read-mostly and parallelizable,
+//! matching the paper's selected-loop heights for jLex.
+
+use crate::util::{define_fill_int, new_int_array};
+use crate::DataSize;
+use tvm::{Cond, Program, ProgramBuilder};
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_nfa: i64 = size.pick(24, 48, 63); // NFA states (fit a 64-bit set)
+    let n_syms: i64 = size.pick(4, 8, 12);
+    let max_dfa: i64 = size.pick(96, 400, 1200);
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_int(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let (trans, dstates, dtrans) = (f.local(), f.local(), f.local());
+        let (head, count, sym, s, set, next, j, found, sum) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_int_array(f, trans, n_nfa * n_syms);
+        new_int_array(f, dstates, max_dfa);
+        new_int_array(f, dtrans, max_dfa * n_syms);
+        f.ld(trans).ci(0x1e4).ci(n_nfa).call(fill);
+
+        // start state: NFA state 0
+        f.arr_set(
+            dstates,
+            |f| {
+                f.ci(0);
+            },
+            |f| {
+                f.ci(1);
+            },
+        );
+        f.ci(0).st(head);
+        f.ci(1).st(count);
+
+        // worklist loop (serial by construction)
+        f.while_icmp(
+            Cond::Lt,
+            |f| {
+                f.ld(head).ld(count);
+            },
+            |f| {
+                f.arr_get(dstates, |f| {
+                    f.ld(head);
+                })
+                .st(set);
+                f.for_in(sym, 0.into(), n_syms.into(), |f| {
+                    // successor set: union of trans[s][sym] for s in set
+                    f.ci(0).st(next);
+                    f.for_in(s, 0.into(), n_nfa.into(), |f| {
+                        f.if_icmp(
+                            Cond::Ne,
+                            |f| {
+                                f.ld(set).ld(s).ishr().ci(1).iand().ci(0);
+                            },
+                            |f| {
+                                f.ld(next)
+                                    .ci(1)
+                                    .arr_get(trans, |f| {
+                                        f.ld(s).ci(n_syms).imul().ld(sym).iadd();
+                                    })
+                                    .ishl()
+                                    .ior()
+                                    .st(next);
+                            },
+                        );
+                    });
+                    // dedup: linear scan over existing DFA states
+                    f.ci(-1).st(found);
+                    f.for_in(j, 0.into(), count.into(), |f| {
+                        f.if_icmp(
+                            Cond::Eq,
+                            |f| {
+                                f.arr_get(dstates, |f| {
+                                    f.ld(j);
+                                })
+                                .ld(next);
+                            },
+                            |f| {
+                                f.ld(j).st(found);
+                            },
+                        );
+                    });
+                    f.if_icmp(
+                        Cond::Eq,
+                        |f| {
+                            f.ld(found).ci(-1);
+                        },
+                        |f| {
+                            // new DFA state (if room)
+                            f.if_icmp(
+                                Cond::Lt,
+                                |f| {
+                                    f.ld(count).ci(max_dfa);
+                                },
+                                |f| {
+                                    f.arr_set(
+                                        dstates,
+                                        |f| {
+                                            f.ld(count);
+                                        },
+                                        |f| {
+                                            f.ld(next);
+                                        },
+                                    );
+                                    f.ld(count).st(found);
+                                    f.inc(count, 1);
+                                },
+                            );
+                        },
+                    );
+                    f.arr_set(
+                        dtrans,
+                        |f| {
+                            f.ld(head).ci(n_syms).imul().ld(sym).iadd();
+                        },
+                        |f| {
+                            f.ld(found);
+                        },
+                    );
+                });
+                f.inc(head, 1);
+            },
+        );
+
+        // checksum: DFA size and a transition digest
+        f.ci(0).st(sum);
+        f.for_in(j, 0.into(), count.into(), |f| {
+            f.for_in(sym, 0.into(), n_syms.into(), |f| {
+                f.ld(sum)
+                    .arr_get(dtrans, |f| {
+                        f.ld(j).ci(n_syms).imul().ld(sym).iadd();
+                    })
+                    .iadd()
+                    .ci(0xFFFF_FFFF)
+                    .iand()
+                    .st(sum);
+            });
+        });
+        f.ld(count).ci(1_000_000).imul().ld(sum).iadd().ret();
+    });
+    b.finish(main).expect("jLex builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn subset_construction_builds_a_dfa() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let v = r.ret.unwrap().as_int().unwrap();
+        let count = v / 1_000_000;
+        assert!(count > 1, "DFA has {count} states");
+        assert!(count <= 96);
+    }
+}

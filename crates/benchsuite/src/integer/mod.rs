@@ -1,0 +1,137 @@
+//! The integer benchmarks of Table 6 (jBYTEmark and SPECjvm98
+//! derived).
+
+pub mod assignment;
+pub mod bitops;
+pub mod compress;
+pub mod db;
+pub mod deltablue;
+pub mod emfloat;
+pub mod huffman;
+pub mod idea;
+pub mod jess;
+pub mod jlex;
+pub mod mips;
+pub mod montecarlo;
+pub mod numheapsort;
+pub mod raytrace;
+
+use crate::{Benchmark, Category};
+
+/// The fourteen integer benchmarks, in Table 6 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "Assignment",
+            category: Category::Integer,
+            description: "Resource allocation (51x51 cost matrix reduction)",
+            build: assignment::build,
+            analyzable: false,
+            data_sensitive: true,
+        },
+        Benchmark {
+            name: "BitOps",
+            category: Category::Integer,
+            description: "Bit array range set/clear/toggle and popcounts",
+            build: bitops::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "compress",
+            category: Category::Integer,
+            description: "Block-oriented LZ-style compression",
+            build: compress::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "db",
+            category: Category::Integer,
+            description: "In-memory database: lookups, updates, sort",
+            build: db::build,
+            analyzable: false,
+            data_sensitive: true,
+        },
+        Benchmark {
+            name: "deltaBlue",
+            category: Category::Integer,
+            description: "One-way constraint solver propagation",
+            build: deltablue::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "EmFloatPnt",
+            category: Category::Integer,
+            description: "Software-emulated floating point arithmetic",
+            build: emfloat::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "Huffman",
+            category: Category::Integer,
+            description: "Huffman decode (the paper's Figure 3 example)",
+            build: huffman::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "IDEA",
+            category: Category::Integer,
+            description: "IDEA-style block cipher encryption",
+            build: idea::build,
+            analyzable: true,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "jess",
+            category: Category::Integer,
+            description: "Expert-system rule/fact pattern matching",
+            build: jess::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "jLex",
+            category: Category::Integer,
+            description: "Lexer generator: NFA-to-DFA subset construction",
+            build: jlex::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "MipsSimulator",
+            category: Category::Integer,
+            description: "MIPS-subset CPU interpreter running a guest kernel",
+            build: mips::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "monteCarlo",
+            category: Category::Integer,
+            description: "Monte Carlo pi estimation with hashed seeds",
+            build: montecarlo::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "NumHeapSort",
+            category: Category::Integer,
+            description: "Heap sort over a batch of arrays",
+            build: numheapsort::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "raytrace",
+            category: Category::Integer,
+            description: "Sphere ray tracer (fixed scene)",
+            build: raytrace::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+    ]
+}

@@ -1,0 +1,79 @@
+//! monteCarlo: Monte Carlo π estimation (Java Grande style).
+//!
+//! Each sample derives its random point from a *hashed* counter — the
+//! standard parallel-Monte-Carlo trick that avoids a serializing RNG
+//! state — walks a short multi-step path, and accumulates a hit count
+//! through a sum reduction the speculative compiler can eliminate.
+
+use crate::util::hash_top;
+use crate::DataSize;
+use tvm::{Cond, Program, ProgramBuilder};
+
+const SCALE: i64 = 1 << 20;
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let samples: i64 = size.pick(400, 4000, 16000);
+    let path_steps: i64 = 4;
+    let mut b = ProgramBuilder::new();
+
+    let main = b.function("main", 0, true, |f| {
+        let (s, k, x, y, h, hits) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        f.ci(0).st(hits);
+        f.for_in(s, 0.into(), samples.into(), |f| {
+            // per-sample seed from the counter
+            f.ld(s).ci(0x9E37_79B9_7F4A_7C15u64 as i64).imul();
+            hash_top(f);
+            f.st(h);
+            f.ld(h).ci(22).iushr().ci(SCALE).irem().st(x);
+            f.ld(h).ci(3).iushr().ci(SCALE).irem().st(y);
+            // a short random walk before the membership test
+            f.for_in(k, 0.into(), path_steps.into(), |f| {
+                f.ld(h).ld(k).iadd();
+                hash_top(f);
+                f.st(h);
+                f.ld(x).ld(h).ci(40).iushr().ci(1024).irem().iadd().ci(512).isub().st(x);
+                f.ld(y).ld(h).ci(50).iushr().ci(1024).irem().iadd().ci(512).isub().st(y);
+            });
+            // clamp into [0, SCALE)
+            f.ld(x).ci(0).imax().ci(SCALE - 1).imin().st(x);
+            f.ld(y).ci(0).imax().ci(SCALE - 1).imin().st(y);
+            // inside the quarter circle?
+            f.if_icmp(
+                Cond::Le,
+                |f| {
+                    f.ld(x).ld(x).imul().ld(y).ld(y).imul().iadd();
+                    f.ci(SCALE - 1).ci(SCALE - 1).imul();
+                },
+                |f| {
+                    f.ld(hits).ci(1).iadd().st(hits);
+                },
+            );
+        });
+        f.ld(hits).ret();
+    });
+    b.finish(main).expect("monteCarlo builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn hit_ratio_approximates_quarter_pi() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let hits = r.ret.unwrap().as_int().unwrap() as f64;
+        let ratio = hits / 400.0;
+        // π/4 ≈ 0.785; allow generous sampling noise
+        assert!(ratio > 0.60 && ratio < 0.95, "ratio {ratio}");
+    }
+}

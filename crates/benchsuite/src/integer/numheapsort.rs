@@ -1,0 +1,185 @@
+//! NumHeapSort: heap sort over a batch of arrays (jBYTEmark NumSort).
+//!
+//! The outer loop sorts independent arrays — a clean coarse STL — but
+//! within each sort the sift-down loops chase the heap property
+//! serially. This reproduces the paper's observation that integer
+//! programs expose parallelism at specific levels of a loop nest that
+//! only dynamic measurement finds.
+
+use crate::util::{define_fill_int, new_int_array};
+use crate::DataSize;
+use tvm::{Cond, FuncId, Program, ProgramBuilder};
+
+/// Defines `sift(arr, base, start, end)`: sift-down on the heap stored
+/// at `arr[base .. base+end]`.
+fn define_sift(b: &mut ProgramBuilder) -> FuncId {
+    b.function("sift", 4, false, |f| {
+        let (arr, base, start, end) = (f.param(0), f.param(1), f.param(2), f.param(3));
+        let (root, child, tmp) = (f.local(), f.local(), f.local());
+        f.ld(start).st(root);
+        let head = f.new_label();
+        let exit = f.new_label();
+        f.bind(head);
+        // child = 2*root + 1; stop when past end
+        f.ld(root).ci(2).imul().ci(1).iadd().st(child);
+        f.ld(child).ld(end).br_icmp(Cond::Ge, exit);
+        // pick the larger child
+        f.if_icmp(
+            Cond::Lt,
+            |f| {
+                f.ld(child).ci(1).iadd().ld(end);
+            },
+            |f| {
+                f.if_icmp(
+                    Cond::Lt,
+                    |f| {
+                        f.arr_get(arr, |f| {
+                            f.ld(base).ld(child).iadd();
+                        });
+                        f.arr_get(arr, |f| {
+                            f.ld(base).ld(child).iadd().ci(1).iadd();
+                        });
+                    },
+                    |f| {
+                        f.inc(child, 1);
+                    },
+                );
+            },
+        );
+        // if arr[root] >= arr[child] we are done
+        f.arr_get(arr, |f| {
+            f.ld(base).ld(root).iadd();
+        });
+        f.arr_get(arr, |f| {
+            f.ld(base).ld(child).iadd();
+        });
+        f.br_icmp(Cond::Ge, exit);
+        // swap and continue
+        f.arr_get(arr, |f| {
+            f.ld(base).ld(root).iadd();
+        })
+        .st(tmp);
+        f.arr_set(
+            arr,
+            |f| {
+                f.ld(base).ld(root).iadd();
+            },
+            |f| {
+                f.arr_get(arr, |f| {
+                    f.ld(base).ld(child).iadd();
+                });
+            },
+        );
+        f.arr_set(
+            arr,
+            |f| {
+                f.ld(base).ld(child).iadd();
+            },
+            |f| {
+                f.ld(tmp);
+            },
+        );
+        f.ld(child).st(root);
+        f.goto(head);
+        f.bind(exit);
+        f.ret_void();
+    })
+}
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_arrays: i64 = size.pick(4, 8, 16);
+    let n: i64 = size.pick(60, 400, 1600);
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_int(&mut b);
+    let sift = define_sift(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let data = f.local();
+        let (a, base, i, end, tmp, bad) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_int_array(f, data, n_arrays * n);
+        f.ld(data).ci(0x50FA).ci(1_000_000).call(fill);
+
+        // sort each array independently (the coarse STL)
+        f.for_in(a, 0.into(), n_arrays.into(), |f| {
+            f.ld(a).ci(n).imul().st(base);
+            // heapify
+            f.for_step(i, (n / 2 - 1).into(), (-1).into(), -1, |f| {
+                f.ld(data).ld(base).ld(i).ci(n).call(sift);
+            });
+            // sortdown
+            f.for_step(end, (n - 1).into(), 0.into(), -1, |f| {
+                // swap root with arr[end]
+                f.arr_get(data, |f| {
+                    f.ld(base);
+                })
+                .st(tmp);
+                f.arr_set(
+                    data,
+                    |f| {
+                        f.ld(base);
+                    },
+                    |f| {
+                        f.arr_get(data, |f| {
+                            f.ld(base).ld(end).iadd();
+                        });
+                    },
+                );
+                f.arr_set(
+                    data,
+                    |f| {
+                        f.ld(base).ld(end).iadd();
+                    },
+                    |f| {
+                        f.ld(tmp);
+                    },
+                );
+                f.ld(data).ld(base).ci(0).ld(end).call(sift);
+            });
+        });
+
+        // verify: count out-of-order adjacent pairs (must be zero)
+        f.ci(0).st(bad);
+        f.for_in(a, 0.into(), n_arrays.into(), |f| {
+            f.ld(a).ci(n).imul().st(base);
+            f.for_in(i, 1.into(), n.into(), |f| {
+                f.if_icmp(
+                    Cond::Gt,
+                    |f| {
+                        f.arr_get(data, |f| {
+                            f.ld(base).ld(i).iadd().ci(1).isub();
+                        });
+                        f.arr_get(data, |f| {
+                            f.ld(base).ld(i).iadd();
+                        });
+                    },
+                    |f| {
+                        f.inc(bad, 1);
+                    },
+                );
+            });
+        });
+        f.ld(bad).ret();
+    });
+    b.finish(main).expect("NumHeapSort builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn all_arrays_end_up_sorted() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        assert_eq!(r.ret.unwrap().as_int().unwrap(), 0, "unsorted pairs remain");
+    }
+}

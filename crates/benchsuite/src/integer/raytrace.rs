@@ -1,0 +1,286 @@
+//! raytrace: a small sphere ray tracer.
+//!
+//! One primary ray per pixel, intersected against a fixed set of
+//! spheres with float arithmetic (discriminant test, nearest hit),
+//! Lambertian shading from the surface normal, and a shadow ray
+//! toward the light re-intersecting the scene. Pixels are
+//! independent; the row loop and the pixel loop are both candidate
+//! STLs with fine-grained threads, as in Table 6.
+
+use crate::util::new_float_array;
+use crate::DataSize;
+use tvm::{Cond, ElemKind, Program, ProgramBuilder};
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let width: i64 = size.pick(16, 48, 96);
+    let height: i64 = size.pick(12, 32, 64);
+    let n_spheres: i64 = 5;
+    let mut b = ProgramBuilder::new();
+
+    let main = b.function("main", 0, true, |f| {
+        // sphere arrays: cx, cy, cz, r
+        let (sx, sy, sz, sr, img) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        let (px, py, s, i) = (f.local(), f.local(), f.local(), f.local());
+        let (dx, dy, dz, inv) = (f.local(), f.local(), f.local(), f.local());
+        let (bq, cq, disc, t, best, hit) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        let (nx, ny2, nz, lit, shade) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        let sum = f.local();
+        new_float_array(f, sx, n_spheres);
+        new_float_array(f, sy, n_spheres);
+        new_float_array(f, sz, n_spheres);
+        new_float_array(f, sr, n_spheres);
+        f.ci(width * height).newarray(ElemKind::Int).st(img);
+
+        // fixed scene
+        for (k, (x, y, z, r)) in [
+            (0.0f64, 0.0, 6.0, 2.0),
+            (2.5, 1.0, 8.0, 1.5),
+            (-2.5, -1.0, 7.0, 1.2),
+            (1.0, -2.0, 5.0, 0.8),
+            (-1.5, 2.0, 9.0, 1.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for (arr, v) in [(sx, x), (sy, y), (sz, z), (sr, r)] {
+                f.arr_set(
+                    arr,
+                    |f| {
+                        f.ci(k as i64);
+                    },
+                    |f| {
+                        f.cf(v);
+                    },
+                );
+            }
+        }
+
+        f.for_in(py, 0.into(), height.into(), |f| {
+            f.for_in(px, 0.into(), width.into(), |f| {
+                // ray direction through the pixel (camera at origin)
+                f.ld(px).i2f().cf(width as f64 / 2.0).fsub().cf(width as f64).fdiv().st(dx);
+                f.ld(py).i2f().cf(height as f64 / 2.0).fsub().cf(height as f64).fdiv().st(dy);
+                f.cf(1.0).st(dz);
+                // normalize
+                f.ld(dx).ld(dx).fmul().ld(dy).ld(dy).fmul().fadd().ld(dz).ld(dz).fmul().fadd();
+                f.fsqrt().st(inv);
+                f.ld(dx).ld(inv).fdiv().st(dx);
+                f.ld(dy).ld(inv).fdiv().st(dy);
+                f.ld(dz).ld(inv).fdiv().st(dz);
+
+                f.cf(1.0e30).st(best);
+                f.ci(-1).st(hit);
+                f.for_in(s, 0.into(), n_spheres.into(), |f| {
+                    // oc = dot(dir, center); cq = |center|^2 - r^2
+                    f.ld(dx)
+                        .arr_get(sx, |f| {
+                            f.ld(s);
+                        })
+                        .fmul();
+                    f.ld(dy)
+                        .arr_get(sy, |f| {
+                            f.ld(s);
+                        })
+                        .fmul()
+                        .fadd();
+                    f.ld(dz)
+                        .arr_get(sz, |f| {
+                            f.ld(s);
+                        })
+                        .fmul()
+                        .fadd()
+                        .st(bq);
+                    f.arr_get(sx, |f| {
+                        f.ld(s);
+                    })
+                    .dup()
+                    .fmul();
+                    f.arr_get(sy, |f| {
+                        f.ld(s);
+                    })
+                    .dup()
+                    .fmul()
+                    .fadd();
+                    f.arr_get(sz, |f| {
+                        f.ld(s);
+                    })
+                    .dup()
+                    .fmul()
+                    .fadd();
+                    f.arr_get(sr, |f| {
+                        f.ld(s);
+                    })
+                    .dup()
+                    .fmul()
+                    .fsub()
+                    .st(cq);
+                    // disc = bq^2 - cq
+                    f.ld(bq).ld(bq).fmul().ld(cq).fsub().st(disc);
+                    f.if_fcmp(
+                        Cond::Gt,
+                        |f| {
+                            f.ld(disc).cf(0.0);
+                        },
+                        |f| {
+                            f.ld(bq).ld(disc).fsqrt().fsub().st(t);
+                            f.if_fcmp(
+                                Cond::Gt,
+                                |f| {
+                                    f.ld(t).cf(0.001);
+                                },
+                                |f| {
+                                    f.if_fcmp(
+                                        Cond::Lt,
+                                        |f| {
+                                            f.ld(t).ld(best);
+                                        },
+                                        |f| {
+                                            f.ld(t).st(best);
+                                            f.ld(s).st(hit);
+                                        },
+                                    );
+                                },
+                            );
+                        },
+                    );
+                });
+                // shade: Lambertian term from the surface normal plus a
+                // shadow ray toward the light at (0, -10, 0)
+                f.if_else_icmp(
+                    Cond::Ge,
+                    |f| {
+                        f.ld(hit).ci(0);
+                    },
+                    |f| {
+                        // hit point p = t*dir; normal n = (p - c)/r
+                        f.ld(best).ld(dx).fmul().arr_get(sx, |f| {
+                            f.ld(hit);
+                        }).fsub().arr_get(sr, |f| {
+                            f.ld(hit);
+                        }).fdiv().st(nx);
+                        f.ld(best).ld(dy).fmul().arr_get(sy, |f| {
+                            f.ld(hit);
+                        }).fsub().arr_get(sr, |f| {
+                            f.ld(hit);
+                        }).fdiv().st(ny2);
+                        f.ld(best).ld(dz).fmul().arr_get(sz, |f| {
+                            f.ld(hit);
+                        }).fsub().arr_get(sr, |f| {
+                            f.ld(hit);
+                        }).fdiv().st(nz);
+                        // light direction is (0,-1,0): lambert = max(0, -ny)
+                        f.ld(ny2).fneg().cf(0.0).fmax().st(shade);
+                        // shadow ray: any other sphere above the hit
+                        // point blocks the light (cheap occlusion walk)
+                        f.ci(1).st(lit);
+                        f.for_in(s, 0.into(), n_spheres.into(), |f| {
+                            f.if_icmp(
+                                Cond::Ne,
+                                |f| {
+                                    f.ld(s).ld(hit);
+                                },
+                                |f| {
+                                    // blocked if the blocker sits above
+                                    // (smaller y) and overlaps in x
+                                    f.if_fcmp(
+                                        Cond::Lt,
+                                        |f| {
+                                            f.arr_get(sy, |f| {
+                                                f.ld(s);
+                                            });
+                                            f.ld(best).ld(dy).fmul();
+                                        },
+                                        |f| {
+                                            f.if_fcmp(
+                                                Cond::Lt,
+                                                |f| {
+                                                    f.ld(best).ld(dx).fmul().arr_get(sx, |f| {
+                                                        f.ld(s);
+                                                    }).fsub().fabs();
+                                                    f.arr_get(sr, |f| {
+                                                        f.ld(s);
+                                                    });
+                                                },
+                                                |f| {
+                                                    f.ci(0).st(lit);
+                                                },
+                                            );
+                                        },
+                                    );
+                                },
+                            );
+                        });
+                        f.if_icmp(
+                            Cond::Eq,
+                            |f| {
+                                f.ld(lit).ci(0);
+                            },
+                            |f| {
+                                f.ld(shade).cf(0.25).fmul().st(shade);
+                            },
+                        );
+                        // pixel = ambient + diffuse, distance-attenuated
+                        f.cf(40.0).ld(shade).cf(215.0).fmul().fadd();
+                        f.ld(best).cf(4.0).fmul().fsub().cf(0.0).fmax().cf(255.0).fmin().f2i();
+                    },
+                    |f| {
+                        f.ci(16); // background
+                    },
+                );
+                f.ld(img).swap();
+                f.ld(py).ci(width).imul().ld(px).iadd().swap();
+                f.astore();
+            });
+        });
+
+        // image checksum
+        f.ci(0).st(sum);
+        f.for_in(i, 0.into(), (width * height).into(), |f| {
+            f.ld(sum)
+                .arr_get(img, |f| {
+                    f.ld(i);
+                })
+                .iadd()
+                .st(sum);
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("raytrace builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn image_contains_hits_and_background() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let sum = r.ret.unwrap().as_int().unwrap();
+        let pixels = 16 * 12;
+        // all-background would be exactly 16*pixels; hits push it higher
+        assert!(sum > 16 * pixels, "sum {sum}");
+        assert!(sum < 256 * pixels, "sum {sum}");
+    }
+}

@@ -1,0 +1,147 @@
+//! decJpeg: JPEG decode core — dequantization plus 8×8 inverse DCT
+//! and level shift/clamp over a stream of blocks.
+
+use super::{codec_builder, emit_cos_table};
+use crate::util::{new_float_array, new_int_array};
+use crate::DataSize;
+use tvm::Program;
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_blocks: i64 = size.pick(3, 20, 64);
+    let (mut b, fill) = codec_builder();
+
+    let main = b.function("main", 0, true, |f| {
+        let (coeffs, pixels, cos_tab) = (f.local(), f.local(), f.local());
+        let (blk, x, y, u, v, acc, tmp, sum) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_int_array(f, coeffs, n_blocks * 64);
+        new_int_array(f, pixels, n_blocks * 64);
+        new_float_array(f, cos_tab, 64);
+        f.ld(coeffs).ci(0xDEC).ci(64).call(fill);
+        emit_cos_table(f, cos_tab, x, u, tmp);
+        // sparsify: zero out most high-frequency coefficients, like a
+        // real entropy-decoded block
+        f.for_in(blk, 0.into(), n_blocks.into(), |f| {
+            f.for_in(u, 0.into(), 8.into(), |f| {
+                f.for_in(v, 0.into(), 8.into(), |f| {
+                    f.if_icmp(
+                        tvm::Cond::Gt,
+                        |f| {
+                            f.ld(u).ld(v).iadd().ci(5);
+                        },
+                        |f| {
+                            f.arr_set(
+                                coeffs,
+                                |f| {
+                                    f.ld(blk)
+                                        .ci(64)
+                                        .imul()
+                                        .ld(u)
+                                        .ci(8)
+                                        .imul()
+                                        .iadd()
+                                        .ld(v)
+                                        .iadd();
+                                },
+                                |f| {
+                                    f.ci(0);
+                                },
+                            );
+                        },
+                    );
+                });
+            });
+        });
+
+        // per-block IDCT (the STL)
+        f.for_in(blk, 0.into(), n_blocks.into(), |f| {
+            f.for_in(x, 0.into(), 8.into(), |f| {
+                f.for_in(y, 0.into(), 8.into(), |f| {
+                    f.cf(0.0).st(acc);
+                    f.for_in(u, 0.into(), 8.into(), |f| {
+                        f.for_in(v, 0.into(), 8.into(), |f| {
+                            f.ld(acc);
+                            f.arr_get(coeffs, |f| {
+                                f.ld(blk)
+                                    .ci(64)
+                                    .imul()
+                                    .ld(u)
+                                    .ci(8)
+                                    .imul()
+                                    .iadd()
+                                    .ld(v)
+                                    .iadd();
+                            })
+                            .i2f();
+                            f.arr_get(cos_tab, |f| {
+                                f.ld(x).ci(8).imul().ld(u).iadd();
+                            })
+                            .fmul();
+                            f.arr_get(cos_tab, |f| {
+                                f.ld(y).ci(8).imul().ld(v).iadd();
+                            })
+                            .fmul();
+                            f.fadd().st(acc);
+                        });
+                    });
+                    // level shift and clamp to [0, 255]
+                    f.arr_set(
+                        pixels,
+                        |f| {
+                            f.ld(blk)
+                                .ci(64)
+                                .imul()
+                                .ld(x)
+                                .ci(8)
+                                .imul()
+                                .iadd()
+                                .ld(y)
+                                .iadd();
+                        },
+                        |f| {
+                            f.ld(acc).cf(128.0).fadd().f2i().ci(0).imax().ci(255).imin();
+                        },
+                    );
+                });
+            });
+        });
+
+        // image checksum
+        f.ci(0).st(sum);
+        f.for_in(x, 0.into(), (n_blocks * 64).into(), |f| {
+            f.ld(sum)
+                .arr_get(pixels, |f| {
+                    f.ld(x);
+                })
+                .iadd()
+                .st(sum);
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("decJpeg builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn pixels_stay_in_byte_range() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let sum = r.ret.unwrap().as_int().unwrap();
+        assert!(sum >= 0);
+        assert!(sum <= 3 * 64 * 255, "sum {sum}");
+        assert!(sum > 0, "all pixels clamped to zero");
+    }
+}

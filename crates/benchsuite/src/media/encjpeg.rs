@@ -1,0 +1,156 @@
+//! encJpeg: JPEG encode core — 8×8 forward DCT plus quantization over
+//! a stream of blocks. Blocks are independent; each block's 2-D DCT
+//! is a dense quadruple loop, giving the fine thread sizes Table 6
+//! reports for the codecs.
+
+use super::{codec_builder, emit_cos_table};
+use crate::util::{new_float_array, new_int_array};
+use crate::DataSize;
+use tvm::Program;
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_blocks: i64 = size.pick(3, 18, 60);
+    let (mut b, fill) = codec_builder();
+
+    let main = b.function("main", 0, true, |f| {
+        let (pixels, coeffs, cos_tab, quant) = (f.local(), f.local(), f.local(), f.local());
+        let (blk, x, y, u, v, acc, tmp, sum) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_int_array(f, pixels, n_blocks * 64);
+        new_int_array(f, coeffs, n_blocks * 64);
+        new_float_array(f, cos_tab, 64);
+        new_int_array(f, quant, 64);
+        f.ld(pixels).ci(0x1A6).ci(256).call(fill);
+        emit_cos_table(f, cos_tab, x, u, tmp);
+        // quantizer ramp: coarser at high frequency
+        f.for_in(u, 0.into(), 8.into(), |f| {
+            f.for_in(v, 0.into(), 8.into(), |f| {
+                f.arr_set(
+                    quant,
+                    |f| {
+                        f.ld(u).ci(8).imul().ld(v).iadd();
+                    },
+                    |f| {
+                        f.ci(8).ld(u).ld(v).iadd().ci(2).imul().iadd();
+                    },
+                );
+            });
+        });
+
+        // per-block FDCT + quantization (the STL)
+        f.for_in(blk, 0.into(), n_blocks.into(), |f| {
+            f.for_in(u, 0.into(), 8.into(), |f| {
+                f.for_in(v, 0.into(), 8.into(), |f| {
+                    f.cf(0.0).st(acc);
+                    f.for_in(x, 0.into(), 8.into(), |f| {
+                        f.for_in(y, 0.into(), 8.into(), |f| {
+                            f.ld(acc);
+                            f.arr_get(pixels, |f| {
+                                f.ld(blk)
+                                    .ci(64)
+                                    .imul()
+                                    .ld(x)
+                                    .ci(8)
+                                    .imul()
+                                    .iadd()
+                                    .ld(y)
+                                    .iadd();
+                            })
+                            .i2f()
+                            .cf(128.0)
+                            .fsub();
+                            f.arr_get(cos_tab, |f| {
+                                f.ld(x).ci(8).imul().ld(u).iadd();
+                            })
+                            .fmul();
+                            f.arr_get(cos_tab, |f| {
+                                f.ld(y).ci(8).imul().ld(v).iadd();
+                            })
+                            .fmul();
+                            f.fadd().st(acc);
+                        });
+                    });
+                    // quantize
+                    f.arr_set(
+                        coeffs,
+                        |f| {
+                            f.ld(blk)
+                                .ci(64)
+                                .imul()
+                                .ld(u)
+                                .ci(8)
+                                .imul()
+                                .iadd()
+                                .ld(v)
+                                .iadd();
+                        },
+                        |f| {
+                            f.ld(acc)
+                                .arr_get(quant, |f| {
+                                    f.ld(u).ci(8).imul().ld(v).iadd();
+                                })
+                                .i2f()
+                                .fdiv()
+                                .f2i();
+                        },
+                    );
+                });
+            });
+        });
+
+        // checksum of quantized coefficients
+        f.ci(0).st(sum);
+        f.for_in(x, 0.into(), (n_blocks * 64).into(), |f| {
+            f.ld(sum)
+                .arr_get(coeffs, |f| {
+                    f.ld(x);
+                })
+                .fabs_int()
+                .iadd()
+                .st(sum);
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("encJpeg builds")
+}
+
+trait AbsInt {
+    fn fabs_int(&mut self) -> &mut Self;
+}
+
+impl AbsInt for tvm::FnBuilder {
+    /// |top| for an int on the stack: `(x ^ (x>>63)) - (x>>63)`.
+    fn fabs_int(&mut self) -> &mut Self {
+        self.dup().ci(63).ishr().swap();
+        // stack: [s, x] -> want (x ^ s) - s
+        self.dup().ci(63).ishr(); // [s, x, s]
+        self.ixor(); // [s, x^s]
+        self.swap().isub() // [(x^s) - s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataSize;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn dct_energy_is_positive_and_bounded() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let sum = r.ret.unwrap().as_int().unwrap();
+        assert!(sum > 0, "all coefficients quantized to zero");
+        // coarse bound: 3 blocks, |coeff| <= 1024/8
+        assert!(sum < 3 * 64 * 200, "sum {sum}");
+    }
+}

@@ -1,0 +1,110 @@
+//! The multimedia benchmarks of Table 6 (mediabench-style codec
+//! kernels).
+
+pub mod decjpeg;
+pub mod encjpeg;
+pub mod h263dec;
+pub mod mp3;
+pub mod mpegvideo;
+
+use crate::{Benchmark, Category};
+use tvm::{FnBuilder, Local, ProgramBuilder};
+
+/// The five multimedia benchmarks, in Table 6 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "decJpeg",
+            category: Category::Multimedia,
+            description: "JPEG decode core: dequantization + 8x8 IDCT",
+            build: decjpeg::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "encJpeg",
+            category: Category::Multimedia,
+            description: "JPEG encode core: 8x8 FDCT + quantization",
+            build: encjpeg::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "h263dec",
+            category: Category::Multimedia,
+            description: "H.263 decode core: motion compensation + residual",
+            build: h263dec::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "mpegVideo",
+            category: Category::Multimedia,
+            description: "MPEG video block reconstruction with saturation",
+            build: mpegvideo::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+        Benchmark {
+            name: "mp3",
+            category: Category::Multimedia,
+            description: "MP3 subband synthesis windowing",
+            build: mp3::build,
+            analyzable: false,
+            data_sensitive: false,
+        },
+    ]
+}
+
+/// Emits code filling `cos_tab[8*8]` with the DCT-II basis
+/// `c(u) * cos((2x+1)uπ/16)` so the codec kernels share one table
+/// builder. `tmp` is a scratch float local.
+pub(crate) fn emit_cos_table(f: &mut FnBuilder, cos_tab: Local, x: Local, u: Local, tmp: Local) {
+    f.for_in(x, 0.into(), 8.into(), |f| {
+        f.for_in(u, 0.into(), 8.into(), |f| {
+            // angle = (2x+1) * u * pi/16
+            f.ld(x)
+                .ci(2)
+                .imul()
+                .ci(1)
+                .iadd()
+                .ld(u)
+                .imul()
+                .i2f()
+                .cf(std::f64::consts::PI / 16.0)
+                .fmul()
+                .fcos()
+                .st(tmp);
+            // scale: 1/(2*sqrt(2)) for u == 0, 1/2 otherwise
+            f.if_else_icmp(
+                tvm::Cond::Eq,
+                |f| {
+                    f.ld(u).ci(0);
+                },
+                |f| {
+                    f.ld(tmp).cf(0.35355339059327373).fmul().st(tmp);
+                },
+                |f| {
+                    f.ld(tmp).cf(0.5).fmul().st(tmp);
+                },
+            );
+            f.arr_set(
+                cos_tab,
+                |f| {
+                    f.ld(x).ci(8).imul().ld(u).iadd();
+                },
+                |f| {
+                    f.ld(tmp);
+                },
+            );
+        });
+    });
+}
+
+/// Declares a `ProgramBuilder` with the shared pixel-fill helper and
+/// returns `(builder, fill_int_id)`.
+pub(crate) fn codec_builder() -> (ProgramBuilder, tvm::FuncId) {
+    let mut b = ProgramBuilder::new();
+    let fill = crate::util::define_fill_int(&mut b);
+    (b, fill)
+}

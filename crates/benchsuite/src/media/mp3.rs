@@ -1,0 +1,157 @@
+//! mp3: MP3 decode core — polyphase subband synthesis windowing.
+//! For each granule, 32 subband samples are matrixed through a cosine
+//! bank and windowed with a 512-tap FIFO-style MAC — the dominant
+//! loops of a real MP3 decoder. Granules form the outer stream loop.
+
+use crate::util::{define_fill_float, new_float_array};
+use crate::DataSize;
+use tvm::{Program, ProgramBuilder};
+
+const SUBBANDS: i64 = 32;
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let granules: i64 = size.pick(4, 24, 96);
+    let mut b = ProgramBuilder::new();
+    let fill = define_fill_float(&mut b);
+
+    let main = b.function("main", 0, true, |f| {
+        let (samples, window, synth, pcm) = (f.local(), f.local(), f.local(), f.local());
+        let (g, sb, k, acc, sum) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_float_array(f, samples, granules * SUBBANDS);
+        new_float_array(f, window, 512);
+        new_float_array(f, synth, SUBBANDS * SUBBANDS);
+        new_float_array(f, pcm, granules * SUBBANDS);
+        f.ld(samples).ci(0x3B3).call(fill);
+
+        // window coefficients: raised cosine taps
+        f.for_in(k, 0.into(), 512.into(), |f| {
+            f.arr_set(
+                window,
+                |f| {
+                    f.ld(k);
+                },
+                |f| {
+                    f.ld(k)
+                        .i2f()
+                        .cf(std::f64::consts::PI / 256.0)
+                        .fmul()
+                        .fcos()
+                        .cf(0.5)
+                        .fmul()
+                        .cf(0.5)
+                        .fadd();
+                },
+            );
+        });
+        // synthesis matrix: cos((2k+1)(sb)π/64)
+        f.for_in(sb, 0.into(), SUBBANDS.into(), |f| {
+            f.for_in(k, 0.into(), SUBBANDS.into(), |f| {
+                f.arr_set(
+                    synth,
+                    |f| {
+                        f.ld(sb).ci(SUBBANDS).imul().ld(k).iadd();
+                    },
+                    |f| {
+                        f.ld(k)
+                            .ci(2)
+                            .imul()
+                            .ci(1)
+                            .iadd()
+                            .ld(sb)
+                            .imul()
+                            .i2f()
+                            .cf(std::f64::consts::PI / 64.0)
+                            .fmul()
+                            .fcos();
+                    },
+                );
+            });
+        });
+
+        // granule loop (the outer stream STL)
+        f.for_in(g, 0.into(), granules.into(), |f| {
+            f.for_in(sb, 0.into(), SUBBANDS.into(), |f| {
+                // matrixing: acc = Σ_k synth[sb][k] * samples[g][k]
+                f.cf(0.0).st(acc);
+                f.for_in(k, 0.into(), SUBBANDS.into(), |f| {
+                    f.ld(acc)
+                        .arr_get(synth, |f| {
+                            f.ld(sb).ci(SUBBANDS).imul().ld(k).iadd();
+                        })
+                        .arr_get(samples, |f| {
+                            f.ld(g).ci(SUBBANDS).imul().ld(k).iadd();
+                        })
+                        .fmul()
+                        .fadd()
+                        .st(acc);
+                });
+                // windowing: 16 taps at stride 32 through the window
+                f.for_in(k, 0.into(), 16.into(), |f| {
+                    f.ld(acc)
+                        .arr_get(window, |f| {
+                            f.ld(k).ci(SUBBANDS).imul().ld(sb).iadd();
+                        })
+                        .arr_get(samples, |f| {
+                            // neighbor tap within this granule
+                            f.ld(g)
+                                .ci(SUBBANDS)
+                                .imul()
+                                .ld(k)
+                                .ld(sb)
+                                .iadd()
+                                .ci(SUBBANDS - 1)
+                                .iand()
+                                .iadd();
+                        })
+                        .fmul()
+                        .fadd()
+                        .st(acc);
+                });
+                f.arr_set(
+                    pcm,
+                    |f| {
+                        f.ld(g).ci(SUBBANDS).imul().ld(sb).iadd();
+                    },
+                    |f| {
+                        f.ld(acc);
+                    },
+                );
+            });
+        });
+
+        // output energy checksum
+        f.cf(0.0).st(sum);
+        f.for_in(k, 0.into(), (granules * SUBBANDS).into(), |f| {
+            f.ld(sum)
+                .arr_get(pcm, |f| {
+                    f.ld(k);
+                })
+                .fabs()
+                .fadd()
+                .st(sum);
+        });
+        f.ld(sum).cf(1000.0).fmul().f2i().ret();
+    });
+    b.finish(main).expect("mp3 builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn synthesis_produces_energy() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let energy = r.ret.unwrap().as_int().unwrap();
+        assert!(energy > 0, "silent output");
+    }
+}

@@ -1,0 +1,190 @@
+//! mpegVideo: MPEG block reconstruction — a fast integer butterfly
+//! transform per 8×8 block, prediction addition and saturation. The
+//! blocks-of-a-frame loop is the STL; per-block threads are small
+//! (Table 6: ~700 cycles).
+
+use super::codec_builder;
+use crate::util::new_int_array;
+use crate::DataSize;
+use tvm::Program;
+
+/// Builds the benchmark.
+pub fn build(size: DataSize) -> Program {
+    let n_blocks: i64 = size.pick(8, 40, 160);
+    let (mut b, fill) = codec_builder();
+
+    let main = b.function("main", 0, true, |f| {
+        let (coeffs, pred, out) = (f.local(), f.local(), f.local());
+        let (blk, r, c, t0, t1, sum) = (
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+            f.local(),
+        );
+        new_int_array(f, coeffs, n_blocks * 64);
+        new_int_array(f, pred, n_blocks * 64);
+        new_int_array(f, out, n_blocks * 64);
+        f.ld(coeffs).ci(0x3E6).ci(64).call(fill);
+        f.ld(pred).ci(0x9E6).ci(200).call(fill);
+
+        f.for_in(blk, 0.into(), n_blocks.into(), |f| {
+            // row butterflies: a Walsh-Hadamard-flavoured fast pass
+            f.for_in(r, 0.into(), 8.into(), |f| {
+                f.for_in(c, 0.into(), 4.into(), |f| {
+                    f.arr_get(coeffs, |f| {
+                        f.ld(blk).ci(64).imul().ld(r).ci(8).imul().iadd().ld(c).iadd();
+                    })
+                    .st(t0);
+                    f.arr_get(coeffs, |f| {
+                        f.ld(blk)
+                            .ci(64)
+                            .imul()
+                            .ld(r)
+                            .ci(8)
+                            .imul()
+                            .iadd()
+                            .ci(7)
+                            .ld(c)
+                            .isub()
+                            .iadd();
+                    })
+                    .st(t1);
+                    f.arr_set(
+                        coeffs,
+                        |f| {
+                            f.ld(blk).ci(64).imul().ld(r).ci(8).imul().iadd().ld(c).iadd();
+                        },
+                        |f| {
+                            f.ld(t0).ld(t1).iadd();
+                        },
+                    );
+                    f.arr_set(
+                        coeffs,
+                        |f| {
+                            f.ld(blk)
+                                .ci(64)
+                                .imul()
+                                .ld(r)
+                                .ci(8)
+                                .imul()
+                                .iadd()
+                                .ci(7)
+                                .ld(c)
+                                .isub()
+                                .iadd();
+                        },
+                        |f| {
+                            f.ld(t0).ld(t1).isub();
+                        },
+                    );
+                });
+            });
+            // column butterflies
+            f.for_in(c, 0.into(), 8.into(), |f| {
+                f.for_in(r, 0.into(), 4.into(), |f| {
+                    f.arr_get(coeffs, |f| {
+                        f.ld(blk).ci(64).imul().ld(r).ci(8).imul().iadd().ld(c).iadd();
+                    })
+                    .st(t0);
+                    f.arr_get(coeffs, |f| {
+                        f.ld(blk)
+                            .ci(64)
+                            .imul()
+                            .ci(7)
+                            .ld(r)
+                            .isub()
+                            .ci(8)
+                            .imul()
+                            .iadd()
+                            .ld(c)
+                            .iadd();
+                    })
+                    .st(t1);
+                    f.arr_set(
+                        coeffs,
+                        |f| {
+                            f.ld(blk).ci(64).imul().ld(r).ci(8).imul().iadd().ld(c).iadd();
+                        },
+                        |f| {
+                            f.ld(t0).ld(t1).iadd().ci(1).ishr();
+                        },
+                    );
+                    f.arr_set(
+                        coeffs,
+                        |f| {
+                            f.ld(blk)
+                                .ci(64)
+                                .imul()
+                                .ci(7)
+                                .ld(r)
+                                .isub()
+                                .ci(8)
+                                .imul()
+                                .iadd()
+                                .ld(c)
+                                .iadd();
+                        },
+                        |f| {
+                            f.ld(t0).ld(t1).isub().ci(1).ishr();
+                        },
+                    );
+                });
+            });
+            // reconstruction: out = clamp(pred + transformed/8)
+            f.for_in(r, 0.into(), 64.into(), |f| {
+                f.arr_set(
+                    out,
+                    |f| {
+                        f.ld(blk).ci(64).imul().ld(r).iadd();
+                    },
+                    |f| {
+                        f.arr_get(pred, |f| {
+                            f.ld(blk).ci(64).imul().ld(r).iadd();
+                        });
+                        f.arr_get(coeffs, |f| {
+                            f.ld(blk).ci(64).imul().ld(r).iadd();
+                        })
+                        .ci(3)
+                        .ishr()
+                        .iadd()
+                        .ci(0)
+                        .imax()
+                        .ci(255)
+                        .imin();
+                    },
+                );
+            });
+        });
+
+        // frame checksum
+        f.ci(0).st(sum);
+        f.for_in(r, 0.into(), (n_blocks * 64).into(), |f| {
+            f.ld(sum)
+                .arr_get(out, |f| {
+                    f.ld(r);
+                })
+                .iadd()
+                .st(sum);
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("mpegVideo builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{Interp, NullSink};
+
+    #[test]
+    fn reconstruction_saturates_to_bytes() {
+        let p = build(DataSize::Small);
+        let r = Interp::run(&p, &mut NullSink).unwrap();
+        let sum = r.ret.unwrap().as_int().unwrap();
+        let pixels = 8 * 64;
+        assert!(sum > 0);
+        assert!(sum <= pixels * 255);
+    }
+}

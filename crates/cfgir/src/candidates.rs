@@ -1,0 +1,339 @@
+//! Program-level candidate STL extraction (paper §4.1).
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use crate::loops::LoopForest;
+use crate::scalar::{classify, LocalClasses};
+use std::collections::BTreeSet;
+use tvm::isa::LoopId;
+use tvm::program::{FuncId, Local, Program};
+
+/// The complete static analysis of one function.
+#[derive(Debug, Clone)]
+pub struct FunctionAnalysis {
+    /// The analyzed function.
+    pub func: FuncId,
+    /// Its control-flow graph.
+    pub cfg: Cfg,
+    /// Its natural loops.
+    pub forest: LoopForest,
+    /// Scalar classification of each loop in `forest` (same order).
+    pub classes: Vec<LocalClasses>,
+    /// Method-level numbering of annotatable locals: `lwl`/`swl`
+    /// operands index into this list. Shared across all loops of the
+    /// method so that nested reservations alias the same hardware
+    /// slots.
+    pub tracked_order: Vec<Local>,
+}
+
+impl FunctionAnalysis {
+    /// The `lwl`/`swl` slot index for `v`, if it is tracked in this
+    /// method.
+    pub fn tracked_slot(&self, v: Local) -> Option<u16> {
+        self.tracked_order
+            .iter()
+            .position(|&w| w == v)
+            .map(|i| i as u16)
+    }
+}
+
+/// One candidate speculative thread loop.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Dense program-wide id, embedded in annotation instructions.
+    pub id: LoopId,
+    /// Containing function.
+    pub func: FuncId,
+    /// Index of the loop in that function's [`LoopForest`].
+    pub loop_idx: usize,
+    /// Static nesting depth (1 = outermost in its method).
+    pub depth: u32,
+    /// Static height above the innermost loop (innermost = 1).
+    pub height: u32,
+    /// Nearest enclosing candidate in the same method, if any.
+    pub parent: Option<LoopId>,
+}
+
+/// A loop that was found but rejected as an STL candidate.
+#[derive(Debug, Clone)]
+pub struct RejectedLoop {
+    /// Containing function.
+    pub func: FuncId,
+    /// Index in the function's loop forest.
+    pub loop_idx: usize,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// The result of candidate extraction over a whole program.
+#[derive(Debug, Clone)]
+pub struct ProgramCandidates {
+    /// Per-function analyses, indexed by function id.
+    pub functions: Vec<FunctionAnalysis>,
+    /// Qualified candidates. `candidates[i].id == LoopId(i)`.
+    pub candidates: Vec<Candidate>,
+    /// Loops rejected by the scalar screen.
+    pub rejected: Vec<RejectedLoop>,
+}
+
+impl ProgramCandidates {
+    /// The candidate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this extraction.
+    pub fn candidate(&self, id: LoopId) -> &Candidate {
+        &self.candidates[id.0 as usize]
+    }
+
+    /// Total number of natural loops discovered (Table 6's "Loop
+    /// count" column counts static loops, qualified or not).
+    pub fn total_loops(&self) -> usize {
+        self.functions.iter().map(|f| f.forest.len()).sum()
+    }
+
+    /// Maximum static loop-nest depth across the program.
+    pub fn max_static_depth(&self) -> u32 {
+        self.functions
+            .iter()
+            .map(|f| f.forest.max_depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The per-loop `lwl`/`swl` slot mask: bit `i` is set when method
+    /// slot `i` belongs to this loop's own tracked set. The runtime
+    /// installs these masks into the tracer's comparator banks so a
+    /// bank ignores variables that are privatizable inductors or
+    /// reductions *of its own loop* even though an enclosing loop
+    /// needs them annotated.
+    pub fn tracked_mask(&self, id: LoopId) -> u64 {
+        self.tracked_vars(id)
+            .into_iter()
+            .filter(|(slot, _)| *slot < 64)
+            .fold(0u64, |m, (slot, _)| m | (1u64 << slot))
+    }
+
+    /// All per-loop slot masks (see [`ProgramCandidates::tracked_mask`]).
+    pub fn tracked_masks(&self) -> Vec<(LoopId, u64)> {
+        self.candidates
+            .iter()
+            .map(|c| (c.id, self.tracked_mask(c.id)))
+            .collect()
+    }
+
+    /// The tracked locals of candidate `id` (the variables its
+    /// annotations cover), in method slot order.
+    pub fn tracked_vars(&self, id: LoopId) -> Vec<(u16, Local)> {
+        let cand = self.candidate(id);
+        let fa = &self.functions[cand.func.0 as usize];
+        let tracked = fa.classes[cand.loop_idx].tracked();
+        fa.tracked_order
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| tracked.contains(v))
+            .map(|(i, &v)| (i as u16, v))
+            .collect()
+    }
+}
+
+/// Extracts candidate STLs from every function of `program`.
+///
+/// All natural loops are discovered; loops with an obvious serializing
+/// scalar dependency are rejected (with a reason), everything else is
+/// optimistically kept for the tracer to judge.
+pub fn extract_candidates(program: &Program) -> ProgramCandidates {
+    let mut functions = Vec::with_capacity(program.functions.len());
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut rejected = Vec::new();
+
+    for (fi, f) in program.functions.iter().enumerate() {
+        let func = FuncId(fi as u16);
+        let cfg = Cfg::build(f);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        let classes: Vec<LocalClasses> = (0..forest.len())
+            .map(|li| classify(program, f, &cfg, &dom, &forest, li))
+            .collect();
+
+        // method-level tracked numbering: union over all loops
+        let mut tracked_set: BTreeSet<Local> = BTreeSet::new();
+        for c in &classes {
+            tracked_set.extend(c.tracked());
+        }
+        let tracked_order: Vec<Local> = tracked_set.into_iter().collect();
+
+        // qualify loops, outermost first (forest order)
+        let mut loop_to_candidate: Vec<Option<LoopId>> = vec![None; forest.len()];
+        for (li, l) in forest.loops.iter().enumerate() {
+            let c = &classes[li];
+            if c.has_serializing_dependency() {
+                let vars: Vec<String> =
+                    c.serializing.iter().map(|v| format!("l{}", v.0)).collect();
+                rejected.push(RejectedLoop {
+                    func,
+                    loop_idx: li,
+                    reason: format!(
+                        "serializing scalar dependency on {}",
+                        vars.join(", ")
+                    ),
+                });
+                continue;
+            }
+            // nearest enclosing *candidate*
+            let mut parent = None;
+            let mut up = l.parent;
+            while let Some(pi) = up {
+                if let Some(pid) = loop_to_candidate[pi] {
+                    parent = Some(pid);
+                    break;
+                }
+                up = forest.loops[pi].parent;
+            }
+            let id = LoopId(candidates.len() as u32);
+            loop_to_candidate[li] = Some(id);
+            candidates.push(Candidate {
+                id,
+                func,
+                loop_idx: li,
+                depth: l.depth,
+                height: l.height,
+                parent,
+            });
+        }
+
+        functions.push(FunctionAnalysis {
+            func,
+            cfg,
+            forest,
+            classes,
+            tracked_order,
+        });
+    }
+
+    ProgramCandidates {
+        functions,
+        candidates,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::isa::Cond;
+    use tvm::ProgramBuilder;
+
+    fn candidates_of(body: impl FnOnce(&mut tvm::FnBuilder)) -> ProgramCandidates {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            body(f);
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        extract_candidates(&p)
+    }
+
+    #[test]
+    fn simple_loop_is_a_candidate() {
+        let c = candidates_of(|f| {
+            let (a, i) = (f.local(), f.local());
+            f.ci(32).newarray(tvm::ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 32.into(), |f| {
+                f.arr_set(
+                    a,
+                    |f| {
+                        f.ld(i);
+                    },
+                    |f| {
+                        f.ld(i);
+                    },
+                );
+            });
+        });
+        assert_eq!(c.candidates.len(), 1);
+        assert_eq!(c.total_loops(), 1);
+        assert!(c.rejected.is_empty());
+        assert_eq!(c.candidates[0].id, LoopId(0));
+        assert_eq!(c.candidates[0].depth, 1);
+    }
+
+    #[test]
+    fn serializing_loop_is_rejected() {
+        let c = candidates_of(|f| {
+            let x = f.local();
+            f.ci(1 << 20).st(x);
+            f.while_icmp(
+                Cond::Gt,
+                |f| {
+                    f.ld(x).ci(0);
+                },
+                |f| {
+                    f.ld(x).ci(2).idiv().st(x);
+                },
+            );
+        });
+        assert_eq!(c.candidates.len(), 0);
+        assert_eq!(c.rejected.len(), 1);
+        assert_eq!(c.total_loops(), 1);
+        assert!(c.rejected[0].reason.contains("serializing"));
+    }
+
+    #[test]
+    fn nested_candidates_link_parents() {
+        let c = candidates_of(|f| {
+            let (i, j, a) = (f.local(), f.local(), f.local());
+            f.ci(64).newarray(tvm::ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 8.into(), |f| {
+                f.for_in(j, 0.into(), 8.into(), |f| {
+                    f.arr_set(
+                        a,
+                        |f| {
+                            f.ld(j);
+                        },
+                        |f| {
+                            f.ld(i);
+                        },
+                    );
+                });
+            });
+        });
+        assert_eq!(c.candidates.len(), 2);
+        let outer = &c.candidates[0];
+        let inner = &c.candidates[1];
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.height, 2);
+        assert_eq!(inner.height, 1);
+        assert_eq!(c.max_static_depth(), 2);
+    }
+
+    #[test]
+    fn tracked_slots_are_method_level() {
+        let c = candidates_of(|f| {
+            let (i, prev, a) = (f.local(), f.local(), f.local());
+            f.ci(64).newarray(tvm::ElemKind::Int).st(a);
+            f.ci(0).st(prev);
+            f.for_in(i, 0.into(), 10.into(), |f| {
+                f.arr_set(
+                    a,
+                    |f| {
+                        f.ld(i);
+                    },
+                    |f| {
+                        f.ld(prev);
+                    },
+                );
+                f.arr_get(a, |f| {
+                    f.ld(i);
+                })
+                .st(prev);
+            });
+        });
+        let fa = &c.functions[0];
+        assert_eq!(fa.tracked_order, vec![Local(1)]); // prev
+        assert_eq!(fa.tracked_slot(Local(1)), Some(0));
+        assert_eq!(fa.tracked_slot(Local(0)), None);
+        assert_eq!(c.tracked_vars(LoopId(0)), vec![(0, Local(1))]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Basic-block control-flow graph construction.
+
+use tvm::program::Function;
+
+/// Index of a basic block within a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// A basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index (inclusive).
+    pub start: u32,
+    /// One past the last instruction index (exclusive).
+    pub end: u32,
+    /// Successor blocks in CFG order (branch target first, then
+    /// fallthrough).
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+impl Block {
+    /// Index of the block's terminator (its last instruction).
+    pub fn terminator_idx(&self) -> u32 {
+        self.end - 1
+    }
+}
+
+/// A control-flow graph over a function body.
+///
+/// Block 0 is the entry block. Unreachable instructions get no block.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks in ascending `start` order.
+    pub blocks: Vec<Block>,
+    /// For every instruction index, the containing block (or `None` for
+    /// unreachable code).
+    pub block_of_instr: Vec<Option<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    ///
+    /// Leaders are: instruction 0, every branch target, and every
+    /// instruction following a terminator. Blocks end at terminators or
+    /// before the next leader.
+    pub fn build(f: &Function) -> Cfg {
+        let code = &f.code;
+        let n = code.len();
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, instr) in code.iter().enumerate() {
+            if let Some(t) = instr.branch_target() {
+                leader[t as usize] = true;
+            }
+            if instr.is_terminator() && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of_instr: Vec<Option<BlockId>> = vec![None; n];
+        let mut start = 0usize;
+        for i in 0..n {
+            let is_last = i + 1 == n || leader[i + 1];
+            let ends_block = code[i].is_terminator() || is_last;
+            if ends_block {
+                let id = BlockId(blocks.len() as u32);
+                for slot in block_of_instr.iter_mut().take(i + 1).skip(start) {
+                    *slot = Some(id);
+                }
+                blocks.push(Block {
+                    start: start as u32,
+                    end: (i + 1) as u32,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                start = i + 1;
+            }
+        }
+
+        // successor edges
+        let block_at = |instr_idx: u32| -> BlockId {
+            block_of_instr[instr_idx as usize].expect("target instruction must be in a block")
+        };
+        let mut edges: Vec<(BlockId, BlockId)> = Vec::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            let term = &code[b.terminator_idx() as usize];
+            let from = BlockId(bi as u32);
+            if let Some(t) = term.branch_target() {
+                edges.push((from, block_at(t)));
+            }
+            if term.falls_through() && (b.end as usize) < n {
+                edges.push((from, block_at(b.end)));
+            }
+        }
+        for (from, to) in edges {
+            blocks[from.0 as usize].succs.push(to);
+            blocks[to.0 as usize].preds.push(from);
+        }
+
+        // drop duplicate pred entries from conditional branches whose
+        // both edges reach the same block (keep multiplicity: natural
+        // loop detection does not care, and duplicates are rare). We
+        // de-duplicate to keep algorithms simple.
+        for b in &mut blocks {
+            b.succs.dedup();
+            b.preds.sort_unstable();
+            b.preds.dedup();
+        }
+
+        let mut cfg = Cfg {
+            blocks,
+            block_of_instr,
+        };
+        cfg.prune_unreachable();
+        cfg
+    }
+
+    /// Removes blocks unreachable from the entry (they confuse the
+    /// dominator computation). Block ids are re-compacted.
+    fn prune_unreachable(&mut self) {
+        let n = self.blocks.len();
+        if n == 0 {
+            return;
+        }
+        let mut seen = vec![false; n];
+        let mut work = vec![BlockId(0)];
+        seen[0] = true;
+        while let Some(b) = work.pop() {
+            for &s in &self.blocks[b.0 as usize].succs {
+                if !seen[s.0 as usize] {
+                    seen[s.0 as usize] = true;
+                    work.push(s);
+                }
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            return;
+        }
+        let mut remap: Vec<Option<BlockId>> = vec![None; n];
+        let mut kept: Vec<Block> = Vec::new();
+        for (i, block) in self.blocks.iter().enumerate() {
+            if seen[i] {
+                remap[i] = Some(BlockId(kept.len() as u32));
+                kept.push(block.clone());
+            }
+        }
+        for b in &mut kept {
+            b.succs = b
+                .succs
+                .iter()
+                .filter_map(|s| remap[s.0 as usize])
+                .collect();
+            b.preds = b
+                .preds
+                .iter()
+                .filter_map(|s| remap[s.0 as usize])
+                .collect();
+        }
+        for slot in &mut self.block_of_instr {
+            *slot = slot.and_then(|b| remap[b.0 as usize]);
+        }
+        self.blocks = kept;
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the function body produced no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block containing instruction `idx`, if reachable.
+    pub fn block_of(&self, idx: u32) -> Option<BlockId> {
+        self.block_of_instr.get(idx as usize).copied().flatten()
+    }
+
+    /// Iterates the instruction indices of block `b`.
+    pub fn instrs_of(&self, b: BlockId) -> impl Iterator<Item = u32> {
+        let block = &self.blocks[b.0 as usize];
+        block.start..block.end
+    }
+
+    /// A reverse post-order over blocks (entry first).
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut visited = vec![false; n];
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        // iterative DFS with explicit stack of (block, next-succ-index)
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        if n > 0 {
+            visited[0] = true;
+            stack.push((BlockId(0), 0));
+        }
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succs = &self.blocks[b.0 as usize].succs;
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::isa::Cond;
+    use tvm::ProgramBuilder;
+
+    fn build_main(body: impl FnOnce(&mut tvm::FnBuilder)) -> tvm::Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            body(f);
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = build_main(|f| {
+            f.ci(1).ci(2).iadd().drop_top();
+        });
+        let cfg = Cfg::build(&p.functions[0]);
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_produces_back_edge() {
+        let p = build_main(|f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 10.into(), |_f| {});
+        });
+        let cfg = Cfg::build(&p.functions[0]);
+        // some block has a successor that appears earlier (the back edge)
+        let has_back_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|s| (s.0 as usize) <= i));
+        assert!(has_back_edge);
+        // every reachable instruction belongs to a block
+        for (i, slot) in cfg.block_of_instr.iter().enumerate() {
+            assert!(slot.is_some(), "instr {i} unassigned");
+        }
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let p = build_main(|f| {
+            let x = f.local();
+            f.ci(1).st(x);
+            f.if_else_icmp(
+                Cond::Gt,
+                |f| {
+                    f.ld(x).ci(0);
+                },
+                |f| {
+                    f.ci(1).st(x);
+                },
+                |f| {
+                    f.ci(2).st(x);
+                },
+            );
+            f.ld(x).drop_top();
+        });
+        let cfg = Cfg::build(&p.functions[0]);
+        // entry, then, else, join  (join may merge with trailing code)
+        assert!(cfg.len() >= 4, "got {} blocks", cfg.len());
+        let entry = &cfg.blocks[0];
+        assert_eq!(entry.succs.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_code_is_pruned() {
+        use tvm::isa::Instr;
+        use tvm::program::{Function, Program};
+        use tvm::FuncId;
+        let f = Function {
+            name: "f".into(),
+            n_params: 0,
+            n_locals: 0,
+            returns: false,
+            code: vec![
+                Instr::Goto(2),
+                Instr::IConst(1), // unreachable (and not a leader target)
+                Instr::ReturnVoid,
+            ],
+        };
+        let _p = Program {
+            functions: vec![f.clone()],
+            classes: vec![],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.block_of(1), None);
+        assert!(cfg.block_of(2).is_some());
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let p = build_main(|f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 3.into(), |_f| {});
+        });
+        let cfg = Cfg::build(&p.functions[0]);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), cfg.len());
+    }
+}

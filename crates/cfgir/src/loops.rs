@@ -1,0 +1,290 @@
+//! Natural-loop identification and the loop-nesting forest.
+
+use crate::cfg::{BlockId, Cfg};
+use crate::dom::Dominators;
+use std::collections::BTreeSet;
+
+/// A natural loop: a CFG back edge's strongly nested body.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (single entry block).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: BTreeSet<BlockId>,
+    /// Blocks with a back edge to the header (latches).
+    pub latches: Vec<BlockId>,
+    /// Edges entering the loop from outside: `(pred, header)`.
+    pub entry_edges: Vec<(BlockId, BlockId)>,
+    /// Edges leaving the loop: `(inside, outside)`.
+    pub exit_edges: Vec<(BlockId, BlockId)>,
+    /// Index of the enclosing loop in the forest, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth (1 = outermost).
+    pub depth: u32,
+    /// Height above the innermost loop of this nest (innermost = 1).
+    pub height: u32,
+}
+
+/// All natural loops of one function, with nesting relations.
+///
+/// Loops are ordered outermost-first (by decreasing body size), so a
+/// loop's parent always precedes it.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// The loops, outermost first.
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Finds all natural loops of `cfg`. Back edges with the same
+    /// header are merged into one loop (as in classic loop analysis).
+    pub fn build(cfg: &Cfg, dom: &Dominators) -> LoopForest {
+        // collect back edges
+        let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+        for (bi, b) in cfg.blocks.iter().enumerate() {
+            let from = BlockId(bi as u32);
+            for &to in &b.succs {
+                if dom.dominates(to, from) {
+                    back_edges.push((from, to));
+                }
+            }
+        }
+
+        // group by header, gather bodies
+        let mut headers: Vec<BlockId> = back_edges.iter().map(|&(_, h)| h).collect();
+        headers.sort_unstable();
+        headers.dedup();
+
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for header in headers {
+            let latches: Vec<BlockId> = back_edges
+                .iter()
+                .filter(|&&(_, h)| h == header)
+                .map(|&(l, _)| l)
+                .collect();
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            blocks.insert(header);
+            // reverse reachability from each latch, not crossing header
+            let mut work: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if blocks.insert(l) {
+                    work.push(l);
+                }
+            }
+            while let Some(b) = work.pop() {
+                for &p in &cfg.blocks[b.0 as usize].preds {
+                    if blocks.insert(p) {
+                        work.push(p);
+                    }
+                }
+            }
+
+            let mut entry_edges = Vec::new();
+            for &p in &cfg.blocks[header.0 as usize].preds {
+                if !blocks.contains(&p) {
+                    entry_edges.push((p, header));
+                }
+            }
+            let mut exit_edges = Vec::new();
+            for &b in &blocks {
+                for &s in &cfg.blocks[b.0 as usize].succs {
+                    if !blocks.contains(&s) {
+                        exit_edges.push((b, s));
+                    }
+                }
+            }
+
+            loops.push(NaturalLoop {
+                header,
+                blocks,
+                latches,
+                entry_edges,
+                exit_edges,
+                parent: None,
+                depth: 1,
+                height: 1,
+            });
+        }
+
+        // outermost first: larger bodies first, ties by header order
+        loops.sort_by(|a, b| {
+            b.blocks
+                .len()
+                .cmp(&a.blocks.len())
+                .then(a.header.cmp(&b.header))
+        });
+
+        // parent = smallest strict superset among earlier (larger) loops
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..i {
+                if loops[j].blocks.len() > loops[i].blocks.len()
+                    && loops[j].blocks.is_superset(&loops[i].blocks)
+                {
+                    best = Some(match best {
+                        None => j,
+                        Some(k) if loops[j].blocks.len() < loops[k].blocks.len() => j,
+                        Some(k) => k,
+                    });
+                }
+            }
+            loops[i].parent = best;
+            loops[i].depth = best.map_or(1, |p| loops[p].depth + 1);
+        }
+
+        // heights: innermost = 1, bottom-up
+        for i in (0..loops.len()).rev() {
+            let h = 1 + loops
+                .iter()
+                .enumerate()
+                .filter(|&(j, l)| l.parent == Some(i) && j != i)
+                .map(|(_, l)| l.height)
+                .max()
+                .unwrap_or(0);
+            loops[i].height = h;
+        }
+
+        LoopForest { loops }
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// True if the function has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Maximum static nesting depth (0 when loop-free).
+    pub fn max_depth(&self) -> u32 {
+        self.loops.iter().map(|l| l.depth).max().unwrap_or(0)
+    }
+
+    /// The innermost loop containing block `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<usize> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.blocks.contains(&b))
+            .max_by_key(|(_, l)| l.depth)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dom::Dominators;
+    use tvm::isa::Cond;
+    use tvm::ProgramBuilder;
+
+    fn forest_of(body: impl FnOnce(&mut tvm::FnBuilder)) -> (Cfg, LoopForest) {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            body(f);
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let cfg = Cfg::build(&p.functions[0]);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        (cfg, forest)
+    }
+
+    #[test]
+    fn single_loop_found() {
+        let (_, forest) = forest_of(|f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 10.into(), |_f| {});
+        });
+        assert_eq!(forest.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.height, 1);
+        assert_eq!(l.entry_edges.len(), 1);
+        assert!(!l.exit_edges.is_empty());
+        assert_eq!(l.latches.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_have_parent_links() {
+        let (_, forest) = forest_of(|f| {
+            let i = f.local();
+            let j = f.local();
+            f.for_in(i, 0.into(), 10.into(), |f| {
+                f.for_in(j, 0.into(), 10.into(), |_f| {});
+            });
+        });
+        assert_eq!(forest.len(), 2);
+        let outer = &forest.loops[0];
+        let inner = &forest.loops[1];
+        assert!(outer.blocks.len() > inner.blocks.len());
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(outer.height, 2);
+        assert_eq!(inner.height, 1);
+        assert_eq!(forest.max_depth(), 2);
+    }
+
+    #[test]
+    fn sequential_loops_are_siblings() {
+        let (_, forest) = forest_of(|f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 10.into(), |_f| {});
+            f.for_in(i, 0.into(), 10.into(), |_f| {});
+        });
+        assert_eq!(forest.len(), 2);
+        assert!(forest.loops.iter().all(|l| l.parent.is_none()));
+        assert_eq!(forest.max_depth(), 1);
+    }
+
+    #[test]
+    fn triple_nest_depths() {
+        let (_, forest) = forest_of(|f| {
+            let (i, j, k) = (f.local(), f.local(), f.local());
+            f.for_in(i, 0.into(), 3.into(), |f| {
+                f.for_in(j, 0.into(), 3.into(), |f| {
+                    f.for_in(k, 0.into(), 3.into(), |_f| {});
+                });
+            });
+        });
+        assert_eq!(forest.len(), 3);
+        assert_eq!(forest.max_depth(), 3);
+        assert_eq!(forest.loops[0].height, 3);
+    }
+
+    #[test]
+    fn do_while_loop_found() {
+        let (_, forest) = forest_of(|f| {
+            let n = f.local();
+            f.ci(0).st(n);
+            f.do_while_icmp(
+                |f| {
+                    f.inc(n, 1);
+                },
+                |f| {
+                    f.ld(n).ci(10);
+                },
+                Cond::Lt,
+            );
+        });
+        assert_eq!(forest.len(), 1);
+    }
+
+    #[test]
+    fn innermost_containing_picks_deepest() {
+        let (_cfg, forest) = forest_of(|f| {
+            let (i, j) = (f.local(), f.local());
+            f.for_in(i, 0.into(), 3.into(), |f| {
+                f.for_in(j, 0.into(), 3.into(), |_f| {});
+            });
+        });
+        let inner_header = forest.loops[1].header;
+        assert_eq!(forest.innermost_containing(inner_header), Some(1));
+    }
+}

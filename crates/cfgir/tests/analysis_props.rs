@@ -1,0 +1,182 @@
+//! Property tests for the CFG analyses: the iterative dominator
+//! computation is checked against a brute-force reachability oracle on
+//! randomly generated structured programs, and the natural-loop
+//! invariants are verified structurally.
+
+use cfgir::{Cfg, Dominators, LoopForest};
+use proptest::prelude::*;
+use tvm::{Cond, FnBuilder, Program, ProgramBuilder};
+
+/// Random structured control flow: sequences, ifs, loops.
+#[derive(Debug, Clone)]
+enum Shape {
+    Work(u8),
+    If(Vec<Shape>, Vec<Shape>),
+    Loop(Vec<Shape>),
+    Break,
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    let leaf = prop_oneof![
+        (1u8..4).prop_map(Shape::Work),
+        Just(Shape::Break),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            (
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(a, b)| Shape::If(a, b)),
+            prop::collection::vec(inner, 1..3).prop_map(Shape::Loop),
+        ]
+    })
+}
+
+fn emit(f: &mut FnBuilder, x: tvm::Local, shapes: &[Shape], break_to: Option<tvm::Label>) {
+    for s in shapes {
+        match s {
+            Shape::Work(n) => {
+                for _ in 0..*n {
+                    f.ld(x).ci(1).iadd().st(x);
+                }
+            }
+            Shape::Break => {
+                if let Some(l) = break_to {
+                    // conditional break so code after stays reachable
+                    f.if_icmp(
+                        Cond::Gt,
+                        |f| {
+                            f.ld(x).ci(1_000_000);
+                        },
+                        |f| {
+                            f.goto(l);
+                        },
+                    );
+                }
+            }
+            Shape::If(a, b) => {
+                let else_l = f.new_label();
+                let end = f.new_label();
+                f.ld(x).ci(7).br_icmp(Cond::Lt, else_l);
+                emit(f, x, a, break_to);
+                f.goto(end);
+                f.bind(else_l);
+                emit(f, x, b, break_to);
+                f.bind(end);
+            }
+            Shape::Loop(body) => {
+                let i = f.local();
+                let exit = f.new_label();
+                let head = f.new_label();
+                f.ci(0).st(i);
+                f.bind(head);
+                f.ld(i).ci(3).br_icmp(Cond::Ge, exit);
+                emit(f, x, body, Some(exit));
+                f.inc(i, 1);
+                f.goto(head);
+                f.bind(exit);
+            }
+        }
+    }
+}
+
+fn compile(shapes: &[Shape]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, true, |f| {
+        let x = f.local();
+        emit(f, x, shapes, None);
+        f.ld(x).ret();
+    });
+    b.finish(main).expect("generated structure verifies")
+}
+
+/// Brute force: A dominates B iff B is unreachable from entry when A
+/// is removed (and both are reachable).
+fn dominates_brute(cfg: &Cfg, a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    if a == 0 {
+        // the entry dominates every (reachable) block, and Cfg::build
+        // prunes unreachable ones
+        return true;
+    }
+    let n = cfg.len();
+    let mut seen = vec![false; n];
+    let mut work = vec![0usize];
+    seen[0] = true;
+    while let Some(v) = work.pop() {
+        for s in &cfg.blocks[v].succs {
+            let si = s.0 as usize;
+            if si != a && !seen[si] {
+                seen[si] = true;
+                work.push(si);
+            }
+        }
+    }
+    !seen[b]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominators_match_brute_force(shapes in prop::collection::vec(arb_shape(), 1..4)) {
+        let p = compile(&shapes);
+        let cfg = Cfg::build(&p.functions[0]);
+        let dom = Dominators::compute(&cfg);
+        let n = cfg.len().min(24); // bound the O(n^3) oracle
+        for a in 0..n {
+            for b in 0..n {
+                let fast = dom.dominates(cfgir::BlockId(a as u32), cfgir::BlockId(b as u32));
+                let slow = dominates_brute(&cfg, a, b);
+                prop_assert_eq!(fast, slow, "a={} b={}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn loop_forest_invariants(shapes in prop::collection::vec(arb_shape(), 1..4)) {
+        let p = compile(&shapes);
+        let cfg = Cfg::build(&p.functions[0]);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        for (i, l) in forest.loops.iter().enumerate() {
+            // header is in the loop and dominates every member
+            prop_assert!(l.blocks.contains(&l.header));
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b), "header must dominate {b:?}");
+            }
+            // latches branch to the header
+            for &latch in &l.latches {
+                prop_assert!(cfg.blocks[latch.0 as usize].succs.contains(&l.header));
+                prop_assert!(l.blocks.contains(&latch));
+            }
+            // parent strictly contains the child
+            if let Some(pi) = l.parent {
+                prop_assert!(forest.loops[pi].blocks.is_superset(&l.blocks));
+                prop_assert!(forest.loops[pi].blocks.len() > l.blocks.len());
+                prop_assert_eq!(forest.loops[pi].depth + 1, l.depth);
+            } else {
+                prop_assert_eq!(l.depth, 1);
+            }
+            // exit edges leave the loop, entry edges come from outside
+            for &(from, to) in &l.exit_edges {
+                prop_assert!(l.blocks.contains(&from) && !l.blocks.contains(&to));
+            }
+            for &(from, to) in &l.entry_edges {
+                prop_assert!(!l.blocks.contains(&from));
+                prop_assert_eq!(to, l.header);
+            }
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn generated_structures_execute(shapes in prop::collection::vec(arb_shape(), 1..4)) {
+        let p = compile(&shapes);
+        let r = tvm::Interp::run(&p, &mut tvm::NullSink).unwrap();
+        prop_assert!(r.ret.unwrap().as_int().unwrap() >= 0);
+    }
+}

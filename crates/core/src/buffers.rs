@@ -1,0 +1,325 @@
+//! Timestamp storage structures (paper §5.3).
+//!
+//! During profiling the five speculation store buffers — idle while the
+//! program runs sequentially — hold event timestamps instead of
+//! speculative data. Their limited capacity is a *feature* of the
+//! evaluation: the paper measures how much precision the analysis loses
+//! to FIFO eviction and direct-mapped aliasing (§6.2).
+
+use std::collections::{HashMap, VecDeque};
+use tvm::trace::{Addr, Cycles};
+use tvm::{line_of, LINE_WORDS, WORD_BYTES};
+
+/// Heap store timestamps: a FIFO of cache lines, each holding one
+/// timestamp per word. Three of the five 2 kB store buffers are used,
+/// giving 192 lines (6 kB) of write history.
+///
+/// Looking up an address whose line has been evicted returns `None` —
+/// the dependency is simply not seen, one of the documented sources of
+/// imprecision.
+#[derive(Debug, Clone)]
+pub struct StoreTimestampFifo {
+    capacity: usize,
+    lines: HashMap<u32, [Option<Cycles>; LINE_WORDS as usize]>,
+    order: VecDeque<u32>,
+    evictions: u64,
+}
+
+impl StoreTimestampFifo {
+    /// Creates a FIFO holding at most `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        StoreTimestampFifo {
+            capacity,
+            lines: HashMap::new(),
+            order: VecDeque::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Records a store timestamp for the word at `addr`. A line already
+    /// present is updated in place (the hardware merges writes to a
+    /// buffered line); a new line may evict the oldest.
+    pub fn record(&mut self, addr: Addr, now: Cycles) {
+        let line = line_of(addr);
+        let word = ((addr / WORD_BYTES) % LINE_WORDS) as usize;
+        if let Some(entry) = self.lines.get_mut(&line) {
+            entry[word] = Some(now);
+            return;
+        }
+        if self.order.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.lines.remove(&old);
+                self.evictions += 1;
+            }
+        }
+        let mut entry = [None; LINE_WORDS as usize];
+        entry[word] = Some(now);
+        self.lines.insert(line, entry);
+        self.order.push_back(line);
+    }
+
+    /// The last store timestamp recorded for the word at `addr`, if its
+    /// line is still buffered.
+    pub fn lookup(&self, addr: Addr) -> Option<Cycles> {
+        let line = line_of(addr);
+        let word = ((addr / WORD_BYTES) % LINE_WORDS) as usize;
+        self.lines.get(&line).and_then(|e| e[word])
+    }
+
+    /// Number of lines evicted so far (history lost).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Lines currently buffered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if no store has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// A direct-mapped table of cache-line timestamps with tags, used by
+/// the speculative-state overflow analysis (Figure 4). Index and tag
+/// come from the line number exactly as the figure's bit slices do;
+/// aliasing between lines that share an index loses the older
+/// timestamp, as in hardware.
+#[derive(Debug, Clone)]
+pub struct LineTimestampTable {
+    mask: u32,
+    entries: Vec<Option<(u32, Cycles)>>, // (tag, timestamp)
+}
+
+impl LineTimestampTable {
+    /// Creates a table with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        LineTimestampTable {
+            mask: entries as u32 - 1,
+            entries: vec![None; entries],
+        }
+    }
+
+    /// The timestamp recorded for `line`, if the slot still holds that
+    /// line (tag match).
+    pub fn lookup(&self, line: u32) -> Option<Cycles> {
+        let idx = (line & self.mask) as usize;
+        match self.entries[idx] {
+            Some((tag, ts)) if tag == line >> self.mask.trailing_ones() => Some(ts),
+            _ => None,
+        }
+    }
+
+    /// Records an access timestamp for `line`, evicting any aliasing
+    /// entry.
+    pub fn record(&mut self, line: u32, now: Cycles) {
+        let idx = (line & self.mask) as usize;
+        self.entries[idx] = Some((line >> self.mask.trailing_ones(), now));
+    }
+
+    /// Clears the table (used between profiling phases).
+    pub fn clear(&mut self) {
+        self.entries.fill(None);
+    }
+}
+
+/// Local-variable store timestamps: a small table shared by all active
+/// STLs, reserved in per-activation frames by `sloop n` and freed by
+/// `eloop n` (Table 4). Nested loops of the same method activation
+/// re-use the same frame (the method-level `vn` numbering aliases
+/// them), so reservation is reference-counted.
+#[derive(Debug, Clone)]
+pub struct LocalVarTimestamps {
+    capacity: usize,
+    used: usize,
+    frames: Vec<LocalFrame>,
+}
+
+#[derive(Debug, Clone)]
+struct LocalFrame {
+    activation: u32,
+    refcount: u32,
+    slots: Vec<Option<Cycles>>,
+}
+
+impl LocalVarTimestamps {
+    /// Creates a table with `capacity` total slots.
+    pub fn new(capacity: usize) -> Self {
+        LocalVarTimestamps {
+            capacity,
+            used: 0,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Attempts to reserve `n` slots for `activation` (on `sloop`).
+    /// Returns `false` when the table is full — the caller then leaves
+    /// the loop untraced, the paper's "no room left for local variable
+    /// timestamps" case.
+    pub fn reserve(&mut self, activation: u32, n: u16) -> bool {
+        if let Some(top) = self.frames.last_mut() {
+            if top.activation == activation {
+                // nested loop in the same method: same slots
+                if top.slots.len() < n as usize {
+                    // method-level numbering guarantees equal n; grow
+                    // defensively if a larger reservation appears
+                    let grow = n as usize - top.slots.len();
+                    if self.used + grow > self.capacity {
+                        return false;
+                    }
+                    self.used += grow;
+                    top.slots.resize(n as usize, None);
+                }
+                top.refcount += 1;
+                return true;
+            }
+        }
+        if self.used + n as usize > self.capacity {
+            return false;
+        }
+        self.used += n as usize;
+        self.frames.push(LocalFrame {
+            activation,
+            refcount: 1,
+            slots: vec![None; n as usize],
+        });
+        true
+    }
+
+    /// Releases one reservation for `activation` (on `eloop`).
+    pub fn release(&mut self, activation: u32) {
+        if let Some(top) = self.frames.last_mut() {
+            if top.activation == activation {
+                top.refcount -= 1;
+                if top.refcount == 0 {
+                    self.used -= top.slots.len();
+                    self.frames.pop();
+                }
+            }
+        }
+    }
+
+    /// Records a store timestamp for variable `var` of `activation`.
+    /// Ignored when the activation has no live frame (its loop was left
+    /// untraced).
+    pub fn record(&mut self, activation: u32, var: u16, now: Cycles) {
+        if let Some(top) = self.frames.last_mut() {
+            if top.activation == activation {
+                if let Some(slot) = top.slots.get_mut(var as usize) {
+                    *slot = Some(now);
+                }
+            }
+        }
+    }
+
+    /// The last store timestamp for variable `var` of `activation`.
+    pub fn lookup(&self, activation: u32, var: u16) -> Option<Cycles> {
+        let top = self.frames.last()?;
+        if top.activation != activation {
+            return None;
+        }
+        top.slots.get(var as usize).copied().flatten()
+    }
+
+    /// Slots currently reserved.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_roundtrip_and_word_granularity() {
+        let mut f = StoreTimestampFifo::new(4);
+        f.record(0x100, 10); // line 8, word 0
+        f.record(0x108, 20); // line 8, word 1
+        assert_eq!(f.lookup(0x100), Some(10));
+        assert_eq!(f.lookup(0x108), Some(20));
+        assert_eq!(f.lookup(0x110), None); // untouched word
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_line() {
+        let mut f = StoreTimestampFifo::new(2);
+        f.record(0x000, 1);
+        f.record(0x020, 2);
+        f.record(0x040, 3); // evicts line of 0x000
+        assert_eq!(f.lookup(0x000), None);
+        assert_eq!(f.lookup(0x020), Some(2));
+        assert_eq!(f.lookup(0x040), Some(3));
+        assert_eq!(f.evictions(), 1);
+    }
+
+    #[test]
+    fn fifo_update_does_not_reorder() {
+        let mut f = StoreTimestampFifo::new(2);
+        f.record(0x000, 1);
+        f.record(0x020, 2);
+        f.record(0x008, 5); // same line as 0x000: update in place
+        f.record(0x040, 6); // still evicts the 0x000 line (oldest)
+        assert_eq!(f.lookup(0x008), None);
+        assert_eq!(f.lookup(0x020), Some(2));
+    }
+
+    #[test]
+    fn line_table_tags_detect_aliasing() {
+        let mut t = LineTimestampTable::new(64);
+        t.record(1, 10);
+        assert_eq!(t.lookup(1), Some(10));
+        // line 65 aliases index 1 with a different tag
+        assert_eq!(t.lookup(65), None);
+        t.record(65, 20);
+        assert_eq!(t.lookup(65), Some(20));
+        assert_eq!(t.lookup(1), None); // evicted by aliasing
+    }
+
+    #[test]
+    fn local_frames_nest_by_refcount() {
+        let mut l = LocalVarTimestamps::new(8);
+        assert!(l.reserve(1, 3)); // outer loop of activation 1
+        assert!(l.reserve(1, 3)); // inner loop, same activation
+        assert_eq!(l.used(), 3);
+        l.record(1, 2, 42);
+        assert_eq!(l.lookup(1, 2), Some(42));
+        l.release(1);
+        assert_eq!(l.lookup(1, 2), Some(42)); // outer still holds it
+        l.release(1);
+        assert_eq!(l.used(), 0);
+        assert_eq!(l.lookup(1, 2), None);
+    }
+
+    #[test]
+    fn local_capacity_rejects_reservation() {
+        let mut l = LocalVarTimestamps::new(4);
+        assert!(l.reserve(1, 3));
+        assert!(!l.reserve(2, 3)); // would exceed 4 slots
+        assert_eq!(l.used(), 3);
+        // rejected activation's accesses are ignored
+        l.record(2, 0, 9);
+        assert_eq!(l.lookup(2, 0), None);
+    }
+
+    #[test]
+    fn cross_activation_frames_stack() {
+        let mut l = LocalVarTimestamps::new(8);
+        assert!(l.reserve(1, 2));
+        l.record(1, 0, 5);
+        assert!(l.reserve(7, 2)); // callee method's loop
+        l.record(7, 0, 9);
+        assert_eq!(l.lookup(7, 0), Some(9));
+        assert_eq!(l.lookup(1, 0), None); // not the top frame
+        l.release(7);
+        assert_eq!(l.lookup(1, 0), Some(5)); // visible again
+    }
+}

@@ -1,0 +1,249 @@
+//! STL speedup estimation — the paper's Equation 1 (§4.3).
+//!
+//! The published equation is partially garbled in the PDF; this module
+//! reconstructs it from the paper's own stated invariants. With `p`
+//! processors, average thread size `S` and an average critical arc of
+//! length `d` to the previous thread, pipelined speculative threads
+//! must start at least `max(S/p, S - d + C)` cycles apart (`C` = the
+//! store→load forwarding delay): the first term is processor
+//! availability, the second the RAW dependency. Dependence-limited
+//! speedup is therefore
+//!
+//! ```text
+//! s(d) = S / max(S/p, S - d + C)     (capped at p)
+//! ```
+//!
+//! which saturates at `p` exactly when `d ≥ (p-1)/p · S` — the "¾ of
+//! the average thread size" property the paper states for `p = 4`.
+//! Arcs binned `< t-1` are assumed to span `k = 2` threads and use the
+//! analogous bound `S / max(S/p, (kS - d + C)/k)`.
+//!
+//! The two bins are combined as a frequency-weighted harmonic mean
+//! (threads without arcs run at full `p`), overflowing threads
+//! serialize (speedup 1), and the Table 2 speculative overheads —
+//! startup/shutdown per entry, end-of-iteration per thread — are added
+//! to produce the estimated TLS execution time that Equation 2
+//! compares.
+
+use crate::stats::StlStats;
+
+/// Machine parameters of the estimator: processor count and the
+/// speculative-thread overheads of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorParams {
+    /// CPUs in the CMP (speedup cap).
+    pub processors: u32,
+    /// Loop startup overhead, cycles per entry.
+    pub startup_overhead: u64,
+    /// Loop shutdown overhead, cycles per entry.
+    pub shutdown_overhead: u64,
+    /// End-of-iteration overhead, cycles per thread.
+    pub eoi_overhead: u64,
+    /// Store→load communication delay, cycles.
+    pub comm_delay: u64,
+}
+
+impl Default for EstimatorParams {
+    fn default() -> Self {
+        EstimatorParams {
+            processors: 4,
+            startup_overhead: 25,
+            shutdown_overhead: 25,
+            eoi_overhead: 5,
+            comm_delay: 10,
+        }
+    }
+}
+
+/// The estimator's verdict for one STL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Predicted whole-loop speedup (sequential / estimated TLS time),
+    /// capped at the processor count; can drop below 1 when overheads
+    /// dominate.
+    pub speedup: f64,
+    /// Estimated cycles under speculative execution, including
+    /// overheads.
+    pub est_tls_cycles: u64,
+    /// Dependence-limited speedup before overheads and overflow.
+    pub base_speedup: f64,
+    /// Fraction of threads predicted to overflow speculative buffers.
+    pub overflow_freq: f64,
+}
+
+/// Dependence-limited speedup for one arc bin: arcs of average length
+/// `d` spanning `k` threads, with thread size `s`.
+fn bin_speedup(p: f64, s: f64, d: f64, k: f64, comm: f64) -> f64 {
+    if s <= 0.0 {
+        return 1.0;
+    }
+    let dep_separation = (k * s - d + comm) / k;
+    let separation = (s / p).max(dep_separation).max(1.0);
+    (s / separation).clamp(1.0, p)
+}
+
+/// Applies Equation 1 to the statistics TEST accumulated for one STL.
+///
+/// ```
+/// use test_tracer::estimate::{estimate, EstimatorParams};
+/// use test_tracer::stats::StlStats;
+///
+/// // 1000 threads of ~1000 cycles with no dependency arcs
+/// let stats = StlStats { entries: 1, threads: 1000, cycles: 1_000_000,
+///                        ..StlStats::default() };
+/// let e = estimate(&stats, &EstimatorParams::default());
+/// assert!(e.speedup > 3.5, "dependence-free loops approach 4x");
+/// ```
+pub fn estimate(stats: &StlStats, params: &EstimatorParams) -> Estimate {
+    let p = f64::from(params.processors);
+    let s = stats.avg_thread_size();
+    let comm = params.comm_delay as f64;
+
+    // arc frequencies, clamped so the bins plus the arc-free remainder
+    // partition the threads
+    let mut f1 = stats.arc_freq_t1().min(1.0);
+    let mut flt = stats.arc_freq_lt().min(1.0);
+    let total = f1 + flt;
+    if total > 1.0 {
+        f1 /= total;
+        flt /= total;
+    }
+    let free = (1.0 - f1 - flt).max(0.0);
+
+    let s1 = bin_speedup(p, s, stats.avg_arc_len_t1(), 1.0, comm);
+    let slt = bin_speedup(p, s, stats.avg_arc_len_lt(), 2.0, comm);
+
+    let base_speedup = if s <= 0.0 {
+        1.0
+    } else {
+        1.0 / (f1 / s1 + flt / slt + free / p)
+    };
+
+    let overflow_freq = stats.overflow_freq();
+    // overflowing threads stall until they are the head thread: they
+    // run effectively serialized
+    let compute = stats.cycles as f64
+        * ((1.0 - overflow_freq) / base_speedup + overflow_freq);
+    let overheads = stats.entries * (params.startup_overhead + params.shutdown_overhead)
+        + stats.threads * params.eoi_overhead;
+    let est_tls_cycles = (compute + overheads as f64).ceil() as u64;
+
+    let speedup = if est_tls_cycles == 0 {
+        1.0
+    } else {
+        (stats.cycles as f64 / est_tls_cycles as f64).min(p)
+    };
+
+    Estimate {
+        speedup,
+        est_tls_cycles: est_tls_cycles.max(1),
+        base_speedup,
+        overflow_freq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(threads: u64, cycles: u64) -> StlStats {
+        StlStats {
+            entries: 1,
+            threads,
+            cycles,
+            ..StlStats::default()
+        }
+    }
+
+    #[test]
+    fn dependence_free_loop_approaches_full_speedup() {
+        let s = stats(1000, 1_000_000); // 1000-cycle threads
+        let e = estimate(&s, &EstimatorParams::default());
+        assert!(e.base_speedup > 3.99, "got {}", e.base_speedup);
+        assert!(e.speedup > 3.9, "got {}", e.speedup);
+    }
+
+    #[test]
+    fn tight_dependency_serializes() {
+        // every thread depends on the previous one with a short arc
+        let mut s = stats(1000, 1_000_000);
+        s.arcs_t1 = 999;
+        s.arc_len_sum_t1 = 999 * 10; // avg arc 10 cycles << thread 1000
+        let e = estimate(&s, &EstimatorParams::default());
+        assert!(e.base_speedup < 1.02, "got {}", e.base_speedup);
+    }
+
+    #[test]
+    fn three_quarters_rule_saturates_speedup() {
+        // arc length exactly (p-1)/p of thread size, no comm delay
+        let params = EstimatorParams {
+            comm_delay: 0,
+            ..EstimatorParams::default()
+        };
+        let mut s = stats(1000, 1_000_000);
+        s.arcs_t1 = 999;
+        s.arc_len_sum_t1 = 999 * 750;
+        let e = estimate(&s, &params);
+        assert!(
+            (e.base_speedup - 4.0).abs() < 1e-9,
+            "arc = 3/4 thread size should give full speedup, got {}",
+            e.base_speedup
+        );
+        // slightly shorter arcs must not saturate
+        s.arc_len_sum_t1 = 999 * 700;
+        let e2 = estimate(&s, &params);
+        assert!(e2.base_speedup < 4.0);
+        assert!(e2.base_speedup > 3.0);
+    }
+
+    #[test]
+    fn overflow_forces_serial_execution() {
+        let mut s = stats(100, 1_000_000);
+        s.overflow_threads = 100;
+        let e = estimate(&s, &EstimatorParams::default());
+        assert!(e.speedup <= 1.0, "got {}", e.speedup);
+    }
+
+    #[test]
+    fn small_threads_pay_overheads() {
+        // 10-cycle threads: eoi overhead (5) halves throughput even
+        // with perfect parallelism
+        let s = stats(100_000, 1_000_000);
+        let e = estimate(&s, &EstimatorParams::default());
+        assert!(e.speedup < 3.0, "got {}", e.speedup);
+    }
+
+    #[test]
+    fn distant_arcs_saturate_at_k_times_the_rule() {
+        // an arc spanning two threads saturates speedup once
+        // d >= k*(p-1)/p*S = 1500 here (it is necessarily longer than a
+        // thread, so the k=2 bound is the relevant one)
+        let params = EstimatorParams {
+            comm_delay: 0,
+            ..EstimatorParams::default()
+        };
+        let mut s = stats(1000, 1_000_000);
+        s.arcs_lt = 999;
+        s.arc_len_sum_lt = 999 * 1600;
+        let e = estimate(&s, &params);
+        assert!((e.base_speedup - 4.0).abs() < 1e-9, "got {}", e.base_speedup);
+        // a shorter distant arc still constrains
+        s.arc_len_sum_lt = 999 * 1100;
+        let e2 = estimate(&s, &params);
+        assert!(e2.base_speedup < 4.0 && e2.base_speedup > 1.5, "got {}", e2.base_speedup);
+    }
+
+    #[test]
+    fn speedup_is_capped_at_processor_count() {
+        let s = stats(10, 10_000_000);
+        let e = estimate(&s, &EstimatorParams::default());
+        assert!(e.speedup <= 4.0);
+    }
+
+    #[test]
+    fn empty_stats_estimate_neutral() {
+        let e = estimate(&StlStats::default(), &EstimatorParams::default());
+        assert_eq!(e.base_speedup, 1.0);
+        assert!(e.speedup <= 1.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Transistor-budget model — the paper's Table 5 and the "<1 % of the
+//! CMP" claim.
+//!
+//! The paper estimates that TEST adds less than one percent to the
+//! transistor count of the Hydra CMP with TLS support. This module
+//! reproduces that estimate parametrically: SRAM arrays at 6T/bit, CAM
+//! arrays at ~10T/bit, and registers, comparators, counters and adders
+//! from standard-cell gate counts, composed into the same structures
+//! the paper lists (CPU cores, L1/L2 caches, write buffers, comparator
+//! banks).
+
+/// Transistor-count constants for the building blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostParams {
+    /// Transistors per SRAM bit (6T cell).
+    pub sram_bit: u64,
+    /// Transistors per CAM bit (match logic included).
+    pub cam_bit: u64,
+    /// Transistors per register (flip-flop) bit.
+    pub reg_bit: u64,
+    /// Transistors per comparator bit (XOR + carry chain).
+    pub comparator_bit: u64,
+    /// Transistors per counter bit (flop + increment logic).
+    pub counter_bit: u64,
+    /// Transistors per adder bit.
+    pub adder_bit: u64,
+    /// Fixed control/decode overhead per structured block.
+    pub control_overhead: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            sram_bit: 6,
+            cam_bit: 10,
+            reg_bit: 24,
+            comparator_bit: 8,
+            counter_bit: 30,
+            adder_bit: 28,
+            control_overhead: 5_000,
+        }
+    }
+}
+
+/// One row of the Table 5 reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureCost {
+    /// Structure name as in the paper's table.
+    pub name: &'static str,
+    /// Instances on the die.
+    pub count: u64,
+    /// Transistors per instance.
+    pub each: u64,
+}
+
+impl StructureCost {
+    /// Total transistors contributed by this structure.
+    pub fn total(&self) -> u64 {
+        self.count * self.each
+    }
+}
+
+/// The full Table 5 breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmpBudget {
+    /// All structures, in the paper's row order.
+    pub rows: Vec<StructureCost>,
+}
+
+impl CmpBudget {
+    /// Grand total transistor count.
+    pub fn total(&self) -> u64 {
+        self.rows.iter().map(StructureCost::total).sum()
+    }
+
+    /// Fraction of the total contributed by a named structure.
+    pub fn share(&self, name: &str) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .filter(|r| r.name == name)
+            .map(StructureCost::total)
+            .sum::<u64>() as f64
+            / t as f64
+    }
+}
+
+/// Transistors for an SRAM array of `bytes` bytes.
+fn sram(params: &CostParams, bytes: u64) -> u64 {
+    bytes * 8 * params.sram_bit
+}
+
+/// One speculation write buffer: 2 kB of line SRAM plus fully
+/// associative tags (64 entries × ~22-bit tags in CAM) plus per-word
+/// valid/modified bits and control.
+pub fn write_buffer_transistors(params: &CostParams) -> u64 {
+    let data = sram(params, 2 * 1024);
+    let tags = 64 * 22 * params.cam_bit;
+    let state_bits = 64 * (4 * 2) * params.reg_bit; // valid+dirty per word
+    let priority_encoders = 40_000; // drain/forwarding match logic
+    data + tags + state_bits + priority_encoders + params.control_overhead
+}
+
+/// One TEST comparator bank (Figure 7): thread-start registers, the
+/// comparator column, the critical-arc calculation block and the
+/// statistics counters.
+pub fn comparator_bank_transistors(params: &CostParams) -> u64 {
+    let ts_bits = 32;
+    // thread start timestamps (0, t-1, t), last-line LD/ST registers,
+    // last store timestamp
+    let regs = 6 * ts_bits * params.reg_bit;
+    // Figure 7 shows 8 comparators per bank
+    let comparators = 8 * ts_bits * params.comparator_bit;
+    // counters: # cycles, threads, entries, arcs ×2, accum lengths ×2,
+    // loaded/stored lines, overflows, plus the two buffer-limit checks
+    let counters = 12 * ts_bits * params.counter_bit;
+    // arc-length subtract/accumulate datapath
+    let adders = 3 * ts_bits * params.adder_bit;
+    // critical-arc calculation block: pipeline registers, result muxing
+    // and the CAM/SRAM access path it shares across banks (Figure 8)
+    let arc_block = 11_000;
+    regs + comparators + counters + adders + arc_block + params.control_overhead
+}
+
+/// Builds the Table 5 budget for the default Hydra configuration:
+/// 4 CPUs with FP (a given constant, as in the paper), 4 × (16 kB I +
+/// 16 kB D) L1, one 2 MB L2, 5 write buffers, and `n_banks` comparator
+/// banks.
+pub fn hydra_budget(params: &CostParams, n_banks: u64) -> CmpBudget {
+    let l1_per_cpu = sram(params, 32 * 1024) + 2 * params.control_overhead;
+    CmpBudget {
+        rows: vec![
+            StructureCost {
+                name: "CPU + FP core",
+                count: 4,
+                each: 2_500_000,
+            },
+            StructureCost {
+                name: "16kB I / 16kB D cache",
+                count: 4,
+                each: l1_per_cpu,
+            },
+            StructureCost {
+                name: "2MB L2 cache",
+                count: 1,
+                each: sram(params, 2 * 1024 * 1024),
+            },
+            StructureCost {
+                name: "Write buffer",
+                count: 5,
+                each: write_buffer_transistors(params),
+            },
+            StructureCost {
+                name: "Comparator bank",
+                count: n_banks,
+                each: comparator_bank_transistors(params),
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_and_l2_match_paper_values() {
+        let p = CostParams::default();
+        let b = hydra_budget(&p, 8);
+        let l1 = b.rows.iter().find(|r| r.name.contains("16kB")).unwrap();
+        let l2 = b.rows.iter().find(|r| r.name.contains("L2")).unwrap();
+        // paper: 1573K per L1 pair, 98304K (K=1024) for L2
+        assert!((l1.each as i64 - 1_573_000).unsigned_abs() < 30_000, "{}", l1.each);
+        assert_eq!(l2.each, 2 * 1024 * 1024 * 8 * 6);
+        assert_eq!(l2.each, 98_304 * 1024);
+    }
+
+    #[test]
+    fn write_buffer_is_near_paper_estimate() {
+        let p = CostParams::default();
+        let wb = write_buffer_transistors(&p);
+        // paper: 172K each
+        assert!((wb as i64 - 172_000).unsigned_abs() < 30_000, "{wb}");
+    }
+
+    #[test]
+    fn comparator_bank_is_near_paper_estimate() {
+        let p = CostParams::default();
+        let cb = comparator_bank_transistors(&p);
+        // paper: 39K each
+        assert!((cb as i64 - 39_000).unsigned_abs() < 10_000, "{cb}");
+    }
+
+    #[test]
+    fn test_hardware_is_under_one_percent() {
+        let p = CostParams::default();
+        let b = hydra_budget(&p, 8);
+        // the paper's headline claim
+        assert!(b.share("Comparator bank") < 0.01);
+        // and the overall total is in the paper's ballpark (115.8M)
+        let total = b.total();
+        assert!((100_000_000..130_000_000).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = CostParams::default();
+        let b = hydra_budget(&p, 8);
+        let sum: f64 = ["CPU + FP core", "16kB I / 16kB D cache", "2MB L2 cache", "Write buffer", "Comparator bank"]
+            .iter()
+            .map(|n| b.share(n))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! # test-tracer — the Tracer for Extracting Speculative Threads
+//!
+//! A functional, cycle-faithful model of **TEST**, the hardware profiler
+//! of *TEST: A Tracer for Extracting Speculative Threads* (Chen &
+//! Olukotun, CGO 2003). TEST watches a sequentially executing program
+//! and, for every candidate speculative thread loop (STL), estimates how
+//! it would perform under thread-level speculation on the 4-CPU Hydra
+//! chip-multiprocessor.
+//!
+//! The model reproduces the hardware structures of the paper's §5 with
+//! their real capacities and indexing, *including their imprecision* —
+//! limited store-timestamp history, direct-mapped aliasing, and two-bin
+//! dependency history are part of what the paper evaluates:
+//!
+//! * [`buffers::StoreTimestampFifo`] — the speculation store buffers
+//!   repurposed during profiling as a 192-line FIFO of heap store
+//!   timestamps (§5.3);
+//! * [`buffers::LineTimestampTable`] — direct-mapped cache-line
+//!   timestamp tables for the speculative-state overflow analysis
+//!   (Figure 4's bit slices: 512 entries for load state, 64 for store
+//!   state);
+//! * [`buffers::LocalVarTimestamps`] — the 64-entry local-variable
+//!   store-timestamp table reserved/freed by `sloop`/`eloop`;
+//! * [`tracer::TestTracer`] — the comparator-bank array (Figure 7)
+//!   implementing the load dependency analysis (§4.2.1) and the
+//!   speculative state overflow analysis (§4.2.2), plus the extended
+//!   per-PC dependency binning of Figure 8b;
+//! * [`estimate`] — the STL speedup estimator (Equation 1);
+//! * [`select`] — optimal decomposition selection over the dynamic
+//!   loop forest (Equation 2);
+//! * [`software::SoftwareTracer`] — the software-only profiling
+//!   baseline the paper compares against (>100× modelled slowdown),
+//!   which doubles as an exact oracle for testing the hardware model;
+//! * [`hwcost`] — the transistor-budget model behind Table 5's "<1 %
+//!   of the CMP" claim.
+//!
+//! The tracer consumes the [`tvm::TraceSink`] event stream produced by
+//! running annotated bytecode on the TraceVM interpreter.
+//!
+//! ```
+//! use test_tracer::tracer::TestTracer;
+//! use test_tracer::config::TracerConfig;
+//! use tvm::TraceSink;
+//! use tvm::isa::{LoopId, Pc, FuncId};
+//!
+//! let mut t = TestTracer::new(TracerConfig::default());
+//! let pc = Pc { func: FuncId(0), idx: 0 };
+//! // one STL entry with two iterations and a loop-carried dependency
+//! t.loop_enter(LoopId(0), 0, 0, 100);
+//! t.heap_store(0x1000, 110, pc);
+//! t.loop_iter(LoopId(0), 120); // thread boundary
+//! t.heap_load(0x1000, 130, pc); // reads previous iteration's store
+//! t.loop_iter(LoopId(0), 140);
+//! t.loop_exit(LoopId(0), 150);
+//! let profile = t.into_profile();
+//! let stats = &profile.stl[&LoopId(0)];
+//! assert_eq!(stats.threads, 2);
+//! assert_eq!(stats.arcs_t1, 1);
+//! assert_eq!(stats.arc_len_sum_t1, 20); // 130 - 110
+//! ```
+
+pub mod buffers;
+pub mod config;
+pub mod estimate;
+pub mod hwcost;
+pub mod methods;
+pub mod pcbins;
+pub mod select;
+pub mod software;
+pub mod stats;
+pub mod tracer;
+
+pub use config::TracerConfig;
+pub use estimate::{estimate, Estimate, EstimatorParams};
+pub use methods::{rank_sites, MethodStats, MethodTracer};
+pub use select::{select, ChosenStl, SelectionResult};
+pub use software::SoftwareTracer;
+pub use stats::{Profile, StlStats};
+pub use tracer::TestTracer;

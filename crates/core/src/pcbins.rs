@@ -1,0 +1,167 @@
+//! Extended TEST implementation: per-PC dependency binning.
+//!
+//! The base comparator bank only accumulates aggregate critical-arc
+//! counters. The extended implementation (Figure 8b) replaces the
+//! critical-arc registers with a content-addressable SRAM so that arc
+//! lengths and counts can be *binned by the load instruction's PC* —
+//! the statistics §6.3 uses to point compilers and programmers at the
+//! one or two accesses that serialize a loop.
+
+use std::collections::BTreeMap;
+use tvm::isa::{LoopId, Pc};
+use tvm::trace::Cycles;
+
+/// Aggregated dependency-arc statistics for one load site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcBin {
+    /// Number of dependency arcs whose consumer was this load.
+    pub count: u64,
+    /// Sum of arc lengths (cycles).
+    pub len_sum: u64,
+    /// Shortest arc observed.
+    pub min_len: Cycles,
+    /// Arcs that crossed more than one thread boundary (< t-1).
+    pub distant: u64,
+}
+
+impl PcBin {
+    /// Mean arc length.
+    pub fn avg_len(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.len_sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The CAM/SRAM bin table. Capacity-limited like the hardware: once
+/// full, arcs at unseen PCs are dropped (and counted).
+#[derive(Debug, Clone, Default)]
+pub struct PcBins {
+    bins: BTreeMap<(LoopId, Pc), PcBin>,
+    capacity: usize,
+    /// Arcs dropped because the table was full.
+    pub dropped: u64,
+}
+
+impl PcBins {
+    /// Creates a table with room for `capacity` distinct
+    /// (loop, load-PC) bins. Capacity 0 disables binning.
+    pub fn new(capacity: usize) -> Self {
+        PcBins {
+            bins: BTreeMap::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one dependency arc observed at `pc` for `loop_id`.
+    pub fn record(&mut self, loop_id: LoopId, pc: Pc, len: Cycles, distant: bool) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (loop_id, pc);
+        if !self.bins.contains_key(&key) && self.bins.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let bin = self.bins.entry(key).or_insert(PcBin {
+            count: 0,
+            len_sum: 0,
+            min_len: Cycles::MAX,
+            distant: 0,
+        });
+        bin.count += 1;
+        bin.len_sum += len;
+        bin.min_len = bin.min_len.min(len);
+        if distant {
+            bin.distant += 1;
+        }
+    }
+
+    /// The bin for a specific load site, if any arc was recorded.
+    pub fn bin(&self, loop_id: LoopId, pc: Pc) -> Option<&PcBin> {
+        self.bins.get(&(loop_id, pc))
+    }
+
+    /// All bins for one loop, most frequent first — the "which access
+    /// serializes this loop" report of §6.3.
+    pub fn hottest(&self, loop_id: LoopId) -> Vec<(Pc, PcBin)> {
+        let mut v: Vec<(Pc, PcBin)> = self
+            .bins
+            .iter()
+            .filter(|((l, _), _)| *l == loop_id)
+            .map(|((_, pc), bin)| (*pc, *bin))
+            .collect();
+        v.sort_by_key(|(_, bin)| std::cmp::Reverse(bin.count));
+        v
+    }
+
+    /// Number of live bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::isa::FuncId;
+
+    fn pc(idx: u32) -> Pc {
+        Pc {
+            func: FuncId(0),
+            idx,
+        }
+    }
+
+    #[test]
+    fn record_aggregates_per_site() {
+        let mut b = PcBins::new(4);
+        b.record(LoopId(0), pc(5), 100, false);
+        b.record(LoopId(0), pc(5), 50, true);
+        let bin = b.bin(LoopId(0), pc(5)).unwrap();
+        assert_eq!(bin.count, 2);
+        assert_eq!(bin.len_sum, 150);
+        assert_eq!(bin.min_len, 50);
+        assert_eq!(bin.distant, 1);
+        assert_eq!(bin.avg_len(), 75.0);
+    }
+
+    #[test]
+    fn capacity_drops_new_sites_only() {
+        let mut b = PcBins::new(1);
+        b.record(LoopId(0), pc(1), 10, false);
+        b.record(LoopId(0), pc(2), 20, false); // dropped
+        b.record(LoopId(0), pc(1), 30, false); // existing site still updates
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.dropped, 1);
+        assert_eq!(b.bin(LoopId(0), pc(1)).unwrap().count, 2);
+    }
+
+    #[test]
+    fn hottest_sorts_by_count() {
+        let mut b = PcBins::new(8);
+        b.record(LoopId(3), pc(1), 10, false);
+        b.record(LoopId(3), pc(2), 10, false);
+        b.record(LoopId(3), pc(2), 10, false);
+        b.record(LoopId(4), pc(9), 10, false);
+        let h = b.hottest(LoopId(3));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].0, pc(2));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut b = PcBins::new(0);
+        b.record(LoopId(0), pc(1), 10, false);
+        assert!(b.is_empty());
+        assert_eq!(b.dropped, 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Optimal decomposition selection — the paper's Equation 2 (§4.3).
+//!
+//! Only one thread decomposition can be active at a time: selecting a
+//! loop as an STL forbids speculating on any loop nested (dynamically)
+//! inside it. Equation 2 therefore compares, for every loop, its own
+//! estimated TLS time against the best achievable by its nested
+//! decompositions plus the serial remainder:
+//!
+//! ```text
+//! best(l) = min( est_tls(l),
+//!                cycles(l) − Σ_c cycles(c) + Σ_c best(c),
+//!                cycles(l) )                        // run it serially
+//! ```
+//!
+//! computed bottom-up over the *dynamic* loop forest TEST observed
+//! (nesting across method calls included). A loop entered from several
+//! contexts is attached to its most frequent parent — a documented
+//! approximation of the runtime system's behavior.
+
+use crate::estimate::{estimate, Estimate, EstimatorParams};
+use crate::stats::Profile;
+use std::collections::BTreeMap;
+use tvm::isa::LoopId;
+
+/// One selected decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChosenStl {
+    /// The loop to recompile speculatively.
+    pub loop_id: LoopId,
+    /// Its Equation 1 estimate.
+    pub estimate: Estimate,
+    /// Sequential cycles it covered during profiling.
+    pub cycles: u64,
+    /// Fraction of total program cycles it covered.
+    pub coverage: f64,
+}
+
+/// The outcome of Equation 2 over a whole profile.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Selected STLs, by decreasing coverage.
+    pub chosen: Vec<ChosenStl>,
+    /// Total sequential cycles of the profiled run.
+    pub total_cycles: u64,
+    /// Predicted whole-program cycles with the chosen STLs running
+    /// speculatively and everything else serial.
+    pub predicted_cycles: u64,
+    /// Per-loop estimates for every traced loop (reporting).
+    pub estimates: BTreeMap<LoopId, Estimate>,
+}
+
+impl SelectionResult {
+    /// Predicted whole-program speedup.
+    pub fn predicted_speedup(&self) -> f64 {
+        if self.predicted_cycles == 0 {
+            1.0
+        } else {
+            self.total_cycles as f64 / self.predicted_cycles as f64
+        }
+    }
+
+    /// Fraction of program time covered by selected STLs.
+    pub fn coverage(&self) -> f64 {
+        self.chosen.iter().map(|c| c.coverage).sum()
+    }
+
+    /// Selected loops with at least `threshold` coverage (the paper's
+    /// tables report loops with > 0.5 % coverage).
+    pub fn chosen_above(&self, threshold: f64) -> Vec<&ChosenStl> {
+        self.chosen
+            .iter()
+            .filter(|c| c.coverage >= threshold)
+            .collect()
+    }
+}
+
+/// Applies Equation 2: picks the set of non-nested STLs minimizing
+/// predicted execution time.
+///
+/// `total_cycles` is the sequential duration of the profiled run (used
+/// for coverage and the program-level prediction).
+pub fn select(profile: &Profile, params: &EstimatorParams, total_cycles: u64) -> SelectionResult {
+    let estimates: BTreeMap<LoopId, Estimate> = profile
+        .stl
+        .iter()
+        .map(|(&l, s)| (l, estimate(s, params)))
+        .collect();
+
+    // children under dominant-parent attribution
+    let mut children: BTreeMap<Option<LoopId>, Vec<LoopId>> = BTreeMap::new();
+    for &l in profile.stl.keys() {
+        children
+            .entry(profile.dominant_parent(l))
+            .or_default()
+            .push(l);
+    }
+
+    // bottom-up DP; the forest is shallow, recursion is fine. The
+    // `visited` set guards against cyclic dominant-parent attribution
+    // (possible under mutual recursion) and double-counted subtrees.
+    fn best(
+        l: LoopId,
+        profile: &Profile,
+        estimates: &BTreeMap<LoopId, Estimate>,
+        children: &BTreeMap<Option<LoopId>, Vec<LoopId>>,
+        chosen: &mut Vec<LoopId>,
+        visited: &mut std::collections::BTreeSet<LoopId>,
+    ) -> u64 {
+        if !visited.insert(l) {
+            return profile.stl[&l].cycles; // already handled: stay serial
+        }
+        let stats = &profile.stl[&l];
+        let serial = stats.cycles;
+        let own = estimates[&l].est_tls_cycles;
+
+        let mut kids_chosen: Vec<LoopId> = Vec::new();
+        let kids = children.get(&Some(l)).cloned().unwrap_or_default();
+        let mut kid_cycles = 0u64;
+        let mut kid_best = 0u64;
+        for c in kids {
+            kid_cycles += profile.stl[&c].cycles;
+            kid_best += best(c, profile, estimates, children, &mut kids_chosen, visited);
+        }
+        // children cycles are nested inside this loop's inclusive
+        // cycles; guard against attribution noise
+        let nested = serial.saturating_sub(kid_cycles) + kid_best;
+
+        if own < nested && own < serial {
+            chosen.push(l);
+            own
+        } else if nested < serial {
+            chosen.extend(kids_chosen);
+            nested
+        } else {
+            serial
+        }
+    }
+
+    let mut chosen_ids: Vec<LoopId> = Vec::new();
+    let mut program_predicted = total_cycles;
+    let mut visited = std::collections::BTreeSet::new();
+    for &root in children.get(&None).into_iter().flatten() {
+        let mut picks = Vec::new();
+        let b = best(root, profile, &estimates, &children, &mut picks, &mut visited);
+        let serial = profile.stl[&root].cycles;
+        program_predicted = program_predicted.saturating_sub(serial.saturating_sub(b));
+        chosen_ids.extend(picks);
+    }
+
+    let mut chosen: Vec<ChosenStl> = chosen_ids
+        .into_iter()
+        .map(|l| {
+            let cycles = profile.stl[&l].cycles;
+            ChosenStl {
+                loop_id: l,
+                estimate: estimates[&l],
+                cycles,
+                coverage: if total_cycles == 0 {
+                    0.0
+                } else {
+                    cycles as f64 / total_cycles as f64
+                },
+            }
+        })
+        .collect();
+    chosen.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.loop_id.cmp(&b.loop_id)));
+
+    SelectionResult {
+        chosen,
+        total_cycles,
+        predicted_cycles: program_predicted,
+        estimates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StlStats;
+
+    fn profile_with(loops: &[(u32, Option<u32>, StlStats)]) -> Profile {
+        let mut p = Profile::default();
+        for &(id, parent, ref s) in loops {
+            p.stl.insert(LoopId(id), *s);
+            p.forest_edges
+                .insert((parent.map(LoopId), LoopId(id)), s.entries.max(1));
+        }
+        p
+    }
+
+    fn parallel_stats(threads: u64, cycles: u64) -> StlStats {
+        StlStats {
+            entries: 1,
+            threads,
+            cycles,
+            ..StlStats::default()
+        }
+    }
+
+    fn serial_stats(threads: u64, cycles: u64) -> StlStats {
+        let mut s = parallel_stats(threads, cycles);
+        s.arcs_t1 = threads - 1;
+        s.arc_len_sum_t1 = (threads - 1) * 5; // tiny arcs: serializing
+        s
+    }
+
+    #[test]
+    fn parallel_loop_is_chosen() {
+        let p = profile_with(&[(0, None, parallel_stats(1000, 1_000_000))]);
+        let r = select(&p, &EstimatorParams::default(), 1_200_000);
+        assert_eq!(r.chosen.len(), 1);
+        assert_eq!(r.chosen[0].loop_id, LoopId(0));
+        assert!(r.predicted_cycles < 1_200_000);
+        assert!(r.predicted_speedup() > 1.5);
+        assert!(r.coverage() > 0.8);
+    }
+
+    #[test]
+    fn serial_loop_is_not_chosen() {
+        let p = profile_with(&[(0, None, serial_stats(1000, 1_000_000))]);
+        let r = select(&p, &EstimatorParams::default(), 1_200_000);
+        assert!(r.chosen.is_empty());
+        assert_eq!(r.predicted_cycles, 1_200_000);
+    }
+
+    #[test]
+    fn parallel_outer_beats_parallel_inner() {
+        // outer covers everything; inner only half the cycles
+        let outer = parallel_stats(100, 1_000_000);
+        let inner = parallel_stats(10_000, 500_000);
+        let p = profile_with(&[(0, None, outer), (1, Some(0), inner)]);
+        let r = select(&p, &EstimatorParams::default(), 1_000_000);
+        assert_eq!(r.chosen.len(), 1);
+        assert_eq!(r.chosen[0].loop_id, LoopId(0));
+    }
+
+    #[test]
+    fn serial_outer_yields_to_parallel_inner() {
+        let outer = serial_stats(100, 1_000_000);
+        let inner = parallel_stats(1000, 900_000);
+        let p = profile_with(&[(0, None, outer), (1, Some(0), inner)]);
+        let r = select(&p, &EstimatorParams::default(), 1_000_000);
+        assert_eq!(r.chosen.len(), 1);
+        assert_eq!(r.chosen[0].loop_id, LoopId(1));
+        // serial remainder of the outer loop stays serial
+        assert!(r.predicted_cycles > 300_000);
+        assert!(r.predicted_cycles < 1_000_000);
+    }
+
+    #[test]
+    fn overflowing_outer_yields_to_inner() {
+        // outer would be parallel but always overflows buffers
+        let mut outer = parallel_stats(10, 1_000_000);
+        outer.overflow_threads = 10;
+        let inner = parallel_stats(10_000, 990_000);
+        let p = profile_with(&[(0, None, outer), (1, Some(0), inner)]);
+        let r = select(&p, &EstimatorParams::default(), 1_000_000);
+        assert_eq!(r.chosen.len(), 1);
+        assert_eq!(r.chosen[0].loop_id, LoopId(1));
+    }
+
+    #[test]
+    fn sibling_loops_are_both_chosen() {
+        let a = parallel_stats(500, 400_000);
+        let b = parallel_stats(500, 500_000);
+        let p = profile_with(&[(0, None, a), (1, None, b)]);
+        let r = select(&p, &EstimatorParams::default(), 1_000_000);
+        assert_eq!(r.chosen.len(), 2);
+        // sorted by coverage
+        assert_eq!(r.chosen[0].loop_id, LoopId(1));
+        assert!(r.coverage() > 0.85);
+    }
+
+    #[test]
+    fn chosen_above_filters_tiny_loops() {
+        let big = parallel_stats(500, 900_000);
+        let tiny = parallel_stats(10, 2_000);
+        let p = profile_with(&[(0, None, big), (1, None, tiny)]);
+        let r = select(&p, &EstimatorParams::default(), 1_000_000);
+        assert_eq!(r.chosen_above(0.005).len(), 1);
+    }
+
+    #[test]
+    fn empty_profile_selects_nothing() {
+        let r = select(&Profile::default(), &EstimatorParams::default(), 1000);
+        assert!(r.chosen.is_empty());
+        assert_eq!(r.predicted_cycles, 1000);
+        assert_eq!(r.predicted_speedup(), 1.0);
+    }
+}

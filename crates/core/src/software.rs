@@ -1,0 +1,409 @@
+//! Software-only profiling baseline (paper §5, first paragraph).
+//!
+//! Before building hardware, the authors measured a software-only
+//! implementation of the trace analyses: callback annotations on every
+//! memory and local-variable access, with the dependency and overflow
+//! comparisons done in software. It slowed programs down **over 100×**
+//! — unusable for a runtime system — which is the motivation for the
+//! TEST hardware.
+//!
+//! [`SoftwareTracer`] is that implementation. It differs from
+//! [`crate::tracer::TestTracer`] in two deliberate ways:
+//!
+//! * it uses **unbounded** data structures (hash maps keyed by word
+//!   address, exact per-thread line sets), so it also serves as the
+//!   *exact oracle* against which the hardware model's capacity-induced
+//!   imprecision is quantified (§6.2);
+//! * it tallies a **modelled execution cost** per event, calibrated to
+//!   the paper's observation: every traced access pays a callback into
+//!   the analysis runtime (call/return, hash probes, bank updates), a
+//!   few hundred cycles each on the single-issue Hydra core.
+
+use crate::stats::{Profile, StlStats};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use tvm::isa::{LoopId, Pc};
+use tvm::line_of;
+use tvm::trace::{Addr, Cycles, TraceSink};
+
+/// Modelled per-event callback costs of software-only profiling, in
+/// cycles. Defaults are calibrated so that the evaluated programs slow
+/// down by the order of magnitude the paper reports (>100×): each heap
+/// event pays a JIT-inserted callback (register spills, call/return),
+/// a hash-table probe over the address space, the per-active-loop
+/// comparison chain, and statistics updates — all executed by the
+/// single-issue Hydra core with none of the JIT's usual optimizations
+/// applied to the instrumented regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareCost {
+    /// Per heap load/store event.
+    pub heap_event: u64,
+    /// Per local-variable event.
+    pub local_event: u64,
+    /// Per loop-boundary event (`sloop`/`eoi`/`eloop`).
+    pub loop_event: u64,
+}
+
+impl Default for SoftwareCost {
+    fn default() -> Self {
+        SoftwareCost {
+            heap_event: 1200,
+            local_event: 700,
+            loop_event: 400,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SoftBank {
+    loop_id: LoopId,
+    local_mask: u64,
+    entry_start: Cycles,
+    thread_start: Cycles,
+    prev_thread_start: Cycles,
+    min_arc_t1: Option<Cycles>,
+    min_arc_lt: Option<Cycles>,
+    ld_lines: HashSet<u32>,
+    st_lines: HashSet<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SoftEntry {
+    loop_id: LoopId,
+    bank: usize,
+}
+
+/// Table 1 speculative load state limit, in lines.
+const LD_LIMIT: usize = 512;
+/// Table 1 store buffer limit, in lines.
+const ST_LIMIT: usize = 64;
+
+/// The exact, unbounded software implementation of the TEST analyses.
+#[derive(Debug)]
+pub struct SoftwareTracer {
+    cost: SoftwareCost,
+    local_masks: BTreeMap<LoopId, u64>,
+    word_ts: HashMap<Addr, Cycles>,
+    local_ts: HashMap<(u32, u16), Cycles>,
+    banks: Vec<SoftBank>,
+    stack: Vec<SoftEntry>,
+    stl: BTreeMap<LoopId, StlStats>,
+    forest_edges: BTreeMap<(Option<LoopId>, LoopId), u64>,
+    max_dynamic_depth: u32,
+    events: u64,
+    end_time: Cycles,
+    modeled_cost: u64,
+}
+
+impl SoftwareTracer {
+    /// Creates a software tracer with default modelled costs.
+    pub fn new() -> SoftwareTracer {
+        Self::with_costs(SoftwareCost::default())
+    }
+
+    /// Creates a software tracer with explicit per-event costs.
+    pub fn with_costs(cost: SoftwareCost) -> SoftwareTracer {
+        SoftwareTracer {
+            cost,
+            local_masks: BTreeMap::new(),
+            word_ts: HashMap::new(),
+            local_ts: HashMap::new(),
+            banks: Vec::new(),
+            stack: Vec::new(),
+            stl: BTreeMap::new(),
+            forest_edges: BTreeMap::new(),
+            max_dynamic_depth: 0,
+            events: 0,
+            end_time: 0,
+            modeled_cost: 0,
+        }
+    }
+
+    /// Installs per-loop tracked-variable slot masks (the same
+    /// interface as `TestTracer::set_local_masks`).
+    pub fn set_local_masks(&mut self, masks: impl IntoIterator<Item = (LoopId, u64)>) {
+        self.local_masks.extend(masks);
+    }
+
+    /// Total modelled profiling cost so far, in cycles. The software
+    /// profiling slowdown of a run is
+    /// `(program_cycles + modeled_cost) / program_cycles`.
+    pub fn modeled_cost(&self) -> u64 {
+        self.modeled_cost
+    }
+
+    /// Finalizes and returns the collected profile.
+    pub fn into_profile(mut self) -> Profile {
+        let end = self.end_time;
+        while let Some(top) = self.stack.pop() {
+            let bank = self.banks.remove(top.bank);
+            let s = self.stl.get_mut(&bank.loop_id).expect("bank has stats");
+            s.cycles += end.saturating_sub(bank.entry_start);
+            let _ = top;
+        }
+        Profile {
+            stl: self.stl,
+            forest_edges: self.forest_edges,
+            pc_bins: crate::pcbins::PcBins::new(0),
+            max_dynamic_depth: self.max_dynamic_depth,
+            fifo_evictions: 0,
+            events: self.events,
+            end_time: end,
+        }
+    }
+
+    fn tick(&mut self, now: Cycles, cost: u64) {
+        self.events += 1;
+        self.end_time = self.end_time.max(now);
+        self.modeled_cost += cost;
+    }
+
+    fn dependency_check(&mut self, ts: Cycles, now: Cycles, slot: Option<u16>) {
+        for entry in self.stack.iter().rev() {
+            let bank = &mut self.banks[entry.bank];
+            if let Some(v) = slot {
+                if v < 64 && bank.local_mask & (1u64 << v) == 0 {
+                    continue;
+                }
+            }
+            if ts >= bank.thread_start {
+                return;
+            }
+            if ts >= bank.entry_start {
+                let len = now - ts;
+                let slot = if ts < bank.prev_thread_start {
+                    &mut bank.min_arc_lt
+                } else {
+                    &mut bank.min_arc_t1
+                };
+                *slot = Some(slot.map_or(len, |m: Cycles| m.min(len)));
+                return;
+            }
+        }
+    }
+}
+
+impl Default for SoftwareTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for SoftwareTracer {
+    fn heap_load(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.tick(now, self.cost.heap_event);
+        let _ = pc;
+        if self.stack.is_empty() {
+            return;
+        }
+        if let Some(&ts) = self.word_ts.get(&addr) {
+            self.dependency_check(ts, now, None);
+        }
+        let line = line_of(addr);
+        for entry in &self.stack {
+            self.banks[entry.bank].ld_lines.insert(line);
+        }
+    }
+
+    fn heap_store(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.tick(now, self.cost.heap_event);
+        let _ = pc;
+        self.word_ts.insert(addr, now);
+        if self.stack.is_empty() {
+            return;
+        }
+        let line = line_of(addr);
+        for entry in &self.stack {
+            self.banks[entry.bank].st_lines.insert(line);
+        }
+    }
+
+    fn local_load(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.tick(now, self.cost.local_event);
+        let _ = pc;
+        if let Some(&ts) = self.local_ts.get(&(activation, var)) {
+            self.dependency_check(ts, now, Some(var));
+        }
+    }
+
+    fn local_store(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.tick(now, self.cost.local_event);
+        let _ = pc;
+        self.local_ts.insert((activation, var), now);
+    }
+
+    fn loop_enter(&mut self, loop_id: LoopId, _n_locals: u16, activation: u32, now: Cycles) {
+        self.tick(now, self.cost.loop_event);
+        let parent = self.stack.last().map(|e| e.loop_id);
+        *self.forest_edges.entry((parent, loop_id)).or_insert(0) += 1;
+        let local_mask = self.local_masks.get(&loop_id).copied().unwrap_or(u64::MAX);
+        self.banks.push(SoftBank {
+            loop_id,
+            local_mask,
+            entry_start: now,
+            thread_start: now,
+            prev_thread_start: now,
+            min_arc_t1: None,
+            min_arc_lt: None,
+            ld_lines: HashSet::new(),
+            st_lines: HashSet::new(),
+        });
+        self.stl.entry(loop_id).or_default().entries += 1;
+        let _ = activation;
+        self.stack.push(SoftEntry {
+            loop_id,
+            bank: self.banks.len() - 1,
+        });
+        self.max_dynamic_depth = self.max_dynamic_depth.max(self.stack.len() as u32);
+    }
+
+    fn loop_iter(&mut self, loop_id: LoopId, now: Cycles) {
+        self.tick(now, self.cost.loop_event);
+        let Some(top) = self.stack.last() else { return };
+        if top.loop_id != loop_id {
+            return;
+        }
+        let (ld_limit, st_limit) = (LD_LIMIT, ST_LIMIT);
+        let bank = &mut self.banks[top.bank];
+        let s = self.stl.get_mut(&bank.loop_id).expect("bank has stats");
+        s.threads += 1;
+        if let Some(a) = bank.min_arc_t1.take() {
+            s.arcs_t1 += 1;
+            s.arc_len_sum_t1 += a;
+        }
+        if let Some(a) = bank.min_arc_lt.take() {
+            s.arcs_lt += 1;
+            s.arc_len_sum_lt += a;
+        }
+        if bank.ld_lines.len() > ld_limit || bank.st_lines.len() > st_limit {
+            s.overflow_threads += 1;
+        }
+        s.max_ld_lines = s.max_ld_lines.max(bank.ld_lines.len() as u32);
+        s.max_st_lines = s.max_st_lines.max(bank.st_lines.len() as u32);
+        let size = now.saturating_sub(bank.thread_start);
+        s.thread_size_sum += size;
+        s.thread_size_sq_sum += u128::from(size) * u128::from(size);
+        bank.prev_thread_start = bank.thread_start;
+        bank.thread_start = now;
+        bank.ld_lines.clear();
+        bank.st_lines.clear();
+    }
+
+    fn loop_exit(&mut self, loop_id: LoopId, now: Cycles) {
+        self.tick(now, self.cost.loop_event);
+        while let Some(top) = self.stack.pop() {
+            let bank = self.banks.pop().expect("banks mirror the stack");
+            let s = self.stl.get_mut(&bank.loop_id).expect("bank has stats");
+            s.cycles += now.saturating_sub(bank.entry_start);
+            if top.loop_id == loop_id {
+                break;
+            }
+        }
+    }
+
+    fn stats_read(&mut self, _loop_id: LoopId, now: Cycles) {
+        self.tick(now, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::isa::FuncId;
+
+    fn pc(idx: u32) -> Pc {
+        Pc {
+            func: FuncId(0),
+            idx,
+        }
+    }
+
+    #[test]
+    fn software_tracer_finds_the_same_arc_as_hardware() {
+        let mut sw = SoftwareTracer::new();
+        let mut hw = crate::tracer::TestTracer::new(crate::config::TracerConfig::default());
+        let events: &[(&str, Addr, Cycles)] = &[
+            ("enter", 0, 0),
+            ("store", 0x100, 10),
+            ("eoi", 0, 20),
+            ("load", 0x100, 30),
+            ("eoi", 0, 40),
+            ("exit", 0, 41),
+        ];
+        for sink in [&mut sw as &mut dyn TraceSink, &mut hw as &mut dyn TraceSink] {
+            for &(kind, addr, now) in events {
+                match kind {
+                    "enter" => sink.loop_enter(LoopId(0), 0, 0, now),
+                    "store" => sink.heap_store(addr, now, pc(0)),
+                    "load" => sink.heap_load(addr, now, pc(1)),
+                    "eoi" => sink.loop_iter(LoopId(0), now),
+                    "exit" => sink.loop_exit(LoopId(0), now),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let ps = sw.into_profile();
+        let ph = hw.into_profile();
+        assert_eq!(ps.stl[&LoopId(0)].arcs_t1, ph.stl[&LoopId(0)].arcs_t1);
+        assert_eq!(
+            ps.stl[&LoopId(0)].arc_len_sum_t1,
+            ph.stl[&LoopId(0)].arc_len_sum_t1
+        );
+        assert_eq!(ps.stl[&LoopId(0)].threads, ph.stl[&LoopId(0)].threads);
+    }
+
+    #[test]
+    fn software_sees_deps_the_fifo_lost() {
+        // tiny FIFO loses the dependency; the software oracle keeps it
+        let cfg = crate::config::TracerConfig {
+            store_ts_lines: 1,
+            ..crate::config::TracerConfig::default()
+        };
+        let mut hw = crate::tracer::TestTracer::new(cfg);
+        let mut sw = SoftwareTracer::new();
+        for sink in [&mut sw as &mut dyn TraceSink, &mut hw as &mut dyn TraceSink] {
+            sink.loop_enter(LoopId(0), 0, 0, 0);
+            sink.heap_store(0x100, 2, pc(0));
+            sink.heap_store(0x200, 3, pc(0));
+            sink.loop_iter(LoopId(0), 10);
+            sink.heap_load(0x100, 12, pc(1));
+            sink.loop_iter(LoopId(0), 20);
+            sink.loop_exit(LoopId(0), 21);
+        }
+        assert_eq!(hw.into_profile().stl[&LoopId(0)].arcs_t1, 0);
+        assert_eq!(sw.into_profile().stl[&LoopId(0)].arcs_t1, 1);
+    }
+
+    #[test]
+    fn modeled_cost_accumulates_per_event() {
+        let mut sw = SoftwareTracer::new();
+        let c = SoftwareCost::default();
+        sw.loop_enter(LoopId(0), 0, 0, 0);
+        sw.heap_store(0x100, 1, pc(0));
+        sw.heap_load(0x100, 2, pc(0));
+        sw.local_store(0, 0, 3, pc(0));
+        sw.loop_iter(LoopId(0), 4);
+        sw.loop_exit(LoopId(0), 5);
+        assert_eq!(
+            sw.modeled_cost(),
+            3 * c.loop_event + 2 * c.heap_event + c.local_event
+        );
+    }
+
+    #[test]
+    fn modeled_slowdown_reaches_paper_magnitude() {
+        // a memory-bound loop: ~1 heap event per 4 cycles
+        let mut sw = SoftwareTracer::new();
+        sw.loop_enter(LoopId(0), 0, 0, 0);
+        let mut now = 0;
+        for i in 0..10_000u64 {
+            now = i * 4;
+            sw.heap_load((0x1000 + (i % 64) * 8) as Addr, now, pc(0));
+            if i % 4 == 3 {
+                sw.loop_iter(LoopId(0), now);
+            }
+        }
+        sw.loop_exit(LoopId(0), now);
+        let slowdown = (now + sw.modeled_cost()) as f64 / now as f64;
+        assert!(slowdown > 100.0, "got {slowdown:.0}x");
+    }
+}

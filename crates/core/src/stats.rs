@@ -1,0 +1,249 @@
+//! Per-STL statistics counters and derived values (paper Figure 3).
+
+use crate::pcbins::PcBins;
+use std::collections::BTreeMap;
+use tvm::isa::LoopId;
+use tvm::trace::Cycles;
+
+/// The raw counters one comparator bank accumulates for an STL (the
+/// "Values derived from counters" table of Figure 3 plus the overflow
+/// counters of Figure 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StlStats {
+    /// Loop entries observed (`sloop` with a successfully allocated
+    /// bank).
+    pub entries: u64,
+    /// Completed speculative threads (iterations, counted at `eoi`).
+    pub threads: u64,
+    /// Elapsed cycles inside the loop, summed over entries (inclusive
+    /// of nested loops and callees).
+    pub cycles: u64,
+    /// Critical arcs to the immediately previous thread (t-1).
+    pub arcs_t1: u64,
+    /// Sum of those critical arc lengths.
+    pub arc_len_sum_t1: u64,
+    /// Critical arcs to earlier threads (< t-1).
+    pub arcs_lt: u64,
+    /// Sum of those critical arc lengths.
+    pub arc_len_sum_lt: u64,
+    /// Threads whose speculative state would have overflowed the
+    /// Table 1 buffers.
+    pub overflow_threads: u64,
+    /// Entries that could not be traced (no free comparator bank or no
+    /// room for local-variable timestamps). Counted for diagnostics;
+    /// no other statistic includes them.
+    pub untraced_entries: u64,
+    /// Peak distinct load lines seen in any single thread.
+    pub max_ld_lines: u32,
+    /// Peak distinct store lines seen in any single thread.
+    pub max_st_lines: u32,
+    /// Sum of squared thread sizes (for the §6.2 variance analysis:
+    /// "disparity results mostly from selected STLs with highly
+    /// varying thread sizes").
+    pub thread_size_sq_sum: u128,
+    /// Sum of thread sizes (completed threads only; `cycles` also
+    /// includes entry/exit fragments).
+    pub thread_size_sum: u64,
+}
+
+impl StlStats {
+    /// Average speculative thread size in cycles.
+    pub fn avg_thread_size(&self) -> f64 {
+        if self.threads == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.threads as f64
+        }
+    }
+
+    /// Average iterations per loop entry.
+    pub fn avg_iterations_per_entry(&self) -> f64 {
+        if self.entries == 0 {
+            0.0
+        } else {
+            self.threads as f64 / self.entries as f64
+        }
+    }
+
+    /// Threads that can possibly have an arc to a previous thread
+    /// (every thread except the first of each entry).
+    fn arc_capable_threads(&self) -> u64 {
+        self.threads.saturating_sub(self.entries).max(1)
+    }
+
+    /// Critical-arc frequency to the previous thread
+    /// (`# critical arcs to t-1 / (# threads − 1)` in Figure 3,
+    /// generalized to multiple entries).
+    pub fn arc_freq_t1(&self) -> f64 {
+        self.arcs_t1 as f64 / self.arc_capable_threads() as f64
+    }
+
+    /// Critical-arc frequency to earlier (< t-1) threads.
+    pub fn arc_freq_lt(&self) -> f64 {
+        self.arcs_lt as f64 / self.arc_capable_threads() as f64
+    }
+
+    /// Average critical-arc length to the previous thread, in cycles.
+    pub fn avg_arc_len_t1(&self) -> f64 {
+        if self.arcs_t1 == 0 {
+            0.0
+        } else {
+            self.arc_len_sum_t1 as f64 / self.arcs_t1 as f64
+        }
+    }
+
+    /// Average critical-arc length to earlier threads.
+    pub fn avg_arc_len_lt(&self) -> f64 {
+        if self.arcs_lt == 0 {
+            0.0
+        } else {
+            self.arc_len_sum_lt as f64 / self.arcs_lt as f64
+        }
+    }
+
+    /// Coefficient of variation of the thread size (std-dev divided
+    /// by mean) — the paper's §6.2 predictor of estimate disparity.
+    pub fn thread_size_cv(&self) -> f64 {
+        if self.threads == 0 || self.thread_size_sum == 0 {
+            return 0.0;
+        }
+        let n = self.threads as f64;
+        let mean = self.thread_size_sum as f64 / n;
+        let var = (self.thread_size_sq_sum as f64 / n) - mean * mean;
+        if var <= 0.0 {
+            0.0
+        } else {
+            var.sqrt() / mean
+        }
+    }
+
+    /// Fraction of threads whose speculative state overflowed.
+    pub fn overflow_freq(&self) -> f64 {
+        if self.threads == 0 {
+            0.0
+        } else {
+            self.overflow_threads as f64 / self.threads as f64
+        }
+    }
+}
+
+/// A dynamic nesting edge observed at `sloop` time: the child loop
+/// started while the parent (or top level, `None`) was the innermost
+/// active STL.
+pub type ForestEdges = BTreeMap<(Option<LoopId>, LoopId), u64>;
+
+/// Everything TEST collected over one profiled run.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Per-loop statistics.
+    pub stl: BTreeMap<LoopId, StlStats>,
+    /// Dynamic loop-forest edges with observation counts.
+    pub forest_edges: ForestEdges,
+    /// Extended implementation: per-load-PC dependency bins.
+    pub pc_bins: PcBins,
+    /// Maximum dynamic STL nesting depth observed (Table 6's "Loop
+    /// depth" is dynamic).
+    pub max_dynamic_depth: u32,
+    /// Heap store-timestamp FIFO evictions (history lost).
+    pub fifo_evictions: u64,
+    /// Total trace events processed (diagnostics).
+    pub events: u64,
+    /// Timestamp of the last event seen.
+    pub end_time: Cycles,
+}
+
+impl Profile {
+    /// The most frequently observed dynamic parent of `child`.
+    pub fn dominant_parent(&self, child: LoopId) -> Option<LoopId> {
+        self.forest_edges
+            .iter()
+            .filter(|((_, c), _)| *c == child)
+            .max_by_key(|(_, &count)| count)
+            .and_then(|((p, _), _)| *p)
+    }
+
+    /// The children of `parent` under dominant-parent attribution.
+    pub fn children_of(&self, parent: Option<LoopId>) -> Vec<LoopId> {
+        let mut kids: Vec<LoopId> = self
+            .stl
+            .keys()
+            .copied()
+            .filter(|&c| self.dominant_parent(c) == parent && Some(c) != parent)
+            .collect();
+        kids.sort_unstable();
+        kids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StlStats {
+        StlStats {
+            entries: 1,
+            threads: 11,
+            cycles: 1100,
+            arcs_t1: 5,
+            arc_len_sum_t1: 250,
+            arcs_lt: 2,
+            arc_len_sum_lt: 40,
+            overflow_threads: 1,
+            untraced_entries: 0,
+            max_ld_lines: 7,
+            max_st_lines: 3,
+            thread_size_sq_sum: 11 * 100 * 100,
+            thread_size_sum: 11 * 100,
+        }
+    }
+
+    #[test]
+    fn derived_values_match_figure3_definitions() {
+        let s = sample();
+        assert_eq!(s.avg_thread_size(), 100.0);
+        assert_eq!(s.avg_iterations_per_entry(), 11.0);
+        assert_eq!(s.arc_freq_t1(), 0.5); // 5 / (11-1)
+        assert_eq!(s.arc_freq_lt(), 0.2);
+        assert_eq!(s.avg_arc_len_t1(), 50.0);
+        assert_eq!(s.avg_arc_len_lt(), 20.0);
+        assert!((s.overflow_freq() - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_thread_sizes_have_zero_cv() {
+        let s = sample();
+        assert!(s.thread_size_cv().abs() < 1e-9);
+    }
+
+    #[test]
+    fn varying_thread_sizes_have_positive_cv() {
+        let mut s = sample();
+        // threads of size 50 and 150 instead of 11 x 100
+        s.threads = 2;
+        s.thread_size_sum = 200;
+        s.thread_size_sq_sum = 50 * 50 + 150 * 150;
+        assert!((s.thread_size_cv() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = StlStats::default();
+        assert_eq!(s.avg_thread_size(), 0.0);
+        assert_eq!(s.arc_freq_t1(), 0.0);
+        assert_eq!(s.overflow_freq(), 0.0);
+    }
+
+    #[test]
+    fn dominant_parent_picks_most_frequent() {
+        let mut p = Profile::default();
+        p.stl.insert(LoopId(0), StlStats::default());
+        p.stl.insert(LoopId(1), StlStats::default());
+        p.forest_edges.insert((None, LoopId(0)), 3);
+        p.forest_edges.insert((Some(LoopId(0)), LoopId(1)), 5);
+        p.forest_edges.insert((None, LoopId(1)), 2);
+        assert_eq!(p.dominant_parent(LoopId(1)), Some(LoopId(0)));
+        assert_eq!(p.dominant_parent(LoopId(0)), None);
+        assert_eq!(p.children_of(None), vec![LoopId(0)]);
+        assert_eq!(p.children_of(Some(LoopId(0))), vec![LoopId(1)]);
+    }
+}

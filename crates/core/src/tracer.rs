@@ -1,0 +1,782 @@
+//! The TEST comparator-bank array (paper §4.2, §5.2, Figure 7).
+//!
+//! [`TestTracer`] consumes the trace-event stream of a sequentially
+//! executing annotated program and runs two analyses per active STL:
+//!
+//! * **Load dependency analysis** (§4.2.1, Figure 3): every load looks
+//!   up the previous store timestamp for its word; the unique
+//!   comparator bank for which that store lies in an *earlier thread of
+//!   the same loop entry* records a dependency arc, binned `t-1` /
+//!   `<t-1`, keeping only the shortest (critical) arc per thread.
+//! * **Speculative-state overflow analysis** (§4.2.2, Figure 4): every
+//!   heap access consults a direct-mapped cache-line timestamp table;
+//!   lines not yet touched by the current thread bump per-bank line
+//!   counters, which are checked against the Table 1 buffer limits.
+//!
+//! Banks are allocated at `sloop` (outermost loops win by arriving
+//! first) and freed at `eloop`; when no bank — or no room in the
+//! local-variable timestamp table — is available, the loop entry goes
+//! untraced, exactly as the paper's hardware degrades (§5.2).
+
+use crate::buffers::{LineTimestampTable, LocalVarTimestamps, StoreTimestampFifo};
+use crate::config::TracerConfig;
+use crate::pcbins::PcBins;
+use crate::stats::{Profile, StlStats};
+use std::collections::BTreeMap;
+use tvm::isa::{LoopId, Pc};
+use tvm::line_of;
+use tvm::trace::{Addr, Cycles, TraceSink};
+
+/// Per-STL-activation comparator-bank state (Figure 7).
+#[derive(Debug, Clone)]
+struct Bank {
+    loop_id: LoopId,
+    /// Which `lwl`/`swl` slots belong to *this* loop's tracked set.
+    /// A variable can be a privatizable inductor or reduction for an
+    /// inner loop while being a genuine dependency for an enclosing
+    /// one; the annotation stream is shared, so the compiler installs
+    /// a per-loop slot mask when it creates the annotated code and the
+    /// bank ignores foreign slots. Defaults to all-ones when the
+    /// runtime provides no mask.
+    local_mask: u64,
+    /// Thread start timestamp (0): the loop entry time. Stores older
+    /// than this are loop-invariant inputs, not inter-thread arcs.
+    entry_start: Cycles,
+    /// Thread start timestamp (t).
+    thread_start: Cycles,
+    /// Thread start timestamp (t-1).
+    prev_thread_start: Cycles,
+    // ---- per-thread state, reset at every eoi ----
+    min_arc_t1: Option<Cycles>,
+    min_arc_lt: Option<Cycles>,
+    ld_lines: u32,
+    st_lines: u32,
+    overflowed: bool,
+    /// consecutive overflowing threads (adaptive release policy)
+    consecutive_overflows: u64,
+}
+
+impl Bank {
+    fn new(loop_id: LoopId, now: Cycles, local_mask: u64) -> Bank {
+        Bank {
+            loop_id,
+            local_mask,
+            entry_start: now,
+            thread_start: now,
+            prev_thread_start: now,
+            min_arc_t1: None,
+            min_arc_lt: None,
+            ld_lines: 0,
+            st_lines: 0,
+            overflowed: false,
+            consecutive_overflows: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StackEntry {
+    loop_id: LoopId,
+    bank: Option<usize>,
+    activation: u32,
+    /// set when the adaptive policy released this entry's bank: the
+    /// runtime still knows the `sloop` time, so the loop's inclusive
+    /// cycles are accounted at `eloop` as usual
+    released_entry: Option<Cycles>,
+}
+
+/// The hardware tracer. Implements [`TraceSink`]; feed it by running an
+/// annotated program through [`tvm::Interp`], then harvest results with
+/// [`TestTracer::into_profile`].
+#[derive(Debug)]
+pub struct TestTracer {
+    cfg: TracerConfig,
+    fifo: StoreTimestampFifo,
+    ld_table: LineTimestampTable,
+    st_table: LineTimestampTable,
+    locals: LocalVarTimestamps,
+    banks: Vec<Option<Bank>>,
+    stack: Vec<StackEntry>,
+    local_masks: BTreeMap<LoopId, u64>,
+    stl: BTreeMap<LoopId, StlStats>,
+    forest_edges: BTreeMap<(Option<LoopId>, LoopId), u64>,
+    pc_bins: PcBins,
+    max_dynamic_depth: u32,
+    events: u64,
+    end_time: Cycles,
+    last_ld_line: Option<u32>,
+    last_st_line: Option<u32>,
+}
+
+impl TestTracer {
+    /// Creates a tracer with the given hardware configuration.
+    pub fn new(cfg: TracerConfig) -> TestTracer {
+        TestTracer {
+            cfg,
+            fifo: StoreTimestampFifo::new(cfg.store_ts_lines),
+            ld_table: LineTimestampTable::new(cfg.ld_table_entries),
+            st_table: LineTimestampTable::new(cfg.st_table_entries),
+            locals: LocalVarTimestamps::new(cfg.local_var_capacity),
+            banks: vec![None; cfg.n_banks],
+            stack: Vec::new(),
+            local_masks: BTreeMap::new(),
+            stl: BTreeMap::new(),
+            forest_edges: BTreeMap::new(),
+            pc_bins: PcBins::new(cfg.pc_bin_capacity),
+            max_dynamic_depth: 0,
+            events: 0,
+            end_time: 0,
+            last_ld_line: None,
+            last_st_line: None,
+        }
+    }
+
+    /// Finalizes the run and returns everything collected.
+    ///
+    /// Any still-active loops (a program that halted mid-loop) are
+    /// closed at the last observed event time.
+    pub fn into_profile(mut self) -> Profile {
+        let end = self.end_time;
+        while let Some(top) = self.stack.last().copied() {
+            self.close_loop(top.loop_id, end);
+        }
+        Profile {
+            stl: self.stl,
+            forest_edges: self.forest_edges,
+            pc_bins: self.pc_bins,
+            max_dynamic_depth: self.max_dynamic_depth,
+            fifo_evictions: self.fifo.evictions(),
+            events: self.events,
+            end_time: end,
+        }
+    }
+
+    /// Statistics for one loop, if it was ever traced.
+    pub fn stats(&self, loop_id: LoopId) -> Option<&StlStats> {
+        self.stl.get(&loop_id)
+    }
+
+    /// Installs the per-loop tracked-variable slot mask the JIT
+    /// computes when compiling annotations: bit `i` set means `lwl`/
+    /// `swl` slot `i` belongs to this loop's own tracked set (it is
+    /// not a privatizable inductor/reduction of the loop). Banks for
+    /// loops without a mask consider every slot.
+    pub fn set_local_mask(&mut self, loop_id: LoopId, mask: u64) {
+        self.local_masks.insert(loop_id, mask);
+    }
+
+    /// Installs masks in bulk (see [`TestTracer::set_local_mask`]).
+    pub fn set_local_masks(&mut self, masks: impl IntoIterator<Item = (LoopId, u64)>) {
+        self.local_masks.extend(masks);
+    }
+
+    fn tick(&mut self, now: Cycles) {
+        self.events += 1;
+        self.end_time = self.end_time.max(now);
+    }
+
+    /// Load dependency analysis (§4.2.1): finds the unique active bank
+    /// for which `ts` lies in an earlier thread of the current entry.
+    /// For local-variable loads, `slot` carries the `lwl` operand so
+    /// banks can skip variables outside their tracked mask.
+    fn dependency_check(&mut self, ts: Cycles, now: Cycles, pc: Pc, slot: Option<u16>) {
+        for entry in self.stack.iter().rev() {
+            let Some(bi) = entry.bank else { continue };
+            let bank = self.banks[bi].as_mut().expect("stack bank is live");
+            if let Some(v) = slot {
+                if v < 64 && bank.local_mask & (1u64 << v) == 0 {
+                    continue; // not this loop's variable
+                }
+            }
+            if ts >= bank.thread_start {
+                // same thread; enclosing loops see it intra-thread too
+                return;
+            }
+            if ts >= bank.entry_start {
+                let len = now - ts;
+                let distant = ts < bank.prev_thread_start;
+                let slot = if distant {
+                    &mut bank.min_arc_lt
+                } else {
+                    &mut bank.min_arc_t1
+                };
+                *slot = Some(slot.map_or(len, |m: Cycles| m.min(len)));
+                self.pc_bins.record(bank.loop_id, pc, len, distant);
+                return;
+            }
+            // predates this loop entry: try the enclosing loop
+        }
+    }
+
+    /// Overflow analysis, load side (§4.2.2).
+    fn overflow_load(&mut self, addr: Addr, now: Cycles) {
+        let line = line_of(addr);
+        if self.last_ld_line == Some(line) {
+            return; // Figure 7's last-line register fast path
+        }
+        self.last_ld_line = Some(line);
+        let old = self.ld_table.lookup(line);
+        self.ld_table.record(line, now);
+        for entry in &self.stack {
+            let Some(bi) = entry.bank else { continue };
+            let bank = self.banks[bi].as_mut().expect("stack bank is live");
+            if old.is_none_or(|t| t < bank.thread_start) {
+                bank.ld_lines += 1;
+                if bank.ld_lines > self.cfg.ld_line_limit {
+                    bank.overflowed = true;
+                }
+            }
+        }
+    }
+
+    /// Overflow analysis, store side.
+    fn overflow_store(&mut self, addr: Addr, now: Cycles) {
+        let line = line_of(addr);
+        if self.last_st_line == Some(line) {
+            return;
+        }
+        self.last_st_line = Some(line);
+        let old = self.st_table.lookup(line);
+        self.st_table.record(line, now);
+        for entry in &self.stack {
+            let Some(bi) = entry.bank else { continue };
+            let bank = self.banks[bi].as_mut().expect("stack bank is live");
+            if old.is_none_or(|t| t < bank.thread_start) {
+                bank.st_lines += 1;
+                if bank.st_lines > self.cfg.st_line_limit {
+                    bank.overflowed = true;
+                }
+            }
+        }
+    }
+
+    /// Completes the current thread of a bank. Returns `true` when the
+    /// adaptive policy decides the bank should be released (it
+    /// consistently predicts buffer overflows, so deeper loops deserve
+    /// the hardware — paper §5.2).
+    fn finish_thread(&mut self, bank_idx: usize, now: Cycles) -> bool {
+        let cfg_release = self.cfg.overflow_release_threads;
+        let bank = self.banks[bank_idx].as_mut().expect("bank is live");
+        let s = self
+            .stl
+            .get_mut(&bank.loop_id)
+            .expect("bank loops always have stats");
+        s.threads += 1;
+        if let Some(a) = bank.min_arc_t1.take() {
+            s.arcs_t1 += 1;
+            s.arc_len_sum_t1 += a;
+        }
+        if let Some(a) = bank.min_arc_lt.take() {
+            s.arcs_lt += 1;
+            s.arc_len_sum_lt += a;
+        }
+        if bank.overflowed {
+            s.overflow_threads += 1;
+            bank.consecutive_overflows += 1;
+        } else {
+            bank.consecutive_overflows = 0;
+        }
+        s.max_ld_lines = s.max_ld_lines.max(bank.ld_lines);
+        s.max_st_lines = s.max_st_lines.max(bank.st_lines);
+        let size = now.saturating_sub(bank.thread_start);
+        s.thread_size_sum += size;
+        s.thread_size_sq_sum += u128::from(size) * u128::from(size);
+        bank.prev_thread_start = bank.thread_start;
+        bank.thread_start = now;
+        bank.ld_lines = 0;
+        bank.st_lines = 0;
+        bank.overflowed = false;
+        let release = cfg_release != 0 && bank.consecutive_overflows >= cfg_release;
+        self.last_ld_line = None;
+        self.last_st_line = None;
+        release
+    }
+
+    fn close_loop(&mut self, loop_id: LoopId, now: Cycles) {
+        while let Some(top) = self.stack.pop() {
+            let entry_start = if let Some(bi) = top.bank {
+                let bank = self.banks[bi].take().expect("stack bank is live");
+                self.locals.release(top.activation);
+                Some(bank.entry_start)
+            } else {
+                top.released_entry
+            };
+            if let Some(start) = entry_start {
+                let s = self
+                    .stl
+                    .get_mut(&top.loop_id)
+                    .expect("traced loops always have stats");
+                s.cycles += now.saturating_sub(start);
+            }
+            if top.loop_id == loop_id {
+                break;
+            }
+        }
+        self.last_ld_line = None;
+        self.last_st_line = None;
+    }
+}
+
+impl TraceSink for TestTracer {
+    fn heap_load(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.tick(now);
+        if self.stack.is_empty() {
+            return;
+        }
+        if let Some(ts) = self.fifo.lookup(addr) {
+            self.dependency_check(ts, now, pc, None);
+        }
+        self.overflow_load(addr, now);
+    }
+
+    fn heap_store(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.tick(now);
+        let _ = pc;
+        // timestamps must be recorded even outside loops: a load in a
+        // later-entered loop may consult them (and be filtered by its
+        // entry timestamp)
+        self.fifo.record(addr, now);
+        if self.stack.is_empty() {
+            return;
+        }
+        self.overflow_store(addr, now);
+    }
+
+    fn local_load(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.tick(now);
+        if let Some(ts) = self.locals.lookup(activation, var) {
+            self.dependency_check(ts, now, pc, Some(var));
+        }
+    }
+
+    fn local_store(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.tick(now);
+        let _ = pc;
+        self.locals.record(activation, var, now);
+    }
+
+    fn loop_enter(&mut self, loop_id: LoopId, n_locals: u16, activation: u32, now: Cycles) {
+        self.tick(now);
+        // dynamic forest edge: nearest traced enclosing loop
+        let parent = self
+            .stack
+            .iter()
+            .rev()
+            .find(|e| e.bank.is_some())
+            .map(|e| e.loop_id);
+        *self.forest_edges.entry((parent, loop_id)).or_insert(0) += 1;
+
+        // adaptive annotation policy: enough data collected already
+        let sufficient = self.cfg.sufficient_threads != 0
+            && self
+                .stl
+                .get(&loop_id)
+                .is_some_and(|s| s.threads >= self.cfg.sufficient_threads);
+        let free = if sufficient {
+            None
+        } else {
+            self.banks.iter().position(|b| b.is_none())
+        };
+        let bank = match free {
+            Some(slot) if self.locals.reserve(activation, n_locals) => {
+                let mask = self.local_masks.get(&loop_id).copied().unwrap_or(u64::MAX);
+                self.banks[slot] = Some(Bank::new(loop_id, now, mask));
+                let s = self.stl.entry(loop_id).or_default();
+                s.entries += 1;
+                Some(slot)
+            }
+            _ => {
+                self.stl.entry(loop_id).or_default().untraced_entries += 1;
+                None
+            }
+        };
+        self.stack.push(StackEntry {
+            loop_id,
+            bank,
+            activation,
+            released_entry: None,
+        });
+        self.max_dynamic_depth = self.max_dynamic_depth.max(self.stack.len() as u32);
+        self.last_ld_line = None;
+        self.last_st_line = None;
+    }
+
+    fn loop_iter(&mut self, loop_id: LoopId, now: Cycles) {
+        self.tick(now);
+        let Some(top) = self.stack.last().copied() else {
+            return;
+        };
+        if top.loop_id != loop_id {
+            return; // stray eoi from an untraced structure; ignore
+        }
+        if let Some(bi) = top.bank {
+            if self.finish_thread(bi, now) {
+                // release the bank for deeper loops; the runtime keeps
+                // the sloop time so the loop's inclusive cycles are
+                // still accounted at eloop
+                let bank = self.banks[bi].take().expect("bank is live");
+                let entry = self.stack.last_mut().expect("top exists");
+                entry.bank = None;
+                entry.released_entry = Some(bank.entry_start);
+                self.locals.release(entry.activation);
+            }
+        }
+    }
+
+    fn loop_exit(&mut self, loop_id: LoopId, now: Cycles) {
+        self.tick(now);
+        if self.stack.iter().any(|e| e.loop_id == loop_id) {
+            self.close_loop(loop_id, now);
+        }
+    }
+
+    fn stats_read(&mut self, _loop_id: LoopId, now: Cycles) {
+        self.tick(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::isa::FuncId;
+
+    const L0: LoopId = LoopId(0);
+    const L1: LoopId = LoopId(1);
+
+    fn pc(idx: u32) -> Pc {
+        Pc {
+            func: FuncId(0),
+            idx,
+        }
+    }
+
+    fn tracer() -> TestTracer {
+        TestTracer::new(TracerConfig::default())
+    }
+
+    #[test]
+    fn critical_arc_keeps_shortest() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.heap_store(0x100, 10, pc(1));
+        t.heap_store(0x200, 30, pc(2));
+        t.loop_iter(L0, 40);
+        // two arcs into thread 2: lengths 40 (0x100) and 25 (0x200)
+        t.heap_load(0x100, 50, pc(3));
+        t.heap_load(0x200, 55, pc(4));
+        t.loop_iter(L0, 60);
+        t.loop_exit(L0, 61);
+        let p = t.into_profile();
+        let s = &p.stl[&L0];
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.arcs_t1, 1, "one critical arc for the thread");
+        assert_eq!(s.arc_len_sum_t1, 25, "the shorter arc wins");
+    }
+
+    #[test]
+    fn pre_entry_stores_are_not_arcs() {
+        let mut t = tracer();
+        t.heap_store(0x100, 5, pc(0)); // before the loop
+        t.loop_enter(L0, 0, 0, 10);
+        t.loop_iter(L0, 20);
+        t.heap_load(0x100, 25, pc(1)); // loop-invariant input
+        t.loop_iter(L0, 30);
+        t.loop_exit(L0, 31);
+        let p = t.into_profile();
+        let s = &p.stl[&L0];
+        assert_eq!(s.arcs_t1 + s.arcs_lt, 0);
+    }
+
+    #[test]
+    fn same_thread_store_load_is_not_an_arc() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.loop_iter(L0, 10);
+        t.heap_store(0x100, 12, pc(0));
+        t.heap_load(0x100, 15, pc(1)); // same thread
+        t.loop_iter(L0, 20);
+        t.loop_exit(L0, 21);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].arcs_t1, 0);
+    }
+
+    #[test]
+    fn distant_arcs_go_to_the_lt_bin() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.heap_store(0x100, 5, pc(0)); // thread 1
+        t.loop_iter(L0, 10);
+        t.loop_iter(L0, 20); // thread 2: empty
+        t.heap_load(0x100, 25, pc(1)); // thread 3 reads thread 1
+        t.loop_iter(L0, 30);
+        t.loop_exit(L0, 31);
+        let p = t.into_profile();
+        let s = &p.stl[&L0];
+        assert_eq!(s.arcs_lt, 1);
+        assert_eq!(s.arc_len_sum_lt, 20);
+        assert_eq!(s.arcs_t1, 0);
+    }
+
+    #[test]
+    fn local_variable_arcs_are_detected() {
+        let mut t = tracer();
+        t.loop_enter(L0, 2, 7, 0);
+        t.local_store(1, 7, 8, pc(0));
+        t.loop_iter(L0, 10);
+        t.local_load(1, 7, 14, pc(1));
+        t.loop_iter(L0, 20);
+        t.loop_exit(L0, 21);
+        let p = t.into_profile();
+        let s = &p.stl[&L0];
+        assert_eq!(s.arcs_t1, 1);
+        assert_eq!(s.arc_len_sum_t1, 6);
+    }
+
+    #[test]
+    fn nested_loops_attribute_arcs_to_the_unique_bank() {
+        // store in outer iteration i (outside inner loop), load inside
+        // inner loop of iteration i+1: the arc belongs to the OUTER loop
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.heap_store(0x300, 5, pc(0));
+        t.loop_iter(L0, 10); // outer thread boundary
+        t.loop_enter(L1, 0, 0, 12);
+        t.heap_load(0x300, 15, pc(1));
+        t.loop_iter(L1, 18);
+        t.loop_exit(L1, 20);
+        t.loop_iter(L0, 22);
+        t.loop_exit(L0, 25);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].arcs_t1, 1);
+        assert_eq!(p.stl[&L1].arcs_t1, 0);
+        // and the dynamic forest saw the nesting
+        assert_eq!(p.forest_edges[&(Some(L0), L1)], 1);
+        assert_eq!(p.max_dynamic_depth, 2);
+    }
+
+    #[test]
+    fn inner_loop_arc_is_intra_thread_for_outer() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.loop_enter(L1, 0, 0, 5);
+        t.heap_store(0x300, 8, pc(0));
+        t.loop_iter(L1, 10);
+        t.heap_load(0x300, 12, pc(1)); // inner-loop carried
+        t.loop_iter(L1, 15);
+        t.loop_exit(L1, 16);
+        t.loop_iter(L0, 20);
+        t.loop_exit(L0, 22);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L1].arcs_t1, 1);
+        assert_eq!(p.stl[&L0].arcs_t1, 0);
+    }
+
+    #[test]
+    fn store_line_counting_and_overflow() {
+        let cfg = TracerConfig {
+            st_line_limit: 2,
+            ..TracerConfig::default()
+        };
+        let mut t = TestTracer::new(cfg);
+        t.loop_enter(L0, 0, 0, 0);
+        t.loop_iter(L0, 1);
+        // three distinct lines stored by one thread: exceeds limit 2
+        t.heap_store(0x000, 2, pc(0));
+        t.heap_store(0x020, 3, pc(0));
+        t.heap_store(0x040, 4, pc(0));
+        t.loop_iter(L0, 10);
+        // one line only: fits
+        t.heap_store(0x060, 12, pc(0));
+        t.loop_iter(L0, 20);
+        t.loop_exit(L0, 21);
+        let p = t.into_profile();
+        let s = &p.stl[&L0];
+        assert_eq!(s.overflow_threads, 1);
+        assert_eq!(s.max_st_lines, 3);
+        assert_eq!(s.threads, 3);
+    }
+
+    #[test]
+    fn repeated_access_to_one_line_counts_once() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.loop_iter(L0, 1);
+        t.heap_load(0x100, 2, pc(0));
+        t.heap_load(0x108, 3, pc(0)); // same line
+        t.heap_load(0x118, 4, pc(0)); // same line
+        t.loop_iter(L0, 10);
+        t.loop_exit(L0, 11);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].max_ld_lines, 1);
+    }
+
+    #[test]
+    fn line_reaccessed_across_threads_counts_again() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.heap_load(0x100, 2, pc(0));
+        t.loop_iter(L0, 10);
+        t.heap_load(0x100, 12, pc(0)); // new thread: counts anew
+        t.loop_iter(L0, 20);
+        t.loop_exit(L0, 21);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].max_ld_lines, 1);
+        assert_eq!(p.stl[&L0].threads, 2);
+    }
+
+    #[test]
+    fn bank_exhaustion_leaves_deep_loops_untraced() {
+        let cfg = TracerConfig {
+            n_banks: 1,
+            ..TracerConfig::default()
+        };
+        let mut t = TestTracer::new(cfg);
+        t.loop_enter(L0, 0, 0, 0);
+        t.loop_enter(L1, 0, 0, 5); // no bank left
+        t.loop_iter(L1, 8);
+        t.loop_exit(L1, 10);
+        t.loop_iter(L0, 12);
+        t.loop_exit(L0, 15);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].entries, 1);
+        assert_eq!(p.stl[&L1].entries, 0);
+        assert_eq!(p.stl[&L1].untraced_entries, 1);
+        assert_eq!(p.stl[&L1].threads, 0);
+    }
+
+    #[test]
+    fn local_capacity_exhaustion_leaves_loop_untraced() {
+        let cfg = TracerConfig {
+            local_var_capacity: 2,
+            ..TracerConfig::default()
+        };
+        let mut t = TestTracer::new(cfg);
+        t.loop_enter(L0, 2, 1, 0); // fits exactly
+        t.loop_enter(L1, 2, 9, 5); // different activation: no room
+        t.loop_iter(L1, 8);
+        t.loop_exit(L1, 10);
+        t.loop_iter(L0, 12);
+        t.loop_exit(L0, 15);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].entries, 1);
+        assert_eq!(p.stl[&L1].untraced_entries, 1);
+    }
+
+    #[test]
+    fn loop_cycles_accumulate_across_entries() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.loop_iter(L0, 10);
+        t.loop_exit(L0, 12);
+        t.loop_enter(L0, 0, 0, 100);
+        t.loop_iter(L0, 130);
+        t.loop_exit(L0, 134);
+        let p = t.into_profile();
+        let s = &p.stl[&L0];
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.cycles, 12 + 34);
+        assert_eq!(s.threads, 2);
+    }
+
+    #[test]
+    fn unterminated_loop_is_closed_at_profile_end() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.loop_iter(L0, 50);
+        // no eloop: program halted inside the loop
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].cycles, 50);
+    }
+
+    #[test]
+    fn fifo_eviction_hides_distant_dependencies() {
+        // store history smaller than the working set: the arc is lost
+        let cfg = TracerConfig {
+            store_ts_lines: 2,
+            ..TracerConfig::default()
+        };
+        let mut t = TestTracer::new(cfg);
+        t.loop_enter(L0, 0, 0, 0);
+        t.heap_store(0x100, 2, pc(0));
+        t.heap_store(0x200, 3, pc(0));
+        t.heap_store(0x300, 4, pc(0)); // evicts 0x100's line
+        t.loop_iter(L0, 10);
+        t.heap_load(0x100, 12, pc(1)); // real dep, invisible
+        t.loop_iter(L0, 20);
+        t.loop_exit(L0, 21);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].arcs_t1, 0);
+        assert!(p.fifo_evictions > 0);
+    }
+
+    #[test]
+    fn overflowing_bank_is_released_for_deeper_loops() {
+        // one bank, outer loop overflowing every thread: after the
+        // release threshold the inner loop finally gets traced
+        let cfg = TracerConfig {
+            n_banks: 1,
+            st_line_limit: 1,
+            overflow_release_threads: 2,
+            ..TracerConfig::default()
+        };
+        let mut t = TestTracer::new(cfg);
+        t.loop_enter(L0, 0, 0, 0);
+        let mut now = 1;
+        // two consecutive overflowing outer threads
+        for _ in 0..2 {
+            t.heap_store(0x000, now, pc(0));
+            t.heap_store(0x020, now + 1, pc(0));
+            t.heap_store(0x040, now + 2, pc(0));
+            now += 10;
+            t.loop_iter(L0, now);
+        }
+        // the bank is now free: a nested loop can claim it
+        t.loop_enter(L1, 0, 0, now + 1);
+        t.loop_iter(L1, now + 5);
+        t.loop_exit(L1, now + 6);
+        t.loop_iter(L0, now + 8);
+        t.loop_exit(L0, now + 10);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].overflow_threads, 2);
+        assert_eq!(p.stl[&L1].entries, 1, "inner loop must be traced");
+        assert_eq!(p.stl[&L1].threads, 1);
+    }
+
+    #[test]
+    fn sufficient_threads_stops_reallocation() {
+        let cfg = TracerConfig {
+            sufficient_threads: 2,
+            ..TracerConfig::default()
+        };
+        let mut t = TestTracer::new(cfg);
+        // first entry: two threads recorded
+        t.loop_enter(L0, 0, 0, 0);
+        t.loop_iter(L0, 10);
+        t.loop_iter(L0, 20);
+        t.loop_exit(L0, 21);
+        // second entry: enough data, no bank allocated
+        t.loop_enter(L0, 0, 0, 100);
+        t.loop_iter(L0, 110);
+        t.loop_exit(L0, 111);
+        let p = t.into_profile();
+        assert_eq!(p.stl[&L0].entries, 1);
+        assert_eq!(p.stl[&L0].untraced_entries, 1);
+        assert_eq!(p.stl[&L0].threads, 2);
+    }
+
+    #[test]
+    fn pc_bins_record_consumer_sites() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.heap_store(0x100, 5, pc(3));
+        t.loop_iter(L0, 10);
+        t.heap_load(0x100, 12, pc(7));
+        t.loop_iter(L0, 20);
+        t.loop_exit(L0, 21);
+        let p = t.into_profile();
+        let hot = p.pc_bins.hottest(L0);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].0, pc(7));
+        assert_eq!(hot[0].1.count, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Hydra TLS machine parameters (paper Tables 1 and 2).
+
+/// Hydra's thread-level speculation configuration.
+///
+/// Defaults reproduce the paper exactly:
+///
+/// * Table 1 — per-thread load buffer 16 kB (512 × 32 B lines, 4-way)
+///   and store buffer 2 kB (64 lines, fully associative);
+/// * Table 2 — loop startup/shutdown 25 cycles, end-of-iteration 5,
+///   violation restart 5, store→load communication 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlsConfig {
+    /// CPUs on the die.
+    pub processors: u32,
+    /// Loop startup overhead (cycles, once per loop entry).
+    pub startup: u64,
+    /// Loop shutdown overhead (cycles, once per loop entry).
+    pub shutdown: u64,
+    /// End-of-iteration overhead (cycles, per thread).
+    pub eoi: u64,
+    /// Violation-and-restart penalty (cycles, per restart).
+    pub violation_restart: u64,
+    /// Store→load communication delay (cycles).
+    pub comm_delay: u64,
+    /// Speculative load state limit (L1 lines per thread).
+    pub ld_line_limit: u32,
+    /// Store buffer limit (lines per thread).
+    pub st_line_limit: u32,
+    /// Associativity of the speculative load state (Table 1: the L1
+    /// tags are 4-way). The tracer's overflow analysis deliberately
+    /// ignores associativity (§5.3), so conflict-heavy access patterns
+    /// can overflow here without TEST predicting it.
+    pub ld_associativity: u32,
+    /// Insert synchronization for dependencies that have violated:
+    /// after an address causes a restart, later threads *wait* for its
+    /// producer instead of violating again. This models the
+    /// violation-reducing synchronization the Jrpm compiler inserts
+    /// (paper §3.2, §6.3, and its citations \[10\]\[22\]\[30\]). Disable for
+    /// the ablation that shows raw violation cost.
+    pub sync_after_violation: bool,
+}
+
+impl Default for TlsConfig {
+    fn default() -> Self {
+        TlsConfig {
+            processors: 4,
+            startup: 25,
+            shutdown: 25,
+            eoi: 5,
+            violation_restart: 5,
+            comm_delay: 10,
+            ld_line_limit: 512,
+            st_line_limit: 64,
+            ld_associativity: 4,
+            sync_after_violation: true,
+        }
+    }
+}
+
+impl TlsConfig {
+    /// The estimator parameters (Equation 1) consistent with this
+    /// machine. TEST's prediction and the simulator's "actual" must
+    /// agree on these constants for Figure 11 to be meaningful.
+    pub fn estimator_params(&self) -> test_tracer::EstimatorParams {
+        test_tracer::EstimatorParams {
+            processors: self.processors,
+            startup_overhead: self.startup,
+            shutdown_overhead: self.shutdown,
+            eoi_overhead: self.eoi,
+            comm_delay: self.comm_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_tables_1_and_2() {
+        let c = TlsConfig::default();
+        assert_eq!(c.processors, 4);
+        assert_eq!(c.startup, 25);
+        assert_eq!(c.shutdown, 25);
+        assert_eq!(c.eoi, 5);
+        assert_eq!(c.violation_restart, 5);
+        assert_eq!(c.comm_delay, 10);
+        assert_eq!(u64::from(c.ld_line_limit) * 32, 16 * 1024);
+        assert_eq!(u64::from(c.st_line_limit) * 32, 2 * 1024);
+    }
+
+    #[test]
+    fn estimator_params_are_consistent() {
+        let c = TlsConfig::default();
+        let e = c.estimator_params();
+        assert_eq!(e.processors, c.processors);
+        assert_eq!(e.startup_overhead, c.startup);
+        assert_eq!(e.eoi_overhead, c.eoi);
+        assert_eq!(e.comm_delay, c.comm_delay);
+    }
+}

@@ -1,0 +1,36 @@
+//! # hydra-sim — trace-driven thread-level speculation simulator
+//!
+//! Models speculative execution of selected speculative thread loops
+//! (STLs) on the Hydra chip-multiprocessor of *TEST: A Tracer for
+//! Extracting Speculative Threads* (CGO 2003, §3.1): four single-issue
+//! CPUs, per-thread speculative load state in the L1 (512 lines) and
+//! store buffers (64 lines, Table 1), and the speculative-thread
+//! overheads of Table 2.
+//!
+//! The simulator is trace-driven: [`collect::TlsTraceCollector`]
+//! records, per iteration of a selected loop, the cycle size and the
+//! word-granular memory accesses (including *globalized* local
+//! variables the speculative compiler must communicate through
+//! memory). [`sim::simulate_entry`] then solves the speculative
+//! schedule:
+//!
+//! * threads dispatch in order onto the 4 CPUs;
+//! * a RAW violation occurs when a producing store becomes visible
+//!   (store time + forwarding delay) *after* a later thread already
+//!   performed the load — the violated thread restarts from scratch,
+//!   5 cycles after the violating store arrives;
+//! * a thread whose speculative state exceeds the Table 1 buffers
+//!   stalls at the overflow point until it becomes the head thread;
+//! * commits are in order; startup/shutdown/end-of-iteration overheads
+//!   are charged as in Table 2.
+//!
+//! This is the "actual" speculative execution of the paper's Figure 11
+//! against which TEST's predictions are compared.
+
+pub mod collect;
+pub mod config;
+pub mod sim;
+
+pub use collect::{Access, AccessKind, EntryTrace, IterTrace, TlsTraceCollector};
+pub use config::TlsConfig;
+pub use sim::{simulate_all, simulate_entry, TlsSimResult};

@@ -1,0 +1,375 @@
+//! The speculative schedule solver.
+//!
+//! Given an [`EntryTrace`], computes how long the entry takes when its
+//! iterations run as speculative threads on Hydra. The solver assigns
+//! threads to CPUs in order and, for each thread, finds the smallest
+//! start time consistent with the violation rule: any load whose
+//! producing store (from an earlier uncommitted thread) becomes visible
+//! *after* the load executed forces a restart at the store's arrival
+//! plus the restart penalty. Because restarts only push start times
+//! later and producers are already settled when a thread is processed,
+//! a simple per-thread fixpoint converges.
+
+use crate::collect::{Access, AccessKind, EntryTrace};
+use crate::config::TlsConfig;
+use std::collections::{HashMap, HashSet};
+
+use tvm::line_of;
+use tvm::trace::Addr;
+
+/// The outcome of speculatively executing one loop entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlsSimResult {
+    /// Total cycles for the entry (startup to shutdown, including the
+    /// serial tail fragment).
+    pub tls_cycles: u64,
+    /// Threads executed.
+    pub threads: u64,
+    /// Violation restarts that occurred.
+    pub violations: u64,
+    /// Threads that overflowed speculative buffers and stalled.
+    pub overflows: u64,
+}
+
+/// All stores to one address, in sequential program order
+/// (thread-major). `(thread, rel)` pairs; the vector is naturally
+/// sorted because threads are scanned in order.
+type StoreIndex = HashMap<Addr, Vec<(u32, u32)>>;
+
+fn build_store_index(entry: &EntryTrace) -> StoreIndex {
+    let mut idx: StoreIndex = HashMap::new();
+    for (t, iter) in entry.iters.iter().enumerate() {
+        for a in &iter.accesses {
+            if a.kind == AccessKind::Store {
+                idx.entry(a.addr).or_default().push((t as u32, a.rel));
+            }
+        }
+    }
+    idx
+}
+
+/// The producing store for a load at `(thread, rel)`: the last store
+/// to `addr` that precedes it in sequential order. Returns `None` when
+/// there is no producer in this entry or the producer is the thread's
+/// own earlier store (which the load reads from its own buffer).
+fn producer(idx: &StoreIndex, addr: Addr, thread: u32, rel: u32) -> Option<(u32, u32)> {
+    let stores = idx.get(&addr)?;
+    // last store with (t, r) sequentially before (thread, rel)
+    let pos = stores.partition_point(|&(t, r)| t < thread || (t == thread && r <= rel));
+    if pos == 0 {
+        return None;
+    }
+    let (t, r) = stores[pos - 1];
+    if t == thread {
+        None // own store: forwarded from the local store buffer
+    } else {
+        Some((t, r))
+    }
+}
+
+/// Relative cycle at which this thread's speculative state first
+/// exceeds the buffer limits, if it ever does.
+///
+/// The load state lives in the set-associative L1 tags (Table 1:
+/// 4-way), so a single set can overflow with far fewer than 512
+/// distinct lines; the store buffer is fully associative.
+fn overflow_point(accesses: &[Access], cfg: &TlsConfig) -> Option<u32> {
+    let n_sets = (cfg.ld_line_limit / cfg.ld_associativity.max(1)).max(1);
+    let mut ld_sets: HashMap<u32, HashSet<u32>> = HashMap::new();
+    let mut st: HashSet<u32> = HashSet::new();
+    for a in accesses {
+        let line = line_of(a.addr);
+        match a.kind {
+            AccessKind::Load => {
+                let set = ld_sets.entry(line % n_sets).or_default();
+                set.insert(line);
+                if set.len() > cfg.ld_associativity as usize {
+                    return Some(a.rel);
+                }
+            }
+            AccessKind::Store => {
+                st.insert(line);
+                if st.len() > cfg.st_line_limit as usize {
+                    return Some(a.rel);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Simulates one loop entry under TLS.
+///
+/// ```
+/// use hydra_sim::{simulate_entry, EntryTrace, IterTrace, TlsConfig};
+/// use tvm::isa::LoopId;
+///
+/// // four independent 1000-cycle iterations fill the four CPUs
+/// let entry = EntryTrace {
+///     loop_id: LoopId(0),
+///     start: 0,
+///     iters: (0..4).map(|_| IterTrace { cycles: 1000, accesses: vec![] }).collect(),
+///     tail_cycles: 0,
+///     seq_cycles: 4000,
+/// };
+/// let r = simulate_entry(&entry, &TlsConfig::default());
+/// assert_eq!(r.tls_cycles, 25 + 1000 + 5 + 25); // startup+thread+eoi+shutdown
+/// ```
+pub fn simulate_entry(entry: &EntryTrace, cfg: &TlsConfig) -> TlsSimResult {
+    let n = entry.iters.len();
+    if n == 0 {
+        return TlsSimResult {
+            tls_cycles: cfg.startup + cfg.shutdown + u64::from(entry.tail_cycles),
+            threads: 0,
+            violations: 0,
+            overflows: 0,
+        };
+    }
+
+    let idx = build_store_index(entry);
+    let p = cfg.processors as usize;
+    let mut cpu_free = vec![cfg.startup; p];
+    let mut starts: Vec<u64> = Vec::with_capacity(n);
+    let mut commit_prev: u64 = cfg.startup;
+    let mut violations = 0u64;
+    let mut overflows = 0u64;
+    // addresses whose dependencies have been synchronized after a
+    // violation: later consumers wait instead of restarting
+    let mut synced: HashSet<Addr> = HashSet::new();
+
+    for (t, iter) in entry.iters.iter().enumerate() {
+        let cpu = t % p;
+        let mut start = cpu_free[cpu];
+
+        // violation fixpoint: synced addresses delay the start (the
+        // inserted lock stalls the consumer); unsynced ones restart
+        // the thread and become synced
+        loop {
+            let mut restart_at: Option<u64> = None;
+            let mut wait_until: u64 = start;
+            for a in &iter.accesses {
+                if a.kind != AccessKind::Load {
+                    continue;
+                }
+                if let Some((pt, pr)) = producer(&idx, a.addr, t as u32, a.rel) {
+                    let visible = starts[pt as usize] + u64::from(pr) + cfg.comm_delay;
+                    let load_time = start + u64::from(a.rel);
+                    if visible > load_time {
+                        if cfg.sync_after_violation && synced.contains(&a.addr) {
+                            // wait so the load lands after the producer
+                            wait_until =
+                                wait_until.max(visible.saturating_sub(u64::from(a.rel)));
+                        } else {
+                            restart_at =
+                                Some(restart_at.map_or(visible, |w: u64| w.max(visible)));
+                            if cfg.sync_after_violation {
+                                synced.insert(a.addr);
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(v) = restart_at {
+                violations += 1;
+                start = v + cfg.violation_restart;
+            } else if wait_until > start {
+                start = wait_until;
+            } else {
+                break;
+            }
+        }
+        starts.push(start);
+
+        let mut finish = start + u64::from(iter.cycles) + cfg.eoi;
+        if let Some(r_ovf) = overflow_point(&iter.accesses, cfg) {
+            overflows += 1;
+            // stall at the overflow point until this thread is the
+            // head (all predecessors committed), then run the rest
+            let stalled_resume = commit_prev.max(start + u64::from(r_ovf));
+            finish = finish
+                .max(stalled_resume + u64::from(iter.cycles - r_ovf) + cfg.eoi);
+        }
+
+        // in-order commit
+        let commit = finish.max(commit_prev);
+        commit_prev = commit;
+        cpu_free[cpu] = commit;
+    }
+
+    TlsSimResult {
+        tls_cycles: commit_prev + cfg.shutdown + u64::from(entry.tail_cycles),
+        threads: n as u64,
+        violations,
+        overflows,
+    }
+}
+
+/// Simulates every entry and sums the results.
+pub fn simulate_all(entries: &[EntryTrace], cfg: &TlsConfig) -> TlsSimResult {
+    let mut total = TlsSimResult::default();
+    for e in entries {
+        let r = simulate_entry(e, cfg);
+        total.tls_cycles += r.tls_cycles;
+        total.threads += r.threads;
+        total.violations += r.violations;
+        total.overflows += r.overflows;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::IterTrace;
+    use tvm::isa::LoopId;
+
+    fn entry(iters: Vec<IterTrace>) -> EntryTrace {
+        let seq: u64 = iters.iter().map(|i| u64::from(i.cycles)).sum();
+        EntryTrace {
+            loop_id: LoopId(0),
+            start: 0,
+            iters,
+            tail_cycles: 0,
+            seq_cycles: seq,
+        }
+    }
+
+    fn iter(cycles: u32, accesses: Vec<Access>) -> IterTrace {
+        IterTrace { cycles, accesses }
+    }
+
+    fn ld(rel: u32, addr: Addr) -> Access {
+        Access {
+            rel,
+            addr,
+            kind: AccessKind::Load,
+        }
+    }
+
+    fn st(rel: u32, addr: Addr) -> Access {
+        Access {
+            rel,
+            addr,
+            kind: AccessKind::Store,
+        }
+    }
+
+    #[test]
+    fn independent_threads_approach_4x() {
+        let cfg = TlsConfig::default();
+        let iters: Vec<_> = (0..400).map(|_| iter(1000, vec![])).collect();
+        let e = entry(iters);
+        let r = simulate_entry(&e, &cfg);
+        let seq = e.seq_cycles as f64;
+        let speedup = seq / r.tls_cycles as f64;
+        assert_eq!(r.violations, 0);
+        assert!(speedup > 3.5, "got {speedup}");
+        assert!(speedup <= 4.0);
+    }
+
+    #[test]
+    fn tight_raw_chain_serializes() {
+        // each thread stores at the end and the next loads at the start
+        let cfg = TlsConfig::default();
+        let iters: Vec<_> = (0..100)
+            .map(|_| iter(1000, vec![ld(5, 0x40), st(995, 0x40)]))
+            .collect();
+        let e = entry(iters);
+        let r = simulate_entry(&e, &cfg);
+        let speedup = e.seq_cycles as f64 / r.tls_cycles as f64;
+        assert!(r.violations > 0);
+        assert!(speedup < 1.2, "got {speedup}");
+    }
+
+    #[test]
+    fn long_arcs_preserve_parallelism() {
+        // store early, load late: dependency arc nearly a full thread
+        let cfg = TlsConfig::default();
+        let iters: Vec<_> = (0..100)
+            .map(|_| iter(1000, vec![st(5, 0x40), ld(995, 0x40)]))
+            .collect();
+        let e = entry(iters);
+        let r = simulate_entry(&e, &cfg);
+        let speedup = e.seq_cycles as f64 / r.tls_cycles as f64;
+        assert!(speedup > 3.0, "got {speedup}");
+    }
+
+    #[test]
+    fn own_store_forwards_without_violation() {
+        let cfg = TlsConfig::default();
+        let iters: Vec<_> = (0..10)
+            .map(|_| iter(100, vec![st(10, 0x40), ld(20, 0x40)]))
+            .collect();
+        let e = entry(iters);
+        let r = simulate_entry(&e, &cfg);
+        // each load reads its own thread's store: a per-thread
+        // temporary, no cross-thread dependency at all
+        assert_eq!(r.violations, 0);
+    }
+
+    #[test]
+    fn buffer_overflow_forces_serialization() {
+        let cfg = TlsConfig::default();
+        // each thread stores 65 distinct lines: exceeds the 64-line
+        // store buffer
+        let iters: Vec<_> = (0..20)
+            .map(|_| {
+                let accesses = (0..65).map(|k| st(10 + k, k * 32)).collect();
+                iter(1000, accesses)
+            })
+            .collect();
+        let e = entry(iters);
+        let r = simulate_entry(&e, &cfg);
+        assert_eq!(r.overflows, 20);
+        let speedup = e.seq_cycles as f64 / r.tls_cycles as f64;
+        assert!(speedup < 1.6, "got {speedup}");
+    }
+
+    #[test]
+    fn empty_entry_costs_only_overheads() {
+        let cfg = TlsConfig::default();
+        let mut e = entry(vec![]);
+        e.tail_cycles = 7;
+        let r = simulate_entry(&e, &cfg);
+        assert_eq!(r.tls_cycles, 25 + 25 + 7);
+        assert_eq!(r.threads, 0);
+    }
+
+    #[test]
+    fn few_large_threads_use_few_cpus() {
+        let cfg = TlsConfig::default();
+        let e = entry(vec![iter(1000, vec![]), iter(1000, vec![])]);
+        let r = simulate_entry(&e, &cfg);
+        // two threads in parallel: ~half the sequential time
+        assert!(r.tls_cycles < 1200);
+        assert!(r.tls_cycles >= 1000);
+    }
+
+    #[test]
+    fn simulate_all_sums() {
+        let cfg = TlsConfig::default();
+        let e1 = entry(vec![iter(100, vec![])]);
+        let e2 = entry(vec![iter(100, vec![]), iter(100, vec![])]);
+        let both = simulate_all(&[e1.clone(), e2.clone()], &cfg);
+        let r1 = simulate_entry(&e1, &cfg);
+        let r2 = simulate_entry(&e2, &cfg);
+        assert_eq!(both.tls_cycles, r1.tls_cycles + r2.tls_cycles);
+        assert_eq!(both.threads, 3);
+    }
+
+    #[test]
+    fn violation_restart_rereads_correct_data() {
+        // thread 1 stores late; thread 2 loads early -> one restart,
+        // after which the producer is visible and no further violation
+        let cfg = TlsConfig::default();
+        let e = entry(vec![
+            iter(100, vec![st(90, 0x40)]),
+            iter(100, vec![ld(5, 0x40)]),
+        ]);
+        let r = simulate_entry(&e, &cfg);
+        assert_eq!(r.violations, 1);
+        // thread 2 restarts at 25(startup)+90+10(comm)+5(restart) = 130
+        // finishes at 230 + eoi
+        assert!(r.tls_cycles >= 230);
+    }
+}

@@ -1,0 +1,274 @@
+//! The end-to-end Jrpm pipeline (paper Figure 1).
+
+use crate::annotate::{annotate, AnnotateOptions};
+use cfgir::{extract_candidates, ProgramCandidates};
+use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
+use std::collections::BTreeMap;
+use test_tracer::{select, Profile, SelectionResult, TestTracer, TracerConfig};
+use tvm::interp::AnnotationCycles;
+use tvm::isa::LoopId;
+use tvm::program::Program;
+use tvm::{Interp, NullSink, VmError};
+
+/// Configuration for a pipeline run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineConfig {
+    /// TEST hardware configuration.
+    pub tracer: TracerConfig,
+    /// Hydra TLS machine parameters.
+    pub tls: TlsConfig,
+}
+
+/// Per-loop outcome of actual speculative execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopTls {
+    /// Sequential cycles the loop's entries covered in the
+    /// speculative-instrumentation run.
+    pub seq_cycles: u64,
+    /// Cycles under TLS execution.
+    pub tls_cycles: u64,
+    /// Violation restarts.
+    pub violations: u64,
+    /// Buffer-overflow stalls.
+    pub overflows: u64,
+    /// Threads executed.
+    pub threads: u64,
+}
+
+/// Whole-program actual speculative execution (Figure 11's "Actual").
+#[derive(Debug, Clone, Default)]
+pub struct ActualTls {
+    /// Per selected loop.
+    pub per_loop: BTreeMap<LoopId, LoopTls>,
+    /// Total cycles of the speculative-instrumentation sequential run
+    /// (the baseline the TLS composition replaces loop entries in).
+    pub baseline_cycles: u64,
+    /// Whole-program cycles with selected loops running speculatively.
+    pub tls_cycles: u64,
+}
+
+impl ActualTls {
+    /// Whole-program actual speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.tls_cycles == 0 {
+            1.0
+        } else {
+            self.baseline_cycles as f64 / self.tls_cycles as f64
+        }
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Plain (unannotated) sequential cycles.
+    pub seq_cycles: u64,
+    /// Profiling-run cycles (optimized annotations).
+    pub profile_cycles: u64,
+    /// Profiling-run annotation overhead breakdown.
+    pub annotation: AnnotationCycles,
+    /// Static candidate extraction results.
+    pub candidates: ProgramCandidates,
+    /// What TEST collected.
+    pub profile: Profile,
+    /// Equation 1 + 2 selection.
+    pub selection: SelectionResult,
+    /// Actual speculative execution of the selected loops.
+    pub actual: ActualTls,
+}
+
+impl PipelineReport {
+    /// Profiling slowdown (Figure 6, optimized annotations).
+    pub fn profiling_slowdown(&self) -> f64 {
+        self.profile_cycles as f64 / self.seq_cycles as f64
+    }
+
+    /// Predicted whole-program normalized execution time
+    /// (Figure 10/11: predicted TLS time over sequential time).
+    pub fn predicted_normalized(&self) -> f64 {
+        self.selection.predicted_cycles as f64 / self.selection.total_cycles as f64
+    }
+
+    /// Actual whole-program normalized execution time (Figure 11).
+    pub fn actual_normalized(&self) -> f64 {
+        self.actual.tls_cycles as f64 / self.actual.baseline_cycles as f64
+    }
+}
+
+/// Runs the full Jrpm pipeline on `program`.
+///
+/// ```
+/// use jrpm::pipeline::{run_pipeline, PipelineConfig};
+/// use tvm::{ProgramBuilder, ElemKind};
+///
+/// # fn main() -> Result<(), tvm::VmError> {
+/// let mut b = ProgramBuilder::new();
+/// let main = b.function("main", 0, false, |f| {
+///     let (a, i) = (f.local(), f.local());
+///     f.ci(256).newarray(ElemKind::Int).st(a);
+///     f.for_in(i, 0.into(), 256.into(), |f| {
+///         f.arr_set(a, |f| { f.ld(i); }, |f| { f.ld(i).ld(i).imul(); });
+///     });
+///     f.ret_void();
+/// });
+/// let program = b.finish(main)?;
+/// let report = run_pipeline(&program, &PipelineConfig::default())?;
+/// assert!(!report.selection.chosen.is_empty(), "the loop is parallel");
+/// assert!(report.actual_normalized() < 0.7, "and Hydra speeds it up");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Any [`VmError`] from the three executions (plain, profiling,
+/// trace-collection).
+pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineReport, VmError> {
+    // 1. identify candidate STLs
+    let candidates = extract_candidates(program);
+
+    // 2. plain sequential run (the Figure 6 baseline)
+    let seq = Interp::run(program, &mut NullSink)?;
+
+    // 3. profile with TEST on the fully annotated program
+    let annotated = annotate(program, &candidates, &AnnotateOptions::profiling());
+    let mut tracer = TestTracer::new(cfg.tracer);
+    tracer.set_local_masks(candidates.tracked_masks());
+    let prof_run = Interp::run(&annotated, &mut tracer)?;
+    let profile = tracer.into_profile();
+
+    // 4. select decompositions (Equations 1 and 2)
+    let selection = select(&profile, &cfg.tls.estimator_params(), prof_run.cycles);
+
+    // 5. recompile only the selected loops and collect TLS traces
+    let chosen: Vec<LoopId> = selection.chosen.iter().map(|c| c.loop_id).collect();
+    let actual = if chosen.is_empty() {
+        ActualTls {
+            per_loop: BTreeMap::new(),
+            baseline_cycles: seq.cycles,
+            tls_cycles: seq.cycles,
+        }
+    } else {
+        let spec = annotate(program, &candidates, &AnnotateOptions::only(chosen.clone()));
+        let mut collector = TlsTraceCollector::new(chosen);
+        collector.set_local_masks(candidates.tracked_masks());
+        let spec_run = Interp::run(&spec, &mut collector)?;
+
+        // 6. simulate each entry on Hydra
+        let mut per_loop: BTreeMap<LoopId, LoopTls> = BTreeMap::new();
+        let mut total = spec_run.cycles;
+        for entry in &collector.entries {
+            let r = simulate_entry(entry, &cfg.tls);
+            let l = per_loop.entry(entry.loop_id).or_default();
+            l.seq_cycles += entry.seq_cycles;
+            l.tls_cycles += r.tls_cycles;
+            l.violations += r.violations;
+            l.overflows += r.overflows;
+            l.threads += r.threads;
+            total = total.saturating_sub(entry.seq_cycles) + r.tls_cycles;
+        }
+        ActualTls {
+            per_loop,
+            baseline_cycles: spec_run.cycles,
+            tls_cycles: total,
+        }
+    };
+
+    Ok(PipelineReport {
+        seq_cycles: seq.cycles,
+        profile_cycles: prof_run.cycles,
+        annotation: prof_run.annotation_cycles,
+        candidates,
+        profile,
+        selection,
+        actual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{ElemKind, ProgramBuilder};
+
+    /// A loop with abundant parallelism: disjoint writes per iteration.
+    fn parallel_program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let (a, i, k) = (f.local(), f.local(), f.local());
+            f.ci(256).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), iters.into(), |f| {
+                // some per-iteration work on a private slice
+                f.for_in(k, 0.into(), 20.into(), |f| {
+                    f.arr_set(
+                        a,
+                        |f| {
+                            f.ld(i).ci(8).imul().ld(k).ci(7).iand().iadd().ci(255).iand();
+                        },
+                        |f| {
+                            f.ld(i).ld(k).imul();
+                        },
+                    );
+                });
+            });
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    /// A pointer-chase-like serial accumulator through memory.
+    fn serial_program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let main = b.function("main", 0, false, |f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), iters.into(), |f| {
+                // g = (g*5+1) via memory: loop-carried through the heap
+                f.getstatic(g).ci(5).imul().ci(1).iadd().putstatic(g);
+            });
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn parallel_loop_is_selected_and_speeds_up() {
+        let p = parallel_program(200);
+        let r = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+        assert!(
+            !r.selection.chosen.is_empty(),
+            "expected a selected STL, estimates: {:?}",
+            r.selection.estimates
+        );
+        assert!(r.predicted_normalized() < 0.6, "{}", r.predicted_normalized());
+        assert!(r.actual_normalized() < 0.7, "{}", r.actual_normalized());
+        // this kernel's inner loop iterates every ~25 cycles, an
+        // adversarial case for annotation overhead; the 3-25% claim is
+        // checked on the realistic suite in benchsuite/jrpm-bench
+        assert!(r.profiling_slowdown() < 1.5, "{}", r.profiling_slowdown());
+    }
+
+    #[test]
+    fn serial_loop_is_not_selected() {
+        let p = serial_program(500);
+        let r = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+        assert!(
+            r.selection.chosen.is_empty(),
+            "chose {:?}",
+            r.selection.chosen
+        );
+        assert_eq!(r.actual.tls_cycles, r.actual.baseline_cycles);
+    }
+
+    #[test]
+    fn prediction_tracks_actual_within_reason() {
+        let p = parallel_program(400);
+        let r = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+        let pred = r.predicted_normalized();
+        let act = r.actual_normalized();
+        // Figure 11: predictions are good but not perfect
+        assert!(
+            (pred - act).abs() < 0.35,
+            "predicted {pred:.2} vs actual {act:.2}"
+        );
+    }
+}

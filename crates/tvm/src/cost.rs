@@ -1,0 +1,129 @@
+//! Deterministic cycle cost model.
+//!
+//! The paper's Hydra consists of four single-issue pipelined MIPS cores;
+//! profiling happens while the program runs *sequentially* on one core.
+//! We charge each retired instruction a fixed cost so that timestamps,
+//! thread sizes and dependency arc lengths are deterministic and
+//! repeatable — the properties TEST's analyses depend on. Cache-miss
+//! jitter is deliberately not modelled in the sequential run (the paper's
+//! tracer likewise reasons in retired-instruction time); the TLS
+//! *execution* model adds the communication and speculation delays of
+//! Table 2 separately.
+
+use crate::isa::Instr;
+
+/// Per-instruction-class cycle costs. All fields are public so
+/// experiments can build variant machines; [`CostModel::default`] is the
+/// configuration used throughout the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Simple ALU ops, constants, local moves, stack shuffles, branches.
+    pub simple: u32,
+    /// Integer multiply.
+    pub imul: u32,
+    /// Integer divide / remainder.
+    pub idiv: u32,
+    /// Float add/sub/mul/compare class.
+    pub fsimple: u32,
+    /// Float divide.
+    pub fdiv: u32,
+    /// Math intrinsics (sqrt, sin, cos, exp, log).
+    pub fmath: u32,
+    /// Heap load or store (L1 hit on the single-issue core).
+    pub mem: u32,
+    /// Call / return bookkeeping.
+    pub call: u32,
+    /// Fixed part of an allocation.
+    pub alloc_base: u32,
+    /// Additional cycles per word zero-initialized by an allocation.
+    pub alloc_per_word: u32,
+    /// `sloop` / `eloop` markers.
+    pub loop_marker: u32,
+    /// `eoi` marker.
+    pub eoi_marker: u32,
+    /// `lwl` / `swl` local-variable annotations.
+    pub local_annotation: u32,
+    /// The end-of-STL read-statistics routine (software reads the
+    /// tracer's counters back; Figure 6's "Read Counters" component).
+    pub read_stats: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            simple: 1,
+            imul: 2,
+            idiv: 12,
+            fsimple: 2,
+            fdiv: 12,
+            fmath: 20,
+            mem: 2,
+            call: 2,
+            alloc_base: 10,
+            alloc_per_word: 1,
+            loop_marker: 2,
+            eoi_marker: 1,
+            local_annotation: 1,
+            read_stats: 40,
+        }
+    }
+}
+
+impl CostModel {
+    /// The cycle cost charged for one retired instruction.
+    ///
+    /// Allocation instructions additionally charge
+    /// [`CostModel::alloc_per_word`] per zeroed word at the allocation
+    /// site (applied by the interpreter, which knows the length).
+    #[inline]
+    pub fn cost(&self, instr: &Instr) -> u32 {
+        use Instr::*;
+        match instr {
+            IMul => self.imul,
+            IDiv | IRem => self.idiv,
+            FAdd | FSub | FMul | FNeg | FMin | FMax | FAbs | I2F | F2I => self.fsimple,
+            FDiv => self.fdiv,
+            FSqrt | FSin | FCos | FExp | FLog => self.fmath,
+            ALoad | AStore | GetField(_) | PutField(_) | GetStatic(_) | PutStatic(_) => self.mem,
+            Call(_) | Return | ReturnVoid => self.call,
+            NewArray(_) | NewObject(_) => self.alloc_base,
+            SLoop(..) | ELoop(..) => self.loop_marker,
+            Eoi(_) => self.eoi_marker,
+            Lwl(_) | Swl(_) => self.local_annotation,
+            ReadStats(_) => self.read_stats,
+            _ => self.simple,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, ElemKind, FuncId, Local, LoopId};
+
+    #[test]
+    fn default_costs_are_sane() {
+        let m = CostModel::default();
+        assert_eq!(m.cost(&Instr::IAdd), m.simple);
+        assert_eq!(m.cost(&Instr::IDiv), m.idiv);
+        assert_eq!(m.cost(&Instr::FSqrt), m.fmath);
+        assert_eq!(m.cost(&Instr::ALoad), m.mem);
+        assert_eq!(m.cost(&Instr::Call(FuncId(0))), m.call);
+        assert_eq!(m.cost(&Instr::NewArray(ElemKind::Int)), m.alloc_base);
+        assert_eq!(m.cost(&Instr::Goto(0)), m.simple);
+        assert_eq!(m.cost(&Instr::IfICmp(Cond::Lt, 0)), m.simple);
+        assert_eq!(m.cost(&Instr::Load(Local(0))), m.simple);
+    }
+
+    #[test]
+    fn annotation_costs_are_separable() {
+        let m = CostModel::default();
+        assert_eq!(m.cost(&Instr::SLoop(LoopId(0), 2)), m.loop_marker);
+        assert_eq!(m.cost(&Instr::Eoi(LoopId(0))), m.eoi_marker);
+        assert_eq!(m.cost(&Instr::Lwl(0)), m.local_annotation);
+        assert_eq!(m.cost(&Instr::ReadStats(LoopId(0))), m.read_stats);
+        // the read-statistics routine dominates marker costs, as in the
+        // paper's Figure 6 breakdown
+        assert!(m.read_stats > 10 * m.loop_marker);
+    }
+}

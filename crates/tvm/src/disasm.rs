@@ -1,0 +1,234 @@
+//! Human-readable disassembly of TraceVM programs.
+//!
+//! The mnemonics follow the paper's Figure 5 style (`sloop 1`,
+//! `lwl 1`, `eoi`, …) for the annotation instructions and a MIPS-ish
+//! lowercase convention for the rest.
+
+use crate::isa::{Cond, Instr};
+use crate::program::{Function, Program};
+use std::fmt::Write as _;
+
+/// Renders one instruction as assembly-like text.
+///
+/// ```
+/// use tvm::isa::{Instr, Cond, Local, LoopId};
+/// assert_eq!(tvm::disasm::instr(&Instr::IConst(7)), "iconst 7");
+/// assert_eq!(tvm::disasm::instr(&Instr::IfICmp(Cond::Lt, 9)), "if_icmp lt -> 9");
+/// assert_eq!(tvm::disasm::instr(&Instr::SLoop(LoopId(3), 2)), "sloop L3, 2");
+/// assert_eq!(tvm::disasm::instr(&Instr::Load(Local(4))), "load l4");
+/// ```
+pub fn instr(i: &Instr) -> String {
+    use Instr::*;
+    let cond = |c: &Cond| match c {
+        Cond::Eq => "eq",
+        Cond::Ne => "ne",
+        Cond::Lt => "lt",
+        Cond::Ge => "ge",
+        Cond::Gt => "gt",
+        Cond::Le => "le",
+    };
+    match i {
+        IConst(v) => format!("iconst {v}"),
+        FConst(v) => format!("fconst {v}"),
+        NullConst => "null".into(),
+        Load(l) => format!("load l{}", l.0),
+        Store(l) => format!("store l{}", l.0),
+        IInc(l, by) => format!("iinc l{}, {by}", l.0),
+        Dup => "dup".into(),
+        Pop => "pop".into(),
+        Swap => "swap".into(),
+        IAdd => "iadd".into(),
+        ISub => "isub".into(),
+        IMul => "imul".into(),
+        IDiv => "idiv".into(),
+        IRem => "irem".into(),
+        INeg => "ineg".into(),
+        IAnd => "iand".into(),
+        IOr => "ior".into(),
+        IXor => "ixor".into(),
+        IShl => "ishl".into(),
+        IShr => "ishr".into(),
+        IUShr => "iushr".into(),
+        IMin => "imin".into(),
+        IMax => "imax".into(),
+        ICmp => "icmp".into(),
+        FAdd => "fadd".into(),
+        FSub => "fsub".into(),
+        FMul => "fmul".into(),
+        FDiv => "fdiv".into(),
+        FNeg => "fneg".into(),
+        FMin => "fmin".into(),
+        FMax => "fmax".into(),
+        FAbs => "fabs".into(),
+        FSqrt => "fsqrt".into(),
+        FSin => "fsin".into(),
+        FCos => "fcos".into(),
+        FExp => "fexp".into(),
+        FLog => "flog".into(),
+        I2F => "i2f".into(),
+        F2I => "f2i".into(),
+        Goto(t) => format!("goto -> {t}"),
+        If(c, t) => format!("if {} -> {t}", cond(c)),
+        IfICmp(c, t) => format!("if_icmp {} -> {t}", cond(c)),
+        IfFCmp(c, t) => format!("if_fcmp {} -> {t}", cond(c)),
+        NewArray(k) => format!("newarray {k:?}").to_lowercase(),
+        ALoad => "aload".into(),
+        AStore => "astore".into(),
+        ArrayLen => "arraylen".into(),
+        NewObject(c) => format!("new c{}", c.0),
+        GetField(i) => format!("getfield {i}"),
+        PutField(i) => format!("putfield {i}"),
+        GetStatic(g) => format!("getstatic g{}", g.0),
+        PutStatic(g) => format!("putstatic g{}", g.0),
+        Call(f) => format!("call f{}", f.0),
+        Return => "return".into(),
+        ReturnVoid => "return.void".into(),
+        Halt => "halt".into(),
+        SLoop(l, n) => format!("sloop {l}, {n}"),
+        Eoi(l) => format!("eoi {l}"),
+        ELoop(l, n) => format!("eloop {l}, {n}"),
+        Lwl(v) => format!("lwl {v}"),
+        Swl(v) => format!("swl {v}"),
+        ReadStats(l) => format!("readstats {l}"),
+    }
+}
+
+/// Renders one function with addresses and branch-target markers.
+pub fn function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fn {}({} params, {} locals){}:",
+        f.name,
+        f.n_params,
+        f.n_locals,
+        if f.returns { " -> value" } else { "" }
+    );
+    // mark branch targets for readability
+    let mut is_target = vec![false; f.code.len()];
+    for i in &f.code {
+        if let Some(t) = i.branch_target() {
+            if let Some(slot) = is_target.get_mut(t as usize) {
+                *slot = true;
+            }
+        }
+    }
+    for (idx, i) in f.code.iter().enumerate() {
+        let mark = if is_target[idx] { ">" } else { " " };
+        let _ = writeln!(out, " {mark}{idx:>5}: {}", instr(i));
+    }
+    out
+}
+
+/// Renders a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.globals.is_empty() {
+        let _ = writeln!(out, "globals: {:?}", p.globals);
+    }
+    for (i, c) in p.classes.iter().enumerate() {
+        let _ = writeln!(out, "class c{i}: {:?}", c.fields);
+    }
+    for (i, f) in p.functions.iter().enumerate() {
+        let entry = if p.entry.0 as usize == i { " (entry)" } else { "" };
+        let _ = writeln!(out, "f{i}{entry}:");
+        out.push_str(&function(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+
+    #[test]
+    fn every_instruction_has_a_mnemonic() {
+        use crate::isa::{ClassId, ElemKind, FuncId, GlobalId, Local, LoopId};
+        let all = [
+            Instr::IConst(1),
+            Instr::FConst(1.5),
+            Instr::NullConst,
+            Instr::Load(Local(0)),
+            Instr::Store(Local(0)),
+            Instr::IInc(Local(0), -1),
+            Instr::Dup,
+            Instr::Pop,
+            Instr::Swap,
+            Instr::IAdd,
+            Instr::ISub,
+            Instr::IMul,
+            Instr::IDiv,
+            Instr::IRem,
+            Instr::INeg,
+            Instr::IAnd,
+            Instr::IOr,
+            Instr::IXor,
+            Instr::IShl,
+            Instr::IShr,
+            Instr::IUShr,
+            Instr::IMin,
+            Instr::IMax,
+            Instr::ICmp,
+            Instr::FAdd,
+            Instr::FSub,
+            Instr::FMul,
+            Instr::FDiv,
+            Instr::FNeg,
+            Instr::FMin,
+            Instr::FMax,
+            Instr::FAbs,
+            Instr::FSqrt,
+            Instr::FSin,
+            Instr::FCos,
+            Instr::FExp,
+            Instr::FLog,
+            Instr::I2F,
+            Instr::F2I,
+            Instr::Goto(0),
+            Instr::If(Cond::Eq, 0),
+            Instr::IfICmp(Cond::Lt, 0),
+            Instr::IfFCmp(Cond::Ge, 0),
+            Instr::NewArray(ElemKind::Int),
+            Instr::ALoad,
+            Instr::AStore,
+            Instr::ArrayLen,
+            Instr::NewObject(ClassId(0)),
+            Instr::GetField(0),
+            Instr::PutField(0),
+            Instr::GetStatic(GlobalId(0)),
+            Instr::PutStatic(GlobalId(0)),
+            Instr::Call(FuncId(0)),
+            Instr::Return,
+            Instr::ReturnVoid,
+            Instr::Halt,
+            Instr::SLoop(LoopId(0), 1),
+            Instr::Eoi(LoopId(0)),
+            Instr::ELoop(LoopId(0), 1),
+            Instr::Lwl(0),
+            Instr::Swl(0),
+            Instr::ReadStats(LoopId(0)),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for i in &all {
+            let text = instr(i);
+            assert!(!text.is_empty());
+            assert!(seen.insert(text.clone()), "duplicate mnemonic {text}");
+        }
+    }
+
+    #[test]
+    fn function_dump_marks_branch_targets() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 3.into(), |_f| {});
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let text = program(&p);
+        assert!(text.contains("fn main"));
+        assert!(text.contains("goto ->"));
+        assert!(text.contains('>'), "loop head should be marked: {text}");
+    }
+}

@@ -1,0 +1,139 @@
+//! VM error type.
+
+use std::fmt;
+
+/// Errors produced while building, verifying or executing TraceVM
+/// programs.
+///
+/// All public fallible APIs in this workspace's VM layer return this
+/// type. It is `Send + Sync + 'static` and implements
+/// [`std::error::Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// An operand-stack pop on an empty stack.
+    StackUnderflow,
+    /// A value of the wrong dynamic kind was used.
+    TypeMismatch {
+        /// Kind the operation required.
+        expected: &'static str,
+        /// Kind actually found.
+        found: &'static str,
+    },
+    /// A null reference was dereferenced.
+    NullDeref,
+    /// Array index out of range.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: i64,
+        /// Array length.
+        len: i64,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// A heap address outside the allocated space was accessed.
+    BadAddress(u32),
+    /// A local-slot index outside the frame was accessed.
+    BadLocal(u16),
+    /// A function id with no definition was referenced.
+    UnknownFunction(u16),
+    /// A class id with no definition was referenced.
+    UnknownClass(u16),
+    /// A global id with no definition was referenced.
+    UnknownGlobal(u16),
+    /// A branch target points outside the function body.
+    BadBranchTarget {
+        /// Function containing the branch.
+        func: u16,
+        /// Instruction index of the branch.
+        at: u32,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// A builder label was used in a branch but never bound.
+    UnboundLabel(u32),
+    /// Bytecode verification failed (inconsistent or underflowing stack).
+    Verify {
+        /// Function that failed verification.
+        func: u16,
+        /// Instruction index of the failure.
+        at: u32,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The execution fuel (instruction budget) was exhausted.
+    FuelExhausted,
+    /// Negative or oversized array length.
+    BadArrayLength(i64),
+    /// The heap grew past the configured limit.
+    HeapExhausted,
+    /// Execution fell off the end of a function without returning.
+    FellOffEnd(u16),
+    /// A `Return` was executed in a `void` function or vice versa.
+    ReturnMismatch(u16),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow => write!(f, "operand stack underflow"),
+            VmError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            VmError::NullDeref => write!(f, "null reference dereferenced"),
+            VmError::IndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds for length {len}")
+            }
+            VmError::DivisionByZero => write!(f, "integer division by zero"),
+            VmError::BadAddress(a) => write!(f, "invalid heap address {a:#x}"),
+            VmError::BadLocal(i) => write!(f, "invalid local slot {i}"),
+            VmError::UnknownFunction(i) => write!(f, "unknown function id {i}"),
+            VmError::UnknownClass(i) => write!(f, "unknown class id {i}"),
+            VmError::UnknownGlobal(i) => write!(f, "unknown global id {i}"),
+            VmError::BadBranchTarget { func, at, target } => {
+                write!(f, "branch at {func}:{at} targets out-of-range pc {target}")
+            }
+            VmError::UnboundLabel(l) => write!(f, "label {l} was never bound"),
+            VmError::Verify { func, at, reason } => {
+                write!(f, "verification failed at {func}:{at}: {reason}")
+            }
+            VmError::FuelExhausted => write!(f, "execution fuel exhausted"),
+            VmError::BadArrayLength(n) => write!(f, "invalid array length {n}"),
+            VmError::HeapExhausted => write!(f, "heap limit exceeded"),
+            VmError::FellOffEnd(func) => {
+                write!(f, "execution fell off the end of function {func}")
+            }
+            VmError::ReturnMismatch(func) => {
+                write!(f, "return arity mismatch in function {func}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<VmError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let samples = [
+            VmError::StackUnderflow,
+            VmError::NullDeref,
+            VmError::DivisionByZero,
+            VmError::FuelExhausted,
+            VmError::BadLocal(3),
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

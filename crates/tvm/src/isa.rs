@@ -1,0 +1,392 @@
+//! Instruction set and program-entity identifiers.
+//!
+//! The instruction set is a compact stack machine in the spirit of JVM
+//! bytecode. The trace-annotation opcodes at the bottom of [`Instr`]
+//! correspond one-to-one with the paper's Table 4 (`sloop`, `eloop`,
+//! `eoi`, `lwl`, `swl`, plus the end-of-STL statistics read routine).
+
+use std::fmt;
+
+/// Identifies a function within a [`crate::program::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u16);
+
+/// Identifies an object class (a fixed field layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub u16);
+
+/// Identifies a static (global) variable. Statics live in the heap
+/// address space, so accesses to them are traced like heap accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalId(pub u16);
+
+/// A local-variable slot within a function frame. Parameters occupy the
+/// first slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Local(pub u16);
+
+/// A builder-time branch label; resolved to an instruction index by
+/// [`crate::build::FnBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+/// Identifies a candidate speculative thread loop (STL) across the whole
+/// program. Assigned densely by the candidate-extraction pass; embedded
+/// in the annotation instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A static program counter: function id plus instruction index. Used by
+/// the extended TEST implementation to bin dependency statistics by load
+/// PC (paper §5.2, Figure 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pc {
+    /// Containing function.
+    pub func: FuncId,
+    /// Instruction index within the function body.
+    pub idx: u32,
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.func.0, self.idx)
+    }
+}
+
+/// Comparison condition for conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (signed).
+    Lt,
+    /// Greater or equal (signed).
+    Ge,
+    /// Greater than (signed).
+    Gt,
+    /// Less or equal (signed).
+    Le,
+}
+
+impl Cond {
+    /// The condition that holds exactly when `self` does not.
+    ///
+    /// ```
+    /// use tvm::isa::Cond;
+    /// assert_eq!(Cond::Lt.negate(), Cond::Ge);
+    /// ```
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+        }
+    }
+
+    /// Evaluates the condition on an integer pair.
+    #[inline]
+    pub fn eval_int(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Gt => a > b,
+            Cond::Le => a <= b,
+        }
+    }
+
+    /// Evaluates the condition on a float pair (IEEE semantics: all
+    /// comparisons with NaN are false except `Ne`).
+    #[inline]
+    pub fn eval_float(self, a: f64, b: f64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Gt => a > b,
+            Cond::Le => a <= b,
+        }
+    }
+}
+
+/// Element kind of heap cells: used to pick zero-initialization values
+/// for fresh arrays, object fields and statics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemKind {
+    /// Integer cell, initialized to `0`.
+    Int,
+    /// Float cell, initialized to `0.0`.
+    Float,
+    /// Reference cell, initialized to `null`.
+    Ref,
+}
+
+/// One TraceVM instruction.
+///
+/// Branch targets are absolute instruction indices within the containing
+/// function (the builder resolves [`Label`]s before the program is
+/// finished).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    // ---- constants, locals, stack ----
+    /// Push an integer constant.
+    IConst(i64),
+    /// Push a float constant.
+    FConst(f64),
+    /// Push `null`.
+    NullConst,
+    /// Push the value of a local slot.
+    Load(Local),
+    /// Pop into a local slot.
+    Store(Local),
+    /// Add a constant to an integer local in place (like JVM `iinc`).
+    /// Benchmarks use this for loop inductors, which the scalar analysis
+    /// recognizes and the annotation pass leaves untracked (paper §4.1).
+    IInc(Local, i32),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Pop and discard the top of stack.
+    Pop,
+    /// Swap the top two stack values.
+    Swap,
+
+    // ---- integer arithmetic ----
+    /// Pop b, a; push `a + b` (wrapping).
+    IAdd,
+    /// Pop b, a; push `a - b` (wrapping).
+    ISub,
+    /// Pop b, a; push `a * b` (wrapping).
+    IMul,
+    /// Pop b, a; push `a / b` (truncating). Errors on division by zero.
+    IDiv,
+    /// Pop b, a; push `a % b`. Errors on division by zero.
+    IRem,
+    /// Pop a; push `-a`.
+    INeg,
+    /// Pop b, a; push `a & b`.
+    IAnd,
+    /// Pop b, a; push `a | b`.
+    IOr,
+    /// Pop b, a; push `a ^ b`.
+    IXor,
+    /// Pop b, a; push `a << (b & 63)`.
+    IShl,
+    /// Pop b, a; push `a >> (b & 63)` (arithmetic).
+    IShr,
+    /// Pop b, a; push `((a as u64) >> (b & 63)) as i64` (logical).
+    IUShr,
+    /// Pop b, a; push `min(a, b)`.
+    IMin,
+    /// Pop b, a; push `max(a, b)`.
+    IMax,
+    /// Pop b, a; push `-1`, `0` or `1` as a is less than, equal to or
+    /// greater than b.
+    ICmp,
+
+    // ---- float arithmetic ----
+    /// Pop b, a; push `a + b`.
+    FAdd,
+    /// Pop b, a; push `a - b`.
+    FSub,
+    /// Pop b, a; push `a * b`.
+    FMul,
+    /// Pop b, a; push `a / b` (IEEE; may produce inf/NaN).
+    FDiv,
+    /// Pop a; push `-a`.
+    FNeg,
+    /// Pop b, a; push `min(a, b)`.
+    FMin,
+    /// Pop b, a; push `max(a, b)`.
+    FMax,
+    /// Pop a; push `|a|`.
+    FAbs,
+    /// Pop a; push `sqrt(a)`. Models a JVM `Math` intrinsic with a fixed
+    /// cycle cost.
+    FSqrt,
+    /// Pop a; push `sin(a)`.
+    FSin,
+    /// Pop a; push `cos(a)`.
+    FCos,
+    /// Pop a; push `exp(a)`.
+    FExp,
+    /// Pop a; push `ln(a)`.
+    FLog,
+    /// Pop int a; push float `a as f64`.
+    I2F,
+    /// Pop float a; push int `a as i64` (truncating; saturates).
+    F2I,
+
+    // ---- control flow ----
+    /// Unconditional branch.
+    Goto(u32),
+    /// Pop int a; branch if `a <cond> 0`.
+    If(Cond, u32),
+    /// Pop b, a (ints); branch if `a <cond> b`.
+    IfICmp(Cond, u32),
+    /// Pop b, a (floats); branch if `a <cond> b`.
+    IfFCmp(Cond, u32),
+
+    // ---- heap ----
+    /// Pop int length; allocate an array; push its reference.
+    NewArray(ElemKind),
+    /// Pop int index, ref array; push `array[index]`. Traced heap load.
+    ALoad,
+    /// Pop value, int index, ref array; `array[index] = value`. Traced
+    /// heap store.
+    AStore,
+    /// Pop ref array; push its length (not traced: models a header read
+    /// folded into the reference, keeping the event stream to data
+    /// accesses).
+    ArrayLen,
+    /// Allocate an object of a class; push its reference. Zero
+    /// initialization emits traced stores (allocation inside a
+    /// speculative thread produces speculative state).
+    NewObject(ClassId),
+    /// Pop ref obj; push field at index. Traced heap load.
+    GetField(u16),
+    /// Pop value, ref obj; store into field at index. Traced heap store.
+    PutField(u16),
+    /// Push the value of a static variable. Traced heap load.
+    GetStatic(GlobalId),
+    /// Pop into a static variable. Traced heap store.
+    PutStatic(GlobalId),
+
+    // ---- calls ----
+    /// Call a function: pops its arguments (last argument on top).
+    Call(FuncId),
+    /// Return a value (function must be non-void).
+    Return,
+    /// Return from a void function.
+    ReturnVoid,
+    /// Stop the program (valid anywhere; ends the run).
+    Halt,
+
+    // ---- trace annotations (paper Table 4) ----
+    /// `sloop`: mark entry of a candidate STL; allocates a comparator
+    /// bank and reserves `n` local-variable timestamp slots.
+    SLoop(LoopId, u16),
+    /// `eoi`: mark end-of-iteration of the STL (thread boundary).
+    Eoi(LoopId),
+    /// `eloop`: mark exit of the STL; frees the bank and `n` slots.
+    ELoop(LoopId, u16),
+    /// `lwl vn`: annotated local-variable load.
+    Lwl(u16),
+    /// `swl vn`: annotated local-variable store.
+    Swl(u16),
+    /// End-of-STL routine that reads collected statistics back from the
+    /// tracer; costs a fixed number of cycles (Figure 6's "Read
+    /// Counters" component).
+    ReadStats(LoopId),
+}
+
+impl Instr {
+    /// True for instructions that transfer control (branches, returns,
+    /// halt) — used by basic-block construction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Instr::Goto(_)
+                | Instr::If(..)
+                | Instr::IfICmp(..)
+                | Instr::IfFCmp(..)
+                | Instr::Return
+                | Instr::ReturnVoid
+                | Instr::Halt
+        )
+    }
+
+    /// The branch target, if this instruction is a branch.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instr::Goto(t) | Instr::If(_, t) | Instr::IfICmp(_, t) | Instr::IfFCmp(_, t) => {
+                Some(*t)
+            }
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch target through `f`, if this is a branch.
+    /// Used by code-rewriting passes (the annotation compiler).
+    pub fn map_target(self, f: impl FnOnce(u32) -> u32) -> Instr {
+        match self {
+            Instr::Goto(t) => Instr::Goto(f(t)),
+            Instr::If(c, t) => Instr::If(c, f(t)),
+            Instr::IfICmp(c, t) => Instr::IfICmp(c, f(t)),
+            Instr::IfFCmp(c, t) => Instr::IfFCmp(c, f(t)),
+            other => other,
+        }
+    }
+
+    /// True if execution can fall through to the next instruction.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self,
+            Instr::Goto(_) | Instr::Return | Instr::ReturnVoid | Instr::Halt
+        )
+    }
+
+    /// True for the annotation opcodes of the paper's Table 4.
+    pub fn is_annotation(&self) -> bool {
+        matches!(
+            self,
+            Instr::SLoop(..)
+                | Instr::Eoi(_)
+                | Instr::ELoop(..)
+                | Instr::Lwl(_)
+                | Instr::Swl(_)
+                | Instr::ReadStats(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Gt, Cond::Le] {
+            assert_eq!(c.negate().negate(), c);
+            // a condition and its negation partition all outcomes
+            for (a, b) in [(1, 2), (2, 2), (3, 2)] {
+                assert_ne!(c.eval_int(a, b), c.negate().eval_int(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn terminators_and_targets() {
+        assert!(Instr::Goto(3).is_terminator());
+        assert_eq!(Instr::Goto(3).branch_target(), Some(3));
+        assert!(!Instr::Goto(3).falls_through());
+        assert!(Instr::IfICmp(Cond::Lt, 7).falls_through());
+        assert!(!Instr::IAdd.is_terminator());
+        assert_eq!(Instr::IAdd.branch_target(), None);
+    }
+
+    #[test]
+    fn annotations_are_classified() {
+        assert!(Instr::SLoop(LoopId(0), 2).is_annotation());
+        assert!(Instr::Lwl(1).is_annotation());
+        assert!(!Instr::Load(Local(0)).is_annotation());
+    }
+
+    #[test]
+    fn map_target_rewrites_branches_only() {
+        assert_eq!(Instr::Goto(1).map_target(|t| t + 10), Instr::Goto(11));
+        assert_eq!(Instr::IAdd.map_target(|t| t + 10), Instr::IAdd);
+    }
+}

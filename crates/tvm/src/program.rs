@@ -1,0 +1,126 @@
+//! Programs, functions and class layouts.
+
+pub use crate::isa::{ClassId, FuncId, GlobalId, Local};
+
+use crate::error::VmError;
+use crate::isa::{ElemKind, Instr};
+
+/// A function definition: a straight vector of instructions plus frame
+/// shape metadata.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Human-readable name (used in reports and errors).
+    pub name: String,
+    /// Number of parameters; they occupy local slots `0..n_params`.
+    pub n_params: u16,
+    /// Total number of local slots (including parameters).
+    pub n_locals: u16,
+    /// Whether the function returns a value.
+    pub returns: bool,
+    /// The body. Branch targets are absolute instruction indices.
+    pub code: Vec<Instr>,
+}
+
+/// An object class: a fixed sequence of field kinds. Field `i` of an
+/// object occupies the word at `base + 8*i`.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// Kinds of the fields, in slot order.
+    pub fields: Vec<ElemKind>,
+}
+
+/// A complete TraceVM program: functions, classes, statics and an entry
+/// point.
+///
+/// Construct programs with [`crate::build::ProgramBuilder`]; direct
+/// construction is possible for generated code, followed by
+/// [`crate::verify::verify`].
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// All function definitions, indexed by [`FuncId`].
+    pub functions: Vec<Function>,
+    /// All class layouts, indexed by [`ClassId`].
+    pub classes: Vec<ClassDef>,
+    /// Static variable kinds, indexed by [`GlobalId`]. Statics live at
+    /// the bottom of the heap address space.
+    pub globals: Vec<ElemKind>,
+    /// The function executed by [`crate::interp::Interp::run`].
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// Looks up a function.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::UnknownFunction`] if the id is out of range.
+    #[inline]
+    pub fn function(&self, id: FuncId) -> Result<&Function, VmError> {
+        self.functions
+            .get(id.0 as usize)
+            .ok_or(VmError::UnknownFunction(id.0))
+    }
+
+    /// Looks up a class layout.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::UnknownClass`] if the id is out of range.
+    #[inline]
+    pub fn class(&self, id: ClassId) -> Result<&ClassDef, VmError> {
+        self.classes
+            .get(id.0 as usize)
+            .ok_or(VmError::UnknownClass(id.0))
+    }
+
+    /// Finds a function id by name (helper for tests and examples).
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u16))
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Program {
+        Program {
+            functions: vec![Function {
+                name: "main".into(),
+                n_params: 0,
+                n_locals: 0,
+                returns: false,
+                code: vec![Instr::ReturnVoid],
+            }],
+            classes: vec![ClassDef {
+                fields: vec![ElemKind::Int],
+            }],
+            globals: vec![],
+            entry: FuncId(0),
+        }
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let p = tiny();
+        assert_eq!(p.function(FuncId(0)).unwrap().name, "main");
+        assert!(p.function(FuncId(9)).is_err());
+        assert_eq!(p.function_by_name("main"), Some(FuncId(0)));
+        assert_eq!(p.function_by_name("nope"), None);
+        assert_eq!(p.class(ClassId(0)).unwrap().fields.len(), 1);
+        assert!(p.class(ClassId(4)).is_err());
+    }
+
+    #[test]
+    fn instruction_count_sums_bodies() {
+        assert_eq!(tiny().instruction_count(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Event recording and replay.
+//!
+//! [`RecordingSink`] captures the full trace-event stream of a run;
+//! [`Recording::replay`] feeds it back into any other sink. This
+//! decouples analysis benchmarking from interpretation (the Criterion
+//! harness replays a real benchmark's stream straight into the tracer)
+//! and makes event-level regression tests exact.
+
+use crate::isa::{LoopId, Pc};
+use crate::trace::{Addr, Cycles, TraceSink};
+
+/// One captured trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Heap load.
+    HeapLoad(Addr, Cycles, Pc),
+    /// Heap store.
+    HeapStore(Addr, Cycles, Pc),
+    /// `lwl`.
+    LocalLoad(u16, u32, Cycles, Pc),
+    /// `swl`.
+    LocalStore(u16, u32, Cycles, Pc),
+    /// `sloop`.
+    LoopEnter(LoopId, u16, u32, Cycles),
+    /// `eoi`.
+    LoopIter(LoopId, Cycles),
+    /// `eloop`.
+    LoopExit(LoopId, Cycles),
+    /// statistics read.
+    StatsRead(LoopId, Cycles),
+    /// function call.
+    CallEnter(Pc, u32, Cycles),
+    /// function return.
+    CallExit(Pc, Cycles),
+    /// first consumption of a call's return value.
+    CallResultUse(Pc, Cycles),
+}
+
+/// A captured event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recording {
+    /// The events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl Recording {
+    /// Feeds every event into `sink`, in order.
+    pub fn replay<S: TraceSink>(&self, sink: &mut S) {
+        for e in &self.events {
+            match *e {
+                Event::HeapLoad(a, t, pc) => sink.heap_load(a, t, pc),
+                Event::HeapStore(a, t, pc) => sink.heap_store(a, t, pc),
+                Event::LocalLoad(v, act, t, pc) => sink.local_load(v, act, t, pc),
+                Event::LocalStore(v, act, t, pc) => sink.local_store(v, act, t, pc),
+                Event::LoopEnter(l, n, act, t) => sink.loop_enter(l, n, act, t),
+                Event::LoopIter(l, t) => sink.loop_iter(l, t),
+                Event::LoopExit(l, t) => sink.loop_exit(l, t),
+                Event::StatsRead(l, t) => sink.stats_read(l, t),
+                Event::CallEnter(pc, act, t) => sink.call_enter(pc, act, t),
+                Event::CallExit(pc, t) => sink.call_exit(pc, t),
+                Event::CallResultUse(pc, t) => sink.call_result_use(pc, t),
+            }
+        }
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A sink that records every event for later [`Recording::replay`].
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    /// The capture.
+    pub recording: Recording,
+}
+
+impl RecordingSink {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the recorder and yields the capture.
+    pub fn into_recording(self) -> Recording {
+        self.recording
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn heap_load(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.recording.events.push(Event::HeapLoad(addr, now, pc));
+    }
+    fn heap_store(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.recording.events.push(Event::HeapStore(addr, now, pc));
+    }
+    fn local_load(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.recording
+            .events
+            .push(Event::LocalLoad(var, activation, now, pc));
+    }
+    fn local_store(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.recording
+            .events
+            .push(Event::LocalStore(var, activation, now, pc));
+    }
+    fn loop_enter(&mut self, loop_id: LoopId, n_locals: u16, activation: u32, now: Cycles) {
+        self.recording
+            .events
+            .push(Event::LoopEnter(loop_id, n_locals, activation, now));
+    }
+    fn loop_iter(&mut self, loop_id: LoopId, now: Cycles) {
+        self.recording.events.push(Event::LoopIter(loop_id, now));
+    }
+    fn loop_exit(&mut self, loop_id: LoopId, now: Cycles) {
+        self.recording.events.push(Event::LoopExit(loop_id, now));
+    }
+    fn stats_read(&mut self, loop_id: LoopId, now: Cycles) {
+        self.recording.events.push(Event::StatsRead(loop_id, now));
+    }
+    fn call_enter(&mut self, site: Pc, activation: u32, now: Cycles) {
+        self.recording
+            .events
+            .push(Event::CallEnter(site, activation, now));
+    }
+    fn call_exit(&mut self, site: Pc, now: Cycles) {
+        self.recording.events.push(Event::CallExit(site, now));
+    }
+    fn call_result_use(&mut self, site: Pc, now: Cycles) {
+        self.recording.events.push(Event::CallResultUse(site, now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::interp::Interp;
+    use crate::trace::CountingSink;
+    use crate::ElemKind;
+
+    fn sample_program() -> crate::Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let (a, i) = (f.local(), f.local());
+            f.ci(8).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 8.into(), |f| {
+                f.arr_set(
+                    a,
+                    |f| {
+                        f.ld(i);
+                    },
+                    |f| {
+                        f.ld(i);
+                    },
+                );
+            });
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn replay_reproduces_the_exact_stream() {
+        let p = sample_program();
+        let mut rec = RecordingSink::new();
+        Interp::run(&p, &mut rec).unwrap();
+        let recording = rec.into_recording();
+        assert!(!recording.is_empty());
+
+        // live counts == replayed counts
+        let mut live = CountingSink::default();
+        Interp::run(&p, &mut live).unwrap();
+        let mut replayed = CountingSink::default();
+        recording.replay(&mut replayed);
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn recording_a_replay_is_idempotent() {
+        let p = sample_program();
+        let mut rec = RecordingSink::new();
+        Interp::run(&p, &mut rec).unwrap();
+        let first = rec.into_recording();
+        let mut second_rec = RecordingSink::new();
+        first.replay(&mut second_rec);
+        assert_eq!(first, second_rec.into_recording());
+    }
+}

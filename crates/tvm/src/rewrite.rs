@@ -1,0 +1,152 @@
+//! Label-preserving bytecode rewriting utilities.
+//!
+//! General primitives for instrumenting compiled code in place (the
+//! production annotation pass in the `jrpm` crate relinearizes from
+//! the CFG instead, but these are the right tools for lightweight
+//! instruction-granular instrumentation):
+//!
+//! * [`insert_before`] — splice instruction sequences in front of
+//!   existing instructions, remapping every branch target so that a
+//!   branch to instruction *i* lands on the code inserted at *i* (the
+//!   inserted code then falls through into the original instruction).
+//! * [`append_trampoline`] — add a fresh block at the end of the
+//!   function (payload + `Goto back`) and redirect specific branches
+//!   through it, so a payload executes on exactly one CFG edge.
+
+use crate::isa::Instr;
+
+/// A batch of insertions: `(index, instructions)` meaning *instructions
+/// run immediately before the original instruction at `index`*.
+#[derive(Debug, Clone, Default)]
+pub struct Insertions {
+    items: Vec<(u32, Vec<Instr>)>,
+}
+
+impl Insertions {
+    /// Creates an empty batch.
+    pub fn new() -> Insertions {
+        Insertions::default()
+    }
+
+    /// Schedules `instrs` to run immediately before the original
+    /// instruction at `index`. Multiple insertions at the same index
+    /// run in the order they were scheduled.
+    pub fn before(&mut self, index: u32, instrs: impl IntoIterator<Item = Instr>) {
+        self.items.push((index, instrs.into_iter().collect()));
+    }
+
+    /// True if no insertions were scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.items.iter().all(|(_, v)| v.is_empty())
+    }
+}
+
+/// Applies a batch of insertions to `code`, producing new code with all
+/// branch targets remapped. Also returns the `old index -> new index`
+/// map of the original instructions (useful for building PC cross
+/// references).
+///
+/// Branches that targeted instruction `i` now target the first
+/// instruction inserted at `i` (if any), so inserted code executes on
+/// every path that reached the original instruction.
+///
+/// # Panics
+///
+/// Panics if an insertion index is beyond `code.len()` (insertion *at*
+/// `code.len()` is not supported; functions always end in a
+/// terminator).
+pub fn insert_before(code: &[Instr], insertions: Insertions) -> (Vec<Instr>, Vec<u32>) {
+    let n = code.len();
+    let mut at: Vec<Vec<Instr>> = vec![Vec::new(); n];
+    for (idx, instrs) in insertions.items {
+        assert!((idx as usize) < n, "insertion index out of range");
+        at[idx as usize].extend(instrs);
+    }
+
+    // prefix sums of inserted lengths strictly before each index
+    let mut added_before = vec![0u32; n + 1];
+    for i in 0..n {
+        added_before[i + 1] = added_before[i] + at[i].len() as u32;
+    }
+
+    let remap_branch = |t: u32| -> u32 { t + added_before[t as usize] };
+
+    let mut out = Vec::with_capacity(n + added_before[n] as usize);
+    let mut old_to_new = Vec::with_capacity(n);
+    for (i, instr) in code.iter().enumerate() {
+        out.extend(at[i].iter().copied().map(|ins| ins.map_target(remap_branch)));
+        old_to_new.push(out.len() as u32);
+        out.push(instr.map_target(remap_branch));
+    }
+    (out, old_to_new)
+}
+
+/// Appends a trampoline block (`payload` then `Goto back_to`) at the end
+/// of `code` and returns the index of its first instruction. The caller
+/// redirects specific branches to that index, so the payload executes on
+/// exactly one CFG edge.
+pub fn append_trampoline(code: &mut Vec<Instr>, payload: &[Instr], back_to: u32) -> u32 {
+    let start = code.len() as u32;
+    code.extend_from_slice(payload);
+    code.push(Instr::Goto(back_to));
+    start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Local};
+
+    #[test]
+    fn insertion_remaps_branches_through_payload() {
+        // 0: IConst 1
+        // 1: If Eq -> 3
+        // 2: Goto 0
+        // 3: ReturnVoid
+        let code = vec![
+            Instr::IConst(1),
+            Instr::If(Cond::Eq, 3),
+            Instr::Goto(0),
+            Instr::ReturnVoid,
+        ];
+        let mut ins = Insertions::new();
+        ins.before(3, [Instr::Lwl(0)]);
+        ins.before(0, [Instr::Swl(1)]);
+        let (out, map) = insert_before(&code, ins);
+        // layout: Swl, IConst, If->target, Goto->Swl, Lwl, ReturnVoid
+        assert_eq!(out[0], Instr::Swl(1));
+        assert_eq!(out[1], Instr::IConst(1));
+        assert_eq!(out[2], Instr::If(Cond::Eq, 4)); // lands on Lwl
+        assert_eq!(out[3], Instr::Goto(0)); // lands on Swl
+        assert_eq!(out[4], Instr::Lwl(0));
+        assert_eq!(out[5], Instr::ReturnVoid);
+        assert_eq!(map, vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn multiple_insertions_at_same_index_preserve_order() {
+        let code = vec![Instr::ReturnVoid];
+        let mut ins = Insertions::new();
+        ins.before(0, [Instr::Lwl(0)]);
+        ins.before(0, [Instr::Lwl(1)]);
+        let (out, _) = insert_before(&code, ins);
+        assert_eq!(out, vec![Instr::Lwl(0), Instr::Lwl(1), Instr::ReturnVoid]);
+    }
+
+    #[test]
+    fn empty_insertions_are_identity() {
+        let code = vec![Instr::Load(Local(0)), Instr::Return];
+        let (out, map) = insert_before(&code, Insertions::new());
+        assert_eq!(out, code);
+        assert_eq!(map, vec![0, 1]);
+    }
+
+    #[test]
+    fn trampoline_appends_goto_block() {
+        let mut code = vec![Instr::Goto(0)];
+        let start = append_trampoline(&mut code, &[Instr::Lwl(3)], 0);
+        assert_eq!(start, 1);
+        assert_eq!(code[1], Instr::Lwl(3));
+        assert_eq!(code[2], Instr::Goto(0));
+    }
+}

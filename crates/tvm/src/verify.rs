@@ -1,0 +1,253 @@
+//! Bytecode verifier.
+//!
+//! A lightweight abstract interpretation over operand-stack *depth*:
+//! every instruction must see a consistent depth on all paths reaching
+//! it, no pop may underflow, branch targets must be in range, and
+//! control may not fall off the end of a function. This catches almost
+//! every builder and rewriter bug at program-construction time instead
+//! of as a confusing runtime error mid-benchmark. Value *kinds* remain
+//! dynamically checked by the interpreter.
+
+use crate::error::VmError;
+use crate::isa::Instr;
+use crate::program::{Function, Program};
+
+/// Verifies every function in the program.
+///
+/// # Errors
+///
+/// [`VmError::Verify`], [`VmError::BadBranchTarget`], [`VmError::BadLocal`],
+/// [`VmError::UnknownFunction`] / [`VmError::UnknownClass`] /
+/// [`VmError::UnknownGlobal`] for dangling ids, or
+/// [`VmError::ReturnMismatch`].
+pub fn verify(program: &Program) -> Result<(), VmError> {
+    for (fid, f) in program.functions.iter().enumerate() {
+        verify_function(program, fid as u16, f)?;
+    }
+    program.function(program.entry)?;
+    Ok(())
+}
+
+/// The stack effect of `instr`: `(pops, pushes)`.
+///
+/// Needs the program for `Call` (arity) and to validate class/global
+/// ids.
+///
+/// # Errors
+///
+/// Dangling function/class/global ids.
+pub fn stack_effect(program: &Program, instr: &Instr) -> Result<(u32, u32), VmError> {
+    use Instr::*;
+    Ok(match instr {
+        IConst(_) | FConst(_) | NullConst | Load(_) => (0, 1),
+        Store(_) | Pop => (1, 0),
+        IInc(..) => (0, 0),
+        Dup => (1, 2),
+        Swap => (2, 2),
+        IAdd | ISub | IMul | IDiv | IRem | IAnd | IOr | IXor | IShl | IShr | IUShr | IMin
+        | IMax | ICmp | FAdd | FSub | FMul | FDiv | FMin | FMax => (2, 1),
+        INeg | FNeg | FAbs | FSqrt | FSin | FCos | FExp | FLog | I2F | F2I => (1, 1),
+        Goto(_) => (0, 0),
+        If(..) => (1, 0),
+        IfICmp(..) | IfFCmp(..) => (2, 0),
+        NewArray(_) => (1, 1),
+        ALoad => (2, 1),
+        AStore => (3, 0),
+        ArrayLen => (1, 1),
+        NewObject(c) => {
+            program.class(*c)?;
+            (0, 1)
+        }
+        GetField(_) => (1, 1),
+        PutField(_) => (2, 0),
+        GetStatic(g) => {
+            check_global(program, g.0)?;
+            (0, 1)
+        }
+        PutStatic(g) => {
+            check_global(program, g.0)?;
+            (1, 0)
+        }
+        Call(fid) => {
+            let callee = program.function(*fid)?;
+            (
+                u32::from(callee.n_params),
+                if callee.returns { 1 } else { 0 },
+            )
+        }
+        Return => (1, 0),
+        ReturnVoid | Halt => (0, 0),
+        SLoop(..) | Eoi(_) | ELoop(..) | Lwl(_) | Swl(_) | ReadStats(_) => (0, 0),
+    })
+}
+
+fn check_global(program: &Program, idx: u16) -> Result<(), VmError> {
+    if usize::from(idx) < program.globals.len() {
+        Ok(())
+    } else {
+        Err(VmError::UnknownGlobal(idx))
+    }
+}
+
+fn verify_function(program: &Program, fid: u16, f: &Function) -> Result<(), VmError> {
+    let n = f.code.len();
+    if n == 0 {
+        return Err(VmError::Verify {
+            func: fid,
+            at: 0,
+            reason: "empty function body".into(),
+        });
+    }
+
+    // per-pc stack depth, None = unseen
+    let mut depth: Vec<Option<u32>> = vec![None; n];
+    let mut work: Vec<u32> = vec![0];
+    depth[0] = Some(0);
+
+    while let Some(pc) = work.pop() {
+        let instr = &f.code[pc as usize];
+        let d = depth[pc as usize].expect("work items always have a depth");
+
+        // local slot bounds
+        if let Instr::Load(l) | Instr::Store(l) | Instr::IInc(l, _) = instr {
+            if l.0 >= f.n_locals {
+                return Err(VmError::BadLocal(l.0));
+            }
+        }
+        // return arity
+        match instr {
+            Instr::Return if !f.returns => return Err(VmError::ReturnMismatch(fid)),
+            Instr::ReturnVoid if f.returns => return Err(VmError::ReturnMismatch(fid)),
+            _ => {}
+        }
+
+        let (pops, pushes) = stack_effect(program, instr)?;
+        if d < pops {
+            return Err(VmError::Verify {
+                func: fid,
+                at: pc,
+                reason: format!("stack underflow: depth {d}, instruction pops {pops}"),
+            });
+        }
+        let d_after = d - pops + pushes;
+
+        let mut successors: [Option<u32>; 2] = [None, None];
+        if let Some(t) = instr.branch_target() {
+            if t as usize >= n {
+                return Err(VmError::BadBranchTarget {
+                    func: fid,
+                    at: pc,
+                    target: t,
+                });
+            }
+            successors[0] = Some(t);
+        }
+        if instr.falls_through() {
+            let next = pc + 1;
+            if next as usize >= n {
+                return Err(VmError::Verify {
+                    func: fid,
+                    at: pc,
+                    reason: "control falls off the end of the function".into(),
+                });
+            }
+            successors[1] = Some(next);
+        }
+
+        for succ in successors.into_iter().flatten() {
+            match depth[succ as usize] {
+                None => {
+                    depth[succ as usize] = Some(d_after);
+                    work.push(succ);
+                }
+                Some(existing) if existing != d_after => {
+                    return Err(VmError::Verify {
+                        func: fid,
+                        at: succ,
+                        reason: format!(
+                            "inconsistent stack depth: {existing} vs {d_after} on merge"
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, FuncId, Local};
+
+    fn prog_with(code: Vec<Instr>, returns: bool, n_locals: u16) -> Program {
+        Program {
+            functions: vec![Function {
+                name: "f".into(),
+                n_params: 0,
+                n_locals,
+                returns,
+                code,
+            }],
+            classes: vec![],
+            globals: vec![],
+            entry: FuncId(0),
+        }
+    }
+
+    #[test]
+    fn accepts_simple_function() {
+        let p = prog_with(vec![Instr::IConst(1), Instr::Return], true, 0);
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_underflow() {
+        let p = prog_with(vec![Instr::IAdd, Instr::ReturnVoid], false, 0);
+        assert!(matches!(verify(&p), Err(VmError::Verify { .. })));
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let p = prog_with(vec![Instr::IConst(1), Instr::Pop], false, 0);
+        assert!(matches!(verify(&p), Err(VmError::Verify { .. })));
+    }
+
+    #[test]
+    fn rejects_inconsistent_merge() {
+        // if TOS: push 1; fallthrough path pushes nothing -> merge mismatch
+        let code = vec![
+            Instr::IConst(0),               // 0
+            Instr::If(Cond::Eq, 3),         // 1 -> 3 with depth 0
+            Instr::IConst(5),               // 2: depth 1 falls into 3
+            Instr::ReturnVoid,              // 3
+        ];
+        let p = prog_with(code, false, 0);
+        assert!(matches!(verify(&p), Err(VmError::Verify { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let p = prog_with(vec![Instr::Goto(17)], false, 0);
+        assert!(matches!(verify(&p), Err(VmError::BadBranchTarget { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_local() {
+        let p = prog_with(vec![Instr::Load(Local(4)), Instr::Return], true, 2);
+        assert!(matches!(verify(&p), Err(VmError::BadLocal(4))));
+    }
+
+    #[test]
+    fn rejects_return_mismatch() {
+        let p = prog_with(vec![Instr::ReturnVoid], true, 0);
+        assert!(matches!(verify(&p), Err(VmError::ReturnMismatch(0))));
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        let p = prog_with(vec![], false, 0);
+        assert!(matches!(verify(&p), Err(VmError::Verify { .. })));
+    }
+}

@@ -1,0 +1,434 @@
+//! Systematic instruction-semantics tests: every opcode's behaviour,
+//! wrapping/saturation edges, and runtime error paths.
+
+use tvm::isa::{Cond, ElemKind, Instr, Local};
+use tvm::{FnBuilder, Interp, NullSink, Program, ProgramBuilder, Value, VmError};
+
+/// Builds `main` returning an int from `body`.
+fn int_main(body: impl FnOnce(&mut FnBuilder)) -> Program {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, true, |f| {
+        body(f);
+        f.ret();
+    });
+    b.finish(main).expect("test program verifies")
+}
+
+fn eval_int(body: impl FnOnce(&mut FnBuilder)) -> i64 {
+    let p = int_main(body);
+    Interp::run(&p, &mut NullSink)
+        .expect("runs")
+        .ret
+        .expect("returns")
+        .as_int()
+        .expect("int result")
+}
+
+fn eval_err(body: impl FnOnce(&mut FnBuilder)) -> VmError {
+    let p = int_main(body);
+    Interp::run(&p, &mut NullSink).expect_err("must fail")
+}
+
+type Case = (fn(&mut FnBuilder), i64);
+
+#[test]
+fn integer_arithmetic_table() {
+    let cases: Vec<Case> = vec![
+        (|f| { f.ci(7).ci(3).iadd(); }, 10),
+        (|f| { f.ci(7).ci(3).isub(); }, 4),
+        (|f| { f.ci(7).ci(3).imul(); }, 21),
+        (|f| { f.ci(7).ci(3).idiv(); }, 2),
+        (|f| { f.ci(-7).ci(3).idiv(); }, -2), // truncating
+        (|f| { f.ci(7).ci(3).irem(); }, 1),
+        (|f| { f.ci(-7).ci(3).irem(); }, -1),
+        (|f| { f.ci(7).ineg(); }, -7),
+        (|f| { f.ci(0b1100).ci(0b1010).iand(); }, 0b1000),
+        (|f| { f.ci(0b1100).ci(0b1010).ior(); }, 0b1110),
+        (|f| { f.ci(0b1100).ci(0b1010).ixor(); }, 0b0110),
+        (|f| { f.ci(3).ci(4).ishl(); }, 48),
+        (|f| { f.ci(-16).ci(2).ishr(); }, -4),
+        (|f| { f.ci(-1).ci(60).iushr(); }, 15),
+        (|f| { f.ci(5).ci(9).imin(); }, 5),
+        (|f| { f.ci(5).ci(9).imax(); }, 9),
+        (|f| { f.ci(5).ci(9).icmp3(); }, -1),
+        (|f| { f.ci(9).ci(9).icmp3(); }, 0),
+        (|f| { f.ci(10).ci(9).icmp3(); }, 1),
+    ];
+    for (i, (body, expect)) in cases.into_iter().enumerate() {
+        assert_eq!(eval_int(body), expect, "case {i}");
+    }
+}
+
+#[test]
+fn wrapping_and_shift_masking() {
+    assert_eq!(eval_int(|f| { f.ci(i64::MAX).ci(1).iadd(); }), i64::MIN);
+    assert_eq!(eval_int(|f| { f.ci(i64::MIN).ci(1).isub(); }), i64::MAX);
+    assert_eq!(
+        eval_int(|f| { f.ci(i64::MIN).ci(-1).imul(); }),
+        i64::MIN // two's complement wrap
+    );
+    // shift counts are masked to 6 bits, like JVM longs
+    assert_eq!(eval_int(|f| { f.ci(1).ci(64).ishl(); }), 1);
+    assert_eq!(eval_int(|f| { f.ci(1).ci(65).ishl(); }), 2);
+    // MIN / -1 wraps rather than trapping
+    assert_eq!(eval_int(|f| { f.ci(i64::MIN).ci(-1).idiv(); }), i64::MIN);
+}
+
+#[test]
+fn float_arithmetic_and_conversions() {
+    let near = |body: fn(&mut FnBuilder), expect: f64| {
+        let p = int_main(|f| {
+            body(f);
+            f.cf(1000.0).fmul().f2i();
+        });
+        let got = Interp::run(&p, &mut NullSink)
+            .unwrap()
+            .ret
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(
+            (got - (expect * 1000.0) as i64).abs() <= 1,
+            "expected ~{expect}, got {}",
+            got as f64 / 1000.0
+        );
+    };
+    near(|f| { f.cf(1.5).cf(2.25).fadd(); }, 3.75);
+    near(|f| { f.cf(1.5).cf(2.25).fsub(); }, -0.75);
+    near(|f| { f.cf(1.5).cf(2.0).fmul(); }, 3.0);
+    near(|f| { f.cf(1.5).cf(2.0).fdiv(); }, 0.75);
+    near(|f| { f.cf(-1.5).fneg(); }, 1.5);
+    near(|f| { f.cf(-1.5).fabs(); }, 1.5);
+    near(|f| { f.cf(2.25).fsqrt(); }, 1.5);
+    near(|f| { f.cf(0.0).fsin(); }, 0.0);
+    near(|f| { f.cf(0.0).fcos(); }, 1.0);
+    near(|f| { f.cf(0.0).fexp(); }, 1.0);
+    near(|f| { f.cf(1.0).flog(); }, 0.0);
+    near(|f| { f.cf(1.5).cf(2.5).fmin(); }, 1.5);
+    near(|f| { f.cf(1.5).cf(2.5).fmax(); }, 2.5);
+    near(|f| { f.ci(3).i2f(); }, 3.0);
+}
+
+#[test]
+fn f2i_saturates() {
+    assert_eq!(eval_int(|f| { f.cf(1e300).f2i(); }), i64::MAX);
+    assert_eq!(eval_int(|f| { f.cf(-1e300).f2i(); }), i64::MIN);
+    assert_eq!(eval_int(|f| { f.cf(f64::NAN).f2i(); }), 0);
+    assert_eq!(eval_int(|f| { f.cf(-2.9).f2i(); }), -2); // truncation
+}
+
+#[test]
+fn stack_manipulation() {
+    assert_eq!(eval_int(|f| { f.ci(6).dup().imul(); }), 36);
+    assert_eq!(eval_int(|f| { f.ci(1).ci(2).drop_top(); }), 1);
+    assert_eq!(eval_int(|f| { f.ci(1).ci(2).swap().isub(); }), 1); // 2 - 1
+}
+
+#[test]
+fn branch_conditions_each_direction() {
+    for (cond, a, b, expect) in [
+        (Cond::Eq, 5, 5, 1),
+        (Cond::Eq, 5, 6, 0),
+        (Cond::Ne, 5, 6, 1),
+        (Cond::Lt, 5, 6, 1),
+        (Cond::Lt, 6, 6, 0),
+        (Cond::Le, 6, 6, 1),
+        (Cond::Gt, 7, 6, 1),
+        (Cond::Ge, 6, 6, 1),
+        (Cond::Ge, 5, 6, 0),
+    ] {
+        let got = eval_int(|f| {
+            f.if_else_icmp(
+                cond,
+                |f| {
+                    f.ci(a).ci(b);
+                },
+                |f| {
+                    f.ci(1);
+                },
+                |f| {
+                    f.ci(0);
+                },
+            );
+        });
+        assert_eq!(got, expect, "{cond:?} {a} {b}");
+    }
+}
+
+#[test]
+fn float_branches_and_nan() {
+    let lt = eval_int(|f| {
+        f.if_else_fcmp(
+            Cond::Lt,
+            |f| {
+                f.cf(1.0).cf(2.0);
+            },
+            |f| {
+                f.ci(1);
+            },
+            |f| {
+                f.ci(0);
+            },
+        );
+    });
+    assert_eq!(lt, 1);
+    // all comparisons with NaN are false except Ne
+    for (cond, expect) in [(Cond::Lt, 0), (Cond::Ge, 0), (Cond::Eq, 0), (Cond::Ne, 1)] {
+        let got = eval_int(|f| {
+            f.if_else_fcmp(
+                cond,
+                |f| {
+                    f.cf(f64::NAN).cf(1.0);
+                },
+                |f| {
+                    f.ci(1);
+                },
+                |f| {
+                    f.ci(0);
+                },
+            );
+        });
+        assert_eq!(got, expect, "NaN {cond:?}");
+    }
+}
+
+#[test]
+fn iinc_handles_negative_and_large_steps() {
+    let got = eval_int(|f| {
+        let v = f.local();
+        f.ci(10).st(v);
+        f.inc(v, -3);
+        f.inc(v, i32::MAX);
+        f.ld(v);
+    });
+    assert_eq!(got, 10 - 3 + i64::from(i32::MAX));
+}
+
+#[test]
+fn arrays_of_each_kind() {
+    // float array
+    let p = int_main(|f| {
+        let a = f.local();
+        f.ci(4).newarray(ElemKind::Float).st(a);
+        f.arr_set(
+            a,
+            |f| {
+                f.ci(2);
+            },
+            |f| {
+                f.cf(2.5);
+            },
+        );
+        f.arr_get(a, |f| {
+            f.ci(2);
+        })
+        .cf(2.0)
+        .fmul()
+        .f2i();
+    });
+    assert_eq!(
+        Interp::run(&p, &mut NullSink).unwrap().ret.unwrap(),
+        Value::Int(5)
+    );
+    // ref array holding another array
+    let got = eval_int(|f| {
+        let (outer, inner) = (f.local(), f.local());
+        f.ci(2).newarray(ElemKind::Ref).st(outer);
+        f.ci(3).newarray(ElemKind::Int).st(inner);
+        f.arr_set(
+            inner,
+            |f| {
+                f.ci(1);
+            },
+            |f| {
+                f.ci(77);
+            },
+        );
+        f.arr_set(
+            outer,
+            |f| {
+                f.ci(0);
+            },
+            |f| {
+                f.ld(inner);
+            },
+        );
+        // outer[0][1]
+        f.arr_get(outer, |f| {
+            f.ci(0);
+        });
+        f.ci(1).aload();
+    });
+    assert_eq!(got, 77);
+}
+
+#[test]
+fn arraylen_and_bounds() {
+    assert_eq!(
+        eval_int(|f| {
+            let a = f.local();
+            f.ci(9).newarray(ElemKind::Int).st(a);
+            f.ld(a).arraylen();
+        }),
+        9
+    );
+    assert!(matches!(
+        eval_err(|f| {
+            let a = f.local();
+            f.ci(2).newarray(ElemKind::Int).st(a);
+            f.arr_get(a, |f| {
+                f.ci(-1);
+            });
+        }),
+        VmError::IndexOutOfBounds { index: -1, len: 2 }
+    ));
+    assert!(matches!(
+        eval_err(|f| {
+            f.ci(-3).newarray(ElemKind::Int).drop_top().ci(0);
+        }),
+        VmError::BadArrayLength(-3)
+    ));
+}
+
+#[test]
+fn runtime_type_errors_are_reported() {
+    assert!(matches!(
+        eval_err(|f| {
+            f.ci(1).cf(2.0).iadd();
+        }),
+        VmError::TypeMismatch { expected: "int", .. }
+    ));
+    assert!(matches!(
+        eval_err(|f| {
+            f.cnull().ci(0).aload();
+        }),
+        VmError::NullDeref
+    ));
+    assert!(matches!(
+        eval_err(|f| {
+            f.ci(1).ci(0).irem();
+        }),
+        VmError::DivisionByZero
+    ));
+}
+
+#[test]
+fn object_field_bounds_are_checked() {
+    let mut b = ProgramBuilder::new();
+    let cls = b.class(&[ElemKind::Int]);
+    let main = b.function("main", 0, true, |f| {
+        let o = f.local();
+        f.newobject(cls).st(o);
+        f.ld(o).getfield(5).ret(); // out of range
+    });
+    let p = b.finish(main).unwrap();
+    assert!(matches!(
+        Interp::run(&p, &mut NullSink).unwrap_err(),
+        VmError::IndexOutOfBounds { index: 5, len: 1 }
+    ));
+}
+
+#[test]
+fn halt_stops_without_a_result() {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, true, |f| {
+        f.ci(1).drop_top();
+        f.halt();
+        f.ci(9).ret(); // unreachable
+    });
+    let p = b.finish(main).unwrap();
+    let r = Interp::run(&p, &mut NullSink).unwrap();
+    assert_eq!(r.ret, None);
+}
+
+#[test]
+fn deep_recursion_and_mutual_calls() {
+    let mut b = ProgramBuilder::new();
+    let is_even = b.declare("is_even", 1, true);
+    let is_odd = b.declare("is_odd", 1, true);
+    b.define(is_even, |f| {
+        let n = f.param(0);
+        f.if_else_icmp(
+            Cond::Eq,
+            |f| {
+                f.ld(n).ci(0);
+            },
+            |f| {
+                f.ci(1);
+            },
+            |f| {
+                f.ld(n).ci(1).isub().call(is_odd);
+            },
+        );
+        f.ret();
+    });
+    b.define(is_odd, |f| {
+        let n = f.param(0);
+        f.if_else_icmp(
+            Cond::Eq,
+            |f| {
+                f.ld(n).ci(0);
+            },
+            |f| {
+                f.ci(0);
+            },
+            |f| {
+                f.ld(n).ci(1).isub().call(is_even);
+            },
+        );
+        f.ret();
+    });
+    let main = b.function("main", 0, true, |f| {
+        f.ci(101).call(is_odd).ret();
+    });
+    let p = b.finish(main).unwrap();
+    let r = Interp::run(&p, &mut NullSink).unwrap();
+    assert_eq!(r.ret.unwrap(), Value::Int(1));
+}
+
+#[test]
+fn statics_persist_across_calls() {
+    let mut b = ProgramBuilder::new();
+    let g = b.global(ElemKind::Int);
+    let bump = b.function("bump", 0, false, |f| {
+        f.getstatic(g).ci(1).iadd().putstatic(g);
+        f.ret_void();
+    });
+    let main = b.function("main", 0, true, |f| {
+        let i = f.local();
+        f.for_in(i, 0.into(), 5.into(), |f| {
+            f.call(bump);
+        });
+        f.getstatic(g).ret();
+    });
+    let p = b.finish(main).unwrap();
+    assert_eq!(
+        Interp::run(&p, &mut NullSink).unwrap().ret.unwrap(),
+        Value::Int(5)
+    );
+}
+
+#[test]
+fn raw_annotation_instructions_are_inert_without_a_tracer() {
+    let got = eval_int(|f| {
+        f.raw(Instr::SLoop(tvm::LoopId(0), 1));
+        f.raw(Instr::Lwl(0));
+        f.ci(40);
+        f.raw(Instr::Swl(0));
+        f.raw(Instr::Eoi(tvm::LoopId(0)));
+        f.ci(2).iadd();
+        f.raw(Instr::ELoop(tvm::LoopId(0), 1));
+        f.raw(Instr::ReadStats(tvm::LoopId(0)));
+    });
+    assert_eq!(got, 42);
+}
+
+#[test]
+fn locals_default_to_integer_zero() {
+    let got = eval_int(|f| {
+        let v = f.local();
+        let _unused = Local(0);
+        f.ld(v).ci(100).iadd();
+    });
+    assert_eq!(got, 100);
+}

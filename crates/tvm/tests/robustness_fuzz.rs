@@ -1,0 +1,190 @@
+//! Robustness fuzzing at the raw instruction level: for *arbitrary*
+//! instruction vectors, verification must never panic; and whenever
+//! verification accepts a program, the interpreter must complete with
+//! `Ok` or a clean `VmError` — never a panic — under bounded fuel.
+
+use proptest::prelude::*;
+use tvm::isa::{ClassId, Cond, ElemKind, FuncId, GlobalId, Instr, Local, LoopId};
+use tvm::program::{ClassDef, Function, Program};
+use tvm::{CostModel, Interp, NullSink};
+
+const CODE_LEN: u32 = 24;
+const N_LOCALS: u16 = 4;
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::Gt),
+        Just(Cond::Le),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = ElemKind> {
+    prop_oneof![Just(ElemKind::Int), Just(ElemKind::Float), Just(ElemKind::Ref)]
+}
+
+/// Any instruction, with operands that may or may not be valid.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        any::<i8>().prop_map(|v| Instr::IConst(i64::from(v))),
+        (-4.0f64..4.0).prop_map(Instr::FConst),
+        Just(Instr::NullConst),
+        (0..N_LOCALS + 1).prop_map(|l| Instr::Load(Local(l))),
+        (0..N_LOCALS + 1).prop_map(|l| Instr::Store(Local(l))),
+        ((0..N_LOCALS), any::<i8>()).prop_map(|(l, by)| Instr::IInc(Local(l), i32::from(by))),
+        Just(Instr::Dup),
+        Just(Instr::Pop),
+        Just(Instr::Swap),
+        prop_oneof![
+            Just(Instr::IAdd),
+            Just(Instr::ISub),
+            Just(Instr::IMul),
+            Just(Instr::IDiv),
+            Just(Instr::IRem),
+            Just(Instr::INeg),
+            Just(Instr::IAnd),
+            Just(Instr::IOr),
+            Just(Instr::IXor),
+            Just(Instr::IShl),
+            Just(Instr::IShr),
+            Just(Instr::IUShr),
+            Just(Instr::IMin),
+            Just(Instr::IMax),
+            Just(Instr::ICmp),
+        ],
+        prop_oneof![
+            Just(Instr::FAdd),
+            Just(Instr::FSub),
+            Just(Instr::FMul),
+            Just(Instr::FDiv),
+            Just(Instr::FNeg),
+            Just(Instr::FMin),
+            Just(Instr::FMax),
+            Just(Instr::FAbs),
+            Just(Instr::FSqrt),
+            Just(Instr::FSin),
+            Just(Instr::FCos),
+            Just(Instr::FExp),
+            Just(Instr::FLog),
+            Just(Instr::I2F),
+            Just(Instr::F2I),
+        ],
+        (0..CODE_LEN + 2).prop_map(Instr::Goto),
+        (arb_cond(), 0..CODE_LEN + 2).prop_map(|(c, t)| Instr::If(c, t)),
+        (arb_cond(), 0..CODE_LEN + 2).prop_map(|(c, t)| Instr::IfICmp(c, t)),
+        (arb_cond(), 0..CODE_LEN + 2).prop_map(|(c, t)| Instr::IfFCmp(c, t)),
+        arb_kind().prop_map(Instr::NewArray),
+        Just(Instr::ALoad),
+        Just(Instr::AStore),
+        Just(Instr::ArrayLen),
+        (0u16..2).prop_map(|c| Instr::NewObject(ClassId(c))),
+        (0u16..4).prop_map(Instr::GetField),
+        (0u16..4).prop_map(Instr::PutField),
+        (0u16..3).prop_map(|g| Instr::GetStatic(GlobalId(g))),
+        (0u16..3).prop_map(|g| Instr::PutStatic(GlobalId(g))),
+        (0u16..3).prop_map(|f| Instr::Call(FuncId(f))),
+        Just(Instr::Return),
+        Just(Instr::ReturnVoid),
+        Just(Instr::Halt),
+        (0u32..3, 0u16..3).prop_map(|(l, n)| Instr::SLoop(LoopId(l), n)),
+        (0u32..3).prop_map(|l| Instr::Eoi(LoopId(l))),
+        (0u32..3, 0u16..3).prop_map(|(l, n)| Instr::ELoop(LoopId(l), n)),
+        (0u16..4).prop_map(Instr::Lwl),
+        (0u16..4).prop_map(Instr::Swl),
+        (0u32..3).prop_map(|l| Instr::ReadStats(LoopId(l))),
+    ]
+}
+
+fn program_of(code: Vec<Instr>, helper_code: Vec<Instr>) -> Program {
+    Program {
+        functions: vec![
+            Function {
+                name: "main".into(),
+                n_params: 0,
+                n_locals: N_LOCALS,
+                returns: false,
+                code,
+            },
+            Function {
+                name: "helper".into(),
+                n_params: 1,
+                n_locals: N_LOCALS,
+                returns: true,
+                code: helper_code,
+            },
+        ],
+        classes: vec![
+            ClassDef {
+                fields: vec![ElemKind::Int, ElemKind::Float],
+            },
+            ClassDef {
+                fields: vec![ElemKind::Ref],
+            },
+        ],
+        globals: vec![ElemKind::Int, ElemKind::Float, ElemKind::Ref],
+        entry: tvm::FuncId(0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn verify_never_panics_and_accepted_programs_never_crash(
+        mut code in prop::collection::vec(arb_instr(), 1..(CODE_LEN as usize)),
+        mut helper in prop::collection::vec(arb_instr(), 1..(CODE_LEN as usize)),
+    ) {
+        code.push(Instr::ReturnVoid);
+        helper.push(Instr::IConst(0));
+        helper.push(Instr::Return);
+        let p = program_of(code, helper);
+        // verification must be a total function
+        let verdict = tvm::verify::verify(&p);
+        if verdict.is_ok() {
+            // accepted programs run to Ok or a clean error
+            let result = Interp::run_with(&p, &mut NullSink, CostModel::default(), 50_000);
+            match result {
+                Ok(_) | Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn accepted_programs_are_deterministic(
+        mut code in prop::collection::vec(arb_instr(), 1..(CODE_LEN as usize)),
+    ) {
+        code.push(Instr::ReturnVoid);
+        let p = program_of(code, vec![Instr::IConst(0), Instr::Return]);
+        if tvm::verify::verify(&p).is_ok() {
+            let a = Interp::run_with(&p, &mut NullSink, CostModel::default(), 50_000);
+            let b = Interp::run_with(&p, &mut NullSink, CostModel::default(), 50_000);
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x.cycles, y.cycles);
+                    prop_assert_eq!(x.instructions, y.instructions);
+                }
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                (x, y) => prop_assert!(false, "nondeterministic outcome: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tracer_survives_arbitrary_accepted_programs(
+        mut code in prop::collection::vec(arb_instr(), 1..(CODE_LEN as usize)),
+    ) {
+        // annotation instructions appear in random (ill-nested!)
+        // order; the tracer must tolerate the stream without panicking
+        code.push(Instr::ReturnVoid);
+        let p = program_of(code, vec![Instr::IConst(0), Instr::Return]);
+        if tvm::verify::verify(&p).is_ok() {
+            let mut tracer =
+                test_tracer::TestTracer::new(test_tracer::TracerConfig::default());
+            let _ = Interp::run_with(&p, &mut tracer, CostModel::default(), 50_000);
+            let _ = tracer.into_profile();
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Dependency hunting with the extended TEST (paper §6.3).
+//!
+//! ```text
+//! cargo run --release -p jrpm --example dependency_hunting
+//! ```
+//!
+//! The paper reports that TEST's per-PC dependency statistics "quickly
+//! identified one or two critical dependencies that could be
+//! restructured or removed" in NumericSort, Huffman, db and
+//! MipsSimulator. This example recreates that workflow: a histogram
+//! kernel keeps a running "last bucket" cursor in the heap purely for
+//! convenience; the profile pinpoints the consumer of the serializing
+//! arc; removing it recovers the parallelism.
+
+use jrpm::pipeline::{run_pipeline, PipelineConfig};
+use tvm::{ElemKind, Program, ProgramBuilder};
+
+/// Histogram with an incidental serializing dependency: every
+/// iteration reads and rewrites `last` (a heap global) even though no
+/// result depends on it.
+fn build(with_cursor_bug: bool) -> Program {
+    let n: i64 = 3000;
+    let mut b = ProgramBuilder::new();
+    let last = b.global(ElemKind::Int);
+    let main = b.function("main", 0, true, |f| {
+        let (hist, i, v) = (f.local(), f.local(), f.local());
+        f.ci(64).newarray(ElemKind::Int).st(hist);
+        f.for_in(i, 0.into(), n.into(), |f| {
+            // v = hash-ish of i
+            f.ld(i).ci(2654435761).imul().ci(16).iushr().ci(63).iand().st(v);
+            if with_cursor_bug {
+                // "remember where we were" — reads last iteration's
+                // store: an accidental loop-carried dependency
+                f.getstatic(last).ld(v).iadd().ci(63).iand().st(v);
+                f.ld(v).putstatic(last);
+            }
+            f.arr_set(
+                hist,
+                |f| {
+                    f.ld(v);
+                },
+                |f| {
+                    f.arr_get(hist, |f| {
+                        f.ld(v);
+                    })
+                    .ci(1)
+                    .iadd();
+                },
+            );
+        });
+        f.arr_get(hist, |f| {
+            f.ci(0);
+        })
+        .ret();
+    });
+    b.finish(main).expect("program verifies")
+}
+
+fn main() {
+    println!("--- version with the accidental cursor dependency ---");
+    let buggy = build(true);
+    let r1 = run_pipeline(&buggy, &PipelineConfig::default()).expect("pipeline runs");
+    let (hot_loop, _) = r1
+        .profile
+        .stl
+        .iter()
+        .max_by_key(|(_, s)| s.cycles)
+        .expect("a loop profiled");
+    let est1 = r1.selection.estimates[hot_loop];
+    println!(
+        "hot loop {hot_loop}: estimated speedup {:.2} (predicted whole-program {:.2}x)",
+        est1.speedup,
+        1.0 / r1.predicted_normalized()
+    );
+    println!("extended TEST dependency profile:");
+    for (pc, bin) in r1.profile.pc_bins.hottest(*hot_loop).into_iter().take(3) {
+        println!(
+            "  consumer pc {pc}: {} arcs, avg {:.0} cycles, min {} — {}",
+            bin.count,
+            bin.avg_len(),
+            bin.min_len,
+            // the paper's rule of thumb: arcs shorter than (p-1)/p of
+            // the thread size limit speedup (§4.3)
+            if bin.avg_len() < r1.profile.stl[hot_loop].avg_thread_size() * 0.75 {
+                "SHORT: restructure or remove this access"
+            } else {
+                "long: harmless"
+            }
+        );
+    }
+
+    println!();
+    println!("--- after removing the cursor (the programmer's fix) ---");
+    let fixed = build(false);
+    let r2 = run_pipeline(&fixed, &PipelineConfig::default()).expect("pipeline runs");
+    let (hot2, _) = r2
+        .profile
+        .stl
+        .iter()
+        .max_by_key(|(_, s)| s.cycles)
+        .expect("a loop profiled");
+    let est2 = r2.selection.estimates[hot2];
+    println!(
+        "hot loop {hot2}: estimated speedup {:.2} (predicted whole-program {:.2}x)",
+        est2.speedup,
+        1.0 / r2.predicted_normalized()
+    );
+    println!(
+        "actual on Hydra: {:.2}x -> {:.2}x",
+        1.0 / r1.actual_normalized(),
+        1.0 / r2.actual_normalized()
+    );
+    assert!(
+        est2.speedup > est1.speedup,
+        "removing the dependency must raise the estimate"
+    );
+}

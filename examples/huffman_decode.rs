@@ -1,0 +1,112 @@
+//! The paper's running example: Huffman decode (Figure 3, Table 3).
+//!
+//! ```text
+//! cargo run --release -p jrpm --example huffman_decode
+//! ```
+//!
+//! Profiles the Huffman benchmark, prints the Figure 3 statistics for
+//! the decode nest (thread sizes, critical arc frequencies and
+//! lengths for the bit cursor `in_p` and output cursor `out_p`), and
+//! shows Equation 2 choosing the outer loop as the paper's Table 3
+//! does.
+
+use benchsuite::DataSize;
+use jrpm::pipeline::{run_pipeline, PipelineConfig};
+
+fn main() {
+    let bench = benchsuite::by_name("Huffman").expect("suite has Huffman");
+    let program = (bench.build)(DataSize::Default);
+    let report = run_pipeline(&program, &PipelineConfig::default()).expect("pipeline runs");
+
+    // find the decode nest: the most expensive top-level loop and its
+    // dynamic children
+    let outer = report
+        .profile
+        .stl
+        .iter()
+        .filter(|(l, _)| report.profile.dominant_parent(**l).is_none())
+        .max_by_key(|(_, s)| s.cycles)
+        .map(|(l, _)| *l)
+        .expect("profiled outer loop");
+    let inners = report.profile.children_of(Some(outer));
+
+    println!("=== Figure 3 statistics (accumulated counters) ===");
+    for l in std::iter::once(outer).chain(inners.iter().copied()) {
+        let s = &report.profile.stl[&l];
+        let role = if l == outer { "outer" } else { "inner" };
+        println!(
+            "{role} loop {l}:\n  \
+             threads = {}   entries = {}   avg iterations/entry = {:.1}\n  \
+             avg thread size = {:.1} cycles\n  \
+             critical arc freq to t-1  = {:.2}  (avg length {:.1})\n  \
+             critical arc freq to <t-1 = {:.2}  (avg length {:.1})\n  \
+             overflow frequency = {:.3}",
+            s.threads,
+            s.entries,
+            s.avg_iterations_per_entry(),
+            s.avg_thread_size(),
+            s.arc_freq_t1(),
+            s.avg_arc_len_t1(),
+            s.arc_freq_lt(),
+            s.avg_arc_len_lt(),
+            s.overflow_freq(),
+        );
+    }
+
+    println!();
+    println!("=== Dependency profile (extended TEST, section 6.3) ===");
+    for (pc, bin) in report.profile.pc_bins.hottest(outer).into_iter().take(4) {
+        println!(
+            "  consumer at pc {pc}: {} arcs, avg length {:.0} cycles (min {})",
+            bin.count,
+            bin.avg_len(),
+            bin.min_len
+        );
+    }
+
+    println!();
+    println!("=== Table 3: Equation 2 comparison ===");
+    let os = &report.profile.stl[&outer];
+    let oe = &report.selection.estimates[&outer];
+    println!(
+        "outer: sequential {} cycles, speedup {:.2}, TLS {} cycles",
+        os.cycles, oe.speedup, oe.est_tls_cycles
+    );
+    let mut nested = os.cycles;
+    for l in &inners {
+        let is = &report.profile.stl[l];
+        let ie = &report.selection.estimates[l];
+        println!(
+            "inner {l}: sequential {} cycles, speedup {:.2}, TLS {} cycles",
+            is.cycles, ie.speedup, ie.est_tls_cycles
+        );
+        nested = nested - is.cycles + ie.est_tls_cycles.min(is.cycles);
+    }
+    println!("outer-as-STL {} cycles  vs  inner-as-STL + serial rest {} cycles", oe.est_tls_cycles, nested);
+    let picked_outer = report
+        .selection
+        .chosen
+        .iter()
+        .any(|c| c.loop_id == outer);
+    println!(
+        "Equation 2 picks the {} loop{}",
+        if picked_outer { "OUTER" } else { "inner" },
+        if picked_outer {
+            " — as in the paper's Table 3"
+        } else {
+            ""
+        }
+    );
+
+    println!();
+    println!(
+        "actual speculative run: {:.2}x whole-program speedup ({} violations)",
+        1.0 / report.actual_normalized(),
+        report
+            .actual
+            .per_loop
+            .values()
+            .map(|l| l.violations)
+            .sum::<u64>()
+    );
+}

@@ -1,0 +1,110 @@
+//! Quickstart: write a small program, let TEST find its parallelism.
+//!
+//! ```text
+//! cargo run --release -p jrpm --example quickstart
+//! ```
+//!
+//! Builds a tiny image-blur-style kernel with one parallel loop and
+//! one accumulator loop, runs the full Jrpm pipeline (candidate
+//! extraction → annotation → TEST profiling → Equation 1+2 selection
+//! → speculative execution on the Hydra model) and prints what
+//! happened.
+
+use jrpm::pipeline::{run_pipeline, PipelineConfig};
+use tvm::{ElemKind, ProgramBuilder};
+
+fn main() {
+    // ---- "compile" a program with the TraceVM builder ----
+    let n: i64 = 300;
+    let mut b = ProgramBuilder::new();
+    let main_fn = b.function("main", 0, true, |f| {
+        let (src, dst, i, acc) = (f.local(), f.local(), f.local(), f.local());
+        f.ci(n + 2).newarray(ElemKind::Int).st(src);
+        f.ci(n).newarray(ElemKind::Int).st(dst);
+        // fill the source
+        f.for_in(i, 0.into(), (n + 2).into(), |f| {
+            f.arr_set(
+                src,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(i).ci(37).imul().ci(255).iand();
+                },
+            );
+        });
+        // blur: dst[i] = (src[i] + src[i+1] + src[i+2]) / 3  — parallel
+        f.for_in(i, 0.into(), n.into(), |f| {
+            f.arr_set(
+                dst,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.arr_get(src, |f| {
+                        f.ld(i);
+                    });
+                    f.arr_get(src, |f| {
+                        f.ld(i).ci(1).iadd();
+                    })
+                    .iadd();
+                    f.arr_get(src, |f| {
+                        f.ld(i).ci(2).iadd();
+                    })
+                    .iadd()
+                    .ci(3)
+                    .idiv();
+                },
+            );
+        });
+        // checksum — a sum reduction the speculative compiler eliminates
+        f.ci(0).st(acc);
+        f.for_in(i, 0.into(), n.into(), |f| {
+            f.ld(acc)
+                .arr_get(dst, |f| {
+                    f.ld(i);
+                })
+                .iadd()
+                .st(acc);
+        });
+        f.ld(acc).ret();
+    });
+    let program = b.finish(main_fn).expect("program verifies");
+
+    // ---- run the whole Jrpm pipeline ----
+    let report = run_pipeline(&program, &PipelineConfig::default()).expect("pipeline runs");
+
+    println!("candidate loops found : {}", report.candidates.total_loops());
+    println!("rejected statically   : {}", report.candidates.rejected.len());
+    println!(
+        "profiling slowdown    : {:.1}% (paper: 3-25%)",
+        (report.profiling_slowdown() - 1.0) * 100.0
+    );
+    println!();
+    for (l, s) in &report.profile.stl {
+        let e = &report.selection.estimates[l];
+        println!(
+            "loop {l}: {} threads of ~{:.0} cycles, arc freq {:.2}, est. speedup {:.2}",
+            s.threads,
+            s.avg_thread_size(),
+            s.arc_freq_t1(),
+            e.speedup
+        );
+    }
+    println!();
+    println!("TEST selected:");
+    for c in &report.selection.chosen {
+        println!(
+            "  {} covering {:.0}% of execution, estimated {:.2}x",
+            c.loop_id,
+            c.coverage * 100.0,
+            c.estimate.speedup
+        );
+    }
+    println!();
+    println!(
+        "whole-program predicted: {:.2}x   actual on Hydra: {:.2}x",
+        1.0 / report.predicted_normalized(),
+        1.0 / report.actual_normalized()
+    );
+}

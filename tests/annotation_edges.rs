@@ -1,0 +1,238 @@
+//! Annotation-pass edge cases: loops with breaks, continues,
+//! multi-level exits and loop-entry branches must get exactly one
+//! `sloop`/`eloop` pair per dynamic entry and one `eoi` per completed
+//! iteration, on every path.
+
+use jrpm::annotate::{annotate, AnnotateOptions};
+use tvm::trace::CountingSink;
+use tvm::{Cond, ElemKind, Interp, NullSink, Program, ProgramBuilder};
+
+fn run_counted(p: &Program) -> (CountingSink, Option<tvm::Value>) {
+    let cands = cfgir::extract_candidates(p);
+    let ann = annotate(p, &cands, &AnnotateOptions::profiling());
+    let plain = Interp::run(p, &mut NullSink).unwrap();
+    let mut sink = CountingSink::default();
+    let r = Interp::run(&ann, &mut sink).unwrap();
+    assert_eq!(plain.ret, r.ret, "annotation changed semantics");
+    (sink, r.ret)
+}
+
+/// `for i in 0..100 { work; if a[i] == 3 { break } }` — break at i=3.
+#[test]
+fn break_exits_fire_one_eloop() {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, true, |f| {
+        let (a, i) = (f.local(), f.local());
+        f.ci(128).newarray(ElemKind::Int).st(a);
+        f.for_in(i, 0.into(), 128.into(), |f| {
+            f.arr_set(
+                a,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(i);
+                },
+            );
+        });
+        let exit = f.new_label();
+        f.for_in(i, 0.into(), 100.into(), |f| {
+            f.arr_get(a, |f| {
+                f.ld(i);
+            })
+            .ci(3)
+            .br_icmp(Cond::Eq, exit);
+        });
+        f.bind(exit);
+        f.ld(i).ret();
+    });
+    let p = b.finish(main).unwrap();
+    let (sink, ret) = run_counted(&p);
+    assert_eq!(ret.unwrap().as_int().unwrap(), 3);
+    // two loops, each entered once; the second leaves via the break
+    assert_eq!(sink.loop_enters, 2);
+    assert_eq!(sink.loop_exits, 2);
+    // fill loop: 128 iterations; search loop: 3 completed back edges
+    assert_eq!(sink.loop_iters, 128 + 3);
+}
+
+/// continue-style back edge: the `eoi` must still fire each iteration.
+#[test]
+fn continue_paths_count_iterations() {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, true, |f| {
+        let (a, i, n) = (f.local(), f.local(), f.local());
+        f.ci(64).newarray(ElemKind::Int).st(a);
+        f.ci(0).st(n);
+        // while-style loop with an early back-jump (continue)
+        let head = f.new_label();
+        let cont = f.new_label();
+        let exit = f.new_label();
+        f.ci(0).st(i);
+        f.bind(head);
+        f.ld(i).ci(40).br_icmp(Cond::Ge, exit);
+        f.inc(i, 1);
+        // if i % 2 == 1 continue
+        f.ld(i).ci(1).iand().ci(1).br_icmp(Cond::Eq, cont);
+        f.arr_set(
+            a,
+            |f| {
+                f.ld(i).ci(63).iand();
+            },
+            |f| {
+                f.ld(i);
+            },
+        );
+        f.inc(n, 1);
+        f.bind(cont);
+        f.goto(head);
+        f.bind(exit);
+        f.ld(n).ret();
+    });
+    let p = b.finish(main).unwrap();
+    let (sink, ret) = run_counted(&p);
+    assert_eq!(ret.unwrap().as_int().unwrap(), 20);
+    assert_eq!(sink.loop_enters, 1);
+    assert_eq!(sink.loop_exits, 1);
+    assert_eq!(sink.loop_iters, 40, "every iteration, continue or not");
+}
+
+/// A branch out of BOTH levels of a nest must close both loops
+/// (inner `eloop` before outer `eloop`).
+#[test]
+fn double_break_closes_both_loops() {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, true, |f| {
+        let (a, i, j, found) = (f.local(), f.local(), f.local(), f.local());
+        f.ci(64).newarray(ElemKind::Int).st(a);
+        f.arr_set(
+            a,
+            |f| {
+                f.ci(37);
+            },
+            |f| {
+                f.ci(1);
+            },
+        );
+        f.ci(-1).st(found);
+        let done = f.new_label();
+        f.for_in(i, 0.into(), 8.into(), |f| {
+            f.for_in(j, 0.into(), 8.into(), |f| {
+                f.if_icmp(
+                    Cond::Ne,
+                    |f| {
+                        f.arr_get(a, |f| {
+                            f.ld(i).ci(8).imul().ld(j).iadd();
+                        })
+                        .ci(0);
+                    },
+                    |f| {
+                        f.ld(i).ci(8).imul().ld(j).iadd().st(found);
+                        f.goto(done);
+                    },
+                );
+            });
+        });
+        f.bind(done);
+        f.ld(found).ret();
+    });
+    let p = b.finish(main).unwrap();
+    let (sink, ret) = run_counted(&p);
+    assert_eq!(ret.unwrap().as_int().unwrap(), 37);
+    // outer entered once; inner entered 5 times (i = 0..4, found at
+    // i=4,j=5); both exits fire even on the double break
+    assert_eq!(sink.loop_enters, 1 + 5);
+    assert_eq!(sink.loop_exits, 1 + 5, "double break must close both");
+    // completed iterations: inner 8*4 + 5, outer 4
+    assert_eq!(sink.loop_iters, 32 + 5 + 4);
+}
+
+/// A loop whose body returns from the function mid-iteration.
+#[test]
+fn return_from_nest_closes_all_banks() {
+    let mut b = ProgramBuilder::new();
+    let helper = b.function("find", 1, true, |f| {
+        let a = f.param(0);
+        let (i, j) = (f.local(), f.local());
+        f.for_in(i, 0.into(), 8.into(), |f| {
+            f.for_in(j, 0.into(), 8.into(), |f| {
+                f.if_icmp(
+                    Cond::Eq,
+                    |f| {
+                        f.arr_get(a, |f| {
+                            f.ld(i).ci(8).imul().ld(j).iadd();
+                        })
+                        .ci(7);
+                    },
+                    |f| {
+                        f.ld(i).ret();
+                    },
+                );
+            });
+        });
+        f.ci(-1).ret();
+    });
+    let main = b.function("main", 0, true, |f| {
+        let (a, i) = (f.local(), f.local());
+        f.ci(64).newarray(ElemKind::Int).st(a);
+        f.for_in(i, 0.into(), 64.into(), |f| {
+            f.arr_set(
+                a,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ld(i).ci(13).irem();
+                },
+            );
+        });
+        f.ld(a).call(helper).ret();
+    });
+    let p = b.finish(main).unwrap();
+    let (sink, ret) = run_counted(&p);
+    assert_eq!(ret.unwrap().as_int().unwrap(), 0); // a[7] == 7
+    // fill loop 1 + helper outer 1 + helper inner 1 (returns in i=0)
+    assert_eq!(sink.loop_enters, 3);
+    assert_eq!(sink.loop_exits, 3, "return must close the whole nest");
+}
+
+/// Loops entered from two different predecessors (if/else joining at
+/// the loop header) still get exactly one sloop per entry.
+#[test]
+fn multiple_entry_edges_fire_one_sloop() {
+    let mut b = ProgramBuilder::new();
+    let g = b.global(ElemKind::Int);
+    let main = b.function("main", 0, true, |f| {
+        let (i, s) = (f.local(), f.local());
+        // set starting point via a branch: both arms enter the loop
+        f.if_else_icmp(
+            Cond::Eq,
+            |f| {
+                f.getstatic(g).ci(0);
+            },
+            |f| {
+                f.ci(2).st(i);
+            },
+            |f| {
+                f.ci(5).st(i);
+            },
+        );
+        f.ci(0).st(s);
+        let head = f.new_label();
+        let exit = f.new_label();
+        f.bind(head);
+        f.ld(i).ci(30).br_icmp(Cond::Ge, exit);
+        f.getstatic(g).ld(i).iadd().putstatic(g);
+        f.ld(s).ld(i).iadd().st(s);
+        f.inc(i, 1);
+        f.goto(head);
+        f.bind(exit);
+        f.ld(s).ret();
+    });
+    let p = b.finish(main).unwrap();
+    let (sink, ret) = run_counted(&p);
+    assert_eq!(ret.unwrap().as_int().unwrap(), (2..30).sum::<i64>());
+    assert_eq!(sink.loop_enters, 1);
+    assert_eq!(sink.loop_exits, 1);
+    assert_eq!(sink.loop_iters, 28);
+}

@@ -1,0 +1,213 @@
+//! The paper's headline numeric claims, asserted end to end.
+
+use benchsuite::DataSize;
+use jrpm::pipeline::{run_pipeline, PipelineConfig};
+use jrpm::slowdown::software_comparison;
+use test_tracer::estimate::{estimate, EstimatorParams};
+use test_tracer::hwcost::{hydra_budget, CostParams};
+use test_tracer::stats::StlStats;
+
+/// "Total hardware requirements for implementing TEST are minimal …
+/// < 1% of the total CMP transistor count."
+#[test]
+fn test_hardware_costs_under_one_percent() {
+    let budget = hydra_budget(&CostParams::default(), 8);
+    assert!(budget.share("Comparator bank") < 0.01);
+    // and the CMP total lands near the paper's 115.8M estimate
+    let total = budget.total();
+    assert!(
+        (100_000_000..130_000_000).contains(&total),
+        "total {total}"
+    );
+}
+
+/// "…causes only minor slowdowns to programs during analysis (3-25%)"
+/// — on the paper's own running example.
+#[test]
+fn huffman_profiles_within_the_slowdown_band() {
+    let bench = benchsuite::by_name("Huffman").unwrap();
+    let program = (bench.build)(DataSize::Small);
+    let r = run_pipeline(&program, &PipelineConfig::default()).unwrap();
+    let slow = r.profiling_slowdown() - 1.0;
+    assert!(
+        (0.0..0.30).contains(&slow),
+        "Huffman slowdown {:.1}%",
+        slow * 100.0
+    );
+}
+
+/// "…a software-only implementation … slows execution over 100x
+/// during analysis."
+#[test]
+fn software_only_profiling_exceeds_one_hundred_x() {
+    let bench = benchsuite::by_name("compress").unwrap();
+    let program = (bench.build)(DataSize::Small);
+    let cands = cfgir::extract_candidates(&program);
+    let c = software_comparison(&program, &cands).unwrap();
+    assert!(c.sw_slowdown > 100.0, "software slowdown {:.0}x", c.sw_slowdown);
+    assert!(c.hw_slowdown < 1.5, "hardware slowdown {:.2}x", c.hw_slowdown);
+}
+
+/// "…we expect maximal speedup if the average critical arc length is
+/// at least ¾ the average thread size."
+#[test]
+fn three_quarters_rule_holds_in_the_estimator() {
+    let params = EstimatorParams {
+        comm_delay: 0,
+        ..EstimatorParams::default()
+    };
+    let mut s = StlStats {
+        entries: 1,
+        threads: 10_000,
+        cycles: 10_000_000, // 1000-cycle threads
+        ..StlStats::default()
+    };
+    s.arcs_t1 = 9_999;
+    s.arc_len_sum_t1 = 9_999 * 750;
+    let at = estimate(&s, &params);
+    assert!((at.base_speedup - 4.0).abs() < 1e-6, "{}", at.base_speedup);
+    s.arc_len_sum_t1 = 9_999 * 749;
+    let below = estimate(&s, &params);
+    assert!(below.base_speedup < 4.0);
+}
+
+/// Table 3: Equation 2 chooses Huffman's outer decode loop over the
+/// inner tree-descent loop.
+#[test]
+fn equation_two_prefers_huffmans_outer_loop() {
+    let bench = benchsuite::by_name("Huffman").unwrap();
+    let program = (bench.build)(DataSize::Small);
+    let r = run_pipeline(&program, &PipelineConfig::default()).unwrap();
+    let outer = r
+        .profile
+        .stl
+        .iter()
+        .filter(|(l, _)| r.profile.dominant_parent(**l).is_none())
+        .max_by_key(|(_, s)| s.cycles)
+        .map(|(l, _)| *l)
+        .unwrap();
+    let inners = r.profile.children_of(Some(outer));
+    assert!(!inners.is_empty(), "decode nest not observed");
+    assert!(
+        r.selection.chosen.iter().any(|c| c.loop_id == outer),
+        "outer decode loop must be selected"
+    );
+    for inner in inners {
+        assert!(
+            r.selection.chosen.iter().all(|c| c.loop_id != inner),
+            "inner loop must not be selected alongside the outer"
+        );
+    }
+}
+
+/// Figure 9: the gated-copy loop is judged (almost) serial by TEST
+/// although parallelism exists at every n-th iteration.
+#[test]
+fn figure9_pathology_misleads_test() {
+    let p = jrpm_fig9(8);
+    let r = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+    let (outer, stats) = r
+        .profile
+        .stl
+        .iter()
+        .max_by_key(|(_, s)| s.cycles)
+        .unwrap();
+    assert!(stats.arc_freq_t1() > 0.5, "freq {}", stats.arc_freq_t1());
+    let est = &r.selection.estimates[outer];
+    assert!(
+        est.speedup < 1.6,
+        "TEST should conclude near-serial, got {:.2}",
+        est.speedup
+    );
+}
+
+/// The Figure 9 kernel, inlined (the bench crate has the same shape).
+fn jrpm_fig9(n: i64) -> tvm::Program {
+    use tvm::{Cond, ElemKind, ProgramBuilder};
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, false, |f| {
+        let (a, i, x, k) = (f.local(), f.local(), f.local(), f.local());
+        f.ci(4096).newarray(ElemKind::Int).st(a);
+        f.for_in(i, 1.into(), 2000.into(), |f| {
+            f.if_icmp(
+                Cond::Ne,
+                |f| {
+                    f.ld(i).ci(n - 1).iand().ci(0);
+                },
+                |f| {
+                    f.arr_get(a, |f| {
+                        f.ld(i).ci(1).isub().ci(4095).iand();
+                    })
+                    .st(x);
+                    f.for_in(k, 0.into(), 8.into(), |f| {
+                        f.ld(x).ci(3).imul().ci(1).iadd().st(x);
+                        f.ld(x).ld(x).ci(5).iushr().ixor().st(x);
+                    });
+                    f.arr_set(
+                        a,
+                        |f| {
+                            f.ld(i).ci(4095).iand();
+                        },
+                        |f| {
+                            f.ld(x);
+                        },
+                    );
+                },
+            );
+        });
+        f.ret_void();
+    });
+    b.finish(main).unwrap()
+}
+
+/// Dynamic depth stays within the eight comparator banks for the whole
+/// suite ("eight comparator banks are sufficient to analyze most of
+/// the benchmark programs").
+#[test]
+fn eight_banks_cover_the_suite() {
+    for bench in benchsuite::all() {
+        let program = (bench.build)(DataSize::Small);
+        let r = run_pipeline(&program, &PipelineConfig::default()).unwrap();
+        assert!(
+            r.profile.max_dynamic_depth <= 8,
+            "{}: dynamic depth {}",
+            bench.name,
+            r.profile.max_dynamic_depth
+        );
+        let untraced: u64 = r.profile.stl.values().map(|s| s.untraced_entries).sum();
+        assert_eq!(untraced, 0, "{}: untraced entries", bench.name);
+    }
+}
+
+/// §4.1: "Our experiments so far have not found many method call
+/// return … decompositions that are either not covered by similar
+/// loop decompositions or have significant coverage" — loop STLs must
+/// dominate method forks on the suite.
+#[test]
+fn loop_decompositions_dominate_method_forks() {
+    use test_tracer::MethodTracer;
+    let mut loops_win = 0;
+    let mut total = 0;
+    for name in ["EmFloatPnt", "NumHeapSort", "IDEA", "NeuralNet", "FourierTest"] {
+        let bench = benchsuite::by_name(name).unwrap();
+        let program = (bench.build)(DataSize::Small);
+        let report = run_pipeline(&program, &PipelineConfig::default()).unwrap();
+        let loop_save = 1.0 - report.predicted_normalized();
+
+        let mut mt = MethodTracer::new();
+        let run = tvm::Interp::run(&program, &mut mt).unwrap();
+        let stats = mt.into_stats();
+        let fork_save = test_tracer::rank_sites(&stats, run.cycles, 10)
+            .first()
+            .map(|m| m.coverage * (1.0 - 1.0 / m.speedup))
+            .unwrap_or(0.0);
+        total += 1;
+        if loop_save > fork_save {
+            loops_win += 1;
+        }
+    }
+    assert!(
+        loops_win >= total - 1,
+        "loops won only {loops_win}/{total}"
+    );
+}

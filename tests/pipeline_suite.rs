@@ -1,0 +1,242 @@
+//! Integration: every Table 6 benchmark through the full pipeline.
+//!
+//! These tests assert the *shape* of the paper's results on the whole
+//! suite at the reduced data size: annotation preserves semantics,
+//! profiling slowdown stays minor, predictions track actual
+//! speculative execution, and TEST finds real parallelism where the
+//! paper's Figure 10 shows it.
+
+use benchsuite::{all, by_name, DataSize};
+use jrpm::annotate::{annotate, AnnotateOptions};
+use jrpm::pipeline::{run_pipeline, PipelineConfig};
+use tvm::{Interp, NullSink};
+
+#[test]
+fn annotation_preserves_semantics_on_every_benchmark() {
+    for bench in all() {
+        let program = (bench.build)(DataSize::Small);
+        let plain = Interp::run(&program, &mut NullSink)
+            .unwrap_or_else(|e| panic!("{} plain run failed: {e}", bench.name));
+        let cands = cfgir::extract_candidates(&program);
+        for opts in [AnnotateOptions::base(), AnnotateOptions::profiling()] {
+            let ann = annotate(&program, &cands, &opts);
+            let r = Interp::run(&ann, &mut NullSink)
+                .unwrap_or_else(|e| panic!("{} annotated run failed: {e}", bench.name));
+            assert_eq!(
+                plain.ret, r.ret,
+                "{}: annotation changed the result",
+                bench.name
+            );
+            assert!(
+                r.cycles >= plain.cycles,
+                "{}: annotations cannot be free",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_runs_on_every_benchmark() {
+    let mut total_err = 0.0;
+    let mut count = 0;
+    for bench in all() {
+        let program = (bench.build)(DataSize::Small);
+        let r = run_pipeline(&program, &PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{} pipeline failed: {e}", bench.name));
+        assert!(
+            r.candidates.total_loops() > 0,
+            "{}: no loops found",
+            bench.name
+        );
+        let pred = r.predicted_normalized();
+        let act = r.actual_normalized();
+        assert!(pred > 0.0 && pred <= 1.01, "{}: pred {pred}", bench.name);
+        assert!(act > 0.0, "{}: act {act}", bench.name);
+        total_err += (pred - act).abs();
+        count += 1;
+    }
+    // Figure 11's headline: TEST's predictions are good
+    let mean_err = total_err / f64::from(count);
+    assert!(
+        mean_err < 0.12,
+        "mean |predicted-actual| too high: {mean_err:.3}"
+    );
+}
+
+#[test]
+fn profiling_slowdown_is_minor_across_the_suite() {
+    // the paper's headline: 3-25% slowdown during analysis. Every
+    // benchmark must stay inside the band (with a whisker of
+    // measurement tolerance).
+    let mut worst: f64 = 0.0;
+    for bench in all() {
+        let program = (bench.build)(DataSize::Small);
+        let r = run_pipeline(&program, &PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{} pipeline failed: {e}", bench.name));
+        let slow = r.profiling_slowdown() - 1.0;
+        assert!(
+            slow < 0.27,
+            "{}: profiling slowdown {:.1}% is beyond the paper's 3-25% band",
+            bench.name,
+            slow * 100.0
+        );
+        worst = worst.max(slow);
+    }
+    assert!(worst > 0.0, "annotations cannot be free");
+}
+
+#[test]
+fn floating_point_suite_is_predicted_parallel() {
+    // Figure 10: the floating point programs show large predicted
+    // speedups
+    for name in ["euler", "fft", "LuFactor", "moldyn", "shallow", "FourierTest"] {
+        let bench = by_name(name).unwrap();
+        let program = (bench.build)(DataSize::Small);
+        let r = run_pipeline(&program, &PipelineConfig::default()).unwrap();
+        assert!(
+            r.predicted_normalized() < 0.55,
+            "{name}: predicted only {:.2}",
+            r.predicted_normalized()
+        );
+    }
+}
+
+#[test]
+fn serial_regions_limit_db_style_benchmarks() {
+    // the paper: some programs (db, mp3, jess, jLex) have significant
+    // serial execution not covered by any STL. Our db carries a
+    // genuinely serial aggregation phase; it must stay unselected.
+    let bench = by_name("db").unwrap();
+    let program = (bench.build)(DataSize::Small);
+    let r = run_pipeline(&program, &PipelineConfig::default()).unwrap();
+    let coverage = r.selection.coverage();
+    assert!(
+        coverage < 0.95,
+        "db: coverage {coverage:.2} should leave the aggregation serial"
+    );
+    // the serializing aggregation loop itself (tight t-1 arcs, short
+    // lengths) must never be selected
+    let serial_loop = r
+        .profile
+        .stl
+        .iter()
+        .filter(|(_, s)| s.threads > 100 && s.arc_freq_t1() > 0.9)
+        .min_by(|a, b| {
+            a.1.avg_arc_len_t1()
+                .partial_cmp(&b.1.avg_arc_len_t1())
+                .unwrap()
+        })
+        .map(|(l, _)| *l)
+        .expect("db has a serializing loop");
+    assert!(
+        r.selection.chosen.iter().all(|c| c.loop_id != serial_loop),
+        "the aggregation loop {serial_loop} must stay serial"
+    );
+}
+
+#[test]
+fn selection_is_deterministic() {
+    let bench = by_name("Huffman").unwrap();
+    let program = (bench.build)(DataSize::Small);
+    let a = run_pipeline(&program, &PipelineConfig::default()).unwrap();
+    let b = run_pipeline(&program, &PipelineConfig::default()).unwrap();
+    let ids = |r: &jrpm::pipeline::PipelineReport| {
+        r.selection
+            .chosen
+            .iter()
+            .map(|c| c.loop_id)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(ids(&a), ids(&b));
+    assert_eq!(a.profile_cycles, b.profile_cycles);
+    assert_eq!(a.actual.tls_cycles, b.actual.tls_cycles);
+}
+
+#[test]
+fn data_sensitive_benchmarks_shift_selection_with_size() {
+    // Table 6 column (b): programs whose best decomposition depends on
+    // the data-set size. Growing the input must visibly change TEST's
+    // view for at least half of the flagged programs — higher overflow
+    // frequencies on outer loops and/or a different selected set.
+    let sensitive: Vec<_> = all().into_iter().filter(|b| b.data_sensitive).collect();
+    assert!(sensitive.len() >= 5);
+    let mut shifted = 0;
+    for bench in &sensitive {
+        let small = run_pipeline(&(bench.build)(DataSize::Small), &PipelineConfig::default())
+            .unwrap();
+        let big = run_pipeline(&(bench.build)(DataSize::Default), &PipelineConfig::default())
+            .unwrap();
+        let max_ovf = |r: &jrpm::pipeline::PipelineReport| {
+            r.profile
+                .stl
+                .values()
+                .map(|s| s.overflow_freq())
+                .fold(0.0f64, f64::max)
+        };
+        let sel = |r: &jrpm::pipeline::PipelineReport| {
+            let mut v: Vec<_> = r
+                .selection
+                .chosen_above(0.005)
+                .iter()
+                .map(|c| c.loop_id)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        if max_ovf(&big) > max_ovf(&small) + 0.2 || sel(&big) != sel(&small) {
+            shifted += 1;
+        }
+    }
+    assert!(
+        shifted * 2 >= sensitive.len(),
+        "only {shifted}/{} sensitive benchmarks shifted",
+        sensitive.len()
+    );
+}
+
+#[test]
+fn pipeline_surfaces_program_errors_cleanly() {
+    use tvm::ProgramBuilder;
+    // division by zero inside a candidate loop must come back as a
+    // clean VmError from whichever pipeline stage executes it
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, false, |f| {
+        let (a, i) = (f.local(), f.local());
+        f.ci(16).newarray(tvm::ElemKind::Int).st(a);
+        f.for_in(i, 0.into(), 16.into(), |f| {
+            f.arr_set(
+                a,
+                |f| {
+                    f.ld(i);
+                },
+                |f| {
+                    f.ci(100).ld(i).ci(8).isub().idiv();
+                },
+            );
+        });
+        f.ret_void();
+    });
+    let p = b.finish(main).unwrap();
+    let err = run_pipeline(&p, &PipelineConfig::default()).unwrap_err();
+    assert_eq!(err, tvm::VmError::DivisionByZero);
+}
+
+/// Full-suite validation at the paper's data sizes.
+#[test]
+fn default_size_suite_is_healthy() {
+    for bench in all() {
+        let program = (bench.build)(DataSize::Default);
+        let r = run_pipeline(&program, &PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name));
+        assert!(!r.selection.chosen.is_empty(), "{}", bench.name);
+        assert!(
+            r.profiling_slowdown() < 1.27,
+            "{}: slowdown {:.3}",
+            bench.name,
+            r.profiling_slowdown()
+        );
+        let err = (r.predicted_normalized() - r.actual_normalized()).abs();
+        assert!(err < 0.35, "{}: |err| {err:.2}", bench.name);
+    }
+}

@@ -1,0 +1,270 @@
+//! Structured program fuzzing: arbitrary nested-loop programs through
+//! the entire pipeline.
+//!
+//! A recursive statement grammar (loops, branches, array reads/writes,
+//! local updates) is compiled with the TraceVM builder; for every
+//! generated program the whole stack must hold its invariants:
+//! verification passes, execution is deterministic, annotation
+//! preserves semantics, and the pipeline produces sane predictions.
+
+use jrpm::annotate::{annotate, AnnotateOptions};
+use jrpm::pipeline::{run_pipeline, PipelineConfig};
+use proptest::prelude::*;
+use tvm::{Cond, ElemKind, FnBuilder, Interp, Local, NullSink, Program, ProgramBuilder};
+
+const ARRAY_LEN: i64 = 64;
+const N_TEMPS: u8 = 3;
+const MAX_DEPTH: u8 = 3;
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i8),
+    Temp(u8),
+    LoopVar(u8),
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `a[e1 & 63] = e2`
+    ArrWrite(Expr, Expr),
+    /// `tN = a[e & 63]`
+    ArrRead(u8, Expr),
+    /// `tN = e`
+    SetTemp(u8, Expr),
+    /// `for v in 0..trips { body }`
+    For(u8, Vec<Stmt>),
+    /// `if e1 < e2 { then } else { other }`
+    If(Expr, Expr, Vec<Stmt>, Vec<Stmt>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(Expr::Const),
+        (0..N_TEMPS).prop_map(Expr::Temp),
+        (0..MAX_DEPTH).prop_map(Expr::LoopVar),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (arb_expr(), arb_expr()).prop_map(|(i, v)| Stmt::ArrWrite(i, v)),
+        ((0..N_TEMPS), arb_expr()).prop_map(|(t, e)| Stmt::ArrRead(t, e)),
+        ((0..N_TEMPS), arb_expr()).prop_map(|(t, e)| Stmt::SetTemp(t, e)),
+    ];
+    leaf.prop_recursive(u32::from(MAX_DEPTH), 24, 4, |inner| {
+        prop_oneof![
+            ((2u8..6), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(trips, body)| Stmt::For(trips, body)),
+            (
+                arb_expr(),
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner, 0..2)
+            )
+                .prop_map(|(a, b, t, e)| Stmt::If(a, b, t, e)),
+        ]
+    })
+}
+
+fn arb_program_ast() -> impl Strategy<Value = Vec<Stmt>> {
+    prop::collection::vec(arb_stmt(), 1..6)
+}
+
+struct Ctx {
+    arr: Local,
+    temps: Vec<Local>,
+    loop_vars: Vec<Local>,
+    depth: usize,
+}
+
+fn emit_expr(f: &mut FnBuilder, ctx: &Ctx, e: &Expr) {
+    match e {
+        Expr::Const(c) => {
+            f.ci(i64::from(*c));
+        }
+        Expr::Temp(t) => {
+            f.ld(ctx.temps[*t as usize]);
+        }
+        Expr::LoopVar(v) => {
+            // unopened loop vars read as 0 (locals default-init)
+            f.ld(ctx.loop_vars[*v as usize % ctx.loop_vars.len()]);
+        }
+        Expr::Add(a, b) => {
+            emit_expr(f, ctx, a);
+            emit_expr(f, ctx, b);
+            f.iadd();
+        }
+        Expr::Mul(a, b) => {
+            emit_expr(f, ctx, a);
+            emit_expr(f, ctx, b);
+            f.imul();
+        }
+        Expr::Xor(a, b) => {
+            emit_expr(f, ctx, a);
+            emit_expr(f, ctx, b);
+            f.ixor();
+        }
+    }
+}
+
+fn emit_stmt(f: &mut FnBuilder, ctx: &mut Ctx, s: &Stmt) {
+    match s {
+        Stmt::ArrWrite(i, v) => {
+            f.ld(ctx.arr);
+            emit_expr(f, ctx, i);
+            f.ci(ARRAY_LEN - 1).iand();
+            emit_expr(f, ctx, v);
+            f.astore();
+        }
+        Stmt::ArrRead(t, e) => {
+            f.ld(ctx.arr);
+            emit_expr(f, ctx, e);
+            f.ci(ARRAY_LEN - 1).iand();
+            f.aload();
+            f.st(ctx.temps[*t as usize]);
+        }
+        Stmt::SetTemp(t, e) => {
+            emit_expr(f, ctx, e);
+            f.st(ctx.temps[*t as usize]);
+        }
+        Stmt::For(trips, body) => {
+            if ctx.depth >= ctx.loop_vars.len() {
+                // depth exhausted: inline the body once
+                for st in body {
+                    emit_stmt(f, ctx, st);
+                }
+                return;
+            }
+            let v = ctx.loop_vars[ctx.depth];
+            ctx.depth += 1;
+            let trips = i64::from(*trips);
+            let body = body.clone();
+            // cannot capture ctx mutably twice; emit manually
+            let head = f.new_label();
+            let exit = f.new_label();
+            f.ci(0).st(v);
+            f.bind(head);
+            f.ld(v).ci(trips).br_icmp(Cond::Ge, exit);
+            for st in &body {
+                emit_stmt(f, ctx, st);
+            }
+            f.inc(v, 1);
+            f.goto(head);
+            f.bind(exit);
+            ctx.depth -= 1;
+        }
+        Stmt::If(a, b, then_b, else_b) => {
+            let else_l = f.new_label();
+            let end = f.new_label();
+            emit_expr(f, ctx, a);
+            emit_expr(f, ctx, b);
+            f.br_icmp(Cond::Ge, else_l);
+            for st in then_b {
+                emit_stmt(f, ctx, st);
+            }
+            f.goto(end);
+            f.bind(else_l);
+            for st in else_b {
+                emit_stmt(f, ctx, st);
+            }
+            f.bind(end);
+        }
+    }
+}
+
+fn compile(ast: &[Stmt]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main", 0, true, |f| {
+        let arr = f.local();
+        let temps: Vec<Local> = (0..N_TEMPS).map(|_| f.local()).collect();
+        let loop_vars: Vec<Local> = (0..MAX_DEPTH).map(|_| f.local()).collect();
+        f.ci(ARRAY_LEN).newarray(ElemKind::Int).st(arr);
+        let mut ctx = Ctx {
+            arr,
+            temps,
+            loop_vars,
+            depth: 0,
+        };
+        for s in ast {
+            emit_stmt(f, &mut ctx, s);
+        }
+        // checksum so results are comparable
+        let (sum, i) = (f.local(), f.local());
+        f.ci(0).st(sum);
+        f.for_in(i, 0.into(), ARRAY_LEN.into(), |f| {
+            f.ld(sum)
+                .arr_get(ctx.arr, |f| {
+                    f.ld(i);
+                })
+                .ixor()
+                .ld(sum)
+                .ci(3)
+                .imul()
+                .iadd()
+                .st(sum);
+        });
+        f.ld(sum).ret();
+    });
+    b.finish(main).expect("generated program must verify")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_programs_run_deterministically(ast in arb_program_ast()) {
+        let p = compile(&ast);
+        let a = Interp::run(&p, &mut NullSink).unwrap();
+        let b = Interp::run(&p, &mut NullSink).unwrap();
+        prop_assert_eq!(a.ret, b.ret);
+        prop_assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn annotation_preserves_generated_semantics(ast in arb_program_ast()) {
+        let p = compile(&ast);
+        let plain = Interp::run(&p, &mut NullSink).unwrap();
+        let cands = cfgir::extract_candidates(&p);
+        for opts in [AnnotateOptions::base(), AnnotateOptions::profiling()] {
+            let ann = annotate(&p, &cands, &opts);
+            let r = Interp::run(&ann, &mut NullSink).unwrap();
+            prop_assert_eq!(plain.ret, r.ret);
+            prop_assert!(r.cycles >= plain.cycles);
+        }
+    }
+
+    #[test]
+    fn pipeline_is_sane_on_generated_programs(ast in arb_program_ast()) {
+        let p = compile(&ast);
+        let r = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+        let pred = r.predicted_normalized();
+        prop_assert!(pred > 0.0 && pred <= 1.0 + 1e-9, "pred {pred}");
+        let act = r.actual_normalized();
+        prop_assert!(act > 0.0, "act {act}");
+        // chosen loops are pairwise non-nested (Equation 2 invariant)
+        for a in &r.selection.chosen {
+            let mut cur = r.profile.dominant_parent(a.loop_id);
+            while let Some(parent) = cur {
+                prop_assert!(
+                    r.selection.chosen.iter().all(|c| c.loop_id != parent),
+                    "{} selected inside selected {}", a.loop_id, parent
+                );
+                cur = r.profile.dominant_parent(parent);
+            }
+        }
+        // coverage cannot exceed the whole program
+        prop_assert!(r.selection.coverage() <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests on the Hydra TLS schedule solver.
+
+use hydra_sim::collect::{Access, AccessKind, EntryTrace, IterTrace};
+use hydra_sim::config::TlsConfig;
+use hydra_sim::sim::simulate_entry;
+use proptest::prelude::*;
+use tvm::isa::LoopId;
+
+fn arb_iter() -> impl Strategy<Value = IterTrace> {
+    (
+        50u32..500,
+        prop::collection::vec((0u32..50, 0u32..32, prop::bool::ANY), 0..8),
+    )
+        .prop_map(|(cycles, accesses)| {
+            let mut acc: Vec<Access> = accesses
+                .into_iter()
+                .map(|(relpct, slot, is_store)| Access {
+                    rel: relpct * cycles / 50,
+                    addr: 0x2000 + slot * 8,
+                    kind: if is_store {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    },
+                })
+                .collect();
+            acc.sort_by_key(|a| a.rel);
+            IterTrace { cycles, accesses: acc }
+        })
+}
+
+fn arb_entry() -> impl Strategy<Value = EntryTrace> {
+    prop::collection::vec(arb_iter(), 1..24).prop_map(|iters| {
+        let seq: u64 = iters.iter().map(|i| u64::from(i.cycles)).sum();
+        EntryTrace {
+            loop_id: LoopId(0),
+            start: 0,
+            iters,
+            tail_cycles: 0,
+            seq_cycles: seq,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tls_time_respects_fundamental_bounds(entry in arb_entry()) {
+        let cfg = TlsConfig::default();
+        let r = simulate_entry(&entry, &cfg);
+        let n = entry.iters.len() as u64;
+        let max_iter = entry.iters.iter().map(|i| u64::from(i.cycles)).max().unwrap_or(0);
+        // lower bound: overheads + the longest single thread
+        prop_assert!(r.tls_cycles >= cfg.startup + cfg.shutdown + max_iter);
+        // speedup can never exceed the processor count
+        let speedup = entry.seq_cycles as f64 / r.tls_cycles as f64;
+        prop_assert!(speedup <= cfg.processors as f64 + 1e-9, "speedup {speedup}");
+        prop_assert_eq!(r.threads, n);
+    }
+
+    #[test]
+    fn serial_execution_upper_bounds_worst_case(entry in arb_entry()) {
+        // even a violation storm cannot be much worse than running the
+        // threads back to back: each thread's restart chain is bounded
+        // by its producers' finish times
+        let cfg = TlsConfig::default();
+        let r = simulate_entry(&entry, &cfg);
+        let n = entry.iters.len() as u64;
+        let serial_with_overheads = entry.seq_cycles
+            + cfg.startup
+            + cfg.shutdown
+            + n * (cfg.eoi + cfg.comm_delay + cfg.violation_restart)
+            + entry.seq_cycles; // generous slack for restart re-execution
+        prop_assert!(
+            r.tls_cycles <= serial_with_overheads,
+            "tls {} vs bound {}",
+            r.tls_cycles,
+            serial_with_overheads
+        );
+    }
+
+    #[test]
+    fn synchronization_never_hurts(entry in arb_entry()) {
+        let with_sync = TlsConfig::default();
+        let without = TlsConfig { sync_after_violation: false, ..with_sync };
+        let a = simulate_entry(&entry, &with_sync);
+        let b = simulate_entry(&entry, &without);
+        // sync converts restarts into stalls: fewer violations, and
+        // the schedule cannot be slower by more than rounding effects
+        prop_assert!(a.violations <= b.violations);
+        prop_assert!(a.tls_cycles <= b.tls_cycles + 1);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(entry in arb_entry()) {
+        let cfg = TlsConfig::default();
+        let a = simulate_entry(&entry, &cfg);
+        let b = simulate_entry(&entry, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adding_a_dependency_never_speeds_things_up(entry in arb_entry()) {
+        let cfg = TlsConfig::default();
+        let base = simulate_entry(&entry, &cfg);
+        // add a store at the end of the first thread and a load at the
+        // start of the last thread
+        let mut harder = entry.clone();
+        let n = harder.iters.len();
+        let c0 = harder.iters[0].cycles;
+        harder.iters[0].accesses.push(Access {
+            rel: c0.saturating_sub(1),
+            addr: 0x00BE_EF00,
+            kind: AccessKind::Store,
+        });
+        harder.iters[n - 1].accesses.insert(0, Access {
+            rel: 0,
+            addr: 0x00BE_EF00,
+            kind: AccessKind::Load,
+        });
+        let r = simulate_entry(&harder, &cfg);
+        prop_assert!(r.tls_cycles >= base.tls_cycles);
+    }
+}
+
+#[test]
+fn four_independent_threads_fill_four_cpus() {
+    let cfg = TlsConfig::default();
+    let iters: Vec<IterTrace> = (0..4)
+        .map(|_| IterTrace {
+            cycles: 1000,
+            accesses: vec![],
+        })
+        .collect();
+    let entry = EntryTrace {
+        loop_id: LoopId(0),
+        start: 0,
+        iters,
+        tail_cycles: 0,
+        seq_cycles: 4000,
+    };
+    let r = simulate_entry(&entry, &cfg);
+    // all four run concurrently: startup + thread + eoi + shutdown
+    assert_eq!(r.tls_cycles, 25 + 1000 + 5 + 25);
+}
+
+#[test]
+fn set_conflicts_overflow_despite_low_line_count() {
+    // Table 1: the L1 speculative load state is 4-way. Five lines
+    // mapping to the same set overflow it even though the total is far
+    // below the 512-line capacity — the tracer's direct-mapped,
+    // associativity-blind analysis cannot see this (paper section 5.3).
+    let cfg = TlsConfig::default();
+    let n_sets = cfg.ld_line_limit / cfg.ld_associativity; // 128
+    let stride = n_sets * 32; // same set every time
+    let accesses: Vec<Access> = (0..5)
+        .map(|k| Access {
+            rel: 10 + k,
+            addr: k * stride,
+            kind: AccessKind::Load,
+        })
+        .collect();
+    let e = EntryTrace {
+        loop_id: LoopId(0),
+        start: 0,
+        iters: vec![IterTrace {
+            cycles: 100,
+            accesses,
+        }],
+        tail_cycles: 0,
+        seq_cycles: 100,
+    };
+    let r = simulate_entry(&e, &cfg);
+    assert_eq!(r.overflows, 1, "5 conflicting lines must overflow 4 ways");
+
+    // the same five lines spread across sets fit comfortably
+    let spread: Vec<Access> = (0..5)
+        .map(|k| Access {
+            rel: 10 + k,
+            addr: k * 32,
+            kind: AccessKind::Load,
+        })
+        .collect();
+    let e2 = EntryTrace {
+        loop_id: LoopId(0),
+        start: 0,
+        iters: vec![IterTrace {
+            cycles: 100,
+            accesses: spread,
+        }],
+        tail_cycles: 0,
+        seq_cycles: 100,
+    };
+    assert_eq!(simulate_entry(&e2, &cfg).overflows, 0);
+}

@@ -13,7 +13,7 @@ fn bench_stages(c: &mut Criterion) {
     let bench = benchsuite::by_name("Huffman").unwrap();
     let program = (bench.build)(DataSize::Small);
     let cands = cfgir::extract_candidates(&program);
-    let annotated = jrpm::annotate(&program, &cands, &jrpm::AnnotateOptions::profiling());
+    let annotated = jrpm::annotate(&program, &cands, &jrpm::AnnotateOptions::profiling()).unwrap();
 
     let mut g = c.benchmark_group("stages");
     g.bench_function("extract_candidates", |b| {
@@ -26,6 +26,7 @@ fn bench_stages(c: &mut Criterion) {
                 &cands,
                 &jrpm::AnnotateOptions::profiling(),
             ))
+            .unwrap()
             .instruction_count()
         })
     });
@@ -59,7 +60,12 @@ fn bench_stages(c: &mut Criterion) {
         .iter()
         .map(|x| x.loop_id)
         .collect();
-    let spec = jrpm::annotate(&program, &cands, &jrpm::AnnotateOptions::only(chosen.clone()));
+    let spec = jrpm::annotate(
+        &program,
+        &cands,
+        &jrpm::AnnotateOptions::only(chosen.clone()),
+    )
+    .unwrap();
     let mut collector = TlsTraceCollector::new(chosen);
     collector.set_local_masks(cands.tracked_masks());
     Interp::run(&spec, &mut collector).unwrap();

@@ -68,7 +68,7 @@ fn bench_replay_real_stream(c: &mut Criterion) {
     let bench = benchsuite::by_name("Huffman").unwrap();
     let program = (bench.build)(benchsuite::DataSize::Small);
     let cands = cfgir::extract_candidates(&program);
-    let annotated = jrpm::annotate(&program, &cands, &jrpm::AnnotateOptions::profiling());
+    let annotated = jrpm::annotate(&program, &cands, &jrpm::AnnotateOptions::profiling()).unwrap();
     let mut rec = tvm::record::RecordingSink::new();
     Interp::run(&annotated, &mut rec).unwrap();
     let recording = rec.into_recording();
@@ -90,7 +90,7 @@ fn bench_interpreter(c: &mut Criterion) {
     let bench = benchsuite::by_name("Huffman").unwrap();
     let program = (bench.build)(benchsuite::DataSize::Small);
     let cands = cfgir::extract_candidates(&program);
-    let annotated = jrpm::annotate(&program, &cands, &jrpm::AnnotateOptions::profiling());
+    let annotated = jrpm::annotate(&program, &cands, &jrpm::AnnotateOptions::profiling()).unwrap();
 
     let mut g = c.benchmark_group("interpreter");
     g.bench_function("plain_sequential", |b| {
@@ -110,5 +110,10 @@ fn bench_interpreter(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_throughput, bench_replay_real_stream, bench_interpreter);
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_replay_real_stream,
+    bench_interpreter
+);
 criterion_main!(benches);

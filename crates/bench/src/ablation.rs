@@ -25,7 +25,7 @@ pub fn fifo_sweep(size: DataSize) -> String {
         let bench = benchsuite::by_name(name).expect("benchmark exists");
         let program = (bench.build)(size);
         let cands = cfgir::extract_candidates(&program);
-        let ann = annotate(&program, &cands, &AnnotateOptions::profiling());
+        let ann = annotate(&program, &cands, &AnnotateOptions::profiling()).expect("annotate");
 
         let mut sw = SoftwareTracer::new();
         sw.set_local_masks(cands.tracked_masks());
@@ -77,7 +77,7 @@ pub fn bank_sweep(size: DataSize) -> String {
         let bench = benchsuite::by_name(name).expect("benchmark exists");
         let program = (bench.build)(size);
         let cands = cfgir::extract_candidates(&program);
-        let ann = annotate(&program, &cands, &AnnotateOptions::profiling());
+        let ann = annotate(&program, &cands, &AnnotateOptions::profiling()).expect("annotate");
         let mut row = String::new();
         let mut depth = 0;
         for (i, n_banks) in [1usize, 2, 8].into_iter().enumerate() {
@@ -93,11 +93,7 @@ pub fn bank_sweep(size: DataSize) -> String {
                 depth = p.max_dynamic_depth;
             }
             let untraced: u64 = p.stl.values().map(|t| t.untraced_entries).sum();
-            let total: u64 = p
-                .stl
-                .values()
-                .map(|t| t.entries + t.untraced_entries)
-                .sum();
+            let total: u64 = p.stl.values().map(|t| t.entries + t.untraced_entries).sum();
             row.push_str(&format!(
                 "{:>13.0}%",
                 100.0 * untraced as f64 / total.max(1) as f64
@@ -154,5 +150,10 @@ pub fn sync_sweep(size: DataSize) -> String {
 
 /// All three sweeps.
 pub fn all(size: DataSize) -> String {
-    format!("{}\n{}\n{}", fifo_sweep(size), bank_sweep(size), sync_sweep(size))
+    format!(
+        "{}\n{}\n{}",
+        fifo_sweep(size),
+        bank_sweep(size),
+        sync_sweep(size)
+    )
 }

@@ -47,8 +47,19 @@ fn main() {
     println!();
     println!(
         "{:<5}{:>8}{:>10}{:>12}{:>9}{:>6}{:>8}{:>8}{:>8}{:>8}{:>7}{:>9}{:>8}",
-        "loop", "entries", "threads", "cycles", "size", "cv", "f(t-1)", "d(t-1)", "f(<t1)",
-        "d(<t1)", "ovf", "est-spd", "parent"
+        "loop",
+        "entries",
+        "threads",
+        "cycles",
+        "size",
+        "cv",
+        "f(t-1)",
+        "d(t-1)",
+        "f(<t1)",
+        "d(<t1)",
+        "ovf",
+        "est-spd",
+        "parent"
     );
     for (l, s) in &r.profile.stl {
         let e = &r.selection.estimates[l];
@@ -75,11 +86,8 @@ fn main() {
     }
     println!();
     // PCs refer to the *annotated* code; rebuild it for disassembly
-    let annotated = jrpm::annotate(
-        &program,
-        &r.candidates,
-        &jrpm::AnnotateOptions::profiling(),
-    );
+    let annotated = jrpm::annotate(&program, &r.candidates, &jrpm::AnnotateOptions::profiling())
+        .expect("annotate");
     println!("hot dependency sites (extended TEST, section 6.3):");
     for l in r.profile.stl.keys() {
         for (pc, bin) in r.profile.pc_bins.hottest(*l).into_iter().take(3) {
@@ -91,12 +99,19 @@ fn main() {
                 .unwrap_or_else(|| "?".into());
             println!(
                 "  {} at {} ({place}) count={} avg_len={:.0} min={}",
-                l, pc, bin.count, bin.avg_len(), bin.min_len
+                l,
+                pc,
+                bin.count,
+                bin.avg_len(),
+                bin.min_len
             );
         }
     }
     println!();
-    println!("selection: predicted {:.3} normalized", r.predicted_normalized());
+    println!(
+        "selection: predicted {:.3} normalized",
+        r.predicted_normalized()
+    );
     for c in &r.selection.chosen {
         println!(
             "  chose {} coverage {:.1}% est speedup {:.2}",

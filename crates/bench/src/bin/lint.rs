@@ -1,0 +1,141 @@
+//! `jrpm-lint` — static-analysis diagnostics over the benchmark suite.
+//!
+//! Runs the structural verifier, the abstract kind checker and the
+//! memory-dependence pre-screen on every benchmark, before and after
+//! annotation rewriting, and emits one JSON document on stdout:
+//!
+//! ```text
+//! cargo run --release -p jrpm-bench --bin jrpm-lint
+//! cargo run --release -p jrpm-bench --bin jrpm-lint -- --small Huffman
+//! ```
+//!
+//! Exit status is nonzero if any program fails verification.
+
+use benchsuite::DataSize;
+use cfgir::StaticVerdict;
+use jrpm::{annotate, AnnotateOptions};
+
+/// Escapes a string for embedding in a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn check(r: Result<(), tvm::VmError>) -> (String, bool) {
+    match r {
+        Ok(()) => ("\"ok\"".into(), true),
+        Err(e) => (format!("\"{}\"", esc(&e.to_string())), false),
+    }
+}
+
+fn main() {
+    let mut size = DataSize::Small;
+    let mut names: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--small" => size = DataSize::Small,
+            "--default" => size = DataSize::Default,
+            "--large" => size = DataSize::Large,
+            other => names.push(other.to_string()),
+        }
+    }
+    let suite: Vec<_> = benchsuite::all()
+        .into_iter()
+        .filter(|b| names.is_empty() || names.iter().any(|n| n == b.name))
+        .collect();
+    if suite.is_empty() {
+        eprintln!("no benchmarks matched {names:?}; see `benchsuite::all()`");
+        std::process::exit(2);
+    }
+
+    let mut all_ok = true;
+    let mut total_demoted = 0usize;
+    let mut rows: Vec<String> = Vec::new();
+
+    for b in &suite {
+        let program = (b.build)(size);
+        let fname = |f: tvm::isa::FuncId| {
+            program
+                .functions
+                .get(f.0 as usize)
+                .map_or_else(|| format!("f{}", f.0), |func| esc(&func.name))
+        };
+
+        let (verify, v_ok) = check(tvm::verify::verify(&program));
+        let (kinds, k_ok) = check(tvm::verify::verify_kinds(&program));
+
+        let cands = cfgir::extract_candidates(&program);
+
+        // the kind checker must also accept the rewritten program
+        let (post, p_ok) = match annotate(&program, &cands, &AnnotateOptions::profiling()) {
+            Ok(ann) => check(tvm::verify::verify_kinds(&ann)),
+            Err(e) => (format!("\"{}\"", esc(&e.to_string())), false),
+        };
+        all_ok &= v_ok && k_ok && p_ok;
+
+        let mut loops: Vec<String> = Vec::new();
+        for c in &cands.candidates {
+            let (verdict, reason) = match &c.static_verdict {
+                StaticVerdict::Clean => ("clean", String::new()),
+                StaticVerdict::Demoted { reason } => ("demoted", reason.clone()),
+            };
+            loops.push(format!(
+                "{{\"id\":{},\"func\":\"{}\",\"depth\":{},\"verdict\":\"{}\"{}}}",
+                c.id.0,
+                fname(c.func),
+                c.depth,
+                verdict,
+                if reason.is_empty() {
+                    String::new()
+                } else {
+                    format!(",\"reason\":\"{}\"", esc(&reason))
+                }
+            ));
+        }
+        for r in &cands.rejected {
+            loops.push(format!(
+                "{{\"func\":\"{}\",\"loop\":{},\"verdict\":\"rejected\",\"reason\":\"{}\"}}",
+                fname(r.func),
+                r.loop_idx,
+                esc(&r.reason)
+            ));
+        }
+        let demoted = cands.demoted_count();
+        total_demoted += demoted;
+
+        rows.push(format!(
+            "{{\"name\":\"{}\",\"verify\":{},\"kinds\":{},\"post_annotation_kinds\":{},\
+             \"loops\":{},\"candidates\":{},\"rejected\":{},\"demoted\":{},\"loop_detail\":[{}]}}",
+            esc(b.name),
+            verify,
+            kinds,
+            post,
+            cands.total_loops(),
+            cands.candidates.len(),
+            cands.rejected.len(),
+            demoted,
+            loops.join(",")
+        ));
+    }
+
+    println!(
+        "{{\"size\":\"{:?}\",\"ok\":{},\"total_demoted\":{},\"benchmarks\":[{}]}}",
+        size,
+        all_ok,
+        total_demoted,
+        rows.join(",")
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

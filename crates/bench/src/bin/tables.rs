@@ -27,9 +27,7 @@ fn main() {
     if args.is_empty() {
         args.push("all".into());
     }
-    let want = |name: &str| -> bool {
-        args.iter().any(|a| a == name || a == "all")
-    };
+    let want = |name: &str| -> bool { args.iter().any(|a| a == name || a == "all") };
 
     println!("{}", tables::banner());
 
@@ -59,6 +57,9 @@ fn main() {
     }
     if want("methods") {
         println!("{}", tables::methods(size));
+    }
+    if want("prescreen") {
+        println!("{}", tables::prescreen(size));
     }
 
     let needs_suite = ["table6", "fig6", "fig10", "fig11", "scorecard"]

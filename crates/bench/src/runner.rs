@@ -63,9 +63,7 @@ impl BenchResult {
         }
         let s: f64 = sel
             .iter()
-            .map(|c| {
-                self.report.profile.stl[&c.loop_id].avg_thread_size() * c.cycles as f64
-            })
+            .map(|c| self.report.profile.stl[&c.loop_id].avg_thread_size() * c.cycles as f64)
             .sum();
         s / total_cycles as f64
     }

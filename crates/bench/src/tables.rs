@@ -36,7 +36,10 @@ pub fn table2() -> String {
     s.push_str("Table 2 - Thread-level speculation overheads\n");
     s.push_str("TLS Operation             Overhead / delay\n");
     s.push_str(&format!("Loop startup              {} cycles\n", c.startup));
-    s.push_str(&format!("Loop shutdown             {} cycles\n", c.shutdown));
+    s.push_str(&format!(
+        "Loop shutdown             {} cycles\n",
+        c.shutdown
+    ));
     s.push_str(&format!("Loop end-of-iteration     {} cycles\n", c.eoi));
     s.push_str(&format!(
         "Violation and restart     {} cycles\n",
@@ -152,7 +155,10 @@ pub fn table5() -> String {
             100.0 * row.total() as f64 / total as f64
         ));
     }
-    s.push_str(&format!("{:<24}{:>7}{:>12}{:>14}{:>10}\n", "Total", "", "", total, "100.00%"));
+    s.push_str(&format!(
+        "{:<24}{:>7}{:>12}{:>14}{:>10}\n",
+        "Total", "", "", total, "100.00%"
+    ));
     let share = budget.share("Comparator bank");
     s.push_str(&format!(
         "TEST comparator banks: {:.2}% of the CMP ({}: < 1%)\n",
@@ -357,7 +363,13 @@ pub fn fig11(results: &[BenchResult]) -> String {
     for r in results {
         let pred = r.report.predicted_normalized();
         let act = r.report.actual_normalized();
-        let viol: u64 = r.report.actual.per_loop.values().map(|l| l.violations).sum();
+        let viol: u64 = r
+            .report
+            .actual
+            .per_loop
+            .values()
+            .map(|l| l.violations)
+            .sum();
         let ovf: u64 = r.report.actual.per_loop.values().map(|l| l.overflows).sum();
         // the paper's stated disparity predictor: thread-size variance
         // of the selected loops (section 6.2)
@@ -414,7 +426,6 @@ pub fn softslow(size: DataSize) -> String {
     s
 }
 
-
 /// §4.1 comparison — method-call-return decompositions vs loop STLs.
 /// The paper kept only loops because method forks rarely add coverage;
 /// this artifact measures both shapes on the same programs.
@@ -465,6 +476,36 @@ pub fn methods(size: DataSize) -> String {
     s
 }
 
+/// Static pre-screen summary — per benchmark, how many candidate loops
+/// the memory-dependence analysis proved serial and demoted before any
+/// profiling run, so TEST spends no comparator banks on them.
+pub fn prescreen(size: DataSize) -> String {
+    let mut s = String::new();
+    s.push_str("Static memory-dependence pre-screen (per benchmark)\n");
+    s.push_str(&format!(
+        "{:<14}{:>7}{:>10}{:>9}{:>8}\n",
+        "Benchmark", "loops", "rejected", "demoted", "traced"
+    ));
+    let mut total_pruned = 0usize;
+    for b in benchsuite::all() {
+        let program = (b.build)(size);
+        let cands = cfgir::extract_candidates(&program);
+        let demoted = cands.demoted_count();
+        total_pruned += demoted;
+        s.push_str(&format!(
+            "{:<14}{:>7}{:>10}{:>9}{:>8}\n",
+            b.name,
+            cands.total_loops(),
+            cands.rejected.len(),
+            demoted,
+            cands.candidates.len() - demoted,
+        ));
+    }
+    s.push_str(&format!(
+        "Total candidate loops pruned statically: {total_pruned}\n"
+    ));
+    s
+}
 
 /// The reproduction scorecard: every headline claim of the paper,
 /// checked against this run and marked PASS/FAIL.
@@ -523,7 +564,9 @@ pub fn scorecard(results: &[BenchResult]) -> String {
     );
 
     // every benchmark has selections; coverage varies
-    let all_selected = results.iter().all(|r| !r.report.selection.chosen.is_empty());
+    let all_selected = results
+        .iter()
+        .all(|r| !r.report.selection.chosen.is_empty());
     row(
         "TEST finds decompositions on all 26 programs (Table 6)",
         all_selected,

@@ -1,0 +1,107 @@
+//! Negative verifier tests: take real, valid benchsuite bytecode and
+//! break it in targeted ways — the structural verifier and the kind
+//! checker must each reject the mutation with the right error.
+
+use benchsuite::DataSize;
+use tvm::isa::Instr;
+use tvm::program::Program;
+use tvm::verify::{verify, verify_kinds};
+use tvm::VmError;
+
+fn build(name: &str) -> Program {
+    let bench = benchsuite::by_name(name).expect("suite benchmark exists");
+    (bench.build)(DataSize::Small)
+}
+
+/// Every suite program is valid as built: both verifiers accept it.
+#[test]
+fn suite_is_valid_before_mutation() {
+    for b in benchsuite::all() {
+        let p = (b.build)(DataSize::Small);
+        verify(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        verify_kinds(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    }
+}
+
+/// Redirecting a branch past the end of its function must be caught as
+/// a bad branch target.
+#[test]
+fn branch_target_out_of_range_is_rejected() {
+    let mut p = build("Huffman");
+    let (fid, at) = p
+        .functions
+        .iter()
+        .enumerate()
+        .find_map(|(fi, f)| {
+            f.code
+                .iter()
+                .position(|i| i.branch_target().is_some())
+                .map(|at| (fi, at))
+        })
+        .expect("suite code has a branch");
+    let bad = p.functions[fid].code.len() as u32 + 7;
+    p.functions[fid].code[at] = match p.functions[fid].code[at] {
+        Instr::Goto(_) => Instr::Goto(bad),
+        Instr::If(c, _) => Instr::If(c, bad),
+        Instr::IfICmp(c, _) => Instr::IfICmp(c, bad),
+        Instr::IfFCmp(c, _) => Instr::IfFCmp(c, bad),
+        other => panic!("unexpected branch instruction {other:?}"),
+    };
+    match verify(&p) {
+        Err(VmError::BadBranchTarget { target, .. }) => assert_eq!(target, bad),
+        other => panic!("expected BadBranchTarget, got {other:?}"),
+    }
+}
+
+/// Overwriting the first instruction of a function with a binary op
+/// makes the entry stack underflow; the structural verifier rejects it.
+#[test]
+fn stack_underflow_is_rejected() {
+    let mut p = build("NumHeapSort");
+    // main's body starts with an empty stack; IAdd needs two values
+    let entry = p.entry.0 as usize;
+    p.functions[entry].code[0] = Instr::IAdd;
+    match verify(&p) {
+        Err(VmError::Verify { at: 0, .. }) => {}
+        other => panic!("expected Verify at 0, got {other:?}"),
+    }
+}
+
+/// Replacing an integer constant feeding an integer multiply with a
+/// float constant is well-formed stack-wise but ill-kinded; only the
+/// kind checker catches it.
+#[test]
+fn float_into_int_multiply_is_rejected_by_kind_checker() {
+    let mut p = build("IDEA");
+    let (fid, at) = p
+        .functions
+        .iter()
+        .enumerate()
+        .find_map(|(fi, f)| {
+            f.code
+                .windows(2)
+                .position(|w| matches!(w, [Instr::IConst(_), Instr::IMul]))
+                .map(|at| (fi, at))
+        })
+        .expect("suite code has IConst directly feeding IMul");
+    p.functions[fid].code[at] = Instr::FConst(1.5);
+
+    // stack depths are unchanged, so the structural verifier still
+    // accepts the program...
+    verify(&p).expect("mutation preserves stack discipline");
+    // ...but the kinds are wrong at the multiply
+    match verify_kinds(&p) {
+        Err(VmError::KindMismatch {
+            func,
+            at: err_at,
+            expected,
+            found,
+        }) => {
+            assert_eq!(func, fid as u16);
+            assert_eq!(err_at as usize, at + 1);
+            assert_eq!(expected, "int");
+            assert_eq!(found, "float");
+        }
+        other => panic!("expected KindMismatch, got {other:?}"),
+    }
+}

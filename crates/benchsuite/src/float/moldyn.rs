@@ -72,7 +72,15 @@ pub fn build(size: DataSize) -> Program {
                             })
                             .fsub()
                             .st(s);
-                            f.ld(r2).ld(r2).fmul().ld(s).ld(s).fmul().fadd().cf(0.01).fadd();
+                            f.ld(r2)
+                                .ld(r2)
+                                .fmul()
+                                .ld(s)
+                                .ld(s)
+                                .fmul()
+                                .fadd()
+                                .cf(0.01)
+                                .fadd();
                             f.st(r2);
                             // within cutoff: f += (1/r2 - 0.5) * d
                             f.if_fcmp(

@@ -80,7 +80,15 @@ pub fn build(size: DataSize) -> Program {
             f.putfield(1);
             f.ld(c).ld(i).ci(7).irem().ci(1).iadd().putfield(2);
             f.ld(c).ld(i).ci(13).irem().putfield(3);
-            f.ld(c).ld(i).ci(5).imul().ci(3).iadd().ci(10).irem().putfield(4);
+            f.ld(c)
+                .ld(i)
+                .ci(5)
+                .imul()
+                .ci(3)
+                .iadd()
+                .ci(10)
+                .irem()
+                .putfield(4);
             f.arr_set(
                 cons,
                 |f| {

@@ -45,8 +45,7 @@ pub fn build(size: DataSize) -> Program {
         let n_nodes = (1 << (DEPTH + 1)) - 1;
         let (left, right, chr) = (f.local(), f.local(), f.local());
         let (input, out) = (f.local(), f.local());
-        let (i, n, in_p, out_p, sum) =
-            (f.local(), f.local(), f.local(), f.local(), f.local());
+        let (i, n, in_p, out_p, sum) = (f.local(), f.local(), f.local(), f.local(), f.local());
 
         new_int_array(f, left, n_nodes);
         new_int_array(f, right, n_nodes);

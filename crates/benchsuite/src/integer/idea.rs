@@ -108,7 +108,14 @@ pub fn build(size: DataSize) -> Program {
                     .call(mulmod)
                     .st(x3);
                 // MA mixing: t = mulmod(x0 ^ x2, x1 ^ x3); swap halves
-                f.ld(x0).ld(x2).ixor().ld(x1).ld(x3).ixor().call(mulmod).st(t);
+                f.ld(x0)
+                    .ld(x2)
+                    .ixor()
+                    .ld(x1)
+                    .ld(x3)
+                    .ixor()
+                    .call(mulmod)
+                    .st(t);
                 f.ld(x1).ld(t).ixor().ci(0xFFFF).iand().st(x1);
                 f.ld(x2).ld(t).ixor().ci(0xFFFF).iand().st(x2);
                 // swap x1 <-> x2

@@ -35,13 +35,13 @@ fn guest_program(n: i64) -> Vec<G> {
         G(OP_ADDI, 1, 0, n - 1), // 0: r1 = n-1
         G(OP_ADDI, 3, 0, 3),     // 1: r3 = 3
         // loop:
-        G(OP_LW, 2, 1, 0),   // 2: r2 = mem[r1]
-        G(OP_MUL, 2, 2, 3),  // 3: r2 = r2 * r3
-        G(OP_ADD, 2, 2, 1),  // 4: r2 = r2 + r1
-        G(OP_SW, 2, 1, 64),  // 5: mem[r1 + 64] = r2
+        G(OP_LW, 2, 1, 0),    // 2: r2 = mem[r1]
+        G(OP_MUL, 2, 2, 3),   // 3: r2 = r2 * r3
+        G(OP_ADD, 2, 2, 1),   // 4: r2 = r2 + r1
+        G(OP_SW, 2, 1, 64),   // 5: mem[r1 + 64] = r2
         G(OP_ADDI, 1, 1, -1), // 6: r1 = r1 - 1
-        G(OP_BNE, 1, 0, 2),  // 7: if r1 != r0 goto 2
-        G(OP_HALT, 0, 0, 0), // 8
+        G(OP_BNE, 1, 0, 2),   // 7: if r1 != r0 goto 2
+        G(OP_HALT, 0, 0, 0),  // 8
     ]
 }
 

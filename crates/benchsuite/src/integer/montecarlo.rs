@@ -39,8 +39,26 @@ pub fn build(size: DataSize) -> Program {
                 f.ld(h).ld(k).iadd();
                 hash_top(f);
                 f.st(h);
-                f.ld(x).ld(h).ci(40).iushr().ci(1024).irem().iadd().ci(512).isub().st(x);
-                f.ld(y).ld(h).ci(50).iushr().ci(1024).irem().iadd().ci(512).isub().st(y);
+                f.ld(x)
+                    .ld(h)
+                    .ci(40)
+                    .iushr()
+                    .ci(1024)
+                    .irem()
+                    .iadd()
+                    .ci(512)
+                    .isub()
+                    .st(x);
+                f.ld(y)
+                    .ld(h)
+                    .ci(50)
+                    .iushr()
+                    .ci(1024)
+                    .irem()
+                    .iadd()
+                    .ci(512)
+                    .isub()
+                    .st(y);
             });
             // clamp into [0, SCALE)
             f.ld(x).ci(0).imax().ci(SCALE - 1).imin().st(x);

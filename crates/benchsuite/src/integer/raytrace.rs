@@ -20,13 +20,7 @@ pub fn build(size: DataSize) -> Program {
 
     let main = b.function("main", 0, true, |f| {
         // sphere arrays: cx, cy, cz, r
-        let (sx, sy, sz, sr, img) = (
-            f.local(),
-            f.local(),
-            f.local(),
-            f.local(),
-            f.local(),
-        );
+        let (sx, sy, sz, sr, img) = (f.local(), f.local(), f.local(), f.local(), f.local());
         let (px, py, s, i) = (f.local(), f.local(), f.local(), f.local());
         let (dx, dy, dz, inv) = (f.local(), f.local(), f.local(), f.local());
         let (bq, cq, disc, t, best, hit) = (
@@ -37,13 +31,7 @@ pub fn build(size: DataSize) -> Program {
             f.local(),
             f.local(),
         );
-        let (nx, ny2, nz, lit, shade) = (
-            f.local(),
-            f.local(),
-            f.local(),
-            f.local(),
-            f.local(),
-        );
+        let (nx, ny2, nz, lit, shade) = (f.local(), f.local(), f.local(), f.local(), f.local());
         let sum = f.local();
         new_float_array(f, sx, n_spheres);
         new_float_array(f, sy, n_spheres);
@@ -78,11 +66,33 @@ pub fn build(size: DataSize) -> Program {
         f.for_in(py, 0.into(), height.into(), |f| {
             f.for_in(px, 0.into(), width.into(), |f| {
                 // ray direction through the pixel (camera at origin)
-                f.ld(px).i2f().cf(width as f64 / 2.0).fsub().cf(width as f64).fdiv().st(dx);
-                f.ld(py).i2f().cf(height as f64 / 2.0).fsub().cf(height as f64).fdiv().st(dy);
+                f.ld(px)
+                    .i2f()
+                    .cf(width as f64 / 2.0)
+                    .fsub()
+                    .cf(width as f64)
+                    .fdiv()
+                    .st(dx);
+                f.ld(py)
+                    .i2f()
+                    .cf(height as f64 / 2.0)
+                    .fsub()
+                    .cf(height as f64)
+                    .fdiv()
+                    .st(dy);
                 f.cf(1.0).st(dz);
                 // normalize
-                f.ld(dx).ld(dx).fmul().ld(dy).ld(dy).fmul().fadd().ld(dz).ld(dz).fmul().fadd();
+                f.ld(dx)
+                    .ld(dx)
+                    .fmul()
+                    .ld(dy)
+                    .ld(dy)
+                    .fmul()
+                    .fadd()
+                    .ld(dz)
+                    .ld(dz)
+                    .fmul()
+                    .fadd();
                 f.fsqrt().st(inv);
                 f.ld(dx).ld(inv).fdiv().st(dx);
                 f.ld(dy).ld(inv).fdiv().st(dy);
@@ -173,21 +183,42 @@ pub fn build(size: DataSize) -> Program {
                     },
                     |f| {
                         // hit point p = t*dir; normal n = (p - c)/r
-                        f.ld(best).ld(dx).fmul().arr_get(sx, |f| {
-                            f.ld(hit);
-                        }).fsub().arr_get(sr, |f| {
-                            f.ld(hit);
-                        }).fdiv().st(nx);
-                        f.ld(best).ld(dy).fmul().arr_get(sy, |f| {
-                            f.ld(hit);
-                        }).fsub().arr_get(sr, |f| {
-                            f.ld(hit);
-                        }).fdiv().st(ny2);
-                        f.ld(best).ld(dz).fmul().arr_get(sz, |f| {
-                            f.ld(hit);
-                        }).fsub().arr_get(sr, |f| {
-                            f.ld(hit);
-                        }).fdiv().st(nz);
+                        f.ld(best)
+                            .ld(dx)
+                            .fmul()
+                            .arr_get(sx, |f| {
+                                f.ld(hit);
+                            })
+                            .fsub()
+                            .arr_get(sr, |f| {
+                                f.ld(hit);
+                            })
+                            .fdiv()
+                            .st(nx);
+                        f.ld(best)
+                            .ld(dy)
+                            .fmul()
+                            .arr_get(sy, |f| {
+                                f.ld(hit);
+                            })
+                            .fsub()
+                            .arr_get(sr, |f| {
+                                f.ld(hit);
+                            })
+                            .fdiv()
+                            .st(ny2);
+                        f.ld(best)
+                            .ld(dz)
+                            .fmul()
+                            .arr_get(sz, |f| {
+                                f.ld(hit);
+                            })
+                            .fsub()
+                            .arr_get(sr, |f| {
+                                f.ld(hit);
+                            })
+                            .fdiv()
+                            .st(nz);
                         // light direction is (0,-1,0): lambert = max(0, -ny)
                         f.ld(ny2).fneg().cf(0.0).fmax().st(shade);
                         // shadow ray: any other sphere above the hit
@@ -214,9 +245,14 @@ pub fn build(size: DataSize) -> Program {
                                             f.if_fcmp(
                                                 Cond::Lt,
                                                 |f| {
-                                                    f.ld(best).ld(dx).fmul().arr_get(sx, |f| {
-                                                        f.ld(s);
-                                                    }).fsub().fabs();
+                                                    f.ld(best)
+                                                        .ld(dx)
+                                                        .fmul()
+                                                        .arr_get(sx, |f| {
+                                                            f.ld(s);
+                                                        })
+                                                        .fsub()
+                                                        .fabs();
                                                     f.arr_get(sr, |f| {
                                                         f.ld(s);
                                                     });
@@ -241,7 +277,15 @@ pub fn build(size: DataSize) -> Program {
                         );
                         // pixel = ambient + diffuse, distance-attenuated
                         f.cf(40.0).ld(shade).cf(215.0).fmul().fadd();
-                        f.ld(best).cf(4.0).fmul().fsub().cf(0.0).fmax().cf(255.0).fmin().f2i();
+                        f.ld(best)
+                            .cf(4.0)
+                            .fmul()
+                            .fsub()
+                            .cf(0.0)
+                            .fmax()
+                            .cf(255.0)
+                            .fmin()
+                            .f2i();
                     },
                     |f| {
                         f.ci(16); // background

@@ -56,9 +56,25 @@ pub fn build(size: DataSize) -> Program {
             f.for_in(py, 0.into(), MB.into(), |f| {
                 f.for_in(px, 0.into(), MB.into(), |f| {
                     // source pixel with clamped coordinates
-                    f.ld(mb).ci(mbx).irem().ci(MB).imul().ld(px).iadd().ld(dx).iadd();
+                    f.ld(mb)
+                        .ci(mbx)
+                        .irem()
+                        .ci(MB)
+                        .imul()
+                        .ld(px)
+                        .iadd()
+                        .ld(dx)
+                        .iadd();
                     f.ci(0).imax().ci(w - 1).imin().st(sx);
-                    f.ld(mb).ci(mbx).idiv().ci(MB).imul().ld(py).iadd().ld(dy).iadd();
+                    f.ld(mb)
+                        .ci(mbx)
+                        .idiv()
+                        .ci(MB)
+                        .imul()
+                        .ld(py)
+                        .iadd()
+                        .ld(dy)
+                        .iadd();
                     f.ci(0).imax().ci(h - 1).imin().st(sy);
                     // cur = clamp(ref[sy][sx] + resid - 16)
                     f.arr_set(

@@ -17,13 +17,7 @@ pub fn build(size: DataSize) -> Program {
 
     let main = b.function("main", 0, true, |f| {
         let (samples, window, synth, pcm) = (f.local(), f.local(), f.local(), f.local());
-        let (g, sb, k, acc, sum) = (
-            f.local(),
-            f.local(),
-            f.local(),
-            f.local(),
-            f.local(),
-        );
+        let (g, sb, k, acc, sum) = (f.local(), f.local(), f.local(), f.local(), f.local());
         new_float_array(f, samples, granules * SUBBANDS);
         new_float_array(f, window, 512);
         new_float_array(f, synth, SUBBANDS * SUBBANDS);

@@ -34,7 +34,15 @@ pub fn build(size: DataSize) -> Program {
             f.for_in(r, 0.into(), 8.into(), |f| {
                 f.for_in(c, 0.into(), 4.into(), |f| {
                     f.arr_get(coeffs, |f| {
-                        f.ld(blk).ci(64).imul().ld(r).ci(8).imul().iadd().ld(c).iadd();
+                        f.ld(blk)
+                            .ci(64)
+                            .imul()
+                            .ld(r)
+                            .ci(8)
+                            .imul()
+                            .iadd()
+                            .ld(c)
+                            .iadd();
                     })
                     .st(t0);
                     f.arr_get(coeffs, |f| {
@@ -54,7 +62,15 @@ pub fn build(size: DataSize) -> Program {
                     f.arr_set(
                         coeffs,
                         |f| {
-                            f.ld(blk).ci(64).imul().ld(r).ci(8).imul().iadd().ld(c).iadd();
+                            f.ld(blk)
+                                .ci(64)
+                                .imul()
+                                .ld(r)
+                                .ci(8)
+                                .imul()
+                                .iadd()
+                                .ld(c)
+                                .iadd();
                         },
                         |f| {
                             f.ld(t0).ld(t1).iadd();
@@ -85,7 +101,15 @@ pub fn build(size: DataSize) -> Program {
             f.for_in(c, 0.into(), 8.into(), |f| {
                 f.for_in(r, 0.into(), 4.into(), |f| {
                     f.arr_get(coeffs, |f| {
-                        f.ld(blk).ci(64).imul().ld(r).ci(8).imul().iadd().ld(c).iadd();
+                        f.ld(blk)
+                            .ci(64)
+                            .imul()
+                            .ld(r)
+                            .ci(8)
+                            .imul()
+                            .iadd()
+                            .ld(c)
+                            .iadd();
                     })
                     .st(t0);
                     f.arr_get(coeffs, |f| {
@@ -105,7 +129,15 @@ pub fn build(size: DataSize) -> Program {
                     f.arr_set(
                         coeffs,
                         |f| {
-                            f.ld(blk).ci(64).imul().ld(r).ci(8).imul().iadd().ld(c).iadd();
+                            f.ld(blk)
+                                .ci(64)
+                                .imul()
+                                .ld(r)
+                                .ci(8)
+                                .imul()
+                                .iadd()
+                                .ld(c)
+                                .iadd();
                         },
                         |f| {
                             f.ld(t0).ld(t1).iadd().ci(1).ishr();

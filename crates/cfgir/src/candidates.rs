@@ -3,6 +3,7 @@
 use crate::cfg::Cfg;
 use crate::dom::Dominators;
 use crate::loops::LoopForest;
+use crate::memdep::analyze_loop;
 use crate::scalar::{classify, LocalClasses};
 use std::collections::BTreeSet;
 use tvm::isa::LoopId;
@@ -37,6 +38,21 @@ impl FunctionAnalysis {
     }
 }
 
+/// Verdict of the static memory-dependence pre-screen on a candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StaticVerdict {
+    /// No guaranteed cross-iteration RAW found: trace it.
+    #[default]
+    Clean,
+    /// A guaranteed cross-iteration RAW was proven: the loop keeps its
+    /// id (annotation filters may still select it explicitly) but the
+    /// pipeline skips tracing it by default.
+    Demoted {
+        /// Why tracing this loop would be wasted effort.
+        reason: String,
+    },
+}
+
 /// One candidate speculative thread loop.
 #[derive(Debug, Clone)]
 pub struct Candidate {
@@ -52,6 +68,15 @@ pub struct Candidate {
     pub height: u32,
     /// Nearest enclosing candidate in the same method, if any.
     pub parent: Option<LoopId>,
+    /// Result of the static memory-dependence pre-screen.
+    pub static_verdict: StaticVerdict,
+}
+
+impl Candidate {
+    /// True when the pre-screen proved a guaranteed serial dependence.
+    pub fn is_demoted(&self) -> bool {
+        matches!(self.static_verdict, StaticVerdict::Demoted { .. })
+    }
 }
 
 /// A loop that was found but rejected as an STL candidate.
@@ -122,6 +147,20 @@ impl ProgramCandidates {
             .collect()
     }
 
+    /// Ids of candidates the static pre-screen demoted.
+    pub fn demoted_ids(&self) -> BTreeSet<LoopId> {
+        self.candidates
+            .iter()
+            .filter(|c| c.is_demoted())
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Number of demoted candidates.
+    pub fn demoted_count(&self) -> usize {
+        self.candidates.iter().filter(|c| c.is_demoted()).count()
+    }
+
     /// The tracked locals of candidate `id` (the variables its
     /// annotations cover), in method slot order.
     pub fn tracked_vars(&self, id: LoopId) -> Vec<(u16, Local)> {
@@ -168,15 +207,11 @@ pub fn extract_candidates(program: &Program) -> ProgramCandidates {
         for (li, l) in forest.loops.iter().enumerate() {
             let c = &classes[li];
             if c.has_serializing_dependency() {
-                let vars: Vec<String> =
-                    c.serializing.iter().map(|v| format!("l{}", v.0)).collect();
+                let vars: Vec<String> = c.serializing.iter().map(|v| format!("l{}", v.0)).collect();
                 rejected.push(RejectedLoop {
                     func,
                     loop_idx: li,
-                    reason: format!(
-                        "serializing scalar dependency on {}",
-                        vars.join(", ")
-                    ),
+                    reason: format!("serializing scalar dependency on {}", vars.join(", ")),
                 });
                 continue;
             }
@@ -190,6 +225,14 @@ pub fn extract_candidates(program: &Program) -> ProgramCandidates {
                 }
                 up = forest.loops[pi].parent;
             }
+            // static memory-dependence pre-screen: a proven
+            // cross-iteration RAW means tracing cannot find
+            // parallelism, so demote (but keep the id dense)
+            let deps = analyze_loop(program, f, &cfg, &dom, l);
+            let static_verdict = match deps.first() {
+                None => StaticVerdict::Clean,
+                Some(d) => StaticVerdict::Demoted { reason: d.reason() },
+            };
             let id = LoopId(candidates.len() as u32);
             loop_to_candidate[li] = Some(id);
             candidates.push(Candidate {
@@ -199,6 +242,7 @@ pub fn extract_candidates(program: &Program) -> ProgramCandidates {
                 depth: l.depth,
                 height: l.height,
                 parent,
+                static_verdict,
             });
         }
 
@@ -306,6 +350,47 @@ mod tests {
         assert_eq!(outer.height, 2);
         assert_eq!(inner.height, 1);
         assert_eq!(c.max_static_depth(), 2);
+    }
+
+    #[test]
+    fn statically_serial_loop_is_demoted_but_keeps_dense_id() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global(tvm::ElemKind::Int);
+        let main = b.function("main", 0, false, |f| {
+            let (i, j, a) = (f.local(), f.local(), f.local());
+            f.ci(32).newarray(tvm::ElemKind::Int).st(a);
+            // loop 0: parallel
+            f.for_in(i, 0.into(), 32.into(), |f| {
+                f.arr_set(
+                    a,
+                    |f| {
+                        f.ld(i);
+                    },
+                    |f| {
+                        f.ld(i);
+                    },
+                );
+            });
+            // loop 1: guaranteed static recurrence
+            f.for_in(j, 0.into(), 32.into(), |f| {
+                f.getstatic(g).ci(3).imul().ci(1).iadd().putstatic(g);
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let c = extract_candidates(&p);
+        assert_eq!(c.candidates.len(), 2);
+        for (i, cand) in c.candidates.iter().enumerate() {
+            assert_eq!(cand.id, LoopId(i as u32));
+        }
+        assert_eq!(c.demoted_count(), 1);
+        let demoted = c.demoted_ids();
+        assert_eq!(demoted.len(), 1);
+        let d = c.candidate(*demoted.iter().next().unwrap());
+        assert!(matches!(
+            &d.static_verdict,
+            StaticVerdict::Demoted { reason } if reason.contains("static")
+        ));
     }
 
     #[test]

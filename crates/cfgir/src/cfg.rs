@@ -150,16 +150,8 @@ impl Cfg {
             }
         }
         for b in &mut kept {
-            b.succs = b
-                .succs
-                .iter()
-                .filter_map(|s| remap[s.0 as usize])
-                .collect();
-            b.preds = b
-                .preds
-                .iter()
-                .filter_map(|s| remap[s.0 as usize])
-                .collect();
+            b.succs = b.succs.iter().filter_map(|s| remap[s.0 as usize]).collect();
+            b.preds = b.preds.iter().filter_map(|s| remap[s.0 as usize]).collect();
         }
         for slot in &mut self.block_of_instr {
             *slot = slot.and_then(|b| remap[b.0 as usize]);

@@ -26,10 +26,7 @@ impl Dominators {
         let undefined = BlockId(u32::MAX);
         let mut idom = vec![undefined; n];
         if n == 0 {
-            return Dominators {
-                idom,
-                rpo_number,
-            };
+            return Dominators { idom, rpo_number };
         }
         idom[0] = BlockId(0);
 

@@ -45,12 +45,18 @@
 
 pub mod candidates;
 pub mod cfg;
+pub mod dataflow;
 pub mod dom;
 pub mod loops;
+pub mod memdep;
 pub mod scalar;
 
-pub use candidates::{extract_candidates, Candidate, FunctionAnalysis, ProgramCandidates};
+pub use candidates::{
+    extract_candidates, Candidate, FunctionAnalysis, ProgramCandidates, StaticVerdict,
+};
 pub use cfg::{Block, BlockId, Cfg};
+pub use dataflow::{solve, Analysis, BitSet, Direction, Liveness, ReachingDefs, Solution};
 pub use dom::Dominators;
 pub use loops::{LoopForest, NaturalLoop};
+pub use memdep::{analyze_loop, GuaranteedDep};
 pub use scalar::LocalClasses;

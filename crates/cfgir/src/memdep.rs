@@ -1,0 +1,606 @@
+//! Static memory-dependence pre-screen for candidate STLs.
+//!
+//! The TEST approach (paper §3) is optimistic: the compiler proposes
+//! every natural loop and lets the hardware tracer measure actual
+//! memory dependences. That wastes tracer time on loops whose serial
+//! nature is *statically obvious* — a running sum through a static, a
+//! linked accumulator field, or an array recurrence like
+//! `a[i] = a[i-1] + ...`. This module proves a small class of
+//! **guaranteed cross-iteration RAW dependences** over the symbolic
+//! form `base + inductor*scale + offset` of each address; loops with a
+//! proven dependence are demoted before annotation so the tracing
+//! pipeline never spends a profiling run on them.
+//!
+//! The screen only ever *demotes* with proof in hand; anything it
+//! cannot model (calls, aliased bases, non-affine indices) stays a
+//! candidate, preserving the paper's optimism.
+
+use crate::cfg::{BlockId, Cfg};
+use crate::dom::Dominators;
+use crate::loops::NaturalLoop;
+use tvm::isa::{GlobalId, Instr, Local};
+use tvm::program::{Function, Program};
+use tvm::verify::stack_effect;
+
+/// Symbolic value of one operand-stack slot, relative to a loop
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sym {
+    /// Not representable in this domain.
+    Unknown,
+    /// A compile-time integer constant.
+    Const(i64),
+    /// The value of a local with no definition inside the loop.
+    Invariant(Local),
+    /// `inductor * scale + offset`, the affine form of array indices.
+    Affine { ind: Local, scale: i64, offset: i64 },
+}
+
+impl Sym {
+    fn add(self, other: Sym) -> Sym {
+        match (self, other) {
+            (Sym::Const(a), Sym::Const(b)) => Sym::Const(a.wrapping_add(b)),
+            (Sym::Affine { ind, scale, offset }, Sym::Const(c))
+            | (Sym::Const(c), Sym::Affine { ind, scale, offset }) => Sym::Affine {
+                ind,
+                scale,
+                offset: offset.wrapping_add(c),
+            },
+            _ => Sym::Unknown,
+        }
+    }
+
+    fn sub(self, other: Sym) -> Sym {
+        match (self, other) {
+            (Sym::Const(a), Sym::Const(b)) => Sym::Const(a.wrapping_sub(b)),
+            (Sym::Affine { ind, scale, offset }, Sym::Const(c)) => Sym::Affine {
+                ind,
+                scale,
+                offset: offset.wrapping_sub(c),
+            },
+            _ => Sym::Unknown,
+        }
+    }
+
+    fn mul(self, other: Sym) -> Sym {
+        match (self, other) {
+            (Sym::Const(a), Sym::Const(b)) => Sym::Const(a.wrapping_mul(b)),
+            (Sym::Affine { ind, scale, offset }, Sym::Const(c))
+            | (Sym::Const(c), Sym::Affine { ind, scale, offset }) => Sym::Affine {
+                ind,
+                scale: scale.wrapping_mul(c),
+                offset: offset.wrapping_mul(c),
+            },
+            _ => Sym::Unknown,
+        }
+    }
+}
+
+/// What the dependent accesses go through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepKind {
+    /// Load and store of the same static variable every iteration.
+    Static(GlobalId),
+    /// Load and store of the same field of a loop-invariant object.
+    Field {
+        /// Local holding the object reference.
+        base: Local,
+        /// Field slot index.
+        field: u16,
+    },
+    /// `a[i*s + o1]` read after `a[i*s + o2]` written `distance`
+    /// iterations earlier.
+    Array {
+        /// Local holding the array reference.
+        base: Local,
+    },
+}
+
+/// A proven cross-iteration read-after-write dependence: every
+/// iteration's load observes a value stored by an earlier iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuaranteedDep {
+    /// The memory channel the dependence flows through.
+    pub kind: DepKind,
+    /// Instruction index of the dependent load.
+    pub load_at: u32,
+    /// Instruction index of the store feeding it.
+    pub store_at: u32,
+    /// Dependence distance in iterations (1 = loop-carried from the
+    /// immediately preceding iteration).
+    pub distance: u32,
+}
+
+impl GuaranteedDep {
+    /// Human-readable reason used in diagnostics and lint output.
+    pub fn reason(&self) -> String {
+        match &self.kind {
+            DepKind::Static(g) => format!(
+                "static g{} is read then rewritten every iteration (distance {})",
+                g.0, self.distance
+            ),
+            DepKind::Field { base, field } => format!(
+                "field #{} of the object in local {} is read then rewritten \
+                 every iteration (distance {})",
+                field, base.0, self.distance
+            ),
+            DepKind::Array { base } => format!(
+                "array in local {} has a guaranteed recurrence at distance {}",
+                base.0, self.distance
+            ),
+        }
+    }
+}
+
+/// One memory access observed with symbolic operands.
+#[derive(Debug, Clone)]
+enum Access {
+    StaticLoad(GlobalId),
+    StaticStore(GlobalId),
+    FieldLoad { base: Sym, field: u16 },
+    FieldStore { base: Sym, field: u16 },
+    ArrayLoad { base: Sym, index: Sym },
+    ArrayStore { base: Sym, index: Sym },
+}
+
+#[derive(Debug, Clone)]
+struct AccessSite {
+    block: BlockId,
+    instr: u32,
+    access: Access,
+}
+
+/// Finds locals acting as inductors of `lp` and their net step per
+/// iteration: every in-loop definition must be an `IInc` whose block
+/// dominates all latches (so it executes exactly once per iteration).
+fn inductor_steps(
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    lp: &NaturalLoop,
+) -> Vec<(Local, i64)> {
+    let n_locals = usize::from(f.n_locals);
+    let mut incs: Vec<Vec<(BlockId, i64)>> = vec![Vec::new(); n_locals];
+    let mut disqualified = vec![false; n_locals];
+    for &b in &lp.blocks {
+        for i in cfg.instrs_of(b) {
+            match &f.code[i as usize] {
+                Instr::Store(l) => disqualified[usize::from(l.0)] = true,
+                Instr::IInc(l, c) => incs[usize::from(l.0)].push((b, i64::from(*c))),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (l, sites) in incs.iter().enumerate() {
+        if disqualified[l] || sites.is_empty() {
+            continue;
+        }
+        let every_iteration = sites
+            .iter()
+            .all(|&(b, _)| lp.latches.iter().all(|&latch| dom.dominates(b, latch)));
+        if every_iteration {
+            let step: i64 = sites.iter().map(|&(_, c)| c).sum();
+            out.push((Local(l as u16), step));
+        }
+    }
+    out
+}
+
+/// Locals never written inside `lp`.
+fn invariant_locals(f: &Function, cfg: &Cfg, lp: &NaturalLoop) -> Vec<bool> {
+    let mut invariant = vec![true; usize::from(f.n_locals)];
+    for &b in &lp.blocks {
+        for i in cfg.instrs_of(b) {
+            if let Instr::Store(l) | Instr::IInc(l, _) = &f.code[i as usize] {
+                invariant[usize::from(l.0)] = false;
+            }
+        }
+    }
+    invariant
+}
+
+/// Symbolically executes every block of the loop (entry stack unknown)
+/// and records each memory access with its operands' symbolic values.
+fn collect_accesses(
+    program: &Program,
+    f: &Function,
+    cfg: &Cfg,
+    lp: &NaturalLoop,
+    inductors: &[(Local, i64)],
+    invariant: &[bool],
+) -> Vec<AccessSite> {
+    let is_inductor = |l: Local| inductors.iter().any(|&(i, _)| i == l);
+    let mut sites = Vec::new();
+    for &b in &lp.blocks {
+        let mut stack: Vec<Sym> = Vec::new();
+        let pop = |stack: &mut Vec<Sym>| stack.pop().unwrap_or(Sym::Unknown);
+        for i in cfg.instrs_of(b) {
+            let instr = &f.code[i as usize];
+            match instr {
+                Instr::IConst(c) => stack.push(Sym::Const(*c)),
+                Instr::Load(l) => {
+                    let v = if is_inductor(*l) {
+                        Sym::Affine {
+                            ind: *l,
+                            scale: 1,
+                            offset: 0,
+                        }
+                    } else if invariant.get(usize::from(l.0)).copied().unwrap_or(false) {
+                        Sym::Invariant(*l)
+                    } else {
+                        Sym::Unknown
+                    };
+                    stack.push(v);
+                }
+                Instr::Store(_) => {
+                    pop(&mut stack);
+                }
+                Instr::IAdd => {
+                    let (y, x) = (pop(&mut stack), pop(&mut stack));
+                    stack.push(x.add(y));
+                }
+                Instr::ISub => {
+                    let (y, x) = (pop(&mut stack), pop(&mut stack));
+                    stack.push(x.sub(y));
+                }
+                Instr::IMul => {
+                    let (y, x) = (pop(&mut stack), pop(&mut stack));
+                    stack.push(x.mul(y));
+                }
+                Instr::Dup => {
+                    let t = stack.last().copied().unwrap_or(Sym::Unknown);
+                    stack.push(t);
+                }
+                Instr::Swap => {
+                    let (y, x) = (pop(&mut stack), pop(&mut stack));
+                    stack.push(y);
+                    stack.push(x);
+                }
+                Instr::GetStatic(g) => {
+                    sites.push(AccessSite {
+                        block: b,
+                        instr: i,
+                        access: Access::StaticLoad(*g),
+                    });
+                    stack.push(Sym::Unknown);
+                }
+                Instr::PutStatic(g) => {
+                    pop(&mut stack);
+                    sites.push(AccessSite {
+                        block: b,
+                        instr: i,
+                        access: Access::StaticStore(*g),
+                    });
+                }
+                Instr::GetField(fi) => {
+                    let base = pop(&mut stack);
+                    sites.push(AccessSite {
+                        block: b,
+                        instr: i,
+                        access: Access::FieldLoad { base, field: *fi },
+                    });
+                    stack.push(Sym::Unknown);
+                }
+                Instr::PutField(fi) => {
+                    pop(&mut stack); // value
+                    let base = pop(&mut stack);
+                    sites.push(AccessSite {
+                        block: b,
+                        instr: i,
+                        access: Access::FieldStore { base, field: *fi },
+                    });
+                }
+                Instr::ALoad => {
+                    let index = pop(&mut stack);
+                    let base = pop(&mut stack);
+                    sites.push(AccessSite {
+                        block: b,
+                        instr: i,
+                        access: Access::ArrayLoad { base, index },
+                    });
+                    stack.push(Sym::Unknown);
+                }
+                Instr::AStore => {
+                    pop(&mut stack); // value
+                    let index = pop(&mut stack);
+                    let base = pop(&mut stack);
+                    sites.push(AccessSite {
+                        block: b,
+                        instr: i,
+                        access: Access::ArrayStore { base, index },
+                    });
+                }
+                other => {
+                    // generic fallback: apply the instruction's stack
+                    // arity, producing unknowns
+                    if let Ok((pops, pushes)) = stack_effect(program, other) {
+                        for _ in 0..pops {
+                            pop(&mut stack);
+                        }
+                        for _ in 0..pushes {
+                            stack.push(Sym::Unknown);
+                        }
+                    } else {
+                        stack.clear();
+                    }
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// True when `load` is guaranteed to execute before `store` within a
+/// single iteration (same block with smaller index, or in a block that
+/// strictly dominates the store's block).
+fn load_precedes_store(dom: &Dominators, load: &AccessSite, store: &AccessSite) -> bool {
+    if load.block == store.block {
+        load.instr < store.instr
+    } else {
+        dom.dominates(load.block, store.block)
+    }
+}
+
+/// True when `site` executes on every iteration (its block dominates
+/// every latch of the loop).
+fn every_iteration(dom: &Dominators, lp: &NaturalLoop, site: &AccessSite) -> bool {
+    lp.latches
+        .iter()
+        .all(|&latch| dom.dominates(site.block, latch))
+}
+
+/// Scans one loop for guaranteed cross-iteration RAW dependences.
+///
+/// Three shapes are proven (anything else is left alone):
+///
+/// 1. **static recurrence** — `GetStatic g` before `PutStatic g`, both
+///    on every iteration: iteration *n* reads what *n−1* wrote;
+/// 2. **field recurrence** — the same through a field of an object
+///    whose reference sits in a loop-invariant local;
+/// 3. **array recurrence** — `a[i*s + o_l]` read and `a[i*s + o_s]`
+///    written every iteration with the same invariant base and the
+///    same inductor: with step `c` per iteration, the store of
+///    iteration *n* is re-read `(o_s − o_l) / (s·c)` iterations later;
+///    a positive integral distance proves the RAW. Ordering within the
+///    iteration is irrelevant because the two addresses differ
+///    whenever the distance is nonzero.
+pub fn analyze_loop(
+    program: &Program,
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    lp: &NaturalLoop,
+) -> Vec<GuaranteedDep> {
+    let inductors = inductor_steps(f, cfg, dom, lp);
+    let invariant = invariant_locals(f, cfg, lp);
+    let sites = collect_accesses(program, f, cfg, lp, &inductors, &invariant);
+    let step_of = |l: Local| {
+        inductors
+            .iter()
+            .find(|&&(i, _)| i == l)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    };
+
+    let mut deps = Vec::new();
+    for load in &sites {
+        if !every_iteration(dom, lp, load) {
+            continue;
+        }
+        for store in &sites {
+            if !every_iteration(dom, lp, store) {
+                continue;
+            }
+            let dep = match (&load.access, &store.access) {
+                (Access::StaticLoad(gl), Access::StaticStore(gs)) if gl == gs => {
+                    load_precedes_store(dom, load, store).then_some(GuaranteedDep {
+                        kind: DepKind::Static(*gl),
+                        load_at: load.instr,
+                        store_at: store.instr,
+                        distance: 1,
+                    })
+                }
+                (
+                    Access::FieldLoad {
+                        base: Sym::Invariant(bl),
+                        field: fl,
+                    },
+                    Access::FieldStore {
+                        base: Sym::Invariant(bs),
+                        field: fs,
+                    },
+                ) if bl == bs && fl == fs => {
+                    load_precedes_store(dom, load, store).then_some(GuaranteedDep {
+                        kind: DepKind::Field {
+                            base: *bl,
+                            field: *fl,
+                        },
+                        load_at: load.instr,
+                        store_at: store.instr,
+                        distance: 1,
+                    })
+                }
+                (
+                    Access::ArrayLoad {
+                        base: Sym::Invariant(bl),
+                        index:
+                            Sym::Affine {
+                                ind: il,
+                                scale: sl,
+                                offset: ol,
+                            },
+                    },
+                    Access::ArrayStore {
+                        base: Sym::Invariant(bs),
+                        index:
+                            Sym::Affine {
+                                ind: is_,
+                                scale: ss,
+                                offset: os,
+                            },
+                    },
+                ) if bl == bs && il == is_ && sl == ss => {
+                    let per_iter = sl.checked_mul(step_of(*il)).unwrap_or(0);
+                    if per_iter != 0 && (os - ol) % per_iter == 0 {
+                        let d = (os - ol) / per_iter;
+                        (d >= 1).then_some(GuaranteedDep {
+                            kind: DepKind::Array { base: *bl },
+                            load_at: load.instr,
+                            store_at: store.instr,
+                            distance: d as u32,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some(d) = dep {
+                deps.push(d);
+            }
+        }
+    }
+    // one proof per channel is enough; keep the first per (kind)
+    deps.dedup_by(|a, b| a.kind == b.kind);
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::LoopForest;
+    use tvm::ElemKind;
+    use tvm::ProgramBuilder;
+
+    fn analyze(p: &Program) -> Vec<GuaranteedDep> {
+        let f = &p.functions[0];
+        let cfg = Cfg::build(f);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        assert_eq!(forest.len(), 1, "test programs must have one loop");
+        analyze_loop(p, f, &cfg, &dom, &forest.loops[0])
+    }
+
+    #[test]
+    fn static_recurrence_is_proven() {
+        // g = g * 5 + 1 every iteration
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let main = b.function("main", 0, false, |f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 10.into(), |f| {
+                f.getstatic(g).ci(5).imul().ci(1).iadd().putstatic(g);
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let deps = analyze(&p);
+        assert_eq!(deps.len(), 1);
+        assert!(matches!(deps[0].kind, DepKind::Static(_)));
+        assert_eq!(deps[0].distance, 1);
+    }
+
+    #[test]
+    fn array_recurrence_is_proven() {
+        // a[i] = a[i-1] + 1
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let a = f.local();
+            let i = f.local();
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 1.into(), 64.into(), |f| {
+                f.ld(a).ld(i); // store address a[i]
+                f.ld(a).ld(i).ci(1).isub().aload(); // a[i-1]
+                f.ci(1).iadd();
+                f.astore();
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let deps = analyze(&p);
+        assert_eq!(deps.len(), 1, "got {deps:?}");
+        assert!(matches!(deps[0].kind, DepKind::Array { .. }));
+        assert_eq!(deps[0].distance, 1);
+    }
+
+    #[test]
+    fn independent_array_loop_is_clean() {
+        // a[i] = i * 2: no cross-iteration flow
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let a = f.local();
+            let i = f.local();
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 64.into(), |f| {
+                f.ld(a).ld(i).ld(i).ci(2).imul().astore();
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        assert!(analyze(&p).is_empty());
+    }
+
+    #[test]
+    fn forward_distance_is_not_a_raw() {
+        // a[i] = a[i+1]: reads values the loop has not yet written
+        // (an anti-dependence, which speculation handles fine)
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let a = f.local();
+            let i = f.local();
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 63.into(), |f| {
+                f.ld(a).ld(i);
+                f.ld(a).ld(i).ci(1).iadd().aload();
+                f.astore();
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        assert!(analyze(&p).is_empty());
+    }
+
+    #[test]
+    fn guarded_store_is_not_guaranteed() {
+        // the putstatic only happens on some iterations: no proof
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let main = b.function("main", 0, false, |f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 10.into(), |f| {
+                f.if_icmp(
+                    tvm::isa::Cond::Gt,
+                    |f| {
+                        f.ld(i).ci(5);
+                    },
+                    |f| {
+                        f.getstatic(g).ci(1).iadd().putstatic(g);
+                    },
+                );
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        assert!(analyze(&p).is_empty());
+    }
+
+    #[test]
+    fn field_recurrence_is_proven() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.class(&[ElemKind::Int]);
+        let main = b.function("main", 0, false, |f| {
+            let o = f.local();
+            let i = f.local();
+            f.newobject(cls).st(o);
+            f.for_in(i, 0.into(), 10.into(), |f| {
+                f.ld(o).dup().getfield(0).ci(1).iadd().putfield(0);
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let deps = analyze(&p);
+        assert_eq!(deps.len(), 1, "got {deps:?}");
+        assert!(matches!(deps[0].kind, DepKind::Field { .. }));
+    }
+}

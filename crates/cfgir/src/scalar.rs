@@ -19,6 +19,7 @@
 //! Everything subtler is left to the TEST hardware to measure.
 
 use crate::cfg::{BlockId, Cfg};
+use crate::dataflow::{upward_exposed_in_loop, ReachingDefs};
 use crate::dom::Dominators;
 use crate::loops::LoopForest;
 use std::collections::{BTreeSet, HashMap};
@@ -222,9 +223,11 @@ pub fn classify(
             let Some(operands) = accop_operands.get(m) else {
                 continue 'vars;
             };
-            let load_operand = operands.iter().flatten().copied().find(|&p| {
-                matches!(f.code[p as usize], Instr::Load(w2) if w2 == v)
-            });
+            let load_operand = operands
+                .iter()
+                .flatten()
+                .copied()
+                .find(|&p| matches!(f.code[p as usize], Instr::Load(w2) if w2 == v));
             match load_operand {
                 Some(p) => {
                     reduction_loads.insert(p);
@@ -243,8 +246,10 @@ pub fn classify(
         }
     }
 
-    // block-local temporaries: every load is preceded by a same-block
-    // definition earlier in the block
+    // block-local temporaries: every in-loop load sees only defs from
+    // earlier in the same block. Decided with reaching definitions so
+    // the property holds along *all* paths, not just textual order.
+    let reaching = ReachingDefs::compute(f, cfg);
     let candidates: BTreeSet<Local> = c.loaded.union(&c.stored).copied().collect();
     'outer: for &v in &candidates {
         if c.inductors.contains(&v) || c.reductions.contains(&v) {
@@ -260,23 +265,26 @@ pub fn classify(
             if w != v {
                 continue;
             }
-            let block_start = cfg.blocks[b.0 as usize].start;
-            let defined_before = (block_start..idx).any(|j| {
-                matches!(f.code[j as usize],
-                    Instr::Store(w2) | Instr::IInc(w2, _) if w2 == v)
-            });
-            if !defined_before {
-                continue 'outer; // live into the block: not block-local
+            let defs = reaching.reaching_defs_of(cfg, b, idx, v);
+            let all_same_block = !defs.is_empty()
+                && defs
+                    .iter()
+                    .all(|d| d.site.is_some_and(|s| cfg.block_of(s) == Some(b)));
+            if !all_same_block {
+                continue 'outer; // a def from outside the block reaches
             }
         }
         c.block_local.insert(v);
     }
 
-    // iteration-private locals: a single plain store site dominates
-    // every read site within the loop, so each iteration overwrites
-    // the value before using it — no cross-iteration arc can exist
-    // and the speculative compiler privatizes the variable.
-    'priv_vars: for &v in &candidates {
+    // iteration-private locals: not upward-exposed within the loop —
+    // every path from the header writes the local before reading it,
+    // so no cross-iteration arc can exist and the speculative compiler
+    // privatizes the variable. (Liveness restricted to the loop body
+    // with back edges cut; strictly more precise than the former
+    // single-dominating-store rule.)
+    let exposed = upward_exposed_in_loop(f, cfg, l);
+    for &v in &candidates {
         if c.inductors.contains(&v)
             || c.reductions.contains(&v)
             || c.block_local.contains(&v)
@@ -285,33 +293,8 @@ pub fn classify(
         {
             continue;
         }
-        // read sites: plain loads plus the read half of IInc
-        let reads: Vec<(BlockId, u32)> = load_sites
-            .iter()
-            .filter(|&&(w, _, _)| w == v)
-            .map(|&(_, b, i)| (b, i))
-            .chain(
-                inc_sites
-                    .iter()
-                    .filter(|&&(w, _, _)| w == v)
-                    .map(|&(_, b, i)| (b, i)),
-            )
-            .collect();
-        for &(sv, sb, si) in &def_sites {
-            if sv != v {
-                continue;
-            }
-            let covers_all = reads.iter().all(|&(rb, ri)| {
-                if rb == sb {
-                    si < ri
-                } else {
-                    dom.dominates(sb, rb)
-                }
-            });
-            if covers_all {
-                c.iteration_private.insert(v);
-                continue 'priv_vars;
-            }
+        if !exposed.contains(usize::from(v.0)) {
+            c.iteration_private.insert(v);
         }
     }
 
@@ -320,10 +303,7 @@ pub fn classify(
     let header = l.header;
     let header_start = cfg.blocks[header.0 as usize].start;
     for &v in &candidates {
-        if c.inductors.contains(&v)
-            || c.reductions.contains(&v)
-            || c.block_local.contains(&v)
-        {
+        if c.inductors.contains(&v) || c.reductions.contains(&v) || c.block_local.contains(&v) {
             continue;
         }
         let first_load_in_header = load_sites

@@ -17,10 +17,7 @@ enum Shape {
 }
 
 fn arb_shape() -> impl Strategy<Value = Shape> {
-    let leaf = prop_oneof![
-        (1u8..4).prop_map(Shape::Work),
-        Just(Shape::Break),
-    ];
+    let leaf = prop_oneof![(1u8..4).prop_map(Shape::Work), Just(Shape::Break),];
     leaf.prop_recursive(3, 20, 3, |inner| {
         prop_oneof![
             (

@@ -1,0 +1,132 @@
+//! Structural edge cases for the CFG, dominator and loop analyses:
+//! self-loops, several back edges sharing one header, and unreachable
+//! code. The bodies are hand-written instruction sequences so the
+//! shapes are exact, not whatever the builder happens to emit.
+
+use cfgir::{BlockId, Cfg, Dominators, LoopForest};
+use tvm::isa::{Cond, Instr, Local};
+use tvm::program::Function;
+
+fn func(code: Vec<Instr>, n_locals: u16) -> Function {
+    Function {
+        name: "edge".into(),
+        n_params: 0,
+        n_locals,
+        returns: false,
+        code,
+    }
+}
+
+fn analyze(f: &Function) -> (Cfg, Dominators, LoopForest) {
+    let cfg = Cfg::build(f);
+    let dom = Dominators::compute(&cfg);
+    let forest = LoopForest::build(&cfg, &dom);
+    (cfg, dom, forest)
+}
+
+/// A single block that branches to itself: the tightest possible loop.
+/// Its header is its own latch, and it must dominate itself.
+#[test]
+fn self_loop_is_a_one_block_natural_loop() {
+    let f = func(
+        vec![
+            Instr::IConst(1),       // 0: leader, in-loop work
+            Instr::If(Cond::Ne, 0), // 1: back edge to instruction 0
+            Instr::ReturnVoid,      // 2
+        ],
+        0,
+    );
+    let (cfg, dom, forest) = analyze(&f);
+
+    assert_eq!(forest.len(), 1);
+    let l = &forest.loops[0];
+    assert_eq!(l.blocks.len(), 1, "self-loop spans exactly one block");
+    assert_eq!(l.latches, vec![l.header], "header is its own latch");
+    assert!(dom.dominates(l.header, l.header));
+    // the loop body must contain the branch instruction itself
+    let (start, end) = {
+        let b = &cfg.blocks[l.header.0 as usize];
+        (b.start, b.end)
+    };
+    assert!((start..end).contains(&1));
+}
+
+/// Two distinct latches branching back to the same header must merge
+/// into ONE natural loop with two latch blocks, not two loops.
+#[test]
+fn two_back_edges_one_header_merge_into_one_loop() {
+    let v = Local(0);
+    let f = func(
+        vec![
+            Instr::IConst(10),       // 0: entry
+            Instr::Store(v),         // 1
+            Instr::Load(v),          // 2: header
+            Instr::If(Cond::Le, 10), // 3: v <= 0 -> exit
+            Instr::Load(v),          // 4: body
+            Instr::If(Cond::Gt, 8),  // 5: v > 0 -> latch B
+            Instr::IInc(v, -1),      // 6: latch A
+            Instr::Goto(2),          // 7: back edge A
+            Instr::IInc(v, -2),      // 8: latch B
+            Instr::Goto(2),          // 9: back edge B
+            Instr::ReturnVoid,       // 10: exit
+        ],
+        1,
+    );
+    let (_cfg, dom, forest) = analyze(&f);
+
+    assert_eq!(forest.len(), 1, "both back edges form one loop");
+    let l = &forest.loops[0];
+    assert_eq!(l.latches.len(), 2, "two distinct latch blocks");
+    for latch in &l.latches {
+        assert!(dom.dominates(l.header, *latch), "header dominates latches");
+        assert!(l.blocks.contains(latch));
+    }
+    // both IInc blocks are inside the loop body
+    assert!(l.blocks.len() >= 4, "header + body + 2 latches");
+}
+
+/// A loop that only exists in unreachable code must not appear in the
+/// forest: `prune_unreachable` removes it before loop discovery.
+#[test]
+fn unreachable_loop_is_not_discovered() {
+    let f = func(
+        vec![
+            Instr::Goto(4),         // 0: jump straight to the return
+            Instr::IConst(1),       // 1: dead loop header
+            Instr::If(Cond::Gt, 1), // 2: dead back edge
+            Instr::Goto(1),         // 3: dead
+            Instr::ReturnVoid,      // 4: the only reachable exit
+        ],
+        0,
+    );
+    let (cfg, _dom, forest) = analyze(&f);
+
+    assert!(forest.is_empty(), "dead loops must not be discovered");
+    // only the entry block and the return survive pruning
+    assert_eq!(cfg.len(), 2);
+    assert!(cfg.block_of(1).is_none(), "dead instruction has no block");
+    assert!(cfg.block_of(4).is_some());
+}
+
+/// An entry block that is itself a loop header (back edge to block 0)
+/// still dominates everything, including its own latch.
+#[test]
+fn entry_block_as_loop_header() {
+    let v = Local(0);
+    let f = func(
+        vec![
+            Instr::IInc(v, 1),      // 0: header IS the entry
+            Instr::Load(v),         // 1
+            Instr::If(Cond::Lt, 0), // 2: back edge to entry
+            Instr::ReturnVoid,      // 3
+        ],
+        1,
+    );
+    let (_cfg, dom, forest) = analyze(&f);
+
+    assert_eq!(forest.len(), 1);
+    let l = &forest.loops[0];
+    assert_eq!(l.header, BlockId(0));
+    assert!(dom.dominates(BlockId(0), l.latches[0]));
+    assert_eq!(dom.idom(BlockId(0)), BlockId(0), "entry is its own idom");
+}

@@ -100,7 +100,10 @@ impl LineTimestampTable {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         LineTimestampTable {
             mask: entries as u32 - 1,
             entries: vec![None; entries],

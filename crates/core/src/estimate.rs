@@ -122,8 +122,7 @@ pub fn estimate(stats: &StlStats, params: &EstimatorParams) -> Estimate {
     let overflow_freq = stats.overflow_freq();
     // overflowing threads stall until they are the head thread: they
     // run effectively serialized
-    let compute = stats.cycles as f64
-        * ((1.0 - overflow_freq) / base_speedup + overflow_freq);
+    let compute = stats.cycles as f64 * ((1.0 - overflow_freq) / base_speedup + overflow_freq);
     let overheads = stats.entries * (params.startup_overhead + params.shutdown_overhead)
         + stats.threads * params.eoi_overhead;
     let est_tls_cycles = (compute + overheads as f64).ceil() as u64;
@@ -226,11 +225,19 @@ mod tests {
         s.arcs_lt = 999;
         s.arc_len_sum_lt = 999 * 1600;
         let e = estimate(&s, &params);
-        assert!((e.base_speedup - 4.0).abs() < 1e-9, "got {}", e.base_speedup);
+        assert!(
+            (e.base_speedup - 4.0).abs() < 1e-9,
+            "got {}",
+            e.base_speedup
+        );
         // a shorter distant arc still constrains
         s.arc_len_sum_lt = 999 * 1100;
         let e2 = estimate(&s, &params);
-        assert!(e2.base_speedup < 4.0 && e2.base_speedup > 1.5, "got {}", e2.base_speedup);
+        assert!(
+            e2.base_speedup < 4.0 && e2.base_speedup > 1.5,
+            "got {}",
+            e2.base_speedup
+        );
     }
 
     #[test]

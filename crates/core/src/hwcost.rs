@@ -173,7 +173,11 @@ mod tests {
         let l1 = b.rows.iter().find(|r| r.name.contains("16kB")).unwrap();
         let l2 = b.rows.iter().find(|r| r.name.contains("L2")).unwrap();
         // paper: 1573K per L1 pair, 98304K (K=1024) for L2
-        assert!((l1.each as i64 - 1_573_000).unsigned_abs() < 30_000, "{}", l1.each);
+        assert!(
+            (l1.each as i64 - 1_573_000).unsigned_abs() < 30_000,
+            "{}",
+            l1.each
+        );
         assert_eq!(l2.each, 2 * 1024 * 1024 * 8 * 6);
         assert_eq!(l2.each, 98_304 * 1024);
     }
@@ -209,10 +213,16 @@ mod tests {
     fn shares_sum_to_one() {
         let p = CostParams::default();
         let b = hydra_budget(&p, 8);
-        let sum: f64 = ["CPU + FP core", "16kB I / 16kB D cache", "2MB L2 cache", "Write buffer", "Comparator bank"]
-            .iter()
-            .map(|n| b.share(n))
-            .sum();
+        let sum: f64 = [
+            "CPU + FP core",
+            "16kB I / 16kB D cache",
+            "2MB L2 cache",
+            "Write buffer",
+            "Comparator bank",
+        ]
+        .iter()
+        .map(|n| b.share(n))
+        .sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
 }

@@ -73,7 +73,7 @@ pub mod tracer;
 pub use config::TracerConfig;
 pub use estimate::{estimate, Estimate, EstimatorParams};
 pub use methods::{rank_sites, MethodStats, MethodTracer};
-pub use select::{select, ChosenStl, SelectionResult};
+pub use select::{select, select_with_priors, ChosenStl, SelectionResult};
 pub use software::SoftwareTracer;
 pub use stats::{Profile, StlStats};
 pub use tracer::TestTracer;

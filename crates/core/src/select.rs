@@ -19,7 +19,7 @@
 
 use crate::estimate::{estimate, Estimate, EstimatorParams};
 use crate::stats::Profile;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use tvm::isa::LoopId;
 
 /// One selected decomposition.
@@ -80,6 +80,20 @@ impl SelectionResult {
 /// `total_cycles` is the sequential duration of the profiled run (used
 /// for coverage and the program-level prediction).
 pub fn select(profile: &Profile, params: &EstimatorParams, total_cycles: u64) -> SelectionResult {
+    select_with_priors(profile, params, total_cycles, &BTreeSet::new())
+}
+
+/// [`select`] with static priors: loops in `demoted` carry a
+/// compiler-proven cross-iteration dependence, so Equation 2 never
+/// picks them as STLs (their serial and nested alternatives still
+/// compete normally). The priors come from the `cfgir` memory
+/// pre-screen; an empty set reproduces plain `select`.
+pub fn select_with_priors(
+    profile: &Profile,
+    params: &EstimatorParams,
+    total_cycles: u64,
+    demoted: &BTreeSet<LoopId>,
+) -> SelectionResult {
     let estimates: BTreeMap<LoopId, Estimate> = profile
         .stl
         .iter()
@@ -103,6 +117,7 @@ pub fn select(profile: &Profile, params: &EstimatorParams, total_cycles: u64) ->
         profile: &Profile,
         estimates: &BTreeMap<LoopId, Estimate>,
         children: &BTreeMap<Option<LoopId>, Vec<LoopId>>,
+        demoted: &BTreeSet<LoopId>,
         chosen: &mut Vec<LoopId>,
         visited: &mut std::collections::BTreeSet<LoopId>,
     ) -> u64 {
@@ -111,7 +126,12 @@ pub fn select(profile: &Profile, params: &EstimatorParams, total_cycles: u64) ->
         }
         let stats = &profile.stl[&l];
         let serial = stats.cycles;
-        let own = estimates[&l].est_tls_cycles;
+        // a statically demoted loop is never choosable itself
+        let own = if demoted.contains(&l) {
+            u64::MAX
+        } else {
+            estimates[&l].est_tls_cycles
+        };
 
         let mut kids_chosen: Vec<LoopId> = Vec::new();
         let kids = children.get(&Some(l)).cloned().unwrap_or_default();
@@ -119,7 +139,15 @@ pub fn select(profile: &Profile, params: &EstimatorParams, total_cycles: u64) ->
         let mut kid_best = 0u64;
         for c in kids {
             kid_cycles += profile.stl[&c].cycles;
-            kid_best += best(c, profile, estimates, children, &mut kids_chosen, visited);
+            kid_best += best(
+                c,
+                profile,
+                estimates,
+                children,
+                demoted,
+                &mut kids_chosen,
+                visited,
+            );
         }
         // children cycles are nested inside this loop's inclusive
         // cycles; guard against attribution noise
@@ -141,7 +169,15 @@ pub fn select(profile: &Profile, params: &EstimatorParams, total_cycles: u64) ->
     let mut visited = std::collections::BTreeSet::new();
     for &root in children.get(&None).into_iter().flatten() {
         let mut picks = Vec::new();
-        let b = best(root, profile, &estimates, &children, &mut picks, &mut visited);
+        let b = best(
+            root,
+            profile,
+            &estimates,
+            &children,
+            demoted,
+            &mut picks,
+            &mut visited,
+        );
         let serial = profile.stl[&root].cycles;
         program_predicted = program_predicted.saturating_sub(serial.saturating_sub(b));
         chosen_ids.extend(picks);
@@ -278,6 +314,28 @@ mod tests {
         let p = profile_with(&[(0, None, big), (1, None, tiny)]);
         let r = select(&p, &EstimatorParams::default(), 1_000_000);
         assert_eq!(r.chosen_above(0.005).len(), 1);
+    }
+
+    #[test]
+    fn demoted_loop_is_never_chosen() {
+        // identical to parallel_loop_is_chosen, but the static
+        // pre-screen demoted the loop
+        let p = profile_with(&[(0, None, parallel_stats(1000, 1_000_000))]);
+        let demoted: BTreeSet<LoopId> = [LoopId(0)].into();
+        let r = select_with_priors(&p, &EstimatorParams::default(), 1_200_000, &demoted);
+        assert!(r.chosen.is_empty());
+        assert_eq!(r.predicted_cycles, 1_200_000);
+    }
+
+    #[test]
+    fn demoted_outer_yields_to_parallel_inner() {
+        let outer = parallel_stats(100, 1_000_000);
+        let inner = parallel_stats(1000, 900_000);
+        let p = profile_with(&[(0, None, outer), (1, Some(0), inner)]);
+        let demoted: BTreeSet<LoopId> = [LoopId(0)].into();
+        let r = select_with_priors(&p, &EstimatorParams::default(), 1_000_000, &demoted);
+        assert_eq!(r.chosen.len(), 1);
+        assert_eq!(r.chosen[0].loop_id, LoopId(1));
     }
 
     #[test]

@@ -131,7 +131,11 @@ impl TlsTraceCollector {
         let Some(a) = self.active.as_ref() else {
             return false;
         };
-        let mask = self.local_masks.get(&a.loop_id).copied().unwrap_or(u64::MAX);
+        let mask = self
+            .local_masks
+            .get(&a.loop_id)
+            .copied()
+            .unwrap_or(u64::MAX);
         var < 64 && mask & (1u64 << var) != 0
     }
 

@@ -157,11 +157,9 @@ pub fn simulate_entry(entry: &EntryTrace, cfg: &TlsConfig) -> TlsSimResult {
                     if visible > load_time {
                         if cfg.sync_after_violation && synced.contains(&a.addr) {
                             // wait so the load lands after the producer
-                            wait_until =
-                                wait_until.max(visible.saturating_sub(u64::from(a.rel)));
+                            wait_until = wait_until.max(visible.saturating_sub(u64::from(a.rel)));
                         } else {
-                            restart_at =
-                                Some(restart_at.map_or(visible, |w: u64| w.max(visible)));
+                            restart_at = Some(restart_at.map_or(visible, |w: u64| w.max(visible)));
                             if cfg.sync_after_violation {
                                 synced.insert(a.addr);
                             }
@@ -186,8 +184,7 @@ pub fn simulate_entry(entry: &EntryTrace, cfg: &TlsConfig) -> TlsSimResult {
             // stall at the overflow point until this thread is the
             // head (all predecessors committed), then run the rest
             let stalled_resume = commit_prev.max(start + u64::from(r_ovf));
-            finish = finish
-                .max(stalled_resume + u64::from(iter.cycles - r_ovf) + cfg.eoi);
+            finish = finish.max(stalled_resume + u64::from(iter.cycles - r_ovf) + cfg.eoi);
         }
 
         // in-order commit

@@ -70,8 +70,16 @@ impl AnnotateOptions {
         }
     }
 
-    fn wants(&self, id: LoopId) -> bool {
-        self.filter.as_ref().is_none_or(|f| f.contains(&id))
+    /// Whether this candidate gets annotations. With an explicit
+    /// filter the caller's list is authoritative (ablations may trace
+    /// demoted loops on purpose); by default, candidates the static
+    /// pre-screen demoted are skipped — tracing them is provably
+    /// wasted work.
+    fn wants(&self, c: &Candidate) -> bool {
+        match &self.filter {
+            Some(f) => f.contains(&c.id),
+            None => !c.is_demoted(),
+        }
     }
 }
 
@@ -79,23 +87,28 @@ impl AnnotateOptions {
 ///
 /// `cands` must come from [`cfgir::extract_candidates`] on the same
 /// program. Functions without annotated loops are copied verbatim.
+/// Candidates the static pre-screen demoted are skipped unless the
+/// filter names them explicitly.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the instrumented program fails bytecode verification —
-/// that would be a bug in this pass, not in the caller's input.
+/// The instrumented program is re-verified — structurally
+/// ([`tvm::verify::verify`]) and for value kinds
+/// ([`tvm::verify::verify_kinds`]) — before being returned; a failure
+/// reports a bug in this pass as a [`tvm::VmError`] instead of
+/// corrupting the downstream pipeline.
 pub fn annotate(
     program: &Program,
     cands: &ProgramCandidates,
     opts: &AnnotateOptions,
-) -> Program {
+) -> Result<Program, tvm::VmError> {
     let mut functions = Vec::with_capacity(program.functions.len());
     for (fi, f) in program.functions.iter().enumerate() {
         let fa = &cands.functions[fi];
         let in_fn: Vec<&Candidate> = cands
             .candidates
             .iter()
-            .filter(|c| c.func.0 as usize == fi && opts.wants(c.id))
+            .filter(|c| c.func.0 as usize == fi && opts.wants(c))
             .collect();
         if in_fn.is_empty() {
             functions.push(f.clone());
@@ -109,8 +122,9 @@ pub fn annotate(
         globals: program.globals.clone(),
         entry: program.entry,
     };
-    tvm::verify::verify(&out).expect("annotation pass produced invalid bytecode");
-    out
+    tvm::verify::verify(&out)?;
+    tvm::verify::verify_kinds(&out)?;
+    Ok(out)
 }
 
 /// A tiny label-patching emitter (the annotation-pass analogue of
@@ -177,7 +191,7 @@ fn annotate_function(
             AnnotationMode::Base => true,
             AnnotationMode::Optimized => {
                 // hoisted: only when no enclosing candidate is annotated
-                c.parent.is_none_or(|p| !opts.wants(p))
+                c.parent.is_none_or(|p| !opts.wants(cands.candidate(p)))
             }
         }
     };
@@ -269,7 +283,6 @@ fn annotate_function(
         })
     };
 
-    let _ = cands;
     for (bi, block) in cfg.blocks.iter().enumerate() {
         let b = cfgir::BlockId(bi as u32);
         em.bind(block_labels[bi]);
@@ -283,9 +296,7 @@ fn annotate_function(
                 Instr::Load(v) if tracked.contains(&v) => {
                     let annotate_this = match opts.mode {
                         AnnotationMode::Base => true,
-                        AnnotationMode::Optimized => {
-                            lwl_done.insert(v) && !loop_covered(v, b)
-                        }
+                        AnnotationMode::Optimized => lwl_done.insert(v) && !loop_covered(v, b),
                     };
                     if annotate_this {
                         if let Some(slot) = fa.tracked_slot(v) {
@@ -304,9 +315,7 @@ fn annotate_function(
                         // read-side annotation obeys the first-load rule
                         let lwl = match opts.mode {
                             AnnotationMode::Base => true,
-                            AnnotationMode::Optimized => {
-                                lwl_done.insert(v) && !loop_covered(v, b)
-                            }
+                            AnnotationMode::Optimized => lwl_done.insert(v) && !loop_covered(v, b),
                         };
                         if lwl {
                             em.raw(Instr::Lwl(slot));
@@ -454,7 +463,7 @@ mod tests {
     fn annotated_program_preserves_semantics() {
         let p = simple_loop_program();
         let cands = extract_candidates(&p);
-        let ann = annotate(&p, &cands, &AnnotateOptions::profiling());
+        let ann = annotate(&p, &cands, &AnnotateOptions::profiling()).unwrap();
         let r0 = Interp::run(&p, &mut NullSink).unwrap();
         let r1 = Interp::run(&ann, &mut NullSink).unwrap();
         assert_eq!(r0.ret, r1.ret);
@@ -465,7 +474,7 @@ mod tests {
     fn loop_markers_fire_once_per_boundary() {
         let p = simple_loop_program();
         let cands = extract_candidates(&p);
-        let ann = annotate(&p, &cands, &AnnotateOptions::profiling());
+        let ann = annotate(&p, &cands, &AnnotateOptions::profiling()).unwrap();
         let mut sink = CountingSink::default();
         Interp::run(&ann, &mut sink).unwrap();
         assert_eq!(sink.loop_enters, 1);
@@ -478,8 +487,8 @@ mod tests {
     fn base_mode_annotates_more_local_accesses() {
         let p = simple_loop_program();
         let cands = extract_candidates(&p);
-        let base = annotate(&p, &cands, &AnnotateOptions::base());
-        let opt = annotate(&p, &cands, &AnnotateOptions::profiling());
+        let base = annotate(&p, &cands, &AnnotateOptions::base()).unwrap();
+        let opt = annotate(&p, &cands, &AnnotateOptions::profiling()).unwrap();
         let mut sb = CountingSink::default();
         let mut so = CountingSink::default();
         Interp::run(&base, &mut sb).unwrap();
@@ -522,7 +531,7 @@ mod tests {
         let p = nested_loop_program();
         let cands = extract_candidates(&p);
         assert_eq!(cands.candidates.len(), 2);
-        let ann = annotate(&p, &cands, &AnnotateOptions::profiling());
+        let ann = annotate(&p, &cands, &AnnotateOptions::profiling()).unwrap();
         let mut sink = CountingSink::default();
         let r = Interp::run(&ann, &mut sink).unwrap();
         assert_eq!(r.ret.unwrap().as_int().unwrap(), 28); // 1+2+...+7
@@ -536,7 +545,7 @@ mod tests {
         let p = nested_loop_program();
         let cands = extract_candidates(&p);
         let inner = cands.candidates.iter().find(|c| c.depth == 2).unwrap().id;
-        let ann = annotate(&p, &cands, &AnnotateOptions::only([inner]));
+        let ann = annotate(&p, &cands, &AnnotateOptions::only([inner])).unwrap();
         let mut sink = CountingSink::default();
         Interp::run(&ann, &mut sink).unwrap();
         assert_eq!(sink.loop_enters, 8); // only the inner loop
@@ -547,8 +556,8 @@ mod tests {
     fn optimized_mode_hoists_stats_reads() {
         let p = nested_loop_program();
         let cands = extract_candidates(&p);
-        let base = annotate(&p, &cands, &AnnotateOptions::base());
-        let opt = annotate(&p, &cands, &AnnotateOptions::profiling());
+        let base = annotate(&p, &cands, &AnnotateOptions::base()).unwrap();
+        let opt = annotate(&p, &cands, &AnnotateOptions::profiling()).unwrap();
         let rb = Interp::run(&base, &mut NullSink).unwrap();
         let ro = Interp::run(&opt, &mut NullSink).unwrap();
         // base reads stats at every inner eloop too
@@ -580,7 +589,7 @@ mod tests {
         });
         let p = b.finish(main).unwrap();
         let cands = extract_candidates(&p);
-        let ann = annotate(&p, &cands, &AnnotateOptions::profiling());
+        let ann = annotate(&p, &cands, &AnnotateOptions::profiling()).unwrap();
         let mut sink = CountingSink::default();
         let r = Interp::run(&ann, &mut sink).unwrap();
         assert_eq!(r.ret.unwrap().as_int().unwrap(), 0);
@@ -600,7 +609,7 @@ mod tests {
         });
         let p = b.finish(main).unwrap();
         let cands = extract_candidates(&p);
-        let ann = annotate(&p, &cands, &AnnotateOptions::profiling());
+        let ann = annotate(&p, &cands, &AnnotateOptions::profiling()).unwrap();
         assert_eq!(ann.functions[0].code, p.functions[0].code);
         assert_eq!(ann.functions[1].code, p.functions[1].code);
     }

@@ -4,7 +4,7 @@ use crate::annotate::{annotate, AnnotateOptions};
 use cfgir::{extract_candidates, ProgramCandidates};
 use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
 use std::collections::BTreeMap;
-use test_tracer::{select, Profile, SelectionResult, TestTracer, TracerConfig};
+use test_tracer::{select_with_priors, Profile, SelectionResult, TestTracer, TracerConfig};
 use tvm::interp::AnnotationCycles;
 use tvm::isa::LoopId;
 use tvm::program::Program;
@@ -130,15 +130,23 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
     // 2. plain sequential run (the Figure 6 baseline)
     let seq = Interp::run(program, &mut NullSink)?;
 
-    // 3. profile with TEST on the fully annotated program
-    let annotated = annotate(program, &candidates, &AnnotateOptions::profiling());
+    // 3. profile with TEST on the fully annotated program (loops the
+    //    static pre-screen demoted are left unannotated, so the tracer
+    //    spends no banks on them)
+    let annotated = annotate(program, &candidates, &AnnotateOptions::profiling())?;
     let mut tracer = TestTracer::new(cfg.tracer);
     tracer.set_local_masks(candidates.tracked_masks());
     let prof_run = Interp::run(&annotated, &mut tracer)?;
     let profile = tracer.into_profile();
 
-    // 4. select decompositions (Equations 1 and 2)
-    let selection = select(&profile, &cfg.tls.estimator_params(), prof_run.cycles);
+    // 4. select decompositions (Equations 1 and 2), with the static
+    //    verdicts as priors
+    let selection = select_with_priors(
+        &profile,
+        &cfg.tls.estimator_params(),
+        prof_run.cycles,
+        &candidates.demoted_ids(),
+    );
 
     // 5. recompile only the selected loops and collect TLS traces
     let chosen: Vec<LoopId> = selection.chosen.iter().map(|c| c.loop_id).collect();
@@ -149,7 +157,7 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
             tls_cycles: seq.cycles,
         }
     } else {
-        let spec = annotate(program, &candidates, &AnnotateOptions::only(chosen.clone()));
+        let spec = annotate(program, &candidates, &AnnotateOptions::only(chosen.clone()))?;
         let mut collector = TlsTraceCollector::new(chosen);
         collector.set_local_masks(candidates.tracked_masks());
         let spec_run = Interp::run(&spec, &mut collector)?;
@@ -202,7 +210,15 @@ mod tests {
                     f.arr_set(
                         a,
                         |f| {
-                            f.ld(i).ci(8).imul().ld(k).ci(7).iand().iadd().ci(255).iand();
+                            f.ld(i)
+                                .ci(8)
+                                .imul()
+                                .ld(k)
+                                .ci(7)
+                                .iand()
+                                .iadd()
+                                .ci(255)
+                                .iand();
                         },
                         |f| {
                             f.ld(i).ld(k).imul();
@@ -239,7 +255,11 @@ mod tests {
             "expected a selected STL, estimates: {:?}",
             r.selection.estimates
         );
-        assert!(r.predicted_normalized() < 0.6, "{}", r.predicted_normalized());
+        assert!(
+            r.predicted_normalized() < 0.6,
+            "{}",
+            r.predicted_normalized()
+        );
         assert!(r.actual_normalized() < 0.7, "{}", r.actual_normalized());
         // this kernel's inner loop iterates every ~25 cycles, an
         // adversarial case for annotation overhead; the 3-25% claim is

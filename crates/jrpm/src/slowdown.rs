@@ -44,7 +44,7 @@ pub fn profile_slowdown(
     let seq = Interp::run(program, &mut NullSink)?;
 
     let run_mode = |opts: &AnnotateOptions| -> Result<ModeSlowdown, VmError> {
-        let ann = annotate(program, cands, opts);
+        let ann = annotate(program, cands, opts)?;
         let mut tracer = TestTracer::new(TracerConfig::default());
         tracer.set_local_masks(cands.tracked_masks());
         let r = Interp::run(&ann, &mut tracer)?;
@@ -91,7 +91,7 @@ pub fn software_comparison(
     cands: &ProgramCandidates,
 ) -> Result<SoftwareComparison, VmError> {
     let seq = Interp::run(program, &mut NullSink)?;
-    let ann = annotate(program, cands, &AnnotateOptions::profiling());
+    let ann = annotate(program, cands, &AnnotateOptions::profiling())?;
 
     let mut hw = TestTracer::new(TracerConfig::default());
     hw.set_local_masks(cands.tracked_masks());

@@ -130,7 +130,11 @@ pub fn program(p: &Program) -> String {
         let _ = writeln!(out, "class c{i}: {:?}", c.fields);
     }
     for (i, f) in p.functions.iter().enumerate() {
-        let entry = if p.entry.0 as usize == i { " (entry)" } else { "" };
+        let entry = if p.entry.0 as usize == i {
+            " (entry)"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "f{i}{entry}:");
         out.push_str(&function(f));
     }

@@ -51,6 +51,19 @@ pub enum VmError {
     },
     /// A builder label was used in a branch but never bound.
     UnboundLabel(u32),
+    /// Static kind verification failed: an instruction would
+    /// definitely see an operand of the wrong kind on every execution
+    /// reaching it.
+    KindMismatch {
+        /// Function that failed kind verification.
+        func: u16,
+        /// Instruction index of the offending use.
+        at: u32,
+        /// Kind the instruction requires.
+        expected: &'static str,
+        /// Abstract kind actually proven to arrive.
+        found: &'static str,
+    },
     /// Bytecode verification failed (inconsistent or underflowing stack).
     Verify {
         /// Function that failed verification.
@@ -93,6 +106,17 @@ impl fmt::Display for VmError {
                 write!(f, "branch at {func}:{at} targets out-of-range pc {target}")
             }
             VmError::UnboundLabel(l) => write!(f, "label {l} was never bound"),
+            VmError::KindMismatch {
+                func,
+                at,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "kind mismatch at {func}:{at}: expected {expected}, found {found}"
+                )
+            }
             VmError::Verify { func, at, reason } => {
                 write!(f, "verification failed at {func}:{at}: {reason}")
             }

@@ -257,9 +257,12 @@ impl Interp {
                 Instr::IXor => bin_int(&mut stack, |a, b| Ok(a ^ b))?,
                 Instr::IShl => bin_int(&mut stack, |a, b| Ok(a.wrapping_shl(b as u32 & 63)))?,
                 Instr::IShr => bin_int(&mut stack, |a, b| Ok(a.wrapping_shr(b as u32 & 63)))?,
-                Instr::IUShr => bin_int(&mut stack, |a, b| {
-                    Ok(((a as u64) >> (b as u32 & 63)) as i64)
-                })?,
+                Instr::IUShr => {
+                    bin_int(
+                        &mut stack,
+                        |a, b| Ok(((a as u64) >> (b as u32 & 63)) as i64),
+                    )?
+                }
                 Instr::IMin => bin_int(&mut stack, |a, b| Ok(a.min(b)))?,
                 Instr::IMax => bin_int(&mut stack, |a, b| Ok(a.max(b)))?,
                 Instr::ICmp => bin_int(&mut stack, |a, b| Ok(i64::from(a.cmp(&b) as i8)))?,
@@ -400,10 +403,7 @@ impl Interp {
                     let args_start = stack.len() - n_args;
                     let locals_base = locals.len();
                     locals.extend_from_slice(&stack[args_start..]);
-                    locals.resize(
-                        locals_base + callee.n_locals as usize,
-                        Value::Int(0),
-                    );
+                    locals.resize(locals_base + callee.n_locals as usize, Value::Int(0));
                     stack.truncate(args_start);
                     frame.pc = next_pc;
                     frames.push(frame);

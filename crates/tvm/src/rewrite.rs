@@ -74,7 +74,12 @@ pub fn insert_before(code: &[Instr], insertions: Insertions) -> (Vec<Instr>, Vec
     let mut out = Vec::with_capacity(n + added_before[n] as usize);
     let mut old_to_new = Vec::with_capacity(n);
     for (i, instr) in code.iter().enumerate() {
-        out.extend(at[i].iter().copied().map(|ins| ins.map_target(remap_branch)));
+        out.extend(
+            at[i]
+                .iter()
+                .copied()
+                .map(|ins| ins.map_target(remap_branch)),
+        );
         old_to_new.push(out.len() as u32);
         out.push(instr.map_target(remap_branch));
     }

@@ -1,15 +1,28 @@
 //! Bytecode verifier.
 //!
-//! A lightweight abstract interpretation over operand-stack *depth*:
-//! every instruction must see a consistent depth on all paths reaching
-//! it, no pop may underflow, branch targets must be in range, and
-//! control may not fall off the end of a function. This catches almost
-//! every builder and rewriter bug at program-construction time instead
-//! of as a confusing runtime error mid-benchmark. Value *kinds* remain
-//! dynamically checked by the interpreter.
+//! Two abstract interpretations run here:
+//!
+//! * [`verify`] — a lightweight pass over operand-stack *depth*: every
+//!   instruction must see a consistent depth on all paths reaching it,
+//!   no pop may underflow, branch targets must be in range, and control
+//!   may not fall off the end of a function.
+//! * [`verify_kinds`] — the same worklist shape over value *kinds*
+//!   ([`AbsKind`]): each stack slot and local carries an abstract
+//!   int/float/ref/null kind, merged with a small join-semilattice at
+//!   control-flow joins. An instruction that would *definitely* receive
+//!   an operand of the wrong kind (a float fed to `IAdd`, an int
+//!   dereferenced as an array) is rejected statically with
+//!   [`VmError::KindMismatch`]; uses that merely *might* mismatch
+//!   (`Any` operands from calls or untyped heap reads) stay dynamically
+//!   checked by the interpreter.
+//!
+//! Together they catch almost every builder and rewriter bug at
+//! program-construction time instead of as a confusing runtime error
+//! mid-benchmark; the annotation compiler runs both on its output as a
+//! sanitizer.
 
 use crate::error::VmError;
-use crate::isa::Instr;
+use crate::isa::{ElemKind, Instr};
 use crate::program::{Function, Program};
 
 /// Verifies every function in the program.
@@ -176,6 +189,406 @@ fn verify_function(program: &Program, fid: u16, f: &Function) -> Result<(), VmEr
     Ok(())
 }
 
+/// Abstract value kind tracked per stack slot and local by
+/// [`verify_kinds`].
+///
+/// The join-semilattice is flat apart from `Null < Ref` (a definite
+/// null merges with a reference into "reference, possibly null") and
+/// `Any` on top (kinds that disagree across paths, or values whose
+/// kind is statically unknowable: call results and untyped heap
+/// reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsKind {
+    /// Unknown or path-dependent kind; every use accepts it.
+    Any,
+    /// Definitely an integer.
+    Int,
+    /// Definitely a float.
+    Float,
+    /// Definitely a reference (possibly null).
+    Ref,
+    /// Definitely `null`.
+    Null,
+}
+
+impl AbsKind {
+    /// Least upper bound of two kinds.
+    pub fn join(self, other: AbsKind) -> AbsKind {
+        use AbsKind::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Null, Ref) | (Ref, Null) => Ref,
+            _ => Any,
+        }
+    }
+
+    /// The name used in diagnostics (matches the interpreter's dynamic
+    /// kind names).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbsKind::Any => "any",
+            AbsKind::Int => "int",
+            AbsKind::Float => "float",
+            AbsKind::Ref => "ref",
+            AbsKind::Null => "null",
+        }
+    }
+
+    fn of_elem(e: ElemKind) -> AbsKind {
+        match e {
+            ElemKind::Int => AbsKind::Int,
+            ElemKind::Float => AbsKind::Float,
+            // a reference cell starts null and may hold either
+            ElemKind::Ref => AbsKind::Ref,
+        }
+    }
+
+    fn is_int(self) -> bool {
+        matches!(self, AbsKind::Int | AbsKind::Any)
+    }
+
+    fn is_float(self) -> bool {
+        matches!(self, AbsKind::Float | AbsKind::Any)
+    }
+
+    fn is_ref(self) -> bool {
+        matches!(self, AbsKind::Ref | AbsKind::Null | AbsKind::Any)
+    }
+}
+
+/// Per-pc abstract machine state of the kind checker.
+#[derive(Debug, Clone, PartialEq)]
+struct KindState {
+    stack: Vec<AbsKind>,
+    locals: Vec<AbsKind>,
+}
+
+impl KindState {
+    /// Joins `other` into `self` slot-wise; returns true on change.
+    fn join_from(&mut self, other: &KindState) -> bool {
+        let mut changed = false;
+        for (a, b) in self.stack.iter_mut().zip(&other.stack) {
+            let j = a.join(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        for (a, b) in self.locals.iter_mut().zip(&other.locals) {
+            let j = a.join(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Verifies value kinds in every function of the program.
+///
+/// Runs after (or independently of) the depth pass: parameters start
+/// as [`AbsKind::Any`] (callers control them), other locals start as
+/// [`AbsKind::Int`] (the interpreter initializes fresh locals to
+/// `Int(0)`), and only *definite* mismatches are errors — so valid
+/// dynamically-typed programs are never rejected.
+///
+/// # Errors
+///
+/// [`VmError::KindMismatch`] on a proven wrong-kind use, plus the same
+/// structural errors as [`verify`] (underflow, bad branch targets,
+/// inconsistent stack depth at merges) when invoked on a program the
+/// depth pass would reject.
+pub fn verify_kinds(program: &Program) -> Result<(), VmError> {
+    for (fid, f) in program.functions.iter().enumerate() {
+        verify_function_kinds(program, fid as u16, f)?;
+    }
+    Ok(())
+}
+
+fn verify_function_kinds(program: &Program, fid: u16, f: &Function) -> Result<(), VmError> {
+    let n = f.code.len();
+    if n == 0 {
+        return Err(VmError::Verify {
+            func: fid,
+            at: 0,
+            reason: "empty function body".into(),
+        });
+    }
+
+    let mut locals = vec![AbsKind::Int; usize::from(f.n_locals)];
+    for slot in locals.iter_mut().take(usize::from(f.n_params)) {
+        *slot = AbsKind::Any;
+    }
+    let entry = KindState {
+        stack: Vec::new(),
+        locals,
+    };
+
+    let mut states: Vec<Option<KindState>> = vec![None; n];
+    states[0] = Some(entry);
+    let mut work: Vec<u32> = vec![0];
+
+    while let Some(pc) = work.pop() {
+        let instr = &f.code[pc as usize];
+        let mut st = states[pc as usize]
+            .clone()
+            .expect("work items always have a state");
+
+        kind_transfer(program, fid, pc, instr, &mut st)?;
+
+        let mut successors: [Option<u32>; 2] = [None, None];
+        if let Some(t) = instr.branch_target() {
+            if t as usize >= n {
+                return Err(VmError::BadBranchTarget {
+                    func: fid,
+                    at: pc,
+                    target: t,
+                });
+            }
+            successors[0] = Some(t);
+        }
+        if instr.falls_through() {
+            let next = pc + 1;
+            if next as usize >= n {
+                return Err(VmError::Verify {
+                    func: fid,
+                    at: pc,
+                    reason: "control falls off the end of the function".into(),
+                });
+            }
+            successors[1] = Some(next);
+        }
+
+        for succ in successors.into_iter().flatten() {
+            match &mut states[succ as usize] {
+                slot @ None => {
+                    *slot = Some(st.clone());
+                    work.push(succ);
+                }
+                Some(existing) => {
+                    if existing.stack.len() != st.stack.len() {
+                        return Err(VmError::Verify {
+                            func: fid,
+                            at: succ,
+                            reason: format!(
+                                "inconsistent stack depth: {} vs {} on merge",
+                                existing.stack.len(),
+                                st.stack.len()
+                            ),
+                        });
+                    }
+                    if existing.join_from(&st) {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies one instruction to the abstract kind state, rejecting
+/// definite wrong-kind operand uses.
+fn kind_transfer(
+    program: &Program,
+    fid: u16,
+    pc: u32,
+    instr: &Instr,
+    st: &mut KindState,
+) -> Result<(), VmError> {
+    use Instr::*;
+
+    let underflow = || VmError::Verify {
+        func: fid,
+        at: pc,
+        reason: "stack underflow in kind verification".into(),
+    };
+    let mismatch = |expected: &'static str, found: AbsKind| VmError::KindMismatch {
+        func: fid,
+        at: pc,
+        expected,
+        found: found.name(),
+    };
+
+    macro_rules! pop {
+        () => {
+            st.stack.pop().ok_or_else(underflow)?
+        };
+    }
+    macro_rules! pop_int {
+        () => {{
+            let k = pop!();
+            if !k.is_int() {
+                return Err(mismatch("int", k));
+            }
+        }};
+    }
+    macro_rules! pop_float {
+        () => {{
+            let k = pop!();
+            if !k.is_float() {
+                return Err(mismatch("float", k));
+            }
+        }};
+    }
+    macro_rules! pop_ref {
+        () => {{
+            let k = pop!();
+            if !k.is_ref() {
+                return Err(mismatch("ref", k));
+            }
+        }};
+    }
+
+    match instr {
+        IConst(_) => st.stack.push(AbsKind::Int),
+        FConst(_) => st.stack.push(AbsKind::Float),
+        NullConst => st.stack.push(AbsKind::Null),
+        Load(l) => {
+            let k = *st
+                .locals
+                .get(usize::from(l.0))
+                .ok_or(VmError::BadLocal(l.0))?;
+            st.stack.push(k);
+        }
+        Store(l) => {
+            let k = pop!();
+            *st.locals
+                .get_mut(usize::from(l.0))
+                .ok_or(VmError::BadLocal(l.0))? = k;
+        }
+        IInc(l, _) => {
+            let slot = st
+                .locals
+                .get_mut(usize::from(l.0))
+                .ok_or(VmError::BadLocal(l.0))?;
+            if !slot.is_int() {
+                return Err(mismatch("int", *slot));
+            }
+            *slot = AbsKind::Int;
+        }
+        Dup => {
+            let k = *st.stack.last().ok_or_else(underflow)?;
+            st.stack.push(k);
+        }
+        Pop => {
+            pop!();
+        }
+        Swap => {
+            let b = pop!();
+            let a = pop!();
+            st.stack.push(b);
+            st.stack.push(a);
+        }
+        IAdd | ISub | IMul | IDiv | IRem | IAnd | IOr | IXor | IShl | IShr | IUShr | IMin
+        | IMax | ICmp => {
+            pop_int!();
+            pop_int!();
+            st.stack.push(AbsKind::Int);
+        }
+        INeg => {
+            pop_int!();
+            st.stack.push(AbsKind::Int);
+        }
+        FAdd | FSub | FMul | FDiv | FMin | FMax => {
+            pop_float!();
+            pop_float!();
+            st.stack.push(AbsKind::Float);
+        }
+        FNeg | FAbs | FSqrt | FSin | FCos | FExp | FLog => {
+            pop_float!();
+            st.stack.push(AbsKind::Float);
+        }
+        I2F => {
+            pop_int!();
+            st.stack.push(AbsKind::Float);
+        }
+        F2I => {
+            pop_float!();
+            st.stack.push(AbsKind::Int);
+        }
+        Goto(_) => {}
+        If(..) => pop_int!(),
+        IfICmp(..) => {
+            pop_int!();
+            pop_int!();
+        }
+        IfFCmp(..) => {
+            pop_float!();
+            pop_float!();
+        }
+        NewArray(_) => {
+            pop_int!();
+            st.stack.push(AbsKind::Ref);
+        }
+        ALoad => {
+            pop_int!();
+            pop_ref!();
+            // element kind depends on which array flows here
+            st.stack.push(AbsKind::Any);
+        }
+        AStore => {
+            pop!(); // stored value: element kind is dynamic
+            pop_int!();
+            pop_ref!();
+        }
+        ArrayLen => {
+            pop_ref!();
+            st.stack.push(AbsKind::Int);
+        }
+        NewObject(c) => {
+            program.class(*c)?;
+            st.stack.push(AbsKind::Ref);
+        }
+        GetField(_) => {
+            pop_ref!();
+            st.stack.push(AbsKind::Any);
+        }
+        PutField(_) => {
+            pop!(); // field kind depends on the object's class
+            pop_ref!();
+        }
+        GetStatic(g) => {
+            let kind = program
+                .globals
+                .get(usize::from(g.0))
+                .ok_or(VmError::UnknownGlobal(g.0))?;
+            st.stack.push(AbsKind::of_elem(*kind));
+        }
+        PutStatic(g) => {
+            let kind = *program
+                .globals
+                .get(usize::from(g.0))
+                .ok_or(VmError::UnknownGlobal(g.0))?;
+            let k = pop!();
+            let ok = match kind {
+                ElemKind::Int => k.is_int(),
+                ElemKind::Float => k.is_float(),
+                ElemKind::Ref => k.is_ref(),
+            };
+            if !ok {
+                return Err(mismatch(AbsKind::of_elem(kind).name(), k));
+            }
+        }
+        Call(fid2) => {
+            let callee = program.function(*fid2)?;
+            for _ in 0..callee.n_params {
+                pop!();
+            }
+            if callee.returns {
+                st.stack.push(AbsKind::Any);
+            }
+        }
+        Return => {
+            pop!();
+        }
+        ReturnVoid | Halt => {}
+        SLoop(..) | Eoi(_) | ELoop(..) | Lwl(_) | Swl(_) | ReadStats(_) => {}
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,10 +631,10 @@ mod tests {
     fn rejects_inconsistent_merge() {
         // if TOS: push 1; fallthrough path pushes nothing -> merge mismatch
         let code = vec![
-            Instr::IConst(0),               // 0
-            Instr::If(Cond::Eq, 3),         // 1 -> 3 with depth 0
-            Instr::IConst(5),               // 2: depth 1 falls into 3
-            Instr::ReturnVoid,              // 3
+            Instr::IConst(0),       // 0
+            Instr::If(Cond::Eq, 3), // 1 -> 3 with depth 0
+            Instr::IConst(5),       // 2: depth 1 falls into 3
+            Instr::ReturnVoid,      // 3
         ];
         let p = prog_with(code, false, 0);
         assert!(matches!(verify(&p), Err(VmError::Verify { .. })));
@@ -249,5 +662,190 @@ mod tests {
     fn rejects_empty_body() {
         let p = prog_with(vec![], false, 0);
         assert!(matches!(verify(&p), Err(VmError::Verify { .. })));
+    }
+
+    // ---- kind verification ----
+
+    #[test]
+    fn kinds_accept_int_arithmetic() {
+        let code = vec![
+            Instr::IConst(2),
+            Instr::IConst(3),
+            Instr::IAdd,
+            Instr::Store(Local(0)),
+            Instr::Load(Local(0)),
+            Instr::Return,
+        ];
+        let p = prog_with(code, true, 1);
+        verify_kinds(&p).unwrap();
+    }
+
+    #[test]
+    fn kinds_reject_float_into_int_op() {
+        let code = vec![
+            Instr::IConst(1),
+            Instr::FConst(1.5),
+            Instr::IAdd,
+            Instr::Return,
+        ];
+        let p = prog_with(code, true, 0);
+        let err = verify_kinds(&p).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VmError::KindMismatch {
+                    at: 2,
+                    expected: "int",
+                    found: "float",
+                    ..
+                }
+            ),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn kinds_reject_null_into_float_op() {
+        let code = vec![
+            Instr::NullConst,
+            Instr::FConst(0.5),
+            Instr::FMul,
+            Instr::Pop,
+            Instr::ReturnVoid,
+        ];
+        let p = prog_with(code, false, 0);
+        assert!(matches!(
+            verify_kinds(&p),
+            Err(VmError::KindMismatch { at: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn kinds_reject_iinc_of_float_local() {
+        let code = vec![
+            Instr::FConst(1.0),
+            Instr::Store(Local(0)),
+            Instr::IInc(Local(0), 1),
+            Instr::ReturnVoid,
+        ];
+        let p = prog_with(code, false, 1);
+        assert!(matches!(
+            verify_kinds(&p),
+            Err(VmError::KindMismatch { at: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn kinds_accept_any_from_params_and_calls() {
+        // params and call results have unknown kind: both int and
+        // float uses of them must pass.
+        let callee = Function {
+            name: "callee".into(),
+            n_params: 0,
+            n_locals: 0,
+            returns: true,
+            code: vec![Instr::IConst(7), Instr::Return],
+        };
+        let caller = Function {
+            name: "caller".into(),
+            n_params: 1,
+            n_locals: 1,
+            returns: true,
+            code: vec![
+                Instr::Load(Local(0)),
+                Instr::FSqrt, // param used as float
+                Instr::Pop,
+                Instr::Call(FuncId(0)),
+                Instr::IConst(1),
+                Instr::IAdd, // call result used as int
+                Instr::Return,
+            ],
+        };
+        let p = Program {
+            functions: vec![callee, caller],
+            classes: vec![],
+            globals: vec![],
+            entry: FuncId(0),
+        };
+        verify_kinds(&p).unwrap();
+    }
+
+    #[test]
+    fn kinds_join_null_with_ref_is_ref() {
+        // one path stores null, the other a fresh array; the merged
+        // value must still be usable as an array reference.
+        let code = vec![
+            Instr::IConst(0),               // 0
+            Instr::If(Cond::Eq, 5),         // 1
+            Instr::NullConst,               // 2
+            Instr::Store(Local(0)),         // 3
+            Instr::Goto(8),                 // 4
+            Instr::IConst(4),               // 5
+            Instr::NewArray(ElemKind::Int), // 6
+            Instr::Store(Local(0)),         // 7
+            Instr::Load(Local(0)),          // 8
+            Instr::ArrayLen,                // 9
+            Instr::Return,                  // 10
+        ];
+        let p = prog_with(code, true, 1);
+        verify_kinds(&p).unwrap();
+    }
+
+    #[test]
+    fn kinds_reject_wrong_putstatic() {
+        let mut p = prog_with(
+            vec![
+                Instr::FConst(2.0),
+                Instr::PutStatic(crate::isa::GlobalId(0)),
+                Instr::ReturnVoid,
+            ],
+            false,
+            0,
+        );
+        p.globals = vec![ElemKind::Int];
+        assert!(matches!(
+            verify_kinds(&p),
+            Err(VmError::KindMismatch { at: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn kinds_getstatic_pushes_declared_kind() {
+        let mut p = prog_with(
+            vec![
+                Instr::GetStatic(crate::isa::GlobalId(0)),
+                Instr::IConst(1),
+                Instr::IAdd, // float global into int add: definite mismatch
+                Instr::Return,
+            ],
+            true,
+            0,
+        );
+        p.globals = vec![ElemKind::Float];
+        assert!(matches!(
+            verify_kinds(&p),
+            Err(VmError::KindMismatch { at: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn kinds_mismatched_paths_join_to_any() {
+        // local holds int on one path, float on the other: a later int
+        // use is only *possibly* wrong, so the checker must accept it.
+        let code = vec![
+            Instr::IConst(0),       // 0
+            Instr::If(Cond::Eq, 5), // 1
+            Instr::IConst(1),       // 2
+            Instr::Store(Local(0)), // 3
+            Instr::Goto(7),         // 4
+            Instr::FConst(1.0),     // 5
+            Instr::Store(Local(0)), // 6
+            Instr::Load(Local(0)),  // 7
+            Instr::IConst(1),       // 8
+            Instr::IAdd,            // 9
+            Instr::Return,          // 10
+        ];
+        let p = prog_with(code, true, 1);
+        verify_kinds(&p).unwrap();
     }
 }

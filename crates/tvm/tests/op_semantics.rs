@@ -34,25 +34,120 @@ type Case = (fn(&mut FnBuilder), i64);
 #[test]
 fn integer_arithmetic_table() {
     let cases: Vec<Case> = vec![
-        (|f| { f.ci(7).ci(3).iadd(); }, 10),
-        (|f| { f.ci(7).ci(3).isub(); }, 4),
-        (|f| { f.ci(7).ci(3).imul(); }, 21),
-        (|f| { f.ci(7).ci(3).idiv(); }, 2),
-        (|f| { f.ci(-7).ci(3).idiv(); }, -2), // truncating
-        (|f| { f.ci(7).ci(3).irem(); }, 1),
-        (|f| { f.ci(-7).ci(3).irem(); }, -1),
-        (|f| { f.ci(7).ineg(); }, -7),
-        (|f| { f.ci(0b1100).ci(0b1010).iand(); }, 0b1000),
-        (|f| { f.ci(0b1100).ci(0b1010).ior(); }, 0b1110),
-        (|f| { f.ci(0b1100).ci(0b1010).ixor(); }, 0b0110),
-        (|f| { f.ci(3).ci(4).ishl(); }, 48),
-        (|f| { f.ci(-16).ci(2).ishr(); }, -4),
-        (|f| { f.ci(-1).ci(60).iushr(); }, 15),
-        (|f| { f.ci(5).ci(9).imin(); }, 5),
-        (|f| { f.ci(5).ci(9).imax(); }, 9),
-        (|f| { f.ci(5).ci(9).icmp3(); }, -1),
-        (|f| { f.ci(9).ci(9).icmp3(); }, 0),
-        (|f| { f.ci(10).ci(9).icmp3(); }, 1),
+        (
+            |f| {
+                f.ci(7).ci(3).iadd();
+            },
+            10,
+        ),
+        (
+            |f| {
+                f.ci(7).ci(3).isub();
+            },
+            4,
+        ),
+        (
+            |f| {
+                f.ci(7).ci(3).imul();
+            },
+            21,
+        ),
+        (
+            |f| {
+                f.ci(7).ci(3).idiv();
+            },
+            2,
+        ),
+        (
+            |f| {
+                f.ci(-7).ci(3).idiv();
+            },
+            -2,
+        ), // truncating
+        (
+            |f| {
+                f.ci(7).ci(3).irem();
+            },
+            1,
+        ),
+        (
+            |f| {
+                f.ci(-7).ci(3).irem();
+            },
+            -1,
+        ),
+        (
+            |f| {
+                f.ci(7).ineg();
+            },
+            -7,
+        ),
+        (
+            |f| {
+                f.ci(0b1100).ci(0b1010).iand();
+            },
+            0b1000,
+        ),
+        (
+            |f| {
+                f.ci(0b1100).ci(0b1010).ior();
+            },
+            0b1110,
+        ),
+        (
+            |f| {
+                f.ci(0b1100).ci(0b1010).ixor();
+            },
+            0b0110,
+        ),
+        (
+            |f| {
+                f.ci(3).ci(4).ishl();
+            },
+            48,
+        ),
+        (
+            |f| {
+                f.ci(-16).ci(2).ishr();
+            },
+            -4,
+        ),
+        (
+            |f| {
+                f.ci(-1).ci(60).iushr();
+            },
+            15,
+        ),
+        (
+            |f| {
+                f.ci(5).ci(9).imin();
+            },
+            5,
+        ),
+        (
+            |f| {
+                f.ci(5).ci(9).imax();
+            },
+            9,
+        ),
+        (
+            |f| {
+                f.ci(5).ci(9).icmp3();
+            },
+            -1,
+        ),
+        (
+            |f| {
+                f.ci(9).ci(9).icmp3();
+            },
+            0,
+        ),
+        (
+            |f| {
+                f.ci(10).ci(9).icmp3();
+            },
+            1,
+        ),
     ];
     for (i, (body, expect)) in cases.into_iter().enumerate() {
         assert_eq!(eval_int(body), expect, "case {i}");
@@ -61,17 +156,44 @@ fn integer_arithmetic_table() {
 
 #[test]
 fn wrapping_and_shift_masking() {
-    assert_eq!(eval_int(|f| { f.ci(i64::MAX).ci(1).iadd(); }), i64::MIN);
-    assert_eq!(eval_int(|f| { f.ci(i64::MIN).ci(1).isub(); }), i64::MAX);
     assert_eq!(
-        eval_int(|f| { f.ci(i64::MIN).ci(-1).imul(); }),
+        eval_int(|f| {
+            f.ci(i64::MAX).ci(1).iadd();
+        }),
+        i64::MIN
+    );
+    assert_eq!(
+        eval_int(|f| {
+            f.ci(i64::MIN).ci(1).isub();
+        }),
+        i64::MAX
+    );
+    assert_eq!(
+        eval_int(|f| {
+            f.ci(i64::MIN).ci(-1).imul();
+        }),
         i64::MIN // two's complement wrap
     );
     // shift counts are masked to 6 bits, like JVM longs
-    assert_eq!(eval_int(|f| { f.ci(1).ci(64).ishl(); }), 1);
-    assert_eq!(eval_int(|f| { f.ci(1).ci(65).ishl(); }), 2);
+    assert_eq!(
+        eval_int(|f| {
+            f.ci(1).ci(64).ishl();
+        }),
+        1
+    );
+    assert_eq!(
+        eval_int(|f| {
+            f.ci(1).ci(65).ishl();
+        }),
+        2
+    );
     // MIN / -1 wraps rather than trapping
-    assert_eq!(eval_int(|f| { f.ci(i64::MIN).ci(-1).idiv(); }), i64::MIN);
+    assert_eq!(
+        eval_int(|f| {
+            f.ci(i64::MIN).ci(-1).idiv();
+        }),
+        i64::MIN
+    );
 }
 
 #[test]
@@ -93,35 +215,140 @@ fn float_arithmetic_and_conversions() {
             got as f64 / 1000.0
         );
     };
-    near(|f| { f.cf(1.5).cf(2.25).fadd(); }, 3.75);
-    near(|f| { f.cf(1.5).cf(2.25).fsub(); }, -0.75);
-    near(|f| { f.cf(1.5).cf(2.0).fmul(); }, 3.0);
-    near(|f| { f.cf(1.5).cf(2.0).fdiv(); }, 0.75);
-    near(|f| { f.cf(-1.5).fneg(); }, 1.5);
-    near(|f| { f.cf(-1.5).fabs(); }, 1.5);
-    near(|f| { f.cf(2.25).fsqrt(); }, 1.5);
-    near(|f| { f.cf(0.0).fsin(); }, 0.0);
-    near(|f| { f.cf(0.0).fcos(); }, 1.0);
-    near(|f| { f.cf(0.0).fexp(); }, 1.0);
-    near(|f| { f.cf(1.0).flog(); }, 0.0);
-    near(|f| { f.cf(1.5).cf(2.5).fmin(); }, 1.5);
-    near(|f| { f.cf(1.5).cf(2.5).fmax(); }, 2.5);
-    near(|f| { f.ci(3).i2f(); }, 3.0);
+    near(
+        |f| {
+            f.cf(1.5).cf(2.25).fadd();
+        },
+        3.75,
+    );
+    near(
+        |f| {
+            f.cf(1.5).cf(2.25).fsub();
+        },
+        -0.75,
+    );
+    near(
+        |f| {
+            f.cf(1.5).cf(2.0).fmul();
+        },
+        3.0,
+    );
+    near(
+        |f| {
+            f.cf(1.5).cf(2.0).fdiv();
+        },
+        0.75,
+    );
+    near(
+        |f| {
+            f.cf(-1.5).fneg();
+        },
+        1.5,
+    );
+    near(
+        |f| {
+            f.cf(-1.5).fabs();
+        },
+        1.5,
+    );
+    near(
+        |f| {
+            f.cf(2.25).fsqrt();
+        },
+        1.5,
+    );
+    near(
+        |f| {
+            f.cf(0.0).fsin();
+        },
+        0.0,
+    );
+    near(
+        |f| {
+            f.cf(0.0).fcos();
+        },
+        1.0,
+    );
+    near(
+        |f| {
+            f.cf(0.0).fexp();
+        },
+        1.0,
+    );
+    near(
+        |f| {
+            f.cf(1.0).flog();
+        },
+        0.0,
+    );
+    near(
+        |f| {
+            f.cf(1.5).cf(2.5).fmin();
+        },
+        1.5,
+    );
+    near(
+        |f| {
+            f.cf(1.5).cf(2.5).fmax();
+        },
+        2.5,
+    );
+    near(
+        |f| {
+            f.ci(3).i2f();
+        },
+        3.0,
+    );
 }
 
 #[test]
 fn f2i_saturates() {
-    assert_eq!(eval_int(|f| { f.cf(1e300).f2i(); }), i64::MAX);
-    assert_eq!(eval_int(|f| { f.cf(-1e300).f2i(); }), i64::MIN);
-    assert_eq!(eval_int(|f| { f.cf(f64::NAN).f2i(); }), 0);
-    assert_eq!(eval_int(|f| { f.cf(-2.9).f2i(); }), -2); // truncation
+    assert_eq!(
+        eval_int(|f| {
+            f.cf(1e300).f2i();
+        }),
+        i64::MAX
+    );
+    assert_eq!(
+        eval_int(|f| {
+            f.cf(-1e300).f2i();
+        }),
+        i64::MIN
+    );
+    assert_eq!(
+        eval_int(|f| {
+            f.cf(f64::NAN).f2i();
+        }),
+        0
+    );
+    assert_eq!(
+        eval_int(|f| {
+            f.cf(-2.9).f2i();
+        }),
+        -2
+    ); // truncation
 }
 
 #[test]
 fn stack_manipulation() {
-    assert_eq!(eval_int(|f| { f.ci(6).dup().imul(); }), 36);
-    assert_eq!(eval_int(|f| { f.ci(1).ci(2).drop_top(); }), 1);
-    assert_eq!(eval_int(|f| { f.ci(1).ci(2).swap().isub(); }), 1); // 2 - 1
+    assert_eq!(
+        eval_int(|f| {
+            f.ci(6).dup().imul();
+        }),
+        36
+    );
+    assert_eq!(
+        eval_int(|f| {
+            f.ci(1).ci(2).drop_top();
+        }),
+        1
+    );
+    assert_eq!(
+        eval_int(|f| {
+            f.ci(1).ci(2).swap().isub();
+        }),
+        1
+    ); // 2 - 1
 }
 
 #[test]
@@ -296,7 +523,10 @@ fn runtime_type_errors_are_reported() {
         eval_err(|f| {
             f.ci(1).cf(2.0).iadd();
         }),
-        VmError::TypeMismatch { expected: "int", .. }
+        VmError::TypeMismatch {
+            expected: "int",
+            ..
+        }
     ));
     assert!(matches!(
         eval_err(|f| {

@@ -23,7 +23,11 @@ fn arb_cond() -> impl Strategy<Value = Cond> {
 }
 
 fn arb_kind() -> impl Strategy<Value = ElemKind> {
-    prop_oneof![Just(ElemKind::Int), Just(ElemKind::Float), Just(ElemKind::Ref)]
+    prop_oneof![
+        Just(ElemKind::Int),
+        Just(ElemKind::Float),
+        Just(ElemKind::Ref)
+    ]
 }
 
 /// Any instruction, with operands that may or may not be valid.

@@ -27,7 +27,14 @@ fn build(with_cursor_bug: bool) -> Program {
         f.ci(64).newarray(ElemKind::Int).st(hist);
         f.for_in(i, 0.into(), n.into(), |f| {
             // v = hash-ish of i
-            f.ld(i).ci(2654435761).imul().ci(16).iushr().ci(63).iand().st(v);
+            f.ld(i)
+                .ci(2654435761)
+                .imul()
+                .ci(16)
+                .iushr()
+                .ci(63)
+                .iand()
+                .st(v);
             if with_cursor_bug {
                 // "remember where we were" — reads last iteration's
                 // store: an accidental loop-carried dependency

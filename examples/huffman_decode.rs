@@ -82,12 +82,11 @@ fn main() {
         );
         nested = nested - is.cycles + ie.est_tls_cycles.min(is.cycles);
     }
-    println!("outer-as-STL {} cycles  vs  inner-as-STL + serial rest {} cycles", oe.est_tls_cycles, nested);
-    let picked_outer = report
-        .selection
-        .chosen
-        .iter()
-        .any(|c| c.loop_id == outer);
+    println!(
+        "outer-as-STL {} cycles  vs  inner-as-STL + serial rest {} cycles",
+        oe.est_tls_cycles, nested
+    );
+    let picked_outer = report.selection.chosen.iter().any(|c| c.loop_id == outer);
     println!(
         "Equation 2 picks the {} loop{}",
         if picked_outer { "OUTER" } else { "inner" },

@@ -74,8 +74,14 @@ fn main() {
     // ---- run the whole Jrpm pipeline ----
     let report = run_pipeline(&program, &PipelineConfig::default()).expect("pipeline runs");
 
-    println!("candidate loops found : {}", report.candidates.total_loops());
-    println!("rejected statically   : {}", report.candidates.rejected.len());
+    println!(
+        "candidate loops found : {}",
+        report.candidates.total_loops()
+    );
+    println!(
+        "rejected statically   : {}",
+        report.candidates.rejected.len()
+    );
     println!(
         "profiling slowdown    : {:.1}% (paper: 3-25%)",
         (report.profiling_slowdown() - 1.0) * 100.0

@@ -9,7 +9,7 @@ use tvm::{Cond, ElemKind, Interp, NullSink, Program, ProgramBuilder};
 
 fn run_counted(p: &Program) -> (CountingSink, Option<tvm::Value>) {
     let cands = cfgir::extract_candidates(p);
-    let ann = annotate(p, &cands, &AnnotateOptions::profiling());
+    let ann = annotate(p, &cands, &AnnotateOptions::profiling()).unwrap();
     let plain = Interp::run(p, &mut NullSink).unwrap();
     let mut sink = CountingSink::default();
     let r = Interp::run(&ann, &mut sink).unwrap();
@@ -191,7 +191,7 @@ fn return_from_nest_closes_all_banks() {
     let p = b.finish(main).unwrap();
     let (sink, ret) = run_counted(&p);
     assert_eq!(ret.unwrap().as_int().unwrap(), 0); // a[7] == 7
-    // fill loop 1 + helper outer 1 + helper inner 1 (returns in i=0)
+                                                   // fill loop 1 + helper outer 1 + helper inner 1 (returns in i=0)
     assert_eq!(sink.loop_enters, 3);
     assert_eq!(sink.loop_exits, 3, "return must close the whole nest");
 }
@@ -222,7 +222,9 @@ fn multiple_entry_edges_fire_one_sloop() {
         let exit = f.new_label();
         f.bind(head);
         f.ld(i).ci(30).br_icmp(Cond::Ge, exit);
-        f.getstatic(g).ld(i).iadd().putstatic(g);
+        // write-only global traffic: memory ops without a provable
+        // cross-iteration RAW, so the static pre-screen keeps the loop
+        f.ld(i).putstatic(g);
         f.ld(s).ld(i).iadd().st(s);
         f.inc(i, 1);
         f.goto(head);

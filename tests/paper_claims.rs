@@ -15,10 +15,7 @@ fn test_hardware_costs_under_one_percent() {
     assert!(budget.share("Comparator bank") < 0.01);
     // and the CMP total lands near the paper's 115.8M estimate
     let total = budget.total();
-    assert!(
-        (100_000_000..130_000_000).contains(&total),
-        "total {total}"
-    );
+    assert!((100_000_000..130_000_000).contains(&total), "total {total}");
 }
 
 /// "…causes only minor slowdowns to programs during analysis (3-25%)"
@@ -44,8 +41,16 @@ fn software_only_profiling_exceeds_one_hundred_x() {
     let program = (bench.build)(DataSize::Small);
     let cands = cfgir::extract_candidates(&program);
     let c = software_comparison(&program, &cands).unwrap();
-    assert!(c.sw_slowdown > 100.0, "software slowdown {:.0}x", c.sw_slowdown);
-    assert!(c.hw_slowdown < 1.5, "hardware slowdown {:.2}x", c.hw_slowdown);
+    assert!(
+        c.sw_slowdown > 100.0,
+        "software slowdown {:.0}x",
+        c.sw_slowdown
+    );
+    assert!(
+        c.hw_slowdown < 1.5,
+        "hardware slowdown {:.2}x",
+        c.hw_slowdown
+    );
 }
 
 /// "…we expect maximal speedup if the average critical arc length is
@@ -106,12 +111,7 @@ fn equation_two_prefers_huffmans_outer_loop() {
 fn figure9_pathology_misleads_test() {
     let p = jrpm_fig9(8);
     let r = run_pipeline(&p, &PipelineConfig::default()).unwrap();
-    let (outer, stats) = r
-        .profile
-        .stl
-        .iter()
-        .max_by_key(|(_, s)| s.cycles)
-        .unwrap();
+    let (outer, stats) = r.profile.stl.iter().max_by_key(|(_, s)| s.cycles).unwrap();
     assert!(stats.arc_freq_t1() > 0.5, "freq {}", stats.arc_freq_t1());
     let est = &r.selection.estimates[outer];
     assert!(
@@ -188,7 +188,13 @@ fn loop_decompositions_dominate_method_forks() {
     use test_tracer::MethodTracer;
     let mut loops_win = 0;
     let mut total = 0;
-    for name in ["EmFloatPnt", "NumHeapSort", "IDEA", "NeuralNet", "FourierTest"] {
+    for name in [
+        "EmFloatPnt",
+        "NumHeapSort",
+        "IDEA",
+        "NeuralNet",
+        "FourierTest",
+    ] {
         let bench = benchsuite::by_name(name).unwrap();
         let program = (bench.build)(DataSize::Small);
         let report = run_pipeline(&program, &PipelineConfig::default()).unwrap();
@@ -206,8 +212,5 @@ fn loop_decompositions_dominate_method_forks() {
             loops_win += 1;
         }
     }
-    assert!(
-        loops_win >= total - 1,
-        "loops won only {loops_win}/{total}"
-    );
+    assert!(loops_win >= total - 1, "loops won only {loops_win}/{total}");
 }

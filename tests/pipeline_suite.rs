@@ -19,7 +19,7 @@ fn annotation_preserves_semantics_on_every_benchmark() {
             .unwrap_or_else(|e| panic!("{} plain run failed: {e}", bench.name));
         let cands = cfgir::extract_candidates(&program);
         for opts in [AnnotateOptions::base(), AnnotateOptions::profiling()] {
-            let ann = annotate(&program, &cands, &opts);
+            let ann = annotate(&program, &cands, &opts).unwrap();
             let r = Interp::run(&ann, &mut NullSink)
                 .unwrap_or_else(|e| panic!("{} annotated run failed: {e}", bench.name));
             assert_eq!(
@@ -90,7 +90,14 @@ fn profiling_slowdown_is_minor_across_the_suite() {
 fn floating_point_suite_is_predicted_parallel() {
     // Figure 10: the floating point programs show large predicted
     // speedups
-    for name in ["euler", "fft", "LuFactor", "moldyn", "shallow", "FourierTest"] {
+    for name in [
+        "euler",
+        "fft",
+        "LuFactor",
+        "moldyn",
+        "shallow",
+        "FourierTest",
+    ] {
         let bench = by_name(name).unwrap();
         let program = (bench.build)(DataSize::Small);
         let r = run_pipeline(&program, &PipelineConfig::default()).unwrap();
@@ -163,10 +170,13 @@ fn data_sensitive_benchmarks_shift_selection_with_size() {
     assert!(sensitive.len() >= 5);
     let mut shifted = 0;
     for bench in &sensitive {
-        let small = run_pipeline(&(bench.build)(DataSize::Small), &PipelineConfig::default())
-            .unwrap();
-        let big = run_pipeline(&(bench.build)(DataSize::Default), &PipelineConfig::default())
-            .unwrap();
+        let small =
+            run_pipeline(&(bench.build)(DataSize::Small), &PipelineConfig::default()).unwrap();
+        let big = run_pipeline(
+            &(bench.build)(DataSize::Default),
+            &PipelineConfig::default(),
+        )
+        .unwrap();
         let max_ovf = |r: &jrpm::pipeline::PipelineReport| {
             r.profile
                 .stl

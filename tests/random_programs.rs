@@ -48,10 +48,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
         ]
     })
@@ -238,7 +236,7 @@ proptest! {
         let plain = Interp::run(&p, &mut NullSink).unwrap();
         let cands = cfgir::extract_candidates(&p);
         for opts in [AnnotateOptions::base(), AnnotateOptions::profiling()] {
-            let ann = annotate(&p, &cands, &opts);
+            let ann = annotate(&p, &cands, &opts).unwrap();
             let r = Interp::run(&ann, &mut NullSink).unwrap();
             prop_assert_eq!(plain.ret, r.ret);
             prop_assert!(r.cycles >= plain.cycles);

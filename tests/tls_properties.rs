@@ -25,7 +25,10 @@ fn arb_iter() -> impl Strategy<Value = IterTrace> {
                 })
                 .collect();
             acc.sort_by_key(|a| a.rel);
-            IterTrace { cycles, accesses: acc }
+            IterTrace {
+                cycles,
+                accesses: acc,
+            }
         })
 }
 

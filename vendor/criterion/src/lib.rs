@@ -1,0 +1,252 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate supplies the slice of criterion the workspace's benches use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{throughput,
+//! sample_size, bench_function, finish}`, `Bencher::iter`,
+//! `Throughput::Elements` and the `criterion_group!`/`criterion_main!`
+//! macros. Each benchmark is timed with `std::time::Instant` over a
+//! fixed warm-up plus measurement window and reports mean time per
+//! iteration (and element throughput when configured) to stdout.
+//! Passing `--test` (as `cargo bench -- --test` does in CI smoke runs)
+//! runs every benchmark body once without timing.
+
+use std::time::{Duration, Instant};
+
+/// Work-amount declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per benchmark iteration.
+    Elements(u64),
+    /// Bytes processed per benchmark iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, self.test_mode, self.measurement, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-bounded.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Times `f` and prints mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            name,
+            self.throughput,
+            self.criterion.test_mode,
+            self.criterion.measurement,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (separator line only; nothing is buffered).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records total elapsed time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // warm-up: run until ~10% of the window has passed, also
+        // calibrating how many iterations fit
+        let warmup = self.measurement / 10;
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed() / warm_iters.max(1) as u32;
+        let budget = self.measurement.saturating_sub(start.elapsed());
+        let planned = if per_iter.is_zero() {
+            1_000_000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64
+        };
+        let timed = Instant::now();
+        for _ in 0..planned {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = timed.elapsed();
+        self.iters = planned;
+    }
+}
+
+fn run_one<F>(
+    name: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    measurement: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        test_mode,
+        measurement,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("  {name}: ok (test mode)");
+        return;
+    }
+    if b.iters == 0 {
+        println!("  {name}: benchmark body never called iter()");
+        return;
+    }
+    let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!(
+        "  {name}: {} / iter ({} iters)",
+        fmt_ns(per_iter_ns),
+        b.iters
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter_ns > 0.0 => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            line.push_str(&format!(", {:.1} Melem/s", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) if per_iter_ns > 0.0 => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            line.push_str(&format!(", {:.1} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares the benchmark entry list for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Expands to `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion {
+            test_mode: true,
+            measurement: Duration::from_millis(1),
+        };
+        let mut hits = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4)).sample_size(10);
+        g.bench_function("one", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+    }
+}

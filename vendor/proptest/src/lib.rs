@@ -1,0 +1,579 @@
+//! Offline subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate supplies the slice of proptest the workspace's property tests
+//! use: `Strategy` with `prop_map`/`prop_recursive`, tuple and range
+//! strategies, `Just`, `any`, `prop::collection::vec`, `prop::bool::ANY`,
+//! the `proptest!`/`prop_oneof!`/`prop_assert*` macros and
+//! `ProptestConfig`. Generation is a deterministic splitmix64 stream
+//! seeded per test; there is no shrinking — a failing case panics with
+//! the generated inputs' `Debug` rendering so it can be reproduced by
+//! hand.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Per-test configuration (case count only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property case: carries the assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+}
+
+/// Deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator. The `proptest` strategies used in this workspace
+/// map onto plain deterministic sampling; shrinking is not implemented.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Samples one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = Rc::new(self);
+        BoxedStrategy {
+            sample: Rc::new(move |rng| s.gen_value(rng)),
+        }
+    }
+
+    /// Builds recursive structures: up to `depth` nested applications
+    /// of `recurse`, bottoming out at `self` (the leaf strategy). The
+    /// `desired_size`/`expected_branch_size` hints are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut level = self.clone().boxed();
+        for _ in 0..depth {
+            let branch = recurse(level).boxed();
+            let leaf = self.clone().boxed();
+            level = BoxedStrategy {
+                sample: Rc::new(move |rng| {
+                    // favor branching slightly so deep shapes appear
+                    if rng.below(3) < 2 {
+                        branch.gen_value(rng)
+                    } else {
+                        leaf.gen_value(rng)
+                    }
+                }),
+            };
+        }
+        level
+    }
+}
+
+/// Type-erased strategy handle (cheaply cloneable).
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Samples an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64() * 2e6 - 1e6
+    }
+}
+
+/// Strategy over a type's whole domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<i8>()` style).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Vec strategy: length drawn from `len`, elements from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S, L> Strategy for VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: Strategy<Value = usize>,
+    {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.gen_value(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        len: impl Into<SizeRange>,
+    ) -> VecStrategy<S, std::ops::Range<usize>> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+
+    /// Accepted length specifications.
+    pub struct SizeRange(pub std::ops::Range<usize>);
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<std::ops::Range<i32>> for SizeRange {
+        fn from(r: std::ops::Range<i32>) -> Self {
+            SizeRange(r.start as usize..r.end as usize)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+}
+
+#[allow(clippy::module_inception)]
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform boolean strategy (`prop::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// The canonical boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Union of same-valued strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a uniform union over `variants`.
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            variants: self.variants.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        self.variants[i].gen_value(rng)
+    }
+}
+
+/// Uniformly picks one of the listed strategies each sample.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Fails the current property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($a), stringify!($b), a, b, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `name(pat in strategy, ...)` runs its
+/// body over `cases` sampled inputs and panics with the generated
+/// inputs on the first failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // distinct deterministic stream per test
+                let test_seed = {
+                    let name = concat!(module_path!(), "::", stringify!($name));
+                    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+                    })
+                };
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::new(
+                        test_seed ^ (u64::from(case)).wrapping_mul(0x2545_f491_4f6c_dd1d),
+                    );
+                    let mut inputs: Vec<String> = Vec::new();
+                    let sampled = ( $( {
+                        let v = $crate::Strategy::gen_value(&($strat), &mut rng);
+                        inputs.push(format!("{:?}", v));
+                        v
+                    }, )+ );
+                    let ( $($pat,)+ ) = sampled;
+                    #[allow(unused_mut)]
+                    let mut run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(e) = run() {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:\n  {}",
+                            case + 1,
+                            config.cases,
+                            e.0,
+                            inputs.join("\n  ")
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! Everything the property tests import.
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy};
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::collection`, `prop::bool`).
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::TestRng::new(7);
+        let mut b = crate::TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..1000 {
+            let v = (10u32..20).gen_value(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (-4.0f64..4.0).gen_value(&mut rng);
+            assert!((-4.0..4.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u8..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for x in &v {
+                prop_assert!(*x < 10, "x = {}", x);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..4).prop_map(|x| x * 2),
+            Just(99u32),
+        ]) {
+            prop_assert!(v == 99 || v < 8);
+            prop_assert_eq!(v % 2, if v == 99 { 1 } else { 0 });
+        }
+    }
+}

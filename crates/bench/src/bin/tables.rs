@@ -4,6 +4,7 @@
 //! cargo run --release -p jrpm-bench --bin tables -- all
 //! cargo run --release -p jrpm-bench --bin tables -- table6 fig11
 //! cargo run --release -p jrpm-bench --bin tables -- --small all
+//! cargo run --release -p jrpm-bench --bin tables -- --small quick --obs-json obs.json
 //! ```
 
 use benchsuite::DataSize;
@@ -12,6 +13,16 @@ use jrpm_bench::tables;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut obs_json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--obs-json" && i + 1 < args.len() {
+            args.remove(i);
+            obs_json_path = Some(args.remove(i));
+        } else {
+            i += 1;
+        }
+    }
     let mut size = DataSize::Default;
     args.retain(|a| match a.as_str() {
         "--small" => {
@@ -55,6 +66,10 @@ fn main() {
     if want("ablation") {
         println!("{}", jrpm_bench::ablation::all(size));
     }
+    // "quick" is a CI smoke artifact, deliberately not part of "all"
+    if args.iter().any(|a| a == "quick") {
+        println!("{}", jrpm_bench::ablation::quick(size));
+    }
     if want("methods") {
         println!("{}", tables::methods(size));
     }
@@ -62,11 +77,17 @@ fn main() {
         println!("{}", tables::prescreen(size));
     }
 
-    let needs_suite = ["table6", "fig6", "fig10", "fig11", "scorecard"]
+    let needs_full_suite = ["table6", "fig6", "fig10", "fig11", "scorecard", "obs"]
         .iter()
         .any(|n| want(n));
-    if needs_suite {
-        let suite = benchsuite::all();
+    if needs_full_suite || obs_json_path.is_some() {
+        let suite = if needs_full_suite {
+            benchsuite::all()
+        } else {
+            // --obs-json without a suite artifact: a one-benchmark
+            // smoke run is enough to produce the JSON
+            vec![benchsuite::by_name("Huffman").expect("suite has Huffman")]
+        };
         let mut results: Vec<BenchResult> = Vec::new();
         for b in &suite {
             eprint!("running {:<14}... ", b.name);
@@ -98,6 +119,13 @@ fn main() {
         }
         if want("scorecard") {
             println!("{}", tables::scorecard(&results));
+        }
+        if want("obs") {
+            println!("{}", tables::obs(&results));
+        }
+        if let Some(path) = &obs_json_path {
+            std::fs::write(path, tables::obs_json(&results)).expect("write observability JSON");
+            eprintln!("wrote {path}");
         }
     }
 }

@@ -8,6 +8,7 @@ use jrpm::pipeline::{run_pipeline, PipelineConfig};
 use jrpm::slowdown::software_comparison;
 use test_tracer::hwcost::{hydra_budget, CostParams};
 use test_tracer::TracerConfig;
+use tvm::bus::KindCounts;
 use tvm::{Cond, ElemKind, ProgramBuilder};
 
 /// Table 1 — thread-level speculation buffer limits.
@@ -602,6 +603,150 @@ pub fn scorecard(results: &[BenchResult]) -> String {
     s
 }
 
+/// Pipeline observability — per-stage wall time, event-stream volume,
+/// batch occupancy, and sink back-pressure for every benchmark run.
+pub fn obs(results: &[BenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str("Pipeline observability - stage wall time and event-stream statistics\n");
+    s.push_str(&format!(
+        "{:<14}{:>7}{:>12}{:>9}{:>8}   stages (ms)\n",
+        "Benchmark", "passes", "events", "Mev/s", "occup"
+    ));
+    let mut by_kind = KindCounts::default();
+    let mut lagged = 0u64;
+    let mut dropped = 0u64;
+    for r in results {
+        let o = &r.report.obs;
+        by_kind.merge(&o.by_kind);
+        for sink in &o.bus.sinks {
+            lagged += sink.lagged_batches;
+            dropped += sink.dropped_batches;
+        }
+        let stages = o
+            .stages
+            .iter()
+            .map(|st| format!("{} {:.1}", st.stage, st.nanos as f64 / 1e6))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "{:<14}{:>7}{:>12}{:>9.2}{:>7.0}%   {}\n",
+            r.bench.name,
+            o.interpreter_passes,
+            o.recorded_events,
+            o.events_per_sec() / 1e6,
+            o.avg_batch_occupancy() * 100.0,
+            stages
+        ));
+    }
+    s.push_str("Event totals by kind:\n");
+    for (kind, n) in by_kind.iter() {
+        if n > 0 {
+            s.push_str(&format!("  {:<16}{n}\n", kind.name()));
+        }
+    }
+    s.push_str(&format!(
+        "Sink back-pressure: {lagged} lagged batches, {dropped} dropped\n"
+    ));
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The observability report as a JSON document (hand-built; the
+/// workspace deliberately carries no serialization dependency).
+pub fn obs_json(results: &[BenchResult]) -> String {
+    let mut s = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let o = &r.report.obs;
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": {},\n", json_str(r.bench.name)));
+        s.push_str(&format!(
+            "      \"interpreter_passes\": {},\n",
+            o.interpreter_passes
+        ));
+        s.push_str(&format!(
+            "      \"recorded_events\": {},\n",
+            o.recorded_events
+        ));
+        s.push_str(&format!("      \"batches\": {},\n", o.batches));
+        s.push_str(&format!(
+            "      \"batch_capacity\": {},\n",
+            o.batch_capacity
+        ));
+        s.push_str(&format!(
+            "      \"avg_batch_occupancy\": {:.6},\n",
+            o.avg_batch_occupancy()
+        ));
+        s.push_str(&format!(
+            "      \"events_per_sec\": {:.1},\n",
+            o.events_per_sec()
+        ));
+        s.push_str(&format!("      \"threaded\": {},\n", o.bus.threaded));
+        s.push_str("      \"stages\": [");
+        for (j, st) in o.stages.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"stage\": {}, \"nanos\": {}}}",
+                json_str(st.stage),
+                st.nanos
+            ));
+        }
+        s.push_str("],\n");
+        s.push_str("      \"events_by_kind\": {");
+        let mut first = true;
+        for (kind, n) in o.by_kind.iter() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("{}: {n}", json_str(kind.name())));
+        }
+        s.push_str("},\n");
+        s.push_str("      \"sinks\": [");
+        for (j, sink) in o.bus.sinks.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"label\": {}, \"events\": {}, \"batches\": {}, \
+                 \"lagged_batches\": {}, \"dropped_batches\": {}, \"drain_nanos\": {}}}",
+                json_str(&sink.label),
+                sink.events,
+                sink.batches,
+                sink.lagged_batches,
+                sink.dropped_batches,
+                sink.drain_nanos
+            ));
+        }
+        s.push_str("]\n");
+        s.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// The hardware configuration banner printed at the top of reports.
 pub fn banner() -> String {
     let t = TracerConfig::default();
@@ -643,6 +788,21 @@ mod tests {
         // high arc frequency for n=8 and a visible table
         assert!(out.contains("0.75"), "{out}");
         assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn obs_renders_stages_and_json() {
+        let bench = benchsuite::by_name("Huffman").unwrap();
+        let r = crate::runner::run_benchmark(&bench, DataSize::Small).unwrap();
+        let results = vec![r];
+        let text = obs(&results);
+        assert!(text.contains("Huffman"), "{text}");
+        assert!(text.contains("record"), "{text}");
+        assert!(text.contains("heap_load"), "{text}");
+        let json = obs_json(&results);
+        assert!(json.contains("\"interpreter_passes\": "), "{json}");
+        assert!(json.contains("\"stages\": ["), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

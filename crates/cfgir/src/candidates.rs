@@ -91,7 +91,7 @@ pub struct RejectedLoop {
 }
 
 /// The result of candidate extraction over a whole program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ProgramCandidates {
     /// Per-function analyses, indexed by function id.
     pub functions: Vec<FunctionAnalysis>,

@@ -442,4 +442,52 @@ mod tests {
         assert_eq!(ranked[0].site, pc(1));
         assert!(ranked[0].speedup > ranked[1].speedup);
     }
+
+    #[test]
+    fn replayed_call_events_reproduce_direct_stats() {
+        use tvm::record::{Event, Recording};
+        use tvm::TraceSink;
+
+        // a call-heavy stream with result uses, as the interpreter
+        // would emit it
+        let mut events = Vec::new();
+        let mut now = 0;
+        for i in 0..8 {
+            events.push(Event::CallEnter(pc(5), i, now));
+            events.push(Event::HeapStore(0x100 + 8 * i, now + 40, pc(6)));
+            now += 90;
+            events.push(Event::CallExit(pc(5), now));
+            events.push(Event::HeapLoad(0x100 + 8 * i, now + 5, pc(7)));
+            events.push(Event::CallResultUse(pc(5), now + 7));
+            now += 90;
+        }
+        events.push(Event::HeapStore(0xF00, now + 1000, pc(8)));
+        let recording = Recording { events };
+
+        let mut direct = MethodTracer::new();
+        for e in &recording.events {
+            match *e {
+                Event::CallEnter(s, a, t) => direct.call_enter(s, a, t),
+                Event::CallExit(s, t) => direct.call_exit(s, t),
+                Event::CallResultUse(s, t) => direct.call_result_use(s, t),
+                Event::HeapLoad(a, t, p) => direct.heap_load(a, t, p),
+                Event::HeapStore(a, t, p) => direct.heap_store(a, t, p),
+                _ => unreachable!(),
+            }
+        }
+
+        // whole-recording replay and batched bus replay must both
+        // produce identical method statistics
+        let mut replayed = MethodTracer::new();
+        recording.replay(&mut replayed);
+        let mut batched = MethodTracer::new();
+        for b in recording.to_batches(3) {
+            b.replay_into(&mut batched);
+        }
+
+        let want = direct.into_stats();
+        assert!(want[&pc(5)].invocations == 8);
+        assert_eq!(replayed.into_stats(), want);
+        assert_eq!(batched.into_stats(), want);
+    }
 }

@@ -37,7 +37,7 @@ impl PcBin {
 
 /// The CAM/SRAM bin table. Capacity-limited like the hardware: once
 /// full, arcs at unseen PCs are dropped (and counted).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PcBins {
     bins: BTreeMap<(LoopId, Pc), PcBin>,
     capacity: usize,

@@ -36,7 +36,7 @@ pub struct ChosenStl {
 }
 
 /// The outcome of Equation 2 over a whole profile.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SelectionResult {
     /// Selected STLs, by decreasing coverage.
     pub chosen: Vec<ChosenStl>,

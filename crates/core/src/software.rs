@@ -124,6 +124,13 @@ impl SoftwareTracer {
         self.local_masks.extend(masks);
     }
 
+    /// Creates a software tracer with slot masks already installed.
+    pub fn with_masks(masks: impl IntoIterator<Item = (LoopId, u64)>) -> SoftwareTracer {
+        let mut t = SoftwareTracer::new();
+        t.set_local_masks(masks);
+        t
+    }
+
     /// Total modelled profiling cost so far, in cycles. The software
     /// profiling slowdown of a run is
     /// `(program_cycles + modeled_cost) / program_cycles`.

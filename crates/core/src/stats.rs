@@ -133,7 +133,7 @@ impl StlStats {
 pub type ForestEdges = BTreeMap<(Option<LoopId>, LoopId), u64>;
 
 /// Everything TEST collected over one profiled run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Profile {
     /// Per-loop statistics.
     pub stl: BTreeMap<LoopId, StlStats>,

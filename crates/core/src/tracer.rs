@@ -131,6 +131,17 @@ impl TestTracer {
         }
     }
 
+    /// Creates a tracer with the per-loop tracked-variable slot masks
+    /// already installed (see [`TestTracer::set_local_masks`]).
+    pub fn with_masks(
+        cfg: TracerConfig,
+        masks: impl IntoIterator<Item = (LoopId, u64)>,
+    ) -> TestTracer {
+        let mut t = TestTracer::new(cfg);
+        t.set_local_masks(masks);
+        t
+    }
+
     /// Finalizes the run and returns everything collected.
     ///
     /// Any still-active loops (a program that halted mid-loop) are

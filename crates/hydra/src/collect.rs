@@ -127,6 +127,16 @@ impl TlsTraceCollector {
         self.local_masks.extend(masks);
     }
 
+    /// Creates a collector with slot masks already installed.
+    pub fn with_masks(
+        targets: impl IntoIterator<Item = LoopId>,
+        masks: impl IntoIterator<Item = (LoopId, u64)>,
+    ) -> Self {
+        let mut c = TlsTraceCollector::new(targets);
+        c.set_local_masks(masks);
+        c
+    }
+
     fn local_in_mask(&self, var: u16) -> bool {
         let Some(a) = self.active.as_ref() else {
             return false;
@@ -305,5 +315,39 @@ mod tests {
         }
         assert_eq!(c.entries.len(), 2);
         assert_eq!(c.entries[1].start, 100);
+    }
+
+    #[test]
+    fn replayed_streams_collect_identical_traces() {
+        use tvm::record::{Event, Recording};
+
+        let recording = Recording {
+            events: vec![
+                Event::LoopEnter(L0, 2, 0, 100),
+                Event::HeapLoad(0x40, 110, pc()),
+                Event::LocalStore(1, 0, 112, pc()),
+                Event::LoopIter(L0, 120),
+                Event::LoopEnter(L1, 0, 1, 122),
+                Event::HeapStore(0x60, 130, pc()),
+                Event::LoopIter(L1, 132),
+                Event::LoopExit(L1, 134),
+                Event::LoopIter(L0, 140),
+                Event::LoopExit(L0, 145),
+            ],
+        };
+
+        let mut direct = TlsTraceCollector::with_masks([L0], [(L0, 0b10)]);
+        recording.replay(&mut direct);
+
+        // batched replay through the bus representation must agree
+        for cap in [1usize, 3, 64] {
+            let mut batched = TlsTraceCollector::with_masks([L0], [(L0, 0b10)]);
+            for b in recording.to_batches(cap) {
+                b.replay_into(&mut batched);
+            }
+            assert_eq!(batched.entries, direct.entries, "capacity {cap}");
+        }
+        assert_eq!(direct.entries.len(), 1);
+        assert_eq!(direct.entries[0].iters.len(), 2);
     }
 }

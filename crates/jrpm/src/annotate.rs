@@ -390,7 +390,7 @@ fn annotate_function(
         for i in payload {
             em.raw(i);
         }
-        em.branch(Instr::Goto(block_labels[tb as usize]));
+        em.branch(Instr::AGoto(block_labels[tb as usize]));
     }
 
     Function {
@@ -419,7 +419,7 @@ fn emit_fallthrough(
     debug_assert_eq!(ft.0, b.0 + 1, "fallthrough block follows immediately");
     let (l, has_payload) = edge_label(em, b, ft);
     if has_payload {
-        em.branch(Instr::Goto(l));
+        em.branch(Instr::AGoto(l));
     }
     // otherwise control falls straight into the next emitted block
 }

@@ -28,5 +28,8 @@ pub mod pipeline;
 pub mod slowdown;
 
 pub use annotate::{annotate, AnnotateOptions, AnnotationMode};
-pub use pipeline::{run_pipeline, ActualTls, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    run_pipeline, ActualTls, BusConfig, PipelineConfig, PipelineObservability, PipelineReport,
+    StageTime,
+};
 pub use slowdown::{profile_slowdown, software_comparison, SlowdownReport, SoftwareComparison};

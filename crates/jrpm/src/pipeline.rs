@@ -1,14 +1,59 @@
-//! The end-to-end Jrpm pipeline (paper Figure 1).
+//! The end-to-end Jrpm pipeline (paper Figure 1), staged over the
+//! trace bus.
+//!
+//! The pipeline is a sequence of explicit stages — extract, annotate,
+//! record, replay-profile, select, collect, simulate — with the
+//! trace-event stream as the IR between execution and analysis. The
+//! annotated program is interpreted **once**; its event stream is
+//! captured as [`tvm::bus::EventBatch`]es and replayed into the TEST
+//! tracer (and any other consumer) through a [`tvm::bus::TraceBus`].
+//! The plain sequential baseline is *derived*, not re-executed: the
+//! interpreter tallies annotation-instruction cycles separately
+//! ([`AnnotationCycles`]), and since the annotation pass only inserts
+//! annotation instructions, `annotated − annotation = plain` exactly.
+//! That cuts the pipeline from three interpreter executions to two
+//! (profiling + TLS collection; the latter runs a differently
+//! annotated program, so it cannot share the recording without
+//! changing timestamps).
+//!
+//! Every run also produces a [`PipelineObservability`] report:
+//! per-stage wall times, event counts by kind, batch occupancy and —
+//! in threaded mode, where consumers drain batches concurrently with
+//! interpretation — per-sink lag counters.
 
 use crate::annotate::{annotate, AnnotateOptions};
 use cfgir::{extract_candidates, ProgramCandidates};
 use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
 use std::collections::BTreeMap;
+use std::time::Instant;
 use test_tracer::{select_with_priors, Profile, SelectionResult, TestTracer, TracerConfig};
+use tvm::bus::{record_batches, BusReport, KindCounts, TraceBus};
 use tvm::interp::AnnotationCycles;
 use tvm::isa::LoopId;
 use tvm::program::Program;
-use tvm::{Interp, NullSink, VmError};
+use tvm::{Interp, VmError, DEFAULT_BATCH_CAPACITY, DEFAULT_CHANNEL_DEPTH};
+
+/// Trace-bus delivery parameters for a pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct BusConfig {
+    /// Events per [`tvm::bus::EventBatch`].
+    pub batch_capacity: usize,
+    /// Bound of each consumer's batch channel (threaded mode).
+    pub channel_depth: usize,
+    /// Drain consumers on their own threads, overlapping analysis
+    /// with interpretation. Output is bit-identical either way.
+    pub threaded: bool,
+}
+
+impl Default for BusConfig {
+    fn default() -> BusConfig {
+        BusConfig {
+            batch_capacity: DEFAULT_BATCH_CAPACITY,
+            channel_depth: DEFAULT_CHANNEL_DEPTH,
+            threaded: false,
+        }
+    }
+}
 
 /// Configuration for a pipeline run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -17,6 +62,75 @@ pub struct PipelineConfig {
     pub tracer: TracerConfig,
     /// Hydra TLS machine parameters.
     pub tls: TlsConfig,
+    /// Trace-bus delivery parameters.
+    pub bus: BusConfig,
+}
+
+/// Wall time of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTime {
+    /// Stage name (`extract`, `annotate`, `record`, …).
+    pub stage: &'static str,
+    /// Wall time spent in the stage, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Observability report of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineObservability {
+    /// Per-stage wall times, in execution order.
+    pub stages: Vec<StageTime>,
+    /// Interpreter executions performed (at most 2).
+    pub interpreter_passes: u32,
+    /// Trace events that crossed the bus in the profiling stage.
+    pub recorded_events: u64,
+    /// Those events, by kind.
+    pub by_kind: KindCounts,
+    /// Batches that crossed the bus in the profiling stage.
+    pub batches: u64,
+    /// Configured events-per-batch capacity.
+    pub batch_capacity: usize,
+    /// The profiling stage's bus report (per-sink counters; lag/drop
+    /// counters populate in threaded mode).
+    pub bus: BusReport,
+}
+
+impl PipelineObservability {
+    /// Total wall time across stages, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.stages.iter().map(|s| s.nanos).sum()
+    }
+
+    /// Wall time of one stage (0 when the stage didn't run).
+    pub fn stage_nanos(&self, stage: &str) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.nanos)
+            .sum()
+    }
+
+    /// Mean fill fraction of the profiling stage's batches.
+    pub fn avg_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 || self.batch_capacity == 0 {
+            0.0
+        } else {
+            self.recorded_events as f64 / (self.batches * self.batch_capacity as u64) as f64
+        }
+    }
+
+    /// Profiling-stage event throughput (events per wall-clock
+    /// second over the record + replay-profile stages).
+    pub fn events_per_sec(&self) -> f64 {
+        let nanos = self.stage_nanos("record")
+            + self.stage_nanos("replay-profile")
+            + self.stage_nanos("record+profile");
+        if nanos == 0 {
+            0.0
+        } else {
+            self.recorded_events as f64 * 1e9 / nanos as f64
+        }
+    }
 }
 
 /// Per-loop outcome of actual speculative execution.
@@ -61,7 +175,9 @@ impl ActualTls {
 /// Everything a pipeline run produces.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
-    /// Plain (unannotated) sequential cycles.
+    /// Plain (unannotated) sequential cycles, derived exactly from
+    /// the profiling run by subtracting the separately tallied
+    /// annotation-instruction cycles.
     pub seq_cycles: u64,
     /// Profiling-run cycles (optimized annotations).
     pub profile_cycles: u64,
@@ -75,23 +191,40 @@ pub struct PipelineReport {
     pub selection: SelectionResult,
     /// Actual speculative execution of the selected loops.
     pub actual: ActualTls,
+    /// Per-stage timings and bus counters.
+    pub obs: PipelineObservability,
 }
 
 impl PipelineReport {
-    /// Profiling slowdown (Figure 6, optimized annotations).
+    /// Profiling slowdown (Figure 6, optimized annotations). 1.0 for
+    /// a degenerate zero-cycle baseline.
     pub fn profiling_slowdown(&self) -> f64 {
-        self.profile_cycles as f64 / self.seq_cycles as f64
+        if self.seq_cycles == 0 {
+            1.0
+        } else {
+            self.profile_cycles as f64 / self.seq_cycles as f64
+        }
     }
 
     /// Predicted whole-program normalized execution time
-    /// (Figure 10/11: predicted TLS time over sequential time).
+    /// (Figure 10/11: predicted TLS time over sequential time). 1.0
+    /// for a degenerate zero-cycle program.
     pub fn predicted_normalized(&self) -> f64 {
-        self.selection.predicted_cycles as f64 / self.selection.total_cycles as f64
+        if self.selection.total_cycles == 0 {
+            1.0
+        } else {
+            self.selection.predicted_cycles as f64 / self.selection.total_cycles as f64
+        }
     }
 
     /// Actual whole-program normalized execution time (Figure 11).
+    /// 1.0 for a degenerate zero-cycle baseline.
     pub fn actual_normalized(&self) -> f64 {
-        self.actual.tls_cycles as f64 / self.actual.baseline_cycles as f64
+        if self.actual.baseline_cycles == 0 {
+            1.0
+        } else {
+            self.actual.tls_cycles as f64 / self.actual.baseline_cycles as f64
+        }
     }
 }
 
@@ -115,54 +248,111 @@ impl PipelineReport {
 /// let report = run_pipeline(&program, &PipelineConfig::default())?;
 /// assert!(!report.selection.chosen.is_empty(), "the loop is parallel");
 /// assert!(report.actual_normalized() < 0.7, "and Hydra speeds it up");
+/// assert!(report.obs.interpreter_passes <= 2);
 /// # Ok(())
 /// # }
 /// ```
 ///
 /// # Errors
 ///
-/// Any [`VmError`] from the three executions (plain, profiling,
+/// Any [`VmError`] from the two executions (profiling,
 /// trace-collection).
 pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineReport, VmError> {
+    let mut obs = PipelineObservability {
+        batch_capacity: cfg.bus.batch_capacity.max(1),
+        ..PipelineObservability::default()
+    };
+    let stage = |stages: &mut Vec<StageTime>, name, t: Instant| {
+        stages.push(StageTime {
+            stage: name,
+            nanos: t.elapsed().as_nanos() as u64,
+        });
+    };
+
     // 1. identify candidate STLs
+    let t = Instant::now();
     let candidates = extract_candidates(program);
+    stage(&mut obs.stages, "extract", t);
 
-    // 2. plain sequential run (the Figure 6 baseline)
-    let seq = Interp::run(program, &mut NullSink)?;
-
-    // 3. profile with TEST on the fully annotated program (loops the
-    //    static pre-screen demoted are left unannotated, so the tracer
+    // 2. annotate every candidate for profiling (loops the static
+    //    pre-screen demoted are left unannotated, so the tracer
     //    spends no banks on them)
+    let t = Instant::now();
     let annotated = annotate(program, &candidates, &AnnotateOptions::profiling())?;
-    let mut tracer = TestTracer::new(cfg.tracer);
-    tracer.set_local_masks(candidates.tracked_masks());
-    let prof_run = Interp::run(&annotated, &mut tracer)?;
+    stage(&mut obs.stages, "annotate", t);
+
+    // 3. interpret the annotated program ONCE — execution pass 1 —
+    //    capturing its event stream as batches, and feed TEST from
+    //    the bus. Threaded mode drains the tracer concurrently with
+    //    interpretation; otherwise record fully, then replay.
+    let mut tracer = TestTracer::with_masks(cfg.tracer, candidates.tracked_masks());
+    obs.interpreter_passes += 1;
+    let prof_run = if cfg.bus.threaded {
+        let t = Instant::now();
+        let (run, report) = TraceBus::new()
+            .channel_depth(cfg.bus.channel_depth)
+            .sink("test-tracer", &mut tracer)
+            .run_threaded(&annotated, cfg.bus.batch_capacity)?;
+        stage(&mut obs.stages, "record+profile", t);
+        obs.recorded_events = report.events;
+        obs.batches = report.batches;
+        obs.by_kind = report.by_kind;
+        obs.bus = report;
+        run
+    } else {
+        let t = Instant::now();
+        let (run, batches) = record_batches(&annotated, cfg.bus.batch_capacity)?;
+        stage(&mut obs.stages, "record", t);
+        let t = Instant::now();
+        let report = TraceBus::new()
+            .sink("test-tracer", &mut tracer)
+            .replay(&batches);
+        stage(&mut obs.stages, "replay-profile", t);
+        obs.recorded_events = report.events;
+        obs.batches = report.batches;
+        obs.by_kind = report.by_kind;
+        obs.bus = report;
+        run
+    };
     let profile = tracer.into_profile();
+
+    // the plain sequential baseline, exactly: the annotation pass
+    // only inserts annotation instructions, and the interpreter
+    // tallies their cycles separately while charging them
+    let seq_cycles = prof_run.cycles - prof_run.annotation_cycles.total();
 
     // 4. select decompositions (Equations 1 and 2), with the static
     //    verdicts as priors
+    let t = Instant::now();
     let selection = select_with_priors(
         &profile,
         &cfg.tls.estimator_params(),
         prof_run.cycles,
         &candidates.demoted_ids(),
     );
+    stage(&mut obs.stages, "select", t);
 
-    // 5. recompile only the selected loops and collect TLS traces
+    // 5. recompile only the selected loops and collect TLS traces —
+    //    execution pass 2. This interprets a *differently annotated*
+    //    program (different timestamps), so it cannot replay the
+    //    profiling recording.
     let chosen: Vec<LoopId> = selection.chosen.iter().map(|c| c.loop_id).collect();
     let actual = if chosen.is_empty() {
         ActualTls {
             per_loop: BTreeMap::new(),
-            baseline_cycles: seq.cycles,
-            tls_cycles: seq.cycles,
+            baseline_cycles: seq_cycles,
+            tls_cycles: seq_cycles,
         }
     } else {
+        let t = Instant::now();
         let spec = annotate(program, &candidates, &AnnotateOptions::only(chosen.clone()))?;
-        let mut collector = TlsTraceCollector::new(chosen);
-        collector.set_local_masks(candidates.tracked_masks());
+        let mut collector = TlsTraceCollector::with_masks(chosen, candidates.tracked_masks());
+        obs.interpreter_passes += 1;
         let spec_run = Interp::run(&spec, &mut collector)?;
+        stage(&mut obs.stages, "collect", t);
 
         // 6. simulate each entry on Hydra
+        let t = Instant::now();
         let mut per_loop: BTreeMap<LoopId, LoopTls> = BTreeMap::new();
         let mut total = spec_run.cycles;
         for entry in &collector.entries {
@@ -175,6 +365,7 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
             l.threads += r.threads;
             total = total.saturating_sub(entry.seq_cycles) + r.tls_cycles;
         }
+        stage(&mut obs.stages, "simulate", t);
         ActualTls {
             per_loop,
             baseline_cycles: spec_run.cycles,
@@ -183,20 +374,21 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
     };
 
     Ok(PipelineReport {
-        seq_cycles: seq.cycles,
+        seq_cycles,
         profile_cycles: prof_run.cycles,
         annotation: prof_run.annotation_cycles,
         candidates,
         profile,
         selection,
         actual,
+        obs,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tvm::{ElemKind, ProgramBuilder};
+    use tvm::{ElemKind, NullSink, ProgramBuilder};
 
     /// A loop with abundant parallelism: disjoint writes per iteration.
     fn parallel_program(iters: i64) -> Program {
@@ -290,5 +482,72 @@ mod tests {
             (pred - act).abs() < 0.35,
             "predicted {pred:.2} vs actual {act:.2}"
         );
+    }
+
+    #[test]
+    fn derived_baseline_equals_a_real_plain_run() {
+        for p in [parallel_program(150), serial_program(300)] {
+            let r = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+            let plain = Interp::run(&p, &mut NullSink).unwrap();
+            assert_eq!(r.seq_cycles, plain.cycles);
+        }
+    }
+
+    #[test]
+    fn pipeline_performs_at_most_two_passes_and_times_stages() {
+        let p = parallel_program(100);
+        let r = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+        assert_eq!(r.obs.interpreter_passes, 2, "profile + collect");
+        assert!(r.obs.recorded_events > 0);
+        assert!(r.obs.stage_nanos("record") > 0);
+        assert!(r.obs.stage_nanos("select") > 0);
+        assert!(r.obs.avg_batch_occupancy() > 0.0);
+        assert!(r.obs.events_per_sec() > 0.0);
+
+        let serial = run_pipeline(&serial_program(100), &PipelineConfig::default()).unwrap();
+        assert_eq!(serial.obs.interpreter_passes, 1, "nothing chosen");
+    }
+
+    #[test]
+    fn threaded_bus_mode_is_bit_identical() {
+        let p = parallel_program(150);
+        let direct = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+        let threaded = run_pipeline(
+            &p,
+            &PipelineConfig {
+                bus: BusConfig {
+                    batch_capacity: 64,
+                    channel_depth: 2,
+                    threaded: true,
+                },
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(threaded.seq_cycles, direct.seq_cycles);
+        assert_eq!(threaded.profile_cycles, direct.profile_cycles);
+        assert_eq!(threaded.profile, direct.profile);
+        assert_eq!(threaded.selection.chosen, direct.selection.chosen);
+        assert_eq!(threaded.actual.tls_cycles, direct.actual.tls_cycles);
+        assert!(threaded.obs.bus.threaded);
+        assert_eq!(threaded.obs.bus.sinks[0].dropped_batches, 0);
+    }
+
+    #[test]
+    fn ratio_helpers_guard_zero_denominators() {
+        let r = PipelineReport {
+            seq_cycles: 0,
+            profile_cycles: 0,
+            annotation: AnnotationCycles::default(),
+            candidates: ProgramCandidates::default(),
+            profile: Profile::default(),
+            selection: SelectionResult::default(),
+            actual: ActualTls::default(),
+            obs: PipelineObservability::default(),
+        };
+        assert_eq!(r.profiling_slowdown(), 1.0);
+        assert_eq!(r.predicted_normalized(), 1.0);
+        assert_eq!(r.actual_normalized(), 1.0);
+        assert_eq!(r.actual.speedup(), 1.0);
     }
 }

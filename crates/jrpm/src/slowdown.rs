@@ -4,9 +4,10 @@
 use crate::annotate::{annotate, AnnotateOptions};
 use cfgir::ProgramCandidates;
 use test_tracer::{SoftwareTracer, TestTracer, TracerConfig};
+use tvm::bus::Tee;
 use tvm::interp::AnnotationCycles;
 use tvm::program::Program;
-use tvm::{Interp, NullSink, VmError};
+use tvm::{Interp, VmError};
 
 /// Slowdown of one annotation mode, with the component breakdown of
 /// Figure 6's stacked bars.
@@ -34,31 +35,50 @@ pub struct SlowdownReport {
 
 /// Measures profiling slowdown for both annotation modes.
 ///
+/// The plain baseline is derived, not executed: annotation passes
+/// only insert annotation instructions, whose cycles the interpreter
+/// tallies separately, so `annotated − annotation = plain` exactly
+/// and two runs (base + optimized) suffice.
+///
 /// # Errors
 ///
-/// Any [`VmError`] raised by the three runs.
+/// Any [`VmError`] raised by the two runs.
 pub fn profile_slowdown(
     program: &Program,
     cands: &ProgramCandidates,
 ) -> Result<SlowdownReport, VmError> {
-    let seq = Interp::run(program, &mut NullSink)?;
-
-    let run_mode = |opts: &AnnotateOptions| -> Result<ModeSlowdown, VmError> {
+    let run_mode = |opts: &AnnotateOptions| -> Result<(u64, AnnotationCycles), VmError> {
         let ann = annotate(program, cands, opts)?;
         let mut tracer = TestTracer::new(TracerConfig::default());
         tracer.set_local_masks(cands.tracked_masks());
         let r = Interp::run(&ann, &mut tracer)?;
-        Ok(ModeSlowdown {
-            slowdown: r.cycles as f64 / seq.cycles as f64,
-            cycles: r.cycles,
-            breakdown: r.annotation_cycles,
-        })
+        Ok((r.cycles, r.annotation_cycles))
+    };
+
+    let (base_cycles, base_ann) = run_mode(&AnnotateOptions::base())?;
+    let (opt_cycles, opt_ann) = run_mode(&AnnotateOptions::profiling())?;
+    let seq_cycles = base_cycles - base_ann.total();
+    debug_assert_eq!(seq_cycles, opt_cycles - opt_ann.total());
+    let slowdown = |cycles: u64| {
+        if seq_cycles == 0 {
+            1.0
+        } else {
+            cycles as f64 / seq_cycles as f64
+        }
     };
 
     Ok(SlowdownReport {
-        seq_cycles: seq.cycles,
-        base: run_mode(&AnnotateOptions::base())?,
-        optimized: run_mode(&AnnotateOptions::profiling())?,
+        seq_cycles,
+        base: ModeSlowdown {
+            slowdown: slowdown(base_cycles),
+            cycles: base_cycles,
+            breakdown: base_ann,
+        },
+        optimized: ModeSlowdown {
+            slowdown: slowdown(opt_cycles),
+            cycles: opt_cycles,
+            breakdown: opt_ann,
+        },
     })
 }
 
@@ -83,24 +103,29 @@ pub struct SoftwareComparison {
 /// Runs the same annotated program through the hardware model and the
 /// software oracle and compares costs and findings.
 ///
+/// One interpretation serves both consumers: the annotated program
+/// runs once with a [`Tee`] fanning the event stream out to the
+/// hardware model and the oracle (both observe exactly the stream a
+/// dedicated run would have fed them), and the plain baseline is
+/// derived from the separately tallied annotation cycles.
+///
 /// # Errors
 ///
-/// Any [`VmError`] raised by the runs.
+/// Any [`VmError`] raised by the run.
 pub fn software_comparison(
     program: &Program,
     cands: &ProgramCandidates,
 ) -> Result<SoftwareComparison, VmError> {
-    let seq = Interp::run(program, &mut NullSink)?;
     let ann = annotate(program, cands, &AnnotateOptions::profiling())?;
 
-    let mut hw = TestTracer::new(TracerConfig::default());
-    hw.set_local_masks(cands.tracked_masks());
-    let hw_run = Interp::run(&ann, &mut hw)?;
+    let mut hw = TestTracer::with_masks(TracerConfig::default(), cands.tracked_masks());
+    let mut sw = SoftwareTracer::with_masks(cands.tracked_masks());
+    let run = {
+        let mut tee = Tee::new().sink(&mut hw).sink(&mut sw);
+        Interp::run(&ann, &mut tee)?
+    };
+    let seq_cycles = run.cycles - run.annotation_cycles.total();
     let hw_profile = hw.into_profile();
-
-    let mut sw = SoftwareTracer::new();
-    sw.set_local_masks(cands.tracked_masks());
-    let sw_run = Interp::run(&ann, &mut sw)?;
     let sw_cost = sw.modeled_cost();
     let sw_profile = sw.into_profile();
 
@@ -119,8 +144,16 @@ pub fn software_comparison(
     }
 
     Ok(SoftwareComparison {
-        hw_slowdown: hw_run.cycles as f64 / seq.cycles as f64,
-        sw_slowdown: (sw_run.cycles + sw_cost) as f64 / seq.cycles as f64,
+        hw_slowdown: if seq_cycles == 0 {
+            1.0
+        } else {
+            run.cycles as f64 / seq_cycles as f64
+        },
+        sw_slowdown: if seq_cycles == 0 {
+            1.0
+        } else {
+            (run.cycles + sw_cost) as f64 / seq_cycles as f64
+        },
         loops_agreeing: agree,
         loops_total: total,
     })

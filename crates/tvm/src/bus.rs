@@ -1,0 +1,982 @@
+//! The trace bus: batched trace events as a first-class intermediate
+//! representation.
+//!
+//! The TEST hardware observes one sequential execution; every analysis
+//! is a *consumer* of that single event stream. This module promotes
+//! the stream from transient virtual-dispatch callbacks to a durable,
+//! batched IR so the pipeline can **record once and replay many**:
+//!
+//! * [`EventBatch`] — a fixed-capacity chunk of [`Event`]s with a
+//!   struct-of-arrays fast path for heap loads/stores (which dominate
+//!   event volume by an order of magnitude);
+//! * [`Batcher`] — a [`TraceSink`] that groups an emission stream into
+//!   batches and hands each full batch to a flush callback;
+//! * [`Tee`] — a fan-out combinator: one emission feeds N sinks;
+//! * [`TraceBus`] — the orchestrator. It replays batches into labelled
+//!   sinks either inline ([`TraceBus::replay`]) or with one thread per
+//!   sink draining bounded channels ([`TraceBus::replay_threaded`]),
+//!   and can drive the interpreter directly so consumers drain batches
+//!   *while the program still executes*
+//!   ([`TraceBus::run_threaded`]). Every mode produces a [`BusReport`]
+//!   with per-sink event counts, drain times and (in threaded mode)
+//!   lag/drop counters.
+//!
+//! Replay order is the emission order, so any sink observes exactly
+//! the stream a direct [`crate::interp::Interp`] run would have fed
+//! it — analyses are bit-identical across modes.
+
+use crate::interp::{Interp, RunResult};
+use crate::isa::Pc;
+use crate::program::Program;
+use crate::record::Event;
+use crate::trace::{Addr, Cycles, TraceSink};
+use crate::VmError;
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default number of events per [`EventBatch`].
+pub const DEFAULT_BATCH_CAPACITY: usize = 4096;
+
+/// Default bound of the per-sink batch channel in threaded modes.
+pub const DEFAULT_CHANNEL_DEPTH: usize = 8;
+
+/// The discriminant of a trace event, for per-kind accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// Heap (or static) load.
+    HeapLoad,
+    /// Heap (or static) store.
+    HeapStore,
+    /// `lwl` local-variable load annotation.
+    LocalLoad,
+    /// `swl` local-variable store annotation.
+    LocalStore,
+    /// `sloop` loop entry.
+    LoopEnter,
+    /// `eoi` thread boundary.
+    LoopIter,
+    /// `eloop` loop exit.
+    LoopExit,
+    /// End-of-STL statistics read.
+    StatsRead,
+    /// Function call.
+    CallEnter,
+    /// Function return.
+    CallExit,
+    /// First consumption of a call's return value.
+    CallResultUse,
+}
+
+/// Number of distinct [`EventKind`]s.
+pub const N_EVENT_KINDS: usize = 11;
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; N_EVENT_KINDS] = [
+        EventKind::HeapLoad,
+        EventKind::HeapStore,
+        EventKind::LocalLoad,
+        EventKind::LocalStore,
+        EventKind::LoopEnter,
+        EventKind::LoopIter,
+        EventKind::LoopExit,
+        EventKind::StatsRead,
+        EventKind::CallEnter,
+        EventKind::CallExit,
+        EventKind::CallResultUse,
+    ];
+
+    /// Dense index of this kind (0..[`N_EVENT_KINDS`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::HeapLoad => "heap_load",
+            EventKind::HeapStore => "heap_store",
+            EventKind::LocalLoad => "local_load",
+            EventKind::LocalStore => "local_store",
+            EventKind::LoopEnter => "loop_enter",
+            EventKind::LoopIter => "loop_iter",
+            EventKind::LoopExit => "loop_exit",
+            EventKind::StatsRead => "stats_read",
+            EventKind::CallEnter => "call_enter",
+            EventKind::CallExit => "call_exit",
+            EventKind::CallResultUse => "call_result_use",
+        }
+    }
+}
+
+impl Event {
+    /// The kind of this event.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::HeapLoad(..) => EventKind::HeapLoad,
+            Event::HeapStore(..) => EventKind::HeapStore,
+            Event::LocalLoad(..) => EventKind::LocalLoad,
+            Event::LocalStore(..) => EventKind::LocalStore,
+            Event::LoopEnter(..) => EventKind::LoopEnter,
+            Event::LoopIter(..) => EventKind::LoopIter,
+            Event::LoopExit(..) => EventKind::LoopExit,
+            Event::StatsRead(..) => EventKind::StatsRead,
+            Event::CallEnter(..) => EventKind::CallEnter,
+            Event::CallExit(..) => EventKind::CallExit,
+            Event::CallResultUse(..) => EventKind::CallResultUse,
+        }
+    }
+}
+
+/// Event counts by [`EventKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    counts: [u64; N_EVENT_KINDS],
+}
+
+impl KindCounts {
+    /// Records `n` events of `kind`.
+    #[inline]
+    pub fn add(&mut self, kind: EventKind, n: u64) {
+        self.counts[kind.index()] += n;
+    }
+
+    /// Count for one kind.
+    #[inline]
+    pub fn get(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total events across kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds every count of `other` into `self`.
+    pub fn merge(&mut self, other: &KindCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(kind, count)` pairs in discriminant order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventKind, u64)> + '_ {
+        EventKind::ALL.iter().map(move |&k| (k, self.get(k)))
+    }
+}
+
+/// Control-stream entry: where the payload of one event lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctrl {
+    /// Payload in the heap struct-of-arrays columns; event is a load.
+    HeapLoad,
+    /// Payload in the heap struct-of-arrays columns; event is a store.
+    HeapStore,
+    /// Payload in the `misc` event vector.
+    Misc,
+}
+
+/// A fixed-capacity chunk of trace events.
+///
+/// Heap loads and stores — the overwhelming majority of the stream —
+/// are stored in struct-of-arrays columns (`addr`/`cycle`/`pc`); all
+/// other events live in a side vector of [`Event`]. A one-byte control
+/// stream preserves the exact emission order across both storages, so
+/// [`EventBatch::replay_into`] reproduces the original stream exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventBatch {
+    ctrl: Vec<Ctrl>,
+    heap_addr: Vec<Addr>,
+    heap_cycle: Vec<Cycles>,
+    heap_pc: Vec<Pc>,
+    misc: Vec<Event>,
+}
+
+impl EventBatch {
+    /// Creates an empty batch sized for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> EventBatch {
+        EventBatch {
+            ctrl: Vec::with_capacity(capacity),
+            // heap accesses dominate: size their columns for the bulk
+            heap_addr: Vec::with_capacity(capacity),
+            heap_cycle: Vec::with_capacity(capacity),
+            heap_pc: Vec::with_capacity(capacity),
+            misc: Vec::new(),
+        }
+    }
+
+    /// Number of events in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ctrl.len()
+    }
+
+    /// True when no event was pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ctrl.is_empty()
+    }
+
+    /// Appends a heap load without constructing an [`Event`].
+    #[inline]
+    pub fn push_heap_load(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.ctrl.push(Ctrl::HeapLoad);
+        self.heap_addr.push(addr);
+        self.heap_cycle.push(now);
+        self.heap_pc.push(pc);
+    }
+
+    /// Appends a heap store without constructing an [`Event`].
+    #[inline]
+    pub fn push_heap_store(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.ctrl.push(Ctrl::HeapStore);
+        self.heap_addr.push(addr);
+        self.heap_cycle.push(now);
+        self.heap_pc.push(pc);
+    }
+
+    /// Appends any event, routing heap accesses to the SoA columns.
+    pub fn push(&mut self, event: Event) {
+        match event {
+            Event::HeapLoad(a, t, pc) => self.push_heap_load(a, t, pc),
+            Event::HeapStore(a, t, pc) => self.push_heap_store(a, t, pc),
+            e => {
+                self.ctrl.push(Ctrl::Misc);
+                self.misc.push(e);
+            }
+        }
+    }
+
+    /// Feeds every event into `sink` in emission order.
+    pub fn replay_into<S: TraceSink + ?Sized>(&self, sink: &mut S) {
+        let mut heap = 0usize;
+        let mut misc = 0usize;
+        for &c in &self.ctrl {
+            match c {
+                Ctrl::HeapLoad => {
+                    sink.heap_load(
+                        self.heap_addr[heap],
+                        self.heap_cycle[heap],
+                        self.heap_pc[heap],
+                    );
+                    heap += 1;
+                }
+                Ctrl::HeapStore => {
+                    sink.heap_store(
+                        self.heap_addr[heap],
+                        self.heap_cycle[heap],
+                        self.heap_pc[heap],
+                    );
+                    heap += 1;
+                }
+                Ctrl::Misc => {
+                    match self.misc[misc] {
+                        Event::LocalLoad(v, act, t, pc) => sink.local_load(v, act, t, pc),
+                        Event::LocalStore(v, act, t, pc) => sink.local_store(v, act, t, pc),
+                        Event::LoopEnter(l, n, act, t) => sink.loop_enter(l, n, act, t),
+                        Event::LoopIter(l, t) => sink.loop_iter(l, t),
+                        Event::LoopExit(l, t) => sink.loop_exit(l, t),
+                        Event::StatsRead(l, t) => sink.stats_read(l, t),
+                        Event::CallEnter(pc, act, t) => sink.call_enter(pc, act, t),
+                        Event::CallExit(pc, t) => sink.call_exit(pc, t),
+                        Event::CallResultUse(pc, t) => sink.call_result_use(pc, t),
+                        Event::HeapLoad(..) | Event::HeapStore(..) => {
+                            unreachable!("heap events live in the SoA columns, never in misc")
+                        }
+                    }
+                    misc += 1;
+                }
+            }
+        }
+    }
+
+    /// Reconstructs the events in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut heap = 0usize;
+        let mut misc = 0usize;
+        for &c in &self.ctrl {
+            match c {
+                Ctrl::HeapLoad => {
+                    out.push(Event::HeapLoad(
+                        self.heap_addr[heap],
+                        self.heap_cycle[heap],
+                        self.heap_pc[heap],
+                    ));
+                    heap += 1;
+                }
+                Ctrl::HeapStore => {
+                    out.push(Event::HeapStore(
+                        self.heap_addr[heap],
+                        self.heap_cycle[heap],
+                        self.heap_pc[heap],
+                    ));
+                    heap += 1;
+                }
+                Ctrl::Misc => {
+                    out.push(self.misc[misc]);
+                    misc += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-kind event counts of this batch.
+    pub fn kind_counts(&self) -> KindCounts {
+        let mut k = KindCounts::default();
+        for &c in &self.ctrl {
+            match c {
+                Ctrl::HeapLoad => k.add(EventKind::HeapLoad, 1),
+                Ctrl::HeapStore => k.add(EventKind::HeapStore, 1),
+                Ctrl::Misc => {}
+            }
+        }
+        for e in &self.misc {
+            k.add(e.kind(), 1);
+        }
+        k
+    }
+}
+
+/// A [`TraceSink`] that groups the event stream into fixed-capacity
+/// [`EventBatch`]es and hands each full batch to `flush`. Call
+/// [`Batcher::finish`] to flush the final partial batch.
+pub struct Batcher<F: FnMut(EventBatch)> {
+    capacity: usize,
+    batch: EventBatch,
+    flush: F,
+    batches: u64,
+    events: u64,
+}
+
+impl<F: FnMut(EventBatch)> Batcher<F> {
+    /// Creates a batcher emitting batches of up to `capacity` events.
+    /// A zero capacity is promoted to 1.
+    pub fn new(capacity: usize, flush: F) -> Batcher<F> {
+        let capacity = capacity.max(1);
+        Batcher {
+            capacity,
+            batch: EventBatch::with_capacity(capacity),
+            flush,
+            batches: 0,
+            events: 0,
+        }
+    }
+
+    #[inline]
+    fn roll(&mut self) {
+        if self.batch.len() >= self.capacity {
+            let full = std::mem::replace(&mut self.batch, EventBatch::with_capacity(self.capacity));
+            self.batches += 1;
+            self.events += full.len() as u64;
+            (self.flush)(full);
+        }
+    }
+
+    /// Flushes the trailing partial batch and returns
+    /// `(batches, events)` totals.
+    pub fn finish(mut self) -> (u64, u64) {
+        if !self.batch.is_empty() {
+            let last = std::mem::take(&mut self.batch);
+            self.batches += 1;
+            self.events += last.len() as u64;
+            (self.flush)(last);
+        }
+        (self.batches, self.events)
+    }
+}
+
+impl<F: FnMut(EventBatch)> TraceSink for Batcher<F> {
+    fn heap_load(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.batch.push_heap_load(addr, now, pc);
+        self.roll();
+    }
+    fn heap_store(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.batch.push_heap_store(addr, now, pc);
+        self.roll();
+    }
+    fn local_load(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.batch.push(Event::LocalLoad(var, activation, now, pc));
+        self.roll();
+    }
+    fn local_store(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.batch.push(Event::LocalStore(var, activation, now, pc));
+        self.roll();
+    }
+    fn loop_enter(
+        &mut self,
+        loop_id: crate::isa::LoopId,
+        n_locals: u16,
+        activation: u32,
+        now: Cycles,
+    ) {
+        self.batch
+            .push(Event::LoopEnter(loop_id, n_locals, activation, now));
+        self.roll();
+    }
+    fn loop_iter(&mut self, loop_id: crate::isa::LoopId, now: Cycles) {
+        self.batch.push(Event::LoopIter(loop_id, now));
+        self.roll();
+    }
+    fn loop_exit(&mut self, loop_id: crate::isa::LoopId, now: Cycles) {
+        self.batch.push(Event::LoopExit(loop_id, now));
+        self.roll();
+    }
+    fn stats_read(&mut self, loop_id: crate::isa::LoopId, now: Cycles) {
+        self.batch.push(Event::StatsRead(loop_id, now));
+        self.roll();
+    }
+    fn call_enter(&mut self, site: Pc, activation: u32, now: Cycles) {
+        self.batch.push(Event::CallEnter(site, activation, now));
+        self.roll();
+    }
+    fn call_exit(&mut self, site: Pc, now: Cycles) {
+        self.batch.push(Event::CallExit(site, now));
+        self.roll();
+    }
+    fn call_result_use(&mut self, site: Pc, now: Cycles) {
+        self.batch.push(Event::CallResultUse(site, now));
+        self.roll();
+    }
+}
+
+/// Interprets `program` once, capturing its full event stream as
+/// batches of `capacity` events.
+///
+/// # Errors
+///
+/// Any [`VmError`] from the underlying execution.
+pub fn record_batches(
+    program: &Program,
+    capacity: usize,
+) -> Result<(RunResult, Vec<EventBatch>), VmError> {
+    let mut batches = Vec::new();
+    let mut batcher = Batcher::new(capacity, |b| batches.push(b));
+    let run = Interp::run(program, &mut batcher)?;
+    batcher.finish();
+    Ok((run, batches))
+}
+
+/// Fan-out combinator: forwards every event to each inner sink, in
+/// registration order.
+#[derive(Default)]
+pub struct Tee<'a> {
+    sinks: Vec<&'a mut (dyn TraceSink + Send)>,
+}
+
+impl<'a> Tee<'a> {
+    /// Creates an empty tee.
+    pub fn new() -> Tee<'a> {
+        Tee { sinks: Vec::new() }
+    }
+
+    /// Adds a sink; events are forwarded in registration order.
+    #[must_use]
+    pub fn sink(mut self, sink: &'a mut (dyn TraceSink + Send)) -> Tee<'a> {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Number of registered sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no sink is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+macro_rules! tee_forward {
+    ($($method:ident($($arg:ident: $ty:ty),*);)*) => {
+        impl TraceSink for Tee<'_> {
+            $(fn $method(&mut self, $($arg: $ty),*) {
+                for s in self.sinks.iter_mut() {
+                    s.$method($($arg),*);
+                }
+            })*
+        }
+    };
+}
+
+tee_forward! {
+    heap_load(addr: Addr, now: Cycles, pc: Pc);
+    heap_store(addr: Addr, now: Cycles, pc: Pc);
+    local_load(var: u16, activation: u32, now: Cycles, pc: Pc);
+    local_store(var: u16, activation: u32, now: Cycles, pc: Pc);
+    loop_enter(loop_id: crate::isa::LoopId, n_locals: u16, activation: u32, now: Cycles);
+    loop_iter(loop_id: crate::isa::LoopId, now: Cycles);
+    loop_exit(loop_id: crate::isa::LoopId, now: Cycles);
+    stats_read(loop_id: crate::isa::LoopId, now: Cycles);
+    call_enter(site: Pc, activation: u32, now: Cycles);
+    call_exit(site: Pc, now: Cycles);
+    call_result_use(site: Pc, now: Cycles);
+}
+
+/// Per-sink observability counters of one bus run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SinkStats {
+    /// The sink's registration label.
+    pub label: String,
+    /// Events delivered.
+    pub events: u64,
+    /// Events delivered, by kind.
+    pub by_kind: KindCounts,
+    /// Batches delivered.
+    pub batches: u64,
+    /// Threaded mode: batches for which the producer found this sink's
+    /// channel full and had to wait (back-pressure).
+    pub lagged_batches: u64,
+    /// Threaded mode: batches lost because the consumer disappeared.
+    /// Always 0 in normal operation — consumers drain to completion.
+    pub dropped_batches: u64,
+    /// Wall time spent inside the sink's callbacks, in nanoseconds.
+    pub drain_nanos: u64,
+}
+
+/// Observability summary of one bus run (replay or live).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BusReport {
+    /// Batches that crossed the bus.
+    pub batches: u64,
+    /// Events that crossed the bus.
+    pub events: u64,
+    /// Configured per-batch capacity.
+    pub batch_capacity: usize,
+    /// Events by kind.
+    pub by_kind: KindCounts,
+    /// Per-sink counters, in registration order.
+    pub sinks: Vec<SinkStats>,
+    /// True when consumers ran on their own threads.
+    pub threaded: bool,
+}
+
+impl BusReport {
+    /// Mean fill fraction of the batches that crossed the bus.
+    pub fn avg_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 || self.batch_capacity == 0 {
+            0.0
+        } else {
+            self.events as f64 / (self.batches * self.batch_capacity as u64) as f64
+        }
+    }
+}
+
+/// The trace bus orchestrator: labelled sinks plus a delivery policy.
+///
+/// ```
+/// use tvm::bus::{record_batches, TraceBus, DEFAULT_BATCH_CAPACITY};
+/// use tvm::trace::CountingSink;
+/// use tvm::{ElemKind, ProgramBuilder};
+///
+/// # fn main() -> Result<(), tvm::VmError> {
+/// let mut b = ProgramBuilder::new();
+/// let main = b.function("main", 0, false, |f| {
+///     let (a, i) = (f.local(), f.local());
+///     f.ci(8).newarray(ElemKind::Int).st(a);
+///     f.for_in(i, 0.into(), 8.into(), |f| {
+///         f.arr_set(a, |f| { f.ld(i); }, |f| { f.ld(i); });
+///     });
+///     f.ret_void();
+/// });
+/// let program = b.finish(main)?;
+///
+/// // record once ...
+/// let (_run, batches) = record_batches(&program, DEFAULT_BATCH_CAPACITY)?;
+/// // ... replay into any number of consumers
+/// let mut a = CountingSink::default();
+/// let mut b2 = CountingSink::default();
+/// let report = TraceBus::new()
+///     .sink("a", &mut a)
+///     .sink("b", &mut b2)
+///     .replay(&batches);
+/// assert_eq!(a, b2);
+/// assert_eq!(report.sinks.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct TraceBus<'a> {
+    sinks: Vec<(String, &'a mut (dyn TraceSink + Send))>,
+    channel_depth: usize,
+}
+
+impl<'a> TraceBus<'a> {
+    /// Creates a bus with no sinks and the default channel depth.
+    pub fn new() -> TraceBus<'a> {
+        TraceBus {
+            sinks: Vec::new(),
+            channel_depth: DEFAULT_CHANNEL_DEPTH,
+        }
+    }
+
+    /// Sets the bound of each consumer's batch channel (threaded
+    /// modes). A zero depth is promoted to 1.
+    #[must_use]
+    pub fn channel_depth(mut self, depth: usize) -> TraceBus<'a> {
+        self.channel_depth = depth.max(1);
+        self
+    }
+
+    /// Registers a labelled consumer.
+    #[must_use]
+    pub fn sink(mut self, label: &str, sink: &'a mut (dyn TraceSink + Send)) -> TraceBus<'a> {
+        self.sinks.push((label.to_string(), sink));
+        self
+    }
+
+    /// Replays `batches` into every sink on the calling thread. Each
+    /// batch is delivered to all sinks (in registration order) before
+    /// the next batch, mirroring the threaded delivery order.
+    pub fn replay(mut self, batches: &[EventBatch]) -> BusReport {
+        let mut report = BusReport {
+            batch_capacity: batches.iter().map(EventBatch::len).max().unwrap_or(0),
+            ..BusReport::default()
+        };
+        let mut stats: Vec<SinkStats> = self
+            .sinks
+            .iter()
+            .map(|(label, _)| SinkStats {
+                label: label.clone(),
+                ..SinkStats::default()
+            })
+            .collect();
+        for batch in batches {
+            let counts = batch.kind_counts();
+            report.batches += 1;
+            report.events += batch.len() as u64;
+            report.by_kind.merge(&counts);
+            for ((_, sink), st) in self.sinks.iter_mut().zip(stats.iter_mut()) {
+                let t = Instant::now();
+                batch.replay_into(*sink);
+                st.drain_nanos += t.elapsed().as_nanos() as u64;
+                st.batches += 1;
+                st.events += batch.len() as u64;
+                st.by_kind.merge(&counts);
+            }
+        }
+        report.sinks = stats;
+        report
+    }
+
+    /// Replays `batches` with one draining thread per sink, fed
+    /// through bounded channels. Every sink still observes the exact
+    /// emission order; back-pressure is counted per sink as
+    /// [`SinkStats::lagged_batches`], never resolved by dropping.
+    pub fn replay_threaded(self, batches: &[EventBatch]) -> BusReport {
+        let capacity = batches.iter().map(EventBatch::len).max().unwrap_or(0);
+        let depth = self.channel_depth;
+        let mut report = BusReport {
+            batch_capacity: capacity,
+            threaded: true,
+            ..BusReport::default()
+        };
+        for batch in batches {
+            report.batches += 1;
+            report.events += batch.len() as u64;
+            report.by_kind.merge(&batch.kind_counts());
+        }
+        let sinks = self.sinks;
+        let mut out: Vec<SinkStats> = Vec::with_capacity(sinks.len());
+        std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(sinks.len());
+            let mut handles = Vec::with_capacity(sinks.len());
+            for (label, sink) in sinks {
+                let (tx, rx) = sync_channel::<&EventBatch>(depth);
+                txs.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut st = SinkStats {
+                        label,
+                        ..SinkStats::default()
+                    };
+                    while let Ok(batch) = rx.recv() {
+                        let t = Instant::now();
+                        batch.replay_into(sink);
+                        st.drain_nanos += t.elapsed().as_nanos() as u64;
+                        st.batches += 1;
+                        st.events += batch.len() as u64;
+                        st.by_kind.merge(&batch.kind_counts());
+                    }
+                    st
+                }));
+            }
+            let mut lagged = vec![0u64; txs.len()];
+            let mut dropped = vec![0u64; txs.len()];
+            for batch in batches {
+                for (i, tx) in txs.iter().enumerate() {
+                    match tx.try_send(batch) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(b)) => {
+                            lagged[i] += 1;
+                            if tx.send(b).is_err() {
+                                dropped[i] += 1;
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => dropped[i] += 1,
+                    }
+                }
+            }
+            drop(txs);
+            for (i, h) in handles.into_iter().enumerate() {
+                let mut st = h.join().expect("bus consumer thread panicked");
+                st.lagged_batches = lagged[i];
+                st.dropped_batches = dropped[i];
+                out.push(st);
+            }
+        });
+        report.sinks = out;
+        report
+    }
+
+    /// Interprets `program` while consumers drain its batches
+    /// concurrently: the interpreter produces [`EventBatch`]es of
+    /// `capacity` events into each sink's bounded channel, one thread
+    /// per sink. Equivalent to record-then-[`TraceBus::replay`] but
+    /// overlaps interpretation with analysis and never materializes
+    /// the whole recording.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] from the underlying execution. Consumers drain
+    /// whatever was produced before the error.
+    pub fn run_threaded(
+        self,
+        program: &Program,
+        capacity: usize,
+    ) -> Result<(RunResult, BusReport), VmError> {
+        let depth = self.channel_depth;
+        let sinks = self.sinks;
+        let mut report = BusReport {
+            batch_capacity: capacity.max(1),
+            threaded: true,
+            ..BusReport::default()
+        };
+        let mut out: Vec<SinkStats> = Vec::with_capacity(sinks.len());
+        let run = std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(sinks.len());
+            let mut handles = Vec::with_capacity(sinks.len());
+            for (label, sink) in sinks {
+                let (tx, rx) = sync_channel::<Arc<EventBatch>>(depth);
+                txs.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut st = SinkStats {
+                        label,
+                        ..SinkStats::default()
+                    };
+                    while let Ok(batch) = rx.recv() {
+                        let t = Instant::now();
+                        batch.replay_into(sink);
+                        st.drain_nanos += t.elapsed().as_nanos() as u64;
+                        st.batches += 1;
+                        st.events += batch.len() as u64;
+                        st.by_kind.merge(&batch.kind_counts());
+                    }
+                    st
+                }));
+            }
+            let mut lagged = vec![0u64; txs.len()];
+            let mut dropped = vec![0u64; txs.len()];
+            let mut by_kind = KindCounts::default();
+            let mut batches = 0u64;
+            let mut events = 0u64;
+            let run = {
+                let mut batcher = Batcher::new(capacity, |batch: EventBatch| {
+                    by_kind.merge(&batch.kind_counts());
+                    batches += 1;
+                    events += batch.len() as u64;
+                    let shared = Arc::new(batch);
+                    for (i, tx) in txs.iter().enumerate() {
+                        match tx.try_send(Arc::clone(&shared)) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(b)) => {
+                                lagged[i] += 1;
+                                if tx.send(b).is_err() {
+                                    dropped[i] += 1;
+                                }
+                            }
+                            Err(TrySendError::Disconnected(_)) => dropped[i] += 1,
+                        }
+                    }
+                });
+                let run = Interp::run(program, &mut batcher);
+                batcher.finish();
+                run
+            };
+            drop(txs);
+            for (i, h) in handles.into_iter().enumerate() {
+                let mut st = h.join().expect("bus consumer thread panicked");
+                st.lagged_batches = lagged[i];
+                st.dropped_batches = dropped[i];
+                out.push(st);
+            }
+            report.by_kind = by_kind;
+            report.batches = batches;
+            report.events = events;
+            run
+        })?;
+        report.sinks = out;
+        Ok((run, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::record::RecordingSink;
+    use crate::trace::CountingSink;
+    use crate::ElemKind;
+
+    fn sample_program() -> crate::Program {
+        let mut b = ProgramBuilder::new();
+        let helper = b.declare("helper", 1, true);
+        b.define(helper, |f| {
+            f.ld(f.param(0)).ci(3).imul().ret();
+        });
+        let main = b.function("main", 0, false, |f| {
+            let (a, i) = (f.local(), f.local());
+            f.ci(16).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 16.into(), |f| {
+                f.arr_set(
+                    a,
+                    |f| {
+                        f.ld(i);
+                    },
+                    |f| {
+                        f.ld(i).call(helper);
+                    },
+                );
+            });
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn batches_preserve_the_exact_stream() {
+        let p = sample_program();
+        let mut rec = RecordingSink::new();
+        Interp::run(&p, &mut rec).unwrap();
+        let recording = rec.into_recording();
+
+        let (_run, batches) = record_batches(&p, 7).unwrap();
+        let replayed: Vec<Event> = batches.iter().flat_map(|b| b.events()).collect();
+        assert_eq!(recording.events, replayed);
+
+        // and replay_into reproduces it too
+        let mut out = RecordingSink::new();
+        for b in &batches {
+            b.replay_into(&mut out);
+        }
+        assert_eq!(recording, out.into_recording());
+    }
+
+    #[test]
+    fn batch_capacity_is_respected() {
+        let p = sample_program();
+        let (_run, batches) = record_batches(&p, 5).unwrap();
+        assert!(batches.len() > 1);
+        for b in &batches[..batches.len() - 1] {
+            assert_eq!(b.len(), 5);
+        }
+        assert!(batches.last().unwrap().len() <= 5);
+    }
+
+    #[test]
+    fn kind_counts_match_event_totals() {
+        let p = sample_program();
+        let (_run, batches) = record_batches(&p, 64).unwrap();
+        let mut total = KindCounts::default();
+        for b in &batches {
+            total.merge(&b.kind_counts());
+        }
+        let mut count = CountingSink::default();
+        Interp::run(&p, &mut count).unwrap();
+        assert_eq!(total.get(EventKind::HeapLoad), count.loads);
+        assert_eq!(total.get(EventKind::HeapStore), count.stores);
+        assert_eq!(
+            total.total(),
+            batches.iter().map(|b| b.len() as u64).sum::<u64>()
+        );
+        assert!(total.get(EventKind::CallEnter) > 0, "calls are captured");
+    }
+
+    #[test]
+    fn tee_feeds_every_sink_identically() {
+        let p = sample_program();
+        let mut a = CountingSink::default();
+        let mut b = CountingSink::default();
+        let mut tee = Tee::new().sink(&mut a).sink(&mut b);
+        Interp::run(&p, &mut tee).unwrap();
+        let mut direct = CountingSink::default();
+        Interp::run(&p, &mut direct).unwrap();
+        assert_eq!(a, direct);
+        assert_eq!(b, direct);
+    }
+
+    #[test]
+    fn replay_and_threaded_replay_agree_with_direct() {
+        let p = sample_program();
+        let mut direct = CountingSink::default();
+        Interp::run(&p, &mut direct).unwrap();
+
+        let (_run, batches) = record_batches(&p, 16).unwrap();
+        let mut single = CountingSink::default();
+        let r1 = TraceBus::new().sink("count", &mut single).replay(&batches);
+        assert_eq!(single, direct);
+        assert_eq!(r1.sinks[0].events, r1.events);
+        assert!(!r1.threaded);
+
+        let mut threaded = CountingSink::default();
+        let mut extra = CountingSink::default();
+        let r2 = TraceBus::new()
+            .channel_depth(2)
+            .sink("count", &mut threaded)
+            .sink("extra", &mut extra)
+            .replay_threaded(&batches);
+        assert_eq!(threaded, direct);
+        assert_eq!(extra, direct);
+        assert!(r2.threaded);
+        assert_eq!(r2.sinks.len(), 2);
+        for s in &r2.sinks {
+            assert_eq!(s.dropped_batches, 0, "bounded channels never drop");
+            assert_eq!(s.events, r2.events);
+        }
+    }
+
+    #[test]
+    fn run_threaded_matches_direct_execution() {
+        let p = sample_program();
+        let mut direct = CountingSink::default();
+        let direct_run = Interp::run(&p, &mut direct).unwrap();
+
+        let mut live = CountingSink::default();
+        let (run, report) = TraceBus::new()
+            .channel_depth(2)
+            .sink("count", &mut live)
+            .run_threaded(&p, 8)
+            .unwrap();
+        assert_eq!(run.cycles, direct_run.cycles);
+        assert_eq!(live, direct);
+        assert!(report.batches > 0);
+        assert!(report.avg_batch_occupancy() > 0.0);
+        assert_eq!(report.sinks[0].dropped_batches, 0);
+    }
+
+    #[test]
+    fn occupancy_is_full_for_exact_multiples() {
+        let mut report = BusReport {
+            batches: 4,
+            events: 32,
+            batch_capacity: 8,
+            ..BusReport::default()
+        };
+        assert_eq!(report.avg_batch_occupancy(), 1.0);
+        report.events = 20;
+        assert_eq!(report.avg_batch_occupancy(), 0.625);
+    }
+}

@@ -68,6 +68,7 @@ pub fn instr(i: &Instr) -> String {
         I2F => "i2f".into(),
         F2I => "f2i".into(),
         Goto(t) => format!("goto -> {t}"),
+        AGoto(t) => format!("agoto -> {t}"),
         If(c, t) => format!("if {} -> {t}", cond(c)),
         IfICmp(c, t) => format!("if_icmp {} -> {t}", cond(c)),
         IfFCmp(c, t) => format!("if_fcmp {} -> {t}", cond(c)),

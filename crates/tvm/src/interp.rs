@@ -30,12 +30,18 @@ pub struct AnnotationCycles {
     pub locals: u64,
     /// End-of-STL statistics read routines.
     pub stats_reads: u64,
+    /// Edge-splitting plumbing branches ([`crate::isa::Instr::AGoto`])
+    /// the annotation compiler inserts to detour through trampolines.
+    pub plumbing: u64,
 }
 
 impl AnnotationCycles {
-    /// Total annotation cycles.
+    /// Total annotation cycles. Since the annotation compiler inserts
+    /// only instructions tallied here, subtracting this total from an
+    /// annotated run's cycles yields the plain program's cycles
+    /// exactly.
     pub fn total(&self) -> u64 {
-        self.markers + self.locals + self.stats_reads
+        self.markers + self.locals + self.stats_reads + self.plumbing
     }
 }
 
@@ -290,6 +296,10 @@ impl Interp {
                 }
 
                 Instr::Goto(t) => next_pc = t,
+                Instr::AGoto(t) => {
+                    ann.plumbing += u64::from(cost.simple);
+                    next_pc = t;
+                }
                 Instr::If(c, t) => {
                     let a = pop_int!();
                     if c.eval_int(a, 0) {

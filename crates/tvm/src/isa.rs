@@ -232,6 +232,13 @@ pub enum Instr {
     // ---- control flow ----
     /// Unconditional branch.
     Goto(u32),
+    /// Unconditional branch inserted by the annotation compiler as
+    /// edge-splitting plumbing (trampoline entries/exits). Executes
+    /// and costs exactly like [`Instr::Goto`], but the interpreter
+    /// tallies its cycles as annotation overhead, keeping
+    /// `annotated_cycles − annotation_cycles == plain_cycles` an
+    /// identity.
+    AGoto(u32),
     /// Pop int a; branch if `a <cond> 0`.
     If(Cond, u32),
     /// Pop b, a (ints); branch if `a <cond> b`.
@@ -299,6 +306,7 @@ impl Instr {
         matches!(
             self,
             Instr::Goto(_)
+                | Instr::AGoto(_)
                 | Instr::If(..)
                 | Instr::IfICmp(..)
                 | Instr::IfFCmp(..)
@@ -311,9 +319,11 @@ impl Instr {
     /// The branch target, if this instruction is a branch.
     pub fn branch_target(&self) -> Option<u32> {
         match self {
-            Instr::Goto(t) | Instr::If(_, t) | Instr::IfICmp(_, t) | Instr::IfFCmp(_, t) => {
-                Some(*t)
-            }
+            Instr::Goto(t)
+            | Instr::AGoto(t)
+            | Instr::If(_, t)
+            | Instr::IfICmp(_, t)
+            | Instr::IfFCmp(_, t) => Some(*t),
             _ => None,
         }
     }
@@ -323,6 +333,7 @@ impl Instr {
     pub fn map_target(self, f: impl FnOnce(u32) -> u32) -> Instr {
         match self {
             Instr::Goto(t) => Instr::Goto(f(t)),
+            Instr::AGoto(t) => Instr::AGoto(f(t)),
             Instr::If(c, t) => Instr::If(c, f(t)),
             Instr::IfICmp(c, t) => Instr::IfICmp(c, f(t)),
             Instr::IfFCmp(c, t) => Instr::IfFCmp(c, f(t)),
@@ -334,7 +345,7 @@ impl Instr {
     pub fn falls_through(&self) -> bool {
         !matches!(
             self,
-            Instr::Goto(_) | Instr::Return | Instr::ReturnVoid | Instr::Halt
+            Instr::Goto(_) | Instr::AGoto(_) | Instr::Return | Instr::ReturnVoid | Instr::Halt
         )
     }
 

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod build;
+pub mod bus;
 pub mod cost;
 pub mod disasm;
 pub mod error;
@@ -69,6 +70,10 @@ pub mod value;
 pub mod verify;
 
 pub use build::{FnBuilder, ProgramBuilder};
+pub use bus::{
+    record_batches, Batcher, BusReport, EventBatch, EventKind, KindCounts, SinkStats, Tee,
+    TraceBus, DEFAULT_BATCH_CAPACITY, DEFAULT_CHANNEL_DEPTH,
+};
 pub use cost::CostModel;
 pub use error::VmError;
 pub use interp::{Interp, RunResult};

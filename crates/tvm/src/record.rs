@@ -6,8 +6,11 @@
 //! harness replays a real benchmark's stream straight into the tracer)
 //! and makes event-level regression tests exact.
 
-use crate::isa::{LoopId, Pc};
+use crate::bus::{EventBatch, KindCounts};
+use crate::isa::{FuncId, LoopId, Pc};
 use crate::trace::{Addr, Cycles, TraceSink};
+use std::fmt;
+use std::path::Path;
 
 /// One captured trace event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +74,300 @@ impl Recording {
     /// True when nothing was captured.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Chunks the recording into [`EventBatch`]es of up to `capacity`
+    /// events, preserving emission order.
+    pub fn to_batches(&self, capacity: usize) -> Vec<EventBatch> {
+        let capacity = capacity.max(1);
+        let mut out = Vec::with_capacity(self.events.len().div_ceil(capacity));
+        let mut batch = EventBatch::with_capacity(capacity);
+        for &e in &self.events {
+            batch.push(e);
+            if batch.len() >= capacity {
+                out.push(std::mem::replace(
+                    &mut batch,
+                    EventBatch::with_capacity(capacity),
+                ));
+            }
+        }
+        if !batch.is_empty() {
+            out.push(batch);
+        }
+        out
+    }
+
+    /// Event counts by kind.
+    pub fn kind_counts(&self) -> KindCounts {
+        let mut k = KindCounts::default();
+        for e in &self.events {
+            k.add(e.kind(), 1);
+        }
+        k
+    }
+
+    /// Serializes the recording into the compact binary trace format.
+    ///
+    /// Layout: the magic `b"TVMR"`, a little-endian `u16` format
+    /// version, the varint event count, then one record per event —
+    /// a kind byte, the zigzag-varint cycle delta from the previous
+    /// event (timestamps are near-monotonic, so deltas are tiny), and
+    /// the kind's remaining fields as varints.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.events.len() * 4);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        write_varint(&mut out, self.events.len() as u64);
+        let mut prev_cycle: Cycles = 0;
+        for e in &self.events {
+            out.push(e.kind().index() as u8);
+            let now = e.cycle();
+            write_zigzag(&mut out, now as i64 - prev_cycle as i64);
+            prev_cycle = now;
+            match *e {
+                Event::HeapLoad(a, _, pc) | Event::HeapStore(a, _, pc) => {
+                    write_varint(&mut out, a as u64);
+                    write_pc(&mut out, pc);
+                }
+                Event::LocalLoad(v, act, _, pc) | Event::LocalStore(v, act, _, pc) => {
+                    write_varint(&mut out, v as u64);
+                    write_varint(&mut out, act as u64);
+                    write_pc(&mut out, pc);
+                }
+                Event::LoopEnter(l, n, act, _) => {
+                    write_varint(&mut out, l.0 as u64);
+                    write_varint(&mut out, n as u64);
+                    write_varint(&mut out, act as u64);
+                }
+                Event::LoopIter(l, _) | Event::LoopExit(l, _) | Event::StatsRead(l, _) => {
+                    write_varint(&mut out, l.0 as u64);
+                }
+                Event::CallEnter(pc, act, _) => {
+                    write_pc(&mut out, pc);
+                    write_varint(&mut out, act as u64);
+                }
+                Event::CallExit(pc, _) | Event::CallResultUse(pc, _) => {
+                    write_pc(&mut out, pc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a recording from [`Recording::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`RecordingError`] on a bad magic/version, a truncated stream,
+    /// an unknown event kind, or a field out of its type's range.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Recording, RecordingError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(RecordingError::BadMagic);
+        }
+        let version = u16::from_le_bytes([r.byte()?, r.byte()?]);
+        if version != FORMAT_VERSION {
+            return Err(RecordingError::BadVersion(version));
+        }
+        let count = r.varint()?;
+        let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
+        let mut prev_cycle: i64 = 0;
+        for _ in 0..count {
+            let kind = r.byte()?;
+            let now = prev_cycle
+                .checked_add(r.zigzag()?)
+                .filter(|&c| c >= 0)
+                .ok_or(RecordingError::FieldRange)?;
+            prev_cycle = now;
+            let now = now as Cycles;
+            let e = match kind {
+                0 => Event::HeapLoad(r.addr()?, now, r.pc()?),
+                1 => Event::HeapStore(r.addr()?, now, r.pc()?),
+                2 => Event::LocalLoad(r.u16()?, r.u32()?, now, r.pc()?),
+                3 => Event::LocalStore(r.u16()?, r.u32()?, now, r.pc()?),
+                4 => Event::LoopEnter(LoopId(r.u32()?), r.u16()?, r.u32()?, now),
+                5 => Event::LoopIter(LoopId(r.u32()?), now),
+                6 => Event::LoopExit(LoopId(r.u32()?), now),
+                7 => Event::StatsRead(LoopId(r.u32()?), now),
+                8 => Event::CallEnter(r.pc()?, r.u32()?, now),
+                9 => Event::CallExit(r.pc()?, now),
+                10 => Event::CallResultUse(r.pc()?, now),
+                k => return Err(RecordingError::BadKind(k)),
+            };
+            events.push(e);
+        }
+        if r.pos != bytes.len() {
+            return Err(RecordingError::TrailingBytes);
+        }
+        Ok(Recording { events })
+    }
+
+    /// Writes the binary trace format to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the filesystem.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), RecordingError> {
+        std::fs::write(path, self.to_bytes()).map_err(RecordingError::Io)
+    }
+
+    /// Reads a recording written by [`Recording::save`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, plus every [`Recording::from_bytes`] parse error.
+    pub fn load(path: impl AsRef<Path>) -> Result<Recording, RecordingError> {
+        Recording::from_bytes(&std::fs::read(path).map_err(RecordingError::Io)?)
+    }
+}
+
+impl Event {
+    /// The event's timestamp.
+    pub fn cycle(&self) -> Cycles {
+        match *self {
+            Event::HeapLoad(_, t, _)
+            | Event::HeapStore(_, t, _)
+            | Event::LocalLoad(_, _, t, _)
+            | Event::LocalStore(_, _, t, _)
+            | Event::LoopEnter(_, _, _, t)
+            | Event::LoopIter(_, t)
+            | Event::LoopExit(_, t)
+            | Event::StatsRead(_, t)
+            | Event::CallEnter(_, _, t)
+            | Event::CallExit(_, t)
+            | Event::CallResultUse(_, t) => t,
+        }
+    }
+}
+
+/// File magic of the binary trace format.
+const MAGIC: &[u8; 4] = b"TVMR";
+
+/// Current version of the binary trace format.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Failure parsing or transporting a serialized [`Recording`].
+#[derive(Debug)]
+pub enum RecordingError {
+    /// Filesystem failure in [`Recording::save`]/[`Recording::load`].
+    Io(std::io::Error),
+    /// The stream does not start with the `TVMR` magic.
+    BadMagic,
+    /// The format version is not [`FORMAT_VERSION`].
+    BadVersion(u16),
+    /// The stream ended mid-record.
+    Truncated,
+    /// An event record carries an unknown kind byte.
+    BadKind(u8),
+    /// A varint field exceeds its target type's range (or a cycle
+    /// delta chain went negative).
+    FieldRange,
+    /// Well-formed events followed by garbage.
+    TrailingBytes,
+}
+
+impl fmt::Display for RecordingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordingError::Io(e) => write!(f, "recording i/o error: {e}"),
+            RecordingError::BadMagic => write!(f, "not a TVMR recording (bad magic)"),
+            RecordingError::BadVersion(v) => write!(f, "unsupported recording version {v}"),
+            RecordingError::Truncated => write!(f, "recording truncated mid-record"),
+            RecordingError::BadKind(k) => write!(f, "unknown event kind byte {k}"),
+            RecordingError::FieldRange => write!(f, "event field out of range"),
+            RecordingError::TrailingBytes => write!(f, "trailing bytes after last event"),
+        }
+    }
+}
+
+impl std::error::Error for RecordingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecordingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn write_zigzag(out: &mut Vec<u8>, v: i64) {
+    write_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn write_pc(out: &mut Vec<u8>, pc: Pc) {
+    write_varint(out, pc.func.0 as u64);
+    write_varint(out, pc.idx as u64);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], RecordingError> {
+        let end = self.pos.checked_add(n).ok_or(RecordingError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(RecordingError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn byte(&mut self) -> Result<u8, RecordingError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, RecordingError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(RecordingError::FieldRange);
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn zigzag(&mut self) -> Result<i64, RecordingError> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    fn u16(&mut self) -> Result<u16, RecordingError> {
+        u16::try_from(self.varint()?).map_err(|_| RecordingError::FieldRange)
+    }
+
+    fn u32(&mut self) -> Result<u32, RecordingError> {
+        u32::try_from(self.varint()?).map_err(|_| RecordingError::FieldRange)
+    }
+
+    fn addr(&mut self) -> Result<Addr, RecordingError> {
+        self.u32()
+    }
+
+    fn pc(&mut self) -> Result<Pc, RecordingError> {
+        let func = FuncId(self.u16()?);
+        let idx = self.u32()?;
+        Ok(Pc { func, idx })
     }
 }
 
@@ -180,6 +477,69 @@ mod tests {
         let mut replayed = CountingSink::default();
         recording.replay(&mut replayed);
         assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let p = sample_program();
+        let mut rec = RecordingSink::new();
+        Interp::run(&p, &mut rec).unwrap();
+        let recording = rec.into_recording();
+
+        let bytes = recording.to_bytes();
+        let back = Recording::from_bytes(&bytes).unwrap();
+        assert_eq!(recording, back);
+        // the format is compact: well under the 40+ bytes/event of the
+        // in-memory representation
+        assert!(bytes.len() < recording.len() * 16, "{} bytes", bytes.len());
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_streams() {
+        let p = sample_program();
+        let mut rec = RecordingSink::new();
+        Interp::run(&p, &mut rec).unwrap();
+        let bytes = rec.into_recording().to_bytes();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Recording::from_bytes(&bad_magic),
+            Err(RecordingError::BadMagic)
+        ));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xff;
+        assert!(matches!(
+            Recording::from_bytes(&bad_version),
+            Err(RecordingError::BadVersion(_))
+        ));
+
+        let truncated = &bytes[..bytes.len() - 1];
+        assert!(matches!(
+            Recording::from_bytes(truncated),
+            Err(RecordingError::Truncated | RecordingError::FieldRange)
+        ));
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            Recording::from_bytes(&trailing),
+            Err(RecordingError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn to_batches_partitions_without_reordering() {
+        let p = sample_program();
+        let mut rec = RecordingSink::new();
+        Interp::run(&p, &mut rec).unwrap();
+        let recording = rec.into_recording();
+        let batches = recording.to_batches(3);
+        let flat: Vec<Event> = batches.iter().flat_map(|b| b.events()).collect();
+        assert_eq!(flat, recording.events);
+        assert!(batches[..batches.len() - 1].iter().all(|b| b.len() == 3));
+        assert_eq!(recording.kind_counts().total(), recording.len() as u64);
     }
 
     #[test]

@@ -128,6 +128,14 @@ pub struct CountingSink {
     pub loop_iters: u64,
     /// Number of `eloop` events.
     pub loop_exits: u64,
+    /// Number of statistics-read events.
+    pub stats_reads: u64,
+    /// Number of call-enter events.
+    pub call_enters: u64,
+    /// Number of call-exit events.
+    pub call_exits: u64,
+    /// Number of call-result-use events.
+    pub call_result_uses: u64,
 }
 
 impl TraceSink for CountingSink {
@@ -152,6 +160,18 @@ impl TraceSink for CountingSink {
     fn loop_exit(&mut self, _loop_id: LoopId, _now: Cycles) {
         self.loop_exits += 1;
     }
+    fn stats_read(&mut self, _loop_id: LoopId, _now: Cycles) {
+        self.stats_reads += 1;
+    }
+    fn call_enter(&mut self, _site: Pc, _act: u32, _now: Cycles) {
+        self.call_enters += 1;
+    }
+    fn call_exit(&mut self, _site: Pc, _now: Cycles) {
+        self.call_exits += 1;
+    }
+    fn call_result_use(&mut self, _site: Pc, _now: Cycles) {
+        self.call_result_uses += 1;
+    }
 }
 
 #[cfg(test)]
@@ -172,12 +192,20 @@ mod tests {
         s.loop_enter(LoopId(0), 1, 0, 4);
         s.loop_iter(LoopId(0), 5);
         s.loop_exit(LoopId(0), 6);
+        s.stats_read(LoopId(0), 7);
+        s.call_enter(pc, 0, 8);
+        s.call_exit(pc, 9);
+        s.call_result_use(pc, 10);
         assert_eq!(s.loads, 1);
         assert_eq!(s.stores, 1);
         assert_eq!(s.local_accesses, 1);
         assert_eq!(s.loop_enters, 1);
         assert_eq!(s.loop_iters, 1);
         assert_eq!(s.loop_exits, 1);
+        assert_eq!(s.stats_reads, 1);
+        assert_eq!(s.call_enters, 1);
+        assert_eq!(s.call_exits, 1);
+        assert_eq!(s.call_result_uses, 1);
     }
 
     #[test]

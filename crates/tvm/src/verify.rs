@@ -60,7 +60,7 @@ pub fn stack_effect(program: &Program, instr: &Instr) -> Result<(u32, u32), VmEr
         IAdd | ISub | IMul | IDiv | IRem | IAnd | IOr | IXor | IShl | IShr | IUShr | IMin
         | IMax | ICmp | FAdd | FSub | FMul | FDiv | FMin | FMax => (2, 1),
         INeg | FNeg | FAbs | FSqrt | FSin | FCos | FExp | FLog | I2F | F2I => (1, 1),
-        Goto(_) => (0, 0),
+        Goto(_) | AGoto(_) => (0, 0),
         If(..) => (1, 0),
         IfICmp(..) | IfFCmp(..) => (2, 0),
         NewArray(_) => (1, 1),
@@ -508,7 +508,7 @@ fn kind_transfer(
             pop_float!();
             st.stack.push(AbsKind::Int);
         }
-        Goto(_) => {}
+        Goto(_) | AGoto(_) => {}
         If(..) => pop_int!(),
         IfICmp(..) => {
             pop_int!();

@@ -137,10 +137,67 @@ impl GuaranteedDep {
 enum Access {
     StaticLoad(GlobalId),
     StaticStore(GlobalId),
-    FieldLoad { base: Sym, field: u16 },
-    FieldStore { base: Sym, field: u16 },
-    ArrayLoad { base: Sym, index: Sym },
-    ArrayStore { base: Sym, index: Sym },
+    FieldLoad {
+        base: Sym,
+        field: u16,
+    },
+    FieldStore {
+        base: Sym,
+        field: u16,
+    },
+    ArrayLoad {
+        base: Sym,
+        index: Sym,
+    },
+    ArrayStore {
+        base: Sym,
+        index: Sym,
+    },
+    /// A call whose callee may (transitively) store to the flagged
+    /// memory categories — an opaque potential store for masking.
+    Opaque {
+        statics: bool,
+        fields: bool,
+        arrays: bool,
+    },
+}
+
+/// Which memory categories each function may (transitively, through
+/// further calls) store to. Indexed by function id.
+fn transitive_store_effects(program: &Program) -> Vec<[bool; 3]> {
+    let n = program.functions.len();
+    let mut effects = vec![[false; 3]; n];
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (fi, f) in program.functions.iter().enumerate() {
+        for instr in &f.code {
+            match instr {
+                Instr::PutStatic(_) => effects[fi][0] = true,
+                Instr::PutField(_) => effects[fi][1] = true,
+                Instr::AStore => effects[fi][2] = true,
+                Instr::Call(callee) => calls[fi].push(callee.0 as usize),
+                _ => {}
+            }
+        }
+    }
+    // propagate to fixpoint (call graphs here are tiny; recursion is
+    // handled by iterating until nothing changes)
+    loop {
+        let mut changed = false;
+        for (fi, callees) in calls.iter().enumerate() {
+            for &callee in callees {
+                let callee_effects = effects[callee];
+                for (k, &on) in callee_effects.iter().enumerate() {
+                    if on && !effects[fi][k] {
+                        effects[fi][k] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return effects;
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -209,6 +266,7 @@ fn collect_accesses(
     lp: &NaturalLoop,
     inductors: &[(Local, i64)],
     invariant: &[bool],
+    effects: &[[bool; 3]],
 ) -> Vec<AccessSite> {
     let is_inductor = |l: Local| inductors.iter().any(|&(i, _)| i == l);
     let mut sites = Vec::new();
@@ -311,6 +369,27 @@ fn collect_accesses(
                         access: Access::ArrayStore { base, index },
                     });
                 }
+                Instr::Call(callee) => {
+                    for _ in 0..program.functions[callee.0 as usize].n_params {
+                        pop(&mut stack);
+                    }
+                    if program.functions[callee.0 as usize].returns {
+                        stack.push(Sym::Unknown);
+                    }
+                    let [statics, fields, arrays] =
+                        effects.get(callee.0 as usize).copied().unwrap_or([true; 3]);
+                    if statics || fields || arrays {
+                        sites.push(AccessSite {
+                            block: b,
+                            instr: i,
+                            access: Access::Opaque {
+                                statics,
+                                fields,
+                                arrays,
+                            },
+                        });
+                    }
+                }
                 other => {
                     // generic fallback: apply the instruction's stack
                     // arity, producing unknowns
@@ -350,6 +429,69 @@ fn every_iteration(dom: &Dominators, lp: &NaturalLoop, site: &AccessSite) -> boo
         .all(|&latch| dom.dominates(site.block, latch))
 }
 
+/// True when some store in the loop may write `load`'s address earlier
+/// in the *same* iteration. Such a store satisfies the load with
+/// same-iteration data, so "the load observes an earlier iteration's
+/// value" is no longer guaranteed and no dependence may be claimed
+/// through it.
+///
+/// A store is harmless only if it provably runs after the load, or if
+/// it provably writes a different address within the iteration (same
+/// invariant array base, same affine shape, different offset). Statics
+/// alias exactly by [`GlobalId`]; object fields can only collide on the
+/// same slot index (distinct objects occupy disjoint storage); arrays
+/// may alias through any base local, so everything not provably
+/// disjoint masks. A call whose callee may transitively store to the
+/// load's memory category is an opaque store and masks the same way.
+fn load_may_be_masked(dom: &Dominators, sites: &[AccessSite], load: &AccessSite) -> bool {
+    sites.iter().any(|s2| match (&load.access, &s2.access) {
+        (Access::StaticLoad(gl), Access::StaticStore(gs)) => {
+            gl == gs && !load_precedes_store(dom, load, s2)
+        }
+        (Access::StaticLoad(_), Access::Opaque { statics: true, .. })
+        | (Access::FieldLoad { .. }, Access::Opaque { fields: true, .. })
+        | (Access::ArrayLoad { .. }, Access::Opaque { arrays: true, .. }) => {
+            !load_precedes_store(dom, load, s2)
+        }
+        (Access::FieldLoad { field: fl, .. }, Access::FieldStore { field: fs, .. }) => {
+            fl == fs && !load_precedes_store(dom, load, s2)
+        }
+        (
+            Access::ArrayLoad {
+                base: bl,
+                index: il,
+            },
+            Access::ArrayStore {
+                base: bs,
+                index: is_,
+            },
+        ) => {
+            if load_precedes_store(dom, load, s2) {
+                return false;
+            }
+            let provably_disjoint = match (bl, il, bs, is_) {
+                (
+                    Sym::Invariant(bl),
+                    Sym::Affine {
+                        ind: il,
+                        scale: sl,
+                        offset: ol,
+                    },
+                    Sym::Invariant(bs),
+                    Sym::Affine {
+                        ind: is_,
+                        scale: ss,
+                        offset: os,
+                    },
+                ) => bl == bs && il == is_ && sl == ss && ol != os,
+                _ => false,
+            };
+            !provably_disjoint
+        }
+        _ => false,
+    })
+}
+
 /// Scans one loop for guaranteed cross-iteration RAW dependences.
 ///
 /// Three shapes are proven (anything else is left alone):
@@ -365,6 +507,14 @@ fn every_iteration(dom: &Dominators, lp: &NaturalLoop, site: &AccessSite) -> boo
 ///    a positive integral distance proves the RAW. Ordering within the
 ///    iteration is irrelevant because the two addresses differ
 ///    whenever the distance is nonzero.
+///
+/// In every shape, no *other* store may be able to write the load's
+/// address earlier in the same iteration ([`load_may_be_masked`]): such
+/// a store would satisfy the load with same-iteration data and void the
+/// cross-iteration guarantee (found by differential fuzzing: the body
+/// `g = -3; g = g;` pairs the second statement's load/store as a
+/// recurrence, but the load can only ever observe the same iteration's
+/// `-3`).
 pub fn analyze_loop(
     program: &Program,
     f: &Function,
@@ -374,7 +524,8 @@ pub fn analyze_loop(
 ) -> Vec<GuaranteedDep> {
     let inductors = inductor_steps(f, cfg, dom, lp);
     let invariant = invariant_locals(f, cfg, lp);
-    let sites = collect_accesses(program, f, cfg, lp, &inductors, &invariant);
+    let effects = transitive_store_effects(program);
+    let sites = collect_accesses(program, f, cfg, lp, &inductors, &invariant, &effects);
     let step_of = |l: Local| {
         inductors
             .iter()
@@ -386,6 +537,9 @@ pub fn analyze_loop(
     let mut deps = Vec::new();
     for load in &sites {
         if !every_iteration(dom, lp, load) {
+            continue;
+        }
+        if load_may_be_masked(dom, &sites, load) {
             continue;
         }
         for store in &sites {
@@ -583,6 +737,130 @@ mod tests {
         });
         let p = b.finish(main).unwrap();
         assert!(analyze(&p).is_empty());
+    }
+
+    #[test]
+    fn masked_static_recurrence_is_not_claimed() {
+        // g = -3; g = g;  — the read of g is always satisfied by the
+        // same iteration's unconditional store of -3, so no
+        // cross-iteration dependence may be claimed (fuzzgen seed 398)
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let main = b.function("main", 0, false, |f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 10.into(), |f| {
+                f.ci(-3).putstatic(g);
+                f.getstatic(g).putstatic(g);
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        assert!(analyze(&p).is_empty(), "got {:?}", analyze(&p));
+    }
+
+    #[test]
+    fn masked_array_recurrence_is_not_claimed() {
+        // a[i-1] = 7; x = a[i-1]; a[i] = x — the load's address was
+        // just written this iteration, so the (load, a[i]) pair proves
+        // nothing
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let a = f.local();
+            let i = f.local();
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 1.into(), 64.into(), |f| {
+                f.ld(a).ld(i).ci(1).isub().ci(7).astore();
+                f.ld(a).ld(i);
+                f.ld(a).ld(i).ci(1).isub().aload();
+                f.astore();
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        assert!(analyze(&p).is_empty(), "got {:?}", analyze(&p));
+    }
+
+    #[test]
+    fn callee_store_masks_through_the_call() {
+        // helper writes g; main's loop calls helper then runs g = g:
+        // the load is satisfied by the callee's same-iteration store,
+        // so no recurrence may be claimed (fuzzgen seed 1546)
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let helper = b.declare("helper", 1, true);
+        b.define(helper, |f| {
+            let x = f.param(0);
+            f.ld(x).putstatic(g);
+            f.ld(x).ret();
+        });
+        let main = b.function("main", 0, false, |f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 10.into(), |f| {
+                f.ld(i).call(helper).drop_top();
+                f.getstatic(g).putstatic(g);
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let f = &p.functions[main.0 as usize];
+        let cfg = Cfg::build(f);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        assert_eq!(forest.len(), 1);
+        let deps = analyze_loop(&p, f, &cfg, &dom, &forest.loops[0]);
+        assert!(deps.is_empty(), "got {deps:?}");
+    }
+
+    #[test]
+    fn pure_callee_does_not_mask() {
+        // the callee only computes; the static recurrence proof stands
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let helper = b.declare("helper", 1, true);
+        b.define(helper, |f| {
+            let x = f.param(0);
+            f.ld(x).ci(3).imul().ret();
+        });
+        let main = b.function("main", 0, false, |f| {
+            let i = f.local();
+            f.for_in(i, 0.into(), 10.into(), |f| {
+                f.ld(i).call(helper).drop_top();
+                f.getstatic(g).ci(1).iadd().putstatic(g);
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let f = &p.functions[main.0 as usize];
+        let cfg = Cfg::build(f);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        assert_eq!(forest.len(), 1);
+        let deps = analyze_loop(&p, f, &cfg, &dom, &forest.loops[0]);
+        assert_eq!(deps.len(), 1, "got {deps:?}");
+        assert!(matches!(deps[0].kind, DepKind::Static(_)));
+    }
+
+    #[test]
+    fn store_after_the_load_does_not_mask() {
+        // x = a[i-1]; a[i] = x; a[i-1] = 7 — the extra store runs
+        // after the load, so the recurrence proof stands
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let a = f.local();
+            let i = f.local();
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 1.into(), 64.into(), |f| {
+                f.ld(a).ld(i);
+                f.ld(a).ld(i).ci(1).isub().aload();
+                f.astore();
+                f.ld(a).ld(i).ci(1).isub().ci(7).astore();
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let deps = analyze(&p);
+        assert_eq!(deps.len(), 1, "got {deps:?}");
+        assert!(matches!(deps[0].kind, DepKind::Array { .. }));
     }
 
     #[test]

@@ -123,8 +123,16 @@ pub fn estimate(stats: &StlStats, params: &EstimatorParams) -> Estimate {
     // overflowing threads stall until they are the head thread: they
     // run effectively serialized
     let compute = stats.cycles as f64 * ((1.0 - overflow_freq) / base_speedup + overflow_freq);
-    let overheads = stats.entries * (params.startup_overhead + params.shutdown_overhead)
-        + stats.threads * params.eoi_overhead;
+    // profiles of very long runs can push these sums toward u64::MAX;
+    // saturate rather than wrap (a saturated estimate is never chosen)
+    let overheads = stats
+        .entries
+        .saturating_mul(
+            params
+                .startup_overhead
+                .saturating_add(params.shutdown_overhead),
+        )
+        .saturating_add(stats.threads.saturating_mul(params.eoi_overhead));
     let est_tls_cycles = (compute + overheads as f64).ceil() as u64;
 
     let speedup = if est_tls_cycles == 0 {
@@ -251,6 +259,36 @@ mod tests {
     fn empty_stats_estimate_neutral() {
         let e = estimate(&StlStats::default(), &EstimatorParams::default());
         assert_eq!(e.base_speedup, 1.0);
+        assert!(e.speedup <= 1.0);
+    }
+
+    #[test]
+    fn near_saturation_counters_do_not_wrap() {
+        // entry/thread counts large enough that the overhead products
+        // would wrap u64: the estimate must saturate, never panic or
+        // come out small enough to look attractive
+        let s = StlStats {
+            entries: u64::MAX / 2,
+            threads: u64::MAX - 1,
+            cycles: u64::MAX,
+            ..StlStats::default()
+        };
+        let e = estimate(&s, &EstimatorParams::default());
+        assert_eq!(e.est_tls_cycles, u64::MAX);
+        assert!(e.speedup <= 1.0 + 1e-9, "got {}", e.speedup);
+    }
+
+    #[test]
+    fn zero_iteration_entries_estimate_neutral() {
+        // entries observed but no threads/cycles at all (every entry
+        // exited before its first iteration)
+        let s = StlStats {
+            entries: 7,
+            ..StlStats::default()
+        };
+        let e = estimate(&s, &EstimatorParams::default());
+        assert_eq!(e.base_speedup, 1.0);
+        assert!(e.est_tls_cycles >= 1);
         assert!(e.speedup <= 1.0);
     }
 }

@@ -122,15 +122,20 @@ pub fn select_with_priors(
         visited: &mut std::collections::BTreeSet<LoopId>,
     ) -> u64 {
         if !visited.insert(l) {
-            return profile.stl[&l].cycles; // already handled: stay serial
+            // already handled: stay serial
+            return profile.stl.get(&l).map_or(0, |s| s.cycles);
         }
-        let stats = &profile.stl[&l];
+        // a loop mentioned only by forest edges has no stats: serial, free
+        let Some(stats) = profile.stl.get(&l) else {
+            return 0;
+        };
         let serial = stats.cycles;
-        // a statically demoted loop is never choosable itself
+        // a statically demoted (or never-estimated) loop is never
+        // choosable itself
         let own = if demoted.contains(&l) {
             u64::MAX
         } else {
-            estimates[&l].est_tls_cycles
+            estimates.get(&l).map_or(u64::MAX, |e| e.est_tls_cycles)
         };
 
         let mut kids_chosen: Vec<LoopId> = Vec::new();
@@ -138,8 +143,8 @@ pub fn select_with_priors(
         let mut kid_cycles = 0u64;
         let mut kid_best = 0u64;
         for c in kids {
-            kid_cycles += profile.stl[&c].cycles;
-            kid_best += best(
+            kid_cycles = kid_cycles.saturating_add(profile.stl.get(&c).map_or(0, |s| s.cycles));
+            kid_best = kid_best.saturating_add(best(
                 c,
                 profile,
                 estimates,
@@ -147,11 +152,11 @@ pub fn select_with_priors(
                 demoted,
                 &mut kids_chosen,
                 visited,
-            );
+            ));
         }
         // children cycles are nested inside this loop's inclusive
         // cycles; guard against attribution noise
-        let nested = serial.saturating_sub(kid_cycles) + kid_best;
+        let nested = serial.saturating_sub(kid_cycles).saturating_add(kid_best);
 
         if own < nested && own < serial {
             chosen.push(l);
@@ -178,25 +183,25 @@ pub fn select_with_priors(
             &mut picks,
             &mut visited,
         );
-        let serial = profile.stl[&root].cycles;
+        let serial = profile.stl.get(&root).map_or(0, |s| s.cycles);
         program_predicted = program_predicted.saturating_sub(serial.saturating_sub(b));
         chosen_ids.extend(picks);
     }
 
     let mut chosen: Vec<ChosenStl> = chosen_ids
         .into_iter()
-        .map(|l| {
-            let cycles = profile.stl[&l].cycles;
-            ChosenStl {
+        .filter_map(|l| {
+            let cycles = profile.stl.get(&l)?.cycles;
+            Some(ChosenStl {
                 loop_id: l,
-                estimate: estimates[&l],
+                estimate: *estimates.get(&l)?,
                 cycles,
                 coverage: if total_cycles == 0 {
                     0.0
                 } else {
                     cycles as f64 / total_cycles as f64
                 },
-            }
+            })
         })
         .collect();
     chosen.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.loop_id.cmp(&b.loop_id)));
@@ -344,5 +349,39 @@ mod tests {
         assert!(r.chosen.is_empty());
         assert_eq!(r.predicted_cycles, 1000);
         assert_eq!(r.predicted_speedup(), 1.0);
+    }
+
+    #[test]
+    fn near_saturation_cycle_counts_do_not_wrap() {
+        // sibling subtrees whose cycle sums exceed u64::MAX: the DP
+        // must saturate instead of wrapping into a tiny "nested" cost
+        let outer = serial_stats(10, u64::MAX);
+        let a = serial_stats(10, u64::MAX / 2 + 1);
+        let b = serial_stats(10, u64::MAX / 2 + 1);
+        let p = profile_with(&[(0, None, outer), (1, Some(0), a), (2, Some(0), b)]);
+        let r = select(&p, &EstimatorParams::default(), u64::MAX);
+        assert!(r.chosen.is_empty());
+        assert_eq!(r.predicted_cycles, u64::MAX);
+    }
+
+    #[test]
+    fn forest_edge_to_untraced_parent_is_harmless() {
+        // a nesting edge can name a parent loop that never produced
+        // stats of its own (e.g. tracer table overflow dropped it);
+        // selection must not panic and must not pick the orphan child
+        let mut p = profile_with(&[(1, Some(0), parallel_stats(1000, 1_000_000))]);
+        p.forest_edges.insert((None, LoopId(0)), 1);
+        let r = select(&p, &EstimatorParams::default(), 1_200_000);
+        assert!(r.chosen.is_empty());
+        assert_eq!(r.predicted_cycles, 1_200_000);
+    }
+
+    #[test]
+    fn zero_cycle_profile_is_neutral() {
+        let p = profile_with(&[(0, None, parallel_stats(0, 0))]);
+        let r = select(&p, &EstimatorParams::default(), 0);
+        assert_eq!(r.predicted_cycles, 0);
+        assert_eq!(r.predicted_speedup(), 1.0);
+        assert_eq!(r.coverage(), 0.0);
     }
 }

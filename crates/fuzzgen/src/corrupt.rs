@@ -1,0 +1,146 @@
+//! Byte-level corruption sweep for the recording wire format.
+//!
+//! [`Recording::from_bytes`] is a parser for untrusted input: whatever
+//! the bytes are, it must return `Ok` or a typed
+//! [`tvm::record::RecordingError`] — never panic, never allocate
+//! proportionally to a length field it has not validated. This module
+//! drives that contract with exhaustive truncations, exhaustive
+//! single-byte bit flips, and seeded random multi-byte mutations.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::Rng;
+use tvm::record::Recording;
+
+/// Outcome counters of a [`corruption_sweep`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorruptStats {
+    /// Mutations attempted.
+    pub attempts: u64,
+    /// Mutations that still parsed successfully.
+    pub parsed: u64,
+    /// Mutations rejected with a typed error.
+    pub rejected: u64,
+}
+
+/// XOR patterns for the single-byte flip pass: all bits, the sign/high
+/// bit (varint continuation), and the low bit (zigzag sign).
+const FLIPS: [u8; 3] = [0xFF, 0x80, 0x01];
+
+/// Runs the full corruption sweep over `bytes`.
+///
+/// Passes, in order: every truncation length `0..len`; every
+/// single-byte XOR with each of three flip patterns; `random_rounds`
+/// seeded mutations that flip up to 8 random bytes and then truncate or
+/// duplicate-splice a random range.
+///
+/// # Errors
+///
+/// A description of the first mutation whose parse *panicked* (the one
+/// outcome the contract forbids).
+pub fn corruption_sweep(
+    bytes: &[u8],
+    seed: u64,
+    random_rounds: u64,
+) -> Result<CorruptStats, String> {
+    let mut stats = CorruptStats::default();
+    for cut in 0..bytes.len() {
+        try_parse(
+            &bytes[..cut],
+            &format!("truncate to {cut} bytes"),
+            &mut stats,
+        )?;
+    }
+    for i in 0..bytes.len() {
+        for flip in FLIPS {
+            let mut m = bytes.to_vec();
+            m[i] ^= flip;
+            try_parse(&m, &format!("byte {i} ^= {flip:#04x}"), &mut stats)?;
+        }
+    }
+    let mut r = Rng::new(seed);
+    for round in 0..random_rounds {
+        let mut m = bytes.to_vec();
+        for _ in 0..=r.below(8) {
+            if m.is_empty() {
+                break;
+            }
+            let i = r.below(m.len() as u64) as usize;
+            m[i] ^= r.next_u64() as u8;
+        }
+        if !m.is_empty() && r.chance(1, 2) {
+            let a = r.below(m.len() as u64) as usize;
+            let b = r.below(m.len() as u64) as usize;
+            let (lo, hi) = (a.min(b), a.max(b));
+            if r.chance(1, 2) {
+                m.truncate(hi);
+            } else {
+                let splice: Vec<u8> = m[lo..hi].to_vec();
+                m.extend_from_slice(&splice);
+            }
+        }
+        try_parse(
+            &m,
+            &format!("random mutation round {round} (seed {seed})"),
+            &mut stats,
+        )?;
+    }
+    Ok(stats)
+}
+
+fn try_parse(bytes: &[u8], what: &str, stats: &mut CorruptStats) -> Result<(), String> {
+    stats.attempts += 1;
+    match catch_unwind(AssertUnwindSafe(|| Recording::from_bytes(bytes))) {
+        Ok(Ok(_)) => {
+            stats.parsed += 1;
+            Ok(())
+        }
+        Ok(Err(_)) => {
+            stats.rejected += 1;
+            Ok(())
+        }
+        Err(payload) => Err(format!(
+            "Recording::from_bytes PANICKED on corrupt input ({what}): {}",
+            panic_message(&payload)
+        )),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_over_a_tiny_recording_never_panics() {
+        use tvm::record::RecordingSink;
+        use tvm::{FuncId, Pc, TraceSink};
+        let pc = |idx| Pc {
+            func: FuncId(0),
+            idx,
+        };
+        let mut sink = RecordingSink::default();
+        sink.heap_load(64, 10, pc(0));
+        sink.heap_store(96, 20, pc(1));
+        sink.loop_enter(tvm::LoopId(0), 0, 2, 30);
+        sink.loop_exit(tvm::LoopId(0), 40);
+        let bytes = sink.into_recording().to_bytes();
+        let stats = corruption_sweep(&bytes, 99, 200).expect("no panics");
+        assert_eq!(
+            stats.attempts,
+            bytes.len() as u64 + bytes.len() as u64 * 3 + 200
+        );
+        assert!(stats.rejected > 0, "some mutations must be rejected");
+    }
+}

@@ -1,0 +1,574 @@
+//! The differential oracle stack.
+//!
+//! Every generated program is pushed through each redundant path the
+//! pipeline has, and every pair of paths that must agree is checked:
+//!
+//! 1. **transport identity** — direct interpretation, serial bus
+//!    replay, threaded replay and live threaded fan-out must produce
+//!    the same [`RunResult`], the same event stream and the same
+//!    tracer [`Profile`];
+//! 2. **serialization identity** — `Recording::to_bytes` /
+//!    `from_bytes` round-trips exactly;
+//! 3. **derived baseline** — profiling cycles minus the measured
+//!    annotation overhead equals a real un-annotated run;
+//! 4. **config stability** — tracer capacities that are large enough
+//!    to never be exercised must not change the per-loop statistics;
+//! 5. **static/dynamic agreement** — a loop `cfgir::memdep` proves
+//!    serial must actually exhibit a cross-iteration RAW in the
+//!    recorded event stream once it runs more iterations than the
+//!    proven dependence distance;
+//! 6. **Hydra sanity** — simulated TLS time is bounded below by the
+//!    longest thread plus fixed overheads, thread counts match the
+//!    trace, and zero violations means the restart penalty is inert;
+//! 7. **pipeline closure** — `run_pipeline` in serial-bus and
+//!    threaded-bus modes agrees end to end.
+//!
+//! Checks are ordered cheap-first so the shrinker converges fast.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::spec::{emit, gen_spec, ProgramSpec};
+use cfgir::{analyze_loop, Dominators, ProgramCandidates};
+use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
+use jrpm::annotate::{annotate, AnnotateOptions};
+use jrpm::{run_pipeline, BusConfig, PipelineConfig};
+use test_tracer::{Profile, TestTracer, TracerConfig};
+use tvm::record::{Event, Recording, RecordingSink};
+use tvm::{
+    record_batches, CostModel, Interp, LoopId, NullSink, Program, RunResult, TraceBus, VmError,
+};
+
+/// Instruction budget per interpreter run. Generated programs retire a
+/// few thousand instructions; anything near this limit is a
+/// non-termination bug worth reporting.
+pub const FUZZ_FUEL: u64 = 20_000_000;
+
+/// A divergence between two paths that must agree.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which oracle tripped.
+    pub oracle: &'static str,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+fn fail(oracle: &'static str, detail: impl Into<String>) -> Failure {
+    Failure {
+        oracle,
+        detail: detail.into(),
+    }
+}
+
+/// Coverage counters for a passing check (CLI statistics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckStats {
+    /// Events in the profiling recording.
+    pub events: usize,
+    /// Candidate STLs extracted.
+    pub candidates: usize,
+    /// Candidates the static pre-screen demoted.
+    pub demoted: usize,
+    /// Loop entries collected for the Hydra simulation.
+    pub tls_entries: usize,
+}
+
+/// Generates the program for `seed` and runs the full oracle stack.
+///
+/// # Errors
+///
+/// The first [`Failure`] any oracle reports.
+pub fn check_seed(seed: u64) -> Result<CheckStats, Failure> {
+    check_spec(&gen_spec(seed))
+}
+
+/// Runs the full oracle stack on one spec.
+///
+/// # Errors
+///
+/// The first [`Failure`] any oracle reports.
+pub fn check_spec(spec: &ProgramSpec) -> Result<CheckStats, Failure> {
+    let program = emit(spec).map_err(|e| fail("emit", e.to_string()))?;
+    check_program(&program)
+}
+
+/// Runs the full oracle stack on an already-built program.
+///
+/// # Errors
+///
+/// The first [`Failure`] any oracle reports.
+pub fn check_program(program: &Program) -> Result<CheckStats, Failure> {
+    tvm::verify::verify_kinds(program).map_err(|e| fail("verify-kinds", e.to_string()))?;
+
+    let cands = cfgir::extract_candidates(program);
+    let masks = cands.tracked_masks();
+    let ann = annotate(program, &cands, &AnnotateOptions::profiling())
+        .map_err(|e| fail("annotate", e.to_string()))?;
+
+    // -- transport 1: direct interpretation, capturing the stream -----
+    let mut sink = RecordingSink::default();
+    let run_d = run_bounded(&ann, &mut sink).map_err(|e| fail("run-annotated", e.to_string()))?;
+    let rec = sink.into_recording();
+
+    // -- derived sequential baseline == a real plain run --------------
+    let run_p =
+        run_bounded(program, &mut NullSink).map_err(|e| fail("run-plain", e.to_string()))?;
+    let derived = run_d
+        .cycles
+        .checked_sub(run_d.annotation_cycles.total())
+        .ok_or_else(|| {
+            fail(
+                "derived-baseline",
+                format!(
+                    "annotation overhead {} exceeds total cycles {}",
+                    run_d.annotation_cycles.total(),
+                    run_d.cycles
+                ),
+            )
+        })?;
+    if run_p.cycles != derived {
+        return Err(fail(
+            "derived-baseline",
+            format!(
+                "plain run took {} cycles but annotated-minus-overhead gives {}",
+                run_p.cycles, derived
+            ),
+        ));
+    }
+    if format!("{:?}", run_p.ret) != format!("{:?}", run_d.ret) {
+        return Err(fail(
+            "derived-baseline",
+            format!(
+                "plain run returned {:?} but annotated run returned {:?}",
+                run_p.ret, run_d.ret
+            ),
+        ));
+    }
+
+    // -- transport 2: serial bus (record batches, flatten) ------------
+    let (run_b, batches) =
+        record_batches(&ann, 64).map_err(|e| fail("serial-batches", e.to_string()))?;
+    same_run("serial-batches", &run_d, &run_b)?;
+    let flat: Vec<Event> = batches.iter().flat_map(|b| b.events()).collect();
+    if flat != rec.events {
+        return Err(fail(
+            "serial-batches",
+            format!(
+                "flattened batch stream has {} events, direct capture has {}",
+                flat.len(),
+                rec.events.len()
+            ),
+        ));
+    }
+
+    // -- transport 3: serial bus replay into sinks --------------------
+    let mut rec_serial = RecordingSink::default();
+    let mut tr_serial = TestTracer::with_masks(TracerConfig::default(), masks.iter().copied());
+    TraceBus::new()
+        .sink("recording", &mut rec_serial)
+        .sink("tracer", &mut tr_serial)
+        .replay(&batches);
+    same_events("serial-replay", &rec, &rec_serial.into_recording())?;
+    let profile = tr_serial.into_profile();
+
+    // -- transport 4: threaded replay ---------------------------------
+    let mut rec_thr = RecordingSink::default();
+    let mut tr_thr = TestTracer::with_masks(TracerConfig::default(), masks.iter().copied());
+    TraceBus::new()
+        .channel_depth(2)
+        .sink("recording", &mut rec_thr)
+        .sink("tracer", &mut tr_thr)
+        .replay_threaded(&batches);
+    same_events("threaded-replay", &rec, &rec_thr.into_recording())?;
+    same_profile("threaded-replay", &profile, &tr_thr.into_profile())?;
+
+    // -- transport 5: live threaded fan-out ---------------------------
+    let mut rec_live = RecordingSink::default();
+    let mut tr_live = TestTracer::with_masks(TracerConfig::default(), masks.iter().copied());
+    let (run_t, _report) = TraceBus::new()
+        .channel_depth(2)
+        .sink("recording", &mut rec_live)
+        .sink("tracer", &mut tr_live)
+        .run_threaded(&ann, 64)
+        .map_err(|e| fail("live-threaded", e.to_string()))?;
+    same_run("live-threaded", &run_d, &run_t)?;
+    same_events("live-threaded", &rec, &rec_live.into_recording())?;
+    same_profile("live-threaded", &profile, &tr_live.into_profile())?;
+
+    // -- transport 6: byte round-trip ---------------------------------
+    let bytes = rec.to_bytes();
+    let rt = Recording::from_bytes(&bytes).map_err(|e| fail("roundtrip-bytes", e.to_string()))?;
+    same_events("roundtrip-bytes", &rec, &rt)?;
+
+    // -- direct replay into a tracer equals the bus-fed tracers -------
+    let mut tr_direct = TestTracer::with_masks(TracerConfig::default(), masks.iter().copied());
+    rec.replay(&mut tr_direct);
+    same_profile("tracer-direct", &profile, &tr_direct.into_profile())?;
+
+    // -- config stability: never-exercised capacities are inert -------
+    check_config_stability(&rec, &masks)?;
+
+    // -- static pre-screen vs the recorded stream ---------------------
+    let deps = guaranteed_deps(program, &cands)?;
+    let demoted_count = check_memdep(program, &cands, &deps)?;
+
+    // -- Hydra simulator sanity invariants ----------------------------
+    let tls_entries = check_hydra(program, &cands, &masks)?;
+
+    // -- whole-pipeline closure: serial vs threaded bus ---------------
+    check_pipeline(program)?;
+
+    Ok(CheckStats {
+        events: rec.len(),
+        candidates: cands.candidates.len(),
+        demoted: demoted_count,
+        tls_entries,
+    })
+}
+
+fn run_bounded<S: tvm::TraceSink>(program: &Program, sink: &mut S) -> Result<RunResult, VmError> {
+    Interp::run_with(program, sink, CostModel::default(), FUZZ_FUEL)
+}
+
+fn same_run(oracle: &'static str, a: &RunResult, b: &RunResult) -> Result<(), Failure> {
+    let (da, db) = (format!("{a:?}"), format!("{b:?}"));
+    if da != db {
+        return Err(fail(oracle, format!("RunResult diverged: {da} vs {db}")));
+    }
+    Ok(())
+}
+
+fn same_events(oracle: &'static str, a: &Recording, b: &Recording) -> Result<(), Failure> {
+    if a != b {
+        let first = a
+            .events
+            .iter()
+            .zip(&b.events)
+            .position(|(x, y)| x != y)
+            .map_or_else(
+                || format!("lengths {} vs {}", a.len(), b.len()),
+                |i| {
+                    format!(
+                        "first divergence at event {i}: {:?} vs {:?}",
+                        a.events[i], b.events[i]
+                    )
+                },
+            );
+        return Err(fail(oracle, format!("event streams diverged: {first}")));
+    }
+    Ok(())
+}
+
+fn same_profile(oracle: &'static str, a: &Profile, b: &Profile) -> Result<(), Failure> {
+    if a != b {
+        return Err(fail(
+            oracle,
+            format!("profiles diverged:\n{a:#?}\nvs\n{b:#?}"),
+        ));
+    }
+    Ok(())
+}
+
+fn profile_with(rec: &Recording, cfg: TracerConfig, masks: &[(LoopId, u64)]) -> Profile {
+    let mut t = TestTracer::with_masks(cfg, masks.iter().copied());
+    rec.replay(&mut t);
+    t.into_profile()
+}
+
+/// Two tracer configurations that only differ in capacities the run
+/// never exhausts must agree on every per-loop statistic.
+fn check_config_stability(rec: &Recording, masks: &[(LoopId, u64)]) -> Result<(), Failure> {
+    let unb = TracerConfig::unbounded();
+    let base = profile_with(rec, unb, masks);
+    let variants: Vec<(&'static str, TracerConfig)> = vec![
+        (
+            "halved (still huge) store-timestamp FIFO",
+            TracerConfig {
+                store_ts_lines: unb.store_ts_lines / 2,
+                ..unb
+            },
+        ),
+        (
+            "halved (still collision-free) line-timestamp tables",
+            TracerConfig {
+                ld_table_entries: unb.ld_table_entries / 2,
+                st_table_entries: unb.st_table_entries / 2,
+                ..unb
+            },
+        ),
+        (
+            "different pc-bin capacity",
+            TracerConfig {
+                pc_bin_capacity: 8,
+                ..unb
+            },
+        ),
+    ];
+    for (what, cfg) in variants {
+        let p = profile_with(rec, cfg, masks);
+        if p.stl != base.stl || p.forest_edges != base.forest_edges {
+            return Err(fail(
+                "config-stability",
+                format!("{what} changed the per-loop statistics"),
+            ));
+        }
+    }
+    if base.max_dynamic_depth <= 32 {
+        let p = profile_with(rec, TracerConfig { n_banks: 32, ..unb }, masks);
+        if p.stl != base.stl || p.forest_edges != base.forest_edges {
+            return Err(fail(
+                "config-stability",
+                "32 banks suffice for this depth but changed the statistics",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Re-derives the guaranteed-dependence set per candidate (minimum
+/// distance per demoted loop).
+fn guaranteed_deps(
+    program: &Program,
+    cands: &ProgramCandidates,
+) -> Result<HashMap<LoopId, u32>, Failure> {
+    let mut out = HashMap::new();
+    for c in &cands.candidates {
+        let fa = &cands.functions[c.func.0 as usize];
+        let f = &program.functions[c.func.0 as usize];
+        let dom = Dominators::compute(&fa.cfg);
+        let ds = analyze_loop(program, f, &fa.cfg, &dom, &fa.forest.loops[c.loop_idx]);
+        if let Some(min) = ds.iter().map(|d| d.distance).min() {
+            out.insert(c.id, min.max(1));
+        }
+    }
+    Ok(out)
+}
+
+/// Checks that demotion verdicts match a fresh `analyze_loop` pass and
+/// that every demoted loop's proven dependence is visible in the event
+/// stream of a run with *all* candidates force-annotated.
+fn check_memdep(
+    program: &Program,
+    cands: &ProgramCandidates,
+    deps: &HashMap<LoopId, u32>,
+) -> Result<usize, Failure> {
+    for c in &cands.candidates {
+        if deps.contains_key(&c.id) != c.is_demoted() {
+            return Err(fail(
+                "memdep-verdict",
+                format!(
+                    "candidate {:?}: extraction says demoted={}, fresh analyze_loop says {}",
+                    c.id,
+                    c.is_demoted(),
+                    deps.contains_key(&c.id)
+                ),
+            ));
+        }
+    }
+    if deps.is_empty() {
+        return Ok(0);
+    }
+    let all_ids: Vec<LoopId> = cands.candidates.iter().map(|c| c.id).collect();
+    let ann_all = annotate(program, cands, &AnnotateOptions::only(all_ids))
+        .map_err(|e| fail("memdep-stream", format!("annotate-all failed: {e}")))?;
+    let mut sink = RecordingSink::default();
+    run_bounded(&ann_all, &mut sink)
+        .map_err(|e| fail("memdep-stream", format!("annotated-all run failed: {e}")))?;
+    check_memdep_stream(&sink.into_recording(), deps)?;
+    Ok(deps.len())
+}
+
+struct EntryWalk {
+    loop_id: LoopId,
+    iter: u32,
+    /// addr -> iteration of the last store within this entry
+    last_store: HashMap<u32, u32>,
+    found_cross_raw: bool,
+}
+
+/// Walks the exact event stream and requires each demoted entry that
+/// completed more iterations than its proven distance to contain at
+/// least one load observing an earlier iteration's store.
+fn check_memdep_stream(rec: &Recording, deps: &HashMap<LoopId, u32>) -> Result<(), Failure> {
+    let mut stack: Vec<EntryWalk> = Vec::new();
+    for e in &rec.events {
+        match *e {
+            Event::LoopEnter(l, _, _, _) => stack.push(EntryWalk {
+                loop_id: l,
+                iter: 0,
+                last_store: HashMap::new(),
+                found_cross_raw: false,
+            }),
+            Event::LoopIter(l, _) => {
+                if let Some(st) = stack.iter_mut().rev().find(|s| s.loop_id == l) {
+                    st.iter += 1;
+                }
+            }
+            Event::LoopExit(l, _) => {
+                // inner entries abandoned by an early function return
+                // unwind together with the exiting loop
+                while let Some(st) = stack.pop() {
+                    let done = st.loop_id == l;
+                    finish_entry(&st, deps)?;
+                    if done {
+                        break;
+                    }
+                }
+            }
+            Event::HeapLoad(a, _, _) => {
+                for st in &mut stack {
+                    if !st.found_cross_raw {
+                        if let Some(&it) = st.last_store.get(&a) {
+                            if it < st.iter {
+                                st.found_cross_raw = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Event::HeapStore(a, _, _) => {
+                for st in &mut stack {
+                    st.last_store.insert(a, st.iter);
+                }
+            }
+            _ => {}
+        }
+    }
+    while let Some(st) = stack.pop() {
+        finish_entry(&st, deps)?;
+    }
+    Ok(())
+}
+
+fn finish_entry(st: &EntryWalk, deps: &HashMap<LoopId, u32>) -> Result<(), Failure> {
+    if let Some(&d) = deps.get(&st.loop_id) {
+        if st.iter > d && !st.found_cross_raw {
+            return Err(fail(
+                "memdep-stream",
+                format!(
+                    "loop {:?} is statically proven serial at distance {d}, but an entry \
+                     with {} completed iterations shows no cross-iteration RAW in its \
+                     heap event stream",
+                    st.loop_id, st.iter
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Collects per-entry TLS traces for every candidate and checks the
+/// Hydra simulator's sanity invariants on each.
+fn check_hydra(
+    program: &Program,
+    cands: &ProgramCandidates,
+    masks: &[(LoopId, u64)],
+) -> Result<usize, Failure> {
+    if cands.candidates.is_empty() {
+        return Ok(0);
+    }
+    let all_ids: Vec<LoopId> = cands.candidates.iter().map(|c| c.id).collect();
+    let ann = annotate(
+        program,
+        cands,
+        &AnnotateOptions::only(all_ids.iter().copied()),
+    )
+    .map_err(|e| fail("hydra", format!("annotate for collection failed: {e}")))?;
+    let mut coll = TlsTraceCollector::with_masks(all_ids, masks.iter().copied());
+    run_bounded(&ann, &mut coll)
+        .map_err(|e| fail("hydra", format!("collection run failed: {e}")))?;
+    let cfg = TlsConfig::default();
+    for (i, entry) in coll.entries.iter().enumerate() {
+        let r = simulate_entry(entry, &cfg);
+        if r.threads != entry.iters.len() as u64 {
+            return Err(fail(
+                "hydra",
+                format!(
+                    "entry {i} of {:?}: trace has {} iterations but the simulator ran {} threads",
+                    entry.loop_id,
+                    entry.iters.len(),
+                    r.threads
+                ),
+            ));
+        }
+        let longest = entry.iters.iter().map(|it| u64::from(it.cycles)).max();
+        if let Some(longest) = longest {
+            let floor =
+                cfg.startup + longest + cfg.eoi + cfg.shutdown + u64::from(entry.tail_cycles);
+            if r.tls_cycles < floor {
+                return Err(fail(
+                    "hydra",
+                    format!(
+                        "entry {i} of {:?}: tls_cycles {} below the longest-thread floor {floor}",
+                        entry.loop_id, r.tls_cycles
+                    ),
+                ));
+            }
+        }
+        if r.violations == 0 {
+            let huge = TlsConfig {
+                violation_restart: 1_000_000,
+                ..cfg
+            };
+            let r2 = simulate_entry(entry, &huge);
+            if r2 != r {
+                return Err(fail(
+                    "hydra",
+                    format!(
+                        "entry {i} of {:?}: zero violations, yet the restart penalty changed \
+                         the result ({r:?} vs {r2:?})",
+                        entry.loop_id
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(coll.entries.len())
+}
+
+/// `run_pipeline` must agree with itself across bus modes.
+fn check_pipeline(program: &Program) -> Result<(), Failure> {
+    let serial = run_pipeline(program, &PipelineConfig::default())
+        .map_err(|e| fail("pipeline", format!("serial pipeline failed: {e}")))?;
+    let threaded_cfg = PipelineConfig {
+        bus: BusConfig {
+            threaded: true,
+            ..BusConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let threaded = run_pipeline(program, &threaded_cfg)
+        .map_err(|e| fail("pipeline", format!("threaded pipeline failed: {e}")))?;
+    if serial.seq_cycles != threaded.seq_cycles
+        || serial.profile_cycles != threaded.profile_cycles
+        || serial.profile != threaded.profile
+        || format!("{:?}", serial.selection) != format!("{:?}", threaded.selection)
+        || format!("{:?}", serial.actual) != format!("{:?}", threaded.actual)
+    {
+        return Err(fail(
+            "pipeline",
+            "serial-bus and threaded-bus pipeline reports diverged",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_quick_seed_range_is_green() {
+        for seed in 0..25 {
+            if let Err(f) = check_seed(seed) {
+                panic!("seed {seed}: {f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Greedy spec minimization.
+//!
+//! Given a failing [`ProgramSpec`] and a predicate that re-checks the
+//! failure, [`shrink`] repeatedly applies the smallest-step structural
+//! reductions — drop a statement, splice a loop or branch body inline,
+//! halve a trip count, collapse a subexpression, drop a declaration —
+//! and keeps any variant that still fails with a strictly smaller
+//! [`ProgramSpec::weight`]. Progress is monotone in that weight, so the
+//! loop terminates; a cap on rounds guards against a pathological
+//! predicate anyway.
+
+use crate::spec::{Expr, ProgramSpec, Stmt};
+
+/// Maximum accept-a-smaller-variant rounds.
+const MAX_ROUNDS: usize = 200;
+
+/// Minimizes `spec` under `still_fails`.
+///
+/// `still_fails` must return `true` for the original spec's failure
+/// mode; the result is the lightest variant found that still trips it.
+pub fn shrink(
+    spec: &ProgramSpec,
+    mut still_fails: impl FnMut(&ProgramSpec) -> bool,
+) -> ProgramSpec {
+    let mut best = spec.clone();
+    for _ in 0..MAX_ROUNDS {
+        let w = best.weight();
+        let better = reductions(&best)
+            .into_iter()
+            .find(|c| c.weight() < w && still_fails(c));
+        match better {
+            Some(c) => best = c,
+            None => break,
+        }
+    }
+    best
+}
+
+/// All one-step reductions of `spec`, cheapest-looking first.
+fn reductions(spec: &ProgramSpec) -> Vec<ProgramSpec> {
+    let mut out = Vec::new();
+    for body in reduce_block(&spec.body) {
+        out.push(ProgramSpec {
+            body,
+            ..spec.clone()
+        });
+    }
+    if spec.helper.is_some() {
+        out.push(ProgramSpec {
+            helper: None,
+            ..spec.clone()
+        });
+    }
+    if !spec.arrays.is_empty() {
+        let mut arrays = spec.arrays.clone();
+        arrays.pop();
+        out.push(ProgramSpec {
+            arrays,
+            ..spec.clone()
+        });
+    }
+    if spec.n_fields > 0 {
+        out.push(ProgramSpec {
+            n_fields: spec.n_fields - 1,
+            ..spec.clone()
+        });
+    }
+    if spec.n_globals > 0 {
+        out.push(ProgramSpec {
+            n_globals: spec.n_globals - 1,
+            ..spec.clone()
+        });
+    }
+    out
+}
+
+/// All one-step reductions of a statement list: drop one statement, or
+/// replace one statement by one of its own reductions (which may be a
+/// spliced-in sequence).
+fn reduce_block(body: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for i in 0..body.len() {
+        let mut v = body.to_vec();
+        v.remove(i);
+        out.push(v);
+    }
+    for (i, s) in body.iter().enumerate() {
+        for repl in reduce_stmt(s) {
+            let mut v = body.to_vec();
+            v.splice(i..=i, repl);
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// One-step reductions of a single statement, each given as the
+/// sequence that replaces it.
+fn reduce_stmt(s: &Stmt) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::Assign(v, e) => {
+            for e in reduce_expr(e) {
+                out.push(vec![Stmt::Assign(*v, e)]);
+            }
+        }
+        Stmt::GlobalWrite(g, e) => {
+            for e in reduce_expr(e) {
+                out.push(vec![Stmt::GlobalWrite(*g, e)]);
+            }
+        }
+        Stmt::FieldWrite(fi, e) => {
+            for e in reduce_expr(e) {
+                out.push(vec![Stmt::FieldWrite(*fi, e)]);
+            }
+        }
+        Stmt::ArrWrite(a, idx, val) => {
+            for idx in reduce_expr(idx) {
+                out.push(vec![Stmt::ArrWrite(*a, idx, val.clone())]);
+            }
+            for val in reduce_expr(val) {
+                out.push(vec![Stmt::ArrWrite(*a, idx.clone(), val)]);
+            }
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            step,
+            body,
+        } => {
+            // splice the body in place of the loop
+            out.push(body.clone());
+            // halve the trip count
+            let half = from + (to - from) / 2;
+            if half != *to {
+                out.push(vec![Stmt::For {
+                    var: *var,
+                    from: *from,
+                    to: half,
+                    step: *step,
+                    body: body.clone(),
+                }]);
+            }
+            for body in reduce_block(body) {
+                out.push(vec![Stmt::For {
+                    var: *var,
+                    from: *from,
+                    to: *to,
+                    step: *step,
+                    body,
+                }]);
+            }
+        }
+        Stmt::If {
+            cond,
+            a,
+            b,
+            then_s,
+            else_s,
+        } => {
+            out.push(then_s.clone());
+            if !else_s.is_empty() {
+                out.push(else_s.clone());
+            }
+            for a in reduce_expr(a) {
+                out.push(vec![Stmt::If {
+                    cond: *cond,
+                    a,
+                    b: b.clone(),
+                    then_s: then_s.clone(),
+                    else_s: else_s.clone(),
+                }]);
+            }
+            for b in reduce_expr(b) {
+                out.push(vec![Stmt::If {
+                    cond: *cond,
+                    a: a.clone(),
+                    b,
+                    then_s: then_s.clone(),
+                    else_s: else_s.clone(),
+                }]);
+            }
+            for then_s in reduce_block(then_s) {
+                out.push(vec![Stmt::If {
+                    cond: *cond,
+                    a: a.clone(),
+                    b: b.clone(),
+                    then_s,
+                    else_s: else_s.clone(),
+                }]);
+            }
+            for else_s in reduce_block(else_s) {
+                out.push(vec![Stmt::If {
+                    cond: *cond,
+                    a: a.clone(),
+                    b: b.clone(),
+                    then_s: then_s.clone(),
+                    else_s,
+                }]);
+            }
+        }
+        Stmt::Early { cond, a, b } => {
+            for a in reduce_expr(a) {
+                out.push(vec![Stmt::Early {
+                    cond: *cond,
+                    a,
+                    b: b.clone(),
+                }]);
+            }
+            for b in reduce_expr(b) {
+                out.push(vec![Stmt::Early {
+                    cond: *cond,
+                    a: a.clone(),
+                    b,
+                }]);
+            }
+        }
+    }
+    out
+}
+
+/// One-step reductions of an expression: hoist a child, collapse to a
+/// unit constant, or reduce a child in place.
+fn reduce_expr(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Const(_) | Expr::Local(_) | Expr::Global(_) | Expr::Field(_) => {}
+        Expr::ArrRead(a, idx) => {
+            out.push((**idx).clone());
+            for idx in reduce_expr(idx) {
+                out.push(Expr::ArrRead(*a, Box::new(idx)));
+            }
+        }
+        Expr::Bin(op, x, y) => {
+            out.push((**x).clone());
+            out.push((**y).clone());
+            for x in reduce_expr(x) {
+                out.push(Expr::Bin(*op, Box::new(x), y.clone()));
+            }
+            for y in reduce_expr(y) {
+                out.push(Expr::Bin(*op, x.clone(), Box::new(y)));
+            }
+        }
+        Expr::Call(x) => {
+            out.push((**x).clone());
+            for x in reduce_expr(x) {
+                out.push(Expr::Call(Box::new(x)));
+            }
+        }
+    }
+    if !matches!(e, Expr::Const(_)) {
+        out.push(Expr::Const(1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::gen_spec;
+
+    #[test]
+    fn shrink_is_monotone_and_terminates() {
+        let spec = gen_spec(11);
+        // a predicate that accepts everything shrinks to (near) nothing
+        let min = shrink(&spec, |_| true);
+        assert!(min.weight() < spec.weight());
+        assert!(min.body.is_empty());
+    }
+
+    #[test]
+    fn shrink_respects_the_predicate() {
+        let spec = gen_spec(12);
+        // refuse everything: the original must come back unchanged
+        let same = shrink(&spec, |_| false);
+        assert_eq!(same, spec);
+    }
+
+    #[test]
+    fn shrunk_specs_still_emit() {
+        let spec = gen_spec(13);
+        let min = shrink(&spec, |c| crate::spec::emit(c).is_ok());
+        crate::spec::emit(&min).expect("shrunk spec must stay emittable");
+    }
+}

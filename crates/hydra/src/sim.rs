@@ -355,6 +355,112 @@ mod tests {
     }
 
     #[test]
+    fn producer_tie_at_thread_boundary_picks_earlier_thread() {
+        // store in thread 0 and load in thread 1 at the same relative
+        // cycle: the earlier thread is sequentially before the load,
+        // so it IS the producer
+        let e = entry(vec![
+            iter(100, vec![st(5, 0x40)]),
+            iter(100, vec![ld(5, 0x40)]),
+        ]);
+        let idx = build_store_index(&e);
+        assert_eq!(producer(&idx, 0x40, 1, 5), Some((0, 5)));
+    }
+
+    #[test]
+    fn producer_same_thread_same_rel_is_own_store() {
+        // a store and a load at the identical (thread, rel): the store
+        // is "not after" the load, so it forwards from the local buffer
+        let e = entry(vec![iter(100, vec![st(5, 0x40), ld(5, 0x40)])]);
+        let idx = build_store_index(&e);
+        assert_eq!(producer(&idx, 0x40, 0, 5), None);
+    }
+
+    #[test]
+    fn producer_skips_own_store_but_not_earlier_threads() {
+        // thread 1 stores before its own load, but thread 0 also
+        // stored: the own store is the *last* sequential store and
+        // shadows the cross-thread one (no violation possible)
+        let e = entry(vec![
+            iter(100, vec![st(50, 0x40)]),
+            iter(100, vec![st(10, 0x40), ld(20, 0x40)]),
+        ]);
+        let idx = build_store_index(&e);
+        assert_eq!(producer(&idx, 0x40, 1, 20), None);
+        // a load before the own store sees thread 0's store instead
+        assert_eq!(producer(&idx, 0x40, 1, 5), Some((0, 50)));
+    }
+
+    #[test]
+    fn producer_with_no_preceding_store_is_none() {
+        let e = entry(vec![
+            iter(100, vec![ld(5, 0x40)]),
+            iter(100, vec![st(50, 0x40)]),
+        ]);
+        let idx = build_store_index(&e);
+        // thread 0's load precedes every store (pos == 0)
+        assert_eq!(producer(&idx, 0x40, 0, 5), None);
+        // and an address nobody stores has no index entry at all
+        assert_eq!(producer(&idx, 0x80, 1, 99), None);
+    }
+
+    #[test]
+    fn overflow_point_direct_mapped_conflicts() {
+        // associativity 1: two distinct lines landing in the same set
+        // overflow immediately even though the total line count is
+        // far below the limit
+        let cfg = TlsConfig {
+            ld_line_limit: 4,
+            ld_associativity: 1,
+            ..TlsConfig::default()
+        };
+        // lines 0 and 4 both map to set 0 of the 4 sets
+        let accesses = vec![ld(10, 0), ld(20, 4 * 32)];
+        assert_eq!(overflow_point(&accesses, &cfg), Some(20));
+        // the same two lines in different sets never overflow
+        let accesses = vec![ld(10, 0), ld(20, 32)];
+        assert_eq!(overflow_point(&accesses, &cfg), None);
+    }
+
+    #[test]
+    fn overflow_point_limit_below_associativity_is_one_full_set() {
+        // a line limit smaller than the associativity degenerates to a
+        // single set holding `associativity` lines, not zero capacity
+        let cfg = TlsConfig {
+            ld_line_limit: 2,
+            ld_associativity: 4,
+            ..TlsConfig::default()
+        };
+        let fits: Vec<Access> = (0..4).map(|k| ld(10 + k, k * 32)).collect();
+        assert_eq!(overflow_point(&fits, &cfg), None);
+        let spills: Vec<Access> = (0..5).map(|k| ld(10 + k, k * 32)).collect();
+        assert_eq!(overflow_point(&spills, &cfg), Some(14));
+    }
+
+    #[test]
+    fn overflow_point_stores_are_fully_associative() {
+        // the same conflict pattern that overflows the 4-way load
+        // state is fine for stores, which only count distinct lines
+        let cfg = TlsConfig::default(); // 128 sets of 4
+        let conflicting: Vec<u32> = (0..5).map(|k| k * 128 * 32).collect();
+        let loads: Vec<Access> = conflicting
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| ld(i as u32, a))
+            .collect();
+        assert_eq!(overflow_point(&loads, &cfg), Some(4));
+        let stores: Vec<Access> = conflicting
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| st(i as u32, a))
+            .collect();
+        assert_eq!(overflow_point(&stores, &cfg), None);
+        // repeated stores to one line never count twice
+        let same_line: Vec<Access> = (0..200).map(|k| st(k, 0x40)).collect();
+        assert_eq!(overflow_point(&same_line, &cfg), None);
+    }
+
+    #[test]
     fn violation_restart_rereads_correct_data() {
         // thread 1 stores late; thread 2 loads early -> one restart,
         // after which the producer is visible and no further violation

@@ -113,7 +113,7 @@ pub fn annotate(
         if in_fn.is_empty() {
             functions.push(f.clone());
         } else {
-            functions.push(annotate_function(f, fa, &in_fn, cands, opts));
+            functions.push(annotate_function(fi as u16, f, fa, &in_fn, cands, opts)?);
         }
     }
     let out = Program {
@@ -158,24 +158,34 @@ impl Emitter {
         self.code.push(i);
     }
 
-    fn finish(mut self) -> Vec<Instr> {
+    fn finish(mut self, func: u16) -> Result<Vec<Instr>, tvm::VmError> {
         for &at in &self.fixups {
             let instr = self.code[at as usize];
-            let lbl = instr.branch_target().expect("fixups are branches");
-            let target = self.labels[lbl as usize].expect("all labels bound");
+            let lbl = instr.branch_target().ok_or_else(|| tvm::VmError::Verify {
+                func,
+                at,
+                reason: "annotation fixup recorded on a non-branch instruction".into(),
+            })?;
+            let target = self
+                .labels
+                .get(lbl as usize)
+                .copied()
+                .flatten()
+                .ok_or(tvm::VmError::UnboundLabel(lbl))?;
             self.code[at as usize] = instr.map_target(|_| target);
         }
-        self.code
+        Ok(self.code)
     }
 }
 
 fn annotate_function(
+    fi: u16,
     f: &Function,
     fa: &FunctionAnalysis,
     annotated: &[&Candidate],
     cands: &ProgramCandidates,
     opts: &AnnotateOptions,
-) -> Function {
+) -> Result<Function, tvm::VmError> {
     let cfg = &fa.cfg;
     let forest = &fa.forest;
     let dom = Dominators::compute(cfg);
@@ -333,29 +343,36 @@ fn annotate_function(
             }
 
             // terminator: rewrite control flow through edge labels
+            let block_of = |t: u32, at: u32| {
+                cfg.block_of(t).ok_or(tvm::VmError::BadBranchTarget {
+                    func: fi,
+                    at,
+                    target: t,
+                })
+            };
             match instr {
                 Instr::Goto(t) => {
-                    let tb = cfg.block_of(t).expect("branch target is reachable");
+                    let tb = block_of(t, idx)?;
                     let (l, _) = edge_label(&mut em, b, tb);
                     em.branch(Instr::Goto(l));
                 }
                 Instr::If(c, t) => {
-                    let tb = cfg.block_of(t).expect("branch target is reachable");
+                    let tb = block_of(t, idx)?;
                     let (l, _) = edge_label(&mut em, b, tb);
                     em.branch(Instr::If(c, l));
-                    emit_fallthrough(&mut em, cfg, b, block.end, &mut edge_label);
+                    emit_fallthrough(fi, &mut em, cfg, b, block.end, &mut edge_label)?;
                 }
                 Instr::IfICmp(c, t) => {
-                    let tb = cfg.block_of(t).expect("branch target is reachable");
+                    let tb = block_of(t, idx)?;
                     let (l, _) = edge_label(&mut em, b, tb);
                     em.branch(Instr::IfICmp(c, l));
-                    emit_fallthrough(&mut em, cfg, b, block.end, &mut edge_label);
+                    emit_fallthrough(fi, &mut em, cfg, b, block.end, &mut edge_label)?;
                 }
                 Instr::IfFCmp(c, t) => {
-                    let tb = cfg.block_of(t).expect("branch target is reachable");
+                    let tb = block_of(t, idx)?;
                     let (l, _) = edge_label(&mut em, b, tb);
                     em.branch(Instr::IfFCmp(c, l));
-                    emit_fallthrough(&mut em, cfg, b, block.end, &mut edge_label);
+                    emit_fallthrough(fi, &mut em, cfg, b, block.end, &mut edge_label)?;
                 }
                 Instr::Return | Instr::ReturnVoid | Instr::Halt => {
                     // leaving the function from inside annotated loops:
@@ -375,7 +392,7 @@ fn annotate_function(
                     // plain instruction ending a block: the next block
                     // starts a leader; make the fallthrough explicit
                     em.raw(other);
-                    emit_fallthrough(&mut em, cfg, b, block.end, &mut edge_label);
+                    emit_fallthrough(fi, &mut em, cfg, b, block.end, &mut edge_label)?;
                 }
             }
         }
@@ -393,13 +410,13 @@ fn annotate_function(
         em.branch(Instr::AGoto(block_labels[tb as usize]));
     }
 
-    Function {
+    Ok(Function {
         name: f.name.clone(),
         n_params: f.n_params,
         n_locals: f.n_locals,
         returns: f.returns,
-        code: em.finish(),
-    }
+        code: em.finish(fi)?,
+    })
 }
 
 /// Handles a block's fallthrough edge. The fallthrough block is always
@@ -407,20 +424,26 @@ fn annotate_function(
 /// payload, control simply falls through — a `Goto` is only emitted to
 /// detour through a trampoline.
 fn emit_fallthrough(
+    fi: u16,
     em: &mut Emitter,
     cfg: &cfgir::Cfg,
     b: cfgir::BlockId,
     block_end: u32,
     edge_label: &mut impl FnMut(&mut Emitter, cfgir::BlockId, cfgir::BlockId) -> (u32, bool),
-) {
+) -> Result<(), tvm::VmError> {
     let ft = cfg
         .block_of(block_end)
-        .expect("verifier guarantees fallthrough stays in the function");
+        .ok_or(tvm::VmError::BadBranchTarget {
+            func: fi,
+            at: block_end.saturating_sub(1),
+            target: block_end,
+        })?;
     debug_assert_eq!(ft.0, b.0 + 1, "fallthrough block follows immediately");
     let (l, has_payload) = edge_label(em, b, ft);
     if has_payload {
         em.branch(Instr::AGoto(l));
     }
+    Ok(())
     // otherwise control falls straight into the next emitted block
 }
 

@@ -139,7 +139,7 @@ impl Interp {
         let mut ann = AnnotationCycles::default();
         let entry_returns = entry.returns;
 
-        let mut code: &[Instr] = &program.functions[frame.func as usize].code;
+        let mut code: &[Instr] = &entry.code;
 
         macro_rules! pop {
             () => {
@@ -192,7 +192,8 @@ impl Interp {
                             frame.pending_local = None;
                         }
                     }
-                    stack.push(locals[frame.locals_base + l.0 as usize]);
+                    let slot = frame.locals_base + l.0 as usize;
+                    stack.push(*locals.get(slot).ok_or(VmError::BadLocal(l.0))?);
                 }
                 Instr::Store(l) => {
                     // a return value moved straight into a local is
@@ -211,7 +212,8 @@ impl Interp {
                         }
                     }
                     let v = pop!();
-                    locals[frame.locals_base + l.0 as usize] = v;
+                    let slot = frame.locals_base + l.0 as usize;
+                    *locals.get_mut(slot).ok_or(VmError::BadLocal(l.0))? = v;
                 }
                 Instr::IInc(l, by) => {
                     if let Some((site, pl)) = frame.pending_local {
@@ -220,7 +222,8 @@ impl Interp {
                             frame.pending_local = None;
                         }
                     }
-                    let slot = &mut locals[frame.locals_base + l.0 as usize];
+                    let idx = frame.locals_base + l.0 as usize;
+                    let slot = locals.get_mut(idx).ok_or(VmError::BadLocal(l.0))?;
                     *slot = Value::Int(slot.as_int()?.wrapping_add(i64::from(by)));
                 }
                 Instr::Dup => {
@@ -429,7 +432,7 @@ impl Interp {
                         pending_local: None,
                     };
                     next_activation += 1;
-                    code = &program.functions[frame.func as usize].code;
+                    code = &callee.code;
                     continue;
                 }
                 Instr::Return | Instr::ReturnVoid => {
@@ -444,7 +447,7 @@ impl Interp {
                     match frames.pop() {
                         Some(caller) => {
                             frame = caller;
-                            code = &program.functions[frame.func as usize].code;
+                            code = &program.function(FuncId(frame.func))?.code;
                             if let Some(v) = ret_val {
                                 stack.push(v);
                                 if let Some(site) = ret_site {
@@ -558,6 +561,29 @@ mod tests {
     use crate::build::ProgramBuilder;
     use crate::isa::Cond;
     use crate::trace::{CountingSink, NullSink};
+
+    #[test]
+    fn out_of_range_local_is_a_typed_error() {
+        // hand-assembled (the builder cannot produce this): Load of a
+        // slot past the frame must fail closed, not panic
+        use crate::program::{Function, Program};
+        let p = Program {
+            functions: vec![Function {
+                name: "main".into(),
+                n_params: 0,
+                n_locals: 1,
+                returns: false,
+                code: vec![Instr::Load(crate::isa::Local(7)), Instr::ReturnVoid],
+            }],
+            classes: Vec::new(),
+            globals: Vec::new(),
+            entry: FuncId(0),
+        };
+        assert_eq!(
+            Interp::run(&p, &mut NullSink).unwrap_err(),
+            VmError::BadLocal(7)
+        );
+    }
 
     #[test]
     fn cycles_accumulate_deterministically() {

@@ -1,0 +1,40 @@
+//! Byte-level corruption fuzzing of the recording wire format against
+//! the committed FourierTest fixture: every truncation, every
+//! single-byte flip and a few thousand seeded random mutations must
+//! parse or be rejected with a typed error — never panic.
+
+use fuzzgen::corrupt::corruption_sweep;
+use tvm::record::Recording;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/fouriertest_small.trace"
+);
+
+#[test]
+fn fixture_corruption_sweep_never_panics() {
+    let bytes = std::fs::read(FIXTURE).expect("committed fixture");
+    // the pristine fixture must of course still parse
+    Recording::from_bytes(&bytes).expect("pristine fixture parses");
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let sweep = corruption_sweep(&bytes, 0xDEAD_BEEF, 2_000);
+    std::panic::set_hook(prev_hook);
+    let stats = sweep.unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(
+        stats.attempts,
+        bytes.len() as u64 * 4 + 2_000,
+        "truncations + 3 flip patterns + random rounds"
+    );
+    assert!(stats.rejected > 0);
+}
+
+#[test]
+fn empty_and_garbage_inputs_are_typed_errors() {
+    assert!(Recording::from_bytes(&[]).is_err());
+    assert!(Recording::from_bytes(b"not a recording").is_err());
+    // huge declared event count must not preallocate unboundedly
+    let mut b = b"TVMR\x01\x00".to_vec();
+    b.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F]);
+    assert!(Recording::from_bytes(&b).is_err());
+}

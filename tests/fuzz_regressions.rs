@@ -1,0 +1,94 @@
+//! Regression seeds from differential-fuzzing runs.
+//!
+//! Each seed listed here once tripped an oracle (see the notes on the
+//! individual tests); the full stack must stay green on all of them,
+//! plus a small fresh smoke range, forever.
+
+use fuzzgen::oracle::{check_seed, check_spec};
+use fuzzgen::spec::{Expr, HelperSpec, ProgramSpec, Stmt};
+
+#[test]
+fn smoke_seed_range_stays_green() {
+    for seed in 0..50 {
+        if let Err(f) = check_seed(seed) {
+            panic!("seed {seed}: {f}");
+        }
+    }
+}
+
+/// Seed 398 made `cfgir::memdep` claim a guaranteed cross-iteration
+/// RAW for a static that an *earlier unconditional store in the same
+/// iteration* rewrites before every load — the recurrence never
+/// reaches across iterations, so the memdep-stream oracle flagged the
+/// demotion as a false alarm. Fixed by the masking-store check in
+/// `analyze_loop`.
+#[test]
+fn seed_398_masked_static_recurrence() {
+    check_seed(398).unwrap_or_else(|f| panic!("seed 398 regressed: {f}"));
+}
+
+/// Seed 1546 was the same false claim routed through a call: the
+/// masking store lives in a helper function's body, invisible until
+/// `collect_accesses` learned transitive may-store summaries for
+/// calls. Fixed by `Access::Opaque` masking sites.
+#[test]
+fn seed_1546_masking_store_behind_call() {
+    check_seed(1546).unwrap_or_else(|f| panic!("seed 1546 regressed: {f}"));
+}
+
+/// The shrunk form of seed 398: `for { g0 = -3; g0 = g0; }`. The
+/// second statement is a (load, store) recurrence pair on `g0`, but
+/// the unconditional `g0 = -3` earlier in the iteration masks the
+/// load every time.
+#[test]
+fn shrunk_masked_static_recurrence() {
+    let spec = ProgramSpec {
+        seed: 0,
+        n_locals: 2,
+        n_globals: 1,
+        n_fields: 0,
+        arrays: vec![],
+        helper: None,
+        body: vec![Stmt::For {
+            var: 1,
+            from: 0,
+            to: 8,
+            step: 1,
+            body: vec![
+                Stmt::GlobalWrite(0, Expr::Const(-3)),
+                Stmt::GlobalWrite(0, Expr::Global(0)),
+            ],
+        }],
+    };
+    check_spec(&spec).unwrap_or_else(|f| panic!("shrunk 398 shape regressed: {f}"));
+}
+
+/// The shrunk form of seed 1546: `for { l0 = helper(l0); g0 = g0; }`
+/// where the helper ends with `putstatic g0`. The masking store sits
+/// behind the call boundary.
+#[test]
+fn shrunk_masking_store_behind_call() {
+    let spec = ProgramSpec {
+        seed: 0,
+        n_locals: 2,
+        n_globals: 1,
+        n_fields: 0,
+        arrays: vec![],
+        helper: Some(HelperSpec {
+            trip: 3,
+            reads_global: false,
+            writes_global: true,
+        }),
+        body: vec![Stmt::For {
+            var: 1,
+            from: 0,
+            to: 8,
+            step: 1,
+            body: vec![
+                Stmt::Assign(0, Expr::Call(Box::new(Expr::Local(0)))),
+                Stmt::GlobalWrite(0, Expr::Global(0)),
+            ],
+        }],
+    };
+    check_spec(&spec).unwrap_or_else(|f| panic!("shrunk 1546 shape regressed: {f}"));
+}

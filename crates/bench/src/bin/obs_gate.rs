@@ -1,0 +1,206 @@
+//! Observability snapshot regression gate.
+//!
+//! ```text
+//! cargo run --release -p jrpm-bench --bin obs-gate -- <baseline.json> <current.json>
+//! cargo run --release -p jrpm-bench --bin obs-gate -- <baseline.json> <current.json> --update
+//! ```
+//!
+//! Diffs two `tables --obs-json` documents and exits non-zero when the
+//! current run drifted from the committed baseline:
+//!
+//! - event counts (recorded events, per-kind totals, per-sink events,
+//!   batches, interpreter passes) may drift at most 20 % relative;
+//! - each stage's share of pipeline wall time may drift at most
+//!   0.20 absolute (shares, not raw nanoseconds, so the gate is
+//!   machine-speed independent);
+//! - benchmarks or stages appearing/disappearing always fail.
+//!
+//! `--update` rewrites the baseline from the current file instead of
+//! comparing, for intentional changes.
+
+use obs::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Maximum relative drift for event counts.
+const MAX_COUNT_DRIFT: f64 = 0.20;
+/// Maximum absolute drift for a stage's share of pipeline wall time.
+const MAX_SHARE_DRIFT: f64 = 0.20;
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("obs-gate: cannot read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("obs-gate: {path} is not valid JSON: {e}"))
+}
+
+/// `name -> benchmark object` for one document.
+fn benchmarks(doc: &Value) -> BTreeMap<String, &Value> {
+    let mut out = BTreeMap::new();
+    let arr = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .expect("document has a benchmarks array");
+    for b in arr {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .expect("benchmark has a name");
+        out.insert(name.to_string(), b);
+    }
+    out
+}
+
+/// Every gated count in one benchmark object, flattened to
+/// `metric name -> value`.
+fn counts(bench: &Value) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for key in ["interpreter_passes", "recorded_events", "batches"] {
+        if let Some(v) = bench.get(key).and_then(Value::as_u64) {
+            out.insert(key.to_string(), v);
+        }
+    }
+    if let Some(Value::Obj(kinds)) = bench.get("events_by_kind") {
+        for (kind, v) in kinds {
+            if let Some(n) = v.as_u64() {
+                out.insert(format!("events_by_kind.{kind}"), n);
+            }
+        }
+    }
+    if let Some(sinks) = bench.get("sinks").and_then(Value::as_arr) {
+        for (i, sink) in sinks.iter().enumerate() {
+            for key in ["events", "batches"] {
+                if let Some(v) = sink.get(key).and_then(Value::as_u64) {
+                    out.insert(format!("sinks[{i}].{key}"), v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `stage name -> share of total pipeline wall time` for one benchmark.
+fn stage_shares(bench: &Value) -> BTreeMap<String, f64> {
+    let mut nanos = BTreeMap::new();
+    let mut total = 0.0f64;
+    if let Some(stages) = bench.get("stages").and_then(Value::as_arr) {
+        for st in stages {
+            let name = st.get("stage").and_then(Value::as_str).unwrap_or("?");
+            let n = st.get("nanos").and_then(Value::as_f64).unwrap_or(0.0);
+            nanos.insert(name.to_string(), n);
+            total += n;
+        }
+    }
+    if total > 0.0 {
+        for v in nanos.values_mut() {
+            *v /= total;
+        }
+    }
+    nanos
+}
+
+fn relative_drift(base: u64, cur: u64) -> f64 {
+    if base == cur {
+        return 0.0;
+    }
+    if base == 0 {
+        return f64::INFINITY;
+    }
+    (cur as f64 - base as f64).abs() / base as f64
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path, current_path] = paths[..] else {
+        eprintln!("usage: obs-gate <baseline.json> <current.json> [--update]");
+        return ExitCode::FAILURE;
+    };
+
+    if update {
+        let current = std::fs::read_to_string(current_path)
+            .unwrap_or_else(|e| panic!("obs-gate: cannot read {current_path}: {e}"));
+        parse(&current).unwrap_or_else(|e| panic!("obs-gate: {current_path} invalid: {e}"));
+        std::fs::write(baseline_path, current)
+            .unwrap_or_else(|e| panic!("obs-gate: cannot write {baseline_path}: {e}"));
+        eprintln!("obs-gate: baseline {baseline_path} updated from {current_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let base_benches = benchmarks(&baseline);
+    let cur_benches = benchmarks(&current);
+
+    let mut failures: Vec<String> = Vec::new();
+    for name in base_benches.keys() {
+        if !cur_benches.contains_key(name) {
+            failures.push(format!("benchmark {name} disappeared from the current run"));
+        }
+    }
+    for (name, cur) in &cur_benches {
+        let Some(base) = base_benches.get(name) else {
+            failures.push(format!(
+                "benchmark {name} is new — regenerate the baseline with --update"
+            ));
+            continue;
+        };
+        let base_counts = counts(base);
+        let cur_counts = counts(cur);
+        for (metric, &bv) in &base_counts {
+            let cv = cur_counts.get(metric).copied().unwrap_or(0);
+            let drift = relative_drift(bv, cv);
+            if drift > MAX_COUNT_DRIFT {
+                failures.push(format!(
+                    "{name}: {metric} drifted {:.0}% (baseline {bv}, current {cv})",
+                    drift * 100.0
+                ));
+            }
+        }
+        for metric in cur_counts.keys() {
+            if !base_counts.contains_key(metric) && cur_counts[metric] > 0 {
+                failures.push(format!(
+                    "{name}: {metric} = {} appeared (baseline has none)",
+                    cur_counts[metric]
+                ));
+            }
+        }
+        let base_shares = stage_shares(base);
+        let cur_shares = stage_shares(cur);
+        for (stage, &bs) in &base_shares {
+            let Some(&cs) = cur_shares.get(stage) else {
+                failures.push(format!("{name}: stage {stage} disappeared"));
+                continue;
+            };
+            let drift = (cs - bs).abs();
+            if drift > MAX_SHARE_DRIFT {
+                failures.push(format!(
+                    "{name}: stage {stage} wall-time share drifted {drift:.2} \
+                     (baseline {bs:.2}, current {cs:.2})"
+                ));
+            }
+        }
+        for stage in cur_shares.keys() {
+            if !base_shares.contains_key(stage) {
+                failures.push(format!("{name}: stage {stage} appeared"));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "obs-gate: OK — {} benchmark(s) within tolerance ({:.0}% counts, {:.2} share)",
+            cur_benches.len(),
+            MAX_COUNT_DRIFT * 100.0,
+            MAX_SHARE_DRIFT
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("obs-gate: FAILED — {} violation(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("(intentional change? refresh with: obs-gate <baseline> <current> --update)");
+        ExitCode::FAILURE
+    }
+}

@@ -5,20 +5,35 @@
 //! cargo run --release -p jrpm-bench --bin tables -- table6 fig11
 //! cargo run --release -p jrpm-bench --bin tables -- --small all
 //! cargo run --release -p jrpm-bench --bin tables -- --small quick --obs-json obs.json
+//! cargo run --release -p jrpm-bench --bin tables -- --small obs --trace-out trace.json
 //! ```
+//!
+//! `--trace-out FILE` writes a Chrome trace-event JSON (open it in
+//! Perfetto or `chrome://tracing`) and switches the pipeline runs to
+//! span tracing. `--metrics-json FILE` dumps every run's raw metrics
+//! registry.
 
 use benchsuite::DataSize;
-use jrpm_bench::runner::{run_benchmark, BenchResult};
+use jrpm::pipeline::PipelineConfig;
+use jrpm_bench::runner::{run_benchmark_with, BenchResult};
 use jrpm_bench::tables;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut obs_json_path: Option<String> = None;
+    let mut trace_out_path: Option<String> = None;
+    let mut metrics_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--obs-json" && i + 1 < args.len() {
+        if i + 1 < args.len() && args[i] == "--obs-json" {
             args.remove(i);
             obs_json_path = Some(args.remove(i));
+        } else if i + 1 < args.len() && args[i] == "--trace-out" {
+            args.remove(i);
+            trace_out_path = Some(args.remove(i));
+        } else if i + 1 < args.len() && args[i] == "--metrics-json" {
+            args.remove(i);
+            metrics_json_path = Some(args.remove(i));
         } else {
             i += 1;
         }
@@ -80,18 +95,29 @@ fn main() {
     let needs_full_suite = ["table6", "fig6", "fig10", "fig11", "scorecard", "obs"]
         .iter()
         .any(|n| want(n));
-    if needs_full_suite || obs_json_path.is_some() {
+    let needs_any_run =
+        obs_json_path.is_some() || trace_out_path.is_some() || metrics_json_path.is_some();
+    if needs_full_suite || needs_any_run {
         let suite = if needs_full_suite {
             benchsuite::all()
         } else {
-            // --obs-json without a suite artifact: a one-benchmark
-            // smoke run is enough to produce the JSON
+            // an export flag without a suite artifact: a one-benchmark
+            // smoke run is enough to produce the file
             vec![benchsuite::by_name("Huffman").expect("suite has Huffman")]
+        };
+        // span tracing costs a little time and memory, so it is only
+        // switched on when someone asked for the trace file
+        let cfg = PipelineConfig {
+            obs: jrpm::pipeline::ObsConfig {
+                trace: trace_out_path.is_some(),
+                ..Default::default()
+            },
+            ..Default::default()
         };
         let mut results: Vec<BenchResult> = Vec::new();
         for b in &suite {
             eprint!("running {:<14}... ", b.name);
-            match run_benchmark(b, size) {
+            match run_benchmark_with(b, size, &cfg) {
                 Ok(r) => {
                     eprintln!(
                         "ok ({} loops, {} selected, pred {:.2}, act {:.2})",
@@ -125,6 +151,14 @@ fn main() {
         }
         if let Some(path) = &obs_json_path {
             std::fs::write(path, tables::obs_json(&results)).expect("write observability JSON");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &trace_out_path {
+            std::fs::write(path, tables::chrome_trace(&results)).expect("write Chrome trace");
+            eprintln!("wrote {path} (open in Perfetto or chrome://tracing)");
+        }
+        if let Some(path) = &metrics_json_path {
+            std::fs::write(path, tables::metrics_json(&results)).expect("write metrics JSON");
             eprintln!("wrote {path}");
         }
     }

@@ -75,8 +75,22 @@ impl BenchResult {
 ///
 /// Any [`VmError`] from the underlying executions.
 pub fn run_benchmark(bench: &Benchmark, size: DataSize) -> Result<BenchResult, VmError> {
+    run_benchmark_with(bench, size, &PipelineConfig::default())
+}
+
+/// [`run_benchmark`] with an explicit pipeline configuration — used by
+/// the tables binary to switch on span tracing for `--trace-out`.
+///
+/// # Errors
+///
+/// Any [`VmError`] from the underlying executions.
+pub fn run_benchmark_with(
+    bench: &Benchmark,
+    size: DataSize,
+    cfg: &PipelineConfig,
+) -> Result<BenchResult, VmError> {
     let program = (bench.build)(size);
-    let report = run_pipeline(&program, &PipelineConfig::default())?;
+    let report = run_pipeline(&program, cfg)?;
     let slowdown = profile_slowdown(&program, &report.candidates)?;
     Ok(BenchResult {
         bench: *bench,

@@ -603,8 +603,17 @@ pub fn scorecard(results: &[BenchResult]) -> String {
     s
 }
 
+/// The results sorted by benchmark name, so observability output is
+/// stable regardless of the order the suite ran in.
+fn by_name(results: &[BenchResult]) -> Vec<&BenchResult> {
+    let mut ordered: Vec<&BenchResult> = results.iter().collect();
+    ordered.sort_by_key(|r| r.bench.name);
+    ordered
+}
+
 /// Pipeline observability — per-stage wall time, event-stream volume,
 /// batch occupancy, and sink back-pressure for every benchmark run.
+/// Benchmarks and event-kind totals are sorted by name.
 pub fn obs(results: &[BenchResult]) -> String {
     let mut s = String::new();
     s.push_str("Pipeline observability - stage wall time and event-stream statistics\n");
@@ -615,7 +624,7 @@ pub fn obs(results: &[BenchResult]) -> String {
     let mut by_kind = KindCounts::default();
     let mut lagged = 0u64;
     let mut dropped = 0u64;
-    for r in results {
+    for r in by_name(results) {
         let o = &r.report.obs;
         by_kind.merge(&o.by_kind);
         for sink in &o.bus.sinks {
@@ -639,10 +648,10 @@ pub fn obs(results: &[BenchResult]) -> String {
         ));
     }
     s.push_str("Event totals by kind:\n");
-    for (kind, n) in by_kind.iter() {
-        if n > 0 {
-            s.push_str(&format!("  {:<16}{n}\n", kind.name()));
-        }
+    let mut kinds: Vec<_> = by_kind.iter().filter(|&(_, n)| n > 0).collect();
+    kinds.sort_by_key(|(kind, _)| kind.name());
+    for (kind, n) in kinds {
+        s.push_str(&format!("  {:<16}{n}\n", kind.name()));
     }
     s.push_str(&format!(
         "Sink back-pressure: {lagged} lagged batches, {dropped} dropped\n"
@@ -667,9 +676,11 @@ fn json_str(v: &str) -> String {
 
 /// The observability report as a JSON document (hand-built; the
 /// workspace deliberately carries no serialization dependency).
+/// Benchmarks are sorted by name so two runs diff cleanly.
 pub fn obs_json(results: &[BenchResult]) -> String {
+    let ordered = by_name(results);
     let mut s = String::from("{\n  \"benchmarks\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    for (i, r) in ordered.iter().enumerate() {
         let o = &r.report.obs;
         s.push_str("    {\n");
         s.push_str(&format!("      \"name\": {},\n", json_str(r.bench.name)));
@@ -702,21 +713,18 @@ pub fn obs_json(results: &[BenchResult]) -> String {
             }
             s.push_str(&format!(
                 "{{\"stage\": {}, \"nanos\": {}}}",
-                json_str(st.stage),
+                json_str(&st.stage),
                 st.nanos
             ));
         }
         s.push_str("],\n");
         s.push_str("      \"events_by_kind\": {");
-        let mut first = true;
-        for (kind, n) in o.by_kind.iter() {
-            if n == 0 {
-                continue;
-            }
-            if !first {
+        let mut kinds: Vec<_> = o.by_kind.iter().filter(|&(_, n)| n > 0).collect();
+        kinds.sort_by_key(|(kind, _)| kind.name());
+        for (j, (kind, n)) in kinds.iter().enumerate() {
+            if j > 0 {
                 s.push_str(", ");
             }
-            first = false;
             s.push_str(&format!("{}: {n}", json_str(kind.name())));
         }
         s.push_str("},\n");
@@ -737,7 +745,44 @@ pub fn obs_json(results: &[BenchResult]) -> String {
             ));
         }
         s.push_str("]\n");
-        s.push_str(if i + 1 < results.len() {
+        s.push_str(if i + 1 < ordered.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Chrome trace-event JSON for every benchmark run — one trace process
+/// per benchmark (two pids each: wall-clock tracks and simulated-cycle
+/// tracks). Load the file in Perfetto or `chrome://tracing`. Spans are
+/// only present when the runs were made with
+/// [`jrpm::pipeline::ObsConfig::trace`] enabled.
+pub fn chrome_trace(results: &[BenchResult]) -> String {
+    let ordered = by_name(results);
+    let procs: Vec<(&str, &obs::Trace)> = ordered
+        .iter()
+        .map(|r| (r.bench.name, &*r.report.telemetry.trace))
+        .collect();
+    obs::chrome::chrome_json(&procs)
+}
+
+/// Every benchmark's full metrics-registry snapshot as one JSON
+/// document: `{"benchmarks": [{"name": ..., "metrics": {...}}]}`.
+/// This is the raw feed the observability views are computed from.
+pub fn metrics_json(results: &[BenchResult]) -> String {
+    let ordered = by_name(results);
+    let mut s = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in ordered.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": {},\n", json_str(r.bench.name)));
+        s.push_str(&format!(
+            "      \"metrics\": {}\n",
+            r.report.telemetry.snapshot().to_json()
+        ));
+        s.push_str(if i + 1 < ordered.len() {
             "    },\n"
         } else {
             "    }\n"
@@ -803,6 +848,40 @@ mod tests {
         assert!(json.contains("\"interpreter_passes\": "), "{json}");
         assert!(json.contains("\"stages\": ["), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn obs_outputs_are_sorted_by_benchmark_and_kind_name() {
+        let h =
+            crate::runner::run_benchmark(&benchsuite::by_name("Huffman").unwrap(), DataSize::Small)
+                .unwrap();
+        let l = crate::runner::run_benchmark(
+            &benchsuite::by_name("LuFactor").unwrap(),
+            DataSize::Small,
+        )
+        .unwrap();
+        // deliberately out of order: rendering must sort by name
+        let results = vec![l, h];
+        let json = obs_json(&results);
+        assert!(
+            json.find("\"Huffman\"").unwrap() < json.find("\"LuFactor\"").unwrap(),
+            "benchmarks sorted by name:\n{json}"
+        );
+        // event-kind keys come out alphabetically
+        assert!(json.find("\"heap_load\"").unwrap() < json.find("\"local_load\"").unwrap());
+        assert!(json.find("\"local_load\"").unwrap() < json.find("\"loop_enter\"").unwrap());
+        let text = obs(&results);
+        assert!(text.find("Huffman").unwrap() < text.find("LuFactor").unwrap());
+        // the raw metrics dump is sorted and parses back
+        let metrics = metrics_json(&results);
+        assert!(metrics.find("\"Huffman\"").unwrap() < metrics.find("\"LuFactor\"").unwrap());
+        let v = obs::json::parse(&metrics).expect("metrics JSON parses");
+        let benches = v.get("benchmarks").and_then(|b| b.as_arr()).unwrap();
+        assert_eq!(benches.len(), 2);
+        assert!(benches[0]
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Acceptance test for the unified observability layer: a traced
+//! quick-smoke run must export valid Chrome trace-event JSON with
+//! properly nested pipeline-stage spans, per-sink counter tracks, and
+//! per-candidate tracer series whose analyzer-cycle attribution sums
+//! to the pipeline total.
+
+use benchsuite::DataSize;
+use jrpm::pipeline::{ObsConfig, PipelineConfig};
+use jrpm_bench::runner::run_benchmark_with;
+use jrpm_bench::tables;
+use obs::json::{parse, Value};
+use std::collections::BTreeMap;
+
+#[test]
+fn traced_quick_smoke_exports_wellformed_chrome_json() {
+    let bench = benchsuite::by_name("Huffman").expect("suite has Huffman");
+    let cfg = PipelineConfig {
+        obs: ObsConfig {
+            trace: true,
+            sample_every: 256,
+        },
+        ..PipelineConfig::default()
+    };
+    let r = run_benchmark_with(&bench, DataSize::Small, &cfg).expect("benchmark runs");
+    let total_events = r.report.profile.events;
+    let recorded_events = r.report.obs.recorded_events;
+    // the bus carries every event kind; the analyzer ticks only on the
+    // kinds it handles (call markers pass it by), so bus ≥ analyzer
+    assert!(recorded_events >= total_events);
+    assert!(total_events > 0);
+
+    let results = vec![r];
+    let doc = tables::chrome_trace(&results);
+    let parsed = parse(&doc).expect("trace output is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "traced run produced no events");
+
+    // Walk every event once: check B/E nesting per (pid, tid) like
+    // balanced parentheses, collect thread names, and keep the final
+    // value of every counter series.
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut begins: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut thread_names: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    let mut final_counters: BTreeMap<(u64, u64, String), u64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+        let pid = e.get("pid").and_then(Value::as_u64).expect("pid");
+        let tid = e.get("tid").and_then(Value::as_u64).expect("tid");
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .expect("name")
+            .to_string();
+        if ph == "M" {
+            if name == "thread_name" {
+                let n = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .expect("thread_name args.name");
+                thread_names.insert((pid, tid), n.to_string());
+            }
+            continue;
+        }
+        let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+        let prev = last_ts.entry((pid, tid)).or_insert(0.0);
+        assert!(*prev <= ts, "timestamps monotone within a track");
+        *prev = ts;
+        match ph {
+            "B" => {
+                stacks.entry((pid, tid)).or_default().push(name.clone());
+                begins.entry((pid, tid)).or_default().push(name);
+            }
+            "E" => {
+                let top = stacks.get_mut(&(pid, tid)).and_then(Vec::pop);
+                assert_eq!(
+                    top.as_deref(),
+                    Some(name.as_str()),
+                    "every E closes the innermost open B"
+                );
+            }
+            "C" => {
+                let v = e
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_u64)
+                    .expect("counter value");
+                final_counters.insert((pid, tid, name), v);
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (k, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed span on track {k:?}: {stack:?}");
+    }
+
+    // the pipeline's wall track (pid 1 = first process, wall domain)
+    // wraps every stage span in one "run" span
+    let pipeline = thread_names
+        .iter()
+        .find(|(_, n)| n.as_str() == "pipeline")
+        .map(|(k, _)| *k)
+        .expect("a pipeline track");
+    assert_eq!(pipeline.0, 1, "pipeline spans live in the wall pid");
+    let stage_begins = &begins[&pipeline];
+    assert_eq!(stage_begins[0], "run");
+    for want in ["extract", "annotate", "record", "select"] {
+        assert!(
+            stage_begins.iter().any(|s| s == want),
+            "missing stage span {want} in {stage_begins:?}"
+        );
+    }
+
+    // per-sink counter track with cumulative event totals
+    let sink = thread_names
+        .iter()
+        .find(|(_, n)| n.as_str() == "sink:test-tracer")
+        .map(|(k, _)| *k)
+        .expect("a sink:test-tracer track");
+    assert_eq!(
+        final_counters.get(&(sink.0, sink.1, "events".to_string())),
+        Some(&recorded_events),
+        "sink counter track ends at the recorded-event total"
+    );
+
+    // the tracer self-profiling track lives in the cycles pid and its
+    // per-candidate analyzer series sum to the pipeline total
+    let tracer = thread_names
+        .iter()
+        .find(|(_, n)| n.as_str() == "tracer")
+        .map(|(k, _)| *k)
+        .expect("a tracer track");
+    assert_eq!(tracer.0, 2, "tracer series live in the cycles pid");
+    let attributed: u64 = final_counters
+        .iter()
+        .filter(|((pid, tid, series), _)| (*pid, *tid) == tracer && series.starts_with("analyzer."))
+        .map(|(_, &v)| v)
+        .sum();
+    assert_eq!(
+        attributed, total_events,
+        "per-candidate analyzer-cycle attribution sums to the pipeline total"
+    );
+    assert!(
+        final_counters.contains_key(&(tracer.0, tracer.1, "fifo_depth".to_string())),
+        "tracer FIFO depth series present"
+    );
+}
+
+#[test]
+fn untraced_results_export_an_empty_event_list() {
+    let bench = benchsuite::by_name("Huffman").expect("suite has Huffman");
+    let r = run_benchmark_with(&bench, DataSize::Small, &PipelineConfig::default())
+        .expect("benchmark runs");
+    let doc = tables::chrome_trace(&[r]);
+    let parsed = parse(&doc).expect("valid JSON");
+    assert_eq!(
+        parsed
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len),
+        Some(0),
+        "no spans are recorded unless tracing was requested"
+    );
+}

@@ -155,6 +155,11 @@ impl SoftwareTracer {
             fifo_evictions: 0,
             events: self.events,
             end_time: end,
+            // self-profiling is a property of the hardware model; the
+            // idealized software tracer has no buffers to watch
+            analyzer_events: BTreeMap::new(),
+            fifo_depth_watermark: 0,
+            bank_watermark: 0,
         }
     }
 

@@ -150,6 +150,17 @@ pub struct Profile {
     pub events: u64,
     /// Timestamp of the last event seen.
     pub end_time: Cycles,
+    /// Analyzer self-profiling: events attributed to the innermost
+    /// active loop at the time each event was processed (`None` =
+    /// outside any loop). Maintained by the hardware tracer, where the
+    /// values always sum to `events`; the software reference tracer
+    /// leaves it empty.
+    pub analyzer_events: BTreeMap<Option<LoopId>, u64>,
+    /// Peak store-timestamp FIFO occupancy (hardware tracer only).
+    pub fifo_depth_watermark: u64,
+    /// Peak number of comparator banks simultaneously live (hardware
+    /// tracer only).
+    pub bank_watermark: u64,
 }
 
 impl Profile {

@@ -22,7 +22,9 @@ use crate::buffers::{LineTimestampTable, LocalVarTimestamps, StoreTimestampFifo}
 use crate::config::TracerConfig;
 use crate::pcbins::PcBins;
 use crate::stats::{Profile, StlStats};
+use obs::{Trace as ObsTrace, TrackId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tvm::isa::{LoopId, Pc};
 use tvm::line_of;
 use tvm::trace::{Addr, Cycles, TraceSink};
@@ -85,6 +87,22 @@ struct StackEntry {
     released_entry: Option<Cycles>,
 }
 
+/// Self-profiling sample stream (see [`TestTracer::set_obs`]).
+#[derive(Debug)]
+struct ObsHook {
+    trace: Arc<ObsTrace>,
+    track: TrackId,
+    sample_every: u64,
+}
+
+/// The counter-series name for one attribution key.
+fn attr_series(l: Option<LoopId>) -> String {
+    match l {
+        Some(l) => format!("analyzer.{l}"),
+        None => "analyzer.outside".to_string(),
+    }
+}
+
 /// The hardware tracer. Implements [`TraceSink`]; feed it by running an
 /// annotated program through [`tvm::Interp`], then harvest results with
 /// [`TestTracer::into_profile`].
@@ -106,6 +124,17 @@ pub struct TestTracer {
     end_time: Cycles,
     last_ld_line: Option<u32>,
     last_st_line: Option<u32>,
+    // ---- self-profiling ----
+    /// attribution key of the innermost active loop (`None` = outside)
+    cur_loop: Option<LoopId>,
+    /// events attributed to `cur_loop` since the last stack change;
+    /// flushed to `analyzer_events` whenever the innermost loop changes
+    /// so the per-event cost stays a plain increment
+    cur_attr: u64,
+    analyzer_events: BTreeMap<Option<LoopId>, u64>,
+    fifo_depth_watermark: u64,
+    bank_watermark: u64,
+    obs: Option<ObsHook>,
 }
 
 impl TestTracer {
@@ -128,7 +157,30 @@ impl TestTracer {
             end_time: 0,
             last_ld_line: None,
             last_st_line: None,
+            cur_loop: None,
+            cur_attr: 0,
+            analyzer_events: BTreeMap::new(),
+            fifo_depth_watermark: 0,
+            bank_watermark: 0,
+            obs: None,
         }
+    }
+
+    /// Streams self-profiling samples into `trace` on a cycle-domain
+    /// track named `tracer`: every `sample_every`-th event emits
+    /// `fifo_depth`, `banks_in_use`, and the cumulative
+    /// `analyzer.<loop>` count of the innermost active candidate;
+    /// every predicted buffer overflow emits an `overflow <loop>`
+    /// instant. [`TestTracer::into_profile`] flushes the final
+    /// per-candidate `analyzer.*` counters at the profile end time, so
+    /// their last samples sum to the profile's total event count.
+    pub fn set_obs(&mut self, trace: Arc<ObsTrace>, sample_every: u64) {
+        let track = trace.cycle_track("tracer");
+        self.obs = Some(ObsHook {
+            trace,
+            track,
+            sample_every: sample_every.max(1),
+        });
     }
 
     /// Creates a tracer with the per-loop tracked-variable slot masks
@@ -151,6 +203,13 @@ impl TestTracer {
         while let Some(top) = self.stack.last().copied() {
             self.close_loop(top.loop_id, end);
         }
+        self.flush_attr();
+        if let Some(hook) = &self.obs {
+            for (&key, &count) in &self.analyzer_events {
+                hook.trace
+                    .counter_at(hook.track, &attr_series(key), end, count);
+            }
+        }
         Profile {
             stl: self.stl,
             forest_edges: self.forest_edges,
@@ -159,6 +218,22 @@ impl TestTracer {
             fifo_evictions: self.fifo.evictions(),
             events: self.events,
             end_time: end,
+            analyzer_events: self.analyzer_events,
+            fifo_depth_watermark: self.fifo_depth_watermark,
+            bank_watermark: self.bank_watermark,
+        }
+    }
+
+    /// Banks currently holding a live loop entry.
+    fn banks_in_use(&self) -> u64 {
+        self.banks.iter().filter(|b| b.is_some()).count() as u64
+    }
+
+    /// Moves the pending attribution count into the per-loop map.
+    fn flush_attr(&mut self) {
+        if self.cur_attr > 0 {
+            *self.analyzer_events.entry(self.cur_loop).or_insert(0) += self.cur_attr;
+            self.cur_attr = 0;
         }
     }
 
@@ -184,6 +259,23 @@ impl TestTracer {
     fn tick(&mut self, now: Cycles) {
         self.events += 1;
         self.end_time = self.end_time.max(now);
+        self.cur_attr += 1;
+        if let Some(hook) = &self.obs {
+            if self.events.is_multiple_of(hook.sample_every) {
+                let cum = self
+                    .analyzer_events
+                    .get(&self.cur_loop)
+                    .copied()
+                    .unwrap_or(0)
+                    + self.cur_attr;
+                hook.trace
+                    .counter_at(hook.track, "fifo_depth", now, self.fifo.len() as u64);
+                hook.trace
+                    .counter_at(hook.track, "banks_in_use", now, self.banks_in_use());
+                hook.trace
+                    .counter_at(hook.track, &attr_series(self.cur_loop), now, cum);
+            }
+        }
     }
 
     /// Load dependency analysis (§4.2.1): finds the unique active bank
@@ -284,6 +376,10 @@ impl TestTracer {
         if bank.overflowed {
             s.overflow_threads += 1;
             bank.consecutive_overflows += 1;
+            if let Some(hook) = &self.obs {
+                hook.trace
+                    .instant_at(hook.track, &format!("overflow {}", bank.loop_id), now);
+            }
         } else {
             bank.consecutive_overflows = 0;
         }
@@ -325,6 +421,8 @@ impl TestTracer {
         }
         self.last_ld_line = None;
         self.last_st_line = None;
+        self.flush_attr();
+        self.cur_loop = self.stack.last().map(|e| e.loop_id);
     }
 }
 
@@ -347,6 +445,7 @@ impl TraceSink for TestTracer {
         // later-entered loop may consult them (and be filtered by its
         // entry timestamp)
         self.fifo.record(addr, now);
+        self.fifo_depth_watermark = self.fifo_depth_watermark.max(self.fifo.len() as u64);
         if self.stack.is_empty() {
             return;
         }
@@ -410,6 +509,9 @@ impl TraceSink for TestTracer {
         self.max_dynamic_depth = self.max_dynamic_depth.max(self.stack.len() as u32);
         self.last_ld_line = None;
         self.last_st_line = None;
+        self.bank_watermark = self.bank_watermark.max(self.banks_in_use());
+        self.flush_attr();
+        self.cur_loop = Some(loop_id);
     }
 
     fn loop_iter(&mut self, loop_id: LoopId, now: Cycles) {
@@ -773,6 +875,101 @@ mod tests {
         assert_eq!(p.stl[&L0].entries, 1);
         assert_eq!(p.stl[&L0].untraced_entries, 1);
         assert_eq!(p.stl[&L0].threads, 2);
+    }
+
+    #[test]
+    fn analyzer_events_attribute_to_the_innermost_loop_and_sum_to_total() {
+        let mut t = tracer();
+        t.heap_store(0x500, 1, pc(0)); // outside any loop
+        t.loop_enter(L0, 0, 0, 2); // sloop itself: still "outside"
+        t.heap_store(0x100, 5, pc(1));
+        t.loop_enter(L1, 0, 1, 6); // attributed to L0
+        t.heap_load(0x100, 8, pc(2));
+        t.loop_iter(L1, 9);
+        t.loop_exit(L1, 10); // attributed to L1 (still on stack)
+        t.loop_iter(L0, 12);
+        t.loop_exit(L0, 14);
+        t.heap_load(0x500, 20, pc(3)); // outside again
+        let p = t.into_profile();
+        let total: u64 = p.analyzer_events.values().sum();
+        assert_eq!(total, p.events, "attribution partitions the stream");
+        // sloop L0, first eloop fragment, and both pre/post events
+        assert_eq!(p.analyzer_events[&None], 3);
+        assert_eq!(p.analyzer_events[&Some(L0)], 4); // store, sloop L1, eoi, eloop L0
+        assert_eq!(p.analyzer_events[&Some(L1)], 3); // load, eoi, eloop L1
+    }
+
+    #[test]
+    fn watermarks_track_peak_structure_occupancy() {
+        let mut t = tracer();
+        t.loop_enter(L0, 0, 0, 0);
+        t.loop_enter(L1, 0, 1, 1);
+        t.heap_store(0x000, 2, pc(0));
+        t.heap_store(0x100, 3, pc(0));
+        t.loop_exit(L1, 5);
+        t.loop_iter(L0, 6);
+        t.loop_exit(L0, 8);
+        let p = t.into_profile();
+        assert_eq!(p.bank_watermark, 2, "both nested banks were live at once");
+        assert_eq!(p.fifo_depth_watermark, 2, "two store lines buffered");
+    }
+
+    #[test]
+    fn obs_hook_emits_samples_and_final_attribution_counters() {
+        use obs::TrackEventKind;
+        let trace = std::sync::Arc::new(obs::Trace::new());
+        let mut t = tracer();
+        t.set_obs(std::sync::Arc::clone(&trace), 2);
+        t.loop_enter(L0, 0, 0, 0);
+        t.heap_store(0x100, 2, pc(0));
+        t.loop_iter(L0, 4);
+        t.heap_load(0x100, 6, pc(1));
+        t.loop_iter(L0, 8);
+        t.loop_exit(L0, 9);
+        let p = t.into_profile();
+
+        let tracks = trace.tracks();
+        assert_eq!(tracks.len(), 1);
+        let track = &tracks[0];
+        assert_eq!(track.name, "tracer");
+        assert_eq!(track.domain, obs::TimeDomain::Cycles);
+        let fifo_samples = track
+            .events
+            .iter()
+            .filter(|e| matches!(&e.kind, TrackEventKind::Counter(n, _) if n == "fifo_depth"))
+            .count();
+        assert!(fifo_samples >= 2, "every 2nd event sampled");
+
+        // the last analyzer.* counter per series matches the profile
+        // and together they sum to the total event count
+        let mut finals: BTreeMap<String, u64> = BTreeMap::new();
+        for e in &track.events {
+            if let TrackEventKind::Counter(name, v) = &e.kind {
+                if name.starts_with("analyzer.") {
+                    finals.insert(name.clone(), *v);
+                }
+            }
+        }
+        assert_eq!(finals.values().sum::<u64>(), p.events);
+        assert_eq!(finals["analyzer.L0"], p.analyzer_events[&Some(L0)]);
+    }
+
+    #[test]
+    fn self_profiling_does_not_perturb_analysis_results() {
+        let feed = |t: &mut TestTracer| {
+            t.loop_enter(L0, 0, 0, 0);
+            t.heap_store(0x100, 10, pc(1));
+            t.loop_iter(L0, 40);
+            t.heap_load(0x100, 50, pc(3));
+            t.loop_iter(L0, 60);
+            t.loop_exit(L0, 61);
+        };
+        let mut plain = tracer();
+        feed(&mut plain);
+        let mut observed = tracer();
+        observed.set_obs(std::sync::Arc::new(obs::Trace::new()), 1);
+        feed(&mut observed);
+        assert_eq!(plain.into_profile(), observed.into_profile());
     }
 
     #[test]

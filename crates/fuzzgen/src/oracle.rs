@@ -66,6 +66,31 @@ fn fail(oracle: &'static str, detail: impl Into<String>) -> Failure {
     }
 }
 
+/// Per-sink bus counters rendered for a failure report. When a
+/// threaded transport diverges, back-pressure (lagged or dropped
+/// batches) is the first hypothesis to confirm or rule out, so the
+/// report carries it inline.
+fn sink_diag(label: &str, report: &tvm::bus::BusReport) -> String {
+    let sinks = report
+        .sinks
+        .iter()
+        .map(|s| {
+            format!(
+                "{}: events={} batches={} lagged={} dropped={}",
+                s.label, s.events, s.batches, s.lagged_batches, s.dropped_batches
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("; ");
+    format!(" [{label} sinks: {sinks}]")
+}
+
+/// Appends per-sink diagnostics to a transport failure.
+fn with_sinks(mut f: Failure, report: &tvm::bus::BusReport) -> Failure {
+    f.detail.push_str(&sink_diag("bus", report));
+    f
+}
+
 /// Coverage counters for a passing check (CLI statistics).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CheckStats {
@@ -180,26 +205,30 @@ pub fn check_program(program: &Program) -> Result<CheckStats, Failure> {
     // -- transport 4: threaded replay ---------------------------------
     let mut rec_thr = RecordingSink::default();
     let mut tr_thr = TestTracer::with_masks(TracerConfig::default(), masks.iter().copied());
-    TraceBus::new()
+    let thr_report = TraceBus::new()
         .channel_depth(2)
         .sink("recording", &mut rec_thr)
         .sink("tracer", &mut tr_thr)
         .replay_threaded(&batches);
-    same_events("threaded-replay", &rec, &rec_thr.into_recording())?;
-    same_profile("threaded-replay", &profile, &tr_thr.into_profile())?;
+    same_events("threaded-replay", &rec, &rec_thr.into_recording())
+        .map_err(|f| with_sinks(f, &thr_report))?;
+    same_profile("threaded-replay", &profile, &tr_thr.into_profile())
+        .map_err(|f| with_sinks(f, &thr_report))?;
 
     // -- transport 5: live threaded fan-out ---------------------------
     let mut rec_live = RecordingSink::default();
     let mut tr_live = TestTracer::with_masks(TracerConfig::default(), masks.iter().copied());
-    let (run_t, _report) = TraceBus::new()
+    let (run_t, live_report) = TraceBus::new()
         .channel_depth(2)
         .sink("recording", &mut rec_live)
         .sink("tracer", &mut tr_live)
         .run_threaded(&ann, 64)
         .map_err(|e| fail("live-threaded", e.to_string()))?;
-    same_run("live-threaded", &run_d, &run_t)?;
-    same_events("live-threaded", &rec, &rec_live.into_recording())?;
-    same_profile("live-threaded", &profile, &tr_live.into_profile())?;
+    same_run("live-threaded", &run_d, &run_t).map_err(|f| with_sinks(f, &live_report))?;
+    same_events("live-threaded", &rec, &rec_live.into_recording())
+        .map_err(|f| with_sinks(f, &live_report))?;
+    same_profile("live-threaded", &profile, &tr_live.into_profile())
+        .map_err(|f| with_sinks(f, &live_report))?;
 
     // -- transport 6: byte round-trip ---------------------------------
     let bytes = rec.to_bytes();
@@ -553,7 +582,11 @@ fn check_pipeline(program: &Program) -> Result<(), Failure> {
     {
         return Err(fail(
             "pipeline",
-            "serial-bus and threaded-bus pipeline reports diverged",
+            format!(
+                "serial-bus and threaded-bus pipeline reports diverged{}{}",
+                sink_diag("serial", &serial.obs.bus),
+                sink_diag("threaded", &threaded.obs.bus)
+            ),
         ));
     }
     Ok(())

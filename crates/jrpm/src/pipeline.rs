@@ -16,18 +16,27 @@
 //! annotated program, so it cannot share the recording without
 //! changing timestamps).
 //!
-//! Every run also produces a [`PipelineObservability`] report:
-//! per-stage wall times, event counts by kind, batch occupancy and —
-//! in threaded mode, where consumers drain batches concurrently with
-//! interpretation — per-sink lag counters.
+//! Every run writes its measurements into an [`obs::Registry`] (and,
+//! when [`ObsConfig::trace`] is set, streams spans and counter series
+//! into an [`obs::Trace`] exportable as Chrome trace-event JSON): the
+//! stages become `pipeline.stage.<NN>.<name>` wall-time counters and
+//! spans on a `pipeline` track, the profiling bus contributes `bus.*`
+//! counters and per-sink tracks, and the TEST tracer's self-profiling
+//! lands under `tracer.*` with per-candidate analyzer-event
+//! attribution. The [`PipelineObservability`] report is a *view over
+//! the registry* — [`PipelineObservability::from_snapshot`]
+//! reconstructs it from the sorted snapshot, so anything the report
+//! shows is also present in the exported metrics.
 
 use crate::annotate::{annotate, AnnotateOptions};
 use cfgir::{extract_candidates, ProgramCandidates};
 use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
+use obs::{Registry, Snapshot, Telemetry, Trace as ObsTrace, TrackId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 use test_tracer::{select_with_priors, Profile, SelectionResult, TestTracer, TracerConfig};
-use tvm::bus::{record_batches, BusReport, KindCounts, TraceBus};
+use tvm::bus::{record_batches, BusReport, EventKind, KindCounts, SinkStats, TraceBus};
 use tvm::interp::AnnotationCycles;
 use tvm::isa::LoopId;
 use tvm::program::Program;
@@ -55,6 +64,28 @@ impl Default for BusConfig {
     }
 }
 
+/// Span/trace emission parameters for a pipeline run. Registry
+/// counters are always collected (they cost a handful of atomic adds
+/// per stage); the span trace is opt-in because sampled tracer series
+/// grow with the event stream.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Stream spans, counter series, and overflow instants into the
+    /// run's [`obs::Trace`] (for Chrome trace-event export).
+    pub trace: bool,
+    /// Tracer self-profiling sample period, in analyzer events.
+    pub sample_every: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            trace: false,
+            sample_every: 4096,
+        }
+    }
+}
+
 /// Configuration for a pipeline run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PipelineConfig {
@@ -64,13 +95,15 @@ pub struct PipelineConfig {
     pub tls: TlsConfig,
     /// Trace-bus delivery parameters.
     pub bus: BusConfig,
+    /// Observability emission parameters.
+    pub obs: ObsConfig,
 }
 
 /// Wall time of one pipeline stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageTime {
     /// Stage name (`extract`, `annotate`, `record`, …).
-    pub stage: &'static str,
+    pub stage: String,
     /// Wall time spent in the stage, in nanoseconds.
     pub nanos: u64,
 }
@@ -130,6 +163,157 @@ impl PipelineObservability {
         } else {
             self.recorded_events as f64 * 1e9 / nanos as f64
         }
+    }
+
+    /// Reconstructs the report from a registry snapshot. This is the
+    /// inverse of what [`run_pipeline`] records: stage counters are
+    /// named `pipeline.stage.<NN>.<name>` (the zero-padded sequence
+    /// number makes lexicographic order execution order), bus totals
+    /// live under `bus.*`, and per-sink counters under
+    /// `bus.sink.<i>.*` with the label attached as a note.
+    pub fn from_snapshot(s: &Snapshot) -> PipelineObservability {
+        let mut stages = Vec::new();
+        for (name, &nanos) in &s.counters {
+            if let Some(rest) = name.strip_prefix("pipeline.stage.") {
+                if let Some((_, stage)) = rest.split_once('.') {
+                    stages.push(StageTime {
+                        stage: stage.to_string(),
+                        nanos,
+                    });
+                }
+            }
+        }
+        let kind_counts = |prefix: &str| {
+            let mut k = KindCounts::default();
+            for kind in EventKind::ALL {
+                k.add(kind, s.counter(&format!("{prefix}{}", kind.name())));
+            }
+            k
+        };
+        let mut sinks = Vec::new();
+        loop {
+            let p = format!("bus.sink.{}.", sinks.len());
+            let present = s.counters.keys().any(|k| k.starts_with(&p))
+                || s.notes.keys().any(|k| k.starts_with(&p));
+            if !present {
+                break;
+            }
+            sinks.push(SinkStats {
+                label: s.note(&format!("{p}label")).to_string(),
+                events: s.counter(&format!("{p}events")),
+                by_kind: kind_counts(&format!("{p}kind.")),
+                batches: s.counter(&format!("{p}batches")),
+                lagged_batches: s.counter(&format!("{p}lagged_batches")),
+                dropped_batches: s.counter(&format!("{p}dropped_batches")),
+                drain_nanos: s.counter(&format!("{p}drain_nanos")),
+            });
+        }
+        let by_kind = kind_counts("bus.kind.");
+        PipelineObservability {
+            stages,
+            interpreter_passes: s.counter("pipeline.interpreter_passes") as u32,
+            recorded_events: s.counter("bus.events"),
+            by_kind,
+            batches: s.counter("bus.batches"),
+            batch_capacity: s.counter("pipeline.batch_capacity") as usize,
+            bus: BusReport {
+                batches: s.counter("bus.batches"),
+                events: s.counter("bus.events"),
+                batch_capacity: s.counter("bus.batch_capacity") as usize,
+                by_kind,
+                sinks,
+                threaded: s.counter("bus.threaded") > 0,
+            },
+        }
+    }
+}
+
+/// Stage bookkeeping: one registry counter per stage (sequence-
+/// numbered so snapshots preserve execution order) plus, when tracing,
+/// a span on the `pipeline` wall track.
+struct StageRecorder<'a> {
+    registry: &'a Registry,
+    trace: Option<(&'a ObsTrace, TrackId)>,
+    seq: u32,
+}
+
+impl StageRecorder<'_> {
+    fn begin(&self, name: &str) -> Instant {
+        if let Some((tr, t)) = self.trace {
+            tr.begin(t, name);
+        }
+        Instant::now()
+    }
+
+    fn end(&mut self, name: &str, started: Instant) {
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.registry
+            .counter(&format!("pipeline.stage.{:02}.{name}", self.seq))
+            .add(nanos);
+        self.seq += 1;
+        if let Some((tr, t)) = self.trace {
+            tr.end(t, name);
+        }
+    }
+}
+
+/// Writes one bus run's totals and per-sink counters into the registry.
+fn record_bus_report(registry: &Registry, report: &BusReport) {
+    registry.counter("bus.batches").add(report.batches);
+    registry.counter("bus.events").add(report.events);
+    registry
+        .counter("bus.batch_capacity")
+        .record_max(report.batch_capacity as u64);
+    if report.threaded {
+        registry.counter("bus.threaded").record_max(1);
+    }
+    for (kind, n) in report.by_kind.iter() {
+        if n > 0 {
+            registry
+                .counter(&format!("bus.kind.{}", kind.name()))
+                .add(n);
+        }
+    }
+    for (i, sink) in report.sinks.iter().enumerate() {
+        let p = format!("bus.sink.{i}.");
+        registry.note(&format!("{p}label"), sink.label.clone());
+        registry.counter(&format!("{p}events")).add(sink.events);
+        registry.counter(&format!("{p}batches")).add(sink.batches);
+        registry
+            .counter(&format!("{p}lagged_batches"))
+            .add(sink.lagged_batches);
+        registry
+            .counter(&format!("{p}dropped_batches"))
+            .add(sink.dropped_batches);
+        registry
+            .counter(&format!("{p}drain_nanos"))
+            .add(sink.drain_nanos);
+        for (kind, n) in sink.by_kind.iter() {
+            if n > 0 {
+                registry.counter(&format!("{p}kind.{}", kind.name())).add(n);
+            }
+        }
+    }
+}
+
+/// Writes the TEST tracer's self-profiling results into the registry.
+fn record_tracer_profile(registry: &Registry, profile: &Profile) {
+    registry.counter("tracer.events").add(profile.events);
+    registry
+        .counter("tracer.fifo_evictions")
+        .add(profile.fifo_evictions);
+    registry
+        .counter("tracer.fifo_depth_watermark")
+        .record_max(profile.fifo_depth_watermark);
+    registry
+        .counter("tracer.bank_watermark")
+        .record_max(profile.bank_watermark);
+    for (&key, &count) in &profile.analyzer_events {
+        let name = match key {
+            Some(l) => format!("tracer.analyzer_events.{l}"),
+            None => "tracer.analyzer_events.outside".to_string(),
+        };
+        registry.counter(&name).add(count);
     }
 }
 
@@ -191,8 +375,13 @@ pub struct PipelineReport {
     pub selection: SelectionResult,
     /// Actual speculative execution of the selected loops.
     pub actual: ActualTls,
-    /// Per-stage timings and bus counters.
+    /// Per-stage timings and bus counters (a view reconstructed from
+    /// `telemetry`'s registry snapshot).
     pub obs: PipelineObservability,
+    /// The run's full observability handles: the metrics registry
+    /// behind `obs`, plus the span trace (empty unless
+    /// [`ObsConfig::trace`] was set).
+    pub telemetry: Telemetry,
 }
 
 impl PipelineReport {
@@ -258,63 +447,71 @@ impl PipelineReport {
 /// Any [`VmError`] from the two executions (profiling,
 /// trace-collection).
 pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineReport, VmError> {
-    let mut obs = PipelineObservability {
-        batch_capacity: cfg.bus.batch_capacity.max(1),
-        ..PipelineObservability::default()
+    let telemetry = Telemetry::new();
+    let registry = Arc::clone(&telemetry.registry);
+    registry
+        .counter("pipeline.batch_capacity")
+        .record_max(cfg.bus.batch_capacity.max(1) as u64);
+    let trace = cfg.obs.trace.then(|| Arc::clone(&telemetry.trace));
+    let ptrack = trace.as_ref().map(|tr| tr.track("pipeline"));
+    let mut stages = StageRecorder {
+        registry: &registry,
+        trace: trace.as_deref().zip(ptrack),
+        seq: 0,
     };
-    let stage = |stages: &mut Vec<StageTime>, name, t: Instant| {
-        stages.push(StageTime {
-            stage: name,
-            nanos: t.elapsed().as_nanos() as u64,
-        });
-    };
+    if let Some((tr, t)) = stages.trace {
+        tr.begin(t, "run");
+    }
 
     // 1. identify candidate STLs
-    let t = Instant::now();
+    let t = stages.begin("extract");
     let candidates = extract_candidates(program);
-    stage(&mut obs.stages, "extract", t);
+    stages.end("extract", t);
 
     // 2. annotate every candidate for profiling (loops the static
     //    pre-screen demoted are left unannotated, so the tracer
     //    spends no banks on them)
-    let t = Instant::now();
+    let t = stages.begin("annotate");
     let annotated = annotate(program, &candidates, &AnnotateOptions::profiling())?;
-    stage(&mut obs.stages, "annotate", t);
+    stages.end("annotate", t);
 
     // 3. interpret the annotated program ONCE — execution pass 1 —
     //    capturing its event stream as batches, and feed TEST from
     //    the bus. Threaded mode drains the tracer concurrently with
     //    interpretation; otherwise record fully, then replay.
     let mut tracer = TestTracer::with_masks(cfg.tracer, candidates.tracked_masks());
-    obs.interpreter_passes += 1;
+    if let Some(tr) = &trace {
+        tracer.set_obs(Arc::clone(tr), cfg.obs.sample_every);
+    }
+    registry.counter("pipeline.interpreter_passes").inc();
     let prof_run = if cfg.bus.threaded {
-        let t = Instant::now();
-        let (run, report) = TraceBus::new()
+        let t = stages.begin("record+profile");
+        let mut bus = TraceBus::new()
             .channel_depth(cfg.bus.channel_depth)
-            .sink("test-tracer", &mut tracer)
-            .run_threaded(&annotated, cfg.bus.batch_capacity)?;
-        stage(&mut obs.stages, "record+profile", t);
-        obs.recorded_events = report.events;
-        obs.batches = report.batches;
-        obs.by_kind = report.by_kind;
-        obs.bus = report;
+            .sink("test-tracer", &mut tracer);
+        if let Some(tr) = &trace {
+            bus = bus.observe(Arc::clone(tr));
+        }
+        let (run, report) = bus.run_threaded(&annotated, cfg.bus.batch_capacity)?;
+        stages.end("record+profile", t);
+        record_bus_report(&registry, &report);
         run
     } else {
-        let t = Instant::now();
+        let t = stages.begin("record");
         let (run, batches) = record_batches(&annotated, cfg.bus.batch_capacity)?;
-        stage(&mut obs.stages, "record", t);
-        let t = Instant::now();
-        let report = TraceBus::new()
-            .sink("test-tracer", &mut tracer)
-            .replay(&batches);
-        stage(&mut obs.stages, "replay-profile", t);
-        obs.recorded_events = report.events;
-        obs.batches = report.batches;
-        obs.by_kind = report.by_kind;
-        obs.bus = report;
+        stages.end("record", t);
+        let t = stages.begin("replay-profile");
+        let mut bus = TraceBus::new().sink("test-tracer", &mut tracer);
+        if let Some(tr) = &trace {
+            bus = bus.observe(Arc::clone(tr));
+        }
+        let report = bus.replay(&batches);
+        stages.end("replay-profile", t);
+        record_bus_report(&registry, &report);
         run
     };
     let profile = tracer.into_profile();
+    record_tracer_profile(&registry, &profile);
 
     // the plain sequential baseline, exactly: the annotation pass
     // only inserts annotation instructions, and the interpreter
@@ -323,14 +520,14 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
 
     // 4. select decompositions (Equations 1 and 2), with the static
     //    verdicts as priors
-    let t = Instant::now();
+    let t = stages.begin("select");
     let selection = select_with_priors(
         &profile,
         &cfg.tls.estimator_params(),
         prof_run.cycles,
         &candidates.demoted_ids(),
     );
-    stage(&mut obs.stages, "select", t);
+    stages.end("select", t);
 
     // 5. recompile only the selected loops and collect TLS traces —
     //    execution pass 2. This interprets a *differently annotated*
@@ -344,15 +541,15 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
             tls_cycles: seq_cycles,
         }
     } else {
-        let t = Instant::now();
+        let t = stages.begin("collect");
         let spec = annotate(program, &candidates, &AnnotateOptions::only(chosen.clone()))?;
         let mut collector = TlsTraceCollector::with_masks(chosen, candidates.tracked_masks());
-        obs.interpreter_passes += 1;
+        registry.counter("pipeline.interpreter_passes").inc();
         let spec_run = Interp::run(&spec, &mut collector)?;
-        stage(&mut obs.stages, "collect", t);
+        stages.end("collect", t);
 
         // 6. simulate each entry on Hydra
-        let t = Instant::now();
+        let t = stages.begin("simulate");
         let mut per_loop: BTreeMap<LoopId, LoopTls> = BTreeMap::new();
         let mut total = spec_run.cycles;
         for entry in &collector.entries {
@@ -365,7 +562,7 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
             l.threads += r.threads;
             total = total.saturating_sub(entry.seq_cycles) + r.tls_cycles;
         }
-        stage(&mut obs.stages, "simulate", t);
+        stages.end("simulate", t);
         ActualTls {
             per_loop,
             baseline_cycles: spec_run.cycles,
@@ -373,6 +570,10 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
         }
     };
 
+    if let Some((tr, t)) = stages.trace {
+        tr.end(t, "run");
+    }
+    let obs = PipelineObservability::from_snapshot(&registry.snapshot());
     Ok(PipelineReport {
         seq_cycles,
         profile_cycles: prof_run.cycles,
@@ -382,6 +583,7 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
         selection,
         actual,
         obs,
+        telemetry,
     })
 }
 
@@ -509,6 +711,95 @@ mod tests {
     }
 
     #[test]
+    fn observability_report_is_a_faithful_view_of_the_registry() {
+        let p = parallel_program(100);
+        let r = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+        // the report can be reconstructed from the snapshot verbatim
+        let rebuilt = PipelineObservability::from_snapshot(&r.telemetry.snapshot());
+        assert_eq!(rebuilt.stages, r.obs.stages);
+        assert_eq!(rebuilt.interpreter_passes, r.obs.interpreter_passes);
+        assert_eq!(rebuilt.recorded_events, r.obs.recorded_events);
+        assert_eq!(rebuilt.by_kind, r.obs.by_kind);
+        assert_eq!(rebuilt.bus, r.obs.bus);
+        // per-sink counters carry the sink label as a note
+        let snap = r.telemetry.snapshot();
+        assert_eq!(snap.note("bus.sink.0.label"), "test-tracer");
+        assert_eq!(snap.counter("bus.sink.0.events"), r.obs.recorded_events);
+        // analyzer attribution landed in the registry and sums to the
+        // tracer's total event count
+        let attributed: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("tracer.analyzer_events."))
+            .map(|(_, &v)| v)
+            .sum();
+        assert_eq!(attributed, r.profile.events);
+        assert_eq!(snap.counter("tracer.events"), r.profile.events);
+        // no trace requested: the span trace stays empty
+        assert_eq!(r.telemetry.trace.event_count(), 0);
+    }
+
+    #[test]
+    fn tracing_run_emits_nested_stage_spans_and_candidate_series() {
+        use obs::{TimeDomain, TrackEventKind};
+        let p = parallel_program(100);
+        let cfg = PipelineConfig {
+            obs: ObsConfig {
+                trace: true,
+                sample_every: 64,
+            },
+            ..PipelineConfig::default()
+        };
+        let r = run_pipeline(&p, &cfg).unwrap();
+        let tracks = r.telemetry.trace.tracks();
+        let pipeline = tracks
+            .iter()
+            .find(|t| t.name == "pipeline")
+            .expect("pipeline track");
+        assert_eq!(pipeline.domain, TimeDomain::Wall);
+        assert!(pipeline.open.is_empty(), "all spans closed");
+        let begins: Vec<&str> = pipeline
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TrackEventKind::Begin(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(begins[0], "run", "stage spans nest inside the run span");
+        for want in ["extract", "annotate", "record", "select"] {
+            assert!(begins.contains(&want), "missing stage span {want}");
+        }
+        // the tracer self-profiling track carries per-candidate series
+        let tracer = tracks
+            .iter()
+            .find(|t| t.name == "tracer")
+            .expect("tracer track");
+        assert_eq!(tracer.domain, TimeDomain::Cycles);
+        let finals: std::collections::BTreeMap<&str, u64> = tracer
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TrackEventKind::Counter(n, v) if n.starts_with("analyzer.") => {
+                    Some((n.as_str(), *v))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            finals.values().sum::<u64>(),
+            r.profile.events,
+            "per-candidate attribution sums to the recorded total"
+        );
+        // sink drain activity shows up as its own track
+        assert!(tracks.iter().any(|t| t.name == "sink:test-tracer"));
+        // and tracing must not change the analysis
+        let plain = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+        assert_eq!(plain.profile, r.profile);
+        assert_eq!(plain.selection.chosen, r.selection.chosen);
+    }
+
+    #[test]
     fn threaded_bus_mode_is_bit_identical() {
         let p = parallel_program(150);
         let direct = run_pipeline(&p, &PipelineConfig::default()).unwrap();
@@ -544,6 +835,7 @@ mod tests {
             selection: SelectionResult::default(),
             actual: ActualTls::default(),
             obs: PipelineObservability::default(),
+            telemetry: Telemetry::default(),
         };
         assert_eq!(r.profiling_slowdown(), 1.0);
         assert_eq!(r.predicted_normalized(), 1.0);

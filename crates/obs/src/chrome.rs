@@ -1,0 +1,173 @@
+//! Chrome trace-event JSON export.
+//!
+//! Serialises one or more [`Trace`]s into the Chrome trace-event
+//! format (the `{"traceEvents": [...]}` flavour) loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! The format has a single time axis, but our traces carry two time
+//! domains — wall-clock microseconds and simulated analyzer cycles —
+//! so each named process is split into up to two trace *processes*:
+//! `pid = 2i+1` holds its wall tracks and `pid = 2i+2` its cycle
+//! tracks (labelled `"<name> [cycles]"`, with one simulated cycle
+//! rendered as one microsecond). Tracks become threads with
+//! `thread_name` metadata; spans map to `B`/`E`, counter series to
+//! `C`, and point events to `i`.
+
+use crate::json::quote;
+use crate::span::{TimeDomain, Trace, TrackEventKind};
+
+/// Renders named traces as a Chrome trace-event JSON document.
+///
+/// Each `(name, trace)` pair becomes one process (two, when it has
+/// tracks in both time domains). Pass everything from a run in one
+/// call so the viewer shows all tracks on a shared timeline.
+pub fn chrome_json(processes: &[(&str, &Trace)]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (i, (proc_name, trace)) in processes.iter().enumerate() {
+        for domain in [TimeDomain::Wall, TimeDomain::Cycles] {
+            let pid = match domain {
+                TimeDomain::Wall => 2 * i + 1,
+                TimeDomain::Cycles => 2 * i + 2,
+            };
+            let tracks: Vec<_> = trace
+                .tracks()
+                .into_iter()
+                .filter(|t| t.domain == domain)
+                .collect();
+            if tracks.is_empty() {
+                continue;
+            }
+            let label = match domain {
+                TimeDomain::Wall => (*proc_name).to_string(),
+                TimeDomain::Cycles => format!("{proc_name} [cycles]"),
+            };
+            events.push(meta(pid, 0, "process_name", &label));
+            for (ti, track) in tracks.iter().enumerate() {
+                let tid = ti + 1;
+                events.push(meta(pid, tid, "thread_name", &track.name));
+                for ev in &track.events {
+                    events.push(match &ev.kind {
+                        TrackEventKind::Begin(name) => format!(
+                            r#"{{"name":{},"ph":"B","ts":{},"pid":{},"tid":{}}}"#,
+                            quote(name),
+                            ev.ts,
+                            pid,
+                            tid
+                        ),
+                        TrackEventKind::End(name) => format!(
+                            r#"{{"name":{},"ph":"E","ts":{},"pid":{},"tid":{}}}"#,
+                            quote(name),
+                            ev.ts,
+                            pid,
+                            tid
+                        ),
+                        TrackEventKind::Counter(series, value) => format!(
+                            r#"{{"name":{},"ph":"C","ts":{},"pid":{},"tid":{},"args":{{"value":{}}}}}"#,
+                            quote(series),
+                            ev.ts,
+                            pid,
+                            tid,
+                            value
+                        ),
+                        TrackEventKind::Instant(name) => format!(
+                            r#"{{"name":{},"ph":"i","ts":{},"pid":{},"tid":{},"s":"t"}}"#,
+                            quote(name),
+                            ev.ts,
+                            pid,
+                            tid
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+}
+
+fn meta(pid: usize, tid: usize, kind: &str, name: &str) -> String {
+    format!(
+        r#"{{"name":"{}","ph":"M","pid":{},"tid":{},"args":{{"name":{}}}}}"#,
+        kind,
+        pid,
+        tid,
+        quote(name)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn export_parses_back_with_both_domains() {
+        let tr = Trace::new();
+        let w = tr.track("pipeline");
+        tr.begin(w, "extract");
+        tr.end(w, "extract");
+        let c = tr.cycle_track("tracer");
+        tr.counter_at(c, "fifo_depth", 500, 3);
+        tr.instant_at(c, "overflow", 700);
+
+        let doc = chrome_json(&[("bench", &tr)]);
+        let parsed = json::parse(&doc).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+
+        // metadata names both processes
+        let proc_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(proc_names, vec!["bench", "bench [cycles]"]);
+
+        // wall B/E pair on pid 1, cycle events on pid 2
+        let phs: Vec<(&str, u64)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) != Some("M"))
+            .map(|e| {
+                (
+                    e.get("ph").unwrap().as_str().unwrap(),
+                    e.get("pid").unwrap().as_u64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(phs[0].0, "B");
+        assert_eq!(phs[1].0, "E");
+        assert_eq!(phs[0].1, 1);
+        assert_eq!(phs[2], ("C", 2));
+        assert_eq!(phs[3], ("i", 2));
+
+        // cycle timestamps are verbatim
+        let counter = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .unwrap();
+        assert_eq!(counter.get("ts").unwrap().as_u64(), Some(500));
+        assert_eq!(
+            counter.get("args").unwrap().get("value").unwrap().as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn empty_trace_exports_an_empty_event_list() {
+        let tr = Trace::new();
+        let doc = chrome_json(&[("empty", &tr)]);
+        let parsed = json::parse(&doc).expect("valid JSON");
+        assert_eq!(
+            parsed.get("traceEvents").unwrap().as_arr().unwrap().len(),
+            0
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Unified observability layer for the TEST pipeline.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * [`metrics`] — a thread-safe [`Registry`] of named counters,
+//!   gauges, and log₂-bucket histograms. Instruments are lock-free
+//!   atomics behind `Arc`; the registry snapshots to sorted maps so
+//!   two runs diff cleanly.
+//! * [`span`] — nested span tracing over named tracks in two time
+//!   domains (wall-clock microseconds and simulated analyzer cycles),
+//!   with counter series and instant markers. Misnested spans panic.
+//! * [`chrome`] — exports traces as Chrome trace-event JSON, loadable
+//!   in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! [`Telemetry`] bundles one registry and one trace for threading
+//! through a pipeline run. The naming scheme instrumented code uses is
+//! documented in DESIGN.md §11; the short version:
+//!
+//! * `pipeline.stage.<NN>.<name>` — per-stage wall nanoseconds, `NN`
+//!   preserving execution order
+//! * `bus.*`, `bus.kind.<kind>`, `bus.sink.<i>.*` — trace-bus totals,
+//!   per-event-kind counts, and per-sink delivery/lag/drop counters
+//! * `tracer.*` — analyzer self-profiling: per-candidate event
+//!   attribution (`tracer.analyzer_events.<loop>`) and structure
+//!   watermarks
+//!
+//! [`Registry`]: metrics::Registry
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::chrome_json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use span::{SpanGuard, TimeDomain, Trace, Track, TrackEvent, TrackEventKind, TrackId};
+
+use std::sync::Arc;
+
+/// One pipeline run's observability handles: a metrics registry plus a
+/// span trace, cheaply cloneable and shareable across threads.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Named counters/gauges/histograms for the run.
+    pub registry: Arc<Registry>,
+    /// Span/counter tracks for the run.
+    pub trace: Arc<Trace>,
+}
+
+impl Telemetry {
+    /// Fresh, empty telemetry.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Sorted snapshot of the registry.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}

@@ -1,0 +1,449 @@
+//! Thread-safe metrics: counters, gauges, log₂-bucket histograms, and
+//! the [`Registry`] that names them.
+//!
+//! All instruments are lock-free atomics behind `Arc`, so sink threads
+//! of a trace bus can increment them while the interpreter produces
+//! events. The registry itself takes a mutex only on registration and
+//! on [`Registry::snapshot`], never on the hot increment path: callers
+//! register once, keep the `Arc`, and hammer it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `u64::MAX`.
+pub const N_BUCKETS: usize = 65;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter (saturating at `u64::MAX`).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Sets the counter to `max(current, v)` — a watermark update.
+    pub fn record_max(&self, v: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while cur < v {
+            match self
+                .0
+                .compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// A last-write-wins signed value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta` (wrapping; gauges are small).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram with log₂ buckets: bucket 0 holds the value 0, bucket
+/// `i` (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i)` — the last bucket
+/// is closed at `u64::MAX`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // saturating add: huge observations must not wrap the sum
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations (saturating).
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`bucket_bounds`]).
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// `(lo, hi, count)` for every non-empty bucket.
+    pub fn nonzero(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Instruments {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+    notes: BTreeMap<String, String>,
+}
+
+/// A named collection of instruments. Cheap to share (`Arc<Registry>`),
+/// cheap to increment (atomics), snapshottable to sorted maps.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Instruments>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Attaches a string annotation (labels, names — anything that is
+    /// not a number but belongs with the metrics).
+    pub fn note(&self, name: &str, value: impl Into<String>) {
+        let mut g = self.inner.lock().expect("registry poisoned");
+        g.notes.insert(name.to_string(), value.into());
+    }
+
+    /// Sorted point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.inner.lock().expect("registry poisoned");
+        Snapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: g.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            notes: g.notes.clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], sorted by name so two
+/// snapshots diff cleanly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// String annotations by name.
+    pub notes: BTreeMap<String, String>,
+}
+
+impl Snapshot {
+    /// Counter value, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Note value, or "" when absent.
+    pub fn note(&self, name: &str) -> &str {
+        self.notes.get(name).map(String::as_str).unwrap_or("")
+    }
+
+    /// The snapshot as a JSON document (sorted keys; no dependencies).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str("\"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {v}", crate::json::quote(k)));
+        }
+        s.push_str("}, \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {v}", crate::json::quote(k)));
+        }
+        s.push_str("}, \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{}: {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                crate::json::quote(k),
+                h.count,
+                h.sum
+            ));
+            for (j, (lo, hi, c)) in h.nonzero().iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("[{lo}, {hi}, {c}]"));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("}, \"notes\": {");
+        for (i, (k, v)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{}: {}",
+                crate::json::quote(k),
+                crate::json::quote(v)
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // 0 is its own bucket
+        assert_eq!(bucket_index(0), 0);
+        // 1 = 2^0 opens bucket 1
+        assert_eq!(bucket_index(1), 1);
+        // powers of two open a new bucket; one less stays below
+        for i in 1..=63u32 {
+            let p = 1u64 << i;
+            assert_eq!(bucket_index(p), i as usize + 1, "2^{i}");
+            assert_eq!(bucket_index(p - 1), i as usize, "2^{i}-1");
+        }
+        // the top bucket is closed at u64::MAX
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(5), (16, 31));
+    }
+
+    #[test]
+    fn histogram_records_extremes_without_wrapping() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum saturates, never wraps
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[64], 2);
+        assert_eq!(s.nonzero().len(), 3);
+    }
+
+    #[test]
+    fn counter_saturates_and_watermarks() {
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+        let w = Counter::default();
+        w.record_max(7);
+        w.record_max(3);
+        assert_eq!(w.get(), 7);
+    }
+
+    #[test]
+    fn registry_returns_the_same_instrument_per_name() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").inc();
+        r.gauge("g").set(-3);
+        r.histogram("h").record(4);
+        r.note("label", "x");
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 2);
+        assert_eq!(s.gauges["g"], -3);
+        assert_eq!(s.histograms["h"].count, 1);
+        assert_eq!(s.note("label"), "x");
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_threads() {
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                let c = r.counter("shared");
+                let h = r.histogram("sizes");
+                for i in 0..10_000u64 {
+                    c.inc();
+                    h.record(i % 37);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("shared"), 80_000);
+        assert_eq!(s.histograms["sizes"].count, 80_000);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_balanced() {
+        let r = Registry::new();
+        r.counter("b.two").add(2);
+        r.counter("a.one").add(1);
+        r.note("z", "last");
+        let j = r.snapshot().to_json();
+        let a = j.find("a.one").unwrap();
+        let b = j.find("b.two").unwrap();
+        assert!(a < b, "keys sorted: {j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // and it parses back
+        let v = crate::json::parse(&j).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("a.one"))
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+}

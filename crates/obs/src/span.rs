@@ -1,0 +1,337 @@
+//! Nested span tracing over named tracks.
+//!
+//! A [`Trace`] owns a set of *tracks*. Each track is a timeline in one
+//! of two time domains: wall-clock microseconds (measured from the
+//! trace's construction instant) or *simulated cycles* (timestamps
+//! supplied by the caller — the analyzer's own notion of time). Spans
+//! on a track must nest properly; [`Trace::end`] panics on a
+//! mismatched or missing open span, so misuse is caught in tests
+//! rather than producing silently corrupt traces.
+//!
+//! Everything is behind a mutex: events are recorded at pipeline-stage
+//! granularity (and sampled inside hot loops), so contention is not a
+//! concern, and a single lock keeps cross-thread event order coherent
+//! per track.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Which clock a track's timestamps come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeDomain {
+    /// Wall-clock microseconds since the trace epoch.
+    Wall,
+    /// Simulated cycles supplied by the caller via the `*_at` methods.
+    Cycles,
+}
+
+/// Handle to a track within a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackId(usize);
+
+/// One recorded event on a track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackEvent {
+    /// Microseconds (wall tracks) or cycles (cycle tracks).
+    pub ts: u64,
+    /// What happened.
+    pub kind: TrackEventKind,
+}
+
+/// The payload of a [`TrackEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrackEventKind {
+    /// A span opened.
+    Begin(String),
+    /// The innermost open span (with this name) closed.
+    End(String),
+    /// A counter series sample: `(series name, value)`.
+    Counter(String, u64),
+    /// A point-in-time marker.
+    Instant(String),
+}
+
+/// A track's name, domain, and recorded events, as exported by
+/// [`Trace::tracks`].
+#[derive(Debug, Clone)]
+pub struct Track {
+    /// Display name.
+    pub name: String,
+    /// Time domain of `events[..].ts`.
+    pub domain: TimeDomain,
+    /// Events in recording order (timestamps are non-decreasing per
+    /// producer).
+    pub events: Vec<TrackEvent>,
+    /// Names of spans still open when the snapshot was taken.
+    pub open: Vec<String>,
+}
+
+#[derive(Debug)]
+struct TrackData {
+    name: String,
+    domain: TimeDomain,
+    events: Vec<TrackEvent>,
+    open: Vec<String>,
+}
+
+/// A collection of span/counter tracks, safe to share across threads.
+#[derive(Debug)]
+pub struct Trace {
+    epoch: Instant,
+    inner: Mutex<Vec<TrackData>>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trace {
+    /// An empty trace whose wall epoch is "now".
+    pub fn new() -> Self {
+        Trace {
+            epoch: Instant::now(),
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Microseconds elapsed since the trace epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Gets or creates a wall-clock track.
+    pub fn track(&self, name: &str) -> TrackId {
+        self.track_in(name, TimeDomain::Wall)
+    }
+
+    /// Gets or creates a simulated-cycles track.
+    pub fn cycle_track(&self, name: &str) -> TrackId {
+        self.track_in(name, TimeDomain::Cycles)
+    }
+
+    fn track_in(&self, name: &str, domain: TimeDomain) -> TrackId {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(i) = inner
+            .iter()
+            .position(|t| t.name == name && t.domain == domain)
+        {
+            return TrackId(i);
+        }
+        inner.push(TrackData {
+            name: name.to_string(),
+            domain,
+            events: Vec::new(),
+            open: Vec::new(),
+        });
+        TrackId(inner.len() - 1)
+    }
+
+    /// Opens a span at the current wall time.
+    pub fn begin(&self, track: TrackId, name: &str) {
+        self.begin_at(track, name, self.now_us());
+    }
+
+    /// Opens a span at an explicit timestamp (cycles, or wall µs).
+    pub fn begin_at(&self, track: TrackId, name: &str, ts: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let t = &mut inner[track.0];
+        t.open.push(name.to_string());
+        t.events.push(TrackEvent {
+            ts,
+            kind: TrackEventKind::Begin(name.to_string()),
+        });
+    }
+
+    /// Closes the innermost open span at the current wall time.
+    ///
+    /// # Panics
+    ///
+    /// If no span is open on the track, or the innermost open span has
+    /// a different name — spans must nest.
+    pub fn end(&self, track: TrackId, name: &str) {
+        self.end_at(track, name, self.now_us());
+    }
+
+    /// Closes the innermost open span at an explicit timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Same misnesting conditions as [`Trace::end`].
+    pub fn end_at(&self, track: TrackId, name: &str, ts: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let t = &mut inner[track.0];
+        match t.open.pop() {
+            Some(top) if top == name => {}
+            Some(top) => panic!(
+                "misnested span on track '{}': end('{}') while '{}' is innermost",
+                t.name, name, top
+            ),
+            None => panic!(
+                "misnested span on track '{}': end('{}') with no span open",
+                t.name, name
+            ),
+        }
+        t.events.push(TrackEvent {
+            ts,
+            kind: TrackEventKind::End(name.to_string()),
+        });
+    }
+
+    /// Opens a span and returns a guard that closes it on drop.
+    pub fn span<'a>(&'a self, track: TrackId, name: &str) -> SpanGuard<'a> {
+        self.begin(track, name);
+        SpanGuard {
+            trace: self,
+            track,
+            name: name.to_string(),
+        }
+    }
+
+    /// Records a counter sample at the current wall time.
+    pub fn counter(&self, track: TrackId, series: &str, value: u64) {
+        self.counter_at(track, series, self.now_us(), value);
+    }
+
+    /// Records a counter sample at an explicit timestamp.
+    pub fn counter_at(&self, track: TrackId, series: &str, ts: u64, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner[track.0].events.push(TrackEvent {
+            ts,
+            kind: TrackEventKind::Counter(series.to_string(), value),
+        });
+    }
+
+    /// Records an instant marker at the current wall time.
+    pub fn instant(&self, track: TrackId, name: &str) {
+        self.instant_at(track, name, self.now_us());
+    }
+
+    /// Records an instant marker at an explicit timestamp.
+    pub fn instant_at(&self, track: TrackId, name: &str, ts: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner[track.0].events.push(TrackEvent {
+            ts,
+            kind: TrackEventKind::Instant(name.to_string()),
+        });
+    }
+
+    /// Snapshot of every track and its events, in creation order.
+    pub fn tracks(&self) -> Vec<Track> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .iter()
+            .map(|t| Track {
+                name: t.name.clone(),
+                domain: t.domain,
+                events: t.events.clone(),
+                open: t.open.clone(),
+            })
+            .collect()
+    }
+
+    /// Total number of recorded events across all tracks.
+    pub fn event_count(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.iter().map(|t| t.events.len()).sum()
+    }
+}
+
+/// RAII guard that ends its span when dropped.
+#[must_use = "dropping the guard immediately ends the span"]
+pub struct SpanGuard<'a> {
+    trace: &'a Trace,
+    track: TrackId,
+    name: String,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.trace.end(self.track, &self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let tr = Trace::new();
+        let t = tr.track("pipeline");
+        tr.begin(t, "outer");
+        tr.begin(t, "inner");
+        tr.end(t, "inner");
+        tr.end(t, "outer");
+        let tracks = tr.tracks();
+        assert_eq!(tracks.len(), 1);
+        assert!(tracks[0].open.is_empty());
+        let kinds: Vec<_> = tracks[0].events.iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], TrackEventKind::Begin(n) if n == "outer"));
+        assert!(matches!(kinds[1], TrackEventKind::Begin(n) if n == "inner"));
+        assert!(matches!(kinds[2], TrackEventKind::End(n) if n == "inner"));
+        assert!(matches!(kinds[3], TrackEventKind::End(n) if n == "outer"));
+        // wall timestamps are monotone
+        for w in tracks[0].events.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "misnested span")]
+    fn ending_the_outer_span_first_panics() {
+        let tr = Trace::new();
+        let t = tr.track("pipeline");
+        tr.begin(t, "outer");
+        tr.begin(t, "inner");
+        tr.end(t, "outer");
+    }
+
+    #[test]
+    #[should_panic(expected = "no span open")]
+    fn ending_with_nothing_open_panics() {
+        let tr = Trace::new();
+        let t = tr.track("pipeline");
+        tr.end(t, "ghost");
+    }
+
+    #[test]
+    fn guard_closes_on_drop() {
+        let tr = Trace::new();
+        let t = tr.track("pipeline");
+        {
+            let _g = tr.span(t, "scoped");
+            assert_eq!(tr.tracks()[0].open, vec!["scoped".to_string()]);
+        }
+        assert!(tr.tracks()[0].open.is_empty());
+    }
+
+    #[test]
+    fn wall_and_cycle_tracks_with_the_same_name_are_distinct() {
+        let tr = Trace::new();
+        let w = tr.track("tracer");
+        let c = tr.cycle_track("tracer");
+        assert_ne!(w, c);
+        tr.counter_at(c, "fifo_depth", 100, 7);
+        tr.counter(w, "events", 1);
+        let tracks = tr.tracks();
+        assert_eq!(tracks.len(), 2);
+        assert_eq!(tracks[0].domain, TimeDomain::Wall);
+        assert_eq!(tracks[1].domain, TimeDomain::Cycles);
+        assert_eq!(tracks[1].events[0].ts, 100);
+    }
+
+    #[test]
+    fn cycle_timestamps_are_taken_verbatim() {
+        let tr = Trace::new();
+        let c = tr.cycle_track("sim");
+        tr.begin_at(c, "loop", 10);
+        tr.instant_at(c, "overflow", 42);
+        tr.end_at(c, "loop", 90);
+        let ev = &tr.tracks()[0].events;
+        assert_eq!(ev[0].ts, 10);
+        assert_eq!(ev[1].ts, 42);
+        assert_eq!(ev[2].ts, 90);
+    }
+}

@@ -31,6 +31,7 @@ use crate::program::Program;
 use crate::record::Event;
 use crate::trace::{Addr, Cycles, TraceSink};
 use crate::VmError;
+use obs::{Trace as ObsTrace, TrackId};
 use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::Arc;
 use std::time::Instant;
@@ -108,6 +109,11 @@ impl EventKind {
             EventKind::CallExit => "call_exit",
             EventKind::CallResultUse => "call_result_use",
         }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -603,6 +609,7 @@ impl BusReport {
 pub struct TraceBus<'a> {
     sinks: Vec<(String, &'a mut (dyn TraceSink + Send))>,
     channel_depth: usize,
+    trace: Option<Arc<ObsTrace>>,
 }
 
 impl<'a> TraceBus<'a> {
@@ -611,7 +618,20 @@ impl<'a> TraceBus<'a> {
         TraceBus {
             sinks: Vec::new(),
             channel_depth: DEFAULT_CHANNEL_DEPTH,
+            trace: None,
         }
+    }
+
+    /// Records this run into `trace`: each sink becomes a wall-clock
+    /// track named `sink:<label>` carrying a `drain` span per batch and
+    /// a cumulative `events` counter series; threaded modes add a
+    /// `bus:producer` track with per-batch `batch_len` samples, a
+    /// cumulative `lagged` counter, and a `lag sink <i>` instant per
+    /// back-pressure stall.
+    #[must_use]
+    pub fn observe(mut self, trace: Arc<ObsTrace>) -> TraceBus<'a> {
+        self.trace = Some(trace);
+        self
     }
 
     /// Sets the bound of each consumer's batch channel (threaded
@@ -633,6 +653,7 @@ impl<'a> TraceBus<'a> {
     /// batch is delivered to all sinks (in registration order) before
     /// the next batch, mirroring the threaded delivery order.
     pub fn replay(mut self, batches: &[EventBatch]) -> BusReport {
+        let trace = self.trace.clone();
         let mut report = BusReport {
             batch_capacity: batches.iter().map(EventBatch::len).max().unwrap_or(0),
             ..BusReport::default()
@@ -645,18 +666,33 @@ impl<'a> TraceBus<'a> {
                 ..SinkStats::default()
             })
             .collect();
+        let tracks: Vec<Option<TrackId>> = match &trace {
+            Some(tr) => self
+                .sinks
+                .iter()
+                .map(|(l, _)| Some(tr.track(&format!("sink:{l}"))))
+                .collect(),
+            None => vec![None; self.sinks.len()],
+        };
         for batch in batches {
             let counts = batch.kind_counts();
             report.batches += 1;
             report.events += batch.len() as u64;
             report.by_kind.merge(&counts);
-            for ((_, sink), st) in self.sinks.iter_mut().zip(stats.iter_mut()) {
+            for (i, ((_, sink), st)) in self.sinks.iter_mut().zip(stats.iter_mut()).enumerate() {
+                if let (Some(tr), Some(track)) = (&trace, tracks[i]) {
+                    tr.begin(track, "drain");
+                }
                 let t = Instant::now();
                 batch.replay_into(*sink);
                 st.drain_nanos += t.elapsed().as_nanos() as u64;
                 st.batches += 1;
                 st.events += batch.len() as u64;
                 st.by_kind.merge(&counts);
+                if let (Some(tr), Some(track)) = (&trace, tracks[i]) {
+                    tr.end(track, "drain");
+                    tr.counter(track, "events", st.events);
+                }
             }
         }
         report.sinks = stats;
@@ -670,6 +706,7 @@ impl<'a> TraceBus<'a> {
     pub fn replay_threaded(self, batches: &[EventBatch]) -> BusReport {
         let capacity = batches.iter().map(EventBatch::len).max().unwrap_or(0);
         let depth = self.channel_depth;
+        let trace = self.trace.clone();
         let mut report = BusReport {
             batch_capacity: capacity,
             threaded: true,
@@ -688,30 +725,49 @@ impl<'a> TraceBus<'a> {
             for (label, sink) in sinks {
                 let (tx, rx) = sync_channel::<&EventBatch>(depth);
                 txs.push(tx);
+                let thread_trace = trace.clone();
                 handles.push(scope.spawn(move || {
+                    let track = thread_trace
+                        .as_ref()
+                        .map(|tr| tr.track(&format!("sink:{label}")));
                     let mut st = SinkStats {
                         label,
                         ..SinkStats::default()
                     };
                     while let Ok(batch) = rx.recv() {
+                        if let (Some(tr), Some(t)) = (&thread_trace, track) {
+                            tr.begin(t, "drain");
+                        }
                         let t = Instant::now();
                         batch.replay_into(sink);
                         st.drain_nanos += t.elapsed().as_nanos() as u64;
                         st.batches += 1;
                         st.events += batch.len() as u64;
                         st.by_kind.merge(&batch.kind_counts());
+                        if let (Some(tr), Some(t)) = (&thread_trace, track) {
+                            tr.end(t, "drain");
+                            tr.counter(t, "events", st.events);
+                        }
                     }
                     st
                 }));
             }
+            let producer = trace.as_ref().map(|tr| tr.track("bus:producer"));
             let mut lagged = vec![0u64; txs.len()];
             let mut dropped = vec![0u64; txs.len()];
             for batch in batches {
+                if let (Some(tr), Some(t)) = (&trace, producer) {
+                    tr.counter(t, "batch_len", batch.len() as u64);
+                }
                 for (i, tx) in txs.iter().enumerate() {
                     match tx.try_send(batch) {
                         Ok(()) => {}
                         Err(TrySendError::Full(b)) => {
                             lagged[i] += 1;
+                            if let (Some(tr), Some(t)) = (&trace, producer) {
+                                tr.instant(t, &format!("lag sink {i}"));
+                                tr.counter(t, "lagged", lagged.iter().sum());
+                            }
                             if tx.send(b).is_err() {
                                 dropped[i] += 1;
                             }
@@ -749,6 +805,7 @@ impl<'a> TraceBus<'a> {
         capacity: usize,
     ) -> Result<(RunResult, BusReport), VmError> {
         let depth = self.channel_depth;
+        let trace = self.trace.clone();
         let sinks = self.sinks;
         let mut report = BusReport {
             batch_capacity: capacity.max(1),
@@ -762,38 +819,58 @@ impl<'a> TraceBus<'a> {
             for (label, sink) in sinks {
                 let (tx, rx) = sync_channel::<Arc<EventBatch>>(depth);
                 txs.push(tx);
+                let thread_trace = trace.clone();
                 handles.push(scope.spawn(move || {
+                    let track = thread_trace
+                        .as_ref()
+                        .map(|tr| tr.track(&format!("sink:{label}")));
                     let mut st = SinkStats {
                         label,
                         ..SinkStats::default()
                     };
                     while let Ok(batch) = rx.recv() {
+                        if let (Some(tr), Some(t)) = (&thread_trace, track) {
+                            tr.begin(t, "drain");
+                        }
                         let t = Instant::now();
                         batch.replay_into(sink);
                         st.drain_nanos += t.elapsed().as_nanos() as u64;
                         st.batches += 1;
                         st.events += batch.len() as u64;
                         st.by_kind.merge(&batch.kind_counts());
+                        if let (Some(tr), Some(t)) = (&thread_trace, track) {
+                            tr.end(t, "drain");
+                            tr.counter(t, "events", st.events);
+                        }
                     }
                     st
                 }));
             }
+            let producer = trace.as_ref().map(|tr| tr.track("bus:producer"));
             let mut lagged = vec![0u64; txs.len()];
             let mut dropped = vec![0u64; txs.len()];
             let mut by_kind = KindCounts::default();
             let mut batches = 0u64;
             let mut events = 0u64;
             let run = {
+                let trace = &trace;
                 let mut batcher = Batcher::new(capacity, |batch: EventBatch| {
                     by_kind.merge(&batch.kind_counts());
                     batches += 1;
                     events += batch.len() as u64;
+                    if let (Some(tr), Some(t)) = (trace, producer) {
+                        tr.counter(t, "batch_len", batch.len() as u64);
+                    }
                     let shared = Arc::new(batch);
                     for (i, tx) in txs.iter().enumerate() {
                         match tx.try_send(Arc::clone(&shared)) {
                             Ok(()) => {}
                             Err(TrySendError::Full(b)) => {
                                 lagged[i] += 1;
+                                if let (Some(tr), Some(t)) = (trace, producer) {
+                                    tr.instant(t, &format!("lag sink {i}"));
+                                    tr.counter(t, "lagged", lagged.iter().sum());
+                                }
                                 if tx.send(b).is_err() {
                                     dropped[i] += 1;
                                 }
@@ -965,6 +1042,45 @@ mod tests {
         assert!(report.batches > 0);
         assert!(report.avg_batch_occupancy() > 0.0);
         assert_eq!(report.sinks[0].dropped_batches, 0);
+    }
+
+    #[test]
+    fn observed_bus_records_sink_tracks() {
+        let p = sample_program();
+        let (_run, batches) = record_batches(&p, 8).unwrap();
+        let trace = Arc::new(ObsTrace::new());
+        let mut a = CountingSink::default();
+        let mut b = CountingSink::default();
+        let report = TraceBus::new()
+            .channel_depth(1)
+            .observe(Arc::clone(&trace))
+            .sink("a", &mut a)
+            .sink("b", &mut b)
+            .replay_threaded(&batches);
+        let tracks = trace.tracks();
+        let names: Vec<&str> = tracks.iter().map(|t| t.name.as_str()).collect();
+        assert!(names.contains(&"sink:a"));
+        assert!(names.contains(&"sink:b"));
+        assert!(names.contains(&"bus:producer"));
+        for t in &tracks {
+            assert!(t.open.is_empty(), "unclosed drain span on {}", t.name);
+        }
+        // the cumulative events series ends at the per-sink total
+        let sink_a = tracks.iter().find(|t| t.name == "sink:a").unwrap();
+        let last = sink_a.events.iter().rev().find_map(|e| match &e.kind {
+            obs::TrackEventKind::Counter(n, v) if n == "events" => Some(*v),
+            _ => None,
+        });
+        let a_stats = report.sinks.iter().find(|s| s.label == "a").unwrap();
+        assert_eq!(last, Some(a_stats.events));
+    }
+
+    #[test]
+    fn event_kind_names_round_trip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::from_name("nonsense"), None);
     }
 
     #[test]

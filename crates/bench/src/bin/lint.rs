@@ -1,19 +1,46 @@
 //! `jrpm-lint` — static-analysis diagnostics over the benchmark suite.
 //!
-//! Runs the structural verifier, the abstract kind checker and the
-//! memory-dependence pre-screen on every benchmark, before and after
-//! annotation rewriting, and emits one JSON document on stdout:
+//! Runs the structural verifier, the abstract kind checker, the
+//! memory-dependence pre-screen and the points-to analysis on every
+//! benchmark, before and after annotation rewriting, and emits one
+//! JSON document on stdout:
 //!
 //! ```text
 //! cargo run --release -p jrpm-bench --bin jrpm-lint
 //! cargo run --release -p jrpm-bench --bin jrpm-lint -- --small Huffman
+//! cargo run --release -p jrpm-bench --bin jrpm-lint -- --explain PT001
 //! ```
 //!
+//! Each loop row carries alias/escape diagnostics with stable codes
+//! (`PT001`, `PT002`); `--explain <code>` prints what a code means.
 //! Exit status is nonzero if any program fails verification.
 
 use benchsuite::DataSize;
-use cfgir::StaticVerdict;
+use cfgir::{classify_loop_pairs, Dominators, PairVerdict, PointsTo, StaticVerdict};
 use jrpm::{annotate, AnnotateOptions};
+
+/// Stable diagnostic codes with one-paragraph explanations, shown by
+/// `--explain`. Codes are append-only: tools key on them.
+const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "PT001",
+        "provably-disjoint access pairs: in this loop, N load/store pairs that the \
+         structural memory-dependence rules (PR 1) had to treat as may-alias were \
+         proven to touch disjoint abstract objects by the Andersen points-to \
+         analysis. These pairs no longer mask speculative-thread candidates, so a \
+         loop carrying PT001 is analysed more precisely, never less. The count is \
+         the `via_pointsto` figure from `cfgir::classify_loop_pairs`.",
+    ),
+    (
+        "PT002",
+        "allocation site escapes via a static variable: an object or array \
+         allocated in this loop's function is reachable from a static (global) \
+         variable, so every opaque call in the program may read or write it. \
+         Stores through such a site cannot be localised by the points-to escape \
+         analysis; keeping the value out of statics (or threading it through \
+         parameters) lets the pre-screen shrink call summaries around it.",
+    ),
+];
 
 /// Escapes a string for embedding in a JSON literal.
 fn esc(s: &str) -> String {
@@ -41,11 +68,36 @@ fn check(r: Result<(), tvm::VmError>) -> (String, bool) {
 fn main() {
     let mut size = DataSize::Small;
     let mut names: Vec<String> = Vec::new();
-    for a in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--small" => size = DataSize::Small,
             "--default" => size = DataSize::Default,
             "--large" => size = DataSize::Large,
+            "--explain" => {
+                let Some(code) = args.next() else {
+                    eprintln!("usage: jrpm-lint --explain <code>");
+                    std::process::exit(2);
+                };
+                let code = code.to_uppercase();
+                match EXPLANATIONS.iter().find(|(c, _)| *c == code) {
+                    Some((c, text)) => {
+                        println!("{c}: {text}");
+                        return;
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown diagnostic code {code}; known codes: {}",
+                            EXPLANATIONS
+                                .iter()
+                                .map(|(c, _)| *c)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => names.push(other.to_string()),
         }
     }
@@ -75,6 +127,7 @@ fn main() {
         let (kinds, k_ok) = check(tvm::verify::verify_kinds(&program));
 
         let cands = cfgir::extract_candidates(&program);
+        let pt = PointsTo::analyze(&program);
 
         // the kind checker must also accept the rewritten program
         let (post, p_ok) = match annotate(&program, &cands, &AnnotateOptions::profiling()) {
@@ -89,8 +142,29 @@ fn main() {
                 StaticVerdict::Clean => ("clean", String::new()),
                 StaticVerdict::Demoted { reason } => ("demoted", reason.clone()),
             };
+            // PT001: pairs this loop's pre-screen proved disjoint only
+            // thanks to points-to (the structural rules alone could not)
+            let fa = &cands.functions[c.func.0 as usize];
+            let f = &program.functions[c.func.0 as usize];
+            let dom = Dominators::compute(&fa.cfg);
+            let lp = &fa.forest.loops[c.loop_idx];
+            let view = pt.view(c.func);
+            let sharp = classify_loop_pairs(&program, f, &fa.cfg, &dom, lp, Some(&view));
+            let via_pt = sharp.iter().filter(|p| p.via_pointsto).count();
+            let disjoint = sharp
+                .iter()
+                .filter(|p| p.verdict == PairVerdict::Disjoint)
+                .count();
+            let mut diags: Vec<String> = Vec::new();
+            if via_pt > 0 {
+                diags.push(format!(
+                    "{{\"code\":\"PT001\",\"count\":{via_pt},\"disjoint\":{disjoint},\
+                     \"pairs\":{}}}",
+                    sharp.len()
+                ));
+            }
             loops.push(format!(
-                "{{\"id\":{},\"func\":\"{}\",\"depth\":{},\"verdict\":\"{}\"{}}}",
+                "{{\"id\":{},\"func\":\"{}\",\"depth\":{},\"verdict\":\"{}\"{},\"diags\":[{}]}}",
                 c.id.0,
                 fname(c.func),
                 c.depth,
@@ -99,9 +173,26 @@ fn main() {
                     String::new()
                 } else {
                     format!(",\"reason\":\"{}\"", esc(&reason))
-                }
+                },
+                diags.join(",")
             ));
         }
+        // PT002: allocation sites reachable from a static variable —
+        // opaque calls may touch them, so the escape analysis cannot
+        // localise their stores
+        let escapes: Vec<String> = pt
+            .sites()
+            .iter()
+            .filter(|s| pt.escapes_via_static(s.id))
+            .map(|s| {
+                format!(
+                    "{{\"code\":\"PT002\",\"site\":\"{}\",\"func\":\"{}\",\"pc\":{}}}",
+                    s.id,
+                    fname(s.pc.func),
+                    s.pc.idx
+                )
+            })
+            .collect();
         for r in &cands.rejected {
             loops.push(format!(
                 "{{\"func\":\"{}\",\"loop\":{},\"verdict\":\"rejected\",\"reason\":\"{}\"}}",
@@ -115,7 +206,8 @@ fn main() {
 
         rows.push(format!(
             "{{\"name\":\"{}\",\"verify\":{},\"kinds\":{},\"post_annotation_kinds\":{},\
-             \"loops\":{},\"candidates\":{},\"rejected\":{},\"demoted\":{},\"loop_detail\":[{}]}}",
+             \"loops\":{},\"candidates\":{},\"rejected\":{},\"demoted\":{},\
+             \"loop_detail\":[{}],\"escape_diags\":[{}]}}",
             esc(b.name),
             verify,
             kinds,
@@ -124,7 +216,8 @@ fn main() {
             cands.candidates.len(),
             cands.rejected.len(),
             demoted,
-            loops.join(",")
+            loops.join(","),
+            escapes.join(",")
         ));
     }
 

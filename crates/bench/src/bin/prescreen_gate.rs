@@ -1,0 +1,160 @@
+//! Pre-screen sharpening regression gate.
+//!
+//! ```text
+//! cargo run --release -p jrpm-bench --bin prescreen-gate -- <baseline.json>
+//! cargo run --release -p jrpm-bench --bin prescreen-gate -- <baseline.json> --update
+//! ```
+//!
+//! Recomputes the static pre-screen snapshot (`tables::prescreen_rows`
+//! at the small data size — pure static analysis, so byte-exact
+//! deterministic) and compares it against the committed baseline:
+//!
+//! - any numeric difference per benchmark fails (the snapshot is the
+//!   PR's record of exactly which verdicts the analysis produces);
+//! - the monotonicity invariant `disjoint >= baseline_disjoint` must
+//!   hold for every benchmark — points-to sharpening may only *add*
+//!   independence proofs;
+//! - the suite-wide `via_pointsto` total must be positive: the
+//!   sharpened pre-screen has to prove strictly more access pairs
+//!   independent than the structural rules alone.
+//!
+//! `--update` rewrites the baseline from the fresh computation, for
+//! intentional analysis changes.
+
+use benchsuite::DataSize;
+use jrpm_bench::tables::{prescreen_json, prescreen_rows};
+use obs::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Flattens one benchmark object into `field -> value`.
+fn fields(bench: &Value) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for key in [
+        "loops",
+        "candidates",
+        "demoted",
+        "pairs",
+        "baseline_disjoint",
+        "disjoint",
+        "via_pointsto",
+        "abstract_objects",
+    ] {
+        if let Some(v) = bench.get(key).and_then(Value::as_u64) {
+            out.insert(key.to_string(), v);
+        }
+    }
+    out
+}
+
+fn benchmarks(doc: &Value) -> BTreeMap<String, BTreeMap<String, u64>> {
+    let mut out = BTreeMap::new();
+    let arr = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .expect("document has a benchmarks array");
+    for b in arr {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .expect("benchmark has a name");
+        out.insert(name.to_string(), fields(b));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path] = paths[..] else {
+        eprintln!("usage: prescreen-gate <baseline.json> [--update]");
+        return ExitCode::FAILURE;
+    };
+
+    let rows = prescreen_rows(DataSize::Small);
+    let current_json = prescreen_json(&rows);
+
+    let mut failures: Vec<String> = Vec::new();
+    for r in &rows {
+        if r.disjoint < r.baseline_disjoint {
+            failures.push(format!(
+                "{}: sharpening lost proofs (disjoint {} < baseline {})",
+                r.name, r.disjoint, r.baseline_disjoint
+            ));
+        }
+    }
+    let total_via_pt: usize = rows.iter().map(|r| r.via_pointsto).sum();
+    if total_via_pt == 0 {
+        failures.push(
+            "suite-wide via_pointsto is 0: the points-to pre-screen proves nothing \
+             beyond the structural rules"
+                .into(),
+        );
+    }
+
+    if update {
+        if !failures.is_empty() {
+            eprintln!("prescreen-gate: refusing to update a baseline that violates invariants:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        std::fs::write(baseline_path, &current_json)
+            .unwrap_or_else(|e| panic!("prescreen-gate: cannot write {baseline_path}: {e}"));
+        eprintln!(
+            "prescreen-gate: baseline {baseline_path} updated ({} benchmarks)",
+            rows.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("prescreen-gate: cannot read {baseline_path}: {e}"));
+    let baseline = parse(&baseline_text)
+        .unwrap_or_else(|e| panic!("prescreen-gate: {baseline_path} is not valid JSON: {e}"));
+    let current = parse(&current_json).expect("fresh snapshot is valid JSON");
+    let base_benches = benchmarks(&baseline);
+    let cur_benches = benchmarks(&current);
+
+    for name in base_benches.keys() {
+        if !cur_benches.contains_key(name) {
+            failures.push(format!("benchmark {name} disappeared"));
+        }
+    }
+    for (name, cur) in &cur_benches {
+        let Some(base) = base_benches.get(name) else {
+            failures.push(format!(
+                "benchmark {name} is new — regenerate the baseline with --update"
+            ));
+            continue;
+        };
+        for (field, cv) in cur {
+            let bv = base.get(field).copied();
+            if bv != Some(*cv) {
+                failures.push(format!(
+                    "{name}: {field} changed (baseline {}, current {cv})",
+                    bv.map_or("absent".into(), |v| v.to_string())
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        let total_demoted: usize = rows.iter().map(|r| r.demoted).sum();
+        eprintln!(
+            "prescreen-gate: OK — {} benchmark(s) match the baseline \
+             ({total_demoted} demoted, {total_via_pt} pairs proven only by points-to)",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("prescreen-gate: FAILED — {} violation(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("(intentional change? refresh with: prescreen-gate <baseline> --update)");
+        ExitCode::FAILURE
+    }
+}

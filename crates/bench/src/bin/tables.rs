@@ -23,6 +23,8 @@ fn main() {
     let mut obs_json_path: Option<String> = None;
     let mut trace_out_path: Option<String> = None;
     let mut metrics_json_path: Option<String> = None;
+    let mut agreement_json_path: Option<String> = None;
+    let mut prescreen_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if i + 1 < args.len() && args[i] == "--obs-json" {
@@ -34,6 +36,12 @@ fn main() {
         } else if i + 1 < args.len() && args[i] == "--metrics-json" {
             args.remove(i);
             metrics_json_path = Some(args.remove(i));
+        } else if i + 1 < args.len() && args[i] == "--agreement-json" {
+            args.remove(i);
+            agreement_json_path = Some(args.remove(i));
+        } else if i + 1 < args.len() && args[i] == "--prescreen-json" {
+            args.remove(i);
+            prescreen_json_path = Some(args.remove(i));
         } else {
             i += 1;
         }
@@ -50,7 +58,8 @@ fn main() {
         }
         _ => true,
     });
-    if args.is_empty() {
+    // a bare export flag (CI smoke) should not drag in every table
+    if args.is_empty() && agreement_json_path.is_none() && prescreen_json_path.is_none() {
         args.push("all".into());
     }
     let want = |name: &str| -> bool { args.iter().any(|a| a == name || a == "all") };
@@ -90,6 +99,41 @@ fn main() {
     }
     if want("prescreen") {
         println!("{}", tables::prescreen(size));
+    }
+    if let Some(path) = &prescreen_json_path {
+        let rows = tables::prescreen_rows(size);
+        std::fs::write(path, tables::prescreen_json(&rows)).expect("write pre-screen JSON");
+        eprintln!("wrote {path}");
+    }
+    // The agreement report force-annotates every candidate and replays
+    // each benchmark's trace, so it runs on demand: the full suite for
+    // the `agreement` table, or just the quick-smoke set when only the
+    // JSON artifact was requested. A soundness violation (a statically
+    // disjoint pair that aliased dynamically) fails the process.
+    if want("agreement") || agreement_json_path.is_some() {
+        let quick_only = !want("agreement");
+        let names: &[&str] = if quick_only { &["Huffman"] } else { &[] };
+        let results = tables::agreement_results(names, size);
+        if want("agreement") {
+            println!("{}", tables::agreement(&results));
+        }
+        if let Some(path) = &agreement_json_path {
+            std::fs::write(path, tables::agreement_json(&results)).expect("write agreement JSON");
+            eprintln!("wrote {path}");
+        }
+        let unsound: Vec<&str> = results
+            .iter()
+            .filter(|(_, r)| !r.sound())
+            .map(|(n, _)| *n)
+            .collect();
+        if !unsound.is_empty() {
+            eprintln!(
+                "agreement: SOUNDNESS VIOLATION — statically-disjoint pairs aliased \
+                 dynamically in: {}",
+                unsound.join(", ")
+            );
+            std::process::exit(1);
+        }
     }
 
     let needs_full_suite = ["table6", "fig6", "fig10", "fig11", "scorecard", "obs"]

@@ -3,7 +3,9 @@
 
 use crate::runner::BenchResult;
 use benchsuite::DataSize;
+use cfgir::{classify_loop_pairs, Dominators, PairVerdict};
 use hydra_sim::TlsConfig;
+use jrpm::agreement::{agreement_report, AgreementReport};
 use jrpm::pipeline::{run_pipeline, PipelineConfig};
 use jrpm::slowdown::software_comparison;
 use test_tracer::hwcost::{hydra_budget, CostParams};
@@ -477,34 +479,268 @@ pub fn methods(size: DataSize) -> String {
     s
 }
 
+/// One benchmark's static pre-screen measurements, including the
+/// baseline-vs-points-to pair-classification delta the committed
+/// snapshot tracks.
+#[derive(Debug, Clone)]
+pub struct PrescreenRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Natural loops discovered.
+    pub loops: usize,
+    /// Qualified candidates.
+    pub candidates: usize,
+    /// Candidates the pre-screen demoted.
+    pub demoted: usize,
+    /// (load, store) access pairs across all candidate loop bodies.
+    pub pairs: usize,
+    /// Pairs proven disjoint by the structural rules alone (PR 1).
+    pub baseline_disjoint: usize,
+    /// Pairs proven disjoint with points-to facts.
+    pub disjoint: usize,
+    /// Of those, provable only through points-to.
+    pub via_pointsto: usize,
+    /// Abstract objects the points-to solve modelled.
+    pub abstract_objects: usize,
+}
+
+/// Computes the pre-screen measurements for every benchmark. Pure
+/// static analysis — no interpretation — so the output is fully
+/// deterministic and a byte-exact snapshot can be committed.
+pub fn prescreen_rows(size: DataSize) -> Vec<PrescreenRow> {
+    let mut rows = Vec::new();
+    for b in benchsuite::all() {
+        let program = (b.build)(size);
+        let cands = cfgir::extract_candidates(&program);
+        let pt = cfgir::PointsTo::analyze(&program);
+        let mut row = PrescreenRow {
+            name: b.name,
+            loops: cands.total_loops(),
+            candidates: cands.candidates.len(),
+            demoted: cands.demoted_count(),
+            pairs: 0,
+            baseline_disjoint: 0,
+            disjoint: 0,
+            via_pointsto: 0,
+            abstract_objects: cands.pointsto.abstract_objects,
+        };
+        for c in &cands.candidates {
+            let fa = &cands.functions[c.func.0 as usize];
+            let f = &program.functions[c.func.0 as usize];
+            let dom = Dominators::compute(&fa.cfg);
+            let lp = &fa.forest.loops[c.loop_idx];
+            let view = pt.view(c.func);
+            let sharp = classify_loop_pairs(&program, f, &fa.cfg, &dom, lp, Some(&view));
+            let base = classify_loop_pairs(&program, f, &fa.cfg, &dom, lp, None);
+            row.pairs += sharp.len();
+            row.baseline_disjoint += base
+                .iter()
+                .filter(|p| p.verdict == PairVerdict::Disjoint)
+                .count();
+            row.disjoint += sharp
+                .iter()
+                .filter(|p| p.verdict == PairVerdict::Disjoint)
+                .count();
+            row.via_pointsto += sharp.iter().filter(|p| p.via_pointsto).count();
+        }
+        rows.push(row);
+    }
+    rows.sort_by_key(|r| r.name);
+    rows
+}
+
+/// The pre-screen snapshot as JSON, diffed by the `prescreen-gate`
+/// binary against `results_prescreen_baseline.json`.
+pub fn prescreen_json(rows: &[PrescreenRow]) -> String {
+    let mut s = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": {}, \"loops\": {}, \"candidates\": {}, \"demoted\": {}, \
+             \"pairs\": {}, \"baseline_disjoint\": {}, \"disjoint\": {}, \
+             \"via_pointsto\": {}, \"abstract_objects\": {}}}{}\n",
+            json_str(r.name),
+            r.loops,
+            r.candidates,
+            r.demoted,
+            r.pairs,
+            r.baseline_disjoint,
+            r.disjoint,
+            r.via_pointsto,
+            r.abstract_objects,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// Static pre-screen summary — per benchmark, how many candidate loops
 /// the memory-dependence analysis proved serial and demoted before any
-/// profiling run, so TEST spends no comparator banks on them.
+/// profiling run, and how many access pairs the points-to sharpening
+/// proved independent beyond the structural alias rules.
 pub fn prescreen(size: DataSize) -> String {
     let mut s = String::new();
     s.push_str("Static memory-dependence pre-screen (per benchmark)\n");
     s.push_str(&format!(
-        "{:<14}{:>7}{:>10}{:>9}{:>8}\n",
-        "Benchmark", "loops", "rejected", "demoted", "traced"
+        "{:<14}{:>7}{:>9}{:>8}{:>8}{:>11}{:>10}{:>8}\n",
+        "Benchmark", "loops", "demoted", "traced", "pairs", "disj(PR1)", "disj(pt)", "+pt"
     ));
     let mut total_pruned = 0usize;
-    for b in benchsuite::all() {
-        let program = (b.build)(size);
-        let cands = cfgir::extract_candidates(&program);
-        let demoted = cands.demoted_count();
-        total_pruned += demoted;
+    let mut total_via_pt = 0usize;
+    for r in prescreen_rows(size) {
+        total_pruned += r.demoted;
+        total_via_pt += r.via_pointsto;
         s.push_str(&format!(
-            "{:<14}{:>7}{:>10}{:>9}{:>8}\n",
-            b.name,
-            cands.total_loops(),
-            cands.rejected.len(),
-            demoted,
-            cands.candidates.len() - demoted,
+            "{:<14}{:>7}{:>9}{:>8}{:>8}{:>11}{:>10}{:>8}\n",
+            r.name,
+            r.loops,
+            r.demoted,
+            r.candidates - r.demoted,
+            r.pairs,
+            r.baseline_disjoint,
+            r.disjoint,
+            r.via_pointsto,
         ));
     }
     s.push_str(&format!(
-        "Total candidate loops pruned statically: {total_pruned}\n"
+        "Total candidate loops pruned statically: {total_pruned}\n\
+         Total access pairs proven independent only by points-to: {total_via_pt}\n"
     ));
+    s
+}
+
+/// Static-vs-dynamic agreement report for the named benchmarks (all of
+/// them when `names` is empty).
+///
+/// # Panics
+///
+/// Panics if a named benchmark does not exist or its agreement run
+/// fails — CI treats that as a build failure.
+pub fn agreement_results(names: &[&str], size: DataSize) -> Vec<(&'static str, AgreementReport)> {
+    let suite: Vec<_> = benchsuite::all()
+        .into_iter()
+        .filter(|b| names.is_empty() || names.contains(&b.name))
+        .collect();
+    let mut out = Vec::new();
+    for b in suite {
+        let program = (b.build)(size);
+        let report = agreement_report(&program)
+            .unwrap_or_else(|e| panic!("agreement report failed on {}: {e}", b.name));
+        out.push((b.name, report));
+    }
+    out.sort_by_key(|(name, _)| *name);
+    out
+}
+
+/// Agreement-report table: per benchmark, the static pair verdicts
+/// scored against the dynamic dependence profile of a fully annotated
+/// run, plus points-to solver statistics.
+pub fn agreement(results: &[(&'static str, AgreementReport)]) -> String {
+    let mut s = String::new();
+    s.push_str("Static-vs-dynamic dependence agreement report\n");
+    s.push_str(&format!(
+        "{:<14}{:>7}{:>9}{:>7}{:>7}{:>7}{:>9}{:>8}{:>8}{:>7}\n",
+        "Benchmark", "pairs", "disjoint", "+pt", "viol", "sound", "prec", "recall", "objs", "iters"
+    ));
+    let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+    for (name, r) in results {
+        s.push_str(&format!(
+            "{:<14}{:>7}{:>9}{:>7}{:>7}{:>7}{:>9}{:>8}{:>8}{:>7}\n",
+            name,
+            r.pairs,
+            r.disjoint,
+            r.via_pointsto,
+            r.violations.len(),
+            if r.sound() { "yes" } else { "NO" },
+            fmt_opt(r.precision()),
+            fmt_opt(r.recall()),
+            r.pointsto.abstract_objects,
+            r.pointsto.iterations,
+        ));
+    }
+    let sound = results.iter().all(|(_, r)| r.sound());
+    s.push_str(&format!(
+        "Soundness invariant (disjoint pairs never alias dynamically): {}\n",
+        if sound { "HOLDS" } else { "VIOLATED" }
+    ));
+    s
+}
+
+/// The agreement report as JSON (uploaded as a CI artifact; CI fails
+/// the job when any benchmark's `sound` flag is false).
+pub fn agreement_json(results: &[(&'static str, AgreementReport)]) -> String {
+    let mut s = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, r)) in results.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": {},\n", json_str(name)));
+        s.push_str(&format!("      \"sound\": {},\n", r.sound()));
+        s.push_str(&format!("      \"pairs\": {},\n", r.pairs));
+        s.push_str(&format!("      \"disjoint\": {},\n", r.disjoint));
+        s.push_str(&format!(
+            "      \"baseline_disjoint\": {},\n",
+            r.baseline_disjoint
+        ));
+        s.push_str(&format!("      \"via_pointsto\": {},\n", r.via_pointsto));
+        s.push_str(&format!(
+            "      \"predicted_serial\": {},\n",
+            r.predicted_serial
+        ));
+        s.push_str(&format!("      \"actual_serial\": {},\n", r.actual_serial));
+        s.push_str(&format!("      \"agree_serial\": {},\n", r.agree_serial));
+        let fmt_opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.4}"));
+        s.push_str(&format!(
+            "      \"precision\": {},\n",
+            fmt_opt(r.precision())
+        ));
+        s.push_str(&format!("      \"recall\": {},\n", fmt_opt(r.recall())));
+        s.push_str(&format!("      \"events\": {},\n", r.events));
+        s.push_str(&format!(
+            "      \"pointsto\": {{\"abstract_objects\": {}, \"variables\": {}, \
+             \"constraint_edges\": {}, \"iterations\": {}, \"wall_nanos\": {}}},\n",
+            r.pointsto.abstract_objects,
+            r.pointsto.variables,
+            r.pointsto.constraint_edges,
+            r.pointsto.iterations,
+            r.pointsto.wall_nanos
+        ));
+        s.push_str("      \"violations\": [");
+        for (j, v) in r.violations.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"loop\": {}, \"load_at\": {}, \"store_at\": {}, \
+                 \"via_pointsto\": {}, \"shared_addr\": {}}}",
+                v.loop_id.0, v.load_at, v.store_at, v.via_pointsto, v.shared_addr
+            ));
+        }
+        s.push_str("],\n");
+        s.push_str("      \"loops\": [");
+        for (j, l) in r.loops.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"id\": {}, \"demoted\": {}, \"dynamic_cross_raw\": {}, \"iters\": {}, \
+                 \"disjoint\": {}, \"via_pointsto\": {}, \"may_alias\": {}, \"guaranteed\": {}}}",
+                l.id.0,
+                l.demoted,
+                l.dynamic_cross_raw,
+                l.iters,
+                l.disjoint,
+                l.via_pointsto,
+                l.may_alias,
+                l.guaranteed
+            ));
+        }
+        s.push_str("]\n");
+        s.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
     s
 }
 
@@ -882,6 +1118,49 @@ mod tests {
             .get("metrics")
             .and_then(|m| m.get("counters"))
             .is_some());
+    }
+
+    #[test]
+    fn agreement_on_huffman_is_sound_and_renders() {
+        let results = agreement_results(&["Huffman"], DataSize::Small);
+        assert_eq!(results.len(), 1);
+        let (_, r) = &results[0];
+        assert!(r.sound(), "violations: {:?}", r.violations);
+        assert!(r.pairs > 0);
+        let text = agreement(&results);
+        assert!(text.contains("Huffman"), "{text}");
+        assert!(text.contains("HOLDS"), "{text}");
+        let json = agreement_json(&results);
+        assert!(json.contains("\"sound\": true"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let v = obs::json::parse(&json).expect("agreement JSON parses");
+        assert!(v.get("benchmarks").and_then(|b| b.as_arr()).is_some());
+    }
+
+    #[test]
+    fn prescreen_snapshot_is_monotone_and_parses() {
+        let rows = prescreen_rows(DataSize::Small);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                r.disjoint >= r.baseline_disjoint,
+                "{}: sharpening lost pairs ({} < {})",
+                r.name,
+                r.disjoint,
+                r.baseline_disjoint
+            );
+            assert_eq!(
+                r.disjoint - r.baseline_disjoint,
+                r.via_pointsto,
+                "{}: delta must equal the via-points-to count",
+                r.name
+            );
+        }
+        let json = prescreen_json(&rows);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let v = obs::json::parse(&json).expect("prescreen JSON parses");
+        let benches = v.get("benchmarks").and_then(|b| b.as_arr()).unwrap();
+        assert_eq!(benches.len(), rows.len());
     }
 
     #[test]

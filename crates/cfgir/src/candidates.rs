@@ -4,6 +4,7 @@ use crate::cfg::Cfg;
 use crate::dom::Dominators;
 use crate::loops::LoopForest;
 use crate::memdep::analyze_loop;
+use crate::pointsto::{PointsTo, SolverStats};
 use crate::scalar::{classify, LocalClasses};
 use std::collections::BTreeSet;
 use tvm::isa::LoopId;
@@ -99,6 +100,9 @@ pub struct ProgramCandidates {
     pub candidates: Vec<Candidate>,
     /// Loops rejected by the scalar screen.
     pub rejected: Vec<RejectedLoop>,
+    /// Statistics of the whole-program points-to solve that sharpened
+    /// the memory-dependence pre-screen.
+    pub pointsto: SolverStats,
 }
 
 impl ProgramCandidates {
@@ -185,9 +189,11 @@ pub fn extract_candidates(program: &Program) -> ProgramCandidates {
     let mut functions = Vec::with_capacity(program.functions.len());
     let mut candidates: Vec<Candidate> = Vec::new();
     let mut rejected = Vec::new();
+    let pt = PointsTo::analyze(program);
 
     for (fi, f) in program.functions.iter().enumerate() {
         let func = FuncId(fi as u16);
+        let view = pt.view(func);
         let cfg = Cfg::build(f);
         let dom = Dominators::compute(&cfg);
         let forest = LoopForest::build(&cfg, &dom);
@@ -228,7 +234,7 @@ pub fn extract_candidates(program: &Program) -> ProgramCandidates {
             // static memory-dependence pre-screen: a proven
             // cross-iteration RAW means tracing cannot find
             // parallelism, so demote (but keep the id dense)
-            let deps = analyze_loop(program, f, &cfg, &dom, l);
+            let deps = analyze_loop(program, f, &cfg, &dom, l, Some(&view));
             let static_verdict = match deps.first() {
                 None => StaticVerdict::Clean,
                 Some(d) => StaticVerdict::Demoted { reason: d.reason() },
@@ -259,6 +265,7 @@ pub fn extract_candidates(program: &Program) -> ProgramCandidates {
         functions,
         candidates,
         rejected,
+        pointsto: pt.stats(),
     }
 }
 

@@ -181,7 +181,7 @@ pub fn solve<A: Analysis>(cfg: &Cfg, a: &A) -> Solution<A::Fact> {
 
 /// A fixed-capacity bit set used as the fact type of the gen/kill
 /// analyses.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BitSet {
     words: Vec<u64>,
     nbits: usize,

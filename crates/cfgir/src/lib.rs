@@ -43,14 +43,17 @@
 //! # }
 //! ```
 
+pub mod access;
 pub mod candidates;
 pub mod cfg;
 pub mod dataflow;
 pub mod dom;
 pub mod loops;
 pub mod memdep;
+pub mod pointsto;
 pub mod scalar;
 
+pub use access::{same_iteration_disjoint, strongly_disjoint, Access, AccessSite, Sym};
 pub use candidates::{
     extract_candidates, Candidate, FunctionAnalysis, ProgramCandidates, StaticVerdict,
 };
@@ -58,5 +61,6 @@ pub use cfg::{Block, BlockId, Cfg};
 pub use dataflow::{solve, Analysis, BitSet, Direction, Liveness, ReachingDefs, Solution};
 pub use dom::Dominators;
 pub use loops::{LoopForest, NaturalLoop};
-pub use memdep::{analyze_loop, GuaranteedDep};
+pub use memdep::{analyze_loop, classify_loop_pairs, AccessPair, GuaranteedDep, PairVerdict};
+pub use pointsto::{FnView, PointsTo, SolverStats};
 pub use scalar::LocalClasses;

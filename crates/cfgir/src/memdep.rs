@@ -14,67 +14,25 @@
 //! The screen only ever *demotes* with proof in hand; anything it
 //! cannot model (calls, aliased bases, non-affine indices) stays a
 //! candidate, preserving the paper's optimism.
+//!
+//! The access-site walk and the alias rules live in [`crate::access`];
+//! when points-to facts ([`crate::pointsto`]) are supplied, the masking
+//! rule sharpens monotonically — every newly-disjoint store pair only
+//! *removes* mask edges, so strictly more loads stay provable and
+//! strictly more access pairs are classified independent, never fewer.
+//! [`classify_loop_pairs`] exposes the pair-level verdicts that the
+//! agreement report checks against dynamic traces.
 
-use crate::cfg::{BlockId, Cfg};
+use crate::access::{
+    collect_accesses, every_iteration, inductor_steps, invariant_locals, load_precedes_store,
+    same_iteration_disjoint, strongly_disjoint, transitive_store_effects, Access, AccessSite, Sym,
+};
+use crate::cfg::Cfg;
 use crate::dom::Dominators;
 use crate::loops::NaturalLoop;
-use tvm::isa::{GlobalId, Instr, Local};
+use crate::pointsto::FnView;
+use tvm::isa::{GlobalId, Local};
 use tvm::program::{Function, Program};
-use tvm::verify::stack_effect;
-
-/// Symbolic value of one operand-stack slot, relative to a loop
-/// iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Sym {
-    /// Not representable in this domain.
-    Unknown,
-    /// A compile-time integer constant.
-    Const(i64),
-    /// The value of a local with no definition inside the loop.
-    Invariant(Local),
-    /// `inductor * scale + offset`, the affine form of array indices.
-    Affine { ind: Local, scale: i64, offset: i64 },
-}
-
-impl Sym {
-    fn add(self, other: Sym) -> Sym {
-        match (self, other) {
-            (Sym::Const(a), Sym::Const(b)) => Sym::Const(a.wrapping_add(b)),
-            (Sym::Affine { ind, scale, offset }, Sym::Const(c))
-            | (Sym::Const(c), Sym::Affine { ind, scale, offset }) => Sym::Affine {
-                ind,
-                scale,
-                offset: offset.wrapping_add(c),
-            },
-            _ => Sym::Unknown,
-        }
-    }
-
-    fn sub(self, other: Sym) -> Sym {
-        match (self, other) {
-            (Sym::Const(a), Sym::Const(b)) => Sym::Const(a.wrapping_sub(b)),
-            (Sym::Affine { ind, scale, offset }, Sym::Const(c)) => Sym::Affine {
-                ind,
-                scale,
-                offset: offset.wrapping_sub(c),
-            },
-            _ => Sym::Unknown,
-        }
-    }
-
-    fn mul(self, other: Sym) -> Sym {
-        match (self, other) {
-            (Sym::Const(a), Sym::Const(b)) => Sym::Const(a.wrapping_mul(b)),
-            (Sym::Affine { ind, scale, offset }, Sym::Const(c))
-            | (Sym::Const(c), Sym::Affine { ind, scale, offset }) => Sym::Affine {
-                ind,
-                scale: scale.wrapping_mul(c),
-                offset: offset.wrapping_mul(c),
-            },
-            _ => Sym::Unknown,
-        }
-    }
-}
 
 /// What the dependent accesses go through.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,303 +90,6 @@ impl GuaranteedDep {
     }
 }
 
-/// One memory access observed with symbolic operands.
-#[derive(Debug, Clone)]
-enum Access {
-    StaticLoad(GlobalId),
-    StaticStore(GlobalId),
-    FieldLoad {
-        base: Sym,
-        field: u16,
-    },
-    FieldStore {
-        base: Sym,
-        field: u16,
-    },
-    ArrayLoad {
-        base: Sym,
-        index: Sym,
-    },
-    ArrayStore {
-        base: Sym,
-        index: Sym,
-    },
-    /// A call whose callee may (transitively) store to the flagged
-    /// memory categories — an opaque potential store for masking.
-    Opaque {
-        statics: bool,
-        fields: bool,
-        arrays: bool,
-    },
-}
-
-/// Which memory categories each function may (transitively, through
-/// further calls) store to. Indexed by function id.
-fn transitive_store_effects(program: &Program) -> Vec<[bool; 3]> {
-    let n = program.functions.len();
-    let mut effects = vec![[false; 3]; n];
-    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (fi, f) in program.functions.iter().enumerate() {
-        for instr in &f.code {
-            match instr {
-                Instr::PutStatic(_) => effects[fi][0] = true,
-                Instr::PutField(_) => effects[fi][1] = true,
-                Instr::AStore => effects[fi][2] = true,
-                Instr::Call(callee) => calls[fi].push(callee.0 as usize),
-                _ => {}
-            }
-        }
-    }
-    // propagate to fixpoint (call graphs here are tiny; recursion is
-    // handled by iterating until nothing changes)
-    loop {
-        let mut changed = false;
-        for (fi, callees) in calls.iter().enumerate() {
-            for &callee in callees {
-                let callee_effects = effects[callee];
-                for (k, &on) in callee_effects.iter().enumerate() {
-                    if on && !effects[fi][k] {
-                        effects[fi][k] = true;
-                        changed = true;
-                    }
-                }
-            }
-        }
-        if !changed {
-            return effects;
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-struct AccessSite {
-    block: BlockId,
-    instr: u32,
-    access: Access,
-}
-
-/// Finds locals acting as inductors of `lp` and their net step per
-/// iteration: every in-loop definition must be an `IInc` whose block
-/// dominates all latches (so it executes exactly once per iteration).
-fn inductor_steps(
-    f: &Function,
-    cfg: &Cfg,
-    dom: &Dominators,
-    lp: &NaturalLoop,
-) -> Vec<(Local, i64)> {
-    let n_locals = usize::from(f.n_locals);
-    let mut incs: Vec<Vec<(BlockId, i64)>> = vec![Vec::new(); n_locals];
-    let mut disqualified = vec![false; n_locals];
-    for &b in &lp.blocks {
-        for i in cfg.instrs_of(b) {
-            match &f.code[i as usize] {
-                Instr::Store(l) => disqualified[usize::from(l.0)] = true,
-                Instr::IInc(l, c) => incs[usize::from(l.0)].push((b, i64::from(*c))),
-                _ => {}
-            }
-        }
-    }
-    let mut out = Vec::new();
-    for (l, sites) in incs.iter().enumerate() {
-        if disqualified[l] || sites.is_empty() {
-            continue;
-        }
-        let every_iteration = sites
-            .iter()
-            .all(|&(b, _)| lp.latches.iter().all(|&latch| dom.dominates(b, latch)));
-        if every_iteration {
-            let step: i64 = sites.iter().map(|&(_, c)| c).sum();
-            out.push((Local(l as u16), step));
-        }
-    }
-    out
-}
-
-/// Locals never written inside `lp`.
-fn invariant_locals(f: &Function, cfg: &Cfg, lp: &NaturalLoop) -> Vec<bool> {
-    let mut invariant = vec![true; usize::from(f.n_locals)];
-    for &b in &lp.blocks {
-        for i in cfg.instrs_of(b) {
-            if let Instr::Store(l) | Instr::IInc(l, _) = &f.code[i as usize] {
-                invariant[usize::from(l.0)] = false;
-            }
-        }
-    }
-    invariant
-}
-
-/// Symbolically executes every block of the loop (entry stack unknown)
-/// and records each memory access with its operands' symbolic values.
-fn collect_accesses(
-    program: &Program,
-    f: &Function,
-    cfg: &Cfg,
-    lp: &NaturalLoop,
-    inductors: &[(Local, i64)],
-    invariant: &[bool],
-    effects: &[[bool; 3]],
-) -> Vec<AccessSite> {
-    let is_inductor = |l: Local| inductors.iter().any(|&(i, _)| i == l);
-    let mut sites = Vec::new();
-    for &b in &lp.blocks {
-        let mut stack: Vec<Sym> = Vec::new();
-        let pop = |stack: &mut Vec<Sym>| stack.pop().unwrap_or(Sym::Unknown);
-        for i in cfg.instrs_of(b) {
-            let instr = &f.code[i as usize];
-            match instr {
-                Instr::IConst(c) => stack.push(Sym::Const(*c)),
-                Instr::Load(l) => {
-                    let v = if is_inductor(*l) {
-                        Sym::Affine {
-                            ind: *l,
-                            scale: 1,
-                            offset: 0,
-                        }
-                    } else if invariant.get(usize::from(l.0)).copied().unwrap_or(false) {
-                        Sym::Invariant(*l)
-                    } else {
-                        Sym::Unknown
-                    };
-                    stack.push(v);
-                }
-                Instr::Store(_) => {
-                    pop(&mut stack);
-                }
-                Instr::IAdd => {
-                    let (y, x) = (pop(&mut stack), pop(&mut stack));
-                    stack.push(x.add(y));
-                }
-                Instr::ISub => {
-                    let (y, x) = (pop(&mut stack), pop(&mut stack));
-                    stack.push(x.sub(y));
-                }
-                Instr::IMul => {
-                    let (y, x) = (pop(&mut stack), pop(&mut stack));
-                    stack.push(x.mul(y));
-                }
-                Instr::Dup => {
-                    let t = stack.last().copied().unwrap_or(Sym::Unknown);
-                    stack.push(t);
-                }
-                Instr::Swap => {
-                    let (y, x) = (pop(&mut stack), pop(&mut stack));
-                    stack.push(y);
-                    stack.push(x);
-                }
-                Instr::GetStatic(g) => {
-                    sites.push(AccessSite {
-                        block: b,
-                        instr: i,
-                        access: Access::StaticLoad(*g),
-                    });
-                    stack.push(Sym::Unknown);
-                }
-                Instr::PutStatic(g) => {
-                    pop(&mut stack);
-                    sites.push(AccessSite {
-                        block: b,
-                        instr: i,
-                        access: Access::StaticStore(*g),
-                    });
-                }
-                Instr::GetField(fi) => {
-                    let base = pop(&mut stack);
-                    sites.push(AccessSite {
-                        block: b,
-                        instr: i,
-                        access: Access::FieldLoad { base, field: *fi },
-                    });
-                    stack.push(Sym::Unknown);
-                }
-                Instr::PutField(fi) => {
-                    pop(&mut stack); // value
-                    let base = pop(&mut stack);
-                    sites.push(AccessSite {
-                        block: b,
-                        instr: i,
-                        access: Access::FieldStore { base, field: *fi },
-                    });
-                }
-                Instr::ALoad => {
-                    let index = pop(&mut stack);
-                    let base = pop(&mut stack);
-                    sites.push(AccessSite {
-                        block: b,
-                        instr: i,
-                        access: Access::ArrayLoad { base, index },
-                    });
-                    stack.push(Sym::Unknown);
-                }
-                Instr::AStore => {
-                    pop(&mut stack); // value
-                    let index = pop(&mut stack);
-                    let base = pop(&mut stack);
-                    sites.push(AccessSite {
-                        block: b,
-                        instr: i,
-                        access: Access::ArrayStore { base, index },
-                    });
-                }
-                Instr::Call(callee) => {
-                    for _ in 0..program.functions[callee.0 as usize].n_params {
-                        pop(&mut stack);
-                    }
-                    if program.functions[callee.0 as usize].returns {
-                        stack.push(Sym::Unknown);
-                    }
-                    let [statics, fields, arrays] =
-                        effects.get(callee.0 as usize).copied().unwrap_or([true; 3]);
-                    if statics || fields || arrays {
-                        sites.push(AccessSite {
-                            block: b,
-                            instr: i,
-                            access: Access::Opaque {
-                                statics,
-                                fields,
-                                arrays,
-                            },
-                        });
-                    }
-                }
-                other => {
-                    // generic fallback: apply the instruction's stack
-                    // arity, producing unknowns
-                    if let Ok((pops, pushes)) = stack_effect(program, other) {
-                        for _ in 0..pops {
-                            pop(&mut stack);
-                        }
-                        for _ in 0..pushes {
-                            stack.push(Sym::Unknown);
-                        }
-                    } else {
-                        stack.clear();
-                    }
-                }
-            }
-        }
-    }
-    sites
-}
-
-/// True when `load` is guaranteed to execute before `store` within a
-/// single iteration (same block with smaller index, or in a block that
-/// strictly dominates the store's block).
-fn load_precedes_store(dom: &Dominators, load: &AccessSite, store: &AccessSite) -> bool {
-    if load.block == store.block {
-        load.instr < store.instr
-    } else {
-        dom.dominates(load.block, store.block)
-    }
-}
-
-/// True when `site` executes on every iteration (its block dominates
-/// every latch of the loop).
-fn every_iteration(dom: &Dominators, lp: &NaturalLoop, site: &AccessSite) -> bool {
-    lp.latches
-        .iter()
-        .all(|&latch| dom.dominates(site.block, latch))
-}
-
 /// True when some store in the loop may write `load`'s address earlier
 /// in the *same* iteration. Such a store satisfies the load with
 /// same-iteration data, so "the load observes an earlier iteration's
@@ -436,59 +97,23 @@ fn every_iteration(dom: &Dominators, lp: &NaturalLoop, site: &AccessSite) -> boo
 /// through it.
 ///
 /// A store is harmless only if it provably runs after the load, or if
-/// it provably writes a different address within the iteration (same
-/// invariant array base, same affine shape, different offset). Statics
-/// alias exactly by [`GlobalId`]; object fields can only collide on the
-/// same slot index (distinct objects occupy disjoint storage); arrays
-/// may alias through any base local, so everything not provably
-/// disjoint masks. A call whose callee may transitively store to the
-/// load's memory category is an opaque store and masks the same way.
-fn load_may_be_masked(dom: &Dominators, sites: &[AccessSite], load: &AccessSite) -> bool {
-    sites.iter().any(|s2| match (&load.access, &s2.access) {
-        (Access::StaticLoad(gl), Access::StaticStore(gs)) => {
-            gl == gs && !load_precedes_store(dom, load, s2)
-        }
-        (Access::StaticLoad(_), Access::Opaque { statics: true, .. })
-        | (Access::FieldLoad { .. }, Access::Opaque { fields: true, .. })
-        | (Access::ArrayLoad { .. }, Access::Opaque { arrays: true, .. }) => {
-            !load_precedes_store(dom, load, s2)
-        }
-        (Access::FieldLoad { field: fl, .. }, Access::FieldStore { field: fs, .. }) => {
-            fl == fs && !load_precedes_store(dom, load, s2)
-        }
-        (
-            Access::ArrayLoad {
-                base: bl,
-                index: il,
-            },
-            Access::ArrayStore {
-                base: bs,
-                index: is_,
-            },
-        ) => {
-            if load_precedes_store(dom, load, s2) {
-                return false;
-            }
-            let provably_disjoint = match (bl, il, bs, is_) {
-                (
-                    Sym::Invariant(bl),
-                    Sym::Affine {
-                        ind: il,
-                        scale: sl,
-                        offset: ol,
-                    },
-                    Sym::Invariant(bs),
-                    Sym::Affine {
-                        ind: is_,
-                        scale: ss,
-                        offset: os,
-                    },
-                ) => bl == bs && il == is_ && sl == ss && ol != os,
-                _ => false,
-            };
-            !provably_disjoint
-        }
-        _ => false,
+/// it provably writes a different address within the iteration
+/// ([`same_iteration_disjoint`]). A call whose callee may transitively
+/// store to memory the load can observe is an opaque store and masks
+/// the same way (found by differential fuzzing: the body
+/// `g = -3; g = g;` pairs the second statement's load/store as a
+/// recurrence, but the load can only ever observe the same iteration's
+/// `-3`).
+fn load_may_be_masked(
+    dom: &Dominators,
+    sites: &[AccessSite],
+    load: &AccessSite,
+    pt: Option<&FnView<'_>>,
+) -> bool {
+    sites.iter().any(|s2| {
+        s2.access.is_store()
+            && !load_precedes_store(dom, load, s2)
+            && !same_iteration_disjoint(&load.access, &s2.access, pt)
     })
 }
 
@@ -509,18 +134,18 @@ fn load_may_be_masked(dom: &Dominators, sites: &[AccessSite], load: &AccessSite)
 ///    whenever the distance is nonzero.
 ///
 /// In every shape, no *other* store may be able to write the load's
-/// address earlier in the same iteration ([`load_may_be_masked`]): such
-/// a store would satisfy the load with same-iteration data and void the
-/// cross-iteration guarantee (found by differential fuzzing: the body
-/// `g = -3; g = g;` pairs the second statement's load/store as a
-/// recurrence, but the load can only ever observe the same iteration's
-/// `-3`).
+/// address earlier in the same iteration (`load_may_be_masked`).
+/// Passing points-to facts (`pt`) makes masking strictly less
+/// conservative — stores through provably-disjoint bases and calls to
+/// callees that cannot reach the load's memory stop masking — so the
+/// screen can only gain proofs, never lose them.
 pub fn analyze_loop(
     program: &Program,
     f: &Function,
     cfg: &Cfg,
     dom: &Dominators,
     lp: &NaturalLoop,
+    pt: Option<&FnView<'_>>,
 ) -> Vec<GuaranteedDep> {
     let inductors = inductor_steps(f, cfg, dom, lp);
     let invariant = invariant_locals(f, cfg, lp);
@@ -539,7 +164,7 @@ pub fn analyze_loop(
         if !every_iteration(dom, lp, load) {
             continue;
         }
-        if load_may_be_masked(dom, &sites, load) {
+        if load_may_be_masked(dom, &sites, load, pt) {
             continue;
         }
         for store in &sites {
@@ -620,10 +245,91 @@ pub fn analyze_loop(
     deps
 }
 
+/// Verdict on one (load, store) access pair of a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairVerdict {
+    /// The two accesses can never touch the same address — the
+    /// agreement report's soundness invariant requires their dynamic
+    /// address sets to be disjoint.
+    Disjoint,
+    /// Nothing proven either way; the tracer judges.
+    MayAlias,
+    /// A guaranteed cross-iteration RAW flows from the store to the
+    /// load.
+    GuaranteedRaw,
+}
+
+/// One classified (load, store) pair.
+#[derive(Debug, Clone)]
+pub struct AccessPair {
+    /// Instruction index of the load (original, unannotated code).
+    pub load_at: u32,
+    /// Instruction index of the store — for an opaque pair, of the
+    /// call.
+    pub store_at: u32,
+    /// True when the store side is a call with a may-store summary
+    /// rather than a concrete store instruction (its dynamic events
+    /// happen at callee pcs, so address-set checks skip it).
+    pub opaque_store: bool,
+    /// The verdict.
+    pub verdict: PairVerdict,
+    /// True when the pair is disjoint *only* thanks to points-to facts
+    /// (the PR 1 structural rules alone would say may-alias).
+    pub via_pointsto: bool,
+}
+
+/// Classifies every (load, store) access pair of one loop body.
+///
+/// Running with `pt = None` reproduces the PR 1 structural alias rules
+/// exactly; running with points-to facts can only turn `MayAlias` into
+/// `Disjoint` (strict monotone sharpening). The delta between the two
+/// is what the committed pre-screen snapshot records.
+pub fn classify_loop_pairs(
+    program: &Program,
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    lp: &NaturalLoop,
+    pt: Option<&FnView<'_>>,
+) -> Vec<AccessPair> {
+    let inductors = inductor_steps(f, cfg, dom, lp);
+    let invariant = invariant_locals(f, cfg, lp);
+    let effects = transitive_store_effects(program);
+    let sites = collect_accesses(program, f, cfg, lp, &inductors, &invariant, &effects);
+    let deps = analyze_loop(program, f, cfg, dom, lp, pt);
+
+    let mut pairs = Vec::new();
+    for load in sites.iter().filter(|s| s.access.is_load()) {
+        for store in sites.iter().filter(|s| s.access.is_store()) {
+            let guaranteed = deps
+                .iter()
+                .any(|d| d.load_at == load.instr && d.store_at == store.instr);
+            let verdict = if guaranteed {
+                PairVerdict::GuaranteedRaw
+            } else if strongly_disjoint(&load.access, &store.access, pt) {
+                PairVerdict::Disjoint
+            } else {
+                PairVerdict::MayAlias
+            };
+            let via_pointsto = verdict == PairVerdict::Disjoint
+                && !strongly_disjoint(&load.access, &store.access, None);
+            pairs.push(AccessPair {
+                load_at: load.instr,
+                store_at: store.instr,
+                opaque_store: matches!(store.access, Access::Opaque { .. }),
+                verdict,
+                via_pointsto,
+            });
+        }
+    }
+    pairs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::loops::LoopForest;
+    use crate::pointsto::PointsTo;
     use tvm::ElemKind;
     use tvm::ProgramBuilder;
 
@@ -633,7 +339,28 @@ mod tests {
         let dom = Dominators::compute(&cfg);
         let forest = LoopForest::build(&cfg, &dom);
         assert_eq!(forest.len(), 1, "test programs must have one loop");
-        analyze_loop(p, f, &cfg, &dom, &forest.loops[0])
+        analyze_loop(p, f, &cfg, &dom, &forest.loops[0], None)
+    }
+
+    fn analyze_with_pt(p: &Program) -> Vec<GuaranteedDep> {
+        let pt = PointsTo::analyze(p);
+        let f = &p.functions[p.entry.0 as usize];
+        let cfg = Cfg::build(f);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        assert_eq!(forest.len(), 1, "test programs must have one loop");
+        analyze_loop(p, f, &cfg, &dom, &forest.loops[0], Some(&pt.view(p.entry)))
+    }
+
+    fn classify(p: &Program, with_pt: bool) -> Vec<AccessPair> {
+        let pt = PointsTo::analyze(p);
+        let f = &p.functions[p.entry.0 as usize];
+        let cfg = Cfg::build(f);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        assert_eq!(forest.len(), 1);
+        let view = pt.view(p.entry);
+        classify_loop_pairs(p, f, &cfg, &dom, &forest.loops[0], with_pt.then_some(&view))
     }
 
     #[test]
@@ -807,7 +534,7 @@ mod tests {
         let dom = Dominators::compute(&cfg);
         let forest = LoopForest::build(&cfg, &dom);
         assert_eq!(forest.len(), 1);
-        let deps = analyze_loop(&p, f, &cfg, &dom, &forest.loops[0]);
+        let deps = analyze_loop(&p, f, &cfg, &dom, &forest.loops[0], None);
         assert!(deps.is_empty(), "got {deps:?}");
     }
 
@@ -835,7 +562,7 @@ mod tests {
         let dom = Dominators::compute(&cfg);
         let forest = LoopForest::build(&cfg, &dom);
         assert_eq!(forest.len(), 1);
-        let deps = analyze_loop(&p, f, &cfg, &dom, &forest.loops[0]);
+        let deps = analyze_loop(&p, f, &cfg, &dom, &forest.loops[0], None);
         assert_eq!(deps.len(), 1, "got {deps:?}");
         assert!(matches!(deps[0].kind, DepKind::Static(_)));
     }
@@ -880,5 +607,106 @@ mod tests {
         let deps = analyze(&p);
         assert_eq!(deps.len(), 1, "got {deps:?}");
         assert!(matches!(deps[0].kind, DepKind::Field { .. }));
+    }
+
+    /// Two distinct arrays: a recurrence through one, independent
+    /// stores through the other. Structurally the second array's store
+    /// masks the first array's load (any two array bases may alias);
+    /// points-to separates the allocation sites and recovers the
+    /// proof.
+    fn two_array_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let (a, c, i) = (f.local(), f.local(), f.local());
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.ci(64).newarray(ElemKind::Int).st(c);
+            f.for_in(i, 1.into(), 64.into(), |f| {
+                // c[i] = i (independent, but masks a[...] loads
+                // without points-to: the walk sees an unrelated
+                // ArrayStore whose base might alias `a`)
+                f.ld(c).ld(i).ld(i).astore();
+                // a[i] = a[i-1] + 1 (the recurrence)
+                f.ld(a).ld(i);
+                f.ld(a).ld(i).ci(1).isub().aload();
+                f.ci(1).iadd();
+                f.astore();
+            });
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn pointsto_unmasks_the_distinct_array_store() {
+        let p = two_array_program();
+        assert!(
+            analyze(&p).is_empty(),
+            "without points-to the foreign store masks the recurrence"
+        );
+        let deps = analyze_with_pt(&p);
+        assert_eq!(deps.len(), 1, "got {deps:?}");
+        assert!(matches!(deps[0].kind, DepKind::Array { .. }));
+    }
+
+    #[test]
+    fn pointsto_strictly_sharpens_pair_classification() {
+        let p = two_array_program();
+        let base = classify(&p, false);
+        let sharp = classify(&p, true);
+        assert_eq!(base.len(), sharp.len(), "same pair universe");
+        let count =
+            |pairs: &[AccessPair], v: PairVerdict| pairs.iter().filter(|p| p.verdict == v).count();
+        let (db, ds) = (
+            count(&base, PairVerdict::Disjoint),
+            count(&sharp, PairVerdict::Disjoint),
+        );
+        assert!(ds > db, "sharpened {ds} must exceed baseline {db}");
+        assert!(sharp.iter().any(|p| p.via_pointsto));
+        // monotone: nothing disjoint in the baseline may regress
+        for (b, s) in base.iter().zip(&sharp) {
+            if b.verdict == PairVerdict::Disjoint {
+                assert_eq!(s.verdict, PairVerdict::Disjoint);
+            }
+        }
+    }
+
+    #[test]
+    fn pointsto_shrinks_opaque_call_summaries() {
+        // helper stores only into its own private array; main's array
+        // recurrence must survive the call with points-to facts.
+        let mut b = ProgramBuilder::new();
+        let helper = b.declare("helper", 1, true);
+        b.define(helper, |f| {
+            let x = f.param(0);
+            let t = f.local();
+            f.ci(4).newarray(ElemKind::Int).st(t);
+            f.ld(t).ci(0).ld(x).astore();
+            f.ld(t).ci(0).aload().ret();
+        });
+        let main = b.function("main", 0, false, |f| {
+            let (a, i) = (f.local(), f.local());
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 1.into(), 64.into(), |f| {
+                f.ld(i).call(helper).drop_top();
+                // a[i] = a[i-1] + 1
+                f.ld(a).ld(i);
+                f.ld(a).ld(i).ci(1).isub().aload();
+                f.ci(1).iadd();
+                f.astore();
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let f = &p.functions[p.entry.0 as usize];
+        let cfg = Cfg::build(f);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        assert_eq!(forest.len(), 1);
+        let without = analyze_loop(&p, f, &cfg, &dom, &forest.loops[0], None);
+        assert!(without.is_empty(), "opaque call masks structurally");
+        let pt = PointsTo::analyze(&p);
+        let with = analyze_loop(&p, f, &cfg, &dom, &forest.loops[0], Some(&pt.view(p.entry)));
+        assert_eq!(with.len(), 1, "got {with:?}");
+        assert!(matches!(with[0].kind, DepKind::Array { .. }));
     }
 }

@@ -17,27 +17,29 @@
 //!    serial must actually exhibit a cross-iteration RAW in the
 //!    recorded event stream once it runs more iterations than the
 //!    proven dependence distance;
-//! 6. **Hydra sanity** — simulated TLS time is bounded below by the
+//! 6. **points-to soundness** — any access pair the alias-sharpened
+//!    pre-screen classifies as disjoint must touch disjoint dynamic
+//!    address sets in the plain run's event stream; one shared
+//!    address is an unsoundness in `cfgir::pointsto`;
+//! 7. **Hydra sanity** — simulated TLS time is bounded below by the
 //!    longest thread plus fixed overheads, thread counts match the
 //!    trace, and zero violations means the restart penalty is inert;
-//! 7. **pipeline closure** — `run_pipeline` in serial-bus and
+//! 8. **pipeline closure** — `run_pipeline` in serial-bus and
 //!    threaded-bus modes agrees end to end.
 //!
 //! Checks are ordered cheap-first so the shrinker converges fast.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use crate::spec::{emit, gen_spec, ProgramSpec};
-use cfgir::{analyze_loop, Dominators, ProgramCandidates};
+use cfgir::{analyze_loop, classify_loop_pairs, Dominators, PairVerdict, ProgramCandidates};
 use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
 use jrpm::annotate::{annotate, AnnotateOptions};
 use jrpm::{run_pipeline, BusConfig, PipelineConfig};
 use test_tracer::{Profile, TestTracer, TracerConfig};
 use tvm::record::{Event, Recording, RecordingSink};
-use tvm::{
-    record_batches, CostModel, Interp, LoopId, NullSink, Program, RunResult, TraceBus, VmError,
-};
+use tvm::{record_batches, Addr, CostModel, Interp, LoopId, Program, RunResult, TraceBus, VmError};
 
 /// Instruction budget per interpreter run. Generated programs retire a
 /// few thousand instructions; anything near this limit is a
@@ -142,8 +144,12 @@ pub fn check_program(program: &Program) -> Result<CheckStats, Failure> {
     let rec = sink.into_recording();
 
     // -- derived sequential baseline == a real plain run --------------
+    // (recorded: the plain stream's pcs address the original program
+    // directly, which the points-to soundness oracle below relies on)
+    let mut sink_plain = RecordingSink::default();
     let run_p =
-        run_bounded(program, &mut NullSink).map_err(|e| fail("run-plain", e.to_string()))?;
+        run_bounded(program, &mut sink_plain).map_err(|e| fail("run-plain", e.to_string()))?;
+    let rec_plain = sink_plain.into_recording();
     let derived = run_d
         .cycles
         .checked_sub(run_d.annotation_cycles.total())
@@ -246,6 +252,9 @@ pub fn check_program(program: &Program) -> Result<CheckStats, Failure> {
     // -- static pre-screen vs the recorded stream ---------------------
     let deps = guaranteed_deps(program, &cands)?;
     let demoted_count = check_memdep(program, &cands, &deps)?;
+
+    // -- points-to disjointness vs the plain run's addresses ----------
+    check_pointsto(program, &cands, &rec_plain)?;
 
     // -- Hydra simulator sanity invariants ----------------------------
     let tls_entries = check_hydra(program, &cands, &masks)?;
@@ -367,11 +376,20 @@ fn guaranteed_deps(
     cands: &ProgramCandidates,
 ) -> Result<HashMap<LoopId, u32>, Failure> {
     let mut out = HashMap::new();
+    let pt = cfgir::PointsTo::analyze(program);
     for c in &cands.candidates {
         let fa = &cands.functions[c.func.0 as usize];
         let f = &program.functions[c.func.0 as usize];
         let dom = Dominators::compute(&fa.cfg);
-        let ds = analyze_loop(program, f, &fa.cfg, &dom, &fa.forest.loops[c.loop_idx]);
+        let view = pt.view(c.func);
+        let ds = analyze_loop(
+            program,
+            f,
+            &fa.cfg,
+            &dom,
+            &fa.forest.loops[c.loop_idx],
+            Some(&view),
+        );
         if let Some(min) = ds.iter().map(|d| d.distance).min() {
             out.insert(c.id, min.max(1));
         }
@@ -411,6 +429,52 @@ fn check_memdep(
         .map_err(|e| fail("memdep-stream", format!("annotated-all run failed: {e}")))?;
     check_memdep_stream(&sink.into_recording(), deps)?;
     Ok(deps.len())
+}
+
+/// Soundness oracle for the alias-sharpened pre-screen: every access
+/// pair `classify_loop_pairs` marks `Disjoint` must touch disjoint
+/// dynamic address sets in the plain run. Opaque-store pairs are
+/// skipped — call instructions emit no heap events of their own, so
+/// their footprint is not observable at the call pc.
+fn check_pointsto(
+    program: &Program,
+    cands: &ProgramCandidates,
+    rec: &Recording,
+) -> Result<(), Failure> {
+    let mut addrs: HashMap<(u16, u32), BTreeSet<Addr>> = HashMap::new();
+    for e in &rec.events {
+        if let Event::HeapLoad(a, _, pc) | Event::HeapStore(a, _, pc) = *e {
+            addrs.entry((pc.func.0, pc.idx)).or_default().insert(a);
+        }
+    }
+    let pt = cfgir::PointsTo::analyze(program);
+    let empty = BTreeSet::new();
+    for c in &cands.candidates {
+        let fa = &cands.functions[c.func.0 as usize];
+        let f = &program.functions[c.func.0 as usize];
+        let dom = Dominators::compute(&fa.cfg);
+        let lp = &fa.forest.loops[c.loop_idx];
+        let view = pt.view(c.func);
+        for p in classify_loop_pairs(program, f, &fa.cfg, &dom, lp, Some(&view)) {
+            if p.verdict != PairVerdict::Disjoint || p.opaque_store {
+                continue;
+            }
+            let la = addrs.get(&(c.func.0, p.load_at)).unwrap_or(&empty);
+            let sa = addrs.get(&(c.func.0, p.store_at)).unwrap_or(&empty);
+            if let Some(shared) = la.intersection(sa).next() {
+                return Err(fail(
+                    "pointsto-soundness",
+                    format!(
+                        "candidate {:?} in fn {}: load at pc {} and store at pc {} were \
+                         proven disjoint (via_pointsto={}) but both touched address {} \
+                         dynamically",
+                        c.id, c.func.0, p.load_at, p.store_at, p.via_pointsto, shared
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 struct EntryWalk {

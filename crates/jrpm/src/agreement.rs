@@ -1,0 +1,379 @@
+//! Static-vs-dynamic dependence **agreement report**.
+//!
+//! The points-to-sharpened pre-screen (`cfgir::memdep` over
+//! `cfgir::pointsto`) makes claims about runtime behavior: a
+//! (load, store) pair classified [`PairVerdict::Disjoint`] can *never*
+//! touch the same address, and a demoted loop carries a guaranteed
+//! cross-iteration RAW on every long-enough entry. This module replays
+//! a benchmark and scores those claims against what actually happened:
+//!
+//! * **soundness invariant** — for every pair the static analysis
+//!   proved disjoint, the dynamic address sets observed at the two
+//!   access sites must not intersect. A single shared address is a
+//!   bug in the analysis, and [`AgreementReport::sound`] goes false
+//!   (CI fails the build on it);
+//! * **precision/recall** — per benchmark, how the set of statically
+//!   demoted loops compares with the set of loops whose traces show a
+//!   real cross-iteration RAW. The pre-screen is deliberately
+//!   optimistic, so recall below 1.0 is expected (the tracer exists
+//!   precisely to catch what static analysis cannot); precision below
+//!   1.0 would mean a demotion fired on a loop with no dynamic
+//!   dependence, which the differential fuzzer also hunts.
+//!
+//! Every candidate — demoted or not — is force-annotated
+//! ([`AnnotateOptions::only`]) so its loop boundaries are visible in
+//! the event stream, and dynamic pcs are translated back to original
+//! instruction indices through the [`annotate_mapped`] origin maps.
+
+use crate::annotate::{annotate_mapped, AnnotateOptions};
+use cfgir::{
+    classify_loop_pairs, extract_candidates, AccessPair, Dominators, PairVerdict, SolverStats,
+};
+use std::collections::{BTreeSet, HashMap};
+use tvm::isa::LoopId;
+use tvm::program::Program;
+use tvm::record::{Event, Recording, RecordingSink};
+use tvm::trace::Addr;
+use tvm::Interp;
+
+/// One statically-disjoint pair whose dynamic address sets overlapped:
+/// a refuted proof, i.e. an analysis bug.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Loop whose body the pair belongs to.
+    pub loop_id: LoopId,
+    /// Original instruction index of the load.
+    pub load_at: u32,
+    /// Original instruction index of the store.
+    pub store_at: u32,
+    /// Whether the refuted proof needed points-to facts.
+    pub via_pointsto: bool,
+    /// An address both sites touched.
+    pub shared_addr: Addr,
+}
+
+/// Per-candidate agreement between the static verdict and the trace.
+#[derive(Debug, Clone)]
+pub struct LoopAgreement {
+    /// The candidate.
+    pub id: LoopId,
+    /// Statically demoted (predicted serial)?
+    pub demoted: bool,
+    /// Did any entry's trace show a cross-iteration RAW?
+    pub dynamic_cross_raw: bool,
+    /// Total iterations observed across all entries.
+    pub iters: u64,
+    /// Pair counts by verdict for this loop's body.
+    pub disjoint: usize,
+    /// Disjoint only thanks to points-to facts.
+    pub via_pointsto: usize,
+    /// Unproven pairs left for the tracer.
+    pub may_alias: usize,
+    /// Statically guaranteed RAW pairs.
+    pub guaranteed: usize,
+}
+
+/// The whole-benchmark agreement report.
+#[derive(Debug, Clone, Default)]
+pub struct AgreementReport {
+    /// Per-candidate rows, in id order.
+    pub loops: Vec<LoopAgreement>,
+    /// Refuted disjointness proofs (must be empty).
+    pub violations: Vec<Violation>,
+    /// Total (load, store) pairs classified.
+    pub pairs: usize,
+    /// Pairs proven disjoint with points-to facts available.
+    pub disjoint: usize,
+    /// Of those, pairs the PR 1 structural rules alone could not prove.
+    pub via_pointsto: usize,
+    /// Pairs proven disjoint by the structural rules alone (baseline).
+    pub baseline_disjoint: usize,
+    /// Demoted candidates (predicted serial).
+    pub predicted_serial: usize,
+    /// Candidates with an observed dynamic cross-iteration RAW.
+    pub actual_serial: usize,
+    /// Candidates in both sets.
+    pub agree_serial: usize,
+    /// Events in the replayed recording.
+    pub events: usize,
+    /// Statistics of the points-to solve behind the verdicts.
+    pub pointsto: SolverStats,
+}
+
+impl AgreementReport {
+    /// True when no statically-disjoint pair aliased dynamically.
+    pub fn sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Of the loops predicted serial, the fraction observed serial.
+    /// `None` when nothing was predicted serial.
+    pub fn precision(&self) -> Option<f64> {
+        (self.predicted_serial > 0).then(|| self.agree_serial as f64 / self.predicted_serial as f64)
+    }
+
+    /// Of the loops observed serial, the fraction predicted serial.
+    /// `None` when nothing was observed serial.
+    pub fn recall(&self) -> Option<f64> {
+        (self.actual_serial > 0).then(|| self.agree_serial as f64 / self.actual_serial as f64)
+    }
+}
+
+struct EntryWalk {
+    loop_id: LoopId,
+    iter: u64,
+    /// addr -> iteration of the last store within this entry
+    last_store: HashMap<Addr, u64>,
+    found_cross_raw: bool,
+}
+
+/// Runs the full agreement check on one program.
+///
+/// # Errors
+///
+/// Forwards interpreter or annotation failures as [`tvm::VmError`].
+pub fn agreement_report(program: &Program) -> Result<AgreementReport, tvm::VmError> {
+    let cands = extract_candidates(program);
+    let pt = cfgir::PointsTo::analyze(program);
+
+    // classify every candidate's pairs, sharpened and baseline
+    let mut per_loop: HashMap<LoopId, Vec<AccessPair>> = HashMap::new();
+    let mut report = AgreementReport {
+        pointsto: cands.pointsto,
+        ..AgreementReport::default()
+    };
+    for c in &cands.candidates {
+        let fa = &cands.functions[c.func.0 as usize];
+        let f = &program.functions[c.func.0 as usize];
+        let dom = Dominators::compute(&fa.cfg);
+        let lp = &fa.forest.loops[c.loop_idx];
+        let view = pt.view(c.func);
+        let pairs = classify_loop_pairs(program, f, &fa.cfg, &dom, lp, Some(&view));
+        let base = classify_loop_pairs(program, f, &fa.cfg, &dom, lp, None);
+        report.pairs += pairs.len();
+        report.baseline_disjoint += base
+            .iter()
+            .filter(|p| p.verdict == PairVerdict::Disjoint)
+            .count();
+        report.disjoint += pairs
+            .iter()
+            .filter(|p| p.verdict == PairVerdict::Disjoint)
+            .count();
+        report.via_pointsto += pairs.iter().filter(|p| p.via_pointsto).count();
+        per_loop.insert(c.id, pairs);
+    }
+
+    // force-annotate every candidate so demoted loops are traced too
+    let all_ids: Vec<LoopId> = cands.candidates.iter().map(|c| c.id).collect();
+    let (ann, maps) = annotate_mapped(program, &cands, &AnnotateOptions::only(all_ids))?;
+    let mut sink = RecordingSink::default();
+    Interp::run(&ann, &mut sink)?;
+    let rec = sink.into_recording();
+    report.events = rec.len();
+
+    // dynamic profile: per-site address sets (original pcs) and
+    // per-loop cross-iteration RAW detection
+    let (addrs_at, loop_dyn) = profile(&rec, &maps);
+
+    for c in &cands.candidates {
+        let pairs = &per_loop[&c.id];
+        let (iters, dynamic_cross_raw) = loop_dyn.get(&c.id).copied().unwrap_or((0, false));
+        for p in pairs {
+            if p.verdict != PairVerdict::Disjoint || p.opaque_store {
+                // opaque pairs are vacuous here: a call instruction
+                // emits no heap events at its own pc
+                continue;
+            }
+            let empty = BTreeSet::new();
+            let la = addrs_at.get(&(c.func.0, p.load_at)).unwrap_or(&empty);
+            let sa = addrs_at.get(&(c.func.0, p.store_at)).unwrap_or(&empty);
+            if let Some(shared) = la.iter().find(|a| sa.contains(a)) {
+                report.violations.push(Violation {
+                    loop_id: c.id,
+                    load_at: p.load_at,
+                    store_at: p.store_at,
+                    via_pointsto: p.via_pointsto,
+                    shared_addr: *shared,
+                });
+            }
+        }
+        let count = |v: PairVerdict| pairs.iter().filter(|p| p.verdict == v).count();
+        report.loops.push(LoopAgreement {
+            id: c.id,
+            demoted: c.is_demoted(),
+            dynamic_cross_raw,
+            iters,
+            disjoint: count(PairVerdict::Disjoint),
+            via_pointsto: pairs.iter().filter(|p| p.via_pointsto).count(),
+            may_alias: count(PairVerdict::MayAlias),
+            guaranteed: count(PairVerdict::GuaranteedRaw),
+        });
+        if c.is_demoted() {
+            report.predicted_serial += 1;
+        }
+        if dynamic_cross_raw {
+            report.actual_serial += 1;
+            if c.is_demoted() {
+                report.agree_serial += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+type SiteAddrs = HashMap<(u16, u32), BTreeSet<Addr>>;
+type LoopDyn = HashMap<LoopId, (u64, bool)>;
+
+/// One pass over the recording: address sets per original access site,
+/// and (iterations, saw-cross-iteration-RAW) per loop id.
+fn profile(rec: &Recording, maps: &[Vec<Option<u32>>]) -> (SiteAddrs, LoopDyn) {
+    let mut addrs_at: SiteAddrs = HashMap::new();
+    let mut loop_dyn: LoopDyn = HashMap::new();
+    let mut stack: Vec<EntryWalk> = Vec::new();
+    let orig_pc = |pc: tvm::isa::Pc| -> Option<(u16, u32)> {
+        let f = pc.func.0;
+        maps.get(f as usize)
+            .and_then(|m| m.get(pc.idx as usize))
+            .copied()
+            .flatten()
+            .map(|o| (f, o))
+    };
+    let close = |st: EntryWalk, loop_dyn: &mut LoopDyn| {
+        let e = loop_dyn.entry(st.loop_id).or_insert((0, false));
+        e.0 += st.iter;
+        e.1 |= st.found_cross_raw;
+    };
+    for e in &rec.events {
+        match *e {
+            Event::LoopEnter(l, _, _, _) => stack.push(EntryWalk {
+                loop_id: l,
+                iter: 0,
+                last_store: HashMap::new(),
+                found_cross_raw: false,
+            }),
+            Event::LoopIter(l, _) => {
+                if let Some(st) = stack.iter_mut().rev().find(|s| s.loop_id == l) {
+                    st.iter += 1;
+                }
+            }
+            Event::LoopExit(l, _) => {
+                // inner entries abandoned by an early return unwind
+                // together with the exiting loop
+                while let Some(st) = stack.pop() {
+                    let done = st.loop_id == l;
+                    close(st, &mut loop_dyn);
+                    if done {
+                        break;
+                    }
+                }
+            }
+            Event::HeapLoad(a, _, pc) => {
+                if let Some(key) = orig_pc(pc) {
+                    addrs_at.entry(key).or_default().insert(a);
+                }
+                for st in &mut stack {
+                    if !st.found_cross_raw {
+                        if let Some(&it) = st.last_store.get(&a) {
+                            if it < st.iter {
+                                st.found_cross_raw = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Event::HeapStore(a, _, pc) => {
+                if let Some(key) = orig_pc(pc) {
+                    addrs_at.entry(key).or_default().insert(a);
+                }
+                for st in &mut stack {
+                    st.last_store.insert(a, st.iter);
+                }
+            }
+            _ => {}
+        }
+    }
+    while let Some(st) = stack.pop() {
+        close(st, &mut loop_dyn);
+    }
+    (addrs_at, loop_dyn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{ElemKind, ProgramBuilder};
+
+    /// A recurrence loop next to a provably-parallel one, with a
+    /// points-to-separated second array in the mix.
+    fn mixed_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let main = b.function("main", 0, false, |f| {
+            let (a, c, i, j) = (f.local(), f.local(), f.local(), f.local());
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.ci(64).newarray(ElemKind::Int).st(c);
+            // loop 0: serial static recurrence -> demoted
+            f.for_in(i, 0.into(), 16.into(), |f| {
+                f.getstatic(g).ci(1).iadd().putstatic(g);
+            });
+            // loop 1: a[j] = c[j] * 2 — reads one array, writes the
+            // other; only points-to can separate the two bases
+            f.for_in(j, 0.into(), 16.into(), |f| {
+                f.ld(a).ld(j);
+                f.ld(c).ld(j).aload();
+                f.ci(2).imul();
+                f.astore();
+            });
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn mixed_program_report_is_sound_and_agrees() {
+        let p = mixed_program();
+        let r = agreement_report(&p).unwrap();
+        assert!(r.sound(), "violations: {:?}", r.violations);
+        assert_eq!(r.loops.len(), 2);
+        assert_eq!(r.predicted_serial, 1);
+        assert_eq!(r.actual_serial, 1, "the recurrence loop must show a RAW");
+        assert_eq!(r.agree_serial, 1);
+        assert_eq!(r.precision(), Some(1.0));
+        assert_eq!(r.recall(), Some(1.0));
+        assert!(r.events > 0);
+        assert!(r.pointsto.abstract_objects >= 2);
+        // the two distinct arrays in loop 1 need points-to to separate
+        assert!(
+            r.via_pointsto > 0,
+            "expected a points-to-only disjoint pair: {r:?}"
+        );
+        assert!(r.disjoint >= r.baseline_disjoint + r.via_pointsto);
+    }
+
+    #[test]
+    fn optimistic_miss_shows_up_in_recall_not_soundness() {
+        // a[b[i]] += 1 with b[i] all equal: dynamically serial, but no
+        // static proof — recall drops below 1, soundness holds
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let (a, idx, i) = (f.local(), f.local(), f.local());
+            f.ci(8).newarray(ElemKind::Int).st(a);
+            f.ci(16).newarray(ElemKind::Int).st(idx);
+            f.for_in(i, 0.into(), 16.into(), |f| {
+                // a[idx[i]] = a[idx[i]] + 1, idx[i] == 0 always
+                f.ld(a).ld(idx).ld(i).aload();
+                f.ld(a).ld(idx).ld(i).aload().aload();
+                f.ci(1).iadd();
+                f.astore();
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let r = agreement_report(&p).unwrap();
+        assert!(r.sound(), "violations: {:?}", r.violations);
+        assert_eq!(r.predicted_serial, 0, "no static proof exists");
+        assert_eq!(r.actual_serial, 1, "but the trace shows the RAW");
+        assert_eq!(r.recall(), Some(0.0));
+        assert_eq!(r.precision(), None);
+    }
+}

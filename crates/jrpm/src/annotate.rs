@@ -102,7 +102,28 @@ pub fn annotate(
     cands: &ProgramCandidates,
     opts: &AnnotateOptions,
 ) -> Result<Program, tvm::VmError> {
+    annotate_mapped(program, cands, opts).map(|(p, _)| p)
+}
+
+/// One function's instruction provenance after rewriting:
+/// `map[new_idx] == Some(orig_idx)` when the instruction at `new_idx`
+/// of the instrumented function is the relocated original instruction
+/// at `orig_idx`, and `None` for inserted annotations, trampoline
+/// payloads and rewritten fallthrough gotos.
+pub type OriginMap = Vec<Option<u32>>;
+
+/// Like [`annotate`], but also returns one [`OriginMap`] per function.
+///
+/// The agreement report uses the maps to translate dynamic event pcs
+/// (recorded against instrumented code) back to the static access
+/// sites of the original program.
+pub fn annotate_mapped(
+    program: &Program,
+    cands: &ProgramCandidates,
+    opts: &AnnotateOptions,
+) -> Result<(Program, Vec<OriginMap>), tvm::VmError> {
     let mut functions = Vec::with_capacity(program.functions.len());
+    let mut maps = Vec::with_capacity(program.functions.len());
     for (fi, f) in program.functions.iter().enumerate() {
         let fa = &cands.functions[fi];
         let in_fn: Vec<&Candidate> = cands
@@ -112,8 +133,11 @@ pub fn annotate(
             .collect();
         if in_fn.is_empty() {
             functions.push(f.clone());
+            maps.push((0..f.code.len() as u32).map(Some).collect());
         } else {
-            functions.push(annotate_function(fi as u16, f, fa, &in_fn, cands, opts)?);
+            let (func, map) = annotate_function(fi as u16, f, fa, &in_fn, cands, opts)?;
+            functions.push(func);
+            maps.push(map);
         }
     }
     let out = Program {
@@ -124,7 +148,7 @@ pub fn annotate(
     };
     tvm::verify::verify(&out)?;
     tvm::verify::verify_kinds(&out)?;
-    Ok(out)
+    Ok((out, maps))
 }
 
 /// A tiny label-patching emitter (the annotation-pass analogue of
@@ -132,6 +156,9 @@ pub fn annotate(
 #[derive(Default)]
 struct Emitter {
     code: Vec<Instr>,
+    /// Original instruction index of each emitted instruction
+    /// (`None` for inserted annotations and control-flow glue).
+    origin: Vec<Option<u32>>,
     labels: Vec<Option<u32>>,
     fixups: Vec<u32>,
 }
@@ -149,6 +176,14 @@ impl Emitter {
 
     fn raw(&mut self, i: Instr) {
         self.code.push(i);
+        self.origin.push(None);
+    }
+
+    /// Emits a relocated original instruction, remembering where it
+    /// came from.
+    fn raw_at(&mut self, i: Instr, orig: u32) {
+        self.code.push(i);
+        self.origin.push(Some(orig));
     }
 
     /// Emits a branch whose target operand is a label id, recorded for
@@ -156,9 +191,17 @@ impl Emitter {
     fn branch(&mut self, i: Instr) {
         self.fixups.push(self.code.len() as u32);
         self.code.push(i);
+        self.origin.push(None);
     }
 
-    fn finish(mut self, func: u16) -> Result<Vec<Instr>, tvm::VmError> {
+    /// A [`Emitter::branch`] that descends from an original terminator.
+    fn branch_at(&mut self, i: Instr, orig: u32) {
+        self.fixups.push(self.code.len() as u32);
+        self.code.push(i);
+        self.origin.push(Some(orig));
+    }
+
+    fn finish(mut self, func: u16) -> Result<(Vec<Instr>, Vec<Option<u32>>), tvm::VmError> {
         for &at in &self.fixups {
             let instr = self.code[at as usize];
             let lbl = instr.branch_target().ok_or_else(|| tvm::VmError::Verify {
@@ -174,7 +217,7 @@ impl Emitter {
                 .ok_or(tvm::VmError::UnboundLabel(lbl))?;
             self.code[at as usize] = instr.map_target(|_| target);
         }
-        Ok(self.code)
+        Ok((self.code, self.origin))
     }
 }
 
@@ -185,7 +228,7 @@ fn annotate_function(
     annotated: &[&Candidate],
     cands: &ProgramCandidates,
     opts: &AnnotateOptions,
-) -> Result<Function, tvm::VmError> {
+) -> Result<(Function, Vec<Option<u32>>), tvm::VmError> {
     let cfg = &fa.cfg;
     let forest = &fa.forest;
     let dom = Dominators::compute(cfg);
@@ -338,7 +381,7 @@ fn annotate_function(
 
             let is_terminator_pos = idx == block.end - 1;
             if !is_terminator_pos {
-                em.raw(instr);
+                em.raw_at(instr, idx);
                 continue;
             }
 
@@ -354,24 +397,24 @@ fn annotate_function(
                 Instr::Goto(t) => {
                     let tb = block_of(t, idx)?;
                     let (l, _) = edge_label(&mut em, b, tb);
-                    em.branch(Instr::Goto(l));
+                    em.branch_at(Instr::Goto(l), idx);
                 }
                 Instr::If(c, t) => {
                     let tb = block_of(t, idx)?;
                     let (l, _) = edge_label(&mut em, b, tb);
-                    em.branch(Instr::If(c, l));
+                    em.branch_at(Instr::If(c, l), idx);
                     emit_fallthrough(fi, &mut em, cfg, b, block.end, &mut edge_label)?;
                 }
                 Instr::IfICmp(c, t) => {
                     let tb = block_of(t, idx)?;
                     let (l, _) = edge_label(&mut em, b, tb);
-                    em.branch(Instr::IfICmp(c, l));
+                    em.branch_at(Instr::IfICmp(c, l), idx);
                     emit_fallthrough(fi, &mut em, cfg, b, block.end, &mut edge_label)?;
                 }
                 Instr::IfFCmp(c, t) => {
                     let tb = block_of(t, idx)?;
                     let (l, _) = edge_label(&mut em, b, tb);
-                    em.branch(Instr::IfFCmp(c, l));
+                    em.branch_at(Instr::IfFCmp(c, l), idx);
                     emit_fallthrough(fi, &mut em, cfg, b, block.end, &mut edge_label)?;
                 }
                 Instr::Return | Instr::ReturnVoid | Instr::Halt => {
@@ -386,12 +429,12 @@ fn annotate_function(
                             }
                         }
                     }
-                    em.raw(instr);
+                    em.raw_at(instr, idx);
                 }
                 other => {
                     // plain instruction ending a block: the next block
                     // starts a leader; make the fallthrough explicit
-                    em.raw(other);
+                    em.raw_at(other, idx);
                     emit_fallthrough(fi, &mut em, cfg, b, block.end, &mut edge_label)?;
                 }
             }
@@ -410,13 +453,17 @@ fn annotate_function(
         em.branch(Instr::AGoto(block_labels[tb as usize]));
     }
 
-    Ok(Function {
-        name: f.name.clone(),
-        n_params: f.n_params,
-        n_locals: f.n_locals,
-        returns: f.returns,
-        code: em.finish(fi)?,
-    })
+    let (code, origin) = em.finish(fi)?;
+    Ok((
+        Function {
+            name: f.name.clone(),
+            n_params: f.n_params,
+            n_locals: f.n_locals,
+            returns: f.returns,
+            code,
+        },
+        origin,
+    ))
 }
 
 /// Handles a block's fallthrough edge. The fallthrough block is always
@@ -618,6 +665,30 @@ mod tests {
         assert_eq!(r.ret.unwrap().as_int().unwrap(), 0);
         assert_eq!(sink.loop_enters, 1);
         assert_eq!(sink.loop_exits, 1, "return must close the loop");
+    }
+
+    #[test]
+    fn origin_maps_relocate_every_original_instruction() {
+        let p = simple_loop_program();
+        let cands = extract_candidates(&p);
+        let (ann, maps) = annotate_mapped(&p, &cands, &AnnotateOptions::profiling()).unwrap();
+        assert_eq!(maps.len(), ann.functions.len());
+        let map = &maps[0];
+        assert_eq!(map.len(), ann.functions[0].code.len());
+        // every mapped instruction is the original one, modulo
+        // retargeted branch operands
+        let mut seen = BTreeSet::new();
+        for (new_idx, orig) in map.iter().enumerate() {
+            let Some(orig) = orig else { continue };
+            assert!(seen.insert(*orig), "original {orig} relocated twice");
+            let a = ann.functions[0].code[new_idx];
+            let o = p.functions[0].code[*orig as usize];
+            let same = a == o
+                || (a.branch_target().is_some() && a.map_target(|_| 0) == o.map_target(|_| 0));
+            assert!(same, "map {new_idx}->{orig}: {a:?} vs {o:?}");
+        }
+        // nothing is dropped: all original instructions appear
+        assert_eq!(seen.len(), p.functions[0].code.len());
     }
 
     #[test]

@@ -23,11 +23,13 @@
 //! [`pipeline::PipelineReport`] with everything the paper's tables and
 //! figures need.
 
+pub mod agreement;
 pub mod annotate;
 pub mod pipeline;
 pub mod slowdown;
 
-pub use annotate::{annotate, AnnotateOptions, AnnotationMode};
+pub use agreement::{agreement_report, AgreementReport, LoopAgreement, Violation};
+pub use annotate::{annotate, annotate_mapped, AnnotateOptions, AnnotationMode};
 pub use pipeline::{
     run_pipeline, ActualTls, BusConfig, PipelineConfig, PipelineObservability, PipelineReport,
     StageTime,

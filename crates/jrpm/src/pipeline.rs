@@ -463,10 +463,26 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
         tr.begin(t, "run");
     }
 
-    // 1. identify candidate STLs
+    // 1. identify candidate STLs (includes the whole-program points-to
+    //    solve that sharpens the memory-dependence pre-screen; its
+    //    statistics ride along inside this stage so the committed obs
+    //    baseline keeps its stage list)
     let t = stages.begin("extract");
     let candidates = extract_candidates(program);
     stages.end("extract", t);
+    let ps = candidates.pointsto;
+    for (name, v) in [
+        ("pointsto.abstract_objects", ps.abstract_objects as u64),
+        ("pointsto.variables", ps.variables as u64),
+        ("pointsto.constraint_edges", ps.constraint_edges as u64),
+        ("pointsto.iterations", ps.iterations as u64),
+        ("pointsto.wall_nanos", ps.wall_nanos),
+    ] {
+        registry.counter(name).add(v);
+        if let Some((tr, track)) = stages.trace {
+            tr.counter(track, name, v);
+        }
+    }
 
     // 2. annotate every candidate for profiling (loops the static
     //    pre-screen demoted are left unannotated, so the tracer

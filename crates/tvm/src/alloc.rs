@@ -1,0 +1,150 @@
+//! Allocation-site table: a dense id for every `NewArray`/`NewObject`.
+//!
+//! Whole-program analyses (notably `cfgir::pointsto`) model the heap
+//! with *allocation-site abstraction*: every object a program can ever
+//! create is represented by the static instruction that allocates it.
+//! The bytecode itself does not carry site ids — `NewArray`/`NewObject`
+//! only name an element kind or class — so this module surfaces them:
+//! [`AllocSites::build`] scans a program once and assigns each
+//! allocating instruction a dense [`SiteId`], keyed by its [`Pc`].
+//!
+//! Ids are assigned in program order (function by function, instruction
+//! by instruction), so they are stable across runs of the same program
+//! and can be used as bitset indices.
+
+use std::collections::BTreeMap;
+
+use crate::isa::{ClassId, ElemKind, FuncId, Instr, Pc};
+use crate::program::Program;
+
+/// Dense index of one allocation site (a `NewArray` or `NewObject`
+/// instruction) within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// What an allocation site creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// An array of the given element kind.
+    Array(ElemKind),
+    /// An object of the given class.
+    Object(ClassId),
+}
+
+/// One allocation site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSite {
+    /// Dense id (index into [`AllocSites`]).
+    pub id: SiteId,
+    /// The allocating instruction.
+    pub pc: Pc,
+    /// Array or object, and of what.
+    pub kind: SiteKind,
+}
+
+/// All allocation sites of a program, with `Pc → SiteId` lookup.
+#[derive(Debug, Clone, Default)]
+pub struct AllocSites {
+    sites: Vec<AllocSite>,
+    by_pc: BTreeMap<(u16, u32), SiteId>,
+}
+
+impl AllocSites {
+    /// Scans `program` and tables every allocating instruction.
+    pub fn build(program: &Program) -> AllocSites {
+        let mut out = AllocSites::default();
+        for (fi, f) in program.functions.iter().enumerate() {
+            for (idx, instr) in f.code.iter().enumerate() {
+                let kind = match instr {
+                    Instr::NewArray(k) => SiteKind::Array(*k),
+                    Instr::NewObject(c) => SiteKind::Object(*c),
+                    _ => continue,
+                };
+                let id = SiteId(out.sites.len() as u32);
+                let pc = Pc {
+                    func: FuncId(fi as u16),
+                    idx: idx as u32,
+                };
+                out.sites.push(AllocSite { id, pc, kind });
+                out.by_pc.insert((pc.func.0, pc.idx), id);
+            }
+        }
+        out
+    }
+
+    /// Number of allocation sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when the program allocates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site allocated at `pc`, if that instruction allocates.
+    pub fn site_at(&self, pc: Pc) -> Option<SiteId> {
+        self.by_pc.get(&(pc.func.0, pc.idx)).copied()
+    }
+
+    /// Looks up a site by dense id.
+    pub fn get(&self, id: SiteId) -> &AllocSite {
+        &self.sites[id.0 as usize]
+    }
+
+    /// Iterates all sites in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &AllocSite> {
+        self.sites.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+
+    #[test]
+    fn sites_are_dense_and_keyed_by_pc() {
+        let mut b = ProgramBuilder::new();
+        let cls = b.class(&[ElemKind::Int]);
+        let main = b.function("main", 0, false, |f| {
+            let (a, o) = (f.local(), f.local());
+            f.ci(8).newarray(ElemKind::Int).st(a);
+            f.newobject(cls).st(o);
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let sites = AllocSites::build(&p);
+        assert_eq!(sites.len(), 2);
+        let arr = sites.get(SiteId(0));
+        let obj = sites.get(SiteId(1));
+        assert!(matches!(arr.kind, SiteKind::Array(ElemKind::Int)));
+        assert!(matches!(obj.kind, SiteKind::Object(_)));
+        assert_eq!(sites.site_at(arr.pc), Some(SiteId(0)));
+        assert_eq!(sites.site_at(obj.pc), Some(SiteId(1)));
+        assert_eq!(
+            sites.site_at(Pc {
+                func: FuncId(0),
+                idx: 0
+            }),
+            None,
+            "non-allocating instructions have no site"
+        );
+    }
+
+    #[test]
+    fn empty_program_has_no_sites() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        assert!(AllocSites::build(&p).is_empty());
+    }
+}

@@ -54,6 +54,7 @@
 //! # }
 //! ```
 
+pub mod alloc;
 pub mod build;
 pub mod bus;
 pub mod cost;
@@ -69,6 +70,7 @@ pub mod trace;
 pub mod value;
 pub mod verify;
 
+pub use alloc::{AllocSite, AllocSites, SiteId, SiteKind};
 pub use build::{FnBuilder, ProgramBuilder};
 pub use bus::{
     record_batches, Batcher, BusReport, EventBatch, EventKind, KindCounts, SinkStats, Tee,

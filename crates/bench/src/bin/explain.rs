@@ -86,8 +86,14 @@ fn main() {
     }
     println!();
     // PCs refer to the *annotated* code; rebuild it for disassembly
-    let annotated = jrpm::annotate(&program, &r.candidates, &jrpm::AnnotateOptions::profiling())
-        .expect("annotate");
+    // (on the rescued program when the rescue stage transformed it,
+    // since the pipeline's candidates live there)
+    let annotated = jrpm::annotate(
+        r.rescue.program_for(&program),
+        &r.candidates,
+        &jrpm::AnnotateOptions::profiling(),
+    )
+    .expect("annotate");
     println!("hot dependency sites (extended TEST, section 6.3):");
     for l in r.profile.stl.keys() {
         for (pc, bin) in r.profile.pc_bins.hottest(*l).into_iter().take(3) {

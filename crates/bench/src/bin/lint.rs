@@ -11,8 +11,9 @@
 //! cargo run --release -p jrpm-bench --bin jrpm-lint -- --explain PT001
 //! ```
 //!
-//! Each loop row carries alias/escape diagnostics with stable codes
-//! (`PT001`, `PT002`); `--explain <code>` prints what a code means.
+//! Each loop row carries alias/escape and loop-rescue diagnostics with
+//! stable codes (`PT001`, `PT002`, `TR001`, `TR002`); `--explain
+//! <code>` prints what a code means.
 //! Exit status is nonzero if any program fails verification.
 
 use benchsuite::DataSize;
@@ -30,6 +31,26 @@ const EXPLANATIONS: &[(&str, &str)] = &[
          analysis. These pairs no longer mask speculative-thread candidates, so a \
          loop carrying PT001 is analysed more precisely, never less. The count is \
          the `via_pointsto` figure from `cfgir::classify_loop_pairs`.",
+    ),
+    (
+        "TR001",
+        "loop rescued: a demoted loop was rewritten by the loop-rescue pass (PR 6) \
+         into a provably parallelizable variant — a reduction delta-rewrite, a \
+         scalar privatization, or a loop distribution. The diagnostic names the \
+         transform and the recurrence it removed; the attached legality proof was \
+         re-checked by the independent verifier (`cfgir::rescue::verify`) before \
+         the variant replaced the loop, so downstream profiling and selection run \
+         on the transformed code.",
+    ),
+    (
+        "TR002",
+        "rescue rejected: a loop-rescue transform matched this loop's shape but \
+         could not prove the rewrite legal, so the loop stays as written. The \
+         diagnostic carries the rejecting transform, the reason, and — when the \
+         rejection is dependence-shaped — the violating dependence witness \
+         (source/destination pcs and the overlap kind from the memory-dependence \
+         pre-screen). Restructuring the loop to break that dependence is what \
+         would let the rescue pass lift it.",
     ),
     (
         "PT002",
@@ -112,6 +133,7 @@ fn main() {
 
     let mut all_ok = true;
     let mut total_demoted = 0usize;
+    let mut total_rescued = 0usize;
     let mut rows: Vec<String> = Vec::new();
 
     for b in &suite {
@@ -128,6 +150,7 @@ fn main() {
 
         let cands = cfgir::extract_candidates(&program);
         let pt = PointsTo::analyze(&program);
+        let rescue = cfgir::rescue_program(&program);
 
         // the kind checker must also accept the rewritten program
         let (post, p_ok) = match annotate(&program, &cands, &AnnotateOptions::profiling()) {
@@ -161,6 +184,37 @@ fn main() {
                     "{{\"code\":\"PT001\",\"count\":{via_pt},\"disjoint\":{disjoint},\
                      \"pairs\":{}}}",
                     sharp.len()
+                ));
+            }
+            // TR001/TR002: what the loop-rescue pass did to this loop,
+            // correlated by function + original header-block pc range
+            let hb = &fa.cfg.blocks[lp.header.0 as usize];
+            let in_header = |pc: u32| pc >= hb.start && pc < hb.end;
+            for r in rescue
+                .rescued
+                .iter()
+                .filter(|r| r.func == c.func && in_header(r.orig_header_pc))
+            {
+                diags.push(format!(
+                    "{{\"code\":\"TR001\",\"transform\":\"{}\",\"target\":\"{}\",\
+                     \"removed\":\"{}\"}}",
+                    r.proof.transform.name(),
+                    esc(&r.proof.transform.target()),
+                    esc(&r.removed)
+                ));
+            }
+            for r in rescue
+                .rejected
+                .iter()
+                .filter(|r| r.func == c.func && in_header(r.orig_header_pc))
+            {
+                let witness = r.witness.as_ref().map_or(String::new(), |w| {
+                    format!(",\"witness\":\"{}\"", esc(&w.to_string()))
+                });
+                diags.push(format!(
+                    "{{\"code\":\"TR002\",\"transform\":\"{}\",\"reason\":\"{}\"{witness}}}",
+                    r.transform,
+                    esc(&r.reason)
                 ));
             }
             loops.push(format!(
@@ -203,10 +257,12 @@ fn main() {
         }
         let demoted = cands.demoted_count();
         total_demoted += demoted;
+        total_rescued += rescue.rescued.len();
 
         rows.push(format!(
             "{{\"name\":\"{}\",\"verify\":{},\"kinds\":{},\"post_annotation_kinds\":{},\
              \"loops\":{},\"candidates\":{},\"rejected\":{},\"demoted\":{},\
+             \"rescued\":{},\"rescue_rejected\":{},\
              \"loop_detail\":[{}],\"escape_diags\":[{}]}}",
             esc(b.name),
             verify,
@@ -216,16 +272,20 @@ fn main() {
             cands.candidates.len(),
             cands.rejected.len(),
             demoted,
+            rescue.rescued.len(),
+            rescue.rejected.len(),
             loops.join(","),
             escapes.join(",")
         ));
     }
 
     println!(
-        "{{\"size\":\"{:?}\",\"ok\":{},\"total_demoted\":{},\"benchmarks\":[{}]}}",
+        "{{\"size\":\"{:?}\",\"ok\":{},\"total_demoted\":{},\"total_rescued\":{},\
+         \"benchmarks\":[{}]}}",
         size,
         all_ok,
         total_demoted,
+        total_rescued,
         rows.join(",")
     );
     if !all_ok {

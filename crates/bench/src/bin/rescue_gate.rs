@@ -1,0 +1,170 @@
+//! Loop-rescue regression gate.
+//!
+//! ```text
+//! cargo run --release -p jrpm-bench --bin rescue-gate -- <baseline.json>
+//! cargo run --release -p jrpm-bench --bin rescue-gate -- <baseline.json> --update
+//! ```
+//!
+//! Recomputes the per-benchmark loop-rescue snapshot
+//! (`tables::rescue_rows` at the small data size — the transform and
+//! verifier passes are pure static analysis, and the selection runs
+//! are deterministic interpretation, so the snapshot is byte-exact)
+//! and compares it against the committed baseline:
+//!
+//! - any numeric difference per benchmark fails (the snapshot is the
+//!   PR's record of exactly which loops the transforms rescue and
+//!   which rescues pay off at selection);
+//! - per benchmark, `demoted_after <= demoted_before` must hold —
+//!   rescue may only shrink the demoted set — and the per-transform
+//!   counts must partition the rescued total;
+//! - suite-wide, at least one loop must be rescued and at least one
+//!   previously-demoted loop must clear dynamic selection: the rescue
+//!   pass has to earn its place in the pipeline.
+//!
+//! `--update` rewrites the baseline from the fresh computation, for
+//! intentional transform or benchmark changes.
+
+use benchsuite::DataSize;
+use jrpm_bench::tables::{rescue_json, rescue_rows};
+use obs::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Flattens one benchmark object into `field -> value`.
+fn fields(bench: &Value) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for key in [
+        "demoted_before",
+        "demoted_after",
+        "rescued",
+        "reductions",
+        "privatizations",
+        "distributions",
+        "rejected",
+        "selected_gain",
+    ] {
+        if let Some(v) = bench.get(key).and_then(Value::as_u64) {
+            out.insert(key.to_string(), v);
+        }
+    }
+    out
+}
+
+fn benchmarks(doc: &Value) -> BTreeMap<String, BTreeMap<String, u64>> {
+    let mut out = BTreeMap::new();
+    let arr = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .expect("document has a benchmarks array");
+    for b in arr {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .expect("benchmark has a name");
+        out.insert(name.to_string(), fields(b));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path] = paths[..] else {
+        eprintln!("usage: rescue-gate <baseline.json> [--update]");
+        return ExitCode::FAILURE;
+    };
+
+    let rows = rescue_rows(DataSize::Small);
+    let current_json = rescue_json(&rows);
+
+    let mut failures: Vec<String> = Vec::new();
+    for r in &rows {
+        if r.demoted_after > r.demoted_before {
+            failures.push(format!(
+                "{}: rescue grew the demoted set ({} -> {})",
+                r.name, r.demoted_before, r.demoted_after
+            ));
+        }
+        if r.rescued != r.reductions + r.privatizations + r.distributions {
+            failures.push(format!(
+                "{}: transform counts ({} + {} + {}) do not partition the rescued \
+                 total {}",
+                r.name, r.reductions, r.privatizations, r.distributions, r.rescued
+            ));
+        }
+    }
+    let total_rescued: usize = rows.iter().map(|r| r.rescued).sum();
+    if total_rescued == 0 {
+        failures.push("suite-wide rescued is 0: the transforms lift nothing".into());
+    }
+    let total_gain: usize = rows.iter().map(|r| r.selected_gain).sum();
+    if total_gain == 0 {
+        failures
+            .push("suite-wide selected_gain is 0: no rescued loop clears dynamic selection".into());
+    }
+
+    if update {
+        if !failures.is_empty() {
+            eprintln!("rescue-gate: refusing to update a baseline that violates invariants:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        std::fs::write(baseline_path, &current_json)
+            .unwrap_or_else(|e| panic!("rescue-gate: cannot write {baseline_path}: {e}"));
+        eprintln!(
+            "rescue-gate: baseline {baseline_path} updated ({} benchmarks)",
+            rows.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("rescue-gate: cannot read {baseline_path}: {e}"));
+    let baseline = parse(&baseline_text)
+        .unwrap_or_else(|e| panic!("rescue-gate: {baseline_path} is not valid JSON: {e}"));
+    let current = parse(&current_json).expect("fresh snapshot is valid JSON");
+    let base_benches = benchmarks(&baseline);
+    let cur_benches = benchmarks(&current);
+
+    for name in base_benches.keys() {
+        if !cur_benches.contains_key(name) {
+            failures.push(format!("benchmark {name} disappeared"));
+        }
+    }
+    for (name, cur) in &cur_benches {
+        let Some(base) = base_benches.get(name) else {
+            failures.push(format!(
+                "benchmark {name} is new — regenerate the baseline with --update"
+            ));
+            continue;
+        };
+        for (field, cv) in cur {
+            let bv = base.get(field).copied();
+            if bv != Some(*cv) {
+                failures.push(format!(
+                    "{name}: {field} changed (baseline {}, current {cv})",
+                    bv.map_or("absent".into(), |v| v.to_string())
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "rescue-gate: OK — {} benchmark(s) match the baseline \
+             ({total_rescued} rescued, {total_gain} newly selected)",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("rescue-gate: FAILED — {} violation(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("(intentional change? refresh with: rescue-gate <baseline> --update)");
+        ExitCode::FAILURE
+    }
+}

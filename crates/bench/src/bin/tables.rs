@@ -25,6 +25,7 @@ fn main() {
     let mut metrics_json_path: Option<String> = None;
     let mut agreement_json_path: Option<String> = None;
     let mut prescreen_json_path: Option<String> = None;
+    let mut rescue_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if i + 1 < args.len() && args[i] == "--obs-json" {
@@ -42,6 +43,9 @@ fn main() {
         } else if i + 1 < args.len() && args[i] == "--prescreen-json" {
             args.remove(i);
             prescreen_json_path = Some(args.remove(i));
+        } else if i + 1 < args.len() && args[i] == "--rescue-json" {
+            args.remove(i);
+            rescue_json_path = Some(args.remove(i));
         } else {
             i += 1;
         }
@@ -59,7 +63,11 @@ fn main() {
         _ => true,
     });
     // a bare export flag (CI smoke) should not drag in every table
-    if args.is_empty() && agreement_json_path.is_none() && prescreen_json_path.is_none() {
+    if args.is_empty()
+        && agreement_json_path.is_none()
+        && prescreen_json_path.is_none()
+        && rescue_json_path.is_none()
+    {
         args.push("all".into());
     }
     let want = |name: &str| -> bool { args.iter().any(|a| a == name || a == "all") };
@@ -103,6 +111,14 @@ fn main() {
     if let Some(path) = &prescreen_json_path {
         let rows = tables::prescreen_rows(size);
         std::fs::write(path, tables::prescreen_json(&rows)).expect("write pre-screen JSON");
+        eprintln!("wrote {path}");
+    }
+    if want("rescue") {
+        println!("{}", tables::rescue(size));
+    }
+    if let Some(path) = &rescue_json_path {
+        let rows = tables::rescue_rows(size);
+        std::fs::write(path, tables::rescue_json(&rows)).expect("write rescue JSON");
         eprintln!("wrote {path}");
     }
     // The agreement report force-annotates every candidate and replays

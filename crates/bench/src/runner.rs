@@ -91,7 +91,10 @@ pub fn run_benchmark_with(
 ) -> Result<BenchResult, VmError> {
     let program = (bench.build)(size);
     let report = run_pipeline(&program, cfg)?;
-    let slowdown = profile_slowdown(&program, &report.candidates)?;
+    // `report.candidates` are extracted on the rescued program when
+    // the rescue stage transformed anything, so the slowdown run must
+    // annotate that same program.
+    let slowdown = profile_slowdown(report.rescue.program_for(&program), &report.candidates)?;
     Ok(BenchResult {
         bench: *bench,
         size,

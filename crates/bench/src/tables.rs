@@ -609,6 +609,143 @@ pub fn prescreen(size: DataSize) -> String {
     s
 }
 
+/// One benchmark's loop-rescue verdicts: what the transform pass
+/// lifted out of the demoted set, what it refused, and whether the
+/// rescued loops then clear dynamic selection.
+#[derive(Debug, Clone)]
+pub struct RescueRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Candidates the pre-screen demoted on the program as written.
+    pub demoted_before: usize,
+    /// Candidates still demoted after rescue.
+    pub demoted_after: usize,
+    /// Verifier-accepted transforms applied.
+    pub rescued: usize,
+    /// Of those, reduction delta-rewrites.
+    pub reductions: usize,
+    /// Of those, scalar privatizations.
+    pub privatizations: usize,
+    /// Of those, loop distributions.
+    pub distributions: usize,
+    /// Loops a transform considered but could not legalize.
+    pub rejected: usize,
+    /// Selected STLs gained by running the pipeline on the rescued
+    /// program instead of the original (0 when nothing was rescued).
+    pub selected_gain: usize,
+}
+
+/// Computes the loop-rescue verdicts for every benchmark. The
+/// transform/verify columns are pure static analysis; `selected_gain`
+/// additionally runs the (deterministic) pipeline with rescue on and
+/// off for the benchmarks where anything was rescued.
+pub fn rescue_rows(size: DataSize) -> Vec<RescueRow> {
+    let mut rows = Vec::new();
+    for b in benchsuite::all() {
+        let program = (b.build)(size);
+        let before = cfgir::extract_candidates(&program);
+        let out = cfgir::rescue_program(&program);
+        let mut row = RescueRow {
+            name: b.name,
+            demoted_before: before.demoted_count(),
+            demoted_after: cfgir::extract_candidates(&out.program).demoted_count(),
+            rescued: out.rescued.len(),
+            reductions: 0,
+            privatizations: 0,
+            distributions: 0,
+            rejected: out.rejected.len(),
+            selected_gain: 0,
+        };
+        for r in &out.rescued {
+            match r.proof.transform {
+                cfgir::Transform::Reduction { .. } => row.reductions += 1,
+                cfgir::Transform::Privatization { .. } => row.privatizations += 1,
+                cfgir::Transform::Distribution { .. } => row.distributions += 1,
+            }
+        }
+        if row.rescued > 0 {
+            let on = run_pipeline(&program, &PipelineConfig::default()).expect("pipeline runs");
+            let off = run_pipeline(
+                &program,
+                &PipelineConfig {
+                    no_rescue: true,
+                    ..PipelineConfig::default()
+                },
+            )
+            .expect("pipeline runs");
+            row.selected_gain = on
+                .selection
+                .chosen
+                .len()
+                .saturating_sub(off.selection.chosen.len());
+        }
+        rows.push(row);
+    }
+    rows.sort_by_key(|r| r.name);
+    rows
+}
+
+/// The rescue snapshot as JSON, diffed by the `rescue-gate` binary
+/// against `results_rescue_baseline.json`.
+pub fn rescue_json(rows: &[RescueRow]) -> String {
+    let mut s = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": {}, \"demoted_before\": {}, \"demoted_after\": {}, \
+             \"rescued\": {}, \"reductions\": {}, \"privatizations\": {}, \
+             \"distributions\": {}, \"rejected\": {}, \"selected_gain\": {}}}{}\n",
+            json_str(r.name),
+            r.demoted_before,
+            r.demoted_after,
+            r.rescued,
+            r.reductions,
+            r.privatizations,
+            r.distributions,
+            r.rejected,
+            r.selected_gain,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Loop-rescue summary — per benchmark, how many demoted loops the
+/// dependence-driven transforms (reduction recognition, scalar
+/// privatization, loop distribution) lifted into legal parallel form,
+/// and the headline: how many previously-demoted loops now clear
+/// dynamic selection as profitable STLs.
+pub fn rescue(size: DataSize) -> String {
+    let mut s = String::new();
+    s.push_str("Dependence-driven loop rescue (per benchmark)\n");
+    s.push_str(&format!(
+        "{:<14}{:>9}{:>9}{:>9}{:>7}{:>7}{:>7}{:>9}{:>10}\n",
+        "Benchmark", "demoted", "after", "rescued", "red", "priv", "dist", "refused", "+selected"
+    ));
+    let (mut tot_rescued, mut tot_gain) = (0usize, 0usize);
+    for r in rescue_rows(size) {
+        tot_rescued += r.rescued;
+        tot_gain += r.selected_gain;
+        s.push_str(&format!(
+            "{:<14}{:>9}{:>9}{:>9}{:>7}{:>7}{:>7}{:>9}{:>10}\n",
+            r.name,
+            r.demoted_before,
+            r.demoted_after,
+            r.rescued,
+            r.reductions,
+            r.privatizations,
+            r.distributions,
+            r.rejected,
+            r.selected_gain,
+        ));
+    }
+    s.push_str(&format!(
+        "Loops rescued (verifier-accepted transforms): {tot_rescued}\n\
+         Previously-demoted loops now selected as profitable STLs: {tot_gain}\n"
+    ));
+    s
+}
+
 /// Static-vs-dynamic agreement report for the named benchmarks (all of
 /// them when `names` is empty).
 ///
@@ -1159,6 +1296,41 @@ mod tests {
         let json = prescreen_json(&rows);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         let v = obs::json::parse(&json).expect("prescreen JSON parses");
+        let benches = v.get("benchmarks").and_then(|b| b.as_arr()).unwrap();
+        assert_eq!(benches.len(), rows.len());
+    }
+
+    #[test]
+    fn rescue_snapshot_lifts_a_benchmark_loop_into_selection() {
+        let rows = rescue_rows(DataSize::Small);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert_eq!(
+                r.rescued,
+                r.reductions + r.privatizations + r.distributions,
+                "{}: transform counts must partition the rescued total",
+                r.name
+            );
+            assert!(
+                r.demoted_after + r.rescued >= r.demoted_before
+                    || r.demoted_after <= r.demoted_before,
+                "{}: rescue may only shrink the demoted set",
+                r.name
+            );
+        }
+        let total_rescued: usize = rows.iter().map(|r| r.rescued).sum();
+        assert!(
+            total_rescued >= 1,
+            "no benchmark loop was rescued: {rows:?}"
+        );
+        let total_gain: usize = rows.iter().map(|r| r.selected_gain).sum();
+        assert!(
+            total_gain >= 1,
+            "no previously-demoted loop became a selected STL: {rows:?}"
+        );
+        let json = rescue_json(&rows);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let v = obs::json::parse(&json).expect("rescue JSON parses");
         let benches = v.get("benchmarks").and_then(|b| b.as_arr()).unwrap();
         assert_eq!(benches.len(), rows.len());
     }

@@ -215,6 +215,47 @@ pub fn transitive_store_effects(program: &Program) -> Vec<[bool; 3]> {
     }
 }
 
+/// Per-function transitive **load** effects, by category
+/// `[statics, fields, arrays]` — the read-side mirror of
+/// [`transitive_store_effects`]. The rescue transforms redirect a
+/// memory channel through a private local while the loop runs, so a
+/// call whose callee merely *reads* the channel's category would
+/// observe a stale cell; such calls must block the transform even
+/// though they are invisible to the store-effect summaries.
+pub fn transitive_load_effects(program: &Program) -> Vec<[bool; 3]> {
+    let n = program.functions.len();
+    let mut effects = vec![[false; 3]; n];
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (fi, f) in program.functions.iter().enumerate() {
+        for instr in &f.code {
+            match instr {
+                Instr::GetStatic(_) => effects[fi][0] = true,
+                Instr::GetField(_) => effects[fi][1] = true,
+                Instr::ALoad => effects[fi][2] = true,
+                Instr::Call(callee) => calls[fi].push(callee.0 as usize),
+                _ => {}
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (fi, callees) in calls.iter().enumerate() {
+            for &callee in callees {
+                let callee_effects = effects[callee];
+                for (k, &on) in callee_effects.iter().enumerate() {
+                    if on && !effects[fi][k] {
+                        effects[fi][k] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return effects;
+        }
+    }
+}
+
 /// Finds locals acting as inductors of `lp` and their net step per
 /// iteration: every in-loop definition must be an `IInc` whose block
 /// dominates all latches (so it executes exactly once per iteration).
@@ -564,6 +605,115 @@ fn opaque_disjoint(
 /// inductor has a single value, so the addresses differ by a nonzero
 /// constant — across iterations they may and typically do collide).
 pub fn same_iteration_disjoint(a: &Access, b: &Access, pt: Option<&FnView<'_>>) -> bool {
+    overlap_kind(a, b, pt).is_none()
+}
+
+/// Why two accesses could **not** be proven disjoint within one
+/// iteration. This is the witness side of [`same_iteration_disjoint`]:
+/// `None` means disjoint; `Some(kind)` names the shape of the possible
+/// overlap, so clients (the rescue legality checker, the `--explain`
+/// lint) can report *which* dependence blocked a proof without
+/// re-walking the access pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Both sites touch the same static slot.
+    SameStatic(GlobalId),
+    /// Two accesses of the same field slot whose bases may alias.
+    MayAliasField {
+        /// The shared field slot.
+        field: u16,
+    },
+    /// Two array-element accesses not provably distinct this iteration
+    /// (bases may alias, or same base with unprovable indices).
+    MayAliasArray,
+    /// An opaque call whose transitive store summary reaches the other
+    /// access.
+    OpaqueCall {
+        /// The called function.
+        callee: FuncId,
+    },
+    /// Two opaque calls; their summaries are never disjoint from each
+    /// other.
+    OpaqueVsOpaque,
+}
+
+impl std::fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockKind::SameStatic(g) => write!(f, "same static g{}", g.0),
+            BlockKind::MayAliasField { field } => {
+                write!(f, "may-alias bases at field slot {field}")
+            }
+            BlockKind::MayAliasArray => write!(f, "may-alias array elements"),
+            BlockKind::OpaqueCall { callee } => {
+                write!(f, "opaque call to f{} may store here", callee.0)
+            }
+            BlockKind::OpaqueVsOpaque => write!(f, "two opaque calls"),
+        }
+    }
+}
+
+/// A concrete blocked pair: the two instruction indices (original pcs)
+/// plus the overlap shape. Produced by [`same_iteration_blocker`] and
+/// threaded through `memdep` masking and the rescue legality checker so
+/// diagnostics can say exactly which dependence stood in the way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepWitness {
+    /// Instruction index of the first access.
+    pub src: u32,
+    /// Instruction index of the second access.
+    pub dst: u32,
+    /// The shape of the possible overlap.
+    pub kind: BlockKind,
+}
+
+impl std::fmt::Display for DepWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pc {} vs pc {}: {}", self.src, self.dst, self.kind)
+    }
+}
+
+/// The witness form of [`same_iteration_disjoint`] over whole sites:
+/// `None` when the two sites are provably disjoint within an
+/// iteration, otherwise the blocking dependence with its pc pair.
+pub fn same_iteration_blocker(
+    a: &AccessSite,
+    b: &AccessSite,
+    pt: Option<&FnView<'_>>,
+) -> Option<DepWitness> {
+    overlap_kind(&a.access, &b.access, pt).map(|kind| DepWitness {
+        src: a.instr,
+        dst: b.instr,
+        kind,
+    })
+}
+
+/// Classifies the overlap that blocks a same-iteration disjointness
+/// proof, or `None` when the proof goes through. The classification
+/// arms mirror [`strongly_disjoint`]: by the time a pair reaches a
+/// catch-all here, the always-disjoint category combinations (static
+/// vs heap, field vs array) have already returned `None`.
+pub fn overlap_kind(a: &Access, b: &Access, pt: Option<&FnView<'_>>) -> Option<BlockKind> {
+    if same_iteration_disjoint_impl(a, b, pt) {
+        return None;
+    }
+    use Access::*;
+    Some(match (a, b) {
+        (Opaque { .. }, Opaque { .. }) => BlockKind::OpaqueVsOpaque,
+        (Opaque { callee, .. }, _) | (_, Opaque { callee, .. }) => {
+            BlockKind::OpaqueCall { callee: *callee }
+        }
+        // a non-disjoint static pair necessarily shares its slot
+        (StaticLoad(g) | StaticStore(g), _) => BlockKind::SameStatic(*g),
+        // a non-disjoint field pair necessarily shares its field slot
+        (FieldLoad { field, .. } | FieldStore { field, .. }, _) => {
+            BlockKind::MayAliasField { field: *field }
+        }
+        (ArrayLoad { .. } | ArrayStore { .. }, _) => BlockKind::MayAliasArray,
+    })
+}
+
+fn same_iteration_disjoint_impl(a: &Access, b: &Access, pt: Option<&FnView<'_>>) -> bool {
     if strongly_disjoint(a, b, pt) {
         return true;
     }

@@ -51,9 +51,13 @@ pub mod dom;
 pub mod loops;
 pub mod memdep;
 pub mod pointsto;
+pub mod rescue;
 pub mod scalar;
 
-pub use access::{same_iteration_disjoint, strongly_disjoint, Access, AccessSite, Sym};
+pub use access::{
+    overlap_kind, same_iteration_blocker, same_iteration_disjoint, strongly_disjoint, Access,
+    AccessSite, BlockKind, DepWitness, Sym,
+};
 pub use candidates::{
     extract_candidates, Candidate, FunctionAnalysis, ProgramCandidates, StaticVerdict,
 };
@@ -61,6 +65,12 @@ pub use cfg::{Block, BlockId, Cfg};
 pub use dataflow::{solve, Analysis, BitSet, Direction, Liveness, ReachingDefs, Solution};
 pub use dom::Dominators;
 pub use loops::{LoopForest, NaturalLoop};
-pub use memdep::{analyze_loop, classify_loop_pairs, AccessPair, GuaranteedDep, PairVerdict};
+pub use memdep::{
+    analyze_loop, classify_loop_pairs, masking_witness, AccessPair, DepKind, GuaranteedDep,
+    PairVerdict,
+};
 pub use pointsto::{FnView, PointsTo, SolverStats};
+pub use rescue::{
+    rescue_program, Channel, LegalityProof, RescueOutcome, RescueRejection, RescuedLoop, Transform,
+};
 pub use scalar::LocalClasses;

@@ -146,6 +146,7 @@ fn main() -> ExitCode {
                 totals.candidates += s.candidates;
                 totals.demoted += s.demoted;
                 totals.tls_entries += s.tls_entries;
+                totals.rescued += s.rescued;
             }
             Err(f) => {
                 report_failure(seed, &f, &args);
@@ -155,12 +156,13 @@ fn main() -> ExitCode {
     }
     println!(
         "{programs} programs green (seeds {}..{}): {} events, {} candidates \
-         ({} demoted), {} TLS entries simulated",
+         ({} demoted, {} rescued), {} TLS entries simulated",
         args.seed_lo,
         args.seed_hi,
         totals.events,
         totals.candidates,
         totals.demoted,
+        totals.rescued,
         totals.tls_entries
     );
     ExitCode::SUCCESS

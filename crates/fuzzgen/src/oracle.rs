@@ -21,10 +21,15 @@
 //!    pre-screen classifies as disjoint must touch disjoint dynamic
 //!    address sets in the plain run's event stream; one shared
 //!    address is an unsoundness in `cfgir::pointsto`;
-//! 7. **Hydra sanity** — simulated TLS time is bounded below by the
+//! 7. **rescue equivalence** — when the loop-rescue pass transforms
+//!    the program, the original and rescued variants must finish in
+//!    bit-identical final state (return value and whole memory
+//!    image), and a single-step rescue's legality proof must re-pass
+//!    the independent checker `cfgir::rescue::verify::check`;
+//! 8. **Hydra sanity** — simulated TLS time is bounded below by the
 //!    longest thread plus fixed overheads, thread counts match the
 //!    trace, and zero violations means the restart penalty is inert;
-//! 8. **pipeline closure** — `run_pipeline` in serial-bus and
+//! 9. **pipeline closure** — `run_pipeline` in serial-bus and
 //!    threaded-bus modes agrees end to end.
 //!
 //! Checks are ordered cheap-first so the shrinker converges fast.
@@ -104,6 +109,8 @@ pub struct CheckStats {
     pub demoted: usize,
     /// Loop entries collected for the Hydra simulation.
     pub tls_entries: usize,
+    /// Loops the rescue pass transformed (state-checked).
+    pub rescued: usize,
 }
 
 /// Generates the program for `seed` and runs the full oracle stack.
@@ -256,6 +263,9 @@ pub fn check_program(program: &Program) -> Result<CheckStats, Failure> {
     // -- points-to disjointness vs the plain run's addresses ----------
     check_pointsto(program, &cands, &rec_plain)?;
 
+    // -- loop rescue preserves the final state ------------------------
+    let rescued = check_rescue(program)?;
+
     // -- Hydra simulator sanity invariants ----------------------------
     let tls_entries = check_hydra(program, &cands, &masks)?;
 
@@ -267,7 +277,62 @@ pub fn check_program(program: &Program) -> Result<CheckStats, Failure> {
         candidates: cands.candidates.len(),
         demoted: demoted_count,
         tls_entries,
+        rescued,
     })
+}
+
+/// Loop-rescue equivalence oracle: a transformed program must be
+/// indistinguishable from the original at the final state — same
+/// return value, same whole memory image. A single-step rescue's
+/// legality proof is additionally re-run through the independent
+/// checker against the exact (original, rescued) pair; multi-step
+/// rescues are covered by the state comparison alone, since the
+/// intermediate programs are not retained.
+fn check_rescue(program: &Program) -> Result<usize, Failure> {
+    let out = cfgir::rescue_program(program);
+    if out.rescued.is_empty() {
+        return Ok(0);
+    }
+    let mut sink = tvm::NullSink;
+    let a = Interp::run_to_state(program, &mut sink, CostModel::default(), FUZZ_FUEL)
+        .map_err(|e| fail("rescue-state", format!("original run failed: {e}")))?;
+    let b = Interp::run_to_state(&out.program, &mut sink, CostModel::default(), FUZZ_FUEL)
+        .map_err(|e| fail("rescue-state", format!("rescued run failed: {e}")))?;
+    if a.result.ret != b.result.ret {
+        return Err(fail(
+            "rescue-state",
+            format!(
+                "rescue changed the return value: {:?} vs {:?} ({} transform(s): {})",
+                a.result.ret,
+                b.result.ret,
+                out.rescued.len(),
+                out.rescued
+                    .iter()
+                    .map(|r| r.proof.transform.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ));
+    }
+    if a.memory.words() != b.memory.words() {
+        return Err(fail(
+            "rescue-state",
+            format!(
+                "rescue changed the final memory image ({} transform(s): {})",
+                out.rescued.len(),
+                out.rescued
+                    .iter()
+                    .map(|r| r.proof.transform.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ));
+    }
+    if let [r] = &out.rescued[..] {
+        cfgir::rescue::verify::check(program, &out.program, &r.proof)
+            .map_err(|e| fail("rescue-verify", e))?;
+    }
+    Ok(out.rescued.len())
 }
 
 fn run_bounded<S: tvm::TraceSink>(program: &Program, sink: &mut S) -> Result<RunResult, VmError> {

@@ -283,10 +283,36 @@ impl GenCtx {
         }
         if roll < 72 && self.n_globals > 0 {
             let g = r.below(u64::from(self.n_globals)) as u8;
+            // inside loops, bias toward `g = g op e` with an
+            // associative op — the exact recurrence the loop-rescue
+            // delta rewrite targets, so the rescue oracle gets real
+            // transforms to state-check instead of only no-ops
+            if loop_depth > 0 && r.chance(1, 2) {
+                let op = *r.pick(&[
+                    BinOp::Add,
+                    BinOp::Add,
+                    BinOp::Xor,
+                    BinOp::Or,
+                    BinOp::And,
+                    BinOp::Mul,
+                ]);
+                return Stmt::GlobalWrite(
+                    g,
+                    Expr::Bin(op, Box::new(Expr::Global(g)), Box::new(self.expr(r, 2))),
+                );
+            }
             return Stmt::GlobalWrite(g, self.expr(r, 2));
         }
         if roll < 80 && self.n_fields > 0 {
             let fi = r.below(u64::from(self.n_fields)) as u8;
+            // same bias for field reductions (`obj.f = obj.f op e`)
+            if loop_depth > 0 && r.chance(1, 3) {
+                let op = *r.pick(&[BinOp::Add, BinOp::Xor, BinOp::Mul]);
+                return Stmt::FieldWrite(
+                    fi,
+                    Expr::Bin(op, Box::new(Expr::Field(fi)), Box::new(self.expr(r, 2))),
+                );
+            }
             return Stmt::FieldWrite(fi, self.expr(r, 2));
         }
         if roll < 92 {

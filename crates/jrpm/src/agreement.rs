@@ -98,12 +98,19 @@ pub struct AgreementReport {
     pub events: usize,
     /// Statistics of the points-to solve behind the verdicts.
     pub pointsto: SolverStats,
+    /// Loops the rescue stage transformed before this analysis ran.
+    pub rescued: usize,
+    /// When anything was rescued: did the original and transformed
+    /// programs finish in bit-identical final state (return value and
+    /// whole memory image)? Vacuously true when nothing changed.
+    pub rescue_state_ok: bool,
 }
 
 impl AgreementReport {
-    /// True when no statically-disjoint pair aliased dynamically.
+    /// True when no statically-disjoint pair aliased dynamically and
+    /// every rescue transform preserved the program's final state.
     pub fn sound(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.rescue_state_ok
     }
 
     /// Of the loops predicted serial, the fraction observed serial.
@@ -133,6 +140,19 @@ struct EntryWalk {
 ///
 /// Forwards interpreter or annotation failures as [`tvm::VmError`].
 pub fn agreement_report(program: &Program) -> Result<AgreementReport, tvm::VmError> {
+    // rescue first: the report scores the program the pipeline
+    // actually profiles, and the state comparison double-checks the
+    // legality proofs dynamically — a transform that slipped past the
+    // verifier with changed semantics flips `sound()` here
+    let rescue = cfgir::rescue_program(program);
+    let rescue_state_ok = if rescue.changed() {
+        let a = Interp::run_state(program, &mut tvm::NullSink)?;
+        let b = Interp::run_state(&rescue.program, &mut tvm::NullSink)?;
+        a.result.ret == b.result.ret && a.memory.words() == b.memory.words()
+    } else {
+        true
+    };
+    let program = &rescue.program;
     let cands = extract_candidates(program);
     let pt = cfgir::PointsTo::analyze(program);
 
@@ -140,6 +160,8 @@ pub fn agreement_report(program: &Program) -> Result<AgreementReport, tvm::VmErr
     let mut per_loop: HashMap<LoopId, Vec<AccessPair>> = HashMap::new();
     let mut report = AgreementReport {
         pointsto: cands.pointsto,
+        rescued: rescue.rescued.len(),
+        rescue_state_ok,
         ..AgreementReport::default()
     };
     for c in &cands.candidates {
@@ -312,9 +334,10 @@ mod tests {
             let (a, c, i, j) = (f.local(), f.local(), f.local(), f.local());
             f.ci(64).newarray(ElemKind::Int).st(a);
             f.ci(64).newarray(ElemKind::Int).st(c);
-            // loop 0: serial static recurrence -> demoted
+            // loop 0: serial static recurrence -> demoted (g = g*5+1
+            // mixes two operators, so loop rescue cannot lift it)
             f.for_in(i, 0.into(), 16.into(), |f| {
-                f.getstatic(g).ci(1).iadd().putstatic(g);
+                f.getstatic(g).ci(5).imul().ci(1).iadd().putstatic(g);
             });
             // loop 1: a[j] = c[j] * 2 — reads one array, writes the
             // other; only points-to can separate the two bases
@@ -348,6 +371,41 @@ mod tests {
             "expected a points-to-only disjoint pair: {r:?}"
         );
         assert!(r.disjoint >= r.baseline_disjoint + r.via_pointsto);
+    }
+
+    #[test]
+    fn rescued_reduction_is_scored_on_the_transformed_program() {
+        // g += a[i] is demoted as written; after rescue the report
+        // sees the delta-rewritten loop, which carries no recurrence,
+        // and the state cross-check confirms identical semantics
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let main = b.function("main", 0, false, |f| {
+            let (a, i) = (f.local(), f.local());
+            f.ci(32).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 32.into(), |f| {
+                f.arr_set(
+                    a,
+                    |f| {
+                        f.ld(i);
+                    },
+                    |f| {
+                        f.ld(i).ci(3).imul();
+                    },
+                );
+            });
+            f.for_in(i, 0.into(), 32.into(), |f| {
+                f.getstatic(g).ld(a).ld(i).aload().iadd().putstatic(g);
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let r = agreement_report(&p).unwrap();
+        assert_eq!(r.rescued, 1);
+        assert!(r.rescue_state_ok);
+        assert!(r.sound(), "violations: {:?}", r.violations);
+        assert_eq!(r.predicted_serial, 0, "the rescued loop is clean");
+        assert_eq!(r.actual_serial, 0, "the recurrence is gone dynamically too");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The end-to-end Jrpm pipeline (paper Figure 1), staged over the
 //! trace bus.
 //!
-//! The pipeline is a sequence of explicit stages — extract, annotate,
-//! record, replay-profile, select, collect, simulate — with the
+//! The pipeline is a sequence of explicit stages — extract, rescue,
+//! annotate, record, replay-profile, select, collect, simulate — with the
 //! trace-event stream as the IR between execution and analysis. The
 //! annotated program is interpreted **once**; its event stream is
 //! captured as [`tvm::bus::EventBatch`]es and replayed into the TEST
@@ -29,7 +29,7 @@
 //! shows is also present in the exported metrics.
 
 use crate::annotate::{annotate, AnnotateOptions};
-use cfgir::{extract_candidates, ProgramCandidates};
+use cfgir::{extract_candidates, rescue_program, ProgramCandidates, RescueRejection, RescuedLoop};
 use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
 use obs::{Registry, Snapshot, Telemetry, Trace as ObsTrace, TrackId};
 use std::collections::BTreeMap;
@@ -97,6 +97,37 @@ pub struct PipelineConfig {
     pub bus: BusConfig,
     /// Observability emission parameters.
     pub obs: ObsConfig,
+    /// Skip the loop-rescue stage and run the program exactly as
+    /// written (rescue is on by default).
+    pub no_rescue: bool,
+}
+
+/// What the loop-rescue stage did to the program before profiling.
+#[derive(Debug, Clone, Default)]
+pub struct RescueSummary {
+    /// Verifier-accepted transforms, in application order.
+    pub rescued: Vec<RescuedLoop>,
+    /// Loops a transform considered but could not legalize.
+    pub rejected: Vec<RescueRejection>,
+    /// The transformed program, when any transform applied. Everything
+    /// downstream of the rescue stage — candidates, annotation,
+    /// profiling, selection — is relative to this program, so any
+    /// consumer that pairs [`PipelineReport::candidates`] with a
+    /// program must use it too (see [`RescueSummary::program_for`]).
+    pub program: Option<Program>,
+}
+
+impl RescueSummary {
+    /// True when at least one loop was transformed.
+    pub fn changed(&self) -> bool {
+        !self.rescued.is_empty()
+    }
+
+    /// The program the pipeline actually profiled: the rescued variant
+    /// when a transform applied, otherwise the original.
+    pub fn program_for<'a>(&'a self, original: &'a Program) -> &'a Program {
+        self.program.as_ref().unwrap_or(original)
+    }
 }
 
 /// Wall time of one pipeline stage.
@@ -367,8 +398,11 @@ pub struct PipelineReport {
     pub profile_cycles: u64,
     /// Profiling-run annotation overhead breakdown.
     pub annotation: AnnotationCycles,
-    /// Static candidate extraction results.
+    /// Static candidate extraction results (on the rescued program
+    /// when the rescue stage transformed anything).
     pub candidates: ProgramCandidates,
+    /// What the loop-rescue stage transformed or refused.
+    pub rescue: RescueSummary,
     /// What TEST collected.
     pub profile: Profile,
     /// Equation 1 + 2 selection.
@@ -484,6 +518,38 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
         }
     }
 
+    // 1b. loop rescue: try to transform demoted loops (reduction
+    //     delta-rewrite, scalar privatization, loop distribution)
+    //     into provably parallelizable variants. Every applied
+    //     transform carries a legality proof re-checked by the
+    //     independent verifier; when anything changes, candidates are
+    //     re-extracted on the transformed program.
+    let t = stages.begin("rescue");
+    let (candidates, rescue) = if cfg.no_rescue {
+        (candidates, RescueSummary::default())
+    } else {
+        let out = rescue_program(program);
+        let changed = !out.rescued.is_empty();
+        let rescue = RescueSummary {
+            rescued: out.rescued,
+            rejected: out.rejected,
+            program: changed.then_some(out.program),
+        };
+        let candidates = match &rescue.program {
+            Some(p) => extract_candidates(p),
+            None => candidates,
+        };
+        (candidates, rescue)
+    };
+    stages.end("rescue", t);
+    registry
+        .counter("rescue.applied")
+        .add(rescue.rescued.len() as u64);
+    registry
+        .counter("rescue.rejections")
+        .add(rescue.rejected.len() as u64);
+    let program: &Program = rescue.program_for(program);
+
     // 2. annotate every candidate for profiling (loops the static
     //    pre-screen demoted are left unannotated, so the tracer
     //    spends no banks on them)
@@ -595,6 +661,7 @@ pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineR
         profile_cycles: prof_run.cycles,
         annotation: prof_run.annotation_cycles,
         candidates,
+        rescue,
         profile,
         selection,
         actual,
@@ -675,6 +742,77 @@ mod tests {
         // adversarial case for annotation overhead; the 3-25% claim is
         // checked on the realistic suite in benchsuite/jrpm-bench
         assert!(r.profiling_slowdown() < 1.5, "{}", r.profiling_slowdown());
+    }
+
+    /// `g += a[i]*a[i]` — demoted as written (static recurrence), but
+    /// rescuable by the reduction delta-rewrite.
+    fn reduction_program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let main = b.function("main", 0, false, |f| {
+            let (a, i) = (f.local(), f.local());
+            f.ci(256).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), iters.into(), |f| {
+                f.arr_set(
+                    a,
+                    |f| {
+                        f.ld(i).ci(255).iand();
+                    },
+                    |f| {
+                        f.ld(i).ci(3).imul();
+                    },
+                );
+            });
+            f.for_in(i, 0.into(), iters.into(), |f| {
+                f.getstatic(g)
+                    .ld(a)
+                    .ld(i)
+                    .ci(255)
+                    .iand()
+                    .aload()
+                    .ld(a)
+                    .ld(i)
+                    .ci(255)
+                    .iand()
+                    .aload()
+                    .imul()
+                    .iadd()
+                    .putstatic(g);
+            });
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn rescue_turns_a_demoted_reduction_into_a_selected_stl() {
+        let p = reduction_program(400);
+        // as written, the reduction loop is demoted and never chosen
+        let off = run_pipeline(
+            &p,
+            &PipelineConfig {
+                no_rescue: true,
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(off.rescue.rescued.is_empty());
+        // with rescue on, the delta rewrite removes the recurrence and
+        // the loop is selected
+        let on = run_pipeline(&p, &PipelineConfig::default()).unwrap();
+        assert_eq!(
+            on.rescue.rescued.len(),
+            1,
+            "rejections: {:?}",
+            on.rescue.rejected
+        );
+        assert!(
+            on.selection.chosen.len() > off.selection.chosen.len(),
+            "rescue did not add a selected STL: {:?} vs {:?}",
+            on.selection.chosen,
+            off.selection.chosen
+        );
+        assert!(on.obs.stage_nanos("rescue") > 0);
     }
 
     #[test]
@@ -847,6 +985,7 @@ mod tests {
             profile_cycles: 0,
             annotation: AnnotationCycles::default(),
             candidates: ProgramCandidates::default(),
+            rescue: RescueSummary::default(),
             profile: Profile::default(),
             selection: SelectionResult::default(),
             actual: ActualTls::default(),

@@ -45,6 +45,21 @@ impl AnnotationCycles {
     }
 }
 
+/// A completed run together with its final memory image.
+///
+/// The loop-rescue verifier and the differential fuzzer compare two
+/// program variants for *bit-identical* final state: same return value
+/// and the same word-for-word heap (statics segment included). Since
+/// allocation is a deterministic bump allocator, semantically equal
+/// runs produce equal images.
+#[derive(Debug, Clone)]
+pub struct FinalState {
+    /// The ordinary run outcome (cycles, instructions, return value).
+    pub result: RunResult,
+    /// The memory exactly as the program left it.
+    pub memory: Memory,
+}
+
 /// The outcome of a completed run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
@@ -109,6 +124,31 @@ impl Interp {
         cost: CostModel,
         fuel: u64,
     ) -> Result<RunResult, VmError> {
+        Self::run_to_state(program, sink, cost, fuel).map(|s| s.result)
+    }
+
+    /// Like [`Interp::run`], but additionally hands back the final
+    /// [`Memory`] image for state-equivalence checks.
+    ///
+    /// # Errors
+    ///
+    /// As [`Interp::run`].
+    pub fn run_state<S: TraceSink>(program: &Program, sink: &mut S) -> Result<FinalState, VmError> {
+        Self::run_to_state(program, sink, CostModel::default(), Self::DEFAULT_FUEL)
+    }
+
+    /// Runs `program` and returns both the [`RunResult`] and the final
+    /// memory image.
+    ///
+    /// # Errors
+    ///
+    /// As [`Interp::run_with`].
+    pub fn run_to_state<S: TraceSink>(
+        program: &Program,
+        sink: &mut S,
+        cost: CostModel,
+        fuel: u64,
+    ) -> Result<FinalState, VmError> {
         let entry = program.function(program.entry)?;
         if entry.n_params != 0 {
             return Err(VmError::Verify {
@@ -459,21 +499,27 @@ impl Interp {
                         None => {
                             // entry function returned
                             let ret = if entry_returns { ret_val } else { None };
-                            return Ok(RunResult {
-                                cycles: now,
-                                instructions,
-                                ret,
-                                annotation_cycles: ann,
+                            return Ok(FinalState {
+                                result: RunResult {
+                                    cycles: now,
+                                    instructions,
+                                    ret,
+                                    annotation_cycles: ann,
+                                },
+                                memory: mem,
                             });
                         }
                     }
                 }
                 Instr::Halt => {
-                    return Ok(RunResult {
-                        cycles: now,
-                        instructions,
-                        ret: None,
-                        annotation_cycles: ann,
+                    return Ok(FinalState {
+                        result: RunResult {
+                            cycles: now,
+                            instructions,
+                            ret: None,
+                            annotation_cycles: ann,
+                        },
+                        memory: mem,
                     });
                 }
 

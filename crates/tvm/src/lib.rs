@@ -78,7 +78,7 @@ pub use bus::{
 };
 pub use cost::CostModel;
 pub use error::VmError;
-pub use interp::{Interp, RunResult};
+pub use interp::{FinalState, Interp, RunResult};
 pub use isa::{Cond, ElemKind, Instr, Label, LoopId, Pc};
 pub use program::{ClassId, FuncId, Function, GlobalId, Local, Program};
 pub use trace::{Addr, Cycles, NullSink, TraceSink};

@@ -124,6 +124,13 @@ impl Memory {
         self.words.len()
     }
 
+    /// The whole memory image, word by word (statics segment and heap).
+    /// Exposed so state-equivalence checks can compare two runs
+    /// bit-for-bit.
+    pub fn words(&self) -> &[Value] {
+        &self.words
+    }
+
     /// Overrides the heap limit (tests exercising exhaustion).
     pub fn set_limit_words(&mut self, limit: usize) {
         self.limit_words = limit;

@@ -12,13 +12,16 @@
 //! ```
 //!
 //! Each loop row carries alias/escape and loop-rescue diagnostics with
-//! stable codes (`PT001`, `PT002`, `TR001`, `TR002`); `--explain
-//! <code>` prints what a code means.
+//! stable codes (`PT001`, `PT002`, `TR001`, `TR002`), and each
+//! benchmark row carries the online tier controller's runtime
+//! diagnostics (`TI001`, `TI002`); `--explain <code>` prints what a
+//! code means.
 //! Exit status is nonzero if any program fails verification.
 
 use benchsuite::DataSize;
 use cfgir::{classify_loop_pairs, Dominators, PairVerdict, PointsTo, StaticVerdict};
-use jrpm::{annotate, AnnotateOptions};
+use jrpm::tier::{run_tiered, TierConfig};
+use jrpm::{annotate, AnnotateOptions, PipelineConfig};
 
 /// Stable diagnostic codes with one-paragraph explanations, shown by
 /// `--explain`. Codes are append-only: tools key on them.
@@ -51,6 +54,28 @@ const EXPLANATIONS: &[(&str, &str)] = &[
          (source/destination pcs and the overlap kind from the memory-dependence \
          pre-screen). Restructuring the loop to break that dependence is what \
          would let the rescue pass lift it.",
+    ),
+    (
+        "TI001",
+        "loop stuck in Tracing past its budget: the online tier controller (PR 7) \
+         promoted and patched this loop, but across more epochs than the configured \
+         trace budget every one of its entries found the TEST comparator banks \
+         already held by enclosing loops, so it never produced a banked profile \
+         entry. The controller demotes it dynamically. The witness lists, per \
+         epoch, the untraced-entry count and the bank capacity; more comparator \
+         banks (TracerConfig::n_banks) or demoting the enclosing loop are what \
+         would let it trace.",
+    ),
+    (
+        "TI002",
+        "selection verdict flapped: windowed Equation 2 re-selection committed \
+         opposite verdicts for this loop more times than the flap limit, even \
+         through the hysteresis filter. This typically means two decompositions of \
+         the same nest predict near-identical speedups, so epoch-level noise (or a \
+         promotion wave re-annotating the nest) keeps flipping the winner. The \
+         witness quotes each committed flip with its windowed estimate; raising \
+         the hysteresis or window size stabilises the choice, and the final \
+         full-image selection is authoritative either way.",
     ),
     (
         "PT002",
@@ -152,6 +177,13 @@ fn main() {
         let pt = PointsTo::analyze(&program);
         let rescue = cfgir::rescue_program(&program);
 
+        // TI001/TI002: drive the online tier controller to a terminal
+        // state and surface its runtime diagnostics next to the static
+        // ones (equivalence with the offline batch is tested elsewhere)
+        let tiers = run_tiered(&program, &PipelineConfig::default(), &TierConfig::default())
+            .map(|o| o.tiers)
+            .ok();
+
         // the kind checker must also accept the rewritten program
         let (post, p_ok) = match annotate(&program, &cands, &AnnotateOptions::profiling()) {
             Ok(ann) => check(tvm::verify::verify_kinds(&ann)),
@@ -217,8 +249,27 @@ fn main() {
                     esc(&r.reason)
                 ));
             }
+            let mut tier_field = String::new();
+            if let Some(t) = &tiers {
+                for d in t.diagnostics.iter().filter(|d| d.loop_id == c.id) {
+                    let witness: Vec<String> = d
+                        .witness
+                        .iter()
+                        .map(|w| format!("\"{}\"", esc(w)))
+                        .collect();
+                    diags.push(format!(
+                        "{{\"code\":\"{}\",\"message\":\"{}\",\"witness\":[{}]}}",
+                        d.code,
+                        esc(&d.message),
+                        witness.join(",")
+                    ));
+                }
+                if let Some(tier) = t.tier_of(c.id) {
+                    tier_field = format!(",\"tier\":\"{}\"", tier.name());
+                }
+            }
             loops.push(format!(
-                "{{\"id\":{},\"func\":\"{}\",\"depth\":{},\"verdict\":\"{}\"{},\"diags\":[{}]}}",
+                "{{\"id\":{},\"func\":\"{}\",\"depth\":{},\"verdict\":\"{}\"{}{},\"diags\":[{}]}}",
                 c.id.0,
                 fname(c.func),
                 c.depth,
@@ -228,6 +279,7 @@ fn main() {
                 } else {
                     format!(",\"reason\":\"{}\"", esc(&reason))
                 },
+                tier_field,
                 diags.join(",")
             ));
         }
@@ -259,10 +311,14 @@ fn main() {
         total_demoted += demoted;
         total_rescued += rescue.rescued.len();
 
+        let (tier_epochs, tier_terminal, tier_diags) = tiers.as_ref().map_or((0, false, 0), |t| {
+            (t.epochs, t.all_terminal(), t.diagnostics.len())
+        });
         rows.push(format!(
             "{{\"name\":\"{}\",\"verify\":{},\"kinds\":{},\"post_annotation_kinds\":{},\
              \"loops\":{},\"candidates\":{},\"rejected\":{},\"demoted\":{},\
              \"rescued\":{},\"rescue_rejected\":{},\
+             \"tier_epochs\":{},\"tier_terminal\":{},\"tier_diags\":{},\
              \"loop_detail\":[{}],\"escape_diags\":[{}]}}",
             esc(b.name),
             verify,
@@ -274,6 +330,9 @@ fn main() {
             demoted,
             rescue.rescued.len(),
             rescue.rejected.len(),
+            tier_epochs,
+            tier_terminal,
+            tier_diags,
             loops.join(","),
             escapes.join(",")
         ));

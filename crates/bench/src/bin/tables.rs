@@ -26,6 +26,7 @@ fn main() {
     let mut agreement_json_path: Option<String> = None;
     let mut prescreen_json_path: Option<String> = None;
     let mut rescue_json_path: Option<String> = None;
+    let mut tier_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if i + 1 < args.len() && args[i] == "--obs-json" {
@@ -46,6 +47,9 @@ fn main() {
         } else if i + 1 < args.len() && args[i] == "--rescue-json" {
             args.remove(i);
             rescue_json_path = Some(args.remove(i));
+        } else if i + 1 < args.len() && args[i] == "--tier-json" {
+            args.remove(i);
+            tier_json_path = Some(args.remove(i));
         } else {
             i += 1;
         }
@@ -67,6 +71,7 @@ fn main() {
         && agreement_json_path.is_none()
         && prescreen_json_path.is_none()
         && rescue_json_path.is_none()
+        && tier_json_path.is_none()
     {
         args.push("all".into());
     }
@@ -119,6 +124,14 @@ fn main() {
     if let Some(path) = &rescue_json_path {
         let rows = tables::rescue_rows(size);
         std::fs::write(path, tables::rescue_json(&rows)).expect("write rescue JSON");
+        eprintln!("wrote {path}");
+    }
+    if want("tier") {
+        println!("{}", tables::tier(size));
+    }
+    if let Some(path) = &tier_json_path {
+        let rows = tables::tier_rows(size);
+        std::fs::write(path, tables::tier_json(&rows)).expect("write tier JSON");
         eprintln!("wrote {path}");
     }
     // The agreement report force-annotates every candidate and replays

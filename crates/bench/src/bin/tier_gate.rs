@@ -1,0 +1,233 @@
+//! Online tier-runtime regression gate.
+//!
+//! ```text
+//! cargo run --release -p jrpm-bench --bin tier-gate -- <baseline.json>
+//! cargo run --release -p jrpm-bench --bin tier-gate -- <baseline.json> --update
+//! ```
+//!
+//! Recomputes the per-benchmark tier-controller snapshot
+//! (`tables::tier_rows` at the small data size — interpretation is
+//! deterministic, so the snapshot is byte-exact) and compares it
+//! against the committed baseline:
+//!
+//! - any numeric difference per benchmark fails (the snapshot is the
+//!   PR's record of exactly how the per-loop state machines converge:
+//!   epochs, generations, demotions, revisions, flips);
+//! - per benchmark, every loop must reach a terminal tier within the
+//!   epoch budget (`terminal`) and the online Selected set must equal
+//!   the offline batch selection (`matches_offline`) — the online
+//!   schedule is a refactoring, not a re-modelling;
+//! - the counting tier must stay cheap: the wall-clock overhead of a
+//!   hot-location-hooked interpretation over a plain one, min-of-3
+//!   trials on representative benchmarks, must stay under 2.0x.
+//!
+//! `--update` rewrites the baseline from the fresh computation, for
+//! intentional controller or benchmark changes. The overhead check is
+//! a live measurement, never part of the committed baseline.
+
+use benchsuite::DataSize;
+use jrpm_bench::tables::{tier_json, tier_rows};
+use obs::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+use tvm::{CostModel, HotLocations, Interp, NullSink};
+
+/// Pinned bound on the counting-tier interpretation overhead: a
+/// hooked epoch may cost at most this multiple of a plain run.
+const OVERHEAD_BOUND: f64 = 2.0;
+
+/// Smallest wall-clock nanos over `trials` runs of `f`.
+fn min_nanos(trials: u32, mut f: impl FnMut() -> u64) -> u64 {
+    (0..trials).map(|_| f()).min().unwrap_or(u64::MAX)
+}
+
+/// Worst hooked-vs-plain interpretation slowdown over a few
+/// representative benchmarks, each min-of-3 wall-clock trials.
+fn counting_overhead() -> f64 {
+    let mut worst = 0.0f64;
+    for name in ["Huffman", "LuFactor", "compress"] {
+        let bench = benchsuite::by_name(name).expect("benchmark exists");
+        let program = (bench.build)(DataSize::Small);
+        let cands = cfgir::extract_candidates(&program);
+        let plain = min_nanos(3, || {
+            let t = Instant::now();
+            Interp::run_to_state(
+                &program,
+                &mut NullSink,
+                CostModel::default(),
+                Interp::DEFAULT_FUEL,
+            )
+            .expect("plain run");
+            t.elapsed().as_nanos() as u64
+        });
+        let hooked = min_nanos(3, || {
+            // same hook population the controller's counting tier uses:
+            // every candidate loop header is a registered location
+            let mut hot = HotLocations::for_program(&program);
+            for c in &cands.candidates {
+                let fa = &cands.functions[c.func.0 as usize];
+                let lp = &fa.forest.loops[c.loop_idx];
+                hot.register(c.func.0, fa.cfg.blocks[lp.header.0 as usize].start);
+            }
+            let t = Instant::now();
+            Interp::run_to_state_hooked(
+                &program,
+                &mut NullSink,
+                CostModel::default(),
+                Interp::DEFAULT_FUEL,
+                &mut hot,
+            )
+            .expect("hooked run");
+            t.elapsed().as_nanos() as u64
+        });
+        worst = worst.max(hooked as f64 / plain.max(1) as f64);
+    }
+    worst
+}
+
+/// Flattens one benchmark object into `field -> value`.
+fn fields(bench: &Value) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for key in [
+        "candidates",
+        "epochs",
+        "counting_epochs",
+        "generations",
+        "selected",
+        "demoted_static",
+        "demoted_dynamic",
+        "revisions",
+        "flips",
+        "diags",
+        "terminal",
+        "matches_offline",
+    ] {
+        if let Some(v) = bench.get(key).and_then(Value::as_u64) {
+            out.insert(key.to_string(), v);
+        }
+    }
+    out
+}
+
+fn benchmarks(doc: &Value) -> BTreeMap<String, BTreeMap<String, u64>> {
+    let mut out = BTreeMap::new();
+    let arr = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .expect("document has a benchmarks array");
+    for b in arr {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .expect("benchmark has a name");
+        out.insert(name.to_string(), fields(b));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path] = paths[..] else {
+        eprintln!("usage: tier-gate <baseline.json> [--update]");
+        return ExitCode::FAILURE;
+    };
+
+    let rows = tier_rows(DataSize::Small);
+    let current_json = tier_json(&rows);
+
+    let mut failures: Vec<String> = Vec::new();
+    for r in &rows {
+        if !r.terminal {
+            failures.push(format!(
+                "{}: a loop never reached a terminal tier within {} epochs",
+                r.name, r.epochs
+            ));
+        }
+        if !r.matches_offline {
+            failures.push(format!(
+                "{}: online Selected set diverges from the offline batch selection",
+                r.name
+            ));
+        }
+        if r.selected + r.demoted_static + r.demoted_dynamic != r.candidates {
+            failures.push(format!(
+                "{}: terminal tiers ({} + {} + {}) do not partition the {} candidates",
+                r.name, r.selected, r.demoted_static, r.demoted_dynamic, r.candidates
+            ));
+        }
+    }
+    let overhead = counting_overhead();
+    if overhead >= OVERHEAD_BOUND {
+        failures.push(format!(
+            "counting-tier overhead {overhead:.2}x breaches the {OVERHEAD_BOUND:.1}x bound"
+        ));
+    }
+
+    if update {
+        if !failures.is_empty() {
+            eprintln!("tier-gate: refusing to update a baseline that violates invariants:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        std::fs::write(baseline_path, &current_json)
+            .unwrap_or_else(|e| panic!("tier-gate: cannot write {baseline_path}: {e}"));
+        eprintln!(
+            "tier-gate: baseline {baseline_path} updated ({} benchmarks, \
+             counting overhead {overhead:.2}x)",
+            rows.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("tier-gate: cannot read {baseline_path}: {e}"));
+    let baseline = parse(&baseline_text)
+        .unwrap_or_else(|e| panic!("tier-gate: {baseline_path} is not valid JSON: {e}"));
+    let current = parse(&current_json).expect("fresh snapshot is valid JSON");
+    let base_benches = benchmarks(&baseline);
+    let cur_benches = benchmarks(&current);
+
+    for name in base_benches.keys() {
+        if !cur_benches.contains_key(name) {
+            failures.push(format!("benchmark {name} disappeared"));
+        }
+    }
+    for (name, cur) in &cur_benches {
+        let Some(base) = base_benches.get(name) else {
+            failures.push(format!(
+                "benchmark {name} is new — regenerate the baseline with --update"
+            ));
+            continue;
+        };
+        for (field, cv) in cur {
+            let bv = base.get(field).copied();
+            if bv != Some(*cv) {
+                failures.push(format!(
+                    "{name}: {field} changed (baseline {}, current {cv})",
+                    bv.map_or("absent".into(), |v| v.to_string())
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "tier-gate: OK — {} benchmark(s) match the baseline \
+             (counting overhead {overhead:.2}x, bound {OVERHEAD_BOUND:.1}x)",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tier-gate: FAILED — {} violation(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("(intentional change? refresh with: tier-gate <baseline> --update)");
+        ExitCode::FAILURE
+    }
+}

@@ -8,6 +8,7 @@ use hydra_sim::TlsConfig;
 use jrpm::agreement::{agreement_report, AgreementReport};
 use jrpm::pipeline::{run_pipeline, PipelineConfig};
 use jrpm::slowdown::software_comparison;
+use jrpm::tier::{run_tiered, LoopTier, TierConfig};
 use test_tracer::hwcost::{hydra_budget, CostParams};
 use test_tracer::TracerConfig;
 use tvm::bus::KindCounts;
@@ -746,6 +747,162 @@ pub fn rescue(size: DataSize) -> String {
     s
 }
 
+/// One benchmark's online tier-controller outcome: how the per-loop
+/// state machines converged and whether the online schedule reproduced
+/// the offline batch selection.
+#[derive(Debug, Clone)]
+pub struct TierRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Candidate loops tracked by the controller.
+    pub candidates: usize,
+    /// Execution epochs until every loop reached a terminal tier.
+    pub epochs: u32,
+    /// Of those, pure counting epochs (no loop annotated yet).
+    pub counting_epochs: u32,
+    /// Image generations (incremental patches) the controller went
+    /// through.
+    pub generations: u64,
+    /// Loops that ended Selected.
+    pub selected: usize,
+    /// Loops demoted by the (deferred) static pre-screen at promotion.
+    pub demoted_static: usize,
+    /// Loops demoted dynamically (never executed, Equation 2 losers,
+    /// comparator-bank starvation).
+    pub demoted_dynamic: usize,
+    /// Loops whose windowed verdict was revised at least once.
+    pub revisions: u32,
+    /// Committed selection-verdict flips summed over all loops.
+    pub flips: u32,
+    /// TI001/TI002 diagnostics raised.
+    pub diags: usize,
+    /// Every loop reached a terminal tier within the epoch budget.
+    pub terminal: bool,
+    /// The online Selected set equals the offline batch selection.
+    pub matches_offline: bool,
+}
+
+/// Computes the online tier-controller outcome for every benchmark.
+/// Interpretation is deterministic, so every field is byte-exact and a
+/// committed snapshot can be diffed by the `tier-gate` binary.
+pub fn tier_rows(size: DataSize) -> Vec<TierRow> {
+    let cfg = PipelineConfig::default();
+    let mut rows = Vec::new();
+    for b in benchsuite::all() {
+        let program = (b.build)(size);
+        let online = run_tiered(&program, &cfg, &TierConfig::default())
+            .unwrap_or_else(|e| panic!("online tier run failed on {}: {e}", b.name));
+        let offline = run_pipeline(&program, &cfg)
+            .unwrap_or_else(|e| panic!("offline pipeline failed on {}: {e}", b.name));
+        let t = &online.tiers;
+        let offline_sel: std::collections::BTreeSet<_> =
+            offline.selection.chosen.iter().map(|c| c.loop_id).collect();
+        let mut row = TierRow {
+            name: b.name,
+            candidates: t.loops.len(),
+            epochs: t.epochs,
+            counting_epochs: t.counting_epochs,
+            generations: t.generations,
+            selected: 0,
+            demoted_static: 0,
+            demoted_dynamic: 0,
+            revisions: t.revisions,
+            flips: 0,
+            diags: t.diagnostics.len(),
+            terminal: t.all_terminal(),
+            matches_offline: t.selected_ids() == offline_sel,
+        };
+        for l in &t.loops {
+            row.flips += l.flips;
+            match &l.tier {
+                LoopTier::Selected => row.selected += 1,
+                LoopTier::Demoted { dynamic: false, .. } => row.demoted_static += 1,
+                LoopTier::Demoted { dynamic: true, .. } => row.demoted_dynamic += 1,
+                _ => {}
+            }
+        }
+        rows.push(row);
+    }
+    rows.sort_by_key(|r| r.name);
+    rows
+}
+
+/// The tier snapshot as JSON, diffed by the `tier-gate` binary against
+/// `results_tier_baseline.json`. Booleans are written as 0/1 so the
+/// gate diffs every field numerically.
+pub fn tier_json(rows: &[TierRow]) -> String {
+    let mut s = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": {}, \"candidates\": {}, \"epochs\": {}, \
+             \"counting_epochs\": {}, \"generations\": {}, \"selected\": {}, \
+             \"demoted_static\": {}, \"demoted_dynamic\": {}, \"revisions\": {}, \
+             \"flips\": {}, \"diags\": {}, \"terminal\": {}, \"matches_offline\": {}}}{}\n",
+            json_str(r.name),
+            r.candidates,
+            r.epochs,
+            r.counting_epochs,
+            r.generations,
+            r.selected,
+            r.demoted_static,
+            r.demoted_dynamic,
+            r.revisions,
+            r.flips,
+            r.diags,
+            u8::from(r.terminal),
+            u8::from(r.matches_offline),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Online tier-runtime summary — per benchmark, how many epochs the
+/// per-loop state machines needed to converge, where the loops ended
+/// up, and whether the online schedule reproduced the offline batch.
+pub fn tier(size: DataSize) -> String {
+    let mut s = String::new();
+    s.push_str("Online tiered runtime (per benchmark)\n");
+    s.push_str(&format!(
+        "{:<14}{:>6}{:>8}{:>7}{:>6}{:>9}{:>8}{:>8}{:>7}{:>7}{:>10}\n",
+        "Benchmark",
+        "cands",
+        "epochs",
+        "count",
+        "gens",
+        "selected",
+        "dem(st)",
+        "dem(dy)",
+        "revis",
+        "flips",
+        "==offline"
+    ));
+    let mut all_match = true;
+    for r in tier_rows(size) {
+        all_match &= r.matches_offline && r.terminal;
+        s.push_str(&format!(
+            "{:<14}{:>6}{:>8}{:>7}{:>6}{:>9}{:>8}{:>8}{:>7}{:>7}{:>10}\n",
+            r.name,
+            r.candidates,
+            r.epochs,
+            r.counting_epochs,
+            r.generations,
+            r.selected,
+            r.demoted_static,
+            r.demoted_dynamic,
+            r.revisions,
+            r.flips,
+            if r.matches_offline { "yes" } else { "NO" },
+        ));
+    }
+    s.push_str(&format!(
+        "Online schedule reproduces the offline batch on every benchmark: {}\n",
+        if all_match { "HOLDS" } else { "VIOLATED" }
+    ));
+    s
+}
+
 /// Static-vs-dynamic agreement report for the named benchmarks (all of
 /// them when `names` is empty).
 ///
@@ -1333,6 +1490,37 @@ mod tests {
         let v = obs::json::parse(&json).expect("rescue JSON parses");
         let benches = v.get("benchmarks").and_then(|b| b.as_arr()).unwrap();
         assert_eq!(benches.len(), rows.len());
+    }
+
+    #[test]
+    fn tier_snapshot_converges_and_matches_the_offline_batch() {
+        let rows = tier_rows(DataSize::Small);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                r.terminal,
+                "{}: a loop never reached a terminal tier",
+                r.name
+            );
+            assert!(
+                r.matches_offline,
+                "{}: online Selected set diverges from the offline batch",
+                r.name
+            );
+            assert_eq!(
+                r.selected + r.demoted_static + r.demoted_dynamic,
+                r.candidates,
+                "{}: terminal tiers must partition the candidates",
+                r.name
+            );
+        }
+        let json = tier_json(&rows);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let v = obs::json::parse(&json).expect("tier JSON parses");
+        let benches = v.get("benchmarks").and_then(|b| b.as_arr()).unwrap();
+        assert_eq!(benches.len(), rows.len());
+        let text = tier(DataSize::Small);
+        assert!(text.contains("HOLDS"), "{text}");
     }
 
     #[test]

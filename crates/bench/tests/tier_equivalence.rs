@@ -1,0 +1,86 @@
+//! Suite-wide online/offline equivalence: the tier controller, driven
+//! until every loop reaches a terminal tier, must reproduce the
+//! offline batch **bit for bit** on all 26 benchmarks — same selected
+//! STL set, same derived sequential baseline, same profile, same
+//! predicted and actual TLS numbers, same demotion set.
+//!
+//! This is the contract that makes the online runtime a refactoring
+//! rather than a re-modelling: every table and figure of the
+//! evaluation keeps its numbers no matter which schedule produced
+//! them. (Observability counters and points-to wall time are
+//! intentionally excluded — they measure the run, not the program.)
+
+use benchsuite::{all, DataSize};
+use jrpm::pipeline::PipelineConfig;
+use jrpm::tier::{run_tiered, TierConfig};
+
+#[test]
+fn online_tier_controller_matches_offline_batch_on_every_benchmark() {
+    let cfg = PipelineConfig::default();
+    for bench in all() {
+        let program = (bench.build)(DataSize::Small);
+        let offline = run_tiered(&program, &cfg, &TierConfig::immediate())
+            .unwrap_or_else(|e| panic!("{}: offline run failed: {e:?}", bench.name));
+        let online = run_tiered(&program, &cfg, &TierConfig::default())
+            .unwrap_or_else(|e| panic!("{}: online run failed: {e:?}", bench.name));
+        let name = bench.name;
+
+        assert!(
+            online.tiers.all_terminal(),
+            "{name}: controller stopped with a non-terminal loop tier"
+        );
+        let (a, b) = (&offline.report, &online.report);
+        assert_eq!(
+            a.seq_cycles, b.seq_cycles,
+            "{name}: derived baseline differs"
+        );
+        assert_eq!(
+            a.profile_cycles, b.profile_cycles,
+            "{name}: profiling-run cycles differ"
+        );
+        assert_eq!(
+            a.annotation, b.annotation,
+            "{name}: annotation overhead differs"
+        );
+        assert_eq!(a.profile, b.profile, "{name}: TEST profile differs");
+        assert_eq!(
+            a.selection.chosen, b.selection.chosen,
+            "{name}: selected STL set differs"
+        );
+        assert_eq!(
+            a.selection.predicted_cycles, b.selection.predicted_cycles,
+            "{name}: Equation 2 prediction differs"
+        );
+        assert_eq!(
+            a.selection.total_cycles, b.selection.total_cycles,
+            "{name}: selection baseline differs"
+        );
+        assert_eq!(
+            a.actual.baseline_cycles, b.actual.baseline_cycles,
+            "{name}: actual-TLS baseline differs"
+        );
+        assert_eq!(
+            a.actual.tls_cycles, b.actual.tls_cycles,
+            "{name}: actual-TLS cycles differ"
+        );
+        assert_eq!(
+            a.actual.per_loop, b.actual.per_loop,
+            "{name}: per-loop TLS differs"
+        );
+        assert_eq!(
+            a.candidates.demoted_ids(),
+            b.candidates.demoted_ids(),
+            "{name}: completed deferred pre-screen disagrees with the eager one"
+        );
+        assert_eq!(
+            a.rescue.rescued.len(),
+            b.rescue.rescued.len(),
+            "{name}: rescue outcomes differ"
+        );
+        assert_eq!(
+            online.tiers.selected_ids(),
+            b.selection.chosen.iter().map(|c| c.loop_id).collect(),
+            "{name}: terminal Selected tiers disagree with the final selection"
+        );
+    }
+}

@@ -180,12 +180,56 @@ impl ProgramCandidates {
     }
 }
 
+/// When the static memory-dependence pre-screen runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Prescreen {
+    /// Screen every candidate during extraction — the offline batch
+    /// behaviour, where the whole program is analyzed up front.
+    #[default]
+    Eager,
+    /// Skip the per-loop memory-dependence analysis during extraction;
+    /// every candidate starts [`StaticVerdict::Clean`] and the caller
+    /// screens individual loops on demand with [`prescreen_candidate`]
+    /// once they prove hot. The scalar screen (rejection) and nesting
+    /// structure are unaffected, so candidate ids are identical in
+    /// both modes.
+    Deferred,
+}
+
 /// Extracts candidate STLs from every function of `program`.
 ///
 /// All natural loops are discovered; loops with an obvious serializing
 /// scalar dependency are rejected (with a reason), everything else is
 /// optimistically kept for the tracer to judge.
 pub fn extract_candidates(program: &Program) -> ProgramCandidates {
+    extract_candidates_with(program, Prescreen::Eager)
+}
+
+/// Re-runs the static memory-dependence pre-screen for one candidate.
+///
+/// This is the deferred form of the verdict computed inline by
+/// [`extract_candidates`]: the online tier controller calls it when a
+/// loop's hot-location counter trips, so cold loops never pay for
+/// dependence analysis. The result is identical to the eager verdict —
+/// same analysis, same alias view — which is what keeps online and
+/// offline demotion sets equal once every hot loop has been screened.
+pub fn prescreen_candidate(
+    program: &Program,
+    fa: &FunctionAnalysis,
+    loop_idx: usize,
+    view: Option<&crate::pointsto::FnView<'_>>,
+) -> StaticVerdict {
+    let f = &program.functions[fa.func.0 as usize];
+    let dom = Dominators::compute(&fa.cfg);
+    let deps = analyze_loop(program, f, &fa.cfg, &dom, &fa.forest.loops[loop_idx], view);
+    match deps.first() {
+        None => StaticVerdict::Clean,
+        Some(d) => StaticVerdict::Demoted { reason: d.reason() },
+    }
+}
+
+/// [`extract_candidates`] with an explicit pre-screen policy.
+pub fn extract_candidates_with(program: &Program, prescreen: Prescreen) -> ProgramCandidates {
     let mut functions = Vec::with_capacity(program.functions.len());
     let mut candidates: Vec<Candidate> = Vec::new();
     let mut rejected = Vec::new();
@@ -234,10 +278,15 @@ pub fn extract_candidates(program: &Program) -> ProgramCandidates {
             // static memory-dependence pre-screen: a proven
             // cross-iteration RAW means tracing cannot find
             // parallelism, so demote (but keep the id dense)
-            let deps = analyze_loop(program, f, &cfg, &dom, l, Some(&view));
-            let static_verdict = match deps.first() {
-                None => StaticVerdict::Clean,
-                Some(d) => StaticVerdict::Demoted { reason: d.reason() },
+            let static_verdict = match prescreen {
+                Prescreen::Eager => {
+                    let deps = analyze_loop(program, f, &cfg, &dom, l, Some(&view));
+                    match deps.first() {
+                        None => StaticVerdict::Clean,
+                        Some(d) => StaticVerdict::Demoted { reason: d.reason() },
+                    }
+                }
+                Prescreen::Deferred => StaticVerdict::Clean,
             };
             let id = LoopId(candidates.len() as u32);
             loop_to_candidate[li] = Some(id);

@@ -59,7 +59,8 @@ pub use access::{
     AccessSite, BlockKind, DepWitness, Sym,
 };
 pub use candidates::{
-    extract_candidates, Candidate, FunctionAnalysis, ProgramCandidates, StaticVerdict,
+    extract_candidates, extract_candidates_with, prescreen_candidate, Candidate, FunctionAnalysis,
+    Prescreen, ProgramCandidates, StaticVerdict,
 };
 pub use cfg::{Block, BlockId, Cfg};
 pub use dataflow::{solve, Analysis, BitSet, Direction, Liveness, ReachingDefs, Solution};
@@ -71,6 +72,7 @@ pub use memdep::{
 };
 pub use pointsto::{FnView, PointsTo, SolverStats};
 pub use rescue::{
-    rescue_program, Channel, LegalityProof, RescueOutcome, RescueRejection, RescuedLoop, Transform,
+    rescue_loop, rescue_program, Channel, LegalityProof, RescueOutcome, RescueRejection,
+    RescuedLoop, Transform,
 };
 pub use scalar::LocalClasses;

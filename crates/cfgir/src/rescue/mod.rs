@@ -1384,6 +1384,22 @@ fn original_header_pc(cum: &[Option<u32>], cfg: &Cfg, lp: &NaturalLoop) -> u32 {
 /// checker rejected are blocklisted and reported in
 /// [`RescueOutcome::rejected`].
 pub fn rescue_program(program: &Program) -> RescueOutcome {
+    rescue_with(program, None)
+}
+
+/// Rescues a single loop, identified by its containing function and
+/// the pc of its header block *in the original program*.
+///
+/// This is the tier controller's scoped entry point: when one hot loop
+/// needs rescuing there is no reason to run the whole-program fixpoint.
+/// Loops other than the target are left untouched (their code is
+/// byte-identical to the input), so a caller holding per-loop state
+/// keyed by original header pcs stays consistent.
+pub fn rescue_loop(program: &Program, func: FuncId, orig_header_pc: u32) -> RescueOutcome {
+    rescue_with(program, Some((func, orig_header_pc)))
+}
+
+fn rescue_with(program: &Program, target: Option<(FuncId, u32)>) -> RescueOutcome {
     let mut cur = program.clone();
     let mut cum: Vec<Vec<Option<u32>>> = program
         .functions
@@ -1416,6 +1432,11 @@ pub fn rescue_program(program: &Program) -> RescueOutcome {
                 collect_accesses(&cur, f, &fa.cfg, lp, &inductors, &invariant, &store_effects);
             let deps = analyze_loop(&cur, f, &fa.cfg, &dom, lp, Some(&view));
             let orig_header_pc = original_header_pc(&cum[fi], &fa.cfg, lp);
+            if let Some((tf, tpc)) = target {
+                if c.func != tf || orig_header_pc != tpc {
+                    continue;
+                }
+            }
             let header_block = fa.cfg.blocks[lp.header.0 as usize].clone();
             let ctx = LoopCtx {
                 program: &cur,

@@ -69,6 +69,7 @@ pub mod select;
 pub mod software;
 pub mod stats;
 pub mod tracer;
+pub mod window;
 
 pub use config::TracerConfig;
 pub use estimate::{estimate, Estimate, EstimatorParams};
@@ -77,3 +78,4 @@ pub use select::{select, select_with_priors, ChosenStl, SelectionResult};
 pub use software::SoftwareTracer;
 pub use stats::{Profile, StlStats};
 pub use tracer::TestTracer;
+pub use window::SelectionWindow;

@@ -26,11 +26,17 @@
 //!    bit-identical final state (return value and whole memory
 //!    image), and a single-step rescue's legality proof must re-pass
 //!    the independent checker `cfgir::rescue::verify::check`;
-//! 8. **Hydra sanity** — simulated TLS time is bounded below by the
+//! 8. **tier equivalence** — the online tiered runtime, with
+//!    promotion thresholds fuzzed from the program shape so loops
+//!    promote in varying orders, must reach all-terminal tiers, leave
+//!    the program's observable final state (return value and memory
+//!    image) identical to a plain run, and agree with the offline
+//!    batch on every selection verdict;
+//! 9. **Hydra sanity** — simulated TLS time is bounded below by the
 //!    longest thread plus fixed overheads, thread counts match the
 //!    trace, and zero violations means the restart penalty is inert;
-//! 9. **pipeline closure** — `run_pipeline` in serial-bus and
-//!    threaded-bus modes agrees end to end.
+//! 10. **pipeline closure** — `run_pipeline` in serial-bus and
+//!     threaded-bus modes agrees end to end.
 //!
 //! Checks are ordered cheap-first so the shrinker converges fast.
 
@@ -41,6 +47,7 @@ use crate::spec::{emit, gen_spec, ProgramSpec};
 use cfgir::{analyze_loop, classify_loop_pairs, Dominators, PairVerdict, ProgramCandidates};
 use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
 use jrpm::annotate::{annotate, AnnotateOptions};
+use jrpm::tier::{run_tiered, TierConfig};
 use jrpm::{run_pipeline, BusConfig, PipelineConfig};
 use test_tracer::{Profile, TestTracer, TracerConfig};
 use tvm::record::{Event, Recording, RecordingSink};
@@ -266,6 +273,9 @@ pub fn check_program(program: &Program) -> Result<CheckStats, Failure> {
     // -- loop rescue preserves the final state ------------------------
     let rescued = check_rescue(program)?;
 
+    // -- online tier controller == offline batch ----------------------
+    check_tiers(program)?;
+
     // -- Hydra simulator sanity invariants ----------------------------
     let tls_entries = check_hydra(program, &cands, &masks)?;
 
@@ -333,6 +343,123 @@ fn check_rescue(program: &Program) -> Result<usize, Failure> {
             .map_err(|e| fail("rescue-verify", e))?;
     }
     Ok(out.rescued.len())
+}
+
+/// Tier-controller oracle: drive the online tiered runtime to
+/// all-terminal and require (a) the final epoch's program state —
+/// return value and whole memory image — to equal a plain
+/// un-annotated run (counting probes and incremental patches must be
+/// invisible to the program), and (b) every selection verdict to match
+/// the offline batch exactly. Promotion thresholds are derived from a
+/// hash of the program shape, so different seeds promote loops in
+/// different orders and generations.
+fn check_tiers(program: &Program) -> Result<(), Failure> {
+    // FNV-style fold over the code shape: deterministic per program,
+    // varying across seeds
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for f in &program.functions {
+        h = (h ^ f.code.len() as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        h = (h ^ u64::from(f.n_locals)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let tcfg = TierConfig {
+        hot_threshold: 1 + h % 512,
+        counting_epoch_budget: 1 + (h >> 9) as u32 % 3,
+        hysteresis: 1 + (h >> 11) as u32 % 3,
+        window: 1 + (h >> 13) as usize % 4,
+        ..TierConfig::default()
+    };
+    let online = run_tiered(program, &PipelineConfig::default(), &tcfg)
+        .map_err(|e| fail("tier", format!("online tiered run failed: {e}")))?;
+    if !online.tiers.all_terminal() {
+        return Err(fail(
+            "tier",
+            format!(
+                "controller stopped with non-terminal tiers: {:?} ({tcfg:?})",
+                online
+                    .tiers
+                    .loops
+                    .iter()
+                    .filter(|l| !l.tier.is_terminal())
+                    .map(|l| (l.loop_id, l.tier.name()))
+                    .collect::<Vec<_>>()
+            ),
+        ));
+    }
+
+    // (a) observable program state is untouched by probes and patches
+    let mut sink = tvm::NullSink;
+    let plain = Interp::run_to_state(program, &mut sink, CostModel::default(), FUZZ_FUEL)
+        .map_err(|e| fail("tier-state", format!("plain run failed: {e}")))?;
+    let fin = online
+        .final_state
+        .as_ref()
+        .ok_or_else(|| fail("tier-state", "online run produced no final state"))?;
+    if format!("{:?}", fin.result.ret) != format!("{:?}", plain.result.ret) {
+        return Err(fail(
+            "tier-state",
+            format!(
+                "final online epoch returned {:?} but the plain program returns {:?}",
+                fin.result.ret, plain.result.ret
+            ),
+        ));
+    }
+    if fin.memory.words() != plain.memory.words() {
+        return Err(fail(
+            "tier-state",
+            "final online epoch left a different memory image than the plain program",
+        ));
+    }
+
+    // (b) selection verdicts equal the offline batch, bit for bit
+    let offline = run_pipeline(program, &PipelineConfig::default())
+        .map_err(|e| fail("tier", format!("offline pipeline failed: {e}")))?;
+    let rep = &online.report;
+    if rep.seq_cycles != offline.seq_cycles
+        || rep.profile_cycles != offline.profile_cycles
+        || rep.profile != offline.profile
+    {
+        return Err(fail(
+            "tier",
+            format!(
+                "final-epoch measurements diverged from offline: seq {} vs {}, profiling {} vs {} \
+                 ({tcfg:?})",
+                rep.seq_cycles, offline.seq_cycles, rep.profile_cycles, offline.profile_cycles
+            ),
+        ));
+    }
+    if format!("{:?}", rep.selection.chosen) != format!("{:?}", offline.selection.chosen)
+        || rep.candidates.demoted_ids() != offline.candidates.demoted_ids()
+    {
+        return Err(fail(
+            "tier",
+            format!(
+                "selection verdicts diverged: online chose {:?} (demoted {:?}), offline chose \
+                 {:?} (demoted {:?}) ({tcfg:?})",
+                rep.selection
+                    .chosen
+                    .iter()
+                    .map(|c| c.loop_id)
+                    .collect::<Vec<_>>(),
+                rep.candidates.demoted_ids(),
+                offline
+                    .selection
+                    .chosen
+                    .iter()
+                    .map(|c| c.loop_id)
+                    .collect::<Vec<_>>(),
+                offline.candidates.demoted_ids(),
+            ),
+        ));
+    }
+    let selected = online.tiers.selected_ids();
+    let chosen: BTreeSet<LoopId> = rep.selection.chosen.iter().map(|c| c.loop_id).collect();
+    if selected != chosen {
+        return Err(fail(
+            "tier",
+            format!("terminal Selected tiers {selected:?} disagree with the selection {chosen:?}"),
+        ));
+    }
+    Ok(())
 }
 
 fn run_bounded<S: tvm::TraceSink>(program: &Program, sink: &mut S) -> Result<RunResult, VmError> {

@@ -151,6 +151,119 @@ pub fn annotate_mapped(
     Ok((out, maps))
 }
 
+/// Incrementally instrumented program image for the online tier.
+///
+/// The offline batch annotates the whole program in one pass. The
+/// online tier instead patches loops in one at a time, as each proves
+/// hot: [`PatchState`] holds the current instrumented image plus its
+/// per-function [`OriginMap`]s, and [`PatchState::patch_loop`]
+/// re-annotates *only the function containing the promoted loop* —
+/// every other function's code is untouched, byte for byte.
+///
+/// The key invariant (tested below, and what the online/offline
+/// equivalence suite leans on): after patching any set `S` of loops in
+/// any order, the image equals `annotate_mapped(original, cands,
+/// &AnnotateOptions::only(S))` exactly. Incremental patching commutes
+/// because annotation is per-function and the filter passed to each
+/// re-annotation is the full cumulative set (so nested-loop
+/// interactions such as hoisted statistics reads are recomputed, not
+/// approximated).
+#[derive(Debug, Clone)]
+pub struct PatchState {
+    original: Program,
+    program: Program,
+    maps: Vec<OriginMap>,
+    annotated: BTreeSet<LoopId>,
+}
+
+impl PatchState {
+    /// A fresh, un-instrumented image: the program itself, with
+    /// identity origin maps.
+    pub fn new(program: &Program) -> PatchState {
+        PatchState {
+            original: program.clone(),
+            program: program.clone(),
+            maps: program
+                .functions
+                .iter()
+                .map(|f| (0..f.code.len() as u32).map(Some).collect())
+                .collect(),
+            annotated: BTreeSet::new(),
+        }
+    }
+
+    /// The current instrumented image.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Per-function origin maps of the current image (instrumented pc
+    /// → original pc).
+    pub fn maps(&self) -> &[OriginMap] {
+        &self.maps
+    }
+
+    /// Loops patched in so far.
+    pub fn annotated(&self) -> &BTreeSet<LoopId> {
+        &self.annotated
+    }
+
+    /// Instruments loop `id`, rewriting only its containing function.
+    ///
+    /// `cands` must come from [`cfgir::extract_candidates`] on the
+    /// program this state was created from. Returns `false` (and does
+    /// nothing) when the loop is already patched in.
+    ///
+    /// # Errors
+    ///
+    /// As [`annotate`]: the patched image is re-verified before being
+    /// committed; on error the previous image is kept.
+    pub fn patch_loop(
+        &mut self,
+        cands: &ProgramCandidates,
+        id: LoopId,
+    ) -> Result<bool, tvm::VmError> {
+        if self.annotated.contains(&id) {
+            return Ok(false);
+        }
+        let mut filter = self.annotated.clone();
+        filter.insert(id);
+        let opts = AnnotateOptions {
+            mode: AnnotationMode::Optimized,
+            filter: Some(filter),
+        };
+        let fi = cands.candidate(id).func.0 as usize;
+        let fa = &cands.functions[fi];
+        let in_fn: Vec<&Candidate> = cands
+            .candidates
+            .iter()
+            .filter(|c| c.func.0 as usize == fi && opts.wants(c))
+            .collect();
+        let (func, map) = annotate_function(
+            fi as u16,
+            &self.original.functions[fi],
+            fa,
+            &in_fn,
+            cands,
+            &opts,
+        )?;
+        let prev_func = std::mem::replace(&mut self.program.functions[fi], func);
+        match tvm::verify::verify(&self.program)
+            .and_then(|()| tvm::verify::verify_kinds(&self.program))
+        {
+            Ok(()) => {
+                self.maps[fi] = map;
+                self.annotated.insert(id);
+                Ok(true)
+            }
+            Err(e) => {
+                self.program.functions[fi] = prev_func;
+                Err(e)
+            }
+        }
+    }
+}
+
 /// A tiny label-patching emitter (the annotation-pass analogue of
 /// `tvm::build::FnBuilder`).
 #[derive(Default)]
@@ -689,6 +802,51 @@ mod tests {
         }
         // nothing is dropped: all original instructions appear
         assert_eq!(seen.len(), p.functions[0].code.len());
+    }
+
+    #[test]
+    fn patch_loop_matches_whole_program_annotation_in_any_order() {
+        let p = nested_loop_program();
+        let cands = extract_candidates(&p);
+        let ids: Vec<LoopId> = cands.candidates.iter().map(|c| c.id).collect();
+        assert_eq!(ids.len(), 2);
+
+        // inner first, then outer — the opposite of extraction order
+        let mut st = PatchState::new(&p);
+        assert!(st.patch_loop(&cands, ids[1]).unwrap());
+        assert!(st.patch_loop(&cands, ids[0]).unwrap());
+        assert!(!st.patch_loop(&cands, ids[0]).unwrap(), "idempotent");
+
+        let (full, maps) =
+            annotate_mapped(&p, &cands, &AnnotateOptions::only(ids.clone())).unwrap();
+        for (fi, f) in full.functions.iter().enumerate() {
+            assert_eq!(st.program().functions[fi].code, f.code);
+            assert_eq!(st.maps()[fi], maps[fi]);
+        }
+    }
+
+    #[test]
+    fn partial_patch_instruments_only_the_hot_loop() {
+        let p = nested_loop_program();
+        let cands = extract_candidates(&p);
+        let inner = cands.candidates.iter().find(|c| c.depth == 2).unwrap().id;
+        let mut st = PatchState::new(&p);
+        st.patch_loop(&cands, inner).unwrap();
+        let only = annotate(&p, &cands, &AnnotateOptions::only([inner])).unwrap();
+        assert_eq!(st.program().functions[0].code, only.functions[0].code);
+        // semantics preserved under the partial image
+        let r0 = Interp::run(&p, &mut NullSink).unwrap();
+        let r1 = Interp::run(st.program(), &mut NullSink).unwrap();
+        assert_eq!(r0.ret, r1.ret);
+    }
+
+    #[test]
+    fn fresh_patch_state_is_the_original_program() {
+        let p = simple_loop_program();
+        let st = PatchState::new(&p);
+        assert_eq!(st.program().functions[0].code, p.functions[0].code);
+        assert!(st.annotated().is_empty());
+        assert!(st.maps()[0].iter().all(|o| o.is_some()));
     }
 
     #[test]

@@ -27,11 +27,16 @@ pub mod agreement;
 pub mod annotate;
 pub mod pipeline;
 pub mod slowdown;
+pub mod tier;
 
 pub use agreement::{agreement_report, AgreementReport, LoopAgreement, Violation};
-pub use annotate::{annotate, annotate_mapped, AnnotateOptions, AnnotationMode};
+pub use annotate::{annotate, annotate_mapped, AnnotateOptions, AnnotationMode, PatchState};
 pub use pipeline::{
     run_pipeline, ActualTls, BusConfig, PipelineConfig, PipelineObservability, PipelineReport,
     StageTime,
 };
 pub use slowdown::{profile_slowdown, software_comparison, SlowdownReport, SoftwareComparison};
+pub use tier::{
+    run_tiered, LoopTier, LoopTierSummary, TierConfig, TierDiagnostic, TierReport, TierSchedule,
+    TieredOutcome,
+};

@@ -29,14 +29,13 @@
 //! shows is also present in the exported metrics.
 
 use crate::annotate::{annotate, AnnotateOptions};
-use cfgir::{extract_candidates, rescue_program, ProgramCandidates, RescueRejection, RescuedLoop};
+use cfgir::{ProgramCandidates, RescueRejection, RescuedLoop};
 use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
 use obs::{Registry, Snapshot, Telemetry, Trace as ObsTrace, TrackId};
 use std::collections::BTreeMap;
-use std::sync::Arc;
 use std::time::Instant;
-use test_tracer::{select_with_priors, Profile, SelectionResult, TestTracer, TracerConfig};
-use tvm::bus::{record_batches, BusReport, EventKind, KindCounts, SinkStats, TraceBus};
+use test_tracer::{Profile, SelectionResult, TracerConfig};
+use tvm::bus::{BusReport, EventKind, KindCounts, SinkStats};
 use tvm::interp::AnnotationCycles;
 use tvm::isa::LoopId;
 use tvm::program::Program;
@@ -261,22 +260,23 @@ impl PipelineObservability {
 
 /// Stage bookkeeping: one registry counter per stage (sequence-
 /// numbered so snapshots preserve execution order) plus, when tracing,
-/// a span on the `pipeline` wall track.
-struct StageRecorder<'a> {
-    registry: &'a Registry,
-    trace: Option<(&'a ObsTrace, TrackId)>,
-    seq: u32,
+/// a span on the `pipeline` wall track. Shared with the tier
+/// controller (`crate::tier`), which drives the same stages per-loop.
+pub(crate) struct StageRecorder<'a> {
+    pub(crate) registry: &'a Registry,
+    pub(crate) trace: Option<(&'a ObsTrace, TrackId)>,
+    pub(crate) seq: u32,
 }
 
 impl StageRecorder<'_> {
-    fn begin(&self, name: &str) -> Instant {
+    pub(crate) fn begin(&self, name: &str) -> Instant {
         if let Some((tr, t)) = self.trace {
             tr.begin(t, name);
         }
         Instant::now()
     }
 
-    fn end(&mut self, name: &str, started: Instant) {
+    pub(crate) fn end(&mut self, name: &str, started: Instant) {
         let nanos = started.elapsed().as_nanos() as u64;
         self.registry
             .counter(&format!("pipeline.stage.{:02}.{name}", self.seq))
@@ -289,7 +289,7 @@ impl StageRecorder<'_> {
 }
 
 /// Writes one bus run's totals and per-sink counters into the registry.
-fn record_bus_report(registry: &Registry, report: &BusReport) {
+pub(crate) fn record_bus_report(registry: &Registry, report: &BusReport) {
     registry.counter("bus.batches").add(report.batches);
     registry.counter("bus.events").add(report.events);
     registry
@@ -328,7 +328,7 @@ fn record_bus_report(registry: &Registry, report: &BusReport) {
 }
 
 /// Writes the TEST tracer's self-profiling results into the registry.
-fn record_tracer_profile(registry: &Registry, profile: &Profile) {
+pub(crate) fn record_tracer_profile(registry: &Registry, profile: &Profile) {
     registry.counter("tracer.events").add(profile.events);
     registry
         .counter("tracer.fifo_evictions")
@@ -481,192 +481,59 @@ impl PipelineReport {
 /// Any [`VmError`] from the two executions (profiling,
 /// trace-collection).
 pub fn run_pipeline(program: &Program, cfg: &PipelineConfig) -> Result<PipelineReport, VmError> {
-    let telemetry = Telemetry::new();
-    let registry = Arc::clone(&telemetry.registry);
-    registry
-        .counter("pipeline.batch_capacity")
-        .record_max(cfg.bus.batch_capacity.max(1) as u64);
-    let trace = cfg.obs.trace.then(|| Arc::clone(&telemetry.trace));
-    let ptrack = trace.as_ref().map(|tr| tr.track("pipeline"));
-    let mut stages = StageRecorder {
-        registry: &registry,
-        trace: trace.as_deref().zip(ptrack),
-        seq: 0,
-    };
-    if let Some((tr, t)) = stages.trace {
-        tr.begin(t, "run");
-    }
+    crate::tier::run_tiered(program, cfg, &crate::tier::TierConfig::immediate()).map(|o| o.report)
+}
 
-    // 1. identify candidate STLs (includes the whole-program points-to
-    //    solve that sharpens the memory-dependence pre-screen; its
-    //    statistics ride along inside this stage so the committed obs
-    //    baseline keeps its stage list)
-    let t = stages.begin("extract");
-    let candidates = extract_candidates(program);
-    stages.end("extract", t);
-    let ps = candidates.pointsto;
-    for (name, v) in [
-        ("pointsto.abstract_objects", ps.abstract_objects as u64),
-        ("pointsto.variables", ps.variables as u64),
-        ("pointsto.constraint_edges", ps.constraint_edges as u64),
-        ("pointsto.iterations", ps.iterations as u64),
-        ("pointsto.wall_nanos", ps.wall_nanos),
-    ] {
-        registry.counter(name).add(v);
-        if let Some((tr, track)) = stages.trace {
-            tr.counter(track, name, v);
-        }
-    }
-
-    // 1b. loop rescue: try to transform demoted loops (reduction
-    //     delta-rewrite, scalar privatization, loop distribution)
-    //     into provably parallelizable variants. Every applied
-    //     transform carries a legality proof re-checked by the
-    //     independent verifier; when anything changes, candidates are
-    //     re-extracted on the transformed program.
-    let t = stages.begin("rescue");
-    let (candidates, rescue) = if cfg.no_rescue {
-        (candidates, RescueSummary::default())
-    } else {
-        let out = rescue_program(program);
-        let changed = !out.rescued.is_empty();
-        let rescue = RescueSummary {
-            rescued: out.rescued,
-            rejected: out.rejected,
-            program: changed.then_some(out.program),
-        };
-        let candidates = match &rescue.program {
-            Some(p) => extract_candidates(p),
-            None => candidates,
-        };
-        (candidates, rescue)
-    };
-    stages.end("rescue", t);
-    registry
-        .counter("rescue.applied")
-        .add(rescue.rescued.len() as u64);
-    registry
-        .counter("rescue.rejections")
-        .add(rescue.rejected.len() as u64);
-    let program: &Program = rescue.program_for(program);
-
-    // 2. annotate every candidate for profiling (loops the static
-    //    pre-screen demoted are left unannotated, so the tracer
-    //    spends no banks on them)
-    let t = stages.begin("annotate");
-    let annotated = annotate(program, &candidates, &AnnotateOptions::profiling())?;
-    stages.end("annotate", t);
-
-    // 3. interpret the annotated program ONCE — execution pass 1 —
-    //    capturing its event stream as batches, and feed TEST from
-    //    the bus. Threaded mode drains the tracer concurrently with
-    //    interpretation; otherwise record fully, then replay.
-    let mut tracer = TestTracer::with_masks(cfg.tracer, candidates.tracked_masks());
-    if let Some(tr) = &trace {
-        tracer.set_obs(Arc::clone(tr), cfg.obs.sample_every);
-    }
-    registry.counter("pipeline.interpreter_passes").inc();
-    let prof_run = if cfg.bus.threaded {
-        let t = stages.begin("record+profile");
-        let mut bus = TraceBus::new()
-            .channel_depth(cfg.bus.channel_depth)
-            .sink("test-tracer", &mut tracer);
-        if let Some(tr) = &trace {
-            bus = bus.observe(Arc::clone(tr));
-        }
-        let (run, report) = bus.run_threaded(&annotated, cfg.bus.batch_capacity)?;
-        stages.end("record+profile", t);
-        record_bus_report(&registry, &report);
-        run
-    } else {
-        let t = stages.begin("record");
-        let (run, batches) = record_batches(&annotated, cfg.bus.batch_capacity)?;
-        stages.end("record", t);
-        let t = stages.begin("replay-profile");
-        let mut bus = TraceBus::new().sink("test-tracer", &mut tracer);
-        if let Some(tr) = &trace {
-            bus = bus.observe(Arc::clone(tr));
-        }
-        let report = bus.replay(&batches);
-        stages.end("replay-profile", t);
-        record_bus_report(&registry, &report);
-        run
-    };
-    let profile = tracer.into_profile();
-    record_tracer_profile(&registry, &profile);
-
-    // the plain sequential baseline, exactly: the annotation pass
-    // only inserts annotation instructions, and the interpreter
-    // tallies their cycles separately while charging them
-    let seq_cycles = prof_run.cycles - prof_run.annotation_cycles.total();
-
-    // 4. select decompositions (Equations 1 and 2), with the static
-    //    verdicts as priors
-    let t = stages.begin("select");
-    let selection = select_with_priors(
-        &profile,
-        &cfg.tls.estimator_params(),
-        prof_run.cycles,
-        &candidates.demoted_ids(),
-    );
-    stages.end("select", t);
-
-    // 5. recompile only the selected loops and collect TLS traces —
-    //    execution pass 2. This interprets a *differently annotated*
-    //    program (different timestamps), so it cannot replay the
-    //    profiling recording.
-    let chosen: Vec<LoopId> = selection.chosen.iter().map(|c| c.loop_id).collect();
-    let actual = if chosen.is_empty() {
-        ActualTls {
+/// Stages 5–6: recompile only the selected loops, collect TLS traces
+/// (one more interpreter pass), and simulate each entry on Hydra.
+/// Shared by the offline batch and the tier controller's finalization
+/// — both converge on the same selected set, so both produce identical
+/// actual-TLS numbers through this single implementation.
+pub(crate) fn collect_and_simulate(
+    program: &Program,
+    candidates: &ProgramCandidates,
+    chosen: Vec<LoopId>,
+    seq_cycles: u64,
+    cfg: &PipelineConfig,
+    registry: &Registry,
+    stages: &mut StageRecorder<'_>,
+) -> Result<ActualTls, VmError> {
+    if chosen.is_empty() {
+        return Ok(ActualTls {
             per_loop: BTreeMap::new(),
             baseline_cycles: seq_cycles,
             tls_cycles: seq_cycles,
-        }
-    } else {
-        let t = stages.begin("collect");
-        let spec = annotate(program, &candidates, &AnnotateOptions::only(chosen.clone()))?;
-        let mut collector = TlsTraceCollector::with_masks(chosen, candidates.tracked_masks());
-        registry.counter("pipeline.interpreter_passes").inc();
-        let spec_run = Interp::run(&spec, &mut collector)?;
-        stages.end("collect", t);
-
-        // 6. simulate each entry on Hydra
-        let t = stages.begin("simulate");
-        let mut per_loop: BTreeMap<LoopId, LoopTls> = BTreeMap::new();
-        let mut total = spec_run.cycles;
-        for entry in &collector.entries {
-            let r = simulate_entry(entry, &cfg.tls);
-            let l = per_loop.entry(entry.loop_id).or_default();
-            l.seq_cycles += entry.seq_cycles;
-            l.tls_cycles += r.tls_cycles;
-            l.violations += r.violations;
-            l.overflows += r.overflows;
-            l.threads += r.threads;
-            total = total.saturating_sub(entry.seq_cycles) + r.tls_cycles;
-        }
-        stages.end("simulate", t);
-        ActualTls {
-            per_loop,
-            baseline_cycles: spec_run.cycles,
-            tls_cycles: total,
-        }
-    };
-
-    if let Some((tr, t)) = stages.trace {
-        tr.end(t, "run");
+        });
     }
-    let obs = PipelineObservability::from_snapshot(&registry.snapshot());
-    Ok(PipelineReport {
-        seq_cycles,
-        profile_cycles: prof_run.cycles,
-        annotation: prof_run.annotation_cycles,
-        candidates,
-        rescue,
-        profile,
-        selection,
-        actual,
-        obs,
-        telemetry,
+    // recompile only the selected loops and collect TLS traces. This
+    // interprets a *differently annotated* program (different
+    // timestamps), so it cannot replay the profiling recording.
+    let t = stages.begin("collect");
+    let spec = annotate(program, candidates, &AnnotateOptions::only(chosen.clone()))?;
+    let mut collector = TlsTraceCollector::with_masks(chosen, candidates.tracked_masks());
+    registry.counter("pipeline.interpreter_passes").inc();
+    let spec_run = Interp::run(&spec, &mut collector)?;
+    stages.end("collect", t);
+
+    // simulate each entry on Hydra
+    let t = stages.begin("simulate");
+    let mut per_loop: BTreeMap<LoopId, LoopTls> = BTreeMap::new();
+    let mut total = spec_run.cycles;
+    for entry in &collector.entries {
+        let r = simulate_entry(entry, &cfg.tls);
+        let l = per_loop.entry(entry.loop_id).or_default();
+        l.seq_cycles += entry.seq_cycles;
+        l.tls_cycles += r.tls_cycles;
+        l.violations += r.violations;
+        l.overflows += r.overflows;
+        l.threads += r.threads;
+        total = total.saturating_sub(entry.seq_cycles) + r.tls_cycles;
+    }
+    stages.end("simulate", t);
+    Ok(ActualTls {
+        per_loop,
+        baseline_cycles: spec_run.cycles,
+        tls_cycles: total,
     })
 }
 

@@ -25,7 +25,9 @@
 //! the stream a direct [`crate::interp::Interp`] run would have fed
 //! it — analyses are bit-identical across modes.
 
-use crate::interp::{Interp, RunResult};
+use crate::cost::CostModel;
+use crate::hotloc::LocationHook;
+use crate::interp::{FinalState, Interp, RunResult};
 use crate::isa::Pc;
 use crate::program::Program;
 use crate::record::Event;
@@ -464,6 +466,35 @@ pub fn record_batches(
     let run = Interp::run(program, &mut batcher)?;
     batcher.finish();
     Ok((run, batches))
+}
+
+/// Like [`record_batches`], but with a [`LocationHook`] observing the
+/// run, and returning the final memory image alongside the batches.
+/// The recorded event stream is bit-identical to an un-hooked
+/// recording: hooks are free in simulated time.
+///
+/// This is the online tier's epoch driver — one call per execution
+/// epoch, with the tier controller's hot-location table as the hook.
+///
+/// # Errors
+///
+/// Any [`VmError`] from the underlying execution.
+pub fn record_batches_hooked<H: LocationHook>(
+    program: &Program,
+    capacity: usize,
+    hook: &mut H,
+) -> Result<(FinalState, Vec<EventBatch>), VmError> {
+    let mut batches = Vec::new();
+    let mut batcher = Batcher::new(capacity, |b| batches.push(b));
+    let state = Interp::run_to_state_hooked(
+        program,
+        &mut batcher,
+        CostModel::default(),
+        Interp::DEFAULT_FUEL,
+        hook,
+    )?;
+    batcher.finish();
+    Ok((state, batches))
 }
 
 /// Fan-out combinator: forwards every event to each inner sink, in

@@ -13,6 +13,7 @@
 
 use crate::cost::CostModel;
 use crate::error::VmError;
+use crate::hotloc::{LocationHook, NoHook};
 use crate::isa::{ElemKind, Instr, Pc};
 use crate::mem::Memory;
 use crate::program::{FuncId, Program};
@@ -149,6 +150,46 @@ impl Interp {
         cost: CostModel,
         fuel: u64,
     ) -> Result<FinalState, VmError> {
+        Self::run_to_state_hooked(program, sink, cost, fuel, &mut NoHook)
+    }
+
+    /// Like [`Interp::run`], but with a [`LocationHook`] observing every
+    /// retired instruction. Hooks are free in simulated time: cycles,
+    /// trace events, and program results are identical to an un-hooked
+    /// run. This is the counting-tier entry point (`jrpm::tier`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Interp::run`].
+    pub fn run_hooked<S: TraceSink, H: LocationHook>(
+        program: &Program,
+        sink: &mut S,
+        hook: &mut H,
+    ) -> Result<RunResult, VmError> {
+        Self::run_to_state_hooked(
+            program,
+            sink,
+            CostModel::default(),
+            Self::DEFAULT_FUEL,
+            hook,
+        )
+        .map(|s| s.result)
+    }
+
+    /// The fully general entry point: hooked, costed, fuelled, and
+    /// returning the final memory image. All other `run_*` methods
+    /// delegate here (with [`NoHook`], whose probe monomorphizes away).
+    ///
+    /// # Errors
+    ///
+    /// As [`Interp::run_with`].
+    pub fn run_to_state_hooked<S: TraceSink, H: LocationHook>(
+        program: &Program,
+        sink: &mut S,
+        cost: CostModel,
+        fuel: u64,
+        hook: &mut H,
+    ) -> Result<FinalState, VmError> {
         let entry = program.function(program.entry)?;
         if entry.n_params != 0 {
             return Err(VmError::Verify {
@@ -210,6 +251,7 @@ impl Interp {
                 .get(frame.pc as usize)
                 .copied()
                 .ok_or(VmError::FellOffEnd(frame.func))?;
+            hook.at(frame.func, frame.pc);
             let pc_here = Pc {
                 func: FuncId(frame.func),
                 idx: frame.pc,

@@ -60,6 +60,7 @@ pub mod bus;
 pub mod cost;
 pub mod disasm;
 pub mod error;
+pub mod hotloc;
 pub mod interp;
 pub mod isa;
 pub mod mem;
@@ -73,11 +74,12 @@ pub mod verify;
 pub use alloc::{AllocSite, AllocSites, SiteId, SiteKind};
 pub use build::{FnBuilder, ProgramBuilder};
 pub use bus::{
-    record_batches, Batcher, BusReport, EventBatch, EventKind, KindCounts, SinkStats, Tee,
-    TraceBus, DEFAULT_BATCH_CAPACITY, DEFAULT_CHANNEL_DEPTH,
+    record_batches, record_batches_hooked, Batcher, BusReport, EventBatch, EventKind, KindCounts,
+    SinkStats, Tee, TraceBus, DEFAULT_BATCH_CAPACITY, DEFAULT_CHANNEL_DEPTH,
 };
 pub use cost::CostModel;
 pub use error::VmError;
+pub use hotloc::{HotLocations, LocationHook, NoHook};
 pub use interp::{FinalState, Interp, RunResult};
 pub use isa::{Cond, ElemKind, Instr, Label, LoopId, Pc};
 pub use program::{ClassId, FuncId, Function, GlobalId, Local, Program};

@@ -32,9 +32,13 @@ impl BenchResult {
         if sel.is_empty() {
             return 0.0;
         }
+        // `.get`-shaped lookups: a selection entry whose id is missing
+        // from the candidate table or profile (a malformed request at
+        // the server boundary) degrades the average, never panics
         let total: u32 = sel
             .iter()
-            .map(|c| self.report.candidates.candidate(c.loop_id).height)
+            .filter_map(|c| self.report.candidates.try_candidate(c.loop_id))
+            .map(|c| c.height)
             .sum();
         f64::from(total) / sel.len() as f64
     }
@@ -48,7 +52,8 @@ impl BenchResult {
         }
         let s: f64 = sel
             .iter()
-            .map(|c| self.report.profile.stl[&c.loop_id].avg_iterations_per_entry())
+            .filter_map(|c| self.report.profile.stl.get(&c.loop_id))
+            .map(|s| s.avg_iterations_per_entry())
             .sum();
         s / sel.len() as f64
     }
@@ -63,7 +68,10 @@ impl BenchResult {
         }
         let s: f64 = sel
             .iter()
-            .map(|c| self.report.profile.stl[&c.loop_id].avg_thread_size() * c.cycles as f64)
+            .filter_map(|c| {
+                let stl = self.report.profile.stl.get(&c.loop_id)?;
+                Some(stl.avg_thread_size() * c.cycles as f64)
+            })
             .sum();
         s / total_cycles as f64
     }

@@ -1,0 +1,36 @@
+//! Negative tests for the report helpers on request-shaped inputs: a
+//! selection entry whose loop id is foreign to the candidate table or
+//! profile (possible once results cross a server boundary) must degrade
+//! the derived averages gracefully — never panic, never emit NaN/inf.
+
+use benchsuite::DataSize;
+use jrpm_bench::runner::run_benchmark;
+use test_tracer::estimate::Estimate;
+use test_tracer::select::ChosenStl;
+use tvm::isa::LoopId;
+
+#[test]
+fn foreign_selection_ids_do_not_panic_report_helpers() {
+    let bench = benchsuite::by_name("FourierTest").expect("suite benchmark exists");
+    let mut result = run_benchmark(&bench, DataSize::Small).expect("benchmark runs");
+    // an id no extraction of this program ever produced, with enough
+    // cycles to clear the 0.5% coverage threshold
+    result.report.selection.chosen.push(ChosenStl {
+        loop_id: LoopId(9999),
+        estimate: Estimate {
+            speedup: 1.0,
+            est_tls_cycles: 0,
+            base_speedup: 1.0,
+            overflow_freq: 0.0,
+        },
+        cycles: result.report.seq_cycles,
+        coverage: 1.0,
+    });
+    let height = result.avg_selected_height();
+    let threads = result.avg_threads_per_entry();
+    let size = result.avg_thread_size();
+    for v in [height, threads, size] {
+        assert!(v.is_finite(), "helper emitted a non-finite value: {v}");
+    }
+    let _ = result.selected_above_half_percent();
+}

@@ -115,6 +115,13 @@ impl ProgramCandidates {
         &self.candidates[id.0 as usize]
     }
 
+    /// The candidate with the given id, or `None` for a foreign id —
+    /// the non-panicking accessor report code uses on ids that arrive
+    /// from a request rather than from this extraction.
+    pub fn try_candidate(&self, id: LoopId) -> Option<&Candidate> {
+        self.candidates.get(id.0 as usize)
+    }
+
     /// Total number of natural loops discovered (Table 6's "Loop
     /// count" column counts static loops, qualified or not).
     pub fn total_loops(&self) -> usize {

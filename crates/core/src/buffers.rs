@@ -127,6 +127,23 @@ impl LineTimestampTable {
         self.entries[idx] = Some((line >> self.mask.trailing_ones(), now));
     }
 
+    /// Combined lookup-and-record: installs `now` for `line` and
+    /// returns the previous tag-matching timestamp, computing the slot
+    /// index once. Equivalent to `lookup(line)` followed by
+    /// `record(line, now)` — the tracer's overflow walk uses this on
+    /// every heap access.
+    #[inline]
+    pub fn swap(&mut self, line: u32, now: Cycles) -> Option<Cycles> {
+        let idx = (line & self.mask) as usize;
+        let tag = line >> self.mask.trailing_ones();
+        let old = match self.entries[idx] {
+            Some((t, ts)) if t == tag => Some(ts),
+            _ => None,
+        };
+        self.entries[idx] = Some((tag, now));
+        old
+    }
+
     /// Clears the table (used between profiling phases).
     pub fn clear(&mut self) {
         self.entries.fill(None);
@@ -285,6 +302,19 @@ mod tests {
         t.record(65, 20);
         assert_eq!(t.lookup(65), Some(20));
         assert_eq!(t.lookup(1), None); // evicted by aliasing
+    }
+
+    #[test]
+    fn line_table_swap_is_lookup_then_record() {
+        let mut combined = LineTimestampTable::new(64);
+        let mut split = LineTimestampTable::new(64);
+        // hits, misses, and aliasing evictions all behave identically
+        for (line, now) in [(1, 10), (1, 20), (65, 30), (1, 40), (7, 50)] {
+            let expected = split.lookup(line);
+            split.record(line, now);
+            assert_eq!(combined.swap(line, now), expected);
+            assert_eq!(combined.lookup(line), split.lookup(line));
+        }
     }
 
     #[test]

@@ -25,8 +25,10 @@ use crate::stats::{Profile, StlStats};
 use obs::{Trace as ObsTrace, TrackId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use tvm::bus::EventBatch;
 use tvm::isa::{LoopId, Pc};
 use tvm::line_of;
+use tvm::record::Event;
 use tvm::trace::{Addr, Cycles, TraceSink};
 
 /// Per-STL-activation comparator-bank state (Figure 7).
@@ -115,6 +117,15 @@ pub struct TestTracer {
     locals: LocalVarTimestamps,
     banks: Vec<Option<Bank>>,
     stack: Vec<StackEntry>,
+    /// Bank indices of the stack entries that still hold a live bank,
+    /// in stack order — the dependency/overflow walks iterate this
+    /// instead of scanning (and skipping) the full loop stack.
+    /// Invariant: `banked == stack.iter().filter_map(|e| e.bank)`.
+    banked: Vec<usize>,
+    /// Occupancy bitmap over the first 64 comparator banks (bit i set
+    /// = `banks[i]` is live); lets `loop_enter` find the lowest free
+    /// bank with one bit scan instead of a linear probe.
+    bank_occ: u64,
     local_masks: BTreeMap<LoopId, u64>,
     stl: BTreeMap<LoopId, StlStats>,
     forest_edges: BTreeMap<(Option<LoopId>, LoopId), u64>,
@@ -148,6 +159,8 @@ impl TestTracer {
             locals: LocalVarTimestamps::new(cfg.local_var_capacity),
             banks: vec![None; cfg.n_banks],
             stack: Vec::new(),
+            banked: Vec::new(),
+            bank_occ: 0,
             local_masks: BTreeMap::new(),
             stl: BTreeMap::new(),
             forest_edges: BTreeMap::new(),
@@ -226,7 +239,52 @@ impl TestTracer {
 
     /// Banks currently holding a live loop entry.
     fn banks_in_use(&self) -> u64 {
-        self.banks.iter().filter(|b| b.is_some()).count() as u64
+        self.banked.len() as u64
+    }
+
+    /// Lowest free comparator-bank index, via the occupancy bitmap for
+    /// the first 64 banks and a linear probe past them. Matches the
+    /// order of a full `position(|b| b.is_none())` scan exactly.
+    fn free_bank(&self) -> Option<usize> {
+        let n = self.banks.len();
+        let small = n.min(64);
+        let mask = if small == 64 {
+            u64::MAX
+        } else {
+            (1u64 << small) - 1
+        };
+        let free = !self.bank_occ & mask;
+        if free != 0 {
+            return Some(free.trailing_zeros() as usize);
+        }
+        if n > 64 {
+            return self.banks[64..]
+                .iter()
+                .position(|b| b.is_none())
+                .map(|i| i + 64);
+        }
+        None
+    }
+
+    /// Keeps the occupancy bitmap in sync with `banks[idx]`.
+    #[inline]
+    fn mark_bank(&mut self, idx: usize, occupied: bool) {
+        if idx < 64 {
+            if occupied {
+                self.bank_occ |= 1u64 << idx;
+            } else {
+                self.bank_occ &= !(1u64 << idx);
+            }
+        }
+    }
+
+    /// Drops the released bank `bi` — which must be the innermost live
+    /// bank — from the banked-stack list and the occupancy bitmap.
+    #[inline]
+    fn unbank_top(&mut self, bi: usize) {
+        let popped = self.banked.pop();
+        debug_assert_eq!(popped, Some(bi), "released bank is the innermost");
+        self.mark_bank(bi, false);
     }
 
     /// Moves the pending attribution count into the per-loop map.
@@ -283,9 +341,14 @@ impl TestTracer {
     /// For local-variable loads, `slot` carries the `lwl` operand so
     /// banks can skip variables outside their tracked mask.
     fn dependency_check(&mut self, ts: Cycles, now: Cycles, pc: Pc, slot: Option<u16>) {
-        for entry in self.stack.iter().rev() {
-            let Some(bi) = entry.bank else { continue };
-            let bank = self.banks[bi].as_mut().expect("stack bank is live");
+        debug_assert!(self
+            .banked
+            .iter()
+            .copied()
+            .eq(self.stack.iter().filter_map(|e| e.bank)));
+        for i in (0..self.banked.len()).rev() {
+            let bi = self.banked[i];
+            let bank = self.banks[bi].as_mut().expect("banked index is live");
             if let Some(v) = slot {
                 if v < 64 && bank.local_mask & (1u64 << v) == 0 {
                     continue; // not this loop's variable
@@ -318,11 +381,10 @@ impl TestTracer {
             return; // Figure 7's last-line register fast path
         }
         self.last_ld_line = Some(line);
-        let old = self.ld_table.lookup(line);
-        self.ld_table.record(line, now);
-        for entry in &self.stack {
-            let Some(bi) = entry.bank else { continue };
-            let bank = self.banks[bi].as_mut().expect("stack bank is live");
+        let old = self.ld_table.swap(line, now);
+        for i in 0..self.banked.len() {
+            let bi = self.banked[i];
+            let bank = self.banks[bi].as_mut().expect("banked index is live");
             if old.is_none_or(|t| t < bank.thread_start) {
                 bank.ld_lines += 1;
                 if bank.ld_lines > self.cfg.ld_line_limit {
@@ -339,11 +401,10 @@ impl TestTracer {
             return;
         }
         self.last_st_line = Some(line);
-        let old = self.st_table.lookup(line);
-        self.st_table.record(line, now);
-        for entry in &self.stack {
-            let Some(bi) = entry.bank else { continue };
-            let bank = self.banks[bi].as_mut().expect("stack bank is live");
+        let old = self.st_table.swap(line, now);
+        for i in 0..self.banked.len() {
+            let bi = self.banked[i];
+            let bank = self.banks[bi].as_mut().expect("banked index is live");
             if old.is_none_or(|t| t < bank.thread_start) {
                 bank.st_lines += 1;
                 if bank.st_lines > self.cfg.st_line_limit {
@@ -403,6 +464,7 @@ impl TestTracer {
         while let Some(top) = self.stack.pop() {
             let entry_start = if let Some(bi) = top.bank {
                 let bank = self.banks[bi].take().expect("stack bank is live");
+                self.unbank_top(bi);
                 self.locals.release(top.activation);
                 Some(bank.entry_start)
             } else {
@@ -467,13 +529,14 @@ impl TraceSink for TestTracer {
 
     fn loop_enter(&mut self, loop_id: LoopId, n_locals: u16, activation: u32, now: Cycles) {
         self.tick(now);
-        // dynamic forest edge: nearest traced enclosing loop
-        let parent = self
-            .stack
-            .iter()
-            .rev()
-            .find(|e| e.bank.is_some())
-            .map(|e| e.loop_id);
+        // dynamic forest edge: nearest traced enclosing loop = the
+        // innermost live bank
+        let parent = self.banked.last().map(|&bi| {
+            self.banks[bi]
+                .as_ref()
+                .expect("banked index is live")
+                .loop_id
+        });
         *self.forest_edges.entry((parent, loop_id)).or_insert(0) += 1;
 
         // adaptive annotation policy: enough data collected already
@@ -482,15 +545,13 @@ impl TraceSink for TestTracer {
                 .stl
                 .get(&loop_id)
                 .is_some_and(|s| s.threads >= self.cfg.sufficient_threads);
-        let free = if sufficient {
-            None
-        } else {
-            self.banks.iter().position(|b| b.is_none())
-        };
+        let free = if sufficient { None } else { self.free_bank() };
         let bank = match free {
             Some(slot) if self.locals.reserve(activation, n_locals) => {
                 let mask = self.local_masks.get(&loop_id).copied().unwrap_or(u64::MAX);
                 self.banks[slot] = Some(Bank::new(loop_id, now, mask));
+                self.banked.push(slot);
+                self.mark_bank(slot, true);
                 let s = self.stl.entry(loop_id).or_default();
                 s.entries += 1;
                 Some(slot)
@@ -528,6 +589,7 @@ impl TraceSink for TestTracer {
                 // the sloop time so the loop's inclusive cycles are
                 // still accounted at eloop
                 let bank = self.banks[bi].take().expect("bank is live");
+                self.unbank_top(bi);
                 let entry = self.stack.last_mut().expect("top exists");
                 entry.bank = None;
                 entry.released_entry = Some(bank.entry_start);
@@ -545,6 +607,29 @@ impl TraceSink for TestTracer {
 
     fn stats_read(&mut self, _loop_id: LoopId, now: Cycles) {
         self.tick(now);
+    }
+
+    /// Batch-granularity delivery: one concrete dispatch loop over the
+    /// batch instead of one virtual call per event. Semantically
+    /// identical to the default (`replay_into`) — same events, same
+    /// order — so transport bit-identity is preserved; only the call
+    /// overhead changes.
+    fn consume_batch(&mut self, batch: &EventBatch) {
+        for e in batch.iter() {
+            match e {
+                Event::HeapLoad(a, t, pc) => self.heap_load(a, t, pc),
+                Event::HeapStore(a, t, pc) => self.heap_store(a, t, pc),
+                Event::LocalLoad(v, act, t, pc) => self.local_load(v, act, t, pc),
+                Event::LocalStore(v, act, t, pc) => self.local_store(v, act, t, pc),
+                Event::LoopEnter(l, n, act, t) => self.loop_enter(l, n, act, t),
+                Event::LoopIter(l, t) => self.loop_iter(l, t),
+                Event::LoopExit(l, t) => self.loop_exit(l, t),
+                Event::StatsRead(l, t) => self.stats_read(l, t),
+                Event::CallEnter(pc, act, t) => self.call_enter(pc, act, t),
+                Event::CallExit(pc, t) => self.call_exit(pc, t),
+                Event::CallResultUse(pc, t) => self.call_result_use(pc, t),
+            }
+        }
     }
 }
 
@@ -970,6 +1055,51 @@ mod tests {
         observed.set_obs(std::sync::Arc::new(obs::Trace::new()), 1);
         feed(&mut observed);
         assert_eq!(plain.into_profile(), observed.into_profile());
+    }
+
+    #[test]
+    fn consume_batch_matches_per_event_delivery() {
+        // nested loops, releases, local vars and calls — every event
+        // kind crosses the batch boundary at least once
+        let events = vec![
+            Event::LoopEnter(L0, 2, 7, 0),
+            Event::LocalStore(0, 7, 2, pc(1)),
+            Event::HeapStore(0x100, 10, pc(2)),
+            Event::LoopEnter(L1, 0, 7, 12),
+            Event::HeapStore(0x200, 14, pc(3)),
+            Event::LoopIter(L1, 20),
+            Event::HeapLoad(0x200, 22, pc(4)),
+            Event::LoopIter(L1, 30),
+            Event::LoopExit(L1, 31),
+            Event::CallEnter(pc(5), 7, 32),
+            Event::CallExit(pc(5), 35),
+            Event::CallResultUse(pc(5), 36),
+            Event::LoopIter(L0, 40),
+            Event::HeapLoad(0x100, 50, pc(6)),
+            Event::LocalLoad(0, 7, 52, pc(7)),
+            Event::StatsRead(L0, 55),
+            Event::LoopIter(L0, 60),
+            Event::LoopExit(L0, 61),
+        ];
+        // split across two batches to exercise batch boundaries
+        let (first, second) = events.split_at(events.len() / 2);
+        let mut batches = Vec::new();
+        for chunk in [first, second] {
+            let mut b = EventBatch::with_capacity(chunk.len());
+            for &e in chunk {
+                b.push(e);
+            }
+            batches.push(b);
+        }
+        let mut via_default = tracer();
+        for b in &batches {
+            b.replay_into(&mut via_default);
+        }
+        let mut via_override = tracer();
+        for b in &batches {
+            via_override.consume_batch(b);
+        }
+        assert_eq!(via_default.into_profile(), via_override.into_profile());
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! proportionally to a length field it has not validated. This module
 //! drives that contract with exhaustive truncations, exhaustive
 //! single-byte bit flips, and seeded random multi-byte mutations.
+//! [`mmap_sweep`] replays a focused subset through the file-backed
+//! zero-copy path ([`MappedRecording`]) and additionally requires the
+//! two parsers to agree on every input.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::rng::Rng;
-use tvm::record::Recording;
+use tvm::record::{MappedRecording, Recording};
 
 /// Outcome counters of a [`corruption_sweep`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -88,6 +91,123 @@ pub fn corruption_sweep(
     Ok(stats)
 }
 
+/// File-backed corruption sweep for the zero-copy load path.
+///
+/// [`MappedRecording::open`] + [`tvm::record::RecordingView`] parse the same wire
+/// format as [`Recording::from_bytes`], but from an mmapped file the
+/// kernel can hand over in any length — so header trust bugs surface
+/// here first. Each mutation is written to a scratch file, mapped, and
+/// fully decoded; the mapped outcome must agree with the in-memory
+/// parser byte for byte: both reject, or both parse the same events.
+///
+/// The mutation set is deliberately smaller than [`corruption_sweep`]'s
+/// (every round costs a file write + mmap): every header-boundary
+/// truncation (magic, version, and the count varint live in the first
+/// 16 bytes), every tail truncation over the last 8 bytes, all three
+/// flip patterns over the header region, and `random_rounds` seeded
+/// whole-stream mutations.
+///
+/// # Errors
+///
+/// A description of the first mutation whose mapped parse panicked or
+/// disagreed with `Recording::from_bytes`.
+pub fn mmap_sweep(bytes: &[u8], seed: u64, random_rounds: u64) -> Result<CorruptStats, String> {
+    let path = std::env::temp_dir().join(format!(
+        "fuzzgen-mmap-sweep-{}-{seed:x}.tvmr",
+        std::process::id()
+    ));
+    let mut stats = CorruptStats::default();
+    let run = |m: &[u8], what: &str, stats: &mut CorruptStats| -> Result<(), String> {
+        let r = try_mapped(&path, m, what, stats);
+        let _ = std::fs::remove_file(&path);
+        r
+    };
+    let header = bytes.len().min(16);
+    for cut in 0..=header {
+        run(
+            &bytes[..cut],
+            &format!("header truncate to {cut} bytes"),
+            &mut stats,
+        )?;
+    }
+    for cut in bytes.len().saturating_sub(8)..bytes.len() {
+        run(
+            &bytes[..cut],
+            &format!("tail truncate to {cut} bytes"),
+            &mut stats,
+        )?;
+    }
+    for i in 0..header {
+        for flip in FLIPS {
+            let mut m = bytes.to_vec();
+            m[i] ^= flip;
+            run(&m, &format!("header byte {i} ^= {flip:#04x}"), &mut stats)?;
+        }
+    }
+    let mut r = Rng::new(seed);
+    for round in 0..random_rounds {
+        let mut m = bytes.to_vec();
+        for _ in 0..=r.below(8) {
+            if m.is_empty() {
+                break;
+            }
+            let i = r.below(m.len() as u64) as usize;
+            m[i] ^= r.next_u64() as u8;
+        }
+        run(
+            &m,
+            &format!("random mmap mutation round {round} (seed {seed})"),
+            &mut stats,
+        )?;
+    }
+    Ok(stats)
+}
+
+/// One mmap-path parse attempt, checked against the in-memory parser.
+fn try_mapped(
+    path: &std::path::Path,
+    bytes: &[u8],
+    what: &str,
+    stats: &mut CorruptStats,
+) -> Result<(), String> {
+    stats.attempts += 1;
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write scratch file: {e}"))?;
+    let mapped = catch_unwind(AssertUnwindSafe(|| {
+        MappedRecording::open(path).and_then(|m| m.view().and_then(|v| v.to_recording()))
+    }));
+    let mapped = match mapped {
+        Ok(r) => r,
+        Err(payload) => {
+            return Err(format!(
+                "mmap load path PANICKED on corrupt input ({what}): {}",
+                panic_message(&payload)
+            ))
+        }
+    };
+    match (Recording::from_bytes(bytes), mapped) {
+        (Ok(a), Ok(b)) => {
+            if a != b {
+                return Err(format!(
+                    "mmap path decoded different events than from_bytes ({what})"
+                ));
+            }
+            stats.parsed += 1;
+        }
+        (Err(_), Err(_)) => stats.rejected += 1,
+        (Ok(_), Err(e)) => {
+            return Err(format!(
+                "from_bytes accepts but the mmap path rejects ({what}): {e}"
+            ))
+        }
+        (Err(e), Ok(_)) => {
+            return Err(format!(
+                "the mmap path accepts what from_bytes rejects ({what}): {e}"
+            ))
+        }
+    }
+    Ok(())
+}
+
 fn try_parse(bytes: &[u8], what: &str, stats: &mut CorruptStats) -> Result<(), String> {
     stats.attempts += 1;
     match catch_unwind(AssertUnwindSafe(|| Recording::from_bytes(bytes))) {
@@ -142,5 +262,24 @@ mod tests {
             bytes.len() as u64 + bytes.len() as u64 * 3 + 200
         );
         assert!(stats.rejected > 0, "some mutations must be rejected");
+    }
+
+    #[test]
+    fn mmap_sweep_over_a_tiny_recording_agrees_with_from_bytes() {
+        use tvm::record::RecordingSink;
+        use tvm::{FuncId, Pc, TraceSink};
+        let pc = |idx| Pc {
+            func: FuncId(0),
+            idx,
+        };
+        let mut sink = RecordingSink::default();
+        sink.heap_load(64, 10, pc(0));
+        sink.heap_store(96, 20, pc(1));
+        sink.loop_enter(tvm::LoopId(0), 0, 2, 30);
+        sink.loop_exit(tvm::LoopId(0), 40);
+        let bytes = sink.into_recording().to_bytes();
+        let stats = mmap_sweep(&bytes, 7, 50).expect("no panics, parsers agree");
+        assert!(stats.parsed > 0, "the pristine prefix set must parse");
+        assert!(stats.rejected > 0, "header corruption must be rejected");
     }
 }

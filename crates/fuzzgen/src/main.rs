@@ -15,7 +15,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use fuzzgen::corrupt::{corruption_sweep, panic_message};
+use fuzzgen::corrupt::{corruption_sweep, mmap_sweep, panic_message};
 use fuzzgen::oracle::{check_spec, CheckStats, Failure};
 use fuzzgen::spec::{gen_spec, render, ProgramSpec};
 
@@ -121,10 +121,22 @@ fn main() -> ExitCode {
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let sweep = corruption_sweep(&bytes, 0xC0FFEE, 2_000);
+        let mapped = mmap_sweep(&bytes, 0xC0FFEE, 200);
         std::panic::set_hook(prev_hook);
         match sweep {
             Ok(s) => println!(
-                "  {} mutations: {} parsed, {} rejected, 0 panics",
+                "  in-memory: {} mutations: {} parsed, {} rejected, 0 panics",
+                s.attempts, s.parsed, s.rejected
+            ),
+            Err(e) => {
+                eprintln!("  {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match mapped {
+            Ok(s) => println!(
+                "  mmap:      {} mutations: {} parsed, {} rejected, 0 panics, \
+                 0 parser disagreements",
                 s.attempts, s.parsed, s.rejected
             ),
             Err(e) => {

@@ -36,7 +36,10 @@
 //!    longest thread plus fixed overheads, thread counts match the
 //!    trace, and zero violations means the restart penalty is inert;
 //! 10. **pipeline closure** — `run_pipeline` in serial-bus and
-//!     threaded-bus modes agrees end to end.
+//!     threaded-bus modes agrees end to end;
+//! 11. **server closure** — the same program submitted to the `serve`
+//!     worker pool answers with a report identical to the batch
+//!     pipeline: the server is a transport, never a re-modelling.
 //!
 //! Checks are ordered cheap-first so the shrinker converges fast.
 
@@ -49,6 +52,7 @@ use hydra_sim::{simulate_entry, TlsConfig, TlsTraceCollector};
 use jrpm::annotate::{annotate, AnnotateOptions};
 use jrpm::tier::{run_tiered, TierConfig};
 use jrpm::{run_pipeline, BusConfig, PipelineConfig};
+use serve::{ProfileRequest, Server, ServerConfig};
 use test_tracer::{Profile, TestTracer, TracerConfig};
 use tvm::record::{Event, Recording, RecordingSink};
 use tvm::{record_batches, Addr, CostModel, Interp, LoopId, Program, RunResult, TraceBus, VmError};
@@ -842,6 +846,38 @@ fn check_pipeline(program: &Program) -> Result<(), Failure> {
                 "serial-bus and threaded-bus pipeline reports diverged{}{}",
                 sink_diag("serial", &serial.obs.bus),
                 sink_diag("threaded", &threaded.obs.bus)
+            ),
+        ));
+    }
+
+    // the profiling server must answer with the batch pipeline's exact
+    // report — served through a worker pool, but never re-modelled
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_depth: 2,
+        trace: None,
+    });
+    let resp = server
+        .profile(ProfileRequest::Pipeline {
+            program: program.clone(),
+            cfg: PipelineConfig::default(),
+        })
+        .map_err(|e| fail("serve", format!("server request failed: {e}")))?;
+    let served = resp
+        .report()
+        .ok_or_else(|| fail("serve", "pipeline request answered without a report"))?;
+    if serial.seq_cycles != served.seq_cycles
+        || serial.profile_cycles != served.profile_cycles
+        || serial.profile != served.profile
+        || format!("{:?}", serial.selection) != format!("{:?}", served.selection)
+        || format!("{:?}", serial.actual) != format!("{:?}", served.actual)
+    {
+        return Err(fail(
+            "serve",
+            format!(
+                "server-answered pipeline report diverged from the batch run{}{}",
+                sink_diag("batch", &serial.obs.bus),
+                sink_diag("served", &served.obs.bus)
             ),
         ));
     }

@@ -1,0 +1,592 @@
+//! Profiling as a service: a bounded job queue over a pool of worker
+//! threads, each running the same deterministic Jrpm pipeline the
+//! batch path runs.
+//!
+//! The TEST premise is that profiling is cheap enough to run on live
+//! programs; this crate treats "profile this program" as a *request*.
+//! A [`Server`] owns N workers (shards); each request is claimed by
+//! exactly one worker, which runs it to completion and answers on the
+//! request's private reply channel — so analysis state is never shared
+//! across shards and every response is bit-identical to the
+//! single-tenant batch run of the same input (pinned suite-wide by
+//! `tests/equivalence.rs`).
+//!
+//! Three request shapes cover the record-once/replay-many machinery:
+//!
+//! * [`ProfileRequest::Pipeline`] / [`ProfileRequest::Tiered`] — full
+//!   pipeline on a program, offline or tier-scheduled.
+//! * [`ProfileRequest::Replay`] — an in-memory [`Recording`] through a
+//!   fresh TEST tracer.
+//! * [`ProfileRequest::ReplayMapped`] — a recording *file*, mmapped
+//!   and streamed as borrowed batches through one reusable buffer
+//!   (zero-copy: no `Vec<Event>` is ever materialized).
+//!
+//! Failure is typed end to end: a malformed recording, a VM error, or
+//! even a panicking request produces a [`ServeError`] on that
+//! request's ticket — never a dead server loop. Per-worker counters
+//! (`serve.worker.<i>.*`) live in an [`obs::Registry`]; an optional
+//! [`obs::Trace`] adds a `serve:worker:<i>` track with one span per
+//! request.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use jrpm::pipeline::{run_pipeline, PipelineConfig, PipelineReport};
+use jrpm::tier::{run_tiered, TierConfig, TierReport};
+use obs::{Registry, Trace};
+use test_tracer::config::TracerConfig;
+use test_tracer::stats::Profile;
+use test_tracer::tracer::TestTracer;
+use tvm::bus::DEFAULT_BATCH_CAPACITY;
+use tvm::record::{MappedRecording, Recording, RecordingError};
+use tvm::{Program, VmError};
+
+/// One profiling request.
+#[derive(Debug)]
+pub enum ProfileRequest {
+    /// Run the full batch pipeline on `program`.
+    Pipeline {
+        /// The annotated-STL program to profile.
+        program: Program,
+        /// Pipeline configuration (tracer, TLS, bus, obs, rescue).
+        cfg: PipelineConfig,
+    },
+    /// Run the pipeline under the online tier controller.
+    Tiered {
+        /// The annotated-STL program to profile.
+        program: Program,
+        /// Pipeline configuration.
+        cfg: PipelineConfig,
+        /// Tier-controller schedule and thresholds.
+        tier: TierConfig,
+    },
+    /// Replay an in-memory recording through a fresh TEST tracer.
+    Replay {
+        /// The recorded event stream.
+        recording: Recording,
+        /// Tracer hardware configuration.
+        tracer: TracerConfig,
+    },
+    /// Mmap the recording file at `path` and stream it through a fresh
+    /// TEST tracer as borrowed batches — the zero-copy hot path.
+    ReplayMapped {
+        /// Path to a [`Recording::save`]d file.
+        path: PathBuf,
+        /// Tracer hardware configuration.
+        tracer: TracerConfig,
+        /// Events per streamed batch (0 is promoted to 1).
+        batch_capacity: usize,
+    },
+}
+
+impl ProfileRequest {
+    /// Short kind label used for spans and diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProfileRequest::Pipeline { .. } => "pipeline",
+            ProfileRequest::Tiered { .. } => "tiered",
+            ProfileRequest::Replay { .. } => "replay",
+            ProfileRequest::ReplayMapped { .. } => "replay_mapped",
+        }
+    }
+}
+
+/// The answer to one [`ProfileRequest`].
+#[derive(Debug)]
+pub enum ProfileResponse {
+    /// Batch pipeline output.
+    Pipeline(Box<PipelineReport>),
+    /// Tier-scheduled pipeline output.
+    Tiered {
+        /// The ordinary pipeline report.
+        report: Box<PipelineReport>,
+        /// Tier-controller history.
+        tiers: TierReport,
+    },
+    /// Tracer profile of a replayed recording.
+    Profile {
+        /// Everything the tracer collected.
+        profile: Box<Profile>,
+        /// Events replayed into the tracer.
+        events: u64,
+    },
+}
+
+impl ProfileResponse {
+    /// The pipeline report, for pipeline/tiered responses.
+    pub fn report(&self) -> Option<&PipelineReport> {
+        match self {
+            ProfileResponse::Pipeline(r) => Some(r),
+            ProfileResponse::Tiered { report, .. } => Some(report),
+            ProfileResponse::Profile { .. } => None,
+        }
+    }
+
+    /// The tracer profile carried by any response shape.
+    pub fn profile(&self) -> &Profile {
+        match self {
+            ProfileResponse::Pipeline(r) => &r.profile,
+            ProfileResponse::Tiered { report, .. } => &report.profile,
+            ProfileResponse::Profile { profile, .. } => profile,
+        }
+    }
+}
+
+/// Typed failure of one request (or of the queue itself). One bad
+/// request answers with an error on its own ticket; it never takes
+/// down the server loop.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The server has shut down (or is shutting down); the request was
+    /// not enqueued.
+    QueueClosed,
+    /// The worker processing this request panicked. The panic was
+    /// contained; the worker kept serving.
+    WorkerPanicked(String),
+    /// The request's reply channel closed without an answer.
+    NoResponse,
+    /// VM failure while executing the request's program.
+    Vm(VmError),
+    /// Malformed, truncated, or unreadable recording.
+    Recording(RecordingError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueClosed => write!(f, "server queue is closed"),
+            ServeError::WorkerPanicked(d) => write!(f, "worker panicked serving request: {d}"),
+            ServeError::NoResponse => write!(f, "reply channel closed without an answer"),
+            ServeError::Vm(e) => write!(f, "vm error: {e}"),
+            ServeError::Recording(e) => write!(f, "recording error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<VmError> for ServeError {
+    fn from(e: VmError) -> ServeError {
+        ServeError::Vm(e)
+    }
+}
+
+impl From<RecordingError> for ServeError {
+    fn from(e: RecordingError) -> ServeError {
+        ServeError::Recording(e)
+    }
+}
+
+/// Server sizing and observability knobs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker (shard) count. 0 is promoted to 1.
+    pub workers: usize,
+    /// Bound of the shared job queue; submitters block (back-pressure)
+    /// when it is full. 0 is promoted to 1.
+    pub queue_depth: usize,
+    /// Optional span trace: each worker becomes a `serve:worker:<i>`
+    /// track carrying one span per request.
+    pub trace: Option<Arc<Trace>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            queue_depth: 64,
+            trace: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("workers", &self.workers)
+            .field("queue_depth", &self.queue_depth)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
+}
+
+struct Job {
+    req: ProfileRequest,
+    reply: Sender<Result<ProfileResponse, ServeError>>,
+}
+
+/// A pending response. [`Ticket::wait`] blocks until the worker
+/// answers.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<ProfileResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// The request's own [`ServeError`], or [`ServeError::NoResponse`]
+    /// if the worker died before answering.
+    pub fn wait(self) -> Result<ProfileResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::NoResponse))
+    }
+}
+
+/// The profiling server: a bounded queue fanned across a worker pool.
+pub struct Server {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Arc<Registry>,
+}
+
+impl Server {
+    /// Starts `cfg.workers` worker threads sharing one bounded queue.
+    pub fn start(cfg: ServerConfig) -> Server {
+        let workers = cfg.workers.max(1);
+        let depth = cfg.queue_depth.max(1);
+        let (tx, rx) = sync_channel::<Job>(depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let registry = Arc::new(Registry::new());
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let registry = Arc::clone(&registry);
+                let trace = cfg.trace.clone();
+                std::thread::spawn(move || worker_loop(i, &rx, &registry, trace.as_deref()))
+            })
+            .collect();
+        Server {
+            tx: Some(tx),
+            workers: handles,
+            registry,
+        }
+    }
+
+    /// Starts a server with the default configuration.
+    pub fn start_default() -> Server {
+        Server::start(ServerConfig::default())
+    }
+
+    /// Enqueues a request, blocking while the queue is full
+    /// (back-pressure), and returns the ticket its answer arrives on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueClosed`] once shutdown has begun.
+    pub fn submit(&self, req: ProfileRequest) -> Result<Ticket, ServeError> {
+        let tx = self.tx.as_ref().ok_or(ServeError::QueueClosed)?;
+        let (reply, rx) = mpsc::channel();
+        tx.send(Job { req, reply })
+            .map_err(|_| ServeError::QueueClosed)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and waits in one call.
+    ///
+    /// # Errors
+    ///
+    /// Queue closure, or the request's own failure.
+    pub fn profile(&self, req: ProfileRequest) -> Result<ProfileResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// The per-worker counter registry (`serve.worker.<i>.requests`,
+    /// `.events`, `.busy_nanos`, `.panics`, `.lagged_batches`,
+    /// `.dropped_batches`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes the queue, drains in-flight requests, and joins every
+    /// worker. Returns the final counter registry.
+    pub fn shutdown(mut self) -> Arc<Registry> {
+        self.close_and_join();
+        Arc::clone(&self.registry)
+    }
+
+    fn close_and_join(&mut self) {
+        self.tx = None; // closes the queue; workers drain and exit
+        for h in self.workers.drain(..) {
+            // a worker that somehow died panicking has already answered
+            // its requests with WorkerPanicked or dropped its reply
+            // senders (tickets see NoResponse) — nothing to propagate
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    rx: &Mutex<Receiver<Job>>,
+    registry: &Registry,
+    trace: Option<&Trace>,
+) {
+    let prefix = format!("serve.worker.{index}");
+    let track = trace.map(|tr| tr.track(&format!("serve:worker:{index}")));
+    loop {
+        // hold the lock only while claiming the next job, so shards
+        // drain the queue concurrently
+        let job = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                // a panic inside `recv` cannot poison worker state —
+                // the jobs themselves run outside the lock
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        let Ok(job) = job else { break };
+        let kind = job.req.kind();
+        if let (Some(tr), Some(t)) = (trace, track) {
+            tr.begin(t, kind);
+        }
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| handle(job.req)));
+        let busy = started.elapsed().as_nanos() as u64;
+        registry.counter(&format!("{prefix}.requests")).inc();
+        registry.counter(&format!("{prefix}.busy_nanos")).add(busy);
+        let result = match result {
+            Ok(r) => r,
+            Err(payload) => {
+                registry.counter(&format!("{prefix}.panics")).inc();
+                Err(ServeError::WorkerPanicked(panic_message(&payload)))
+            }
+        };
+        if let Ok(resp) = &result {
+            let (events, lagged, dropped) = response_counters(resp);
+            registry.counter(&format!("{prefix}.events")).add(events);
+            registry
+                .counter(&format!("{prefix}.lagged_batches"))
+                .add(lagged);
+            registry
+                .counter(&format!("{prefix}.dropped_batches"))
+                .add(dropped);
+        }
+        if let (Some(tr), Some(t)) = (trace, track) {
+            tr.end(t, kind);
+        }
+        // a dropped ticket just means nobody is waiting; keep serving
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Events analyzed plus per-shard bus lag/drop totals of one response.
+fn response_counters(resp: &ProfileResponse) -> (u64, u64, u64) {
+    match resp {
+        ProfileResponse::Pipeline(r) | ProfileResponse::Tiered { report: r, .. } => {
+            let (mut lagged, mut dropped) = (0, 0);
+            for s in &r.obs.bus.sinks {
+                lagged += s.lagged_batches;
+                dropped += s.dropped_batches;
+            }
+            (r.profile.events, lagged, dropped)
+        }
+        ProfileResponse::Profile { profile, .. } => (profile.events, 0, 0),
+    }
+}
+
+fn handle(req: ProfileRequest) -> Result<ProfileResponse, ServeError> {
+    match req {
+        ProfileRequest::Pipeline { program, cfg } => {
+            let report = run_pipeline(&program, &cfg)?;
+            Ok(ProfileResponse::Pipeline(Box::new(report)))
+        }
+        ProfileRequest::Tiered { program, cfg, tier } => {
+            let outcome = run_tiered(&program, &cfg, &tier)?;
+            Ok(ProfileResponse::Tiered {
+                report: Box::new(outcome.report),
+                tiers: outcome.tiers,
+            })
+        }
+        ProfileRequest::Replay { recording, tracer } => {
+            let mut t = TestTracer::new(tracer);
+            recording.replay(&mut t);
+            let events = recording.len() as u64;
+            Ok(ProfileResponse::Profile {
+                profile: Box::new(t.into_profile()),
+                events,
+            })
+        }
+        ProfileRequest::ReplayMapped {
+            path,
+            tracer,
+            batch_capacity,
+        } => {
+            let mapped = MappedRecording::open(&path)?;
+            let view = mapped.view()?;
+            let mut t = TestTracer::new(tracer);
+            let events = view.stream_batches(batch_capacity.max(1), |batch| {
+                use tvm::trace::TraceSink;
+                t.consume_batch(batch);
+            })?;
+            Ok(ProfileResponse::Profile {
+                profile: Box::new(t.into_profile()),
+                events,
+            })
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Convenience: the default zero-copy batch capacity for
+/// [`ProfileRequest::ReplayMapped`].
+pub const DEFAULT_REPLAY_BATCH: usize = DEFAULT_BATCH_CAPACITY;
+
+// Everything that crosses the queue or the reply channels must be
+// Send; these assertions pin the pipeline entry points as Send-clean
+// at compile time (the tentpole's `jrpm` requirement).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ProfileRequest>();
+    assert_send::<ProfileResponse>();
+    assert_send::<ServeError>();
+    assert_send::<Ticket>();
+    assert_send::<PipelineReport>();
+    assert_send::<Program>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvm::{ElemKind, ProgramBuilder};
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let (a, i) = (f.local(), f.local());
+            f.ci(16).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 16.into(), |f| {
+                f.arr_set(
+                    a,
+                    |f| {
+                        f.ld(i);
+                    },
+                    |f| {
+                        f.ld(i);
+                    },
+                );
+            });
+            f.ret_void();
+        });
+        b.finish(main).expect("sample program builds")
+    }
+
+    #[test]
+    fn pipeline_request_round_trips() {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            queue_depth: 4,
+            trace: None,
+        });
+        let resp = server
+            .profile(ProfileRequest::Pipeline {
+                program: sample_program(),
+                cfg: PipelineConfig::default(),
+            })
+            .expect("pipeline request succeeds");
+        let direct = run_pipeline(&sample_program(), &PipelineConfig::default()).unwrap();
+        let report = resp.report().expect("pipeline response has a report");
+        assert_eq!(report.seq_cycles, direct.seq_cycles);
+        assert_eq!(report.profile, direct.profile);
+        let registry = server.shutdown();
+        let snap = registry.snapshot();
+        let total: u64 = (0..2)
+            .map(|i| snap.counter(&format!("serve.worker.{i}.requests")))
+            .sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_a_typed_error() {
+        let mut server = Server::start(ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            trace: None,
+        });
+        server.tx = None; // simulate shutdown-in-progress
+        let err = server
+            .submit(ProfileRequest::Pipeline {
+                program: sample_program(),
+                cfg: PipelineConfig::default(),
+            })
+            .expect_err("closed queue rejects");
+        assert!(matches!(err, ServeError::QueueClosed));
+    }
+
+    #[test]
+    fn missing_recording_file_is_a_typed_error() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            trace: None,
+        });
+        let err = server
+            .profile(ProfileRequest::ReplayMapped {
+                path: PathBuf::from("/nonexistent/recording.tvmr"),
+                tracer: TracerConfig::default(),
+                batch_capacity: DEFAULT_REPLAY_BATCH,
+            })
+            .expect_err("missing file is an error, not a panic");
+        assert!(matches!(err, ServeError::Recording(RecordingError::Io(_))));
+    }
+
+    #[test]
+    fn panicking_request_is_contained_and_server_keeps_serving() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_depth: 2,
+            trace: None,
+        });
+        // a tracer table size that is not a power of two makes
+        // TestTracer::new panic — a genuinely panicking request
+        let bad = TracerConfig {
+            ld_table_entries: 3,
+            ..TracerConfig::default()
+        };
+        let err = server
+            .profile(ProfileRequest::Replay {
+                recording: Recording { events: Vec::new() },
+                tracer: bad,
+            })
+            .expect_err("panicking request answers with a typed error");
+        assert!(matches!(err, ServeError::WorkerPanicked(_)), "{err:?}");
+        // the single worker survived and answers the next request
+        let resp = server.profile(ProfileRequest::Replay {
+            recording: Recording { events: Vec::new() },
+            tracer: TracerConfig::default(),
+        });
+        match resp.expect("empty replay succeeds after the panic") {
+            ProfileResponse::Profile { events, .. } => assert_eq!(events, 0),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        let snap = server.shutdown().snapshot();
+        assert_eq!(snap.counter("serve.worker.0.panics"), 1);
+        assert_eq!(snap.counter("serve.worker.0.requests"), 2);
+    }
+}

@@ -227,6 +227,17 @@ impl EventBatch {
         self.ctrl.is_empty()
     }
 
+    /// Empties the batch, keeping its allocations for reuse. This is
+    /// what lets the zero-copy replay path run allocation-free in the
+    /// steady state: one buffer, filled and drained per batch.
+    pub fn clear(&mut self) {
+        self.ctrl.clear();
+        self.heap_addr.clear();
+        self.heap_cycle.clear();
+        self.heap_pc.clear();
+        self.misc.clear();
+    }
+
     /// Appends a heap load without constructing an [`Event`].
     #[inline]
     pub fn push_heap_load(&mut self, addr: Addr, now: Cycles, pc: Pc) {
@@ -332,6 +343,20 @@ impl EventBatch {
         out
     }
 
+    /// Iterates the events in emission order without materializing a
+    /// vector — heap accesses are reconstructed from the SoA columns
+    /// on the fly. This is the hot-path companion to
+    /// [`TraceSink::consume_batch`]: a sink that overrides it walks
+    /// this iterator and dispatches concretely.
+    pub fn iter(&self) -> EventBatchIter<'_> {
+        EventBatchIter {
+            batch: self,
+            ctrl: 0,
+            heap: 0,
+            misc: 0,
+        }
+    }
+
     /// Per-kind event counts of this batch.
     pub fn kind_counts(&self) -> KindCounts {
         let mut k = KindCounts::default();
@@ -348,6 +373,58 @@ impl EventBatch {
         k
     }
 }
+
+/// Iterator over an [`EventBatch`], yielding [`Event`]s in emission
+/// order. Created by [`EventBatch::iter`].
+#[derive(Debug, Clone)]
+pub struct EventBatchIter<'a> {
+    batch: &'a EventBatch,
+    ctrl: usize,
+    heap: usize,
+    misc: usize,
+}
+
+impl Iterator for EventBatchIter<'_> {
+    type Item = Event;
+
+    #[inline]
+    fn next(&mut self) -> Option<Event> {
+        let c = *self.batch.ctrl.get(self.ctrl)?;
+        self.ctrl += 1;
+        Some(match c {
+            Ctrl::HeapLoad => {
+                let i = self.heap;
+                self.heap += 1;
+                Event::HeapLoad(
+                    self.batch.heap_addr[i],
+                    self.batch.heap_cycle[i],
+                    self.batch.heap_pc[i],
+                )
+            }
+            Ctrl::HeapStore => {
+                let i = self.heap;
+                self.heap += 1;
+                Event::HeapStore(
+                    self.batch.heap_addr[i],
+                    self.batch.heap_cycle[i],
+                    self.batch.heap_pc[i],
+                )
+            }
+            Ctrl::Misc => {
+                let i = self.misc;
+                self.misc += 1;
+                self.batch.misc[i]
+            }
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.batch.ctrl.len() - self.ctrl;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for EventBatchIter<'_> {}
 
 /// A [`TraceSink`] that groups the event stream into fixed-capacity
 /// [`EventBatch`]es and hands each full batch to `flush`. Call
@@ -575,6 +652,28 @@ pub struct SinkStats {
     pub drain_nanos: u64,
 }
 
+impl SinkStats {
+    /// Mean events per delivered batch. Returns 0.0 for a sink that
+    /// received nothing (e.g. a panicked consumer), never `NaN`.
+    pub fn avg_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.batches as f64
+        }
+    }
+
+    /// Events delivered per second of drain wall time. Returns 0.0 for
+    /// an empty window instead of `inf`/`NaN`.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.drain_nanos == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.drain_nanos as f64
+        }
+    }
+}
+
 /// Observability summary of one bus run (replay or live).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BusReport {
@@ -715,7 +814,7 @@ impl<'a> TraceBus<'a> {
                     tr.begin(track, "drain");
                 }
                 let t = Instant::now();
-                batch.replay_into(*sink);
+                sink.consume_batch(batch);
                 st.drain_nanos += t.elapsed().as_nanos() as u64;
                 st.batches += 1;
                 st.events += batch.len() as u64;
@@ -753,7 +852,9 @@ impl<'a> TraceBus<'a> {
         std::thread::scope(|scope| {
             let mut txs = Vec::with_capacity(sinks.len());
             let mut handles = Vec::with_capacity(sinks.len());
+            let mut labels = Vec::with_capacity(sinks.len());
             for (label, sink) in sinks {
+                labels.push(label.clone());
                 let (tx, rx) = sync_channel::<&EventBatch>(depth);
                 txs.push(tx);
                 let thread_trace = trace.clone();
@@ -770,7 +871,7 @@ impl<'a> TraceBus<'a> {
                             tr.begin(t, "drain");
                         }
                         let t = Instant::now();
-                        batch.replay_into(sink);
+                        sink.consume_batch(batch);
                         st.drain_nanos += t.elapsed().as_nanos() as u64;
                         st.batches += 1;
                         st.events += batch.len() as u64;
@@ -809,9 +910,22 @@ impl<'a> TraceBus<'a> {
             }
             drop(txs);
             for (i, h) in handles.into_iter().enumerate() {
-                let mut st = h.join().expect("bus consumer thread panicked");
+                // A panicking sink must not take down the bus (or, at
+                // service scale, the whole server loop): synthesize
+                // its stats instead, marking the full stream as
+                // dropped since its analysis state is unusable.
+                let mut st = match h.join() {
+                    Ok(mut st) => {
+                        st.dropped_batches = dropped[i];
+                        st
+                    }
+                    Err(_) => SinkStats {
+                        label: labels[i].clone(),
+                        dropped_batches: report.batches,
+                        ..SinkStats::default()
+                    },
+                };
                 st.lagged_batches = lagged[i];
-                st.dropped_batches = dropped[i];
                 out.push(st);
             }
         });
@@ -847,7 +961,9 @@ impl<'a> TraceBus<'a> {
         let run = std::thread::scope(|scope| {
             let mut txs = Vec::with_capacity(sinks.len());
             let mut handles = Vec::with_capacity(sinks.len());
+            let mut labels = Vec::with_capacity(sinks.len());
             for (label, sink) in sinks {
+                labels.push(label.clone());
                 let (tx, rx) = sync_channel::<Arc<EventBatch>>(depth);
                 txs.push(tx);
                 let thread_trace = trace.clone();
@@ -864,7 +980,7 @@ impl<'a> TraceBus<'a> {
                             tr.begin(t, "drain");
                         }
                         let t = Instant::now();
-                        batch.replay_into(sink);
+                        sink.consume_batch(&batch);
                         st.drain_nanos += t.elapsed().as_nanos() as u64;
                         st.batches += 1;
                         st.events += batch.len() as u64;
@@ -916,9 +1032,20 @@ impl<'a> TraceBus<'a> {
             };
             drop(txs);
             for (i, h) in handles.into_iter().enumerate() {
-                let mut st = h.join().expect("bus consumer thread panicked");
+                // Same panic isolation as replay_threaded: a dead
+                // consumer yields synthesized stats, never a bus panic.
+                let mut st = match h.join() {
+                    Ok(mut st) => {
+                        st.dropped_batches = dropped[i];
+                        st
+                    }
+                    Err(_) => SinkStats {
+                        label: labels[i].clone(),
+                        dropped_batches: batches,
+                        ..SinkStats::default()
+                    },
+                };
                 st.lagged_batches = lagged[i];
-                st.dropped_batches = dropped[i];
                 out.push(st);
             }
             report.by_kind = by_kind;
@@ -1125,5 +1252,137 @@ mod tests {
         assert_eq!(report.avg_batch_occupancy(), 1.0);
         report.events = 20;
         assert_eq!(report.avg_batch_occupancy(), 0.625);
+    }
+
+    #[test]
+    fn batch_iter_matches_events() {
+        let p = sample_program();
+        let (_run, batches) = record_batches(&p, 7).unwrap();
+        for b in &batches {
+            let via_iter: Vec<Event> = b.iter().collect();
+            assert_eq!(via_iter, b.events());
+            assert_eq!(b.iter().len(), b.len());
+        }
+    }
+
+    #[test]
+    fn consume_batch_default_matches_replay_into() {
+        let p = sample_program();
+        let (_run, batches) = record_batches(&p, 9).unwrap();
+        let mut via_replay = CountingSink::default();
+        let mut via_consume = CountingSink::default();
+        for b in &batches {
+            b.replay_into(&mut via_replay);
+            via_consume.consume_batch(b);
+        }
+        assert_eq!(via_replay, via_consume);
+    }
+
+    #[test]
+    fn clear_keeps_allocations_and_empties() {
+        let p = sample_program();
+        let (_run, batches) = record_batches(&p, 16).unwrap();
+        let mut b = batches[0].clone();
+        assert!(!b.is_empty());
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.events(), Vec::new());
+    }
+
+    #[test]
+    fn zero_capacity_batcher_is_promoted_not_panicking() {
+        let p = sample_program();
+        let (_run, batches) = record_batches(&p, 0).unwrap();
+        assert!(!batches.is_empty());
+        for b in &batches {
+            assert_eq!(b.len(), 1, "zero capacity is promoted to 1");
+        }
+        // zero channel depth likewise serves, never panics
+        let mut count = CountingSink::default();
+        let report = TraceBus::new()
+            .channel_depth(0)
+            .sink("count", &mut count)
+            .replay_threaded(&batches);
+        assert_eq!(report.sinks[0].dropped_batches, 0);
+        let mut direct = CountingSink::default();
+        Interp::run(&p, &mut direct).unwrap();
+        assert_eq!(count, direct);
+    }
+
+    /// A sink that panics after observing `fuse` heap stores.
+    struct PanickingSink {
+        fuse: u64,
+    }
+
+    impl TraceSink for PanickingSink {
+        fn heap_store(&mut self, _addr: Addr, _now: Cycles, _pc: Pc) {
+            if self.fuse == 0 {
+                panic!("sink blew its fuse");
+            }
+            self.fuse -= 1;
+        }
+    }
+
+    #[test]
+    fn panicking_sink_does_not_take_down_the_threaded_bus() {
+        let p = sample_program();
+        let (_run, batches) = record_batches(&p, 4).unwrap();
+        let mut healthy = CountingSink::default();
+        let mut bomb = PanickingSink { fuse: 2 };
+        let report = TraceBus::new()
+            .channel_depth(2)
+            .sink("healthy", &mut healthy)
+            .sink("bomb", &mut bomb)
+            .replay_threaded(&batches);
+
+        // the healthy sink drained the full stream
+        let mut direct = CountingSink::default();
+        Interp::run(&p, &mut direct).unwrap();
+        assert_eq!(healthy, direct);
+        let h = report.sinks.iter().find(|s| s.label == "healthy").unwrap();
+        assert_eq!(h.events, report.events);
+        assert_eq!(h.dropped_batches, 0);
+
+        // the panicked sink got synthesized stats: full stream dropped
+        let b = report.sinks.iter().find(|s| s.label == "bomb").unwrap();
+        assert_eq!(b.events, 0);
+        assert_eq!(b.dropped_batches, report.batches);
+        assert_eq!(b.avg_batch_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn panicking_sink_does_not_take_down_the_live_bus() {
+        let p = sample_program();
+        let mut healthy = CountingSink::default();
+        let mut bomb = PanickingSink { fuse: 0 };
+        let (run, report) = TraceBus::new()
+            .channel_depth(2)
+            .sink("healthy", &mut healthy)
+            .sink("bomb", &mut bomb)
+            .run_threaded(&p, 4)
+            .unwrap();
+        let mut direct = CountingSink::default();
+        let direct_run = Interp::run(&p, &mut direct).unwrap();
+        assert_eq!(run.cycles, direct_run.cycles);
+        assert_eq!(healthy, direct);
+        let b = report.sinks.iter().find(|s| s.label == "bomb").unwrap();
+        assert_eq!(b.dropped_batches, report.batches);
+        assert_eq!(b.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn sink_stats_ratios_never_divide_by_zero() {
+        let empty = SinkStats::default();
+        assert_eq!(empty.avg_batch_occupancy(), 0.0);
+        assert_eq!(empty.events_per_sec(), 0.0);
+        let full = SinkStats {
+            events: 30,
+            batches: 4,
+            drain_nanos: 1_000_000_000,
+            ..SinkStats::default()
+        };
+        assert_eq!(full.avg_batch_occupancy(), 7.5);
+        assert_eq!(full.events_per_sec(), 30.0);
     }
 }

@@ -5,6 +5,14 @@
 //! decouples analysis benchmarking from interpretation (the Criterion
 //! harness replays a real benchmark's stream straight into the tracer)
 //! and makes event-level regression tests exact.
+//!
+//! For service-scale replay the on-disk format can also be consumed
+//! *zero-copy*: [`MappedRecording`] memory-maps a saved trace and
+//! [`RecordingView`] decodes events straight out of the mapped bytes
+//! into reusable [`EventBatch`]es — no `read_to_end`, no intermediate
+//! `Vec<Event>`. Both the owned and the borrowed path share one
+//! streaming decoder, so every corruption-handling guarantee of
+//! [`Recording::from_bytes`] holds for the mmap path too.
 
 use crate::bus::{EventBatch, KindCounts};
 use crate::isa::{FuncId, LoopId, Pc};
@@ -161,44 +169,11 @@ impl Recording {
     /// [`RecordingError`] on a bad magic/version, a truncated stream,
     /// an unknown event kind, or a field out of its type's range.
     pub fn from_bytes(bytes: &[u8]) -> Result<Recording, RecordingError> {
-        let mut r = Reader { bytes, pos: 0 };
-        let magic = r.take(4)?;
-        if magic != MAGIC {
-            return Err(RecordingError::BadMagic);
-        }
-        let version = u16::from_le_bytes([r.byte()?, r.byte()?]);
-        if version != FORMAT_VERSION {
-            return Err(RecordingError::BadVersion(version));
-        }
-        let count = r.varint()?;
-        let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
-        let mut prev_cycle: i64 = 0;
-        for _ in 0..count {
-            let kind = r.byte()?;
-            let now = prev_cycle
-                .checked_add(r.zigzag()?)
-                .filter(|&c| c >= 0)
-                .ok_or(RecordingError::FieldRange)?;
-            prev_cycle = now;
-            let now = now as Cycles;
-            let e = match kind {
-                0 => Event::HeapLoad(r.addr()?, now, r.pc()?),
-                1 => Event::HeapStore(r.addr()?, now, r.pc()?),
-                2 => Event::LocalLoad(r.u16()?, r.u32()?, now, r.pc()?),
-                3 => Event::LocalStore(r.u16()?, r.u32()?, now, r.pc()?),
-                4 => Event::LoopEnter(LoopId(r.u32()?), r.u16()?, r.u32()?, now),
-                5 => Event::LoopIter(LoopId(r.u32()?), now),
-                6 => Event::LoopExit(LoopId(r.u32()?), now),
-                7 => Event::StatsRead(LoopId(r.u32()?), now),
-                8 => Event::CallEnter(r.pc()?, r.u32()?, now),
-                9 => Event::CallExit(r.pc()?, now),
-                10 => Event::CallResultUse(r.pc()?, now),
-                k => return Err(RecordingError::BadKind(k)),
-            };
+        let view = RecordingView::parse(bytes)?;
+        let mut events = Vec::with_capacity(view.count().min(1 << 20) as usize);
+        let mut decoder = view.decoder();
+        while let Some(e) = decoder.next_event()? {
             events.push(e);
-        }
-        if r.pos != bytes.len() {
-            return Err(RecordingError::TrailingBytes);
         }
         Ok(Recording { events })
     }
@@ -219,6 +194,372 @@ impl Recording {
     /// I/O errors, plus every [`Recording::from_bytes`] parse error.
     pub fn load(path: impl AsRef<Path>) -> Result<Recording, RecordingError> {
         Recording::from_bytes(&std::fs::read(path).map_err(RecordingError::Io)?)
+    }
+}
+
+/// A validated, borrowed view over serialized recording bytes.
+///
+/// The header (magic, version, event count) is checked eagerly —
+/// including a plausibility bound on the count field, so a corrupted
+/// header can never drive an oversized allocation or a runaway decode
+/// loop — while event records are decoded lazily, straight from the
+/// borrowed bytes. This is the zero-copy path: pair it with
+/// [`MappedRecording`] to stream a saved trace into analysis sinks
+/// without materializing a `Vec<Event>`.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordingView<'a> {
+    bytes: &'a [u8],
+    /// Offset of the first event record (just past the header).
+    body: usize,
+    /// Declared event count (validated against the body size).
+    count: u64,
+}
+
+/// Every serialized event record occupies at least this many bytes
+/// (one kind byte plus one cycle-delta varint byte), which bounds any
+/// declared count by the body length.
+const MIN_EVENT_BYTES: u64 = 2;
+
+impl<'a> RecordingView<'a> {
+    /// Validates the header and returns a lazy view.
+    ///
+    /// # Errors
+    ///
+    /// [`RecordingError`] on bad magic/version, a truncated header,
+    /// or a declared event count that cannot fit in the remaining
+    /// bytes ([`RecordingError::CountTooLarge`]).
+    pub fn parse(bytes: &'a [u8]) -> Result<RecordingView<'a>, RecordingError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(RecordingError::BadMagic);
+        }
+        let version = u16::from_le_bytes([r.byte()?, r.byte()?]);
+        if version != FORMAT_VERSION {
+            return Err(RecordingError::BadVersion(version));
+        }
+        let count = r.varint()?;
+        let body = r.pos;
+        let available = (bytes.len() - body) as u64;
+        if count > available / MIN_EVENT_BYTES {
+            return Err(RecordingError::CountTooLarge { count, available });
+        }
+        Ok(RecordingView { bytes, body, count })
+    }
+
+    /// The declared (validated) event count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when the recording declares no events.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// A streaming decoder positioned at the first event.
+    pub fn decoder(&self) -> EventDecoder<'a> {
+        EventDecoder {
+            reader: Reader {
+                bytes: self.bytes,
+                pos: self.body,
+            },
+            remaining: self.count,
+            prev_cycle: 0,
+        }
+    }
+
+    /// Feeds every event into `sink`, in order, decoding straight from
+    /// the borrowed bytes. Returns the number of events delivered.
+    ///
+    /// # Errors
+    ///
+    /// Any decode error; events before the corruption point have
+    /// already been delivered.
+    pub fn replay<S: TraceSink + ?Sized>(&self, sink: &mut S) -> Result<u64, RecordingError> {
+        let mut decoder = self.decoder();
+        let mut n = 0u64;
+        while let Some(e) = decoder.next_event()? {
+            match e {
+                Event::HeapLoad(a, t, pc) => sink.heap_load(a, t, pc),
+                Event::HeapStore(a, t, pc) => sink.heap_store(a, t, pc),
+                Event::LocalLoad(v, act, t, pc) => sink.local_load(v, act, t, pc),
+                Event::LocalStore(v, act, t, pc) => sink.local_store(v, act, t, pc),
+                Event::LoopEnter(l, nl, act, t) => sink.loop_enter(l, nl, act, t),
+                Event::LoopIter(l, t) => sink.loop_iter(l, t),
+                Event::LoopExit(l, t) => sink.loop_exit(l, t),
+                Event::StatsRead(l, t) => sink.stats_read(l, t),
+                Event::CallEnter(pc, act, t) => sink.call_enter(pc, act, t),
+                Event::CallExit(pc, t) => sink.call_exit(pc, t),
+                Event::CallResultUse(pc, t) => sink.call_result_use(pc, t),
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Decodes the stream into [`EventBatch`]es of up to `capacity`
+    /// events, invoking `deliver` on each full batch (and the trailing
+    /// partial one). One batch buffer is reused across calls, so the
+    /// steady state allocates nothing: this is the zero-copy load path
+    /// the profiling server's replay workers run on.
+    ///
+    /// # Errors
+    ///
+    /// Any decode error; batches before the corruption point have
+    /// already been delivered.
+    pub fn stream_batches(
+        &self,
+        capacity: usize,
+        mut deliver: impl FnMut(&EventBatch),
+    ) -> Result<u64, RecordingError> {
+        let capacity = capacity.max(1);
+        let mut batch = EventBatch::with_capacity(capacity);
+        let mut decoder = self.decoder();
+        let mut n = 0u64;
+        while let Some(e) = decoder.next_event()? {
+            batch.push(e);
+            n += 1;
+            if batch.len() >= capacity {
+                deliver(&batch);
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            deliver(&batch);
+        }
+        Ok(n)
+    }
+
+    /// Materializes the view as an owned [`Recording`].
+    ///
+    /// # Errors
+    ///
+    /// Any decode error.
+    pub fn to_recording(&self) -> Result<Recording, RecordingError> {
+        let mut events = Vec::with_capacity(self.count.min(1 << 20) as usize);
+        let mut decoder = self.decoder();
+        while let Some(e) = decoder.next_event()? {
+            events.push(e);
+        }
+        Ok(Recording { events })
+    }
+}
+
+/// Streaming decoder over a [`RecordingView`]'s event records.
+#[derive(Debug, Clone)]
+pub struct EventDecoder<'a> {
+    reader: Reader<'a>,
+    remaining: u64,
+    prev_cycle: i64,
+}
+
+impl EventDecoder<'_> {
+    /// Decodes the next event, or `None` past the declared count
+    /// (after verifying no trailing garbage follows the last record).
+    ///
+    /// # Errors
+    ///
+    /// [`RecordingError`] on truncation, unknown kinds, out-of-range
+    /// fields, or trailing bytes after the final event.
+    pub fn next_event(&mut self) -> Result<Option<Event>, RecordingError> {
+        if self.remaining == 0 {
+            if self.reader.pos != self.reader.bytes.len() {
+                return Err(RecordingError::TrailingBytes);
+            }
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let r = &mut self.reader;
+        let kind = r.byte()?;
+        let now = self
+            .prev_cycle
+            .checked_add(r.zigzag()?)
+            .filter(|&c| c >= 0)
+            .ok_or(RecordingError::FieldRange)?;
+        self.prev_cycle = now;
+        let now = now as Cycles;
+        let e = match kind {
+            0 => Event::HeapLoad(r.addr()?, now, r.pc()?),
+            1 => Event::HeapStore(r.addr()?, now, r.pc()?),
+            2 => Event::LocalLoad(r.u16()?, r.u32()?, now, r.pc()?),
+            3 => Event::LocalStore(r.u16()?, r.u32()?, now, r.pc()?),
+            4 => Event::LoopEnter(LoopId(r.u32()?), r.u16()?, r.u32()?, now),
+            5 => Event::LoopIter(LoopId(r.u32()?), now),
+            6 => Event::LoopExit(LoopId(r.u32()?), now),
+            7 => Event::StatsRead(LoopId(r.u32()?), now),
+            8 => Event::CallEnter(r.pc()?, r.u32()?, now),
+            9 => Event::CallExit(r.pc()?, now),
+            10 => Event::CallResultUse(r.pc()?, now),
+            k => return Err(RecordingError::BadKind(k)),
+        };
+        Ok(Some(e))
+    }
+}
+
+/// A saved recording, memory-mapped for zero-copy decoding.
+///
+/// On Unix the file is `mmap`ed read-only (private), so loading a
+/// multi-gigabyte trace costs a handful of page-table entries and the
+/// kernel pages bytes in as the decoder touches them; on other
+/// platforms this falls back to a buffered read with the same API. The
+/// header is validated at open time; use [`MappedRecording::view`] to
+/// decode.
+#[derive(Debug)]
+pub struct MappedRecording {
+    map: MapBacking,
+}
+
+#[derive(Debug)]
+enum MapBacking {
+    #[cfg(unix)]
+    Mmap(sys::Mmap),
+    Owned(Vec<u8>),
+}
+
+impl MappedRecording {
+    /// Maps `path` and validates the recording header.
+    ///
+    /// # Errors
+    ///
+    /// I/O or mapping failures, plus every header parse error of
+    /// [`RecordingView::parse`] — a truncated or corrupted file is a
+    /// typed error, never a panic.
+    pub fn open(path: impl AsRef<Path>) -> Result<MappedRecording, RecordingError> {
+        let file = std::fs::File::open(path).map_err(RecordingError::Io)?;
+        let len = file.metadata().map_err(RecordingError::Io)?.len();
+        let len = usize::try_from(len).map_err(|_| RecordingError::CountTooLarge {
+            count: u64::MAX,
+            available: 0,
+        })?;
+        let map = Self::back(file, len)?;
+        let rec = MappedRecording { map };
+        RecordingView::parse(rec.bytes())?;
+        Ok(rec)
+    }
+
+    #[cfg(unix)]
+    fn back(file: std::fs::File, len: usize) -> Result<MapBacking, RecordingError> {
+        // mmap rejects zero-length mappings; an empty file is just an
+        // empty (typed-error-producing) byte view.
+        if len == 0 {
+            return Ok(MapBacking::Owned(Vec::new()));
+        }
+        match sys::Mmap::map_readonly(&file, len) {
+            Ok(m) => Ok(MapBacking::Mmap(m)),
+            Err(e) => Err(RecordingError::Io(e)),
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn back(mut file: std::fs::File, len: usize) -> Result<MapBacking, RecordingError> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf).map_err(RecordingError::Io)?;
+        Ok(MapBacking::Owned(buf))
+    }
+
+    /// The raw mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.map {
+            #[cfg(unix)]
+            MapBacking::Mmap(m) => m.as_slice(),
+            MapBacking::Owned(v) => v,
+        }
+    }
+
+    /// A validated lazy view over the mapped bytes.
+    ///
+    /// # Errors
+    ///
+    /// Header parse errors (the file may have changed since `open`).
+    pub fn view(&self) -> Result<RecordingView<'_>, RecordingError> {
+        RecordingView::parse(self.bytes())
+    }
+
+    /// True when the mapping is a real `mmap` (false on the buffered
+    /// fallback used for empty files and non-Unix platforms).
+    pub fn is_mmap(&self) -> bool {
+        match &self.map {
+            #[cfg(unix)]
+            MapBacking::Mmap(_) => true,
+            MapBacking::Owned(_) => false,
+        }
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal read-only `mmap` wrapper. The symbols come straight
+    //! from the C library the binary already links — no new crate
+    //! dependency.
+
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Mmap {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned exclusively by this struct.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        pub(super) fn map_readonly(
+            file: &std::fs::File,
+            len: usize,
+        ) -> Result<Mmap, std::io::Error> {
+            debug_assert!(len > 0, "zero-length mappings are rejected by mmap");
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Mmap {
+                ptr: ptr.cast(),
+                len,
+            })
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            // SAFETY: the mapping is PROT_READ, MAP_PRIVATE, valid for
+            // `len` bytes, and lives until Drop runs.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: ptr/len are exactly what mmap returned.
+            unsafe {
+                munmap(self.ptr.cast(), self.len);
+            }
+        }
     }
 }
 
@@ -265,6 +606,14 @@ pub enum RecordingError {
     FieldRange,
     /// Well-formed events followed by garbage.
     TrailingBytes,
+    /// The header declares more events than the remaining bytes could
+    /// possibly encode. Rejected before any allocation or decoding.
+    CountTooLarge {
+        /// Declared event count.
+        count: u64,
+        /// Bytes actually available after the header.
+        available: u64,
+    },
 }
 
 impl fmt::Display for RecordingError {
@@ -277,6 +626,10 @@ impl fmt::Display for RecordingError {
             RecordingError::BadKind(k) => write!(f, "unknown event kind byte {k}"),
             RecordingError::FieldRange => write!(f, "event field out of range"),
             RecordingError::TrailingBytes => write!(f, "trailing bytes after last event"),
+            RecordingError::CountTooLarge { count, available } => write!(
+                f,
+                "declared event count {count} cannot fit in {available} remaining bytes"
+            ),
         }
     }
 }
@@ -311,6 +664,7 @@ fn write_pc(out: &mut Vec<u8>, pc: Pc) {
     write_varint(out, pc.idx as u64);
 }
 
+#[derive(Debug, Clone)]
 struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -540,6 +894,110 @@ mod tests {
         assert_eq!(flat, recording.events);
         assert!(batches[..batches.len() - 1].iter().all(|b| b.len() == 3));
         assert_eq!(recording.kind_counts().total(), recording.len() as u64);
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_decoding() {
+        // a header declaring ~2^62 events over a 16-byte body
+        let mut forged = Vec::new();
+        forged.extend_from_slice(MAGIC);
+        forged.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        write_varint(&mut forged, u64::MAX / 2);
+        forged.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            Recording::from_bytes(&forged),
+            Err(RecordingError::CountTooLarge { .. })
+        ));
+        assert!(matches!(
+            RecordingView::parse(&forged),
+            Err(RecordingError::CountTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn header_boundary_truncations_are_typed_errors() {
+        let p = sample_program();
+        let mut rec = RecordingSink::new();
+        Interp::run(&p, &mut rec).unwrap();
+        let bytes = rec.into_recording().to_bytes();
+        // every prefix that ends inside the header must yield a typed
+        // error from both the owned and the view parser
+        for cut in 0..8.min(bytes.len()) {
+            let prefix = &bytes[..cut];
+            assert!(Recording::from_bytes(prefix).is_err(), "cut {cut}");
+            assert!(RecordingView::parse(prefix).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn view_streams_the_exact_event_sequence() {
+        let p = sample_program();
+        let mut rec = RecordingSink::new();
+        Interp::run(&p, &mut rec).unwrap();
+        let recording = rec.into_recording();
+        let bytes = recording.to_bytes();
+
+        let view = RecordingView::parse(&bytes).unwrap();
+        assert_eq!(view.count(), recording.len() as u64);
+        assert_eq!(view.to_recording().unwrap(), recording);
+
+        // replay through the view == replay through the owned recording
+        let mut via_view = RecordingSink::new();
+        let n = view.replay(&mut via_view).unwrap();
+        assert_eq!(n, recording.len() as u64);
+        assert_eq!(via_view.into_recording(), recording);
+
+        // batch streaming partitions without reordering, reusing the
+        // buffer (capacities respected)
+        let mut flat = Vec::new();
+        let mut sizes = Vec::new();
+        let n = view
+            .stream_batches(5, |b| {
+                sizes.push(b.len());
+                flat.extend(b.events());
+            })
+            .unwrap();
+        assert_eq!(n, recording.len() as u64);
+        assert_eq!(flat, recording.events);
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 5));
+    }
+
+    #[test]
+    fn mapped_recording_round_trips_and_rejects_corruption() {
+        let p = sample_program();
+        let mut rec = RecordingSink::new();
+        Interp::run(&p, &mut rec).unwrap();
+        let recording = rec.into_recording();
+
+        let dir = std::env::temp_dir().join(format!("tvm-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.trace");
+        recording.save(&path).unwrap();
+
+        let mapped = MappedRecording::open(&path).unwrap();
+        assert!(mapped.is_mmap() || cfg!(not(unix)));
+        let view = mapped.view().unwrap();
+        assert_eq!(view.to_recording().unwrap(), recording);
+
+        // a truncated file is a typed open error, never a panic
+        let bytes = recording.to_bytes();
+        for cut in [0, 1, 3, 5, 6, bytes.len() / 2] {
+            let bad = dir.join(format!("cut{cut}.trace"));
+            std::fs::write(&bad, &bytes[..cut]).unwrap();
+            if let Ok(m) = MappedRecording::open(&bad) {
+                // open may defer validation; decoding must then fail typed
+                assert!(
+                    m.view().and_then(|v| v.to_recording()).is_err(),
+                    "cut {cut}"
+                );
+            }
+        }
+        // and so is a missing file
+        assert!(matches!(
+            MappedRecording::open(dir.join("missing.trace")),
+            Err(RecordingError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

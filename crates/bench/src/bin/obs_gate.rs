@@ -148,7 +148,14 @@ fn main() -> ExitCode {
         let base_counts = counts(base);
         let cur_counts = counts(cur);
         for (metric, &bv) in &base_counts {
-            let cv = cur_counts.get(metric).copied().unwrap_or(0);
+            // a metric the current run does not emit at all is its own
+            // failure mode — never a phantom zero folded into drift
+            let Some(&cv) = cur_counts.get(metric) else {
+                failures.push(format!(
+                    "{name}: {metric} missing from the current run (baseline {bv})"
+                ));
+                continue;
+            };
             let drift = relative_drift(bv, cv);
             if drift > MAX_COUNT_DRIFT {
                 failures.push(format!(

@@ -24,17 +24,27 @@
 //! dimensionless and machine-speed independent, which is what
 //! `throughput-gate` pins. Raw events/sec are reported for trajectory
 //! plots but not gated.
+//!
+//! A fourth phase measures live-telemetry cost: the same replay
+//! workload with the flight recorder and tail sampler disabled
+//! (`ring_capacity: 0`) vs enabled, best of two runs each. The
+//! benchmark fails if the enabled run is more than 5% slower — the
+//! recorder is designed to be cheap enough to leave on in production.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use benchsuite::{all, DataSize};
 use jrpm::pipeline::PipelineConfig;
+use obs::metrics::Histogram;
 use serve::{ProfileRequest, ProfileResponse, Server, ServerConfig};
 use test_tracer::{TestTracer, TracerConfig};
 use tvm::record::{MappedRecording, Recording, RecordingSink};
 use tvm::trace::TraceSink;
 use tvm::Interp;
+
+/// Telemetry overhead above this fraction fails the benchmark.
+const MAX_RECORDER_OVERHEAD: f64 = 0.05;
 
 struct Args {
     out: String,
@@ -82,14 +92,6 @@ fn ratio(num: f64, den: f64) -> f64 {
     }
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
-
 struct Phase {
     requests: u64,
     events: u64,
@@ -99,14 +101,21 @@ struct Phase {
 }
 
 impl Phase {
-    fn from_latencies(mut lat: Vec<u64>, events: u64, wall_nanos: u64) -> Phase {
-        lat.sort_unstable();
+    fn from_latencies(lat: Vec<u64>, events: u64, wall_nanos: u64) -> Phase {
+        // the same log₂-bucket histogram + interpolated quantile
+        // estimator the server's tail sampler thresholds with
+        // (obs::metrics::HistogramSnapshot::quantile)
+        let hist = Histogram::default();
+        for &v in &lat {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
         Phase {
             requests: lat.len() as u64,
             events,
             wall_nanos,
-            p50_nanos: percentile(&lat, 0.50),
-            p99_nanos: percentile(&lat, 0.99),
+            p50_nanos: snap.quantile(0.50),
+            p99_nanos: snap.quantile(0.99),
         }
     }
 
@@ -216,8 +225,9 @@ fn main() -> ExitCode {
     let server = Server::start(ServerConfig {
         workers: args.workers,
         queue_depth: args.workers * 2,
-        trace: None,
+        ..ServerConfig::default()
     });
+    let alert_baseline = server.registry().snapshot();
 
     // -- warmup: touch every mapping once ------------------------------
     for (name, _, path) in &recordings {
@@ -231,7 +241,7 @@ fn main() -> ExitCode {
     }
 
     // -- measured: zero-copy replay under concurrent load --------------
-    let replay = drive(&server, args.clients, |client| {
+    let make_replay = |client: usize| {
         let mut reqs = Vec::new();
         for round in 0..args.rounds {
             for i in 0..recordings.len() {
@@ -245,7 +255,8 @@ fn main() -> ExitCode {
             }
         }
         reqs
-    });
+    };
+    let replay = drive(&server, args.clients, make_replay);
 
     // -- measured: full pipeline requests -------------------------------
     let cfg = PipelineConfig::default();
@@ -273,12 +284,56 @@ fn main() -> ExitCode {
 
     let registry = server.shutdown();
     let snap = registry.snapshot();
+    // the default rule set tolerates a saturated queue (closed-loop
+    // clients saturate it by design) but zero drops, zero panics, and
+    // no starved shard — a healthy bench run must fire nothing
+    let alerts =
+        obs::live::evaluate_alerts(&alert_baseline, &snap, &obs::live::AlertConfig::default());
     let dropped: u64 = (0..args.workers)
         .map(|i| snap.counter(&format!("serve.worker.{i}.dropped_batches")))
         .sum();
     let panics: u64 = (0..args.workers)
         .map(|i| snap.counter(&format!("serve.worker.{i}.panics")))
         .sum();
+
+    // -- telemetry overhead: identical replay workload, recorder and
+    // tail sampler off (ring_capacity 0) vs on; best of two runs each
+    // to shave scheduler noise off the comparison ----------------------
+    let overhead_run = |ring_capacity: usize| {
+        let s = Server::start(ServerConfig {
+            workers: args.workers,
+            queue_depth: args.workers * 2,
+            ring_capacity,
+            ..ServerConfig::default()
+        });
+        for (name, _, path) in &recordings {
+            s.profile(ProfileRequest::ReplayMapped {
+                path: path.clone(),
+                tracer: TracerConfig::default(),
+                batch_capacity: serve::DEFAULT_REPLAY_BATCH,
+            })
+            .unwrap_or_else(|e| panic!("{name}: overhead warmup failed: {e}"));
+        }
+        let mut best: Option<Phase> = None;
+        for _ in 0..2 {
+            let p = drive(&s, args.clients, make_replay);
+            if best
+                .as_ref()
+                .is_none_or(|b| p.events_per_sec() > b.events_per_sec())
+            {
+                best = Some(p);
+            }
+        }
+        s.shutdown();
+        best.expect("two overhead runs happened")
+    };
+    let recorder_off = overhead_run(0);
+    let recorder_on = overhead_run(ServerConfig::default().ring_capacity);
+    let overhead_frac = ratio(
+        (recorder_off.events_per_sec() - recorder_on.events_per_sec()).max(0.0),
+        recorder_off.events_per_sec(),
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
 
     let per_core = ratio(replay.events_per_sec(), effective_cores as f64);
@@ -286,9 +341,11 @@ fn main() -> ExitCode {
     let doc = format!(
         "{{\n  \"config\": {{\n    \"benchmarks\": {},\n    \"workers\": {},\n    \
          \"clients\": {},\n    \"rounds\": {},\n    \"effective_cores\": {effective_cores}\n  \
-         }},\n{},\n{},\n{},\n  \
+         }},\n{},\n{},\n{},\n{},\n{},\n  \
          \"headline\": {{\n    \"events_per_sec_per_core\": {per_core:.1},\n    \
-         \"scaling_efficiency\": {efficiency:.4},\n    \"dropped_batches\": {dropped},\n    \
+         \"scaling_efficiency\": {efficiency:.4},\n    \
+         \"recorder_overhead_frac\": {overhead_frac:.4},\n    \
+         \"dropped_batches\": {dropped},\n    \
          \"contained_panics\": {panics}\n  }}\n}}\n",
         suite.len(),
         args.workers,
@@ -297,22 +354,43 @@ fn main() -> ExitCode {
         phase_json("direct", &direct),
         phase_json("replay", &replay),
         phase_json("pipeline", &pipeline),
+        phase_json("recorder_off", &recorder_off),
+        phase_json("recorder_on", &recorder_on),
     );
     std::fs::write(&args.out, &doc)
         .unwrap_or_else(|e| panic!("throughput: cannot write {}: {e}", args.out));
     eprintln!(
         "throughput: {} requests served, {:.0} events/sec sustained ({:.0} per core, \
-         {:.2}x single-core efficiency), replay p50 {}us p99 {}us -> {}",
+         {:.2}x single-core efficiency), replay p50 {}us p99 {}us, recorder overhead \
+         {:.1}% -> {}",
         replay.requests + pipeline.requests,
         replay.events_per_sec(),
         per_core,
         efficiency,
         replay.p50_nanos / 1_000,
         replay.p99_nanos / 1_000,
+        overhead_frac * 100.0,
         args.out
     );
     if panics > 0 || dropped > 0 {
         eprintln!("throughput: FAILED — {panics} contained panics, {dropped} dropped batches");
+        return ExitCode::FAILURE;
+    }
+    if !alerts.is_empty() {
+        eprintln!(
+            "throughput: FAILED — {} alert(s) fired on a healthy run: {}",
+            alerts.len(),
+            obs::live::alerts_json(&alerts)
+        );
+        return ExitCode::FAILURE;
+    }
+    if overhead_frac > MAX_RECORDER_OVERHEAD {
+        eprintln!(
+            "throughput: FAILED — flight recorder + tail sampling cost {:.1}% events/sec \
+             (limit {:.0}%)",
+            overhead_frac * 100.0,
+            MAX_RECORDER_OVERHEAD * 100.0
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

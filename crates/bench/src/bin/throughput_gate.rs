@@ -32,6 +32,10 @@ use std::process::ExitCode;
 const MAX_EFFICIENCY_DROP: f64 = 0.15;
 /// Maximum relative upward drift of replay-p50 over pipeline-p50.
 const MAX_TAIL_GROWTH: f64 = 0.50;
+/// Maximum fraction of events/sec the flight recorder + tail sampler
+/// may cost relative to a telemetry-off run (mirrors the bench's own
+/// bound so a stale binary cannot quietly weaken the check).
+const MAX_RECORDER_OVERHEAD: f64 = 0.05;
 
 fn load(path: &str) -> Value {
     let text = std::fs::read_to_string(path)
@@ -104,6 +108,17 @@ fn main() -> ExitCode {
         if c > 0.0 {
             failures.push(format!("headline.{key} = {c} — the server lost work"));
         }
+    }
+
+    // -- recorder overhead: telemetry must stay out of the hot path ------
+    let c_overhead = num(&current, "headline", "recorder_overhead_frac");
+    if c_overhead > MAX_RECORDER_OVERHEAD {
+        failures.push(format!(
+            "recorder_overhead_frac {:.1}% exceeds the {:.0}% budget — the flight \
+             recorder or tail sampler got expensive",
+            c_overhead * 100.0,
+            MAX_RECORDER_OVERHEAD * 100.0
+        ));
     }
 
     // -- the gated headline: normalized per-core throughput --------------

@@ -213,6 +213,15 @@ fn main() -> ExitCode {
                 ));
             }
         }
+        // a field the current run stopped emitting is its own failure
+        // mode, not a silent pass
+        for (field, bv) in base {
+            if !cur.contains_key(field) {
+                failures.push(format!(
+                    "{name}: {field} missing from the current run (baseline {bv})"
+                ));
+            }
+        }
     }
 
     if failures.is_empty() {

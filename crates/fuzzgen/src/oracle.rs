@@ -855,7 +855,7 @@ fn check_pipeline(program: &Program) -> Result<(), Failure> {
     let server = Server::start(ServerConfig {
         workers: 2,
         queue_depth: 2,
-        trace: None,
+        ..ServerConfig::default()
     });
     let resp = server
         .profile(ProfileRequest::Pipeline {

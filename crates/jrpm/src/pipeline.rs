@@ -236,6 +236,7 @@ impl PipelineObservability {
                 lagged_batches: s.counter(&format!("{p}lagged_batches")),
                 dropped_batches: s.counter(&format!("{p}dropped_batches")),
                 drain_nanos: s.counter(&format!("{p}drain_nanos")),
+                queue_depth_high_water: s.counter(&format!("{p}queue_depth_high_water")),
             });
         }
         let by_kind = kind_counts("bus.kind.");
@@ -319,6 +320,9 @@ pub(crate) fn record_bus_report(registry: &Registry, report: &BusReport) {
         registry
             .counter(&format!("{p}drain_nanos"))
             .add(sink.drain_nanos);
+        registry
+            .counter(&format!("{p}queue_depth_high_water"))
+            .record_max(sink.queue_depth_high_water);
         for (kind, n) in sink.by_kind.iter() {
             if n > 0 {
                 registry.counter(&format!("{p}kind.{}", kind.name())).add(n);

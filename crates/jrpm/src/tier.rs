@@ -182,6 +182,20 @@ impl LoopTier {
     pub fn is_terminal(&self) -> bool {
         matches!(self, LoopTier::Selected | LoopTier::Demoted { .. })
     }
+
+    /// Stable numeric code carried in flight-recorder
+    /// [`obs::LiveEventKind::TierTransition`] payloads.
+    pub fn code(&self) -> u64 {
+        match self {
+            LoopTier::Cold => 0,
+            LoopTier::Counting => 1,
+            LoopTier::Tracing => 2,
+            LoopTier::Profiled => 3,
+            LoopTier::Selected => 4,
+            LoopTier::Revised => 5,
+            LoopTier::Demoted { .. } => 6,
+        }
+    }
 }
 
 /// A tier-controller diagnostic (surfaced by `jrpm-lint` as TI001 and
@@ -271,6 +285,7 @@ pub struct TieredOutcome {
 
 /// Internal per-loop controller state.
 struct LoopState {
+    loop_id: u64,
     tier: LoopTier,
     hot_count: u64,
     counting_epochs: u32,
@@ -284,8 +299,9 @@ struct LoopState {
 }
 
 impl LoopState {
-    fn new() -> LoopState {
+    fn new(loop_id: u64) -> LoopState {
         LoopState {
+            loop_id,
             tier: LoopTier::Cold,
             hot_count: 0,
             counting_epochs: 0,
@@ -300,6 +316,15 @@ impl LoopState {
 
     fn set_tier(&mut self, epoch: u32, tier: LoopTier) {
         self.transitions.push((epoch, tier.name().to_string()));
+        // when a flight recorder is installed on this thread (the
+        // profiling server's workers), every transition also lands in
+        // its ring for crash forensics
+        obs::live::emit(
+            obs::LiveEventKind::TierTransition,
+            self.loop_id,
+            u64::from(epoch),
+            tier.code(),
+        );
         self.tier = tier;
     }
 }
@@ -643,7 +668,11 @@ fn drive_online(
         })
         .collect();
 
-    let mut states: Vec<LoopState> = (0..n).map(|_| LoopState::new()).collect();
+    let mut states: Vec<LoopState> = candidates
+        .candidates
+        .iter()
+        .map(|c| LoopState::new(u64::from(c.id.0)))
+        .collect();
     let mut screened: Vec<Option<StaticVerdict>> = vec![None; n];
     let mut diagnostics: Vec<TierDiagnostic> = Vec::new();
     let mut dynamic_demoted: BTreeSet<LoopId> = BTreeSet::new();

@@ -84,10 +84,14 @@ pub fn chrome_json(processes: &[(&str, &Trace)]) -> String {
     format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
 }
 
+// both the metadata kind and the payload name go through `quote` —
+// every string embedded in the document is escaped, so span/track
+// names carrying quotes, backslashes, or control characters cannot
+// break the JSON (pinned by `adversarial_names_round_trip`)
 fn meta(pid: usize, tid: usize, kind: &str, name: &str) -> String {
     format!(
-        r#"{{"name":"{}","ph":"M","pid":{},"tid":{},"args":{{"name":{}}}}}"#,
-        kind,
+        r#"{{"name":{},"ph":"M","pid":{},"tid":{},"args":{{"name":{}}}}}"#,
+        quote(kind),
         pid,
         tid,
         quote(name)
@@ -158,6 +162,52 @@ mod tests {
             counter.get("args").unwrap().get("value").unwrap().as_u64(),
             Some(3)
         );
+    }
+
+    #[test]
+    fn adversarial_names_round_trip() {
+        // span, counter, instant, track, and process names carrying
+        // quotes, backslashes, newlines, and control characters must
+        // survive export → parse byte-for-byte
+        let hostile = "sp\"an \\ with\nnew\tline \u{1} end";
+        let track_name = "track \"q\" \\ \r\u{7}";
+        let proc_name = "proc\\\"ess\n";
+        let tr = Trace::new();
+        let t = tr.track(track_name);
+        tr.begin(t, hostile);
+        tr.end(t, hostile);
+        tr.instant(t, hostile);
+        let c = tr.cycle_track(track_name);
+        tr.counter_at(c, hostile, 10, 42);
+
+        let doc = chrome_json(&[(proc_name, &tr)]);
+        let parsed = json::parse(&doc).expect("hostile names stay valid JSON");
+        let events = parsed.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+
+        let meta_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert!(meta_names.contains(&proc_name), "{meta_names:?}");
+        assert!(meta_names.contains(&track_name));
+        assert!(
+            meta_names.contains(&format!("{proc_name} [cycles]").as_str()),
+            "cycle process label escaped"
+        );
+        let span_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) != Some("M"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(span_names, vec![hostile; 4]);
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Prometheus-style text exposition of a registry [`Snapshot`], plus
+//! a parser for it — the round-trip half is what lets the serve tests
+//! scrape `/metrics` and assert byte-level agreement with
+//! [`crate::metrics::Registry::snapshot`].
+//!
+//! The format is the classic text exposition: a `# TYPE` line per
+//! metric family, then one sample per line. Metric names are the
+//! registry's dotted names with every non-`[a-zA-Z0-9_]` character
+//! mapped to `_` (so `serve.worker.0.requests` scrapes as
+//! `serve_worker_0_requests`). Histograms emit cumulative `le`
+//! buckets keyed by the log₂ bucket's inclusive upper bound, plus
+//! `_sum`/`_count`. Registry notes are carried as `# NOTE <name>
+//! <value>` comment lines — outside the Prometheus data model but
+//! preserved by [`parse_exposition`].
+
+use std::collections::BTreeMap;
+
+use crate::metrics::Snapshot;
+
+/// Maps a registry name onto the Prometheus metric-name alphabet.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders `snapshot` as Prometheus text exposition.
+pub fn prometheus(snapshot: &Snapshot) -> String {
+    let mut s = String::new();
+    for (name, value) in &snapshot.counters {
+        let m = sanitize(name);
+        s.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let m = sanitize(name);
+        s.push_str(&format!("# TYPE {m} gauge\n{m} {value}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        let m = sanitize(name);
+        s.push_str(&format!("# TYPE {m} histogram\n"));
+        let mut cum = 0u64;
+        for (_, hi, count) in h.nonzero() {
+            cum += count;
+            s.push_str(&format!("{m}_bucket{{le=\"{hi}\"}} {cum}\n"));
+        }
+        s.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        s.push_str(&format!("{m}_sum {}\n", h.sum));
+        s.push_str(&format!("{m}_count {}\n", h.count));
+    }
+    for (name, value) in &snapshot.notes {
+        // comment line: outside the data model, but the value survives
+        // a round trip as long as it has no newlines (notes never do)
+        s.push_str(&format!(
+            "# NOTE {} {}\n",
+            sanitize(name),
+            value.replace('\n', " ")
+        ));
+    }
+    s
+}
+
+/// One parsed histogram family.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpoHistogram {
+    /// Total observations (`_count`).
+    pub count: u64,
+    /// Sum of observations (`_sum`).
+    pub sum: u64,
+    /// Cumulative `(le label, count)` buckets in exposition order.
+    pub buckets: Vec<(String, u64)>,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// Counter samples by (sanitized) name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge samples by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram families by name.
+    pub histograms: BTreeMap<String, ExpoHistogram>,
+    /// `# NOTE` comment payloads by name.
+    pub notes: BTreeMap<String, String>,
+}
+
+/// Parses text exposition produced by [`prometheus`].
+///
+/// # Errors
+///
+/// A description of the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |what: &str| Err(format!("line {}: {what}: {line}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(name), Some(ty)) => {
+                    types.insert(name.to_string(), ty.to_string());
+                }
+                _ => return fail("malformed TYPE line"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# NOTE ") {
+            match rest.split_once(' ') {
+                Some((name, value)) => {
+                    out.notes.insert(name.to_string(), value.to_string());
+                }
+                None => {
+                    out.notes.insert(rest.to_string(), String::new());
+                }
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and ignored
+        }
+        let Some((name_part, value_part)) = line.rsplit_once(' ') else {
+            return fail("sample line without a value");
+        };
+        // histogram bucket sample: name_bucket{le="..."} value
+        if let Some((name, labels)) = name_part.split_once('{') {
+            let Some(family) = name.strip_suffix("_bucket") else {
+                return fail("labelled sample that is not a _bucket");
+            };
+            let Some(le) = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix("\"}"))
+            else {
+                return fail("bucket sample without an le label");
+            };
+            let cum: u64 = match value_part.parse() {
+                Ok(v) => v,
+                Err(_) => return fail("non-integer bucket count"),
+            };
+            let h = out.histograms.entry(family.to_string()).or_default();
+            if le != "+Inf" {
+                h.buckets.push((le.to_string(), cum));
+            }
+            continue;
+        }
+        let name = name_part;
+        if let Some(family) = name.strip_suffix("_sum") {
+            if types.get(family).map(String::as_str) == Some("histogram") {
+                let sum = value_part
+                    .parse()
+                    .map_err(|_| format!("line {}: non-integer _sum: {line}", lineno + 1))?;
+                out.histograms.entry(family.to_string()).or_default().sum = sum;
+                continue;
+            }
+        }
+        if let Some(family) = name.strip_suffix("_count") {
+            if types.get(family).map(String::as_str) == Some("histogram") {
+                let count = value_part
+                    .parse()
+                    .map_err(|_| format!("line {}: non-integer _count: {line}", lineno + 1))?;
+                out.histograms.entry(family.to_string()).or_default().count = count;
+                continue;
+            }
+        }
+        match types.get(name).map(String::as_str) {
+            Some("counter") => {
+                let v: u64 = value_part
+                    .parse()
+                    .map_err(|_| format!("line {}: non-integer counter: {line}", lineno + 1))?;
+                out.counters.insert(name.to_string(), v);
+            }
+            Some("gauge") => {
+                let v: i64 = value_part
+                    .parse()
+                    .map_err(|_| format!("line {}: non-integer gauge: {line}", lineno + 1))?;
+                out.gauges.insert(name.to_string(), v);
+            }
+            _ => return fail("sample without a preceding TYPE"),
+        }
+    }
+    Ok(out)
+}
+
+/// Asserts that `expo` is exactly the exposition of `snapshot`:
+/// every counter, gauge, histogram family, and note agrees. Returns
+/// the mismatches (empty when they agree).
+pub fn diff_against_snapshot(expo: &Exposition, snapshot: &Snapshot) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, &v) in &snapshot.counters {
+        match expo.counters.get(&sanitize(name)) {
+            Some(&e) if e == v => {}
+            Some(&e) => out.push(format!("counter {name}: exposition {e}, snapshot {v}")),
+            None => out.push(format!("counter {name} missing from the exposition")),
+        }
+    }
+    if expo.counters.len() != snapshot.counters.len() {
+        out.push(format!(
+            "exposition has {} counters, snapshot {}",
+            expo.counters.len(),
+            snapshot.counters.len()
+        ));
+    }
+    for (name, &v) in &snapshot.gauges {
+        match expo.gauges.get(&sanitize(name)) {
+            Some(&e) if e == v => {}
+            Some(&e) => out.push(format!("gauge {name}: exposition {e}, snapshot {v}")),
+            None => out.push(format!("gauge {name} missing from the exposition")),
+        }
+    }
+    for (name, h) in &snapshot.histograms {
+        let Some(e) = expo.histograms.get(&sanitize(name)) else {
+            out.push(format!("histogram {name} missing from the exposition"));
+            continue;
+        };
+        if e.count != h.count || e.sum != h.sum {
+            out.push(format!(
+                "histogram {name}: exposition count/sum {}/{}, snapshot {}/{}",
+                e.count, e.sum, h.count, h.sum
+            ));
+        }
+        let mut cum = 0u64;
+        let expected: Vec<(String, u64)> = h
+            .nonzero()
+            .iter()
+            .map(|(_, hi, c)| {
+                cum += c;
+                (hi.to_string(), cum)
+            })
+            .collect();
+        if e.buckets != expected {
+            out.push(format!("histogram {name}: bucket mismatch"));
+        }
+    }
+    for (name, v) in &snapshot.notes {
+        match expo.notes.get(&sanitize(name)) {
+            Some(e) if e == &v.replace('\n', " ") => {}
+            _ => out.push(format!("note {name} missing or changed in the exposition")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn populated() -> Snapshot {
+        let r = Registry::new();
+        r.counter("serve.worker.0.requests").add(5);
+        r.counter("serve.worker.1.requests").add(7);
+        r.gauge("serve.queue.depth").set(-2);
+        let h = r.histogram("serve.request.pipeline.latency_nanos");
+        h.record(0);
+        h.record(3);
+        h.record(900);
+        h.record(u64::MAX);
+        r.note("serve.build", "jrpm 9");
+        r.snapshot()
+    }
+
+    #[test]
+    fn exposition_round_trips_and_agrees_with_the_snapshot() {
+        let snap = populated();
+        let text = prometheus(&snap);
+        let expo = parse_exposition(&text).expect("exposition parses");
+        assert_eq!(diff_against_snapshot(&expo, &snap), Vec::<String>::new());
+        assert_eq!(expo.counters["serve_worker_0_requests"], 5);
+        assert_eq!(expo.gauges["serve_queue_depth"], -2);
+        let h = &expo.histograms["serve_request_pipeline_latency_nanos"];
+        assert_eq!(h.count, 4);
+        // cumulative buckets are monotone and end at the total count
+        let mut prev = 0;
+        for (_, c) in &h.buckets {
+            assert!(*c >= prev);
+            prev = *c;
+        }
+        assert_eq!(prev, h.count);
+        assert_eq!(expo.notes["serve_build"], "jrpm 9");
+    }
+
+    #[test]
+    fn sanitize_maps_onto_the_metric_alphabet() {
+        assert_eq!(
+            sanitize("serve.worker.0.requests"),
+            "serve_worker_0_requests"
+        );
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("0day"), "_0day");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("lonely_sample 5").is_err(), "no TYPE");
+        assert!(parse_exposition("# TYPE x counter\nx notanumber").is_err());
+        assert!(
+            parse_exposition("# TYPE x histogram\nx_bucket{ge=\"1\"} 2").is_err(),
+            "wrong label"
+        );
+        assert!(parse_exposition("# TYPE x\n").is_err(), "truncated TYPE");
+    }
+
+    #[test]
+    fn empty_snapshot_exposes_and_parses_as_empty() {
+        let snap = Registry::new().snapshot();
+        let expo = parse_exposition(&prometheus(&snap)).unwrap();
+        assert_eq!(expo, Exposition::default());
+    }
+}

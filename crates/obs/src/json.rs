@@ -45,6 +45,14 @@ impl Value {
         }
     }
 
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -96,6 +104,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -106,9 +115,16 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     Ok(v)
 }
 
+/// Maximum container nesting the recursive parser accepts. Deeper
+/// documents return a typed [`ParseError`] instead of overflowing the
+/// stack; nothing the observability layer writes comes anywhere near
+/// this.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -136,6 +152,14 @@ impl Parser<'_> {
         } else {
             Err(self.err(&format!("expected '{}'", b as char)))
         }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        Ok(())
     }
 
     fn value(&mut self) -> Result<Value, ParseError> {
@@ -177,6 +201,20 @@ impl Parser<'_> {
             .map_err(|_| self.err("malformed number"))
     }
 
+    /// Reads the 4 hex digits of a `\u` escape. On entry `pos` is at
+    /// the `u`; on success it is left at the last hex digit (the
+    /// caller's shared `pos += 1` then steps past it).
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 >= self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+            .map_err(|_| self.err("non-ascii \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, ParseError> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -199,16 +237,33 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            if self.pos + 4 >= self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
+                            let code = self.hex4()?;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // high surrogate: a \uXXXX low surrogate
+                                // must follow to complete the pair
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| self.err("surrogate pair out of range"))?,
+                                );
+                            } else if (0xDC00..0xE000).contains(&code) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("bad \\u escape"))?,
+                                );
                             }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                .map_err(|_| self.err("non-ascii \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // surrogate pairs don't occur in our own output
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -228,10 +283,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut out = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(out));
         }
         loop {
@@ -242,6 +299,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(out));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -251,10 +309,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut out = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(out));
         }
         loop {
@@ -270,6 +330,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(out));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -328,5 +389,80 @@ mod tests {
     fn large_integers_in_range_are_exact() {
         let v = parse("9007199254740992").unwrap(); // 2^53
         assert_eq!(v.as_u64(), Some(1 << 53));
+    }
+
+    #[test]
+    fn escaped_unicode_including_surrogate_pairs() {
+        assert_eq!(parse("\"\\u00e9\"").unwrap().as_str(), Some("é"));
+        assert_eq!(parse("\"A\\u00df\\u4e2d\"").unwrap().as_str(), Some("Aß中"));
+        // a surrogate pair decodes to one astral-plane scalar
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("😀"));
+        assert_eq!(
+            parse("\"pre \\ud834\\udd1e post\"").unwrap().as_str(),
+            Some("pre \u{1D11E} post")
+        );
+        // unpaired or malformed surrogates are typed errors
+        for bad in [
+            "\"\\ud83d\"",        // lone high surrogate
+            "\"\\ud83dA\"",       // high followed by a raw char
+            "\"\\ude00\"",        // lone low surrogate
+            "\"\\ud83d\\u0041\"", // high followed by a non-surrogate escape
+        ] {
+            assert!(parse(bad).is_err(), "{bad}");
+        }
+        // raw (unescaped) astral characters still pass through
+        assert_eq!(parse("\"😀\"").unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // within the limit: parses fine
+        let ok_depth = MAX_DEPTH;
+        let doc = format!("{}1{}", "[".repeat(ok_depth), "]".repeat(ok_depth));
+        assert!(parse(&doc).is_ok(), "depth {ok_depth} should parse");
+        // one past the limit: typed error
+        let doc = format!("{}1{}", "[".repeat(ok_depth + 1), "]".repeat(ok_depth + 1));
+        let err = parse(&doc).expect_err("over-deep array rejected");
+        assert!(err.msg.contains("MAX_DEPTH"), "{err}");
+        // pathological input that would previously overflow the stack
+        let doc = "[".repeat(100_000);
+        assert!(parse(&doc).is_err());
+        // mixed object/array nesting counts against the same budget
+        let doc = format!("{}1{}", r#"{"k":["#.repeat(70), "]}".repeat(70));
+        let err = parse(&doc).expect_err("140 mixed levels rejected");
+        assert!(err.msg.contains("MAX_DEPTH"), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_returns_typed_errors_never_panics() {
+        let full = r#"{"a": [1, {"b": "text é"}, true], "c": null}"#;
+        // every prefix of a valid document must fail cleanly (or parse,
+        // for prefixes that happen to be complete values)
+        for cut in 0..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = parse(&full[..cut]); // must not panic
+        }
+        for bad in [
+            "",
+            "{",
+            "[",
+            "\"",
+            "{\"a\"",
+            "{\"a\":",
+            "[1,",
+            "tru",
+            "nul",
+            "-",
+            "\"\\",
+            "\"\\u",
+            "\"\\u00",
+            "\"\\ud83d\\u",
+        ] {
+            let err = parse(bad).expect_err(bad);
+            assert!(!err.msg.is_empty());
+            assert!(err.at <= bad.len());
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Unified observability layer for the TEST pipeline.
 //!
-//! Three pieces, all dependency-free:
+//! Six pieces, all dependency-free:
 //!
 //! * [`metrics`] — a thread-safe [`Registry`] of named counters,
 //!   gauges, and log₂-bucket histograms. Instruments are lock-free
@@ -11,6 +11,13 @@
 //!   with counter series and instant markers. Misnested spans panic.
 //! * [`chrome`] — exports traces as Chrome trace-event JSON, loadable
 //!   in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! * [`ring`] — the flight recorder: a fixed-capacity, lock-free ring
+//!   of recent structured events, one per worker thread.
+//! * [`live`] — streaming telemetry over the recorder: thread-local
+//!   [`live::emit`], crash-forensic [`FlightDump`]s, tail-based
+//!   request sampling, and alert rules over snapshot deltas.
+//! * [`expo`] — Prometheus-style text exposition of a snapshot (and a
+//!   parser for it), what the server's `/metrics` endpoint serves.
 //!
 //! [`Telemetry`] bundles one registry and one trace for threading
 //! through a pipeline run. The naming scheme instrumented code uses is
@@ -27,12 +34,19 @@
 //! [`Registry`]: metrics::Registry
 
 pub mod chrome;
+pub mod expo;
 pub mod json;
+pub mod live;
 pub mod metrics;
+pub mod ring;
 pub mod span;
 
 pub use chrome::chrome_json;
+pub use live::{
+    evaluate_alerts, AlertConfig, AlertNote, FlightDump, RequestTrace, TailConfig, TailSampler,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use ring::{FlightRing, LiveEvent, LiveEventKind};
 pub use span::{SpanGuard, TimeDomain, Trace, Track, TrackEvent, TrackEventKind, TrackId};
 
 use std::sync::Arc;

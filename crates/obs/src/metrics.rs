@@ -177,6 +177,40 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) of the
+    /// recorded distribution.
+    ///
+    /// Semantics match taking the rank `q * (count - 1)` element of
+    /// the sorted observations, except that positions inside a log₂
+    /// bucket are linearly interpolated between the bucket's bounds —
+    /// so the estimate is continuous as the distribution shifts
+    /// across bucket edges and exact for single-value buckets (0 and
+    /// 1). Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * (self.count - 1) as f64; // fractional rank
+        let mut cum = 0u64; // observations in buckets before this one
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            // this bucket covers sorted ranks [cum, cum + c)
+            if target < (cum + c) as f64 {
+                let (lo, hi) = bucket_bounds(i);
+                let pos = (target - cum as f64) / c as f64; // [0, 1)
+                return lo + ((hi - lo) as f64 * pos).round() as u64;
+            }
+            cum += c;
+        }
+        // count > 0 guarantees some bucket matched; this is only
+        // reachable through float rounding at q = 1.0
+        let last = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        bucket_bounds(last).1
+    }
+
     /// `(lo, hi, count)` for every non-empty bucket.
     pub fn nonzero(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -272,14 +306,28 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Counter value, or 0 when absent.
+    /// Counter value, or 0 when absent. Prefer [`Snapshot::try_counter`]
+    /// anywhere a missing key should be an error rather than a
+    /// phantom zero (regression gates, baselines).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Note value, or "" when absent.
+    /// Counter value, or `None` when no counter of that name was ever
+    /// registered.
+    pub fn try_counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Note value, or "" when absent. Prefer [`Snapshot::try_note`]
+    /// where absence should fail loudly.
     pub fn note(&self, name: &str) -> &str {
         self.notes.get(name).map(String::as_str).unwrap_or("")
+    }
+
+    /// Note value, or `None` when absent.
+    pub fn try_note(&self, name: &str) -> Option<&str> {
+        self.notes.get(name).map(String::as_str)
     }
 
     /// The snapshot as a JSON document (sorted keys; no dependencies).
@@ -372,6 +420,77 @@ mod tests {
         assert_eq!(s.buckets[1], 1);
         assert_eq!(s.buckets[64], 2);
         assert_eq!(s.nonzero().len(), 3);
+    }
+
+    #[test]
+    fn quantile_on_known_distributions() {
+        // empty histogram: 0 at every quantile
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                buckets: [0; N_BUCKETS]
+            }
+            .quantile(0.5),
+            0
+        );
+        // single-value buckets are exact
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 1, "q={q}");
+        }
+        // all zeros
+        let h = Histogram::default();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.snapshot().quantile(0.9), 0);
+        // uniform 1..=1000: interpolation lands near the exact ranks
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
+        assert!((450..=550).contains(&p50), "p50 estimate {p50}");
+        assert!((940..=1023).contains(&p99), "p99 estimate {p99}");
+        // extremes pin to the distribution's ends
+        assert_eq!(s.quantile(0.0), 1);
+        assert!(s.quantile(1.0) >= 990, "max estimate {}", s.quantile(1.0));
+        // monotone in q
+        let mut prev = 0;
+        for i in 0..=20 {
+            let v = s.quantile(i as f64 / 20.0);
+            assert!(v >= prev, "quantile not monotone at {i}");
+            prev = v;
+        }
+        // out-of-range q clamps instead of panicking
+        assert_eq!(s.quantile(-3.0), s.quantile(0.0));
+        assert_eq!(s.quantile(7.0), s.quantile(1.0));
+        // two-point distribution: q interpolates between the buckets
+        let h = Histogram::default();
+        h.record(1);
+        h.record(1024);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 1024);
+    }
+
+    #[test]
+    fn try_counter_and_try_note_distinguish_absent_keys() {
+        let r = Registry::new();
+        r.counter("present").add(0); // registered, value 0
+        r.note("label", "x");
+        let s = r.snapshot();
+        assert_eq!(s.try_counter("present"), Some(0));
+        assert_eq!(s.try_counter("absent"), None);
+        assert_eq!(s.counter("absent"), 0); // legacy phantom zero
+        assert_eq!(s.try_note("label"), Some("x"));
+        assert_eq!(s.try_note("missing"), None);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! The flight recorder's storage: a fixed-capacity, lock-free ring of
+//! recent structured events.
+//!
+//! Each worker thread owns one [`FlightRing`] and appends to it on the
+//! request hot path; nobody reads it until something goes wrong. The
+//! design requirements follow from that asymmetry:
+//!
+//! * **Writes never block and never allocate.** A write is one
+//!   `fetch_add` to claim a slot plus six relaxed/release stores —
+//!   cheap enough to leave on for every request, batch, and tier
+//!   transition in production.
+//! * **Reads are rare and may retry.** [`FlightRing::snapshot`] is a
+//!   per-slot seqlock read: each slot carries a sequence word that is
+//!   odd while a write is in flight, so a reader can detect and skip
+//!   torn slots. The common reader is the panicking worker draining
+//!   its *own* ring (no concurrent writer), where every slot is clean.
+//! * **Everything is plain atomics.** No unsafe code, no heap inside a
+//!   slot; an event is five `u64`s (timestamp, kind, three payload
+//!   words). Names and labels are decoded at dump time, never stored.
+//!
+//! The ring keeps the most recent `capacity` events; older claims are
+//! overwritten in place. [`FlightRing::snapshot`] returns the
+//! surviving events in claim order, so a [`crate::live::FlightDump`]
+//! reads as a chronological tail of what the worker was doing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What a [`LiveEvent`] describes. Payload word meaning per kind:
+///
+/// | kind             | `a`          | `b`              | `c`        |
+/// |------------------|--------------|------------------|------------|
+/// | `RequestBegin`   | request id   | kind code        | —          |
+/// | `RequestEnd`     | request id   | latency (nanos)  | 0 ok/1 err |
+/// | `BatchConsumed`  | request id   | events in batch  | —          |
+/// | `TierTransition` | loop id      | epoch            | tier code  |
+/// | `QueueDepth`     | depth        | high-water       | —          |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveEventKind {
+    /// A worker claimed a request from the queue.
+    RequestBegin,
+    /// A worker finished a request (successfully or not).
+    RequestEnd,
+    /// A batch of trace events was streamed into an analyzer.
+    BatchConsumed,
+    /// The tier controller moved a loop to a new tier.
+    TierTransition,
+    /// A sample of the shared job-queue depth.
+    QueueDepth,
+}
+
+impl LiveEventKind {
+    /// Stable numeric code (what the ring stores).
+    pub fn code(self) -> u64 {
+        match self {
+            LiveEventKind::RequestBegin => 1,
+            LiveEventKind::RequestEnd => 2,
+            LiveEventKind::BatchConsumed => 3,
+            LiveEventKind::TierTransition => 4,
+            LiveEventKind::QueueDepth => 5,
+        }
+    }
+
+    /// Inverse of [`LiveEventKind::code`].
+    pub fn from_code(code: u64) -> Option<LiveEventKind> {
+        Some(match code {
+            1 => LiveEventKind::RequestBegin,
+            2 => LiveEventKind::RequestEnd,
+            3 => LiveEventKind::BatchConsumed,
+            4 => LiveEventKind::TierTransition,
+            5 => LiveEventKind::QueueDepth,
+            _ => return None,
+        })
+    }
+
+    /// Short name used in dump JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            LiveEventKind::RequestBegin => "request_begin",
+            LiveEventKind::RequestEnd => "request_end",
+            LiveEventKind::BatchConsumed => "batch_consumed",
+            LiveEventKind::TierTransition => "tier_transition",
+            LiveEventKind::QueueDepth => "queue_depth",
+        }
+    }
+
+    /// Inverse of [`LiveEventKind::name`].
+    pub fn from_name(name: &str) -> Option<LiveEventKind> {
+        Some(match name {
+            "request_begin" => LiveEventKind::RequestBegin,
+            "request_end" => LiveEventKind::RequestEnd,
+            "batch_consumed" => LiveEventKind::BatchConsumed,
+            "tier_transition" => LiveEventKind::TierTransition,
+            "queue_depth" => LiveEventKind::QueueDepth,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveEvent {
+    /// Write sequence number (total events written before this one).
+    pub seq: u64,
+    /// Microseconds since the ring was created.
+    pub ts_us: u64,
+    /// What happened.
+    pub kind: LiveEventKind,
+    /// First payload word (see [`LiveEventKind`]).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+}
+
+/// One slot: a per-slot seqlock (`seq` odd while a write is in
+/// flight) guarding five payload words.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    ts_us: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    c: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            ts_us: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            c: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free ring buffer of the last `capacity` [`LiveEvent`]s.
+#[derive(Debug)]
+pub struct FlightRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    cursor: AtomicU64,
+    epoch: Instant,
+}
+
+impl FlightRing {
+    /// Creates a ring holding the most recent `capacity` events
+    /// (rounded up to a power of two; 0 is promoted to 1).
+    pub fn new(capacity: usize) -> FlightRing {
+        let cap = capacity.max(1).next_power_of_two();
+        FlightRing {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            mask: cap as u64 - 1,
+            cursor: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever written (including overwritten ones).
+    pub fn written(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event. Never blocks; overwrites the oldest slot
+    /// once the ring is full.
+    pub fn emit(&self, kind: LiveEventKind, a: u64, b: u64, c: u64) {
+        let claim = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(claim & self.mask) as usize];
+        // odd sequence = write in flight; readers skip the slot
+        slot.seq.store(claim * 2 + 1, Ordering::Release);
+        slot.ts_us
+            .store(self.epoch.elapsed().as_micros() as u64, Ordering::Relaxed);
+        slot.kind.store(kind.code(), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.c.store(c, Ordering::Relaxed);
+        slot.seq.store(claim * 2 + 2, Ordering::Release);
+    }
+
+    /// The surviving events, oldest first. Slots with a write in
+    /// flight (or torn by a concurrent overwrite) are skipped — the
+    /// snapshot is best-effort under concurrency and exact when the
+    /// owner thread reads its own ring.
+    pub fn snapshot(&self) -> Vec<LiveEvent> {
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let mut out: Vec<LiveEvent> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue; // never written, or write in flight
+            }
+            let ev = LiveEvent {
+                seq: s1 / 2 - 1,
+                ts_us: slot.ts_us.load(Ordering::Relaxed),
+                kind: match LiveEventKind::from_code(slot.kind.load(Ordering::Relaxed)) {
+                    Some(k) => k,
+                    None => continue, // torn kind word
+                },
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+                c: slot.c.load(Ordering::Relaxed),
+            };
+            let s2 = slot.seq.load(Ordering::Acquire);
+            if s1 != s2 {
+                continue; // overwritten while reading
+            }
+            // a slot overwritten after `cursor` was sampled would carry
+            // a claim from the future; drop it to keep the tail coherent
+            if ev.seq < cursor {
+                out.push(ev);
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn keeps_the_most_recent_events_in_order() {
+        let ring = FlightRing::new(8);
+        for i in 0..20u64 {
+            ring.emit(LiveEventKind::RequestBegin, i, 0, 0);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 8);
+        let ids: Vec<u64> = snap.iter().map(|e| e.a).collect();
+        assert_eq!(ids, (12..20).collect::<Vec<_>>());
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>());
+        assert_eq!(ring.written(), 20);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(FlightRing::new(0).capacity(), 1);
+        assert_eq!(FlightRing::new(5).capacity(), 8);
+        assert_eq!(FlightRing::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn payload_words_round_trip() {
+        let ring = FlightRing::new(4);
+        ring.emit(LiveEventKind::TierTransition, 7, 3, 5);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].kind, LiveEventKind::TierTransition);
+        assert_eq!((snap[0].a, snap[0].b, snap[0].c), (7, 3, 5));
+    }
+
+    #[test]
+    fn kind_codes_and_names_round_trip() {
+        for kind in [
+            LiveEventKind::RequestBegin,
+            LiveEventKind::RequestEnd,
+            LiveEventKind::BatchConsumed,
+            LiveEventKind::TierTransition,
+            LiveEventKind::QueueDepth,
+        ] {
+            assert_eq!(LiveEventKind::from_code(kind.code()), Some(kind));
+            assert_eq!(LiveEventKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(LiveEventKind::from_code(0), None);
+        assert_eq!(LiveEventKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn readers_racing_the_owner_never_see_a_torn_slot() {
+        // the deployment shape: one owning writer thread, with
+        // snapshots taken concurrently (e.g. the scrape endpoint)
+        let ring = Arc::new(FlightRing::new(64));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    ring.emit(LiveEventKind::BatchConsumed, i, i * 3, i * 1_000_003);
+                }
+            })
+        };
+        // every surviving event must be internally consistent (b and c
+        // are functions of a), and seq numbers strictly increasing
+        for _ in 0..500 {
+            let snap = ring.snapshot();
+            for w in snap.windows(2) {
+                assert!(w[0].seq < w[1].seq, "snapshot out of order");
+            }
+            for ev in snap {
+                assert_eq!(ev.kind, LiveEventKind::BatchConsumed);
+                assert_eq!(ev.b, ev.a * 3, "torn slot leaked");
+                assert_eq!(ev.c, ev.a * 1_000_003, "torn slot leaked");
+            }
+        }
+        writer.join().unwrap();
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 64);
+        assert_eq!(ring.written(), 50_000);
+        let ids: Vec<u64> = snap.iter().map(|e| e.a).collect();
+        assert_eq!(ids, (49_936..50_000).collect::<Vec<_>>());
+    }
+}

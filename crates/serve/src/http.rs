@@ -1,0 +1,198 @@
+//! A hand-rolled minimal HTTP/1.0 responder for the scrape endpoints
+//! — no dependencies, in the spirit of the raw-mmap recording loader.
+//!
+//! One acceptor thread serves three read-only routes:
+//!
+//! * `GET /metrics` — Prometheus-style text exposition of the live
+//!   registry ([`obs::expo::prometheus`]).
+//! * `GET /healthz` — JSON liveness: per-shard `alive` flag and
+//!   request totals, queue depth and high-water.
+//! * `GET /traces` — the tail sampler's currently retained request
+//!   traces as JSON.
+//!
+//! The responder is deliberately boring: it reads one request (8 KiB
+//! cap, 2 s timeout), answers with `Connection: close`, and never
+//! keeps a connection alive. Shutdown sets a flag and self-connects
+//! to unblock `accept`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use obs::json::quote;
+use obs::{expo, Registry, TailSampler};
+
+/// Shared read-only state the endpoint threads serve from.
+pub(crate) struct HttpState {
+    /// The server's live counter registry.
+    pub(crate) registry: Arc<Registry>,
+    /// The server's tail sampler.
+    pub(crate) sampler: Arc<TailSampler>,
+    /// Worker (shard) count, for `/healthz`.
+    pub(crate) workers: usize,
+}
+
+/// A running scrape endpoint. Dropping it (or calling
+/// [`HttpEndpoint::stop`]) shuts the acceptor down.
+pub struct HttpEndpoint {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpEndpoint {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // self-connect to unblock the blocking accept
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpEndpoint {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for HttpEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpEndpoint")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Binds `addr` and spawns the acceptor thread.
+pub(crate) fn serve(addr: impl ToSocketAddrs, state: HttpState) -> std::io::Result<HttpEndpoint> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop_flag.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            // serve inline: the routes are cheap reads and the
+            // endpoint is for scrapers, not traffic
+            let _ = answer(stream, &state);
+        }
+    });
+    Ok(HttpEndpoint {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Reads one request head and answers it.
+fn answer(mut stream: TcpStream, state: &HttpState) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    match path {
+        "/metrics" => {
+            let body = expo::prometheus(&state.registry.snapshot());
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/healthz" => {
+            let body = healthz_json(state);
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/traces" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &state.sampler.traces_json(),
+        ),
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// Per-shard liveness and queue state as a JSON document.
+pub(crate) fn healthz_json(state: &HttpState) -> String {
+    let snap = state.registry.snapshot();
+    let mut all_alive = true;
+    let mut workers = String::from("[");
+    for i in 0..state.workers {
+        if i > 0 {
+            workers.push_str(", ");
+        }
+        let alive = snap.gauges.get(&format!("serve.worker.{i}.alive")).copied() == Some(1);
+        all_alive &= alive;
+        workers.push_str(&format!(
+            "{{\"worker\": {i}, \"alive\": {alive}, \"requests\": {}, \"panics\": {}}}",
+            snap.counter(&format!("serve.worker.{i}.requests")),
+            snap.counter(&format!("serve.worker.{i}.panics")),
+        ));
+    }
+    workers.push(']');
+    let depth = snap.gauges.get("serve.queue.depth").copied().unwrap_or(0);
+    let status = if all_alive { "ok" } else { "degraded" };
+    format!(
+        "{{\"status\": {}, \"workers\": {workers}, \"queue_depth\": {depth}, \
+         \"queue_high_water\": {}}}",
+        quote(status),
+        snap.counter("serve.queue.high_water")
+    )
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

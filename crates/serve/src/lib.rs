@@ -27,9 +27,25 @@
 //! (`serve.worker.<i>.*`) live in an [`obs::Registry`]; an optional
 //! [`obs::Trace`] adds a `serve:worker:<i>` track with one span per
 //! request.
+//!
+//! Live telemetry rides on every request:
+//!
+//! * each worker owns a fixed-capacity [`obs::FlightRing`] of recent
+//!   structured events (request begin/end, batches consumed, queue
+//!   depth); when a request panics the worker drains its own ring into
+//!   an [`obs::FlightDump`] attached to the
+//!   [`ServeError::WorkerPanicked`] answer (and written to
+//!   [`ServerConfig::dump_dir`] when set);
+//! * every request id flows through [`Ticket::id`], its latency lands
+//!   in a per-kind `serve.request.<kind>.latency_nanos` histogram, and
+//!   a shared [`obs::TailSampler`] retains full stage traces only for
+//!   errored or tail-latency requests;
+//! * [`Server::serve_http`] exposes `/metrics` (Prometheus text),
+//!   `/healthz`, and `/traces` over a hand-rolled HTTP/1.0 responder.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -37,13 +53,18 @@ use std::time::Instant;
 
 use jrpm::pipeline::{run_pipeline, PipelineConfig, PipelineReport};
 use jrpm::tier::{run_tiered, TierConfig, TierReport};
-use obs::{Registry, Trace};
+use obs::live;
+use obs::{FlightDump, FlightRing, LiveEventKind, Registry, TailConfig, TailSampler, Trace};
 use test_tracer::config::TracerConfig;
 use test_tracer::stats::Profile;
 use test_tracer::tracer::TestTracer;
 use tvm::bus::DEFAULT_BATCH_CAPACITY;
 use tvm::record::{MappedRecording, Recording, RecordingError};
 use tvm::{Program, VmError};
+
+mod http;
+
+pub use http::HttpEndpoint;
 
 /// One profiling request.
 #[derive(Debug)]
@@ -91,6 +112,16 @@ impl ProfileRequest {
             ProfileRequest::Tiered { .. } => "tiered",
             ProfileRequest::Replay { .. } => "replay",
             ProfileRequest::ReplayMapped { .. } => "replay_mapped",
+        }
+    }
+
+    /// Numeric kind code carried in flight-recorder event payloads.
+    pub fn kind_code(&self) -> u64 {
+        match self {
+            ProfileRequest::Pipeline { .. } => 1,
+            ProfileRequest::Tiered { .. } => 2,
+            ProfileRequest::Replay { .. } => 3,
+            ProfileRequest::ReplayMapped { .. } => 4,
         }
     }
 }
@@ -146,7 +177,14 @@ pub enum ServeError {
     QueueClosed,
     /// The worker processing this request panicked. The panic was
     /// contained; the worker kept serving.
-    WorkerPanicked(String),
+    WorkerPanicked {
+        /// The panic payload, stringified.
+        message: String,
+        /// The panicking worker's flight recorder, drained at the
+        /// moment of containment: its last N structured events, for
+        /// crash forensics. Boxed to keep the error small.
+        dump: Option<Box<FlightDump>>,
+    },
     /// The request's reply channel closed without an answer.
     NoResponse,
     /// VM failure while executing the request's program.
@@ -159,7 +197,13 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::QueueClosed => write!(f, "server queue is closed"),
-            ServeError::WorkerPanicked(d) => write!(f, "worker panicked serving request: {d}"),
+            ServeError::WorkerPanicked { message, dump } => {
+                write!(f, "worker panicked serving request: {message}")?;
+                if let Some(d) = dump {
+                    write!(f, " ({} flight events attached)", d.events.len())?;
+                }
+                Ok(())
+            }
             ServeError::NoResponse => write!(f, "reply channel closed without an answer"),
             ServeError::Vm(e) => write!(f, "vm error: {e}"),
             ServeError::Recording(e) => write!(f, "recording error: {e}"),
@@ -192,6 +236,20 @@ pub struct ServerConfig {
     /// Optional span trace: each worker becomes a `serve:worker:<i>`
     /// track carrying one span per request.
     pub trace: Option<Arc<Trace>>,
+    /// Capacity of each worker's flight-recorder ring (rounded up to a
+    /// power of two). 0 disables the flight recorder *and* tail
+    /// sampling entirely — the calibration mode the throughput
+    /// benchmark measures recorder overhead against.
+    pub ring_capacity: usize,
+    /// When set, a panicking worker also writes its [`FlightDump`] to
+    /// this directory as `flightdump-w<worker>-r<request>.json`.
+    ///
+    /// The default honors the `SERVE_DUMP_DIR` environment variable
+    /// when present (how CI collects forensic artifacts from failing
+    /// runs without every call site opting in); `None` otherwise.
+    pub dump_dir: Option<PathBuf>,
+    /// Tail-sampling policy for retained request traces.
+    pub tail: TailConfig,
 }
 
 impl Default for ServerConfig {
@@ -200,6 +258,9 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
             queue_depth: 64,
             trace: None,
+            ring_capacity: 256,
+            dump_dir: std::env::var_os("SERVE_DUMP_DIR").map(PathBuf::from),
+            tail: TailConfig::default(),
         }
     }
 }
@@ -210,11 +271,15 @@ impl std::fmt::Debug for ServerConfig {
             .field("workers", &self.workers)
             .field("queue_depth", &self.queue_depth)
             .field("trace", &self.trace.is_some())
+            .field("ring_capacity", &self.ring_capacity)
+            .field("dump_dir", &self.dump_dir)
+            .field("tail", &self.tail)
             .finish()
     }
 }
 
 struct Job {
+    id: u64,
     req: ProfileRequest,
     reply: Sender<Result<ProfileResponse, ServeError>>,
 }
@@ -223,10 +288,17 @@ struct Job {
 /// answers.
 #[derive(Debug)]
 pub struct Ticket {
+    id: u64,
     rx: Receiver<Result<ProfileResponse, ServeError>>,
 }
 
 impl Ticket {
+    /// The request id assigned at submission — the same id the flight
+    /// recorder and tail sampler tag this request's telemetry with.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Blocks until the request completes.
     ///
     /// # Errors
@@ -243,6 +315,18 @@ pub struct Server {
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     registry: Arc<Registry>,
+    sampler: Arc<TailSampler>,
+    next_id: AtomicU64,
+}
+
+/// Everything a worker thread needs beyond the queue: shared telemetry
+/// handles plus per-worker recorder sizing.
+struct WorkerShared {
+    registry: Arc<Registry>,
+    trace: Option<Arc<Trace>>,
+    sampler: Arc<TailSampler>,
+    ring_capacity: usize,
+    dump_dir: Option<PathBuf>,
 }
 
 impl Server {
@@ -253,18 +337,26 @@ impl Server {
         let (tx, rx) = sync_channel::<Job>(depth);
         let rx = Arc::new(Mutex::new(rx));
         let registry = Arc::new(Registry::new());
+        let sampler = Arc::new(TailSampler::new(cfg.tail));
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
-                let registry = Arc::clone(&registry);
-                let trace = cfg.trace.clone();
-                std::thread::spawn(move || worker_loop(i, &rx, &registry, trace.as_deref()))
+                let shared = WorkerShared {
+                    registry: Arc::clone(&registry),
+                    trace: cfg.trace.clone(),
+                    sampler: Arc::clone(&sampler),
+                    ring_capacity: cfg.ring_capacity,
+                    dump_dir: cfg.dump_dir.clone(),
+                };
+                std::thread::spawn(move || worker_loop(i, &rx, &shared))
             })
             .collect();
         Server {
             tx: Some(tx),
             workers: handles,
             registry,
+            sampler,
+            next_id: AtomicU64::new(1),
         }
     }
 
@@ -281,10 +373,21 @@ impl Server {
     /// [`ServeError::QueueClosed`] once shutdown has begun.
     pub fn submit(&self, req: ProfileRequest) -> Result<Ticket, ServeError> {
         let tx = self.tx.as_ref().ok_or(ServeError::QueueClosed)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
-        tx.send(Job { req, reply })
+        tx.send(Job { id, req, reply })
             .map_err(|_| ServeError::QueueClosed)?;
-        Ok(Ticket { rx })
+        // queued (not yet claimed): gauge up here, down at claim; the
+        // high-water counter keeps the worst depth seen
+        let depth = {
+            let g = self.registry.gauge("serve.queue.depth");
+            g.add(1);
+            g.get()
+        };
+        self.registry
+            .counter("serve.queue.high_water")
+            .record_max(depth.max(0) as u64);
+        Ok(Ticket { id, rx })
     }
 
     /// Submits and waits in one call.
@@ -306,6 +409,31 @@ impl Server {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The shared tail sampler: every finished request's latency, plus
+    /// the retained (errored / tail-latency) traces.
+    pub fn sampler(&self) -> &TailSampler {
+        &self.sampler
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves the scrape
+    /// endpoints `/metrics`, `/healthz`, and `/traces` from a
+    /// background acceptor thread until the returned endpoint is
+    /// dropped or stopped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve_http(&self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<HttpEndpoint> {
+        http::serve(
+            addr,
+            http::HttpState {
+                registry: Arc::clone(&self.registry),
+                sampler: Arc::clone(&self.sampler),
+                workers: self.workers.len(),
+            },
+        )
     }
 
     /// Closes the queue, drains in-flight requests, and joins every
@@ -332,14 +460,22 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(
-    index: usize,
-    rx: &Mutex<Receiver<Job>>,
-    registry: &Registry,
-    trace: Option<&Trace>,
-) {
+fn worker_loop(index: usize, rx: &Mutex<Receiver<Job>>, shared: &WorkerShared) {
+    let registry = &*shared.registry;
+    let trace = shared.trace.as_deref();
     let prefix = format!("serve.worker.{index}");
     let track = trace.map(|tr| tr.track(&format!("serve:worker:{index}")));
+    // this worker's flight recorder: installed thread-locally so
+    // pipeline code anywhere below can emit without plumbing.
+    // ring_capacity 0 = telemetry off (benchmark calibration mode)
+    let ring = (shared.ring_capacity > 0).then(|| {
+        let ring = Arc::new(FlightRing::new(shared.ring_capacity));
+        live::install(Arc::clone(&ring));
+        ring
+    });
+    let alive = registry.gauge(&format!("{prefix}.alive"));
+    alive.set(1);
+    let queue_depth = registry.gauge("serve.queue.depth");
     loop {
         // hold the lock only while claiming the next job, so shards
         // drain the queue concurrently
@@ -353,31 +489,93 @@ fn worker_loop(
             guard.recv()
         };
         let Ok(job) = job else { break };
+        queue_depth.add(-1);
+        live::emit(
+            LiveEventKind::QueueDepth,
+            queue_depth.get().max(0) as u64,
+            registry.counter("serve.queue.high_water").get(),
+            0,
+        );
         let kind = job.req.kind();
+        let kind_code = job.req.kind_code();
         if let (Some(tr), Some(t)) = (trace, track) {
             tr.begin(t, kind);
         }
+        live::emit(LiveEventKind::RequestBegin, job.id, kind_code, 0);
         let started = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| handle(job.req)));
+        let result = catch_unwind(AssertUnwindSafe(|| handle(job.id, job.req)));
         let busy = started.elapsed().as_nanos() as u64;
         registry.counter(&format!("{prefix}.requests")).inc();
         registry.counter(&format!("{prefix}.busy_nanos")).add(busy);
+        registry
+            .histogram(&format!("serve.request.{kind}.latency_nanos"))
+            .record(busy);
         let result = match result {
             Ok(r) => r,
             Err(payload) => {
                 registry.counter(&format!("{prefix}.panics")).inc();
-                Err(ServeError::WorkerPanicked(panic_message(&payload)))
+                let message = panic_message(&payload);
+                live::emit(LiveEventKind::RequestEnd, job.id, busy, 1);
+                // crash forensics: drain this worker's own ring into a
+                // dump attached to the answer (and written to disk when
+                // a dump directory is configured)
+                let dump = ring.as_ref().map(|ring| {
+                    let dump = FlightDump {
+                        worker: index as u64,
+                        request_id: job.id,
+                        request_kind: kind.to_string(),
+                        panic_message: message.clone(),
+                        events_written: ring.written(),
+                        events: ring.snapshot(),
+                    };
+                    if let Some(dir) = &shared.dump_dir {
+                        if dump.write_to(dir).is_err() {
+                            registry.counter(&format!("{prefix}.dump_errors")).inc();
+                        }
+                    }
+                    Box::new(dump)
+                });
+                Err(ServeError::WorkerPanicked { message, dump })
             }
         };
-        if let Ok(resp) = &result {
-            let (events, lagged, dropped) = response_counters(resp);
-            registry.counter(&format!("{prefix}.events")).add(events);
-            registry
-                .counter(&format!("{prefix}.lagged_batches"))
-                .add(lagged);
-            registry
-                .counter(&format!("{prefix}.dropped_batches"))
-                .add(dropped);
+        match &result {
+            Ok(resp) => {
+                live::emit(LiveEventKind::RequestEnd, job.id, busy, 0);
+                let (events, lagged, dropped) = response_counters(resp);
+                registry.counter(&format!("{prefix}.events")).add(events);
+                registry
+                    .counter(&format!("{prefix}.lagged_batches"))
+                    .add(lagged);
+                registry
+                    .counter(&format!("{prefix}.dropped_batches"))
+                    .add(dropped);
+            }
+            Err(ServeError::WorkerPanicked { .. }) => {} // already emitted
+            Err(_) => live::emit(LiveEventKind::RequestEnd, job.id, busy, 1),
+        }
+        // tail sampling: record every latency, retain stage traces
+        // only for errored or tail-latency requests (off together with
+        // the recorder in calibration mode)
+        if ring.is_some() {
+            let stages = result
+                .as_ref()
+                .ok()
+                .and_then(ProfileResponse::report)
+                .map(|r| {
+                    r.obs
+                        .stages
+                        .iter()
+                        .map(|s| (s.stage.clone(), s.nanos))
+                        .collect()
+                })
+                .unwrap_or_default();
+            shared.sampler.observe(obs::RequestTrace {
+                id: job.id,
+                kind: kind.to_string(),
+                latency_nanos: busy,
+                error: result.as_ref().err().map(|e| e.to_string()),
+                stages,
+            });
         }
         if let (Some(tr), Some(t)) = (trace, track) {
             tr.end(t, kind);
@@ -385,6 +583,8 @@ fn worker_loop(
         // a dropped ticket just means nobody is waiting; keep serving
         let _ = job.reply.send(result);
     }
+    alive.set(0);
+    live::uninstall();
 }
 
 /// Events analyzed plus per-shard bus lag/drop totals of one response.
@@ -402,7 +602,7 @@ fn response_counters(resp: &ProfileResponse) -> (u64, u64, u64) {
     }
 }
 
-fn handle(req: ProfileRequest) -> Result<ProfileResponse, ServeError> {
+fn handle(id: u64, req: ProfileRequest) -> Result<ProfileResponse, ServeError> {
     match req {
         ProfileRequest::Pipeline { program, cfg } => {
             let report = run_pipeline(&program, &cfg)?;
@@ -434,6 +634,7 @@ fn handle(req: ProfileRequest) -> Result<ProfileResponse, ServeError> {
             let mut t = TestTracer::new(tracer);
             let events = view.stream_batches(batch_capacity.max(1), |batch| {
                 use tvm::trace::TraceSink;
+                live::emit(LiveEventKind::BatchConsumed, id, batch.len() as u64, 0);
                 t.consume_batch(batch);
             })?;
             Ok(ProfileResponse::Profile {
@@ -502,7 +703,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             workers: 2,
             queue_depth: 4,
-            trace: None,
+            ..ServerConfig::default()
         });
         let resp = server
             .profile(ProfileRequest::Pipeline {
@@ -527,7 +728,7 @@ mod tests {
         let mut server = Server::start(ServerConfig {
             workers: 1,
             queue_depth: 1,
-            trace: None,
+            ..ServerConfig::default()
         });
         server.tx = None; // simulate shutdown-in-progress
         let err = server
@@ -544,7 +745,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             workers: 1,
             queue_depth: 1,
-            trace: None,
+            ..ServerConfig::default()
         });
         let err = server
             .profile(ProfileRequest::ReplayMapped {
@@ -561,7 +762,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             workers: 1,
             queue_depth: 2,
-            trace: None,
+            ..ServerConfig::default()
         });
         // a tracer table size that is not a power of two makes
         // TestTracer::new panic — a genuinely panicking request
@@ -575,7 +776,25 @@ mod tests {
                 tracer: bad,
             })
             .expect_err("panicking request answers with a typed error");
-        assert!(matches!(err, ServeError::WorkerPanicked(_)), "{err:?}");
+        let ServeError::WorkerPanicked { message, dump } = err else {
+            panic!("expected WorkerPanicked, got {err:?}");
+        };
+        assert!(!message.is_empty());
+        // the drained flight recorder rides on the error and contains
+        // the failing request's begin event
+        let dump = dump.expect("panic answer carries a flight dump");
+        assert_eq!(dump.worker, 0);
+        assert_eq!(dump.request_kind, "replay");
+        assert!(
+            dump.events
+                .iter()
+                .any(|e| e.kind == obs::LiveEventKind::RequestBegin && e.a == dump.request_id),
+            "dump holds the failing request's begin event: {:?}",
+            dump.events
+        );
+        // and it round-trips through its own JSON codec
+        let parsed = obs::FlightDump::parse(&dump.to_json()).expect("dump JSON parses");
+        assert_eq!(parsed, *dump);
         // the single worker survived and answers the next request
         let resp = server.profile(ProfileRequest::Replay {
             recording: Recording { events: Vec::new() },

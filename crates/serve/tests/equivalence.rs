@@ -55,7 +55,7 @@ fn server_matches_batch_on_every_benchmark() {
     let server = Server::start(ServerConfig {
         workers: 4,
         queue_depth: 8,
-        trace: None,
+        ..ServerConfig::default()
     });
     let mut tickets = Vec::new();
     for bench in all() {
@@ -96,7 +96,7 @@ fn tiered_requests_match_direct_tier_runs() {
     let server = Server::start(ServerConfig {
         workers: 2,
         queue_depth: 4,
-        trace: None,
+        ..ServerConfig::default()
     });
     for name in ["FourierTest", "db", "Huffman"] {
         let bench = benchsuite::by_name(name).expect("suite benchmark exists");
@@ -129,7 +129,7 @@ fn mapped_replay_matches_owned_replay_suite_wide() {
     let server = Server::start(ServerConfig {
         workers: 3,
         queue_depth: 4,
-        trace: None,
+        ..ServerConfig::default()
     });
     for bench in all() {
         let name = bench.name;

@@ -50,7 +50,7 @@ fn concurrent_clients_all_match_single_tenant_runs() {
     let server = Server::start(ServerConfig {
         workers: WORKERS,
         queue_depth: 4,
-        trace: None,
+        ..ServerConfig::default()
     });
     std::thread::scope(|scope| {
         for client in 0..CLIENTS {

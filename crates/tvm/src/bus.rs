@@ -34,6 +34,7 @@ use crate::record::Event;
 use crate::trace::{Addr, Cycles, TraceSink};
 use crate::VmError;
 use obs::{Trace as ObsTrace, TrackId};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::Arc;
 use std::time::Instant;
@@ -650,6 +651,10 @@ pub struct SinkStats {
     pub dropped_batches: u64,
     /// Wall time spent inside the sink's callbacks, in nanoseconds.
     pub drain_nanos: u64,
+    /// Threaded mode: the deepest this sink's bounded channel got
+    /// (batches enqueued and not yet drained). 0 in unthreaded modes,
+    /// which have no queue.
+    pub queue_depth_high_water: u64,
 }
 
 impl SinkStats {
@@ -849,15 +854,21 @@ impl<'a> TraceBus<'a> {
         }
         let sinks = self.sinks;
         let mut out: Vec<SinkStats> = Vec::with_capacity(sinks.len());
+        // per-sink in-flight batch counters, shared producer/consumer;
+        // the producer derives each channel's depth high-water from
+        // them (obs cannot be a tvm dependency, so plain atomics here
+        // and the registry copy happens in jrpm's bus recording)
+        let inflight: Vec<AtomicU64> = (0..sinks.len()).map(|_| AtomicU64::new(0)).collect();
         std::thread::scope(|scope| {
             let mut txs = Vec::with_capacity(sinks.len());
             let mut handles = Vec::with_capacity(sinks.len());
             let mut labels = Vec::with_capacity(sinks.len());
-            for (label, sink) in sinks {
+            for (i, (label, sink)) in sinks.into_iter().enumerate() {
                 labels.push(label.clone());
                 let (tx, rx) = sync_channel::<&EventBatch>(depth);
                 txs.push(tx);
                 let thread_trace = trace.clone();
+                let inflight = &inflight[i];
                 handles.push(scope.spawn(move || {
                     let track = thread_trace
                         .as_ref()
@@ -867,6 +878,7 @@ impl<'a> TraceBus<'a> {
                         ..SinkStats::default()
                     };
                     while let Ok(batch) = rx.recv() {
+                        inflight.fetch_sub(1, AtomicOrdering::Relaxed);
                         if let (Some(tr), Some(t)) = (&thread_trace, track) {
                             tr.begin(t, "drain");
                         }
@@ -887,13 +899,19 @@ impl<'a> TraceBus<'a> {
             let producer = trace.as_ref().map(|tr| tr.track("bus:producer"));
             let mut lagged = vec![0u64; txs.len()];
             let mut dropped = vec![0u64; txs.len()];
+            let mut high_water = vec![0u64; txs.len()];
             for batch in batches {
                 if let (Some(tr), Some(t)) = (&trace, producer) {
                     tr.counter(t, "batch_len", batch.len() as u64);
                 }
                 for (i, tx) in txs.iter().enumerate() {
-                    match tx.try_send(batch) {
-                        Ok(()) => {}
+                    // count the batch in-flight *before* handing it
+                    // over: the consumer's decrement is ordered after
+                    // its recv, so the counter never underflows
+                    let d = inflight[i].fetch_add(1, AtomicOrdering::Relaxed) + 1;
+                    high_water[i] = high_water[i].max(d);
+                    let sent = match tx.try_send(batch) {
+                        Ok(()) => true,
                         Err(TrySendError::Full(b)) => {
                             lagged[i] += 1;
                             if let (Some(tr), Some(t)) = (&trace, producer) {
@@ -902,9 +920,18 @@ impl<'a> TraceBus<'a> {
                             }
                             if tx.send(b).is_err() {
                                 dropped[i] += 1;
+                                false
+                            } else {
+                                true
                             }
                         }
-                        Err(TrySendError::Disconnected(_)) => dropped[i] += 1,
+                        Err(TrySendError::Disconnected(_)) => {
+                            dropped[i] += 1;
+                            false
+                        }
+                    };
+                    if !sent {
+                        inflight[i].fetch_sub(1, AtomicOrdering::Relaxed);
                     }
                 }
             }
@@ -926,6 +953,7 @@ impl<'a> TraceBus<'a> {
                     },
                 };
                 st.lagged_batches = lagged[i];
+                st.queue_depth_high_water = high_water[i];
                 out.push(st);
             }
         });
@@ -958,15 +986,18 @@ impl<'a> TraceBus<'a> {
             ..BusReport::default()
         };
         let mut out: Vec<SinkStats> = Vec::with_capacity(sinks.len());
+        // same in-flight accounting as replay_threaded
+        let inflight: Vec<AtomicU64> = (0..sinks.len()).map(|_| AtomicU64::new(0)).collect();
         let run = std::thread::scope(|scope| {
             let mut txs = Vec::with_capacity(sinks.len());
             let mut handles = Vec::with_capacity(sinks.len());
             let mut labels = Vec::with_capacity(sinks.len());
-            for (label, sink) in sinks {
+            for (i, (label, sink)) in sinks.into_iter().enumerate() {
                 labels.push(label.clone());
                 let (tx, rx) = sync_channel::<Arc<EventBatch>>(depth);
                 txs.push(tx);
                 let thread_trace = trace.clone();
+                let inflight = &inflight[i];
                 handles.push(scope.spawn(move || {
                     let track = thread_trace
                         .as_ref()
@@ -976,6 +1007,7 @@ impl<'a> TraceBus<'a> {
                         ..SinkStats::default()
                     };
                     while let Ok(batch) = rx.recv() {
+                        inflight.fetch_sub(1, AtomicOrdering::Relaxed);
                         if let (Some(tr), Some(t)) = (&thread_trace, track) {
                             tr.begin(t, "drain");
                         }
@@ -996,11 +1028,14 @@ impl<'a> TraceBus<'a> {
             let producer = trace.as_ref().map(|tr| tr.track("bus:producer"));
             let mut lagged = vec![0u64; txs.len()];
             let mut dropped = vec![0u64; txs.len()];
+            let mut high_water = vec![0u64; txs.len()];
             let mut by_kind = KindCounts::default();
             let mut batches = 0u64;
             let mut events = 0u64;
             let run = {
                 let trace = &trace;
+                let inflight = &inflight;
+                let high_water = &mut high_water;
                 let mut batcher = Batcher::new(capacity, |batch: EventBatch| {
                     by_kind.merge(&batch.kind_counts());
                     batches += 1;
@@ -1010,8 +1045,13 @@ impl<'a> TraceBus<'a> {
                     }
                     let shared = Arc::new(batch);
                     for (i, tx) in txs.iter().enumerate() {
-                        match tx.try_send(Arc::clone(&shared)) {
-                            Ok(()) => {}
+                        // increment-before-send, exactly as in
+                        // replay_threaded, to keep the counter from
+                        // racing the consumer's decrement
+                        let d = inflight[i].fetch_add(1, AtomicOrdering::Relaxed) + 1;
+                        high_water[i] = high_water[i].max(d);
+                        let sent = match tx.try_send(Arc::clone(&shared)) {
+                            Ok(()) => true,
                             Err(TrySendError::Full(b)) => {
                                 lagged[i] += 1;
                                 if let (Some(tr), Some(t)) = (trace, producer) {
@@ -1020,9 +1060,18 @@ impl<'a> TraceBus<'a> {
                                 }
                                 if tx.send(b).is_err() {
                                     dropped[i] += 1;
+                                    false
+                                } else {
+                                    true
                                 }
                             }
-                            Err(TrySendError::Disconnected(_)) => dropped[i] += 1,
+                            Err(TrySendError::Disconnected(_)) => {
+                                dropped[i] += 1;
+                                false
+                            }
+                        };
+                        if !sent {
+                            inflight[i].fetch_sub(1, AtomicOrdering::Relaxed);
                         }
                     }
                 });
@@ -1046,6 +1095,7 @@ impl<'a> TraceBus<'a> {
                     },
                 };
                 st.lagged_batches = lagged[i];
+                st.queue_depth_high_water = high_water[i];
                 out.push(st);
             }
             report.by_kind = by_kind;

@@ -11,82 +11,23 @@
 //! cargo run --release -p jrpm-bench --bin jrpm-lint -- --explain PT001
 //! ```
 //!
-//! Each loop row carries alias/escape and loop-rescue diagnostics with
-//! stable codes (`PT001`, `PT002`, `TR001`, `TR002`), and each
-//! benchmark row carries the online tier controller's runtime
-//! diagnostics (`TI001`, `TI002`); `--explain <code>` prints what a
-//! code means.
+//! Each loop row carries alias/escape, loop-rescue, and
+//! scalar-evolution diagnostics with stable codes (`PT001`, `PT002`,
+//! `TR001`, `TR002`, `SV001`, `SL001`), and each benchmark row carries
+//! the online tier controller's runtime diagnostics (`TI001`,
+//! `TI002`); `--explain <code>` prints what a code means. The codes
+//! and their explanations live in [`jrpm_bench::diag`], whose tests
+//! pin that every emittable code has an entry.
 //! Exit status is nonzero if any program fails verification.
 
 use benchsuite::DataSize;
-use cfgir::{classify_loop_pairs, Dominators, PairVerdict, PointsTo, StaticVerdict};
+use cfgir::{
+    classify_loop_pairs, classify_loop_pairs_evo, extract_slices, scev, Dominators, PairVerdict,
+    PointsTo, StaticVerdict,
+};
 use jrpm::tier::{run_tiered, TierConfig};
 use jrpm::{annotate, AnnotateOptions, PipelineConfig};
-
-/// Stable diagnostic codes with one-paragraph explanations, shown by
-/// `--explain`. Codes are append-only: tools key on them.
-const EXPLANATIONS: &[(&str, &str)] = &[
-    (
-        "PT001",
-        "provably-disjoint access pairs: in this loop, N load/store pairs that the \
-         structural memory-dependence rules (PR 1) had to treat as may-alias were \
-         proven to touch disjoint abstract objects by the Andersen points-to \
-         analysis. These pairs no longer mask speculative-thread candidates, so a \
-         loop carrying PT001 is analysed more precisely, never less. The count is \
-         the `via_pointsto` figure from `cfgir::classify_loop_pairs`.",
-    ),
-    (
-        "TR001",
-        "loop rescued: a demoted loop was rewritten by the loop-rescue pass (PR 6) \
-         into a provably parallelizable variant — a reduction delta-rewrite, a \
-         scalar privatization, or a loop distribution. The diagnostic names the \
-         transform and the recurrence it removed; the attached legality proof was \
-         re-checked by the independent verifier (`cfgir::rescue::verify`) before \
-         the variant replaced the loop, so downstream profiling and selection run \
-         on the transformed code.",
-    ),
-    (
-        "TR002",
-        "rescue rejected: a loop-rescue transform matched this loop's shape but \
-         could not prove the rewrite legal, so the loop stays as written. The \
-         diagnostic carries the rejecting transform, the reason, and — when the \
-         rejection is dependence-shaped — the violating dependence witness \
-         (source/destination pcs and the overlap kind from the memory-dependence \
-         pre-screen). Restructuring the loop to break that dependence is what \
-         would let the rescue pass lift it.",
-    ),
-    (
-        "TI001",
-        "loop stuck in Tracing past its budget: the online tier controller (PR 7) \
-         promoted and patched this loop, but across more epochs than the configured \
-         trace budget every one of its entries found the TEST comparator banks \
-         already held by enclosing loops, so it never produced a banked profile \
-         entry. The controller demotes it dynamically. The witness lists, per \
-         epoch, the untraced-entry count and the bank capacity; more comparator \
-         banks (TracerConfig::n_banks) or demoting the enclosing loop are what \
-         would let it trace.",
-    ),
-    (
-        "TI002",
-        "selection verdict flapped: windowed Equation 2 re-selection committed \
-         opposite verdicts for this loop more times than the flap limit, even \
-         through the hysteresis filter. This typically means two decompositions of \
-         the same nest predict near-identical speedups, so epoch-level noise (or a \
-         promotion wave re-annotating the nest) keeps flipping the winner. The \
-         witness quotes each committed flip with its windowed estimate; raising \
-         the hysteresis or window size stabilises the choice, and the final \
-         full-image selection is authoritative either way.",
-    ),
-    (
-        "PT002",
-        "allocation site escapes via a static variable: an object or array \
-         allocated in this loop's function is reachable from a static (global) \
-         variable, so every opaque call in the program may read or write it. \
-         Stores through such a site cannot be localised by the points-to escape \
-         analysis; keeping the value out of statics (or threading it through \
-         parameters) lets the pre-screen shrink call summaries around it.",
-    ),
-];
+use jrpm_bench::diag::{explain, EXPLANATIONS};
 
 /// Escapes a string for embedding in a JSON literal.
 fn esc(s: &str) -> String {
@@ -126,9 +67,9 @@ fn main() {
                     std::process::exit(2);
                 };
                 let code = code.to_uppercase();
-                match EXPLANATIONS.iter().find(|(c, _)| *c == code) {
-                    Some((c, text)) => {
-                        println!("{c}: {text}");
+                match explain(&code) {
+                    Some(text) => {
+                        println!("{code}: {text}");
                         return;
                     }
                     None => {
@@ -216,6 +157,48 @@ fn main() {
                     "{{\"code\":\"PT001\",\"count\":{via_pt},\"disjoint\":{disjoint},\
                      \"pairs\":{}}}",
                     sharp.len()
+                ));
+            }
+            // SV001/SL001: what scalar evolution adds on top — distance
+            // vectors for affine pairs and certified slices for
+            // closed-form loop-carried scalars
+            let evo = scev::analyze_loop(&program, f, &fa.cfg, lp);
+            let evo_pairs =
+                classify_loop_pairs_evo(&program, f, &fa.cfg, &dom, lp, Some(&view), &evo);
+            let distances: Vec<u32> = evo_pairs
+                .iter()
+                .filter_map(|p| match p.verdict {
+                    PairVerdict::DistanceAtLeast(d) => Some(d),
+                    _ => None,
+                })
+                .collect();
+            let scev_disjoint = evo_pairs
+                .iter()
+                .filter(|p| p.via_scev && p.verdict == PairVerdict::Disjoint)
+                .count();
+            if !distances.is_empty() || scev_disjoint > 0 {
+                let ds: Vec<String> = distances.iter().map(u32::to_string).collect();
+                diags.push(format!(
+                    "{{\"code\":\"SV001\",\"distances\":[{}],\"scev_disjoint\":{scev_disjoint},\
+                     \"closed_forms\":{}}}",
+                    ds.join(","),
+                    evo.closed_form_count()
+                ));
+            }
+            let slices = extract_slices(&program, f, &fa.cfg, &fa.forest, c.loop_idx, &evo);
+            if !slices.slices.is_empty() || slices.rejected > 0 {
+                let scalars: Vec<String> = slices
+                    .slices
+                    .iter()
+                    .map(|s| format!("\"{}\"", esc(&s.scalar.to_string())))
+                    .collect();
+                let cost: u32 = slices.slices.iter().map(|s| s.cert.cost).sum();
+                diags.push(format!(
+                    "{{\"code\":\"SL001\",\"slices\":{},\"rejected\":{},\"cost\":{cost},\
+                     \"scalars\":[{}]}}",
+                    slices.slices.len(),
+                    slices.rejected,
+                    scalars.join(",")
                 ));
             }
             // TR001/TR002: what the loop-rescue pass did to this loop,

@@ -1,0 +1,219 @@
+//! Scalar-evolution sharpening and value-agreement regression gate.
+//!
+//! ```text
+//! cargo run --release -p jrpm-bench --bin scev-gate -- <baseline.json> <prescreen_baseline.json>
+//! cargo run --release -p jrpm-bench --bin scev-gate -- <baseline.json> <prescreen_baseline.json> --update
+//! ```
+//!
+//! Recomputes the scalar-evolution snapshot (`tables::scev_rows` at the
+//! small data size) and compares it against the committed baseline:
+//!
+//! - any numeric difference per benchmark fails (the snapshot is the
+//!   PR's record of exactly which distance vectors and slices the
+//!   analysis certifies);
+//! - the monotone-improvement invariant against the *pre-screen*
+//!   baseline must hold per benchmark: the pair universe is identical
+//!   (`pairs` equal) and scev may only *add* independence proofs
+//!   (`disjoint >= prescreen disjoint`);
+//! - at least one suite loop must gain a `DistanceAtLeast` verdict the
+//!   pre-screen had to leave may-alias;
+//! - the dynamic value-agreement replay must be sound on every
+//!   benchmark, with zero slice-prediction or distance-claim
+//!   violations.
+//!
+//! `--update` rewrites the scev baseline from the fresh computation,
+//! for intentional analysis changes. The pre-screen baseline is never
+//! written — it belongs to `prescreen-gate`.
+
+use benchsuite::DataSize;
+use jrpm_bench::tables::{scev_json, scev_rows};
+use obs::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Flattens one benchmark object into `field -> value`.
+fn fields(bench: &Value, keys: &[&str]) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for key in keys {
+        if let Some(v) = bench.get(key).and_then(Value::as_u64) {
+            out.insert((*key).to_string(), v);
+        }
+    }
+    out
+}
+
+fn benchmarks(doc: &Value, keys: &[&str]) -> BTreeMap<String, BTreeMap<String, u64>> {
+    let mut out = BTreeMap::new();
+    let arr = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .expect("document has a benchmarks array");
+    for b in arr {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .expect("benchmark has a name");
+        out.insert(name.to_string(), fields(b, keys));
+    }
+    out
+}
+
+const SCEV_KEYS: &[&str] = &[
+    "pairs",
+    "prescreen_disjoint",
+    "disjoint",
+    "distance_pairs",
+    "floored_loops",
+    "closed_forms",
+    "slices",
+    "slices_rejected",
+    "slice_checks",
+    "slice_violations",
+    "distance_checks",
+    "distance_violations",
+    "sound",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path, prescreen_path] = paths[..] else {
+        eprintln!("usage: scev-gate <baseline.json> <prescreen_baseline.json> [--update]");
+        return ExitCode::FAILURE;
+    };
+
+    let rows = scev_rows(DataSize::Small);
+    let current_json = scev_json(&rows);
+
+    // Invariants on the fresh computation itself — checked before any
+    // baseline diff so --update can never enshrine a violation.
+    let mut failures: Vec<String> = Vec::new();
+    for r in &rows {
+        if r.disjoint < r.prescreen_disjoint {
+            failures.push(format!(
+                "{}: scev sharpening lost proofs (disjoint {} < pre-screen {})",
+                r.name, r.disjoint, r.prescreen_disjoint
+            ));
+        }
+        if !r.sound || r.slice_violations > 0 || r.distance_violations > 0 {
+            failures.push(format!(
+                "{}: value agreement unsound ({} slice violation(s), {} distance violation(s))",
+                r.name, r.slice_violations, r.distance_violations
+            ));
+        }
+    }
+    let total_distance: usize = rows.iter().map(|r| r.distance_pairs).sum();
+    if total_distance == 0 {
+        failures.push(
+            "suite-wide distance_pairs is 0: no loop gained a DistanceAtLeast verdict \
+             beyond the pre-screen"
+                .into(),
+        );
+    }
+
+    // Monotone improvement against the pre-screen snapshot: same pair
+    // universe, never fewer disjointness proofs.
+    let prescreen_text = std::fs::read_to_string(prescreen_path)
+        .unwrap_or_else(|e| panic!("scev-gate: cannot read {prescreen_path}: {e}"));
+    let prescreen = parse(&prescreen_text)
+        .unwrap_or_else(|e| panic!("scev-gate: {prescreen_path} is not valid JSON: {e}"));
+    let prescreen_benches = benchmarks(&prescreen, &["pairs", "disjoint"]);
+    for r in &rows {
+        let Some(base) = prescreen_benches.get(r.name) else {
+            failures.push(format!(
+                "{}: missing from the pre-screen baseline {prescreen_path}",
+                r.name
+            ));
+            continue;
+        };
+        if base.get("pairs").copied() != Some(r.pairs as u64) {
+            failures.push(format!(
+                "{}: pair universe diverged from the pre-screen baseline \
+                 (pre-screen {:?}, scev {})",
+                r.name,
+                base.get("pairs"),
+                r.pairs
+            ));
+        }
+        if let Some(&pd) = base.get("disjoint") {
+            if (r.disjoint as u64) < pd {
+                failures.push(format!(
+                    "{}: monotone improvement violated (scev disjoint {} < \
+                     pre-screen baseline {pd})",
+                    r.name, r.disjoint
+                ));
+            }
+        }
+    }
+
+    if update {
+        if !failures.is_empty() {
+            eprintln!("scev-gate: refusing to update a baseline that violates invariants:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        std::fs::write(baseline_path, &current_json)
+            .unwrap_or_else(|e| panic!("scev-gate: cannot write {baseline_path}: {e}"));
+        eprintln!(
+            "scev-gate: baseline {baseline_path} updated ({} benchmarks)",
+            rows.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("scev-gate: cannot read {baseline_path}: {e}"));
+    let baseline = parse(&baseline_text)
+        .unwrap_or_else(|e| panic!("scev-gate: {baseline_path} is not valid JSON: {e}"));
+    let current = parse(&current_json).expect("fresh snapshot is valid JSON");
+    let base_benches = benchmarks(&baseline, SCEV_KEYS);
+    let cur_benches = benchmarks(&current, SCEV_KEYS);
+
+    for name in base_benches.keys() {
+        if !cur_benches.contains_key(name) {
+            failures.push(format!("benchmark {name} disappeared"));
+        }
+    }
+    for (name, cur) in &cur_benches {
+        let Some(base) = base_benches.get(name) else {
+            failures.push(format!(
+                "benchmark {name} is new — regenerate the baseline with --update"
+            ));
+            continue;
+        };
+        for (field, cv) in cur {
+            let bv = base.get(field).copied();
+            if bv != Some(*cv) {
+                failures.push(format!(
+                    "{name}: {field} changed (baseline {}, current {cv})",
+                    bv.map_or("absent".into(), |v| v.to_string())
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        let total_slices: usize = rows.iter().map(|r| r.slices).sum();
+        let total_checks: u64 = rows
+            .iter()
+            .map(|r| r.slice_checks + r.distance_checks)
+            .sum();
+        eprintln!(
+            "scev-gate: OK — {} benchmark(s) match the baseline ({total_distance} distance \
+             vector(s), {total_slices} certified slice(s), {total_checks} dynamic check(s), \
+             all sound)",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("scev-gate: FAILED — {} violation(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!("(intentional change? refresh with: scev-gate <baseline> <prescreen> --update)");
+        ExitCode::FAILURE
+    }
+}

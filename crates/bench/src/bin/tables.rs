@@ -27,6 +27,7 @@ fn main() {
     let mut prescreen_json_path: Option<String> = None;
     let mut rescue_json_path: Option<String> = None;
     let mut tier_json_path: Option<String> = None;
+    let mut scev_json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         if i + 1 < args.len() && args[i] == "--obs-json" {
@@ -50,6 +51,9 @@ fn main() {
         } else if i + 1 < args.len() && args[i] == "--tier-json" {
             args.remove(i);
             tier_json_path = Some(args.remove(i));
+        } else if i + 1 < args.len() && args[i] == "--scev-json" {
+            args.remove(i);
+            scev_json_path = Some(args.remove(i));
         } else {
             i += 1;
         }
@@ -72,6 +76,7 @@ fn main() {
         && prescreen_json_path.is_none()
         && rescue_json_path.is_none()
         && tier_json_path.is_none()
+        && scev_json_path.is_none()
     {
         args.push("all".into());
     }
@@ -128,6 +133,14 @@ fn main() {
     }
     if want("tier") {
         println!("{}", tables::tier(size));
+    }
+    if want("scev") {
+        println!("{}", tables::scev_table(size));
+    }
+    if let Some(path) = &scev_json_path {
+        let rows = tables::scev_rows(size);
+        std::fs::write(path, tables::scev_json(&rows)).expect("write scev JSON");
+        eprintln!("wrote {path}");
     }
     if let Some(path) = &tier_json_path {
         let rows = tables::tier_rows(size);

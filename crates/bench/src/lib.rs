@@ -8,6 +8,7 @@
 //! in `benches/`.
 
 pub mod ablation;
+pub mod diag;
 pub mod runner;
 pub mod tables;
 

@@ -3,7 +3,9 @@
 
 use crate::runner::BenchResult;
 use benchsuite::DataSize;
-use cfgir::{classify_loop_pairs, Dominators, PairVerdict};
+use cfgir::{
+    classify_loop_pairs, classify_loop_pairs_evo, extract_slices, scev, Dominators, PairVerdict,
+};
 use hydra_sim::TlsConfig;
 use jrpm::agreement::{agreement_report, AgreementReport};
 use jrpm::pipeline::{run_pipeline, PipelineConfig};
@@ -606,6 +608,202 @@ pub fn prescreen(size: DataSize) -> String {
     s.push_str(&format!(
         "Total candidate loops pruned statically: {total_pruned}\n\
          Total access pairs proven independent only by points-to: {total_via_pt}\n"
+    ));
+    s
+}
+
+/// One benchmark's scalar-evolution measurements: how much further the
+/// scev distance-vector sharpening pushes the pair classification past
+/// the points-to pre-screen, how many certified pre-computation slices
+/// were extracted, and whether the dynamic value-agreement replay
+/// confirmed every claim.
+#[derive(Debug, Clone)]
+pub struct ScevRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// (load, store) access pairs across all candidate loop bodies —
+    /// the same universe the pre-screen snapshot counts, so the gate
+    /// can check per-benchmark monotonicity against it.
+    pub pairs: usize,
+    /// Pairs proven disjoint by the points-to pre-screen (PR 5).
+    pub prescreen_disjoint: usize,
+    /// Pairs proven disjoint with scev evolutions also available.
+    pub disjoint: usize,
+    /// Pairs carrying a `DistanceAtLeast` verdict — collisions proven
+    /// at least that many iterations apart, which the pre-screen had
+    /// to leave may-alias.
+    pub distance_pairs: usize,
+    /// Candidate loops whose Equation 2 estimate gains a RAW-chain
+    /// overlap floor from a positive signed distance.
+    pub floored_loops: usize,
+    /// Loop-carried scalars with closed-form evolutions.
+    pub closed_forms: usize,
+    /// Certified pre-computation slices (verifier-approved).
+    pub slices: usize,
+    /// Slice candidates the independent verifier rejected.
+    pub slices_rejected: usize,
+    /// Per-iteration slice predictions checked against the replay.
+    pub slice_checks: u64,
+    /// Slice predictions the recorded stream refuted (must be 0).
+    pub slice_violations: usize,
+    /// Shared addresses cross-checked against a claimed distance.
+    pub distance_checks: u64,
+    /// Distance claims the replay refuted (must be 0).
+    pub distance_violations: usize,
+    /// The full agreement report's soundness verdict.
+    pub sound: bool,
+}
+
+/// Computes the scalar-evolution snapshot for every benchmark: the
+/// static columns re-run the pair classification (on the original
+/// program, same universe as [`prescreen_rows`]) with evolutions
+/// available; the dynamic columns come from the value-agreement replay
+/// of [`agreement_report`].
+///
+/// # Panics
+///
+/// Panics if a benchmark's agreement replay fails — CI treats that as
+/// a build failure.
+pub fn scev_rows(size: DataSize) -> Vec<ScevRow> {
+    let mut rows = Vec::new();
+    for b in benchsuite::all() {
+        let program = (b.build)(size);
+        let cands = cfgir::extract_candidates(&program);
+        let pt = cfgir::PointsTo::analyze(&program);
+        let mut row = ScevRow {
+            name: b.name,
+            pairs: 0,
+            prescreen_disjoint: 0,
+            disjoint: 0,
+            distance_pairs: 0,
+            floored_loops: 0,
+            closed_forms: 0,
+            slices: 0,
+            slices_rejected: 0,
+            slice_checks: 0,
+            slice_violations: 0,
+            distance_checks: 0,
+            distance_violations: 0,
+            sound: false,
+        };
+        for c in &cands.candidates {
+            let fa = &cands.functions[c.func.0 as usize];
+            let f = &program.functions[c.func.0 as usize];
+            let dom = Dominators::compute(&fa.cfg);
+            let lp = &fa.forest.loops[c.loop_idx];
+            let view = pt.view(c.func);
+            let evo = scev::analyze_loop(&program, f, &fa.cfg, lp);
+            let sharp = classify_loop_pairs_evo(&program, f, &fa.cfg, &dom, lp, Some(&view), &evo);
+            let base = classify_loop_pairs(&program, f, &fa.cfg, &dom, lp, Some(&view));
+            row.pairs += sharp.len();
+            row.prescreen_disjoint += base
+                .iter()
+                .filter(|p| p.verdict == PairVerdict::Disjoint)
+                .count();
+            row.disjoint += sharp
+                .iter()
+                .filter(|p| p.verdict == PairVerdict::Disjoint)
+                .count();
+            row.distance_pairs += sharp
+                .iter()
+                .filter(|p| matches!(p.verdict, PairVerdict::DistanceAtLeast(_)))
+                .count();
+            row.closed_forms += evo.closed_form_count();
+            let slices = extract_slices(&program, f, &fa.cfg, &fa.forest, c.loop_idx, &evo);
+            row.slices += slices.slices.len();
+            row.slices_rejected += slices.rejected;
+        }
+        row.floored_loops = cfgir::distance_floors(&program, &cands).len();
+        let report = agreement_report(&program)
+            .unwrap_or_else(|e| panic!("agreement report failed on {}: {e}", b.name));
+        row.slice_checks = report.slice_checks;
+        row.slice_violations = report.slice_violations.len();
+        row.distance_checks = report.distance_checks;
+        row.distance_violations = report.distance_violations.len();
+        row.sound = report.sound();
+        rows.push(row);
+    }
+    rows.sort_by_key(|r| r.name);
+    rows
+}
+
+/// The scalar-evolution snapshot as JSON, diffed by the `scev-gate`
+/// binary against `results_scev_baseline.json`.
+pub fn scev_json(rows: &[ScevRow]) -> String {
+    let mut s = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": {}, \"pairs\": {}, \"prescreen_disjoint\": {}, \
+             \"disjoint\": {}, \"distance_pairs\": {}, \"floored_loops\": {}, \
+             \"closed_forms\": {}, \"slices\": {}, \"slices_rejected\": {}, \
+             \"slice_checks\": {}, \"slice_violations\": {}, \
+             \"distance_checks\": {}, \"distance_violations\": {}, \"sound\": {}}}{}\n",
+            json_str(r.name),
+            r.pairs,
+            r.prescreen_disjoint,
+            r.disjoint,
+            r.distance_pairs,
+            r.floored_loops,
+            r.closed_forms,
+            r.slices,
+            r.slices_rejected,
+            r.slice_checks,
+            r.slice_violations,
+            r.distance_checks,
+            r.distance_violations,
+            u64::from(r.sound),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Scalar-evolution summary — per benchmark, how far the distance
+/// vectors sharpen the pre-screen, the certified slice yield, and the
+/// dynamic value-agreement verdict.
+pub fn scev_table(size: DataSize) -> String {
+    let mut s = String::new();
+    s.push_str("Scalar-evolution sharpening and certified slices (per benchmark)\n");
+    s.push_str(&format!(
+        "{:<14}{:>7}{:>9}{:>9}{:>6}{:>7}{:>8}{:>5}{:>8}{:>8}{:>7}\n",
+        "Benchmark",
+        "pairs",
+        "disj(pt)",
+        "disj(ev)",
+        "dist",
+        "floors",
+        "closed",
+        "slc",
+        "slc-chk",
+        "dst-chk",
+        "sound"
+    ));
+    let rows = scev_rows(size);
+    for r in &rows {
+        s.push_str(&format!(
+            "{:<14}{:>7}{:>9}{:>9}{:>6}{:>7}{:>8}{:>5}{:>8}{:>8}{:>7}\n",
+            r.name,
+            r.pairs,
+            r.prescreen_disjoint,
+            r.disjoint,
+            r.distance_pairs,
+            r.floored_loops,
+            r.closed_forms,
+            r.slices,
+            r.slice_checks,
+            r.distance_checks,
+            if r.sound { "yes" } else { "NO" },
+        ));
+    }
+    let total_dist: usize = rows.iter().map(|r| r.distance_pairs).sum();
+    let total_slices: usize = rows.iter().map(|r| r.slices).sum();
+    let all_sound = rows.iter().all(|r| r.sound);
+    s.push_str(&format!(
+        "Distance vectors proven beyond the pre-screen: {total_dist}\n\
+         Certified pre-computation slices: {total_slices}\n\
+         Value-agreement invariant (every slice/distance claim replayed): {}\n",
+        if all_sound { "HOLDS" } else { "VIOLATED" }
     ));
     s
 }

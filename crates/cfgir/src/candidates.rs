@@ -3,10 +3,11 @@
 use crate::cfg::Cfg;
 use crate::dom::Dominators;
 use crate::loops::LoopForest;
-use crate::memdep::analyze_loop;
+use crate::memdep::{analyze_loop, classify_loop_pairs_evo};
 use crate::pointsto::{PointsTo, SolverStats};
 use crate::scalar::{classify, LocalClasses};
-use std::collections::BTreeSet;
+use crate::scev;
+use std::collections::{BTreeMap, BTreeSet};
 use tvm::isa::LoopId;
 use tvm::program::{FuncId, Local, Program};
 
@@ -235,6 +236,79 @@ pub fn prescreen_candidate(
     }
 }
 
+/// The dependence-distance floor scalar evolution proves for one
+/// candidate loop, if any.
+///
+/// Runs the scev analysis over the loop and classifies its access
+/// pairs with distance sharpening
+/// ([`classify_loop_pairs_evo`]). Every pair whose *signed* distance
+/// is positive is a cross-iteration RAW chain: iteration `a` reads
+/// what iteration `a - q` wrote, so at most `q` iterations can overlap
+/// speculatively. The tightest such chain — the minimum positive `q`
+/// over all pairs — bounds the loop's achievable overlap, and
+/// selection floors its estimated TLS cycles at `serial / q`.
+/// Negative distances (anti-dependences) impose no floor: TLS
+/// versioning absorbs a store that lands *after* the load it would
+/// disturb. Returns `None` when no positive-distance pair exists.
+pub fn distance_floor(
+    program: &Program,
+    fa: &FunctionAnalysis,
+    loop_idx: usize,
+    view: Option<&crate::pointsto::FnView<'_>>,
+) -> Option<u32> {
+    let f = &program.functions[fa.func.0 as usize];
+    let dom = Dominators::compute(&fa.cfg);
+    let lp = &fa.forest.loops[loop_idx];
+    let evo = scev::analyze_loop(program, f, &fa.cfg, lp);
+    classify_loop_pairs_evo(program, f, &fa.cfg, &dom, lp, view, &evo)
+        .iter()
+        .filter_map(|p| p.scev_distance)
+        .filter(|&q| q > 0)
+        .min()
+        .map(|q| u32::try_from(q).unwrap_or(u32::MAX))
+}
+
+/// [`distance_floor`] over every non-demoted candidate of the program.
+///
+/// This is what the offline batch feeds selection
+/// (`select_with_distances`); the online tier instead accumulates the
+/// same map incrementally via
+/// [`prescreen_candidate_with_distance`] and completes it at
+/// finalization, so both paths select over identical floors.
+pub fn distance_floors(program: &Program, pc: &ProgramCandidates) -> BTreeMap<LoopId, u32> {
+    let pt = PointsTo::analyze(program);
+    let mut floors = BTreeMap::new();
+    for c in &pc.candidates {
+        if c.is_demoted() {
+            continue;
+        }
+        let fa = &pc.functions[c.func.0 as usize];
+        let view = pt.view(c.func);
+        if let Some(d) = distance_floor(program, fa, c.loop_idx, Some(&view)) {
+            floors.insert(c.id, d);
+        }
+    }
+    floors
+}
+
+/// [`prescreen_candidate`] plus the loop's [`distance_floor`], in one
+/// call — the deferred pre-screen the online tier runs when a loop
+/// turns hot. A demoted loop never enters selection, so its floor is
+/// not computed (`None`).
+pub fn prescreen_candidate_with_distance(
+    program: &Program,
+    fa: &FunctionAnalysis,
+    loop_idx: usize,
+    view: Option<&crate::pointsto::FnView<'_>>,
+) -> (StaticVerdict, Option<u32>) {
+    let verdict = prescreen_candidate(program, fa, loop_idx, view);
+    let floor = match verdict {
+        StaticVerdict::Clean => distance_floor(program, fa, loop_idx, view),
+        StaticVerdict::Demoted { .. } => None,
+    };
+    (verdict, floor)
+}
+
 /// [`extract_candidates`] with an explicit pre-screen policy.
 pub fn extract_candidates_with(program: &Program, prescreen: Prescreen) -> ProgramCandidates {
     let mut functions = Vec::with_capacity(program.functions.len());
@@ -454,6 +528,63 @@ mod tests {
             &d.static_verdict,
             StaticVerdict::Demoted { reason } if reason.contains("static")
         ));
+    }
+
+    /// `a[i] = a[i + load_off]`, the whole body guarded by `i < 32`.
+    /// The guard keeps the structural pre-screen from proving a
+    /// *guaranteed* RAW (rule 3 needs both sites on every iteration),
+    /// so only scalar evolution sees the distance.
+    fn guarded_stencil(load_off: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let (a, i) = (f.local(), f.local());
+            f.ci(64).newarray(tvm::ElemKind::Int).st(a);
+            f.for_in(i, 2.into(), 62.into(), |f| {
+                f.if_icmp(
+                    Cond::Lt,
+                    |f| {
+                        f.ld(i).ci(32);
+                    },
+                    |f| {
+                        f.ld(a).ld(i);
+                        f.ld(a).ld(i).ci(load_off).iadd().aload();
+                        f.astore();
+                    },
+                );
+            });
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn distance_floor_applies_only_to_raw_chains() {
+        // a[i] = a[i-1]: the load reads last iteration's store — a
+        // distance-1 RAW chain, so selection must floor overlap at 1.
+        let raw = guarded_stencil(-1);
+        let rc = extract_candidates(&raw);
+        assert!(!rc.candidates[0].is_demoted(), "guard defeats rule 3");
+        assert_eq!(distance_floors(&raw, &rc), BTreeMap::from([(LoopId(0), 1)]));
+
+        // a[i] = a[i+1]: the store lands one iteration *after* the
+        // load it could disturb — an anti-dependence TLS versioning
+        // absorbs, so no floor even though the pair has a distance.
+        let anti = guarded_stencil(1);
+        let ac = extract_candidates(&anti);
+        assert!(distance_floors(&anti, &ac).is_empty());
+    }
+
+    #[test]
+    fn deferred_distance_prescreen_matches_eager() {
+        let p = guarded_stencil(-1);
+        let pc = extract_candidates(&p);
+        let fa = &pc.functions[0];
+        let c = &pc.candidates[0];
+        let pt = PointsTo::analyze(&p);
+        let view = pt.view(c.func);
+        let (verdict, floor) = prescreen_candidate_with_distance(&p, fa, c.loop_idx, Some(&view));
+        assert_eq!(verdict, c.static_verdict);
+        assert_eq!(floor, Some(1));
     }
 
     #[test]

@@ -53,22 +53,25 @@ pub mod memdep;
 pub mod pointsto;
 pub mod rescue;
 pub mod scalar;
+pub mod scev;
+pub mod slice;
 
 pub use access::{
     overlap_kind, same_iteration_blocker, same_iteration_disjoint, strongly_disjoint, Access,
     AccessSite, BlockKind, DepWitness, Sym,
 };
 pub use candidates::{
-    extract_candidates, extract_candidates_with, prescreen_candidate, Candidate, FunctionAnalysis,
-    Prescreen, ProgramCandidates, StaticVerdict,
+    distance_floor, distance_floors, extract_candidates, extract_candidates_with,
+    prescreen_candidate, prescreen_candidate_with_distance, Candidate, FunctionAnalysis, Prescreen,
+    ProgramCandidates, StaticVerdict,
 };
 pub use cfg::{Block, BlockId, Cfg};
 pub use dataflow::{solve, Analysis, BitSet, Direction, Liveness, ReachingDefs, Solution};
 pub use dom::Dominators;
 pub use loops::{LoopForest, NaturalLoop};
 pub use memdep::{
-    analyze_loop, classify_loop_pairs, masking_witness, AccessPair, DepKind, GuaranteedDep,
-    PairVerdict,
+    affine_sites, analyze_loop, classify_loop_pairs, classify_loop_pairs_evo, masking_witness,
+    AccessPair, DepKind, GuaranteedDep, PairVerdict,
 };
 pub use pointsto::{FnView, PointsTo, SolverStats};
 pub use rescue::{
@@ -76,3 +79,5 @@ pub use rescue::{
     RescuedLoop, Transform,
 };
 pub use scalar::LocalClasses;
+pub use scev::{Evolution, LoopEvolutions};
+pub use slice::{extract_slices, LoopSlices, Slice, SliceCert, SliceScalar};

@@ -32,6 +32,7 @@ use crate::cfg::Cfg;
 use crate::dom::Dominators;
 use crate::loops::NaturalLoop;
 use crate::pointsto::FnView;
+use crate::scev::LoopEvolutions;
 use tvm::isa::{GlobalId, Local};
 use tvm::program::{Function, Program};
 
@@ -270,6 +271,12 @@ pub enum PairVerdict {
     Disjoint,
     /// Nothing proven either way; the tracer judges.
     MayAlias,
+    /// Scalar evolution proved that any address both sites touch is
+    /// touched at iteration distance exactly `d >= 1` (never within
+    /// the same iteration) — the dependence distance of the pair. A
+    /// sharpening of `MayAlias`: a distance-`d` chain still admits
+    /// `d`-way speculative overlap.
+    DistanceAtLeast(u32),
     /// A guaranteed cross-iteration RAW flows from the store to the
     /// load.
     GuaranteedRaw,
@@ -292,6 +299,16 @@ pub struct AccessPair {
     /// True when the pair is disjoint *only* thanks to points-to facts
     /// (the PR 1 structural rules alone would say may-alias).
     pub via_pointsto: bool,
+    /// True when the verdict was sharpened by scalar evolution
+    /// (`Disjoint` by a non-integral distance, or `DistanceAtLeast`).
+    pub via_scev: bool,
+    /// The *signed* dependence distance behind a `DistanceAtLeast`
+    /// verdict: `q > 0` means the load reads what the store wrote `q`
+    /// iterations earlier (a cross-iteration RAW chain — selection may
+    /// floor speedup at `q`-way overlap), `q < 0` an anti-dependence
+    /// (the store lands `|q|` iterations *after* the load, which TLS
+    /// versioning absorbs — no floor). `None` for every other verdict.
+    pub scev_distance: Option<i64>,
 }
 
 /// Classifies every (load, store) access pair of one loop body.
@@ -308,6 +325,137 @@ pub fn classify_loop_pairs(
     lp: &NaturalLoop,
     pt: Option<&FnView<'_>>,
 ) -> Vec<AccessPair> {
+    classify_with(program, f, cfg, dom, lp, pt, None)
+}
+
+/// [`classify_loop_pairs`] with scalar-evolution sharpening: affine
+/// array pairs over the same base and inductor additionally gain a
+/// dependence *distance vector*. A pair whose index offsets differ by
+/// a non-multiple of the per-iteration address step can never collide
+/// (`Disjoint`); one whose offsets differ by exactly `d` steps
+/// collides only across iterations exactly `d` apart
+/// ([`PairVerdict::DistanceAtLeast`]). Verdicts are a strict monotone
+/// sharpening of [`classify_loop_pairs`]: `Disjoint` and
+/// `GuaranteedRaw` never change, only `MayAlias` is refined.
+pub fn classify_loop_pairs_evo(
+    program: &Program,
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    lp: &NaturalLoop,
+    pt: Option<&FnView<'_>>,
+    evo: &LoopEvolutions,
+) -> Vec<AccessPair> {
+    classify_with(program, f, cfg, dom, lp, pt, Some(evo))
+}
+
+/// The dependence distance scalar evolution proves for two affine
+/// array accesses, when they target the same (invariant) base array
+/// and walk it with the same per-iteration step.
+///
+/// With load index `s*i + o1`, store index `s*i + o2` and inductor
+/// step `k`, the element touched by the load in iteration `a` equals
+/// the element touched by the store in iteration `b` iff
+/// `s*k*(a - b) == o2 - o1`. The returned verdict is `Disjoint` when
+/// that equation has no integer solution, `DistanceAtLeast(|q|)` when
+/// the unique solution is `a - b == q != 0`, and `None` when the sites
+/// can collide within one iteration (`q == 0`) or the shapes don't
+/// match.
+fn evo_distance(
+    load: &Access,
+    store: &Access,
+    evo: &LoopEvolutions,
+) -> Option<(PairVerdict, Option<i64>)> {
+    let (lb, li, sb, si) = match (load, store) {
+        (
+            Access::ArrayLoad {
+                base: lb,
+                index: li,
+            },
+            Access::ArrayStore {
+                base: sb,
+                index: si,
+            },
+        ) => (lb, li, sb, si),
+        _ => return None,
+    };
+    // Same array object: both bases are the same loop-invariant local.
+    let same_base = matches!((lb, sb), (Sym::Invariant(a), Sym::Invariant(b)) if a == b);
+    if !same_base {
+        return None;
+    }
+    let (ind, scale, o1, o2) = match (li, si) {
+        (
+            Sym::Affine {
+                ind: i1,
+                scale: s1,
+                offset: o1,
+            },
+            Sym::Affine {
+                ind: i2,
+                scale: s2,
+                offset: o2,
+            },
+        ) if i1 == i2 && s1 == s2 => (*i1, *s1, *o1, *o2),
+        _ => return None,
+    };
+    let step = evo.local_stride(ind)?;
+    let per_iter = i128::from(scale).checked_mul(i128::from(step))?;
+    if per_iter == 0 {
+        return None;
+    }
+    let delta = i128::from(o2) - i128::from(o1);
+    if delta % per_iter != 0 {
+        return Some((PairVerdict::Disjoint, None));
+    }
+    let q = delta / per_iter;
+    if q == 0 {
+        return None;
+    }
+    let verdict = PairVerdict::DistanceAtLeast(u32::try_from(q.unsigned_abs()).unwrap_or(u32::MAX));
+    Some((verdict, Some(i64::try_from(q).unwrap_or(i64::MAX))))
+}
+
+/// The affine array access sites of one loop body: instruction index,
+/// driving inductor, and element scale. This is the site inventory
+/// the value-agreement checker uses to validate an inductor slice
+/// dynamically — every listed site must advance `scale * stride`
+/// elements per iteration if the slice's evolution claim is true.
+pub fn affine_sites(
+    program: &Program,
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    lp: &NaturalLoop,
+) -> Vec<(u32, Local, i64)> {
+    let inductors = inductor_steps(f, cfg, dom, lp);
+    let invariant = invariant_locals(f, cfg, lp);
+    let effects = transitive_store_effects(program);
+    collect_accesses(program, f, cfg, lp, &inductors, &invariant, &effects)
+        .into_iter()
+        .filter_map(|s| match s.access {
+            Access::ArrayLoad {
+                index: Sym::Affine { ind, scale, .. },
+                ..
+            }
+            | Access::ArrayStore {
+                index: Sym::Affine { ind, scale, .. },
+                ..
+            } => Some((s.instr, ind, scale)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn classify_with(
+    program: &Program,
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    lp: &NaturalLoop,
+    pt: Option<&FnView<'_>>,
+    evo: Option<&LoopEvolutions>,
+) -> Vec<AccessPair> {
     let inductors = inductor_steps(f, cfg, dom, lp);
     let invariant = invariant_locals(f, cfg, lp);
     let effects = transitive_store_effects(program);
@@ -320,14 +468,23 @@ pub fn classify_loop_pairs(
             let guaranteed = deps
                 .iter()
                 .any(|d| d.load_at == load.instr && d.store_at == store.instr);
+            let mut via_scev = false;
+            let mut scev_distance = None;
             let verdict = if guaranteed {
                 PairVerdict::GuaranteedRaw
             } else if strongly_disjoint(&load.access, &store.access, pt) {
                 PairVerdict::Disjoint
+            } else if let Some((sharp, q)) =
+                evo.and_then(|e| evo_distance(&load.access, &store.access, e))
+            {
+                via_scev = true;
+                scev_distance = q;
+                sharp
             } else {
                 PairVerdict::MayAlias
             };
             let via_pointsto = verdict == PairVerdict::Disjoint
+                && !via_scev
                 && !strongly_disjoint(&load.access, &store.access, None);
             pairs.push(AccessPair {
                 load_at: load.instr,
@@ -335,6 +492,8 @@ pub fn classify_loop_pairs(
                 opaque_store: matches!(store.access, Access::Opaque { .. }),
                 verdict,
                 via_pointsto,
+                via_scev,
+                scev_distance,
             });
         }
     }
@@ -724,5 +883,131 @@ mod tests {
         let with = analyze_loop(&p, f, &cfg, &dom, &forest.loops[0], Some(&pt.view(p.entry)));
         assert_eq!(with.len(), 1, "got {with:?}");
         assert!(matches!(with[0].kind, DepKind::Array { .. }));
+    }
+
+    fn classify_evo(p: &Program, with_pt: bool) -> Vec<AccessPair> {
+        let pt = PointsTo::analyze(p);
+        let f = &p.functions[p.entry.0 as usize];
+        let cfg = Cfg::build(f);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        assert_eq!(forest.len(), 1);
+        let view = pt.view(p.entry);
+        let evo = crate::scev::analyze_loop(p, f, &cfg, &forest.loops[0]);
+        classify_loop_pairs_evo(
+            p,
+            f,
+            &cfg,
+            &dom,
+            &forest.loops[0],
+            with_pt.then_some(&view),
+            &evo,
+        )
+    }
+
+    /// `a[i] = a[i+1]` — points-to leaves the pair may-alias, but the
+    /// distance vector pins the collision at exactly one iteration
+    /// apart.
+    fn stencil_program(load_off: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let a = f.local();
+            let i = f.local();
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 62.into(), |f| {
+                f.ld(a).ld(i);
+                f.ld(a).ld(i).ci(load_off).iadd().aload();
+                f.astore();
+            });
+            f.ret_void();
+        });
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn scev_distance_vector_sharpens_stencil() {
+        let p = stencil_program(1);
+        let base = classify(&p, true);
+        let sharp = classify_evo(&p, true);
+        assert_eq!(base.len(), sharp.len(), "same pair universe");
+        let stencil_base = base
+            .iter()
+            .find(|pr| pr.verdict == PairVerdict::MayAlias)
+            .expect("prescreen leaves the a[i+1]/a[i] pair unknown");
+        let stencil_sharp = sharp
+            .iter()
+            .find(|pr| pr.load_at == stencil_base.load_at && pr.store_at == stencil_base.store_at)
+            .unwrap();
+        assert_eq!(stencil_sharp.verdict, PairVerdict::DistanceAtLeast(1));
+        assert!(stencil_sharp.via_scev);
+    }
+
+    #[test]
+    fn scev_sharpening_is_monotone() {
+        let p = stencil_program(1);
+        let base = classify(&p, true);
+        let sharp = classify_evo(&p, true);
+        for (b, s) in base.iter().zip(&sharp) {
+            match b.verdict {
+                // proofs may only be added, never lost
+                PairVerdict::Disjoint => assert_eq!(s.verdict, PairVerdict::Disjoint),
+                PairVerdict::GuaranteedRaw => assert_eq!(s.verdict, PairVerdict::GuaranteedRaw),
+                PairVerdict::MayAlias => assert!(
+                    matches!(
+                        s.verdict,
+                        PairVerdict::MayAlias
+                            | PairVerdict::Disjoint
+                            | PairVerdict::DistanceAtLeast(_)
+                    ),
+                    "may-alias can only be refined, got {:?}",
+                    s.verdict
+                ),
+                PairVerdict::DistanceAtLeast(_) => unreachable!("baseline never emits distances"),
+            }
+        }
+    }
+
+    #[test]
+    fn scev_non_integral_offset_is_disjoint() {
+        // a[2i] = a[2i+1] + ...: odd vs even elements never meet.
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main", 0, false, |f| {
+            let a = f.local();
+            let i = f.local();
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 31.into(), |f| {
+                f.ld(a).ld(i).ci(2).imul();
+                f.ld(a).ld(i).ci(2).imul().ci(1).iadd().aload();
+                f.astore();
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let base = classify(&p, true);
+        let sharp = classify_evo(&p, true);
+        let was_unknown = base
+            .iter()
+            .find(|pr| pr.verdict == PairVerdict::MayAlias)
+            .expect("prescreen cannot separate odd/even strides");
+        let now = sharp
+            .iter()
+            .find(|pr| pr.load_at == was_unknown.load_at && pr.store_at == was_unknown.store_at)
+            .unwrap();
+        assert_eq!(now.verdict, PairVerdict::Disjoint);
+        assert!(now.via_scev && !now.via_pointsto);
+    }
+
+    #[test]
+    fn scev_same_iteration_collision_stays_may_alias() {
+        // load a[i] / store a[i]... via distinct shapes the prescreen
+        // cannot prove: offset delta 0 must NOT claim a distance.
+        let p = stencil_program(0);
+        let sharp = classify_evo(&p, true);
+        assert!(
+            sharp
+                .iter()
+                .all(|pr| !matches!(pr.verdict, PairVerdict::DistanceAtLeast(_))),
+            "q == 0 admits a same-iteration collision: {sharp:?}"
+        );
     }
 }

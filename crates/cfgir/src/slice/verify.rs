@@ -1,0 +1,430 @@
+//! # Independent certificate checking for pre-computation slices
+//!
+//! [`check_slice`] re-derives every claim in a [`super::SliceCert`] from the
+//! loop body itself, deliberately sharing **no code** with the
+//! extractor in the parent module: where the extractor trusts the
+//! [`crate::scev`] dataflow fixpoint, the checker pattern-matches the
+//! update sites directly — it finds the scalar's definition
+//! instructions, proves each executes exactly once per iteration
+//! (dominates every latch, outside any nested loop), interprets the
+//! stored expression with its own single-variable abstract stack
+//! machine, and compares the recomposed per-iteration transform
+//! against the certificate. A bug on either side surfaces as a
+//! rejection; the unit tests in the parent module feed sabotaged
+//! certificates through here to prove it.
+//!
+//! What is re-derived, per claim:
+//!
+//! * the scalar really is loop-carried (at least one update site);
+//! * every update site runs exactly once per completed iteration;
+//! * the recomposed transform equals the claimed [`Evolution`];
+//! * the claimed live-ins match what the update expression reads;
+//! * the claimed cost bound covers the instructions the slice needs;
+//! * the claimed slice instruction set contains every update site and
+//!   stays inside the loop body.
+
+use super::{Slice, SliceScalar};
+use crate::access::transitive_store_effects;
+use crate::cfg::{BlockId, Cfg};
+use crate::dom::Dominators;
+use crate::loops::{LoopForest, NaturalLoop};
+use crate::scev::Evolution;
+use tvm::isa::{GlobalId, Instr, Local};
+use tvm::program::{Function, Program};
+use tvm::verify::stack_effect;
+
+/// An abstract stack value during the verifier's own walk: a linear
+/// form over the tracked scalar's value at iteration entry, plus the
+/// number of instructions that computed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Av {
+    /// `mul * entry + add`, computed by `ops` instructions.
+    Lin {
+        mul: i64,
+        add: i64,
+        ops: u32,
+    },
+    Other,
+}
+
+impl Av {
+    fn konst(c: i64) -> Av {
+        Av::Lin {
+            mul: 0,
+            add: c,
+            ops: 1,
+        }
+    }
+}
+
+/// Checks `slice` against the loop `loop_idx` of `f`. `Ok(())` means
+/// every certificate claim was re-derived; `Err` carries the first
+/// violation.
+pub fn check_slice(
+    program: &Program,
+    f: &Function,
+    cfg: &Cfg,
+    forest: &LoopForest,
+    loop_idx: usize,
+    slice: &Slice,
+) -> Result<(), String> {
+    let lp = &forest.loops[loop_idx];
+    if matches!(slice.cert.evolution, Evolution::BoundedUnknown) {
+        return Err("a slice cannot claim an unknown evolution".into());
+    }
+    // Claimed instructions must stay inside the loop body.
+    for &idx in &slice.instrs {
+        let inside = cfg.block_of(idx).is_some_and(|b| lp.blocks.contains(&b));
+        if !inside {
+            return Err(format!("slice instruction {idx} is outside the loop"));
+        }
+    }
+    let dom = Dominators::compute(cfg);
+    match slice.scalar {
+        SliceScalar::Local(l) => check_local(f, cfg, &dom, forest, loop_idx, l, slice),
+        SliceScalar::Static(g) => check_static(program, f, cfg, &dom, forest, loop_idx, g, slice),
+    }
+}
+
+/// True when `b` executes exactly once per completed iteration of
+/// `lp`: it dominates every latch (on every path that completes the
+/// iteration) and sits in no nested loop (not repeated within one).
+fn once_per_iteration(
+    dom: &Dominators,
+    forest: &LoopForest,
+    loop_idx: usize,
+    lp: &NaturalLoop,
+    b: BlockId,
+) -> bool {
+    lp.latches.iter().all(|&latch| dom.dominates(b, latch))
+        && !forest.loops.iter().enumerate().any(|(j, inner)| {
+            j != loop_idx && lp.blocks.contains(&inner.header) && inner.blocks.contains(&b)
+        })
+}
+
+fn check_local(
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    forest: &LoopForest,
+    loop_idx: usize,
+    l: Local,
+    slice: &Slice,
+) -> Result<(), String> {
+    let lp = &forest.loops[loop_idx];
+    let Evolution::Affine { stride } = slice.cert.evolution else {
+        return Err(format!(
+            "local slices must claim an affine evolution, got {:?}",
+            slice.cert.evolution
+        ));
+    };
+    let mut net: i64 = 0;
+    let mut defs: Vec<u32> = Vec::new();
+    for &b in &lp.blocks {
+        for idx in cfg.instrs_of(b) {
+            match f.code[idx as usize] {
+                Instr::IInc(x, by) if x == l => {
+                    if !once_per_iteration(dom, forest, loop_idx, lp, b) {
+                        return Err(format!(
+                            "increment at {idx} does not run exactly once per iteration"
+                        ));
+                    }
+                    net = net.wrapping_add(i64::from(by));
+                    defs.push(idx);
+                }
+                Instr::Store(x) if x == l => {
+                    return Err(format!("general store of v{} at {idx}", l.0));
+                }
+                Instr::Swl(v) if Local(v) == l => {
+                    return Err(format!("general store of v{} at {idx}", l.0));
+                }
+                _ => {}
+            }
+        }
+    }
+    if defs.is_empty() {
+        return Err(format!("v{} is not loop-carried", l.0));
+    }
+    if net != stride {
+        return Err(format!("claimed stride {stride}, increments sum to {net}"));
+    }
+    if slice.cert.inputs != vec![SliceScalar::Local(l)] {
+        return Err("an affine slice reads exactly its own previous value".into());
+    }
+    if u64::from(slice.cert.cost) < defs.len() as u64 {
+        return Err(format!(
+            "cost bound {} below the {} update sites",
+            slice.cert.cost,
+            defs.len()
+        ));
+    }
+    for d in &defs {
+        if !slice.instrs.contains(d) {
+            return Err(format!("slice misses update site {d}"));
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_static(
+    program: &Program,
+    f: &Function,
+    cfg: &Cfg,
+    dom: &Dominators,
+    forest: &LoopForest,
+    loop_idx: usize,
+    g: GlobalId,
+    slice: &Slice,
+) -> Result<(), String> {
+    let lp = &forest.loops[loop_idx];
+    // No callee may write any static: a hidden store would invalidate
+    // the per-iteration transform (and the entry-value the expression
+    // reads).
+    let effects = transitive_store_effects(program);
+    for &b in &lp.blocks {
+        for idx in cfg.instrs_of(b) {
+            if let Instr::Call(callee) = f.code[idx as usize] {
+                if effects.get(callee.0 as usize).is_some_and(|e| e[0]) {
+                    return Err(format!("call at {idx} may store statics"));
+                }
+            }
+        }
+    }
+
+    // Interpret each storing block with a single-variable abstract
+    // machine; blocks that store `g` must run exactly once per
+    // iteration, so their net transforms compose in dominance order.
+    let mut storing: Vec<(BlockId, i64, i64, u32, Vec<u32>)> = Vec::new();
+    for &b in &lp.blocks {
+        let (stores, transform) = walk_block(program, f, cfg, b, g)?;
+        if stores.is_empty() {
+            continue;
+        }
+        if !once_per_iteration(dom, forest, loop_idx, lp, b) {
+            return Err(format!(
+                "stores of g{} in block {} do not run exactly once per iteration",
+                g.0, b.0
+            ));
+        }
+        let Av::Lin { mul, add, ops } = transform else {
+            return Err(format!("stored expression in block {} is not linear", b.0));
+        };
+        storing.push((b, mul, add, ops, stores));
+    }
+    if storing.is_empty() {
+        return Err(format!("g{} is not loop-carried", g.0));
+    }
+    // Blocks that each dominate every latch form a dominance chain;
+    // composing in that order reproduces execution order.
+    storing.sort_by(|a, b| {
+        if a.0 == b.0 {
+            std::cmp::Ordering::Equal
+        } else if dom.dominates(a.0, b.0) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    let (mut mul, mut add, mut cost): (i64, i64, u64) = (1, 0, 0);
+    let mut sites: Vec<u32> = Vec::new();
+    for (_, m, a, ops, stores) in storing {
+        // compose: v ↦ m*(mul*v + add) + a
+        mul = m.wrapping_mul(mul);
+        add = m.wrapping_mul(add).wrapping_add(a);
+        cost += u64::from(ops);
+        sites.extend(stores);
+    }
+
+    let derived = match (mul, add) {
+        (1, 0) => Evolution::Invariant,
+        (1, s) => Evolution::Affine { stride: s },
+        (m, a) => Evolution::Recurrence { mul: m, add: a },
+    };
+    if derived != slice.cert.evolution {
+        return Err(format!(
+            "claimed {:?}, loop body computes {:?}",
+            slice.cert.evolution, derived
+        ));
+    }
+    let expect_inputs: Vec<SliceScalar> = if mul == 0 {
+        Vec::new()
+    } else {
+        vec![SliceScalar::Static(g)]
+    };
+    if slice.cert.inputs != expect_inputs {
+        return Err(format!(
+            "claimed live-ins {:?}, expression needs {:?}",
+            slice.cert.inputs, expect_inputs
+        ));
+    }
+    if u64::from(slice.cert.cost) < cost {
+        return Err(format!(
+            "cost bound {} below the {} instructions the slice needs",
+            slice.cert.cost, cost
+        ));
+    }
+    for s in &sites {
+        if !slice.instrs.contains(s) {
+            return Err(format!("slice misses store site {s}"));
+        }
+    }
+    Ok(())
+}
+
+/// Interprets block `b` with the verifier's abstract machine, tracking
+/// the current value of `g` as a linear form over its value at block
+/// entry. Returns the store sites of `g` and the block's net transform
+/// (with its instruction-count cost).
+fn walk_block(
+    program: &Program,
+    f: &Function,
+    cfg: &Cfg,
+    b: BlockId,
+    g: GlobalId,
+) -> Result<(Vec<u32>, Av), String> {
+    let mut stack: Vec<Av> = Vec::new();
+    // current value of g relative to block entry, and the cost of the
+    // expressions stored so far
+    let mut cur = Av::Lin {
+        mul: 1,
+        add: 0,
+        ops: 0,
+    };
+    let mut stores = Vec::new();
+    for idx in cfg.instrs_of(b) {
+        let instr = &f.code[idx as usize];
+        match *instr {
+            Instr::IConst(c) => stack.push(Av::konst(c)),
+            Instr::GetStatic(x) if x == g => {
+                let Av::Lin { mul, add, ops } = cur else {
+                    return Err(format!("read of g{} after a non-linear store", g.0));
+                };
+                stack.push(Av::Lin {
+                    mul,
+                    add,
+                    ops: ops + 1,
+                });
+            }
+            Instr::PutStatic(x) if x == g => {
+                let v = stack.pop().unwrap_or(Av::Other);
+                stores.push(idx);
+                cur = match v {
+                    // +1 for the store itself
+                    Av::Lin { mul, add, ops } => Av::Lin {
+                        mul,
+                        add,
+                        ops: ops + 1,
+                    },
+                    Av::Other => Av::Other,
+                };
+            }
+            Instr::IAdd => {
+                let rhs = stack.pop().unwrap_or(Av::Other);
+                let lhs = stack.pop().unwrap_or(Av::Other);
+                stack.push(combine(lhs, rhs));
+            }
+            Instr::ISub => {
+                let rhs = stack.pop().unwrap_or(Av::Other);
+                let lhs = stack.pop().unwrap_or(Av::Other);
+                let neg = match rhs {
+                    Av::Lin { mul, add, ops } => Av::Lin {
+                        mul: mul.wrapping_neg(),
+                        add: add.wrapping_neg(),
+                        ops,
+                    },
+                    Av::Other => Av::Other,
+                };
+                stack.push(combine(lhs, neg));
+            }
+            Instr::IMul => {
+                let rhs = stack.pop().unwrap_or(Av::Other);
+                let lhs = stack.pop().unwrap_or(Av::Other);
+                let v = match (lhs, rhs) {
+                    (
+                        Av::Lin {
+                            mul: 0,
+                            add: c,
+                            ops: o1,
+                        },
+                        Av::Lin { mul, add, ops: o2 },
+                    )
+                    | (
+                        Av::Lin { mul, add, ops: o2 },
+                        Av::Lin {
+                            mul: 0,
+                            add: c,
+                            ops: o1,
+                        },
+                    ) => Av::Lin {
+                        mul: mul.wrapping_mul(c),
+                        add: add.wrapping_mul(c),
+                        ops: o1 + o2 + 1,
+                    },
+                    _ => Av::Other,
+                };
+                stack.push(v);
+            }
+            Instr::INeg => {
+                let v = match stack.pop().unwrap_or(Av::Other) {
+                    Av::Lin { mul, add, ops } => Av::Lin {
+                        mul: mul.wrapping_neg(),
+                        add: add.wrapping_neg(),
+                        ops: ops + 1,
+                    },
+                    Av::Other => Av::Other,
+                };
+                stack.push(v);
+            }
+            Instr::Dup => {
+                let v = stack.last().copied().unwrap_or(Av::Other);
+                stack.push(v);
+            }
+            Instr::Swap => {
+                let n = stack.len();
+                if n >= 2 {
+                    stack.swap(n - 1, n - 2);
+                } else {
+                    stack.clear();
+                }
+            }
+            Instr::Pop => {
+                stack.pop();
+            }
+            _ => {
+                let (pops, pushes) = stack_effect(program, instr).unwrap_or((0, 0));
+                for _ in 0..pops {
+                    stack.pop();
+                }
+                for _ in 0..pushes {
+                    stack.push(Av::Other);
+                }
+            }
+        }
+    }
+    Ok((stores, cur))
+}
+
+/// Adds two linear forms (the muls and constants add; the consuming
+/// arithmetic instruction contributes one op).
+fn combine(a: Av, b: Av) -> Av {
+    match (a, b) {
+        (
+            Av::Lin {
+                mul: m1,
+                add: a1,
+                ops: o1,
+            },
+            Av::Lin {
+                mul: m2,
+                add: a2,
+                ops: o2,
+            },
+        ) => Av::Lin {
+            mul: m1.wrapping_add(m2),
+            add: a1.wrapping_add(a2),
+            ops: o1 + o2 + 1,
+        },
+        _ => Av::Other,
+    }
+}

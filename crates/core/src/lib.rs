@@ -25,8 +25,8 @@
 //!   implementing the load dependency analysis (§4.2.1) and the
 //!   speculative state overflow analysis (§4.2.2), plus the extended
 //!   per-PC dependency binning of Figure 8b;
-//! * [`estimate`] — the STL speedup estimator (Equation 1);
-//! * [`select`] — optimal decomposition selection over the dynamic
+//! * [`mod@estimate`] — the STL speedup estimator (Equation 1);
+//! * [`mod@select`] — optimal decomposition selection over the dynamic
 //!   loop forest (Equation 2);
 //! * [`software::SoftwareTracer`] — the software-only profiling
 //!   baseline the paper compares against (>100× modelled slowdown),
@@ -74,7 +74,7 @@ pub mod window;
 pub use config::TracerConfig;
 pub use estimate::{estimate, Estimate, EstimatorParams};
 pub use methods::{rank_sites, MethodStats, MethodTracer};
-pub use select::{select, select_with_priors, ChosenStl, SelectionResult};
+pub use select::{select, select_with_distances, select_with_priors, ChosenStl, SelectionResult};
 pub use software::SoftwareTracer;
 pub use stats::{Profile, StlStats};
 pub use tracer::TestTracer;

@@ -94,10 +94,36 @@ pub fn select_with_priors(
     total_cycles: u64,
     demoted: &BTreeSet<LoopId>,
 ) -> SelectionResult {
+    select_with_distances(profile, params, total_cycles, demoted, &BTreeMap::new())
+}
+
+/// [`select_with_priors`] plus dependence-distance floors from the
+/// scalar-evolution pre-screen: `floors[l] == d` means every proven
+/// cross-iteration RAW chain in loop `l` spans at least `d`
+/// iterations, so at most `d` iterations can overlap speculatively.
+/// The Equation 1 estimate is floored at `serial/d` before Equation 2
+/// runs — a distance-1 chain makes the loop no better than serial,
+/// while larger distances leave partial parallelism on the table
+/// rather than none. An empty map reproduces `select_with_priors`.
+pub fn select_with_distances(
+    profile: &Profile,
+    params: &EstimatorParams,
+    total_cycles: u64,
+    demoted: &BTreeSet<LoopId>,
+    floors: &BTreeMap<LoopId, u32>,
+) -> SelectionResult {
     let estimates: BTreeMap<LoopId, Estimate> = profile
         .stl
         .iter()
-        .map(|(&l, s)| (l, estimate(s, params)))
+        .map(|(&l, s)| {
+            let mut e = estimate(s, params);
+            if let Some(&d) = floors.get(&l) {
+                if d > 0 {
+                    e.est_tls_cycles = e.est_tls_cycles.max(s.cycles / u64::from(d));
+                }
+            }
+            (l, e)
+        })
         .collect();
 
     // children under dominant-parent attribution

@@ -32,7 +32,7 @@
 //! it.
 
 use crate::estimate::EstimatorParams;
-use crate::select::{select_with_priors, SelectionResult};
+use crate::select::{select_with_distances, SelectionResult};
 use crate::stats::{Profile, StlStats};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use tvm::isa::LoopId;
@@ -179,14 +179,30 @@ impl SelectionWindow {
         params: &EstimatorParams,
         demoted: &BTreeSet<LoopId>,
     ) -> Option<SelectionResult> {
+        self.reselect_with_distances(params, demoted, &BTreeMap::new())
+    }
+
+    /// [`Self::reselect`] with dependence-distance floors (see
+    /// [`select_with_distances`]); the tier runtime passes the floors
+    /// its deferred pre-screen has accumulated so far, keeping the
+    /// windowed schedule aligned with what final selection will use.
+    pub fn reselect_with_distances(
+        &self,
+        params: &EstimatorParams,
+        demoted: &BTreeSet<LoopId>,
+        floors: &BTreeMap<LoopId, u32>,
+    ) -> Option<SelectionResult> {
         let (profile, cycles) = self.aggregate()?;
-        Some(select_with_priors(&profile, params, cycles, demoted))
+        Some(select_with_distances(
+            &profile, params, cycles, demoted, floors,
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::select::select_with_priors;
 
     fn profile(cycles: u64, threads: u64) -> Profile {
         let mut p = Profile::default();

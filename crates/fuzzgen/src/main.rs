@@ -100,9 +100,14 @@ fn report_failure(seed: u64, failure: &Failure, args: &Args) {
         let _ = std::fs::create_dir_all(dir);
         let path = format!("{dir}/seed-{seed}.txt");
         let body = format!("seed {seed} failed oracle [{oracle}]\n{failure}\n\n{snippet}");
+        // the artifact path rides in the failure message itself so CI
+        // log scrapers (and humans skimming the tail) see where the
+        // shrunk spec landed without hunting for an earlier line
         match std::fs::write(&path, body) {
-            Ok(()) => eprintln!("artifact written to {path}"),
-            Err(e) => eprintln!("could not write artifact {path}: {e}"),
+            Ok(()) => eprintln!("seed {seed} FAILED [{oracle}]: shrunk spec written to {path}"),
+            Err(e) => {
+                eprintln!("seed {seed} FAILED [{oracle}]: could not write artifact {path}: {e}");
+            }
         }
     }
 }
@@ -159,6 +164,8 @@ fn main() -> ExitCode {
                 totals.demoted += s.demoted;
                 totals.tls_entries += s.tls_entries;
                 totals.rescued += s.rescued;
+                totals.slices += s.slices;
+                totals.value_checks += s.value_checks;
             }
             Err(f) => {
                 report_failure(seed, &f, &args);
@@ -168,14 +175,17 @@ fn main() -> ExitCode {
     }
     println!(
         "{programs} programs green (seeds {}..{}): {} events, {} candidates \
-         ({} demoted, {} rescued), {} TLS entries simulated",
+         ({} demoted, {} rescued), {} TLS entries simulated, {} certified \
+         slices ({} value/distance checks)",
         args.seed_lo,
         args.seed_hi,
         totals.events,
         totals.candidates,
         totals.demoted,
         totals.rescued,
-        totals.tls_entries
+        totals.tls_entries,
+        totals.slices,
+        totals.value_checks
     );
     ExitCode::SUCCESS
 }

@@ -39,7 +39,12 @@
 //!     threaded-bus modes agrees end to end;
 //! 11. **server closure** — the same program submitted to the `serve`
 //!     worker pool answers with a report identical to the batch
-//!     pipeline: the server is a transport, never a re-modelling.
+//!     pipeline: the server is a transport, never a re-modelling;
+//! 12. **value agreement** — every certified pre-computation slice's
+//!     predicted per-iteration value (and every claimed dependence
+//!     distance) must match the recorded stream of a full replay: a
+//!     single refuted prediction is an unsoundness in `cfgir::scev`
+//!     or `cfgir::slice`.
 //!
 //! Checks are ordered cheap-first so the shrinker converges fast.
 
@@ -122,6 +127,11 @@ pub struct CheckStats {
     pub tls_entries: usize,
     /// Loops the rescue pass transformed (state-checked).
     pub rescued: usize,
+    /// Certified pre-computation slices extracted and verified.
+    pub slices: usize,
+    /// Per-iteration slice predictions and distance claims checked
+    /// against the recorded stream.
+    pub value_checks: u64,
 }
 
 /// Generates the program for `seed` and runs the full oracle stack.
@@ -286,13 +296,74 @@ pub fn check_program(program: &Program) -> Result<CheckStats, Failure> {
     // -- whole-pipeline closure: serial vs threaded bus ---------------
     check_pipeline(program)?;
 
+    // -- slice predictions and distance claims vs the replay ----------
+    let (slices, value_checks) = check_value_agreement(program)?;
+
     Ok(CheckStats {
         events: rec.len(),
         candidates: cands.candidates.len(),
         demoted: demoted_count,
         tls_entries,
         rescued,
+        slices,
+        value_checks,
     })
+}
+
+/// Value-agreement oracle: replays the program (through
+/// `jrpm::agreement::agreement_report`, which also re-runs the rescue
+/// and points-to soundness checks dynamically) and demands that every
+/// certified slice's predicted per-iteration value and every claimed
+/// dependence distance matches the recorded stream exactly. One
+/// refuted prediction means `cfgir::scev` derived a wrong evolution or
+/// `cfgir::slice::verify` accepted a bad certificate.
+fn check_value_agreement(program: &Program) -> Result<(usize, u64), Failure> {
+    let report = jrpm::agreement::agreement_report(program)
+        .map_err(|e| fail("value-agreement", e.to_string()))?;
+    if let Some(v) = report.slice_violations.first() {
+        return Err(fail(
+            "value-agreement",
+            format!(
+                "slice prediction refuted: loop {:?} scalar {:?} at iteration {} \
+                 predicted {} but the stream held {} ({} violation(s) total)",
+                v.loop_id,
+                v.scalar,
+                v.iter,
+                v.predicted,
+                v.observed,
+                report.slice_violations.len()
+            ),
+        ));
+    }
+    if let Some(v) = report.distance_violations.first() {
+        return Err(fail(
+            "value-agreement",
+            format!(
+                "distance claim refuted: loop {:?} load@{} store@{} shared {:?} at \
+                 iterations (load {}, store {}) against claimed distance {} \
+                 ({} violation(s) total)",
+                v.loop_id,
+                v.load_at,
+                v.store_at,
+                v.addr,
+                v.load_iter,
+                v.store_iter,
+                v.claimed,
+                report.distance_violations.len()
+            ),
+        ));
+    }
+    if !report.sound() {
+        return Err(fail(
+            "value-agreement",
+            format!(
+                "agreement report unsound: {} disjointness violation(s), rescue_state_ok={}",
+                report.violations.len(),
+                report.rescue_state_ok
+            ),
+        ));
+    }
+    Ok((report.slices, report.slice_checks + report.distance_checks))
 }
 
 /// Loop-rescue equivalence oracle: a transformed program must be

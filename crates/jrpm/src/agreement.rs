@@ -24,17 +24,44 @@
 //! ([`AnnotateOptions::only`]) so its loop boundaries are visible in
 //! the event stream, and dynamic pcs are translated back to original
 //! instruction indices through the [`annotate_mapped`] origin maps.
+//!
+//! # Value agreement
+//!
+//! The scalar-evolution analysis (`cfgir::scev`) and the certified
+//! pre-computation slices built on it (`cfgir::slice`) make *stronger*
+//! claims than disjointness, and this module checks those dynamically
+//! too:
+//!
+//! * **slice values** — every certified slice over a static scalar
+//!   predicts the scalar's exact value at each iteration boundary
+//!   (`v_k = step^k(v_0)` under the certified [`Evolution`]); a value
+//!   tap on `putstatic` ([`tvm::trace::TraceSink::static_store`])
+//!   records what was actually written, and every `eoi` boundary
+//!   compares the two. Any mismatch is a [`SliceViolation`];
+//! * **slice addresses** — a certified inductor slice predicts the
+//!   per-iteration address step of every affine access site driven by
+//!   that inductor (`scale * stride * WORD_BYTES` bytes); the replayed
+//!   heap events must advance exactly that much per iteration;
+//! * **dependence distances** — a [`PairVerdict::DistanceAtLeast`]
+//!   verdict claims any address both sites touch is touched exactly
+//!   `d` iterations apart; the replay cross-checks every shared
+//!   address ([`DistanceViolation`] otherwise).
+//!
+//! All three feed [`AgreementReport::sound`], so the `scev-gate` CI
+//! binary fails the build on a single unsound prediction.
 
 use crate::annotate::{annotate_mapped, AnnotateOptions};
+use cfgir::extract_candidates;
 use cfgir::{
-    classify_loop_pairs, extract_candidates, AccessPair, Dominators, PairVerdict, SolverStats,
+    classify_loop_pairs, classify_loop_pairs_evo, extract_slices, scev, AccessPair, Dominators,
+    Evolution, PairVerdict, SliceScalar, SolverStats,
 };
 use std::collections::{BTreeSet, HashMap};
-use tvm::isa::LoopId;
+use tvm::isa::{LoopId, Pc};
 use tvm::program::Program;
 use tvm::record::{Event, Recording, RecordingSink};
-use tvm::trace::Addr;
-use tvm::Interp;
+use tvm::trace::{Addr, Cycles, TraceSink};
+use tvm::{Interp, WORD_BYTES};
 
 /// One statically-disjoint pair whose dynamic address sets overlapped:
 /// a refuted proof, i.e. an analysis bug.
@@ -50,6 +77,45 @@ pub struct Violation {
     pub via_pointsto: bool,
     /// An address both sites touched.
     pub shared_addr: Addr,
+}
+
+/// A certified slice whose predicted per-iteration value (or address
+/// step) disagreed with the recorded stream: a refuted certificate,
+/// i.e. a bug in `cfgir::scev`/`cfgir::slice`.
+#[derive(Debug, Clone)]
+pub struct SliceViolation {
+    /// Loop the slice belongs to.
+    pub loop_id: LoopId,
+    /// The loop-carried scalar the slice pre-computes.
+    pub scalar: SliceScalar,
+    /// Iteration boundary (number of completed iterations) at which
+    /// the disagreement surfaced.
+    pub iter: u64,
+    /// What the certificate's evolution predicted — a scalar value for
+    /// static slices, a byte address for inductor slices.
+    pub predicted: i64,
+    /// What the recorded stream actually held.
+    pub observed: i64,
+}
+
+/// A `DistanceAtLeast(d)` pair whose dynamic traces touched a shared
+/// address at an iteration distance other than the claimed one.
+#[derive(Debug, Clone)]
+pub struct DistanceViolation {
+    /// Loop whose body the pair belongs to.
+    pub loop_id: LoopId,
+    /// Original instruction index of the load.
+    pub load_at: u32,
+    /// Original instruction index of the store.
+    pub store_at: u32,
+    /// The shared address.
+    pub addr: Addr,
+    /// Iteration (within one entry) the load touched it.
+    pub load_iter: u64,
+    /// Iteration (within one entry) the store touched it.
+    pub store_iter: u64,
+    /// The signed distance the static analysis claimed.
+    pub claimed: i64,
 }
 
 /// Per-candidate agreement between the static verdict and the trace.
@@ -71,6 +137,10 @@ pub struct LoopAgreement {
     pub may_alias: usize,
     /// Statically guaranteed RAW pairs.
     pub guaranteed: usize,
+    /// Pairs scalar evolution sharpened to a dependence distance.
+    pub distance: usize,
+    /// Certified pre-computation slices extracted for this loop.
+    pub slices: usize,
 }
 
 /// The whole-benchmark agreement report.
@@ -104,13 +174,35 @@ pub struct AgreementReport {
     /// programs finish in bit-identical final state (return value and
     /// whole memory image)? Vacuously true when nothing changed.
     pub rescue_state_ok: bool,
+    /// Certified pre-computation slices extracted across all loops.
+    /// Every one passed the independent verifier.
+    pub slices: usize,
+    /// Slice candidates the independent verifier rejected.
+    pub slices_rejected: usize,
+    /// Per-iteration slice predictions compared against the recorded
+    /// stream (values for static slices, addresses for inductor
+    /// slices).
+    pub slice_checks: u64,
+    /// Slice predictions the recorded stream refuted (must be empty).
+    pub slice_violations: Vec<SliceViolation>,
+    /// Pairs carrying a `DistanceAtLeast` verdict.
+    pub distance_pairs: usize,
+    /// Shared addresses cross-checked against a claimed distance.
+    pub distance_checks: u64,
+    /// Distance claims the replay refuted (must be empty).
+    pub distance_violations: Vec<DistanceViolation>,
 }
 
 impl AgreementReport {
-    /// True when no statically-disjoint pair aliased dynamically and
-    /// every rescue transform preserved the program's final state.
+    /// True when no statically-disjoint pair aliased dynamically,
+    /// every slice prediction and distance claim matched the recorded
+    /// stream, and every rescue transform preserved the program's
+    /// final state.
     pub fn sound(&self) -> bool {
-        self.violations.is_empty() && self.rescue_state_ok
+        self.violations.is_empty()
+            && self.slice_violations.is_empty()
+            && self.distance_violations.is_empty()
+            && self.rescue_state_ok
     }
 
     /// Of the loops predicted serial, the fraction observed serial.
@@ -164,13 +256,17 @@ pub fn agreement_report(program: &Program) -> Result<AgreementReport, tvm::VmErr
         rescue_state_ok,
         ..AgreementReport::default()
     };
+    let mut value_plans: HashMap<LoopId, ValuePlan> = HashMap::new();
+    let mut addr_plans: HashMap<LoopId, AddrPlan> = HashMap::new();
+    let mut slice_counts: HashMap<LoopId, usize> = HashMap::new();
     for c in &cands.candidates {
         let fa = &cands.functions[c.func.0 as usize];
         let f = &program.functions[c.func.0 as usize];
         let dom = Dominators::compute(&fa.cfg);
         let lp = &fa.forest.loops[c.loop_idx];
         let view = pt.view(c.func);
-        let pairs = classify_loop_pairs(program, f, &fa.cfg, &dom, lp, Some(&view));
+        let evo = scev::analyze_loop(program, f, &fa.cfg, lp);
+        let pairs = classify_loop_pairs_evo(program, f, &fa.cfg, &dom, lp, Some(&view), &evo);
         let base = classify_loop_pairs(program, f, &fa.cfg, &dom, lp, None);
         report.pairs += pairs.len();
         report.baseline_disjoint += base
@@ -182,20 +278,78 @@ pub fn agreement_report(program: &Program) -> Result<AgreementReport, tvm::VmErr
             .filter(|p| p.verdict == PairVerdict::Disjoint)
             .count();
         report.via_pointsto += pairs.iter().filter(|p| p.via_pointsto).count();
+        report.distance_pairs += pairs
+            .iter()
+            .filter(|p| matches!(p.verdict, PairVerdict::DistanceAtLeast(_)))
+            .count();
+
+        // every certified slice becomes a dynamic check: static
+        // scalars by value, inductors by address progression
+        let slices = extract_slices(program, f, &fa.cfg, &fa.forest, c.loop_idx, &evo);
+        report.slices += slices.slices.len();
+        report.slices_rejected += slices.rejected;
+        let mut vplan = ValuePlan::default();
+        let mut aplan = AddrPlan::default();
+        for s in &slices.slices {
+            match s.scalar {
+                SliceScalar::Static(g) => {
+                    vplan.statics.push((g.0, s.cert.evolution));
+                }
+                SliceScalar::Local(l) => {
+                    let Evolution::Affine { stride } = s.cert.evolution else {
+                        continue;
+                    };
+                    // every affine access site driven by this inductor
+                    // advances scale*stride words per iteration
+                    for (instr, ind, scale) in cfgir::affine_sites(program, f, &fa.cfg, &dom, lp) {
+                        if ind == l {
+                            let per_iter = scale
+                                .wrapping_mul(stride)
+                                .wrapping_mul(i64::from(WORD_BYTES));
+                            aplan.sites.push(((c.func.0, instr), per_iter));
+                        }
+                    }
+                }
+            }
+        }
+        for p in &pairs {
+            if let (PairVerdict::DistanceAtLeast(_), Some(q)) = (&p.verdict, p.scev_distance) {
+                aplan
+                    .pairs
+                    .push(((c.func.0, p.load_at), (c.func.0, p.store_at), q));
+            }
+        }
+        if !vplan.statics.is_empty() {
+            value_plans.insert(c.id, vplan);
+        }
+        if !aplan.sites.is_empty() || !aplan.pairs.is_empty() {
+            addr_plans.insert(c.id, aplan);
+        }
+        slice_counts.insert(c.id, slices.slices.len());
         per_loop.insert(c.id, pairs);
     }
 
     // force-annotate every candidate so demoted loops are traced too
     let all_ids: Vec<LoopId> = cands.candidates.iter().map(|c| c.id).collect();
     let (ann, maps) = annotate_mapped(program, &cands, &AnnotateOptions::only(all_ids))?;
-    let mut sink = RecordingSink::default();
+    let mut sink = TapSink::default();
     Interp::run(&ann, &mut sink)?;
-    let rec = sink.into_recording();
+    let taps = sink.taps;
+    let rec = sink.inner.into_recording();
     report.events = rec.len();
 
     // dynamic profile: per-site address sets (original pcs) and
     // per-loop cross-iteration RAW detection
     let (addrs_at, loop_dyn) = profile(&rec, &maps);
+
+    // value agreement: replay the tap stream against every static
+    // slice's predicted per-iteration value ...
+    let (vchecks, vviol) = check_static_slices(&taps, &value_plans);
+    report.slice_checks += vchecks;
+    report.slice_violations.extend(vviol);
+    // ... and the heap events against inductor address progressions
+    // and claimed dependence distances
+    check_addresses(&rec, &maps, &addr_plans, &mut report);
 
     for c in &cands.candidates {
         let pairs = &per_loop[&c.id];
@@ -229,6 +383,11 @@ pub fn agreement_report(program: &Program) -> Result<AgreementReport, tvm::VmErr
             via_pointsto: pairs.iter().filter(|p| p.via_pointsto).count(),
             may_alias: count(PairVerdict::MayAlias),
             guaranteed: count(PairVerdict::GuaranteedRaw),
+            distance: pairs
+                .iter()
+                .filter(|p| matches!(p.verdict, PairVerdict::DistanceAtLeast(_)))
+                .count(),
+            slices: slice_counts.get(&c.id).copied().unwrap_or(0),
         });
         if c.is_demoted() {
             report.predicted_serial += 1;
@@ -320,6 +479,293 @@ fn profile(rec: &Recording, maps: &[Vec<Option<u32>>]) -> (SiteAddrs, LoopDyn) {
     (addrs_at, loop_dyn)
 }
 
+/// One event of the value-tap side stream: loop boundaries interleaved
+/// with `putstatic` value taps, in execution order.
+#[derive(Debug, Clone, Copy)]
+enum VEvent {
+    Enter(LoopId),
+    Iter(LoopId),
+    Exit(LoopId),
+    Store(u16, i64),
+}
+
+/// A [`RecordingSink`] wrapper that additionally captures the
+/// `putstatic` value taps the recording itself does not carry (the
+/// event stream is value-free by design), interleaved with loop
+/// boundaries so per-iteration predictions line up.
+#[derive(Default)]
+struct TapSink {
+    inner: RecordingSink,
+    taps: Vec<VEvent>,
+}
+
+impl TraceSink for TapSink {
+    fn heap_load(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.inner.heap_load(addr, now, pc);
+    }
+    fn heap_store(&mut self, addr: Addr, now: Cycles, pc: Pc) {
+        self.inner.heap_store(addr, now, pc);
+    }
+    fn static_store(&mut self, global: u16, value: i64, now: Cycles, pc: Pc) {
+        self.taps.push(VEvent::Store(global, value));
+        self.inner.static_store(global, value, now, pc);
+    }
+    fn local_load(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.inner.local_load(var, activation, now, pc);
+    }
+    fn local_store(&mut self, var: u16, activation: u32, now: Cycles, pc: Pc) {
+        self.inner.local_store(var, activation, now, pc);
+    }
+    fn loop_enter(&mut self, loop_id: LoopId, n_locals: u16, activation: u32, now: Cycles) {
+        self.taps.push(VEvent::Enter(loop_id));
+        self.inner.loop_enter(loop_id, n_locals, activation, now);
+    }
+    fn loop_iter(&mut self, loop_id: LoopId, now: Cycles) {
+        self.taps.push(VEvent::Iter(loop_id));
+        self.inner.loop_iter(loop_id, now);
+    }
+    fn loop_exit(&mut self, loop_id: LoopId, now: Cycles) {
+        self.taps.push(VEvent::Exit(loop_id));
+        self.inner.loop_exit(loop_id, now);
+    }
+    fn stats_read(&mut self, loop_id: LoopId, now: Cycles) {
+        self.inner.stats_read(loop_id, now);
+    }
+    fn call_enter(&mut self, site: Pc, activation: u32, now: Cycles) {
+        self.inner.call_enter(site, activation, now);
+    }
+    fn call_exit(&mut self, site: Pc, now: Cycles) {
+        self.inner.call_exit(site, now);
+    }
+    fn call_result_use(&mut self, site: Pc, now: Cycles) {
+        self.inner.call_result_use(site, now);
+    }
+}
+
+/// Static slices of one loop: (global index, certified evolution).
+#[derive(Debug, Clone, Default)]
+struct ValuePlan {
+    statics: Vec<(u16, Evolution)>,
+}
+
+/// A `DistanceAtLeast` pair to replay: (load site, store site, signed
+/// claimed distance).
+type DistancePair = ((u16, u32), (u16, u32), i64);
+
+/// Address-level checks of one loop.
+#[derive(Debug, Clone, Default)]
+struct AddrPlan {
+    /// Affine sites covered by an inductor slice: (site key, expected
+    /// per-iteration byte delta).
+    sites: Vec<((u16, u32), i64)>,
+    /// `DistanceAtLeast` pairs: (load site, store site, signed claimed
+    /// distance).
+    pairs: Vec<DistancePair>,
+}
+
+/// Walks the value-tap stream and checks, at every `eoi` boundary of
+/// every entry of a planned loop, that each static slice's tracked
+/// value equals its certificate's prediction (`step` applied once per
+/// completed iteration to the value at entry). `eoi` fires on the back
+/// edge, after the iteration's stores, so at the k-th boundary exactly
+/// k full updates have been applied.
+fn check_static_slices(
+    taps: &[VEvent],
+    plans: &HashMap<LoopId, ValuePlan>,
+) -> (u64, Vec<SliceViolation>) {
+    struct Frame {
+        loop_id: LoopId,
+        iter: u64,
+        /// (global, evolution, predicted current value)
+        tracked: Vec<(u16, Evolution, i64)>,
+    }
+    // statics are zero-initialized; only Int stores tap, which is
+    // exactly the set scev reasons about
+    let mut cur: HashMap<u16, i64> = HashMap::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut checks = 0u64;
+    let mut violations = Vec::new();
+    for e in taps {
+        match *e {
+            VEvent::Store(g, v) => {
+                cur.insert(g, v);
+            }
+            VEvent::Enter(l) => {
+                let tracked = plans
+                    .get(&l)
+                    .map(|p| {
+                        p.statics
+                            .iter()
+                            .map(|(g, evo)| (*g, *evo, cur.get(g).copied().unwrap_or(0)))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                stack.push(Frame {
+                    loop_id: l,
+                    iter: 0,
+                    tracked,
+                });
+            }
+            VEvent::Iter(l) => {
+                if let Some(fr) = stack.iter_mut().rev().find(|f| f.loop_id == l) {
+                    fr.iter += 1;
+                    for (g, evo, pred) in &mut fr.tracked {
+                        let Some(next) = evo.step(*pred) else {
+                            continue;
+                        };
+                        *pred = next;
+                        let observed = cur.get(g).copied().unwrap_or(0);
+                        checks += 1;
+                        if observed != *pred {
+                            violations.push(SliceViolation {
+                                loop_id: l,
+                                scalar: SliceScalar::Static(tvm::isa::GlobalId(*g)),
+                                iter: fr.iter,
+                                predicted: *pred,
+                                observed,
+                            });
+                        }
+                    }
+                }
+            }
+            VEvent::Exit(l) => {
+                // inner entries abandoned by an early unwind close
+                // together with the exiting loop, as in `profile`
+                while let Some(fr) = stack.pop() {
+                    if fr.loop_id == l {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (checks, violations)
+}
+
+/// Walks the recording and checks, per entry of every planned loop,
+/// (a) that each slice-covered affine site's addresses advance by the
+/// expected per-iteration byte delta, and (b) that every address
+/// shared by a `DistanceAtLeast(d)` pair was touched exactly the
+/// claimed (signed) number of iterations apart.
+fn check_addresses(
+    rec: &Recording,
+    maps: &[Vec<Option<u32>>],
+    plans: &HashMap<LoopId, AddrPlan>,
+    report: &mut AgreementReport,
+) {
+    struct Frame<'p> {
+        loop_id: LoopId,
+        iter: u64,
+        /// `None` for loops with nothing to check — still stacked so
+        /// unwind-abandoned entries close like in `profile`
+        plan: Option<&'p AddrPlan>,
+        /// site key -> (iteration, address) in observation order
+        seen: HashMap<(u16, u32), Vec<(u64, Addr)>>,
+    }
+    let orig_pc = |pc: Pc| -> Option<(u16, u32)> {
+        let f = pc.func.0;
+        maps.get(f as usize)
+            .and_then(|m| m.get(pc.idx as usize))
+            .copied()
+            .flatten()
+            .map(|o| (f, o))
+    };
+    let mut stack: Vec<Frame<'_>> = Vec::new();
+    let close = |fr: Frame<'_>, report: &mut AgreementReport| {
+        let Some(plan) = fr.plan else { return };
+        // (a) inductor slice address progressions
+        for &(key, per_iter) in &plan.sites {
+            let Some(obs) = fr.seen.get(&key) else {
+                continue;
+            };
+            for w in obs.windows(2) {
+                let ((i1, a1), (i2, a2)) = (w[0], w[1]);
+                if i2 == i1 {
+                    continue; // same iteration (e.g. inner-loop repeat)
+                }
+                let gap = i64::try_from(i2 - i1).unwrap_or(i64::MAX);
+                let predicted = i64::from(a1).wrapping_add(per_iter.wrapping_mul(gap));
+                report.slice_checks += 1;
+                if i64::from(a2) != predicted {
+                    report.slice_violations.push(SliceViolation {
+                        loop_id: fr.loop_id,
+                        scalar: SliceScalar::Local(tvm::program::Local(u16::MAX)),
+                        iter: i2,
+                        predicted,
+                        observed: i64::from(a2),
+                    });
+                }
+            }
+        }
+        // (b) claimed dependence distances
+        for &(lkey, skey, q) in &plan.pairs {
+            let empty = Vec::new();
+            let loads = fr.seen.get(&lkey).unwrap_or(&empty);
+            let stores = fr.seen.get(&skey).unwrap_or(&empty);
+            let stored: HashMap<Addr, u64> = stores.iter().map(|&(i, a)| (a, i)).collect();
+            for &(li, la) in loads {
+                let Some(&si) = stored.get(&la) else { continue };
+                report.distance_checks += 1;
+                if li as i64 - si as i64 != q {
+                    report.distance_violations.push(DistanceViolation {
+                        loop_id: fr.loop_id,
+                        load_at: lkey.1,
+                        store_at: skey.1,
+                        addr: la,
+                        load_iter: li,
+                        store_iter: si,
+                        claimed: q,
+                    });
+                }
+            }
+        }
+    };
+    for e in &rec.events {
+        match *e {
+            Event::LoopEnter(l, _, _, _) => {
+                stack.push(Frame {
+                    loop_id: l,
+                    iter: 0,
+                    plan: plans.get(&l),
+                    seen: HashMap::new(),
+                });
+            }
+            Event::LoopIter(l, _) => {
+                if let Some(fr) = stack.iter_mut().rev().find(|f| f.loop_id == l) {
+                    fr.iter += 1;
+                }
+            }
+            Event::LoopExit(l, _) => {
+                // inner entries abandoned by an early return unwind
+                // together with the exiting loop
+                while let Some(fr) = stack.pop() {
+                    let done = fr.loop_id == l;
+                    close(fr, report);
+                    if done {
+                        break;
+                    }
+                }
+            }
+            Event::HeapLoad(a, _, pc) | Event::HeapStore(a, _, pc) => {
+                if let Some(key) = orig_pc(pc) {
+                    for fr in &mut stack {
+                        let Some(plan) = fr.plan else { continue };
+                        let relevant = plan.sites.iter().any(|&(k, _)| k == key)
+                            || plan.pairs.iter().any(|&(lk, sk, _)| lk == key || sk == key);
+                        if relevant {
+                            fr.seen.entry(key).or_default().push((fr.iter, a));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    while let Some(fr) = stack.pop() {
+        close(fr, report);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +852,82 @@ mod tests {
         assert!(r.sound(), "violations: {:?}", r.violations);
         assert_eq!(r.predicted_serial, 0, "the rescued loop is clean");
         assert_eq!(r.actual_serial, 0, "the recurrence is gone dynamically too");
+    }
+
+    #[test]
+    fn slice_values_and_distances_are_checked_dynamically() {
+        // loop 0: g += 3 — certified Affine slice, value-checked at
+        // every eoi. loop 1: guarded a[i] = a[i-1] — a DistanceAtLeast
+        // pair whose shared addresses the replay cross-checks.
+        let mut b = ProgramBuilder::new();
+        let g = b.global(ElemKind::Int);
+        let main = b.function("main", 0, false, |f| {
+            let (a, i, j) = (f.local(), f.local(), f.local());
+            f.ci(64).newarray(ElemKind::Int).st(a);
+            f.for_in(i, 0.into(), 16.into(), |f| {
+                f.getstatic(g).ci(3).iadd().putstatic(g);
+            });
+            f.for_in(j, 2.into(), 62.into(), |f| {
+                f.if_icmp(
+                    tvm::isa::Cond::Lt,
+                    |f| {
+                        f.ld(j).ci(32);
+                    },
+                    |f| {
+                        f.ld(a).ld(j);
+                        f.ld(a).ld(j).ci(-1).iadd().aload();
+                        f.astore();
+                    },
+                );
+            });
+            f.ret_void();
+        });
+        let p = b.finish(main).unwrap();
+        let r = agreement_report(&p).unwrap();
+        assert!(r.sound(), "violations: {:?}", r.slice_violations);
+        assert!(r.slices >= 2, "accumulator + both inductors: {r:?}");
+        assert!(r.slice_checks > 0, "value/address predictions compared");
+        assert!(r.slice_violations.is_empty());
+        assert!(r.distance_pairs >= 1, "the stencil pair gains a distance");
+        assert!(r.distance_checks > 0, "shared addresses cross-checked");
+        assert!(r.distance_violations.is_empty());
+    }
+
+    #[test]
+    fn a_lying_certificate_would_be_caught() {
+        // the checker itself must have teeth: feed it a tap stream
+        // from g += 3 but a plan claiming stride 4
+        let taps = vec![
+            VEvent::Enter(LoopId(0)),
+            VEvent::Store(0, 3),
+            VEvent::Iter(LoopId(0)),
+            VEvent::Store(0, 6),
+            VEvent::Iter(LoopId(0)),
+            VEvent::Exit(LoopId(0)),
+        ];
+        let mut plans = HashMap::new();
+        plans.insert(
+            LoopId(0),
+            ValuePlan {
+                statics: vec![(0, Evolution::Affine { stride: 4 })],
+            },
+        );
+        let (checks, violations) = check_static_slices(&taps, &plans);
+        assert_eq!(checks, 2);
+        assert_eq!(violations.len(), 2, "every boundary disagrees");
+        assert_eq!(violations[0].predicted, 4);
+        assert_eq!(violations[0].observed, 3);
+
+        // and the honest claim passes the same stream
+        plans.insert(
+            LoopId(0),
+            ValuePlan {
+                statics: vec![(0, Evolution::Affine { stride: 3 })],
+            },
+        );
+        let (checks, violations) = check_static_slices(&taps, &plans);
+        assert_eq!(checks, 2);
+        assert!(violations.is_empty());
     }
 
     #[test]

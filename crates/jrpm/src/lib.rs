@@ -7,7 +7,7 @@
 //! 1. **Identify** candidate STLs from each method's control-flow graph
 //!    (`cfgir`);
 //! 2. **Annotate**: compile the program with the Table 4 annotation
-//!    instructions ([`annotate`]), in the paper's base or optimized
+//!    instructions ([`annotate()`]), in the paper's base or optimized
 //!    form;
 //! 3. **Profile**: run the annotated program sequentially through the
 //!    TEST hardware model (`test-tracer`), measuring the profiling

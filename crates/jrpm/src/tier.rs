@@ -58,13 +58,13 @@ use crate::pipeline::{
     PipelineObservability, PipelineReport, RescueSummary, StageRecorder,
 };
 use cfgir::{
-    extract_candidates, extract_candidates_with, prescreen_candidate, rescue_program, PointsTo,
-    Prescreen, StaticVerdict,
+    distance_floors, extract_candidates, extract_candidates_with,
+    prescreen_candidate_with_distance, rescue_program, PointsTo, Prescreen, StaticVerdict,
 };
 use obs::Telemetry;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use test_tracer::{select_with_priors, SelectionWindow, TestTracer};
+use test_tracer::{select_with_distances, SelectionWindow, TestTracer};
 use tvm::bus::{record_batches, record_batches_hooked, TraceBus};
 use tvm::interp::FinalState;
 use tvm::isa::LoopId;
@@ -476,13 +476,16 @@ fn drive_immediate(program: &Program, cfg: &PipelineConfig) -> Result<TieredOutc
     let seq_cycles = prof_run.cycles - prof_run.annotation_cycles.total();
 
     // 4. select decompositions (Equations 1 and 2), with the static
-    //    verdicts as priors
+    //    verdicts as priors and scev distance floors bounding the
+    //    speculative overlap of proven RAW chains
     let t = stages.begin("select");
-    let selection = select_with_priors(
+    let floors = distance_floors(program, &candidates);
+    let selection = select_with_distances(
         &profile,
         &cfg.tls.estimator_params(),
         prof_run.cycles,
         &candidates.demoted_ids(),
+        &floors,
     );
     stages.end("select", t);
 
@@ -674,6 +677,10 @@ fn drive_online(
         .map(|c| LoopState::new(u64::from(c.id.0)))
         .collect();
     let mut screened: Vec<Option<StaticVerdict>> = vec![None; n];
+    // scev distance floors, accumulated alongside the deferred
+    // pre-screen; finalization completes the map so the authoritative
+    // selection sees exactly what the eager offline path computes
+    let mut floors: BTreeMap<LoopId, u32> = BTreeMap::new();
     let mut diagnostics: Vec<TierDiagnostic> = Vec::new();
     let mut dynamic_demoted: BTreeSet<LoopId> = BTreeSet::new();
     let mut window = SelectionWindow::new(tcfg.window);
@@ -779,7 +786,7 @@ fn drive_online(
             window.push(profile, cycles);
             let mut demoted = candidates.demoted_ids();
             demoted.extend(dynamic_demoted.iter().copied());
-            if let Some(sel) = window.reselect(&params, &demoted) {
+            if let Some(sel) = window.reselect_with_distances(&params, &demoted, &floors) {
                 let chosen: BTreeSet<LoopId> = sel.chosen.iter().map(|c| c.loop_id).collect();
                 for (i, state) in states.iter_mut().enumerate() {
                     if !matches!(
@@ -871,7 +878,11 @@ fn drive_online(
                     let c = &candidates.candidates[i];
                     let fa = &candidates.functions[c.func.0 as usize];
                     let view = pt.view(c.func);
-                    let v = prescreen_candidate(program, fa, c.loop_idx, Some(&view));
+                    let (v, floor) =
+                        prescreen_candidate_with_distance(program, fa, c.loop_idx, Some(&view));
+                    if let Some(d) = floor {
+                        floors.insert(id, d);
+                    }
                     screened[i] = Some(v.clone());
                     v
                 }
@@ -948,7 +959,11 @@ fn drive_online(
                 let c = &candidates.candidates[i];
                 let fa = &candidates.functions[c.func.0 as usize];
                 let view = pt.view(c.func);
-                let v = prescreen_candidate(program, fa, c.loop_idx, Some(&view));
+                let (v, floor) =
+                    prescreen_candidate_with_distance(program, fa, c.loop_idx, Some(&view));
+                if let Some(d) = floor {
+                    floors.insert(LoopId(i as u32), d);
+                }
                 *slot = Some(v.clone());
                 v
             }
@@ -987,7 +1002,7 @@ fn drive_online(
     let t = stages.begin("select");
     let mut priors = candidates.demoted_ids();
     priors.extend(dynamic_demoted.iter().copied());
-    let selection = select_with_priors(&profile, &params, prof_run.cycles, &priors);
+    let selection = select_with_distances(&profile, &params, prof_run.cycles, &priors, &floors);
     stages.end("select", t);
 
     // terminal commit: the full-image selection is authoritative

@@ -190,7 +190,10 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        // clamp propagates NaN, and a NaN rank fails every comparison
+        // below, silently falling through to the top bucket — pin NaN
+        // to 0 instead
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let target = q * (self.count - 1) as f64; // fractional rank
         let mut cum = 0u64; // observations in buckets before this one
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -199,9 +202,13 @@ impl HistogramSnapshot {
             }
             // this bucket covers sorted ranks [cum, cum + c)
             if target < (cum + c) as f64 {
+                // the top bucket spans half the u64 range, where the
+                // f64 width rounds *up* past 2^63 − 1: saturate rather
+                // than let `lo + offset` wrap past `hi`
                 let (lo, hi) = bucket_bounds(i);
                 let pos = (target - cum as f64) / c as f64; // [0, 1)
-                return lo + ((hi - lo) as f64 * pos).round() as u64;
+                let off = ((hi - lo) as f64 * pos).round() as u64;
+                return lo.saturating_add(off).min(hi);
             }
             cum += c;
         }
@@ -478,6 +485,45 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.quantile(0.0), 1);
         assert_eq!(s.quantile(1.0), 1024);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // empty: every q (including NaN and infinities) reads 0
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; N_BUCKETS],
+        };
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(empty.quantile(q), 0, "empty at q={q}");
+        }
+        // single sample: every finite q reads the one observation's
+        // bucket, and NaN pins to q=0 instead of falling through
+        let h = Histogram::default();
+        h.record(7); // bucket 3 = [4, 7]
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 1.0, f64::NAN, f64::NEG_INFINITY] {
+            assert_eq!(s.quantile(q), 4, "single sample at q={q}");
+        }
+        assert_eq!(s.quantile(f64::INFINITY), 4);
+        // saturated top bucket: [2^63, u64::MAX] is wider than f64 can
+        // represent exactly, so the interpolation must saturate at the
+        // bucket's upper bound instead of wrapping past it
+        let mut buckets = [0u64; N_BUCKETS];
+        buckets[64] = u64::MAX;
+        let top = HistogramSnapshot {
+            count: u64::MAX,
+            sum: u64::MAX,
+            buckets,
+        };
+        let (lo, hi) = bucket_bounds(64);
+        for q in [0.0, 0.5, 0.999_999_999, 1.0] {
+            let v = top.quantile(q);
+            assert!((lo..=hi).contains(&v), "top bucket at q={q} gave {v}");
+        }
+        assert_eq!(top.quantile(0.0), lo);
+        assert_eq!(top.quantile(1.0), hi);
     }
 
     #[test]

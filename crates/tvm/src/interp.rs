@@ -485,6 +485,9 @@ impl Interp {
                 Instr::PutStatic(g) => {
                     let v = pop!();
                     let addr = mem.global_addr(g.0);
+                    if let Value::Int(i) = v {
+                        sink.static_store(g.0, i, now, pc_here);
+                    }
                     mem.write(addr, v)?;
                     sink.heap_store(addr, now, pc_here);
                 }

@@ -17,7 +17,7 @@ pub struct ClassId(pub u16);
 
 /// Identifies a static (global) variable. Statics live in the heap
 /// address space, so accesses to them are traced like heap accesses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GlobalId(pub u16);
 
 /// A local-variable slot within a function frame. Parameters occupy the

@@ -37,6 +37,17 @@ pub trait TraceSink {
         let _ = (addr, now, pc);
     }
 
+    /// Value tap for `putstatic`: the integer word actually written to
+    /// static `global`. Recording sinks ignore it (the event stream
+    /// stays value-free); the value-agreement checker overrides it to
+    /// compare every store against a slice's predicted per-iteration
+    /// value. Float/ref stores are reported through [`Self::heap_store`]
+    /// only.
+    #[inline]
+    fn static_store(&mut self, global: u16, value: i64, now: Cycles, pc: Pc) {
+        let _ = (global, value, now, pc);
+    }
+
     /// An annotated local-variable load (`lwl vn`). `activation`
     /// identifies the dynamic frame, so the tracer can index the
     /// reservation made by the matching `sloop`.
